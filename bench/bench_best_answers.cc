@@ -1,0 +1,68 @@
+// Experiment E13 (Proposition 7 and Section 5).
+//
+// Paper claims: best-vs-non-best and almost-certainly-true-vs-false are
+// fully orthogonal — all four combinations occur; and on the Section 5
+// difference-query example, Best(Q,D) = {(2,⊥2)} while certain answers are
+// empty.
+//
+// Measured: the four cells of the orthogonality table with exact finite-k
+// measures, and the Section 5 example's comparison outcomes.
+
+#include <cstdio>
+
+#include <algorithm>
+
+#include "core/comparison.h"
+#include "core/measure.h"
+#include "core/support.h"
+#include "gen/scenarios.h"
+
+using namespace zeroone;
+
+int main() {
+  std::printf("E13: best answers vs the measure (Prop 7, Section 5)\n");
+  std::printf("----------------------------------------------------\n");
+
+  std::printf("Section 5 example (Q = R - S):\n");
+  BestAnswerExample example = PaperBestAnswerExample();
+  std::printf("  certain answers: %zu   (claim: 0)\n",
+              CertainAnswers(example.query, example.db).size());
+  std::printf("  (1,⊥1) ◁ (2,⊥2): %s   (claim: yes)\n",
+              StrictlyDominated(example.query, example.db, example.tuple_a,
+                                example.tuple_b)
+                  ? "yes"
+                  : "no");
+  std::vector<Tuple> best = BestAnswers(example.query, example.db);
+  std::printf("  Best(Q,D) = {");
+  for (std::size_t i = 0; i < best.size(); ++i) {
+    std::printf("%s%s", i ? ", " : " ", best[i].ToString().c_str());
+  }
+  std::printf(" }   (claim: {(2,⊥2)})\n\n");
+
+  std::printf("Proposition 7 orthogonality table:\n");
+  std::printf("%-12s %-10s %-8s %-12s %-12s\n", "tuple", "variant", "best?",
+              "mu", "mu^8");
+  for (bool with_g : {false, true}) {
+    OrthogonalityExample ortho = Proposition7Example(with_g);
+    std::vector<Tuple> b = BestAnswers(ortho.query, ortho.db);
+    for (const Tuple& t : {ortho.tuple_a, ortho.tuple_b}) {
+      bool is_best = std::count(b.begin(), b.end(), t) > 0;
+      std::printf("%-12s %-10s %-8s %-12d %-12s\n", t.ToString().c_str(),
+                  with_g ? "with G" : "plain", is_best ? "best" : "non-best",
+                  MuLimit(ortho.query, ortho.db, t),
+                  MuK(ortho.query, ortho.db, t, 8).ToString().c_str());
+    }
+  }
+  std::printf("(claim: the four rows realize (best,1), (best,0), "
+              "(non-best,1), (non-best,0); mu^k = 1-1/k and 1/k resp.)\n\n");
+
+  std::printf("Best_mu (best ∩ almost certainly true):\n");
+  OrthogonalityExample plain = Proposition7Example(false);
+  std::vector<Tuple> best_mu = BestMuAnswers(plain.query, plain.db);
+  std::printf("  plain variant: {");
+  for (std::size_t i = 0; i < best_mu.size(); ++i) {
+    std::printf("%s%s", i ? ", " : " ", best_mu[i].ToString().c_str());
+  }
+  std::printf(" }   (claim: {(a)})\n");
+  return 0;
+}

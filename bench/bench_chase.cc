@@ -1,0 +1,115 @@
+// Experiment E9 (Theorem 5 / Corollary 4).
+//
+// Paper claims: for FD-only Σ, µ(Q|Σ,D,ā) = µ(Q, chase_Σ(D), ā) — the 0–1
+// law is restored and the conditional measure is computable in polynomial
+// time (chase + naive evaluation), versus the #P-flavoured
+// partition-polynomial computation needed for general constraints.
+//
+// Measured: (a) agreement of the chase shortcut with the exact conditional
+// measure on random FD instances; (b) chase wall-clock scaling with
+// database size (polynomial); (c) shortcut vs exact-computation timing.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/conditional.h"
+#include "gen/random_db.h"
+#include "gen/random_query.h"
+#include "query/parser.h"
+
+using namespace zeroone;
+
+namespace {
+
+Database MakeDb(std::size_t tuples, std::uint64_t seed) {
+  RandomDatabaseOptions options;
+  options.relations = {{"R", 2, tuples}};
+  options.constant_pool = std::max<std::size_t>(2, tuples / 2);
+  options.null_pool = std::max<std::size_t>(1, tuples / 3);
+  options.null_probability = 0.4;
+  options.seed = seed;
+  return GenerateRandomDatabase(options);
+}
+
+void ReportAgreement() {
+  std::printf("E9: FD chase computes the conditional measure (Thm 5)\n");
+  std::printf("-----------------------------------------------------\n");
+  std::size_t agreements = 0;
+  std::size_t chase_failures = 0;
+  std::size_t total = 0;
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    Database db = MakeDb(4, seed + 9000);
+    std::vector<FunctionalDependency> fds = {
+        FunctionalDependency("R", 2, {0}, 1)};
+    ConstraintSet constraints = {
+        std::make_shared<FunctionalDependency>(fds[0])};
+    RandomQueryOptions q_options;
+    q_options.relations = {{"R", 2}};
+    q_options.free_variables = 0;
+    q_options.existential_variables = 2;
+    q_options.clauses = 2;
+    q_options.atoms_per_clause = 2;
+    q_options.seed = seed + 9100;
+    Query query = GenerateRandomFo(q_options, 0.3);
+    int shortcut = ConditionalMuViaChase(query, fds, db, Tuple{});
+    Rational exact = ConditionalMu(query, constraints, db);
+    ++total;
+    agreements += static_cast<std::size_t>(Rational(shortcut) == exact);
+    chase_failures += static_cast<std::size_t>(
+        !ChaseFds(fds, db).success);
+  }
+  std::printf("shortcut == exact on %zu/%zu random FD instances "
+              "(%zu chase failures among them; claim: all agree)\n\n",
+              agreements, total, chase_failures);
+}
+
+void BM_ChaseScaling(benchmark::State& state) {
+  std::size_t tuples = static_cast<std::size_t>(state.range(0));
+  Database db = MakeDb(tuples, 424242);
+  std::vector<FunctionalDependency> fds = {
+      FunctionalDependency("R", 2, {0}, 1)};
+  for (auto _ : state) {
+    ChaseResult result = ChaseFds(fds, db);
+    benchmark::DoNotOptimize(result.success);
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(tuples));
+}
+BENCHMARK(BM_ChaseScaling)->RangeMultiplier(2)->Range(8, 256)->Complexity();
+
+void BM_ConditionalViaChase(benchmark::State& state) {
+  Database db = MakeDb(static_cast<std::size_t>(state.range(0)), 4243);
+  std::vector<FunctionalDependency> fds = {
+      FunctionalDependency("R", 2, {0}, 1)};
+  Query query = ParseQuery(":= exists x, y . R(x, y) & R(y, x)").value();
+  for (auto _ : state) {
+    int mu = ConditionalMuViaChase(query, fds, db, Tuple{});
+    benchmark::DoNotOptimize(mu);
+  }
+}
+BENCHMARK(BM_ConditionalViaChase)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_ConditionalExact(benchmark::State& state) {
+  // The general-purpose algorithm pays Bell(#nulls): keep instances small.
+  Database db = MakeDb(static_cast<std::size_t>(state.range(0)), 4243);
+  ConstraintSet constraints = {std::make_shared<FunctionalDependency>(
+      "R", 2, std::vector<std::size_t>{0}, 1)};
+  Query query = ParseQuery(":= exists x, y . R(x, y) & R(y, x)").value();
+  for (auto _ : state) {
+    Rational mu = ConditionalMu(query, constraints, db);
+    benchmark::DoNotOptimize(mu);
+  }
+}
+BENCHMARK(BM_ConditionalExact)->Arg(4)->Arg(8);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ReportAgreement();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  std::printf("(claim shape: chase scales polynomially; the chase shortcut "
+              "beats the exact partition-polynomial computation by orders "
+              "of magnitude as nulls grow)\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Experiment E4 (Proposition 2, open-world semantics).
+//
+// Paper claim: under OWA the connection between the measure and naive
+// evaluation breaks: for D with one empty unary relation U,
+// owa-m^k(¬∃x U(x), D) = 2^{-k} → 0 although naive evaluation says true,
+// and owa-m^k(∃x U(x), D) → 1 although naive evaluation says false.
+
+#include <cstdio>
+
+#include "core/measure.h"
+#include "core/owa.h"
+#include "gen/scenarios.h"
+
+using namespace zeroone;
+
+int main() {
+  std::printf("E4: open-world measure (Proposition 2)\n");
+  std::printf("---------------------------------------\n");
+  OwaExample example = Proposition2Example();
+  std::printf("D: single empty unary relation U\n");
+  std::printf("Q1 = %s   (naive: %s)\n", example.q1.ToString().c_str(),
+              MuLimit(example.q1, example.db) ? "true" : "false");
+  std::printf("Q2 = %s   (naive: %s)\n", example.q2.ToString().c_str(),
+              MuLimit(example.q2, example.db) ? "true" : "false");
+  std::printf("%6s %16s %12s %16s\n", "k", "owa-m^k(Q1)", "claim 2^-k",
+              "owa-m^k(Q2)");
+  for (std::size_t k = 1; k <= 8; ++k) {
+    StatusOr<Rational> q1 = OwaMK(example.q1, example.db, k);
+    StatusOr<Rational> q2 = OwaMK(example.q2, example.db, k);
+    if (!q1.ok() || !q2.ok()) {
+      std::printf("%6zu  (guard: %s)\n", k, q1.status().message().c_str());
+      break;
+    }
+    std::printf("%6zu %16s %12.6f %16s\n", k, q1->ToString().c_str(),
+                1.0 / static_cast<double>(1u << k), q2->ToString().c_str());
+  }
+  std::printf("(claim: owa-m(Q1) = 0 with naive true; owa-m(Q2) = 1 with "
+              "naive false — naive evaluation and the OWA measure point in "
+              "opposite directions)\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Experiment E7 (Proposition 4).
+//
+// Paper claim: for every rational s = p/r in (0,1] there is a database, a
+// single inclusion dependency, and a Boolean conjunctive query with
+// µ(Q|Σ,D) = s, via an explicit construction.
+//
+// Measured: the construction is built for a grid of p/r values and the
+// exact conditional measure is computed with the partition-polynomial
+// algorithm; every row must match.
+
+#include <cstdio>
+
+#include "core/conditional.h"
+#include "gen/scenarios.h"
+
+using namespace zeroone;
+
+int main() {
+  std::printf("E7: every rational is a conditional measure (Prop 4)\n");
+  std::printf("----------------------------------------------------\n");
+  std::printf("%8s %12s %8s\n", "p/r", "measured", "match");
+  std::size_t matches = 0;
+  std::size_t total = 0;
+  for (std::size_t r = 1; r <= 9; ++r) {
+    for (std::size_t p = 1; p <= r; ++p) {
+      RationalValueExample example = Proposition4Example(p, r);
+      Rational mu =
+          ConditionalMu(example.query, example.constraints, example.db);
+      bool match = mu == Rational(static_cast<std::int64_t>(p),
+                                  static_cast<std::int64_t>(r));
+      ++total;
+      matches += static_cast<std::size_t>(match);
+      if (r <= 5 || p == 1 || p == r) {
+        std::printf("%5zu/%-2zu %12s %8s\n", p, r, mu.ToString().c_str(),
+                    match ? "yes" : "NO");
+      }
+    }
+  }
+  std::printf("... (%zu/%zu grid points match; claim: all)\n", matches,
+              total);
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Experiment E12 (Propositions 5 and 6, counting-hardness shape).
+//
+// Paper claims: computing µ(Q|Σ,D) is in FP^#P (Prop 5) and #P-hard even
+// for a fixed unary foreign key (Prop 6), while *satisfiability* of unary
+// keys and foreign keys is decidable in polynomial time.
+//
+// Measured: (a) the cost of the exact partition-polynomial computation as
+// the number of nulls grows — the Bell(m)·(a+1)^m profile behind the FP^#P
+// upper bound; (b) the polynomial-time key/FK satisfiability check scaling
+// with database size.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "common/partitions.h"
+#include "constraints/keys.h"
+#include "constraints/ind.h"
+#include "core/conditional.h"
+#include "gen/random_db.h"
+#include "query/parser.h"
+
+using namespace zeroone;
+
+namespace {
+
+Database MakeNullHeavyDb(std::size_t nulls) {
+  Database db;
+  Relation& r = db.AddRelation("R", 2);
+  Relation& u = db.AddRelation("U", 1);
+  for (std::size_t i = 0; i < nulls; ++i) {
+    r.Insert({Value::Null("sp" + std::to_string(i)),
+              Value::Int(static_cast<std::int64_t>(i % 3))});
+  }
+  u.Insert({Value::Int(0)});
+  u.Insert({Value::Int(1)});
+  return db;
+}
+
+void BM_ExactConditionalByNullCount(benchmark::State& state) {
+  std::size_t nulls = static_cast<std::size_t>(state.range(0));
+  Database db = MakeNullHeavyDb(nulls);
+  ConstraintSet constraints = {std::make_shared<InclusionDependency>(
+      "R", 2, std::vector<std::size_t>{0}, "U", 1,
+      std::vector<std::size_t>{0})};
+  Query query = ParseQuery(":= exists x, y . R(x, y) & U(x)").value();
+  for (auto _ : state) {
+    Rational mu = ConditionalMu(query, constraints, db);
+    benchmark::DoNotOptimize(mu);
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(nulls));
+}
+BENCHMARK(BM_ExactConditionalByNullCount)->DenseRange(1, 7);
+
+void BM_KeySatisfiability(benchmark::State& state) {
+  std::size_t tuples = static_cast<std::size_t>(state.range(0));
+  RandomDatabaseOptions options;
+  options.relations = {{"R", 2, tuples}, {"S", 2, tuples}};
+  options.constant_pool = tuples * 2;  // Keep key duplicates rare.
+  options.null_pool = tuples / 3 + 1;
+  options.null_probability = 0.3;
+  options.seed = 13579;
+  Database db = GenerateRandomDatabase(options);
+  // Ensure the key column of S is null-free so the check exercises the
+  // chase + FK machinery rather than failing early.
+  Database clean(db.schema());
+  for (const auto& [name, rel] : db.relations()) {
+    for (const Tuple& t : rel) {
+      if (name == "S" && t[0].is_null()) continue;
+      clean.mutable_relation(name).Insert(t);
+    }
+  }
+  std::vector<UnaryKey> keys = {{"S", 2, 0}};
+  std::vector<UnaryForeignKey> fks = {{"R", 1, "S", 0}};
+  for (auto _ : state) {
+    StatusOr<KeySatisfiability> result =
+        CheckKeySatisfiability(keys, fks, clean);
+    benchmark::DoNotOptimize(result.ok());
+  }
+  state.SetComplexityN(static_cast<benchmark::IterationCount>(tuples));
+}
+BENCHMARK(BM_KeySatisfiability)
+    ->RangeMultiplier(2)
+    ->Range(16, 512)
+    ->Complexity();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("E12: #P-shaped exact computation vs PTIME satisfiability "
+              "(Props 5, 6)\n");
+  std::printf("--------------------------------------------------------\n");
+  std::printf("Bell numbers drive the exact algorithm: ");
+  for (std::size_t m = 1; m <= 7; ++m) {
+    std::printf("B(%zu)=%s ", m, BellNumber(m).ToString().c_str());
+  }
+  std::printf("\n(claim shape: exact conditional-measure time tracks "
+              "Bell(m)·(a+1)^m growth in the null count m, while key/FK "
+              "satisfiability stays polynomial in |D|)\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

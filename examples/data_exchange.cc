@@ -1,0 +1,110 @@
+// A miniature data-exchange pipeline — the application area the paper's
+// introduction names first ("data integration, data exchange, and OBDA
+// scenarios, where queries are directly applied to databases with nulls").
+//
+// Source data is translated into a target schema by schema-mapping TGDs;
+// the chase materializes the canonical solution (inventing labeled nulls
+// for unknown target values); the core minimizes it; and queries over the
+// target are answered with the full ladder: naive evaluation, certain
+// answers, the measure, and best answers.
+
+#include <cstdlib>
+#include <iostream>
+
+#include "constraints/dependencies.h"
+#include "core/comparison.h"
+#include "core/measure.h"
+#include "core/ranking.h"
+#include "data/homomorphism.h"
+#include "data/io.h"
+#include "query/parser.h"
+
+using namespace zeroone;
+
+int main() {
+  // Source: a flat CRM export.
+  StatusOr<Database> source = ParseDatabase(R"(
+    Customer(2) = { (acme, berlin), (bolt, paris) }
+    Order(2)    = { (acme, widgets), (bolt, gears), (acme, gears) }
+  )");
+  if (!source.ok()) {
+    std::cerr << source.status().message() << "\n";
+    return EXIT_FAILURE;
+  }
+  std::cout << "Source:\n" << source->ToString() << "\n\n";
+
+  // Target schema: Account(id, name), Located(id, city), Buys(id, product).
+  // The mapping invents account ids — the classic existential TGD pattern.
+  DependencySet mapping;
+  // Customer(n, c) → ∃i Account(i, n) ∧ Located(i, c).
+  mapping.tgds.push_back(TupleGeneratingDependency(
+      {{"Customer", {Term::Variable(0), Term::Variable(1)}}},
+      {{"Account", {Term::Variable(2), Term::Variable(0)}},
+       {"Located", {Term::Variable(2), Term::Variable(1)}}}));
+  // Customer(n, c) ∧ Order(n, p) → ∃i Account(i, n) ∧ Located(i, c) ∧
+  // Buys(i, p). Each firing invents an account; the location-only accounts
+  // from the first rule become homomorphically redundant — the core test.
+  mapping.tgds.push_back(TupleGeneratingDependency(
+      {{"Customer", {Term::Variable(0), Term::Variable(1)}},
+       {"Order", {Term::Variable(0), Term::Variable(3)}}},
+      {{"Account", {Term::Variable(2), Term::Variable(0)}},
+       {"Located", {Term::Variable(2), Term::Variable(1)}},
+       {"Buys", {Term::Variable(2), Term::Variable(3)}}}));
+
+  std::cout << "Mapping (weakly acyclic: "
+            << (CheckWeakAcyclicity(mapping.tgds) ? "yes" : "no") << "):\n";
+  for (const TupleGeneratingDependency& tgd : mapping.tgds) {
+    std::cout << "  " << tgd.ToString() << "\n";
+  }
+
+  GeneralChaseResult chase = ChaseDependencies(mapping, *source);
+  if (!chase.success) {
+    std::cerr << "chase failed: " << chase.failure_reason << "\n";
+    return EXIT_FAILURE;
+  }
+  std::cout << "\nCanonical solution (chase output):\n"
+            << chase.database.ToString() << "\n";
+  Database core = ComputeCore(chase.database);
+  std::cout << "\nCore (redundant invented accounts folded: "
+            << chase.database.Nulls().size() << " -> " << core.Nulls().size()
+            << " nulls):\n"
+            << core.ToString() << "\n";
+
+  // Query the target: which accounts buy gears, and where are they located?
+  StatusOr<Query> q = ParseQuery(
+      "GearBuyers(n, c) := exists i . Account(i, n) & Located(i, c) & "
+      "Buys(i, gears)");
+  if (!q.ok()) {
+    std::cerr << q.status().message() << "\n";
+    return EXIT_FAILURE;
+  }
+  std::cout << "\nQuery: which customers buy gears, and in which city?\n";
+  std::cout << "Certain answers over the core:\n";
+  for (const Tuple& t : CertainAnswers(*q, core)) {
+    std::cout << "  " << t.ToString() << "\n";
+  }
+
+  // A query whose answer hinges on invented ids: do acme and bolt share an
+  // account? Never — but naive/measure machinery proves it rather than
+  // assumes it.
+  StatusOr<Query> shared = ParseQuery(
+      ":= exists i . Account(i, acme) & Account(i, bolt)");
+  if (!shared.ok()) return EXIT_FAILURE;
+  std::cout << "\nmu(acme and bolt share an account) = "
+            << MuLimit(*shared, core)
+            << "   (the invented ids are distinct nulls: almost certainly "
+               "different accounts)\n";
+
+  // Ranked answers at k = 12 for "accounts located in berlin" — invented
+  // ids appear as nulls in the output, ranked by exact µ^k.
+  StatusOr<Query> berlin =
+      ParseQuery("InBerlin(i) := Located(i, berlin)");
+  if (!berlin.ok()) return EXIT_FAILURE;
+  std::cout << "\nRanked answers for accounts in berlin (k = 12):\n";
+  for (const RankedAnswer& answer : RankAnswers(*berlin, core, 12)) {
+    std::cout << "  " << answer.tuple.ToString() << "  mu^12 = "
+              << answer.mu_k.ToString()
+              << (answer.certain ? "  [certain]" : "") << "\n";
+  }
+  return EXIT_SUCCESS;
+}

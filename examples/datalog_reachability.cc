@@ -1,0 +1,74 @@
+// Recursion meets the measure: reachability over an incomplete network.
+//
+// The 0–1 law (Theorem 1) needs only genericity, so it covers datalog —
+// queries no first-order formula can express. This example models a network
+// whose link table has unknown endpoints (marked nulls: the same unknown
+// router may appear in several links) and asks which hosts can almost
+// certainly reach which others.
+
+#include <cstdlib>
+#include <iostream>
+
+#include "data/io.h"
+#include "datalog/eval.h"
+#include "datalog/measure.h"
+#include "datalog/parser.h"
+
+using namespace zeroone;
+
+int main() {
+  // Link(from, to): ⊥r is one concrete but unknown router; note it appears
+  // in three links — marked nulls carry exactly this correlation.
+  StatusOr<Database> db = ParseDatabase(R"(
+    Link(2) = { (web, _r), (_r, app), (_r, cache), (app, db), (_x, db) }
+  )");
+  if (!db.ok()) {
+    std::cerr << db.status().message() << "\n";
+    return EXIT_FAILURE;
+  }
+  StatusOr<DatalogProgram> reach = ParseDatalogProgram(R"(
+    % Transitive closure of Link.
+    Reach(X, Y) :- Link(X, Y).
+    Reach(X, Z) :- Link(X, Y), Reach(Y, Z).
+    ?- Reach
+  )");
+  if (!reach.ok()) {
+    std::cerr << reach.status().message() << "\n";
+    return EXIT_FAILURE;
+  }
+  std::cout << "Network:\n" << db->ToString() << "\n\n";
+  std::cout << "Program:\n" << reach->ToString() << "\n";
+
+  std::cout << "Naive reachability (= almost certainly true, Thm 1):\n";
+  for (const Tuple& t : EvaluateDatalog(*reach, *db)) {
+    std::cout << "  " << t.ToString() << "\n";
+  }
+
+  // web → db holds through ⊥r → app → db for *every* valuation: µ = 1.
+  Tuple web_db{Value::Constant("web"), Value::Constant("db")};
+  std::cout << "\nreach(web, db):  mu = "
+            << DatalogMuViaPolynomial(*reach, *db, web_db).ToString()
+            << "  (the unknown router is a real hop — certain)\n";
+
+  // web → cache also goes through ⊥r: almost certain as well.
+  Tuple web_cache{Value::Constant("web"), Value::Constant("cache")};
+  std::cout << "reach(web, cache): mu = "
+            << DatalogMuViaPolynomial(*reach, *db, web_cache).ToString()
+            << "\n";
+
+  // cache → db needs a lucky coincidence (v(⊥r)… there is no edge out of
+  // cache unless some null collapses onto it): almost certainly false, but
+  // the finite-k measure quantifies the residual chance.
+  Tuple cache_db{Value::Constant("cache"), Value::Constant("db")};
+  std::cout << "reach(cache, db): mu = "
+            << DatalogMuViaPolynomial(*reach, *db, cache_db).ToString()
+            << ", with mu^k = ";
+  for (std::size_t k = 6; k <= 12; k += 3) {
+    std::cout << DatalogMuK(*reach, *db, cache_db, k).ToString() << " (k="
+              << k << ") ";
+  }
+  std::cout << "\n\nNo first-order query expresses reachability; the "
+               "measure framework applies regardless (only genericity is "
+               "needed).\n";
+  return EXIT_SUCCESS;
+}

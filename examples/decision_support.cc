@@ -1,0 +1,108 @@
+// The paper's Section 1 decision-support scenario, verbatim and at scale.
+//
+// Two supplier relations R1, R2 with customers and products; product fields
+// obtained from data integration are partially unknown (marked nulls, some
+// shared between suppliers). The analyst asks: which products did a
+// customer buy *only* from supplier 1?
+//
+//   Q(x, y) = R1(x, y) ∧ ¬R2(x, y)
+//
+// The example shows everything the rigid notion of certain answers misses:
+// certain answers are empty, yet two answers are almost certainly true, and
+// one of them is strictly better supported than the other.
+
+#include <cstdlib>
+#include <iostream>
+
+#include "constraints/fd.h"
+#include "core/comparison.h"
+#include "core/conditional.h"
+#include "core/measure.h"
+#include "core/support.h"
+#include "gen/scenarios.h"
+#include "query/eval.h"
+
+using namespace zeroone;
+
+namespace {
+
+void Headline(const std::string& text) {
+  std::cout << "\n=== " << text << " ===\n";
+}
+
+}  // namespace
+
+int main() {
+  IntroExample example = PaperIntroExample();
+  const Query& q = example.query;
+  const Database& db = example.db;
+  std::cout << "Database (Section 1):\n" << db.ToString() << "\n";
+  std::cout << "Query: " << q.ToString() << "\n";
+
+  Tuple a{Value::Constant("c1"), Value::Null("1")};
+  Tuple b{Value::Constant("c2"), Value::Null("2")};
+
+  Headline("Certain answers");
+  std::vector<Tuple> certain = CertainAnswers(q, db);
+  std::cout << (certain.empty() ? "(empty — the classical notion gives up)\n"
+                                : "unexpected!\n");
+
+  Headline("Naive evaluation");
+  for (const Tuple& t : NaiveEvaluate(q, db)) {
+    std::cout << "  " << t.ToString() << "  — not certain: v(⊥1) = v(⊥2) "
+              << "breaks it\n";
+  }
+
+  Headline("Measuring certainty: mu^k along k (both answers -> 1)");
+  std::cout << "  k      mu^k(c1,⊥1)        mu^k(c2,⊥2)\n";
+  for (std::size_t k = 4; k <= 24; k += 4) {
+    Rational mu_a = MuK(q, db, a, k);
+    Rational mu_b = MuK(q, db, b, k);
+    std::cout << "  " << k << "\t" << mu_a.ToString() << " ≈ "
+              << mu_a.ToDouble() << "\t" << mu_b.ToString() << " ≈ "
+              << mu_b.ToDouble() << "\n";
+  }
+  std::cout << "  limit (0-1 law): mu = " << MuLimit(q, db, a) << " and "
+            << MuLimit(q, db, b) << " — likely, though not certain\n";
+
+  Headline("Comparing the two answers by support");
+  bool a_below_b = WeaklyDominated(q, db, a, b);
+  bool b_below_a = WeaklyDominated(q, db, b, a);
+  std::cout << "  Supp(c1,⊥1) ⊆ Supp(c2,⊥2): " << (a_below_b ? "yes" : "no")
+            << "\n  Supp(c2,⊥2) ⊆ Supp(c1,⊥1): " << (b_below_a ? "yes" : "no")
+            << "\n  → (c2,⊥2) is the strictly better answer "
+            << "(v(⊥3) = c1 can break (c1,⊥1) alone)\n";
+
+  Headline("Best answers");
+  for (const Tuple& t : BestAnswers(q, db)) {
+    std::cout << "  " << t.ToString() << "\n";
+  }
+
+  Headline("Adding the constraint: customer determines product");
+  std::vector<FunctionalDependency> fds = {
+      FunctionalDependency("R1", 2, {0}, 1),
+      FunctionalDependency("R2", 2, {0}, 1)};
+  std::cout << "  Sigma = { R1: customer -> product, R2: customer -> product }\n";
+  std::cout << "  mu(Q | Sigma, D, (c1,⊥1)) = "
+            << ConditionalMuViaChase(q, fds, db, a)
+            << "   (the FD forces ⊥1 = ⊥2; the answers vanish)\n";
+  std::cout << "  mu(Q | Sigma, D, (c2,⊥2)) = "
+            << ConditionalMuViaChase(q, fds, db, b) << "\n";
+
+  Headline("The same pipeline at scale");
+  IntroExample scaled = ScaledIntroExample(/*customers=*/200,
+                                           /*orders_per_customer=*/10,
+                                           /*null_fraction=*/0.25,
+                                           /*seed=*/42);
+  std::vector<Tuple> naive = NaiveEvaluate(scaled.query, scaled.db);
+  std::size_t almost_certain = 0;
+  for (const Tuple& t : naive) {
+    almost_certain +=
+        static_cast<std::size_t>(MuLimit(scaled.query, scaled.db, t));
+  }
+  std::cout << "  200 customers x 10 orders, 25% unknown products:\n";
+  std::cout << "  naive answers: " << naive.size()
+            << ", all almost certainly true: "
+            << (almost_certain == naive.size() ? "yes" : "no") << "\n";
+  return EXIT_SUCCESS;
+}

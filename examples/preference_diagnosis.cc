@@ -1,0 +1,91 @@
+// Preferences over null values — the paper's Section 6 motivation made
+// concrete: "if ⊥ stands for the disease of a particular patient in a
+// database, we may have additional information on the likelihood of
+// different diagnoses."
+//
+// The plain measure treats all constants as equally likely values for the
+// unknown diagnosis; here each unknown carries a probability table, and the
+// preference-weighted measure pref-µ interpolates between the 0–1 world of
+// Theorem 1 (no information) and fully probabilistic answers.
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/measure.h"
+#include "core/preference.h"
+#include "data/io.h"
+#include "query/parser.h"
+
+using namespace zeroone;
+
+int main() {
+  // Diagnosis(patient, disease); ⊥d is one undiagnosed condition shared by
+  // two patients of the same household (marked nulls model exactly this),
+  // ⊥e an unrelated unknown. Treats(drug, disease) is complete reference
+  // data.
+  StatusOr<Database> db = ParseDatabase(R"(
+    Diagnosis(2) = { (ana, _d), (ben, _d), (cid, _e), (dee, flu) }
+    Treats(2)    = { (oseltamivir, flu), (rest, cold), (rest, flu) }
+  )");
+  if (!db.ok()) {
+    std::cerr << db.status().message() << "\n";
+    return EXIT_FAILURE;
+  }
+  std::cout << "Database:\n" << db->ToString() << "\n\n";
+
+  StatusOr<Query> treatable = ParseQuery(
+      "Treatable(p) := exists d, m . Diagnosis(p, d) & Treats(m, d)");
+  if (!treatable.ok()) {
+    std::cerr << treatable.status().message() << "\n";
+    return EXIT_FAILURE;
+  }
+  std::cout << "Query: " << treatable->ToString() << "\n\n";
+
+  // Without side information, Theorem 1's verdict is all-or-nothing: an
+  // unknown disease is almost surely a brand-new value no drug treats.
+  std::cout << "Plain measure (no preference tables, 0-1 law):\n";
+  for (const char* patient : {"ana", "ben", "cid", "dee"}) {
+    Tuple t{Value::Constant(patient)};
+    std::cout << "  mu(Treatable(" << patient
+              << ")) = " << MuLimit(*treatable, *db, t) << "\n";
+  }
+
+  // The clinic's priors: the household condition ⊥d is flu (60%) or cold
+  // (30%), something else with the remaining 10%; nothing is known about
+  // ⊥e.
+  std::vector<NullPreference> prefs = {
+      {Value::Null("d"),
+       {{Value::Constant("flu"), Rational(3, 5)},
+        {Value::Constant("cold"), Rational(3, 10)}}}};
+  std::cout << "\nWith diagnosis priors on ⊥d (flu 3/5, cold 3/10):\n";
+  for (const char* patient : {"ana", "ben", "cid", "dee"}) {
+    Tuple t{Value::Constant(patient)};
+    StatusOr<Rational> mu =
+        PreferenceMuLimit(*treatable, *db, t, prefs);
+    if (!mu.ok()) {
+      std::cerr << mu.status().message() << "\n";
+      return EXIT_FAILURE;
+    }
+    std::cout << "  pref-mu(Treatable(" << patient
+              << ")) = " << mu->ToString() << " ≈ " << mu->ToDouble()
+              << "\n";
+  }
+  std::cout << "\nana and ben share the unknown ⊥d, so their answers are "
+               "perfectly correlated (both 9/10); cid's unknown carries no "
+               "prior, so the generic value dominates and pref-mu = 0; "
+               "dee's flu is treatable outright.\n";
+
+  // Correlation in action: "both ana and ben treatable" costs a single
+  // draw of ⊥d, not two.
+  StatusOr<Query> both = ParseQuery(
+      ":= (exists d, m . Diagnosis(ana, d) & Treats(m, d)) & "
+      "(exists d, m . Diagnosis(ben, d) & Treats(m, d))");
+  if (!both.ok()) return EXIT_FAILURE;
+  StatusOr<Rational> mu_both = PreferenceMuLimit(*both, *db, Tuple{}, prefs);
+  if (!mu_both.ok()) return EXIT_FAILURE;
+  std::cout << "\npref-mu(both ana and ben treatable) = "
+            << mu_both->ToString()
+            << "  — equal to the single-patient value, not its square: "
+               "marked nulls carry the correlation.\n";
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Runs the full experiment harness (E1-E16 + ablations), teeing per-bench
+# outputs into results/. Usage: scripts/run_experiments.sh [build-dir]
+set -u
+BUILD_DIR="${1:-build}"
+OUT_DIR="results"
+mkdir -p "$OUT_DIR"
+status=0
+for bench in "$BUILD_DIR"/bench/*; do
+  [ -f "$bench" ] && [ -x "$bench" ] || continue
+  name="$(basename "$bench")"
+  echo "=== $name ==="
+  if ! "$bench" 2>&1 | tee "$OUT_DIR/$name.txt"; then
+    echo "FAILED: $name" >&2
+    status=1
+  fi
+  echo
+done
+exit $status

@@ -1,0 +1,352 @@
+#include "algebra/algebra.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+namespace zeroone {
+
+namespace {
+struct ConcreteRaExpr : RaExpr {
+  explicit ConcreteRaExpr(Kind kind) : RaExpr(kind) {}
+};
+
+std::shared_ptr<ConcreteRaExpr> Make(RaExpr::Kind kind) {
+  return std::make_shared<ConcreteRaExpr>(kind);
+}
+
+// Accessor for mutating the freshly built node before publishing.
+struct RaBuilder {
+  std::shared_ptr<ConcreteRaExpr> node;
+};
+}  // namespace
+
+RaExprPtr RaExpr::Relation(std::string name, std::size_t arity) {
+  auto node = Make(Kind::kRelation);
+  node->relation_name_ = std::move(name);
+  node->arity_ = arity;
+  return node;
+}
+
+RaExprPtr RaExpr::Select(RaExprPtr child,
+                         std::vector<RaCondition> conditions) {
+  assert(child != nullptr);
+  for (const RaCondition& c : conditions) {
+    assert(c.left_column < child->arity() && "selection column out of range");
+    if (c.kind == RaCondition::Kind::kColumnEqualsColumn ||
+        c.kind == RaCondition::Kind::kColumnNotEqualsColumn) {
+      assert(c.right_column < child->arity() &&
+             "selection column out of range");
+    }
+    (void)c;
+  }
+  auto node = Make(Kind::kSelect);
+  node->arity_ = child->arity();
+  node->conditions_ = std::move(conditions);
+  node->children_ = {std::move(child)};
+  return node;
+}
+
+RaExprPtr RaExpr::Project(RaExprPtr child, std::vector<std::size_t> columns) {
+  assert(child != nullptr);
+  for (std::size_t c : columns) {
+    assert(c < child->arity() && "projection column out of range");
+    (void)c;
+  }
+  auto node = Make(Kind::kProject);
+  node->arity_ = columns.size();
+  node->projection_ = std::move(columns);
+  node->children_ = {std::move(child)};
+  return node;
+}
+
+RaExprPtr RaExpr::Product(RaExprPtr left, RaExprPtr right) {
+  assert(left != nullptr && right != nullptr);
+  auto node = Make(Kind::kProduct);
+  node->arity_ = left->arity() + right->arity();
+  node->children_ = {std::move(left), std::move(right)};
+  return node;
+}
+
+RaExprPtr RaExpr::Union(RaExprPtr left, RaExprPtr right) {
+  assert(left != nullptr && right != nullptr);
+  assert(left->arity() == right->arity() && "union arity mismatch");
+  auto node = Make(Kind::kUnion);
+  node->arity_ = left->arity();
+  node->children_ = {std::move(left), std::move(right)};
+  return node;
+}
+
+RaExprPtr RaExpr::Difference(RaExprPtr left, RaExprPtr right) {
+  assert(left != nullptr && right != nullptr);
+  assert(left->arity() == right->arity() && "difference arity mismatch");
+  auto node = Make(Kind::kDifference);
+  node->arity_ = left->arity();
+  node->children_ = {std::move(left), std::move(right)};
+  return node;
+}
+
+RaExprPtr RaExpr::Join(RaExprPtr left, RaExprPtr right,
+                       std::vector<std::pair<std::size_t, std::size_t>> on) {
+  std::size_t left_arity = left->arity();
+  std::vector<RaCondition> conditions;
+  conditions.reserve(on.size());
+  for (auto [l, r] : on) {
+    RaCondition c;
+    c.kind = RaCondition::Kind::kColumnEqualsColumn;
+    c.left_column = l;
+    c.right_column = left_arity + r;
+    conditions.push_back(c);
+  }
+  return Select(Product(std::move(left), std::move(right)),
+                std::move(conditions));
+}
+
+namespace {
+
+bool ConditionHolds(const RaCondition& c, const Tuple& t) {
+  switch (c.kind) {
+    case RaCondition::Kind::kColumnEqualsColumn:
+      return t[c.left_column] == t[c.right_column];
+    case RaCondition::Kind::kColumnEqualsValue:
+      return t[c.left_column] == c.value;
+    case RaCondition::Kind::kColumnNotEqualsColumn:
+      return t[c.left_column] != t[c.right_column];
+    case RaCondition::Kind::kColumnNotEqualsValue:
+      return t[c.left_column] != c.value;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<Tuple> RaExpr::Evaluate(const Database& db) const {
+  std::set<Tuple> result;
+  switch (kind_) {
+    case Kind::kRelation: {
+      if (db.HasRelation(relation_name_)) {
+        const zeroone::Relation& rel = db.relation(relation_name_);
+        // The declared arity must match the instance.
+        assert(rel.arity() == arity_ && "scan arity mismatch");
+        result.insert(rel.begin(), rel.end());
+      }
+      break;
+    }
+    case Kind::kSelect: {
+      for (const Tuple& t : children_[0]->Evaluate(db)) {
+        bool keep = true;
+        for (const RaCondition& c : conditions_) {
+          keep = keep && ConditionHolds(c, t);
+        }
+        if (keep) result.insert(t);
+      }
+      break;
+    }
+    case Kind::kProject: {
+      for (const Tuple& t : children_[0]->Evaluate(db)) {
+        std::vector<Value> values;
+        values.reserve(projection_.size());
+        for (std::size_t c : projection_) values.push_back(t[c]);
+        result.insert(Tuple(std::move(values)));
+      }
+      break;
+    }
+    case Kind::kProduct: {
+      std::vector<Tuple> left = children_[0]->Evaluate(db);
+      std::vector<Tuple> right = children_[1]->Evaluate(db);
+      for (const Tuple& l : left) {
+        for (const Tuple& r : right) {
+          std::vector<Value> values;
+          values.reserve(l.arity() + r.arity());
+          values.insert(values.end(), l.begin(), l.end());
+          values.insert(values.end(), r.begin(), r.end());
+          result.insert(Tuple(std::move(values)));
+        }
+      }
+      break;
+    }
+    case Kind::kUnion: {
+      for (const Tuple& t : children_[0]->Evaluate(db)) result.insert(t);
+      for (const Tuple& t : children_[1]->Evaluate(db)) result.insert(t);
+      break;
+    }
+    case Kind::kDifference: {
+      std::vector<Tuple> right = children_[1]->Evaluate(db);
+      std::set<Tuple> right_set(right.begin(), right.end());
+      for (const Tuple& t : children_[0]->Evaluate(db)) {
+        if (right_set.count(t) == 0) result.insert(t);
+      }
+      break;
+    }
+  }
+  return std::vector<Tuple>(result.begin(), result.end());
+}
+
+namespace {
+
+// Compilation to FO: returns a formula whose free variables are exactly
+// `outputs` (fresh ids drawn from *next_var).
+FormulaPtr Compile(const RaExpr& expr, std::vector<std::size_t>* outputs,
+                   std::size_t* next_var);
+
+std::vector<std::size_t> FreshVars(std::size_t count, std::size_t* next_var) {
+  std::vector<std::size_t> vars;
+  vars.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) vars.push_back((*next_var)++);
+  return vars;
+}
+
+// φ with its own outputs, glued to the requested output variables:
+// ∃ own ( φ ∧ ⋀ own_i = target_i ).
+FormulaPtr GlueOutputs(FormulaPtr formula,
+                       const std::vector<std::size_t>& own,
+                       const std::vector<std::size_t>& target) {
+  std::vector<FormulaPtr> conjuncts = {std::move(formula)};
+  for (std::size_t i = 0; i < own.size(); ++i) {
+    conjuncts.push_back(Formula::Equals(Term::Variable(own[i]),
+                                        Term::Variable(target[i])));
+  }
+  return Formula::Exists(own, Formula::And(std::move(conjuncts)));
+}
+
+FormulaPtr Compile(const RaExpr& expr, std::vector<std::size_t>* outputs,
+                   std::size_t* next_var) {
+  switch (expr.kind()) {
+    case RaExpr::Kind::kRelation: {
+      *outputs = FreshVars(expr.arity(), next_var);
+      std::vector<Term> terms;
+      terms.reserve(outputs->size());
+      for (std::size_t v : *outputs) terms.push_back(Term::Variable(v));
+      return Formula::Atom(expr.relation_name(), std::move(terms));
+    }
+    case RaExpr::Kind::kSelect: {
+      FormulaPtr child = Compile(*expr.left(), outputs, next_var);
+      std::vector<FormulaPtr> conjuncts = {std::move(child)};
+      for (const RaCondition& c : expr.conditions()) {
+        Term left = Term::Variable((*outputs)[c.left_column]);
+        Term right = c.kind == RaCondition::Kind::kColumnEqualsColumn ||
+                             c.kind == RaCondition::Kind::kColumnNotEqualsColumn
+                         ? Term::Variable((*outputs)[c.right_column])
+                         : Term::Val(c.value);
+        FormulaPtr equality = Formula::Equals(left, right);
+        bool negated = c.kind == RaCondition::Kind::kColumnNotEqualsColumn ||
+                       c.kind == RaCondition::Kind::kColumnNotEqualsValue;
+        conjuncts.push_back(negated ? Formula::Not(std::move(equality))
+                                    : std::move(equality));
+      }
+      return Formula::And(std::move(conjuncts));
+    }
+    case RaExpr::Kind::kProject: {
+      std::vector<std::size_t> child_outputs;
+      FormulaPtr child = Compile(*expr.left(), &child_outputs, next_var);
+      // Output i is child column projection[i]; since columns may repeat,
+      // glue fresh output variables to the child columns and quantify away
+      // the child columns.
+      std::vector<std::size_t> fresh = FreshVars(expr.arity(), next_var);
+      std::vector<FormulaPtr> conjuncts = {std::move(child)};
+      for (std::size_t i = 0; i < expr.projection().size(); ++i) {
+        conjuncts.push_back(
+            Formula::Equals(Term::Variable(fresh[i]),
+                            Term::Variable(child_outputs[expr.projection()[i]])));
+      }
+      *outputs = fresh;
+      return Formula::Exists(child_outputs,
+                             Formula::And(std::move(conjuncts)));
+    }
+    case RaExpr::Kind::kProduct: {
+      std::vector<std::size_t> left_outputs;
+      std::vector<std::size_t> right_outputs;
+      FormulaPtr left = Compile(*expr.left(), &left_outputs, next_var);
+      FormulaPtr right = Compile(*expr.right(), &right_outputs, next_var);
+      outputs->clear();
+      outputs->insert(outputs->end(), left_outputs.begin(),
+                      left_outputs.end());
+      outputs->insert(outputs->end(), right_outputs.begin(),
+                      right_outputs.end());
+      return Formula::And(std::move(left), std::move(right));
+    }
+    case RaExpr::Kind::kUnion:
+    case RaExpr::Kind::kDifference: {
+      std::vector<std::size_t> left_outputs;
+      std::vector<std::size_t> right_outputs;
+      FormulaPtr left = Compile(*expr.left(), &left_outputs, next_var);
+      FormulaPtr right = Compile(*expr.right(), &right_outputs, next_var);
+      // Rebase both sides onto fresh shared output variables.
+      std::vector<std::size_t> shared = FreshVars(expr.arity(), next_var);
+      FormulaPtr left_glued = GlueOutputs(std::move(left), left_outputs,
+                                          shared);
+      FormulaPtr right_glued = GlueOutputs(std::move(right), right_outputs,
+                                           shared);
+      *outputs = shared;
+      if (expr.kind() == RaExpr::Kind::kUnion) {
+        return Formula::Or(std::move(left_glued), std::move(right_glued));
+      }
+      return Formula::And(std::move(left_glued),
+                          Formula::Not(std::move(right_glued)));
+    }
+  }
+  assert(false && "unreachable");
+  return Formula::False();
+}
+
+}  // namespace
+
+Query RaExpr::ToQuery() const {
+  std::vector<std::size_t> outputs;
+  std::size_t next_var = 0;
+  FormulaPtr formula = Compile(*this, &outputs, &next_var);
+  std::vector<std::string> names(next_var);
+  for (std::size_t i = 0; i < next_var; ++i) {
+    names[i] = "v" + std::to_string(i);
+  }
+  return Query("RA", std::move(outputs), std::move(formula),
+               std::move(names));
+}
+
+std::string RaExpr::ToString() const {
+  auto columns = [](const std::vector<std::size_t>& cs) {
+    std::string out;
+    for (std::size_t i = 0; i < cs.size(); ++i) {
+      if (i > 0) out += ",";
+      out += std::to_string(cs[i]);
+    }
+    return out;
+  };
+  switch (kind_) {
+    case Kind::kRelation:
+      return relation_name_;
+    case Kind::kSelect: {
+      std::string conditions;
+      for (std::size_t i = 0; i < conditions_.size(); ++i) {
+        const RaCondition& c = conditions_[i];
+        if (i > 0) conditions += ",";
+        conditions += std::to_string(c.left_column);
+        bool negated = c.kind == RaCondition::Kind::kColumnNotEqualsColumn ||
+                       c.kind == RaCondition::Kind::kColumnNotEqualsValue;
+        conditions += negated ? "≠" : "=";
+        if (c.kind == RaCondition::Kind::kColumnEqualsColumn ||
+            c.kind == RaCondition::Kind::kColumnNotEqualsColumn) {
+          conditions += std::to_string(c.right_column);
+        } else {
+          conditions += c.value.ToString();
+        }
+      }
+      return "σ_{" + conditions + "}(" + children_[0]->ToString() + ")";
+    }
+    case Kind::kProject:
+      return "π_{" + columns(projection_) + "}(" +
+             children_[0]->ToString() + ")";
+    case Kind::kProduct:
+      return "(" + children_[0]->ToString() + " × " +
+             children_[1]->ToString() + ")";
+    case Kind::kUnion:
+      return "(" + children_[0]->ToString() + " ∪ " +
+             children_[1]->ToString() + ")";
+    case Kind::kDifference:
+      return "(" + children_[0]->ToString() + " − " +
+             children_[1]->ToString() + ")";
+  }
+  return "?";
+}
+
+}  // namespace zeroone

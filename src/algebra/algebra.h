@@ -1,0 +1,105 @@
+#ifndef ZEROONE_ALGEBRA_ALGEBRA_H_
+#define ZEROONE_ALGEBRA_ALGEBRA_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/database.h"
+#include "query/query.h"
+
+namespace zeroone {
+
+// Relational algebra (select / project / product / union / difference) over
+// incomplete databases. The paper treats relational algebra and first-order
+// calculus interchangeably; this module provides the algebraic surface and
+// a certified bridge: every expression compiles to an equivalent
+// first-order Query (ToQuery), so all measure and comparison machinery
+// applies to algebra plans directly. Direct evaluation (Evaluate) is
+// syntactic on values and therefore computes *naïve* answers on incomplete
+// databases, exactly like the FO evaluator.
+//
+// Columns are positional (0-based); renaming is implicit in projection
+// order, as usual for the positional algebra.
+class RaExpr;
+using RaExprPtr = std::shared_ptr<const RaExpr>;
+
+// A selection predicate: column-column or column-constant (in)equality.
+struct RaCondition {
+  enum class Kind {
+    kColumnEqualsColumn,
+    kColumnEqualsValue,
+    kColumnNotEqualsColumn,
+    kColumnNotEqualsValue,
+  };
+  Kind kind;
+  std::size_t left_column;
+  std::size_t right_column = 0;  // For column-column kinds.
+  Value value;                   // For column-value kinds.
+};
+
+class RaExpr {
+ public:
+  enum class Kind { kRelation, kSelect, kProject, kProduct, kUnion,
+                    kDifference };
+
+  virtual ~RaExpr() = default;
+
+  Kind kind() const { return kind_; }
+  // Output arity of the expression.
+  std::size_t arity() const { return arity_; }
+
+  // --- Factories ---
+  // Base relation scan.
+  static RaExprPtr Relation(std::string name, std::size_t arity);
+  // σ_conditions(child); conditions are conjunctive.
+  static RaExprPtr Select(RaExprPtr child, std::vector<RaCondition> conditions);
+  // π_columns(child); columns may repeat and reorder.
+  static RaExprPtr Project(RaExprPtr child, std::vector<std::size_t> columns);
+  // left × right (columns concatenated).
+  static RaExprPtr Product(RaExprPtr left, RaExprPtr right);
+  // left ∪ right. Precondition: equal arities.
+  static RaExprPtr Union(RaExprPtr left, RaExprPtr right);
+  // left − right. Precondition: equal arities.
+  static RaExprPtr Difference(RaExprPtr left, RaExprPtr right);
+  // Convenience: equi-join left ⋈ right on pairs (left column, right
+  // column), keeping all columns of both (a σ over ×).
+  static RaExprPtr Join(RaExprPtr left, RaExprPtr right,
+                        std::vector<std::pair<std::size_t, std::size_t>> on);
+
+  // Direct evaluation over the database (naïve on incomplete inputs).
+  // Results are sorted and deduplicated (set semantics).
+  std::vector<Tuple> Evaluate(const Database& db) const;
+
+  // Compiles to an equivalent first-order query with output variables in
+  // column order. Round-trip guarantee: Evaluate(db) equals the evaluation
+  // of ToQuery() on db restricted to adom-tuples; since algebra outputs are
+  // always adom values, the two agree exactly.
+  Query ToQuery() const;
+
+  // "π_{0,2}(σ_{0=1}(R × S))".
+  std::string ToString() const;
+
+  // Accessors for structural inspection.
+  const std::string& relation_name() const { return relation_name_; }
+  const std::vector<RaCondition>& conditions() const { return conditions_; }
+  const std::vector<std::size_t>& projection() const { return projection_; }
+  const RaExprPtr& left() const { return children_[0]; }
+  const RaExprPtr& right() const { return children_[1]; }
+
+ protected:
+  explicit RaExpr(Kind kind) : kind_(kind) {}
+
+ private:
+  Kind kind_;
+  std::size_t arity_ = 0;
+  std::string relation_name_;             // kRelation.
+  std::vector<RaCondition> conditions_;   // kSelect.
+  std::vector<std::size_t> projection_;   // kProject.
+  std::vector<RaExprPtr> children_;       // 1 or 2 children otherwise.
+};
+
+}  // namespace zeroone
+
+#endif  // ZEROONE_ALGEBRA_ALGEBRA_H_

@@ -1,0 +1,243 @@
+#include "algebra/ra_parser.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+namespace zeroone {
+
+namespace {
+
+class RaParser {
+ public:
+  RaParser(std::string_view text, const Schema& schema)
+      : text_(text), schema_(schema) {}
+
+  StatusOr<RaExprPtr> Parse() {
+    StatusOr<RaExprPtr> expr = ParseExpr();
+    if (!expr.ok()) return expr;
+    SkipWhitespace();
+    if (position_ < text_.size()) {
+      return Error("trailing input");
+    }
+    return expr;
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (position_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[position_]))) {
+      ++position_;
+    }
+  }
+
+  Status Error(const std::string& message) {
+    return Status::Error("RA parse error at offset " +
+                         std::to_string(position_) + ": " + message);
+  }
+
+  bool ConsumeKeyword(std::string_view keyword) {
+    SkipWhitespace();
+    if (text_.substr(position_, keyword.size()) != keyword) return false;
+    // Keywords must not run into an identifier character.
+    std::size_t end = position_ + keyword.size();
+    if (end < text_.size() &&
+        (std::isalnum(static_cast<unsigned char>(text_[end])) ||
+         text_[end] == '_')) {
+      return false;
+    }
+    position_ = end;
+    return true;
+  }
+
+  bool ConsumeChar(char c) {
+    SkipWhitespace();
+    if (position_ < text_.size() && text_[position_] == c) {
+      ++position_;
+      return true;
+    }
+    return false;
+  }
+
+  StatusOr<std::string> Identifier() {
+    SkipWhitespace();
+    std::size_t start = position_;
+    while (position_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[position_])) ||
+            text_[position_] == '_')) {
+      ++position_;
+    }
+    if (position_ == start) return Error("expected identifier");
+    return std::string(text_.substr(start, position_ - start));
+  }
+
+  StatusOr<std::size_t> Number() {
+    SkipWhitespace();
+    std::size_t start = position_;
+    std::size_t value = 0;
+    while (position_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[position_]))) {
+      value = value * 10 + static_cast<std::size_t>(text_[position_] - '0');
+      ++position_;
+    }
+    if (position_ == start) return Error("expected column number");
+    return value;
+  }
+
+  StatusOr<RaExprPtr> ParseExpr() {
+    StatusOr<RaExprPtr> left = ParseTerm();
+    if (!left.ok()) return left;
+    while (true) {
+      bool is_union = ConsumeKeyword("union");
+      bool is_minus = !is_union && ConsumeKeyword("minus");
+      if (!is_union && !is_minus) break;
+      StatusOr<RaExprPtr> right = ParseTerm();
+      if (!right.ok()) return right;
+      if ((*left)->arity() != (*right)->arity()) {
+        return Error(is_union ? "union arity mismatch"
+                              : "difference arity mismatch");
+      }
+      left = is_union ? RaExpr::Union(*left, *right)
+                      : RaExpr::Difference(*left, *right);
+    }
+    return left;
+  }
+
+  StatusOr<RaExprPtr> ParseTerm() {
+    StatusOr<RaExprPtr> left = ParseFactor();
+    if (!left.ok()) return left;
+    while (ConsumeKeyword("times")) {
+      StatusOr<RaExprPtr> right = ParseFactor();
+      if (!right.ok()) return right;
+      left = RaExpr::Product(*left, *right);
+    }
+    return left;
+  }
+
+  StatusOr<RaCondition> ParseCondition(std::size_t arity) {
+    StatusOr<std::size_t> left = Number();
+    if (!left.ok()) return left.status();
+    if (*left >= arity) return Error("condition column out of range");
+    bool not_equals = false;
+    SkipWhitespace();
+    if (ConsumeChar('!')) {
+      not_equals = true;
+    }
+    if (!ConsumeChar('=')) return Error("expected '=' or '!=' in condition");
+    RaCondition condition;
+    condition.left_column = *left;
+    SkipWhitespace();
+    char next = position_ < text_.size() ? text_[position_] : '\0';
+    if (next == '\'') {
+      ++position_;
+      std::size_t start = position_;
+      while (position_ < text_.size() && text_[position_] != '\'') {
+        ++position_;
+      }
+      if (position_ == text_.size()) return Error("unterminated string");
+      condition.value =
+          Value::Constant(std::string(text_.substr(start, position_ - start)));
+      ++position_;
+      condition.kind = not_equals ? RaCondition::Kind::kColumnNotEqualsValue
+                                  : RaCondition::Kind::kColumnEqualsValue;
+      return condition;
+    }
+    if (next == '#') {
+      ++position_;
+      StatusOr<std::size_t> number = Number();
+      if (!number.ok()) return number.status();
+      condition.value = Value::Int(static_cast<std::int64_t>(*number));
+      condition.kind = not_equals ? RaCondition::Kind::kColumnNotEqualsValue
+                                  : RaCondition::Kind::kColumnEqualsValue;
+      return condition;
+    }
+    StatusOr<std::size_t> right = Number();
+    if (!right.ok()) return right.status();
+    if (*right >= arity) return Error("condition column out of range");
+    condition.right_column = *right;
+    condition.kind = not_equals ? RaCondition::Kind::kColumnNotEqualsColumn
+                                : RaCondition::Kind::kColumnEqualsColumn;
+    return condition;
+  }
+
+  StatusOr<RaExprPtr> ParseFactor() {
+    if (ConsumeChar('(')) {
+      StatusOr<RaExprPtr> inner = ParseExpr();
+      if (!inner.ok()) return inner;
+      if (!ConsumeChar(')')) return Error("expected ')'");
+      return inner;
+    }
+    if (ConsumeKeyword("select")) {
+      if (!ConsumeChar('(')) return Error("expected '(' after select");
+      StatusOr<RaExprPtr> child = ParseExpr();
+      if (!child.ok()) return child;
+      std::vector<RaCondition> conditions;
+      while (ConsumeChar(',')) {
+        StatusOr<RaCondition> condition = ParseCondition((*child)->arity());
+        if (!condition.ok()) return condition.status();
+        conditions.push_back(*condition);
+      }
+      if (conditions.empty()) return Error("select needs conditions");
+      if (!ConsumeChar(')')) return Error("expected ')' closing select");
+      return RaExpr::Select(*child, std::move(conditions));
+    }
+    if (ConsumeKeyword("project")) {
+      if (!ConsumeChar('(')) return Error("expected '(' after project");
+      StatusOr<RaExprPtr> child = ParseExpr();
+      if (!child.ok()) return child;
+      std::vector<std::size_t> columns;
+      while (ConsumeChar(',')) {
+        StatusOr<std::size_t> column = Number();
+        if (!column.ok()) return column.status();
+        if (*column >= (*child)->arity()) {
+          return Error("projection column out of range");
+        }
+        columns.push_back(*column);
+      }
+      if (!ConsumeChar(')')) return Error("expected ')' closing project");
+      return RaExpr::Project(*child, std::move(columns));
+    }
+    if (ConsumeKeyword("join")) {
+      if (!ConsumeChar('(')) return Error("expected '(' after join");
+      StatusOr<RaExprPtr> left = ParseExpr();
+      if (!left.ok()) return left;
+      if (!ConsumeChar(',')) return Error("expected ',' in join");
+      StatusOr<RaExprPtr> right = ParseExpr();
+      if (!right.ok()) return right;
+      std::vector<std::pair<std::size_t, std::size_t>> on;
+      while (ConsumeChar(',')) {
+        StatusOr<std::size_t> l = Number();
+        if (!l.ok()) return l.status();
+        if (!ConsumeChar('=')) return Error("expected '=' in join condition");
+        StatusOr<std::size_t> r = Number();
+        if (!r.ok()) return r.status();
+        if (*l >= (*left)->arity() || *r >= (*right)->arity()) {
+          return Error("join column out of range");
+        }
+        on.emplace_back(*l, *r);
+      }
+      if (!ConsumeChar(')')) return Error("expected ')' closing join");
+      return RaExpr::Join(*left, *right, std::move(on));
+    }
+    // A base relation.
+    StatusOr<std::string> name = Identifier();
+    if (!name.ok()) return name.status();
+    if (!schema_.HasRelation(*name)) {
+      return Error("unknown relation '" + *name + "'");
+    }
+    return RaExpr::Relation(*name, schema_.ArityOf(*name));
+  }
+
+  std::string_view text_;
+  const Schema& schema_;
+  std::size_t position_ = 0;
+};
+
+}  // namespace
+
+StatusOr<RaExprPtr> ParseRaExpr(std::string_view text, const Schema& schema) {
+  RaParser parser(text, schema);
+  return parser.Parse();
+}
+
+}  // namespace zeroone

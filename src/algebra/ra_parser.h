@@ -1,0 +1,38 @@
+#ifndef ZEROONE_ALGEBRA_RA_PARSER_H_
+#define ZEROONE_ALGEBRA_RA_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "algebra/algebra.h"
+#include "data/database.h"
+
+namespace zeroone {
+
+// Textual syntax for relational algebra plans:
+//
+//   expr    := term { ('union' | 'minus') term }
+//   term    := factor { 'times' factor }
+//   factor  := relation
+//            | 'select'  '(' expr ',' condition {',' condition} ')'
+//            | 'project' '(' expr ',' number {',' number} ')'
+//            | 'join'    '(' expr ',' expr ',' number '=' number
+//                            {',' number '=' number} ')'
+//            | '(' expr ')'
+//   condition := number ('=' | '!=') (number' | value)
+//
+// Columns are 0-based numbers. In conditions, a bare number on the right
+// denotes a *column*; to compare against a constant use a quoted value
+// ('abc') or the prefix '#' for numeric constants (#42). Examples:
+//
+//   project(select(R times S, 1 = 2), 0, 3)
+//   select(Orders, 1 = 'widget') minus Shipped
+//   join(R, S, 1 = 0)
+//
+// Relation arities are resolved against the given schema, so the parser
+// can validate column indices.
+StatusOr<RaExprPtr> ParseRaExpr(std::string_view text, const Schema& schema);
+
+}  // namespace zeroone
+
+#endif  // ZEROONE_ALGEBRA_RA_PARSER_H_

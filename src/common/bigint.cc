@@ -1,0 +1,312 @@
+#include "common/bigint.h"
+
+#include <cassert>
+#include <cstdlib>
+#include <limits>
+#include <ostream>
+
+namespace zeroone {
+
+BigInt::BigInt(std::int64_t value) {
+  negative_ = value < 0;
+  // Convert through unsigned to handle INT64_MIN without overflow.
+  std::uint64_t magnitude =
+      negative_ ? ~static_cast<std::uint64_t>(value) + 1
+                : static_cast<std::uint64_t>(value);
+  while (magnitude != 0) {
+    limbs_.push_back(static_cast<std::uint32_t>(magnitude % kBase));
+    magnitude /= kBase;
+  }
+  Trim();
+}
+
+StatusOr<BigInt> BigInt::FromString(std::string_view text) {
+  if (text.empty()) return Status::Error("BigInt: empty string");
+  bool negative = false;
+  std::size_t start = 0;
+  if (text[0] == '-' || text[0] == '+') {
+    negative = text[0] == '-';
+    start = 1;
+  }
+  if (start == text.size()) return Status::Error("BigInt: sign without digits");
+  for (std::size_t i = start; i < text.size(); ++i) {
+    if (text[i] < '0' || text[i] > '9') {
+      return Status::Error("BigInt: invalid digit in '" + std::string(text) +
+                           "'");
+    }
+  }
+  BigInt result;
+  // Consume 9 decimal digits at a time from the least significant end.
+  std::size_t end = text.size();
+  while (end > start) {
+    std::size_t chunk_start =
+        end >= start + kBaseDigits ? end - kBaseDigits : start;
+    std::uint32_t limb = 0;
+    for (std::size_t i = chunk_start; i < end; ++i) {
+      limb = limb * 10 + static_cast<std::uint32_t>(text[i] - '0');
+    }
+    result.limbs_.push_back(limb);
+    end = chunk_start;
+  }
+  // The loop above pushed chunks least-significant first, which is already
+  // the little-endian limb order, but each chunk was appended in order, so
+  // limbs_ currently holds [least chunk, ..., most chunk] — correct.
+  result.negative_ = negative;
+  result.Trim();
+  return result;
+}
+
+void BigInt::Trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+  if (limbs_.empty()) negative_ = false;
+}
+
+int BigInt::CompareMagnitude(const BigInt& a, const BigInt& b) {
+  if (a.limbs_.size() != b.limbs_.size()) {
+    return a.limbs_.size() < b.limbs_.size() ? -1 : 1;
+  }
+  for (std::size_t i = a.limbs_.size(); i-- > 0;) {
+    if (a.limbs_[i] != b.limbs_[i]) return a.limbs_[i] < b.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+bool operator<(const BigInt& a, const BigInt& b) {
+  if (a.negative_ != b.negative_) return a.negative_;
+  int cmp = BigInt::CompareMagnitude(a, b);
+  return a.negative_ ? cmp > 0 : cmp < 0;
+}
+
+BigInt BigInt::operator-() const {
+  BigInt result = *this;
+  if (!result.is_zero()) result.negative_ = !result.negative_;
+  return result;
+}
+
+BigInt BigInt::Abs() const {
+  BigInt result = *this;
+  result.negative_ = false;
+  return result;
+}
+
+std::vector<std::uint32_t> BigInt::AddMagnitude(
+    const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b) {
+  std::vector<std::uint32_t> result;
+  result.reserve(std::max(a.size(), b.size()) + 1);
+  std::uint32_t carry = 0;
+  for (std::size_t i = 0; i < std::max(a.size(), b.size()) || carry; ++i) {
+    std::uint64_t sum = carry;
+    if (i < a.size()) sum += a[i];
+    if (i < b.size()) sum += b[i];
+    result.push_back(static_cast<std::uint32_t>(sum % kBase));
+    carry = static_cast<std::uint32_t>(sum / kBase);
+  }
+  return result;
+}
+
+std::vector<std::uint32_t> BigInt::SubMagnitude(
+    const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b) {
+  std::vector<std::uint32_t> result = a;
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < result.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(result[i]) - borrow -
+                        (i < b.size() ? static_cast<std::int64_t>(b[i]) : 0);
+    if (diff < 0) {
+      diff += kBase;
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    result[i] = static_cast<std::uint32_t>(diff);
+  }
+  assert(borrow == 0 && "SubMagnitude requires |a| >= |b|");
+  return result;
+}
+
+BigInt& BigInt::operator+=(const BigInt& other) {
+  if (negative_ == other.negative_) {
+    limbs_ = AddMagnitude(limbs_, other.limbs_);
+  } else {
+    int cmp = CompareMagnitude(*this, other);
+    if (cmp == 0) {
+      limbs_.clear();
+      negative_ = false;
+    } else if (cmp > 0) {
+      limbs_ = SubMagnitude(limbs_, other.limbs_);
+    } else {
+      limbs_ = SubMagnitude(other.limbs_, limbs_);
+      negative_ = other.negative_;
+    }
+  }
+  Trim();
+  return *this;
+}
+
+BigInt& BigInt::operator-=(const BigInt& other) { return *this += -other; }
+
+BigInt& BigInt::operator*=(const BigInt& other) {
+  if (is_zero() || other.is_zero()) {
+    limbs_.clear();
+    negative_ = false;
+    return *this;
+  }
+  std::vector<std::uint32_t> result(limbs_.size() + other.limbs_.size(), 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < other.limbs_.size() || carry; ++j) {
+      std::uint64_t current = result[i + j] + carry;
+      if (j < other.limbs_.size()) {
+        current += static_cast<std::uint64_t>(limbs_[i]) * other.limbs_[j];
+      }
+      result[i + j] = static_cast<std::uint32_t>(current % kBase);
+      carry = current / kBase;
+    }
+  }
+  limbs_ = std::move(result);
+  negative_ = negative_ != other.negative_;
+  Trim();
+  return *this;
+}
+
+void BigInt::DivModMagnitude(const BigInt& a, const BigInt& b,
+                             BigInt* quotient, BigInt* remainder) {
+  assert(!b.is_zero() && "division by zero");
+  quotient->limbs_.assign(a.limbs_.size(), 0);
+  quotient->negative_ = false;
+  BigInt current;  // Running remainder, always non-negative.
+  for (std::size_t i = a.limbs_.size(); i-- > 0;) {
+    // current = current * base + a.limbs_[i].
+    current.limbs_.insert(current.limbs_.begin(), a.limbs_[i]);
+    current.Trim();
+    // Binary-search the digit q in [0, base) with q*|b| <= current.
+    std::uint32_t low = 0;
+    std::uint32_t high = kBase - 1;
+    std::uint32_t digit = 0;
+    BigInt abs_b = b.Abs();
+    while (low <= high) {
+      std::uint32_t mid = low + (high - low) / 2;
+      BigInt candidate = abs_b * BigInt(static_cast<std::int64_t>(mid));
+      if (CompareMagnitude(candidate, current) <= 0) {
+        digit = mid;
+        if (mid == kBase - 1) break;
+        low = mid + 1;
+      } else {
+        if (mid == 0) break;
+        high = mid - 1;
+      }
+    }
+    quotient->limbs_[i] = digit;
+    if (digit != 0) {
+      current -= abs_b * BigInt(static_cast<std::int64_t>(digit));
+    }
+  }
+  quotient->Trim();
+  current.negative_ = false;
+  current.Trim();
+  *remainder = std::move(current);
+}
+
+BigInt& BigInt::operator/=(const BigInt& other) {
+  BigInt quotient;
+  BigInt remainder;
+  DivModMagnitude(*this, other, &quotient, &remainder);
+  quotient.negative_ = !quotient.is_zero() && (negative_ != other.negative_);
+  *this = std::move(quotient);
+  return *this;
+}
+
+BigInt& BigInt::operator%=(const BigInt& other) {
+  BigInt quotient;
+  BigInt remainder;
+  DivModMagnitude(*this, other, &quotient, &remainder);
+  // Truncated semantics: remainder has the dividend's sign.
+  remainder.negative_ = !remainder.is_zero() && negative_;
+  *this = std::move(remainder);
+  return *this;
+}
+
+std::string BigInt::ToString() const {
+  if (is_zero()) return "0";
+  std::string result;
+  if (negative_) result.push_back('-');
+  result += std::to_string(limbs_.back());
+  for (std::size_t i = limbs_.size() - 1; i-- > 0;) {
+    std::string chunk = std::to_string(limbs_[i]);
+    result.append(kBaseDigits - chunk.size(), '0');
+    result += chunk;
+  }
+  return result;
+}
+
+StatusOr<std::int64_t> BigInt::ToInt64() const {
+  // Accumulate with overflow checks against int64 bounds.
+  std::int64_t result = 0;
+  constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    if (result > kMax / kBase) return Status::Error("BigInt: int64 overflow");
+    result *= kBase;
+    if (result > kMax - limbs_[i]) {
+      // One legal exception: exactly INT64_MIN.
+      if (negative_ && i == 0 &&
+          static_cast<std::uint64_t>(result) + limbs_[i] ==
+              static_cast<std::uint64_t>(kMax) + 1) {
+        return std::numeric_limits<std::int64_t>::min();
+      }
+      return Status::Error("BigInt: int64 overflow");
+    }
+    result += limbs_[i];
+  }
+  return negative_ ? -result : result;
+}
+
+double BigInt::ToDouble() const {
+  double result = 0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    result = result * kBase + limbs_[i];
+  }
+  return negative_ ? -result : result;
+}
+
+BigInt BigInt::Gcd(BigInt a, BigInt b) {
+  a.negative_ = false;
+  b.negative_ = false;
+  while (!b.is_zero()) {
+    BigInt r = a % b;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+BigInt BigInt::Pow(const BigInt& base, unsigned exponent) {
+  BigInt result(1);
+  BigInt acc = base;
+  while (exponent != 0) {
+    if (exponent & 1u) result *= acc;
+    exponent >>= 1;
+    if (exponent != 0) acc *= acc;
+  }
+  return result;
+}
+
+BigInt BigInt::Factorial(unsigned n) {
+  BigInt result(1);
+  for (unsigned i = 2; i <= n; ++i) result *= BigInt(static_cast<std::int64_t>(i));
+  return result;
+}
+
+BigInt BigInt::FallingFactorial(const BigInt& n, unsigned count) {
+  BigInt result(1);
+  BigInt factor = n;
+  for (unsigned i = 0; i < count; ++i) {
+    result *= factor;
+    factor -= BigInt(1);
+  }
+  return result;
+}
+
+std::ostream& operator<<(std::ostream& os, const BigInt& value) {
+  return os << value.ToString();
+}
+
+}  // namespace zeroone

@@ -1,0 +1,115 @@
+#ifndef ZEROONE_COMMON_BIGINT_H_
+#define ZEROONE_COMMON_BIGINT_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace zeroone {
+
+// Arbitrary-precision signed integer.
+//
+// Support counts |Supp^k(Q,D)| grow like k^m and intermediate polynomial
+// coefficients can exceed 64 bits for even modest numbers of nulls, so all
+// counting in the measure machinery is done with BigInt. The representation
+// is sign-magnitude with base-10^9 limbs, which keeps the schoolbook
+// algorithms simple and decimal printing cheap; the magnitudes involved here
+// are small enough that asymptotically faster multiplication is unnecessary.
+class BigInt {
+ public:
+  // Constructs zero.
+  BigInt() = default;
+  BigInt(std::int64_t value);  // NOLINT: implicit by design (numeric literal use)
+
+  // Parses a decimal string with optional leading '-'.
+  static StatusOr<BigInt> FromString(std::string_view text);
+
+  BigInt(const BigInt&) = default;
+  BigInt& operator=(const BigInt&) = default;
+  BigInt(BigInt&&) = default;
+  BigInt& operator=(BigInt&&) = default;
+
+  bool is_zero() const { return limbs_.empty(); }
+  bool is_negative() const { return negative_; }
+  // Sign as -1, 0, or +1.
+  int sign() const { return is_zero() ? 0 : (negative_ ? -1 : 1); }
+
+  BigInt operator-() const;
+  BigInt Abs() const;
+
+  BigInt& operator+=(const BigInt& other);
+  BigInt& operator-=(const BigInt& other);
+  BigInt& operator*=(const BigInt& other);
+  // Truncated division (rounds toward zero), matching C++ int semantics.
+  // Precondition: divisor is nonzero.
+  BigInt& operator/=(const BigInt& other);
+  BigInt& operator%=(const BigInt& other);
+
+  friend BigInt operator+(BigInt a, const BigInt& b) { return a += b; }
+  friend BigInt operator-(BigInt a, const BigInt& b) { return a -= b; }
+  friend BigInt operator*(BigInt a, const BigInt& b) { return a *= b; }
+  friend BigInt operator/(BigInt a, const BigInt& b) { return a /= b; }
+  friend BigInt operator%(BigInt a, const BigInt& b) { return a %= b; }
+
+  friend bool operator==(const BigInt& a, const BigInt& b) {
+    return a.negative_ == b.negative_ && a.limbs_ == b.limbs_;
+  }
+  friend bool operator!=(const BigInt& a, const BigInt& b) { return !(a == b); }
+  friend bool operator<(const BigInt& a, const BigInt& b);
+  friend bool operator>(const BigInt& a, const BigInt& b) { return b < a; }
+  friend bool operator<=(const BigInt& a, const BigInt& b) { return !(b < a); }
+  friend bool operator>=(const BigInt& a, const BigInt& b) { return !(a < b); }
+
+  // Decimal representation, e.g. "-12003". Zero prints as "0".
+  std::string ToString() const;
+
+  // Value as int64 if it fits, otherwise an error.
+  StatusOr<std::int64_t> ToInt64() const;
+
+  // Value as double (may lose precision; infinities for huge magnitudes).
+  double ToDouble() const;
+
+  // Greatest common divisor of |a| and |b|; Gcd(0, 0) == 0.
+  static BigInt Gcd(BigInt a, BigInt b);
+
+  // a^e for e >= 0 (Pow(0, 0) == 1).
+  static BigInt Pow(const BigInt& base, unsigned exponent);
+
+  // n! for small n.
+  static BigInt Factorial(unsigned n);
+
+  // Falling factorial n·(n−1)···(n−count+1); returns 1 when count == 0.
+  static BigInt FallingFactorial(const BigInt& n, unsigned count);
+
+ private:
+  static constexpr std::uint32_t kBase = 1000000000;  // 10^9 per limb.
+  static constexpr int kBaseDigits = 9;
+
+  // Drops leading zero limbs and canonicalizes -0 to +0.
+  void Trim();
+  // Compares magnitudes only: -1, 0, or +1.
+  static int CompareMagnitude(const BigInt& a, const BigInt& b);
+  // Magnitude arithmetic helpers (ignore signs).
+  static std::vector<std::uint32_t> AddMagnitude(
+      const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b);
+  // Precondition: |a| >= |b|.
+  static std::vector<std::uint32_t> SubMagnitude(
+      const std::vector<std::uint32_t>& a, const std::vector<std::uint32_t>& b);
+  // Sets *quotient and *remainder such that a = q*b + r, 0 <= r < b,
+  // operating on magnitudes. Precondition: b nonzero.
+  static void DivModMagnitude(const BigInt& a, const BigInt& b,
+                              BigInt* quotient, BigInt* remainder);
+
+  bool negative_ = false;
+  std::vector<std::uint32_t> limbs_;  // Little-endian base-10^9 digits.
+};
+
+std::ostream& operator<<(std::ostream& os, const BigInt& value);
+
+}  // namespace zeroone
+
+#endif  // ZEROONE_COMMON_BIGINT_H_

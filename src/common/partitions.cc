@@ -1,0 +1,115 @@
+#include "common/partitions.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace zeroone {
+
+std::vector<std::vector<std::size_t>> SetPartition::Blocks() const {
+  std::vector<std::vector<std::size_t>> result(block_count);
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    result[blocks[i]].push_back(i);
+  }
+  return result;
+}
+
+namespace {
+
+// Recursive restricted-growth-string enumeration.
+void EnumeratePartitions(std::size_t position, std::size_t used_blocks,
+                         SetPartition* partition,
+                         const std::function<void(const SetPartition&)>& visitor) {
+  if (position == partition->blocks.size()) {
+    partition->block_count = used_blocks;
+    visitor(*partition);
+    return;
+  }
+  for (std::size_t b = 0; b <= used_blocks; ++b) {
+    partition->blocks[position] = b;
+    EnumeratePartitions(position + 1, std::max(used_blocks, b + 1), partition,
+                        visitor);
+  }
+}
+
+void EnumerateInjectiveMaps(
+    std::size_t position, std::size_t range, std::vector<bool>* taken,
+    std::vector<std::size_t>* map,
+    const std::function<void(const std::vector<std::size_t>&)>& visitor) {
+  if (position == map->size()) {
+    visitor(*map);
+    return;
+  }
+  // Leave `position` unassigned.
+  (*map)[position] = kUnassigned;
+  EnumerateInjectiveMaps(position + 1, range, taken, map, visitor);
+  // Or map it to each still-free target.
+  for (std::size_t target = 0; target < range; ++target) {
+    if ((*taken)[target]) continue;
+    (*taken)[target] = true;
+    (*map)[position] = target;
+    EnumerateInjectiveMaps(position + 1, range, taken, map, visitor);
+    (*taken)[target] = false;
+  }
+  (*map)[position] = kUnassigned;
+}
+
+}  // namespace
+
+void ForEachSetPartition(
+    std::size_t n, const std::function<void(const SetPartition&)>& visitor) {
+  SetPartition partition;
+  partition.blocks.assign(n, 0);
+  if (n == 0) {
+    partition.block_count = 0;
+    visitor(partition);
+    return;
+  }
+  EnumeratePartitions(0, 0, &partition, visitor);
+}
+
+BigInt BellNumber(std::size_t n) {
+  // Bell triangle: row 0 is [1]; each row starts with the previous row's
+  // last entry, and each subsequent entry adds the entry to the left and the
+  // entry above-left. B(n) is the first entry of row n.
+  std::vector<BigInt> row = {BigInt(1)};
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<BigInt> next;
+    next.reserve(row.size() + 1);
+    next.push_back(row.back());
+    for (const BigInt& above : row) {
+      next.push_back(next.back() + above);
+    }
+    row = std::move(next);
+  }
+  return row.front();
+}
+
+BigInt StirlingSecond(std::size_t n, std::size_t t) {
+  if (t > n) return BigInt(0);
+  if (n == 0) return BigInt(1);  // t == 0 here.
+  if (t == 0) return BigInt(0);
+  // S(n, t) = t·S(n−1, t) + S(n−1, t−1), by rows.
+  std::vector<BigInt> row(t + 1, BigInt(0));
+  row[0] = BigInt(1);  // S(0, 0).
+  for (std::size_t i = 1; i <= n; ++i) {
+    for (std::size_t j = std::min(i, t); j >= 1; --j) {
+      row[j] = BigInt(static_cast<std::int64_t>(j)) * row[j] + row[j - 1];
+    }
+    row[0] = BigInt(0);  // S(i, 0) == 0 for i >= 1.
+  }
+  return row[t];
+}
+
+void ForEachInjectivePartialMap(
+    std::size_t domain, std::size_t range,
+    const std::function<void(const std::vector<std::size_t>&)>& visitor) {
+  std::vector<std::size_t> map(domain, kUnassigned);
+  std::vector<bool> taken(range, false);
+  if (domain == 0) {
+    visitor(map);
+    return;
+  }
+  EnumerateInjectiveMaps(0, range, &taken, &map, visitor);
+}
+
+}  // namespace zeroone

@@ -1,0 +1,148 @@
+#include "common/polynomial.h"
+
+#include <cassert>
+#include <ostream>
+#include <utility>
+
+namespace zeroone {
+
+namespace {
+const Rational& ZeroRational() {
+  static const Rational& kZero = *new Rational(0);
+  return kZero;
+}
+}  // namespace
+
+Polynomial::Polynomial(std::vector<Rational> coefficients)
+    : coefficients_(std::move(coefficients)) {
+  Trim();
+}
+
+Polynomial Polynomial::Constant(Rational value) {
+  return Polynomial({std::move(value)});
+}
+
+Polynomial Polynomial::Monomial(Rational coefficient, unsigned degree) {
+  if (coefficient.is_zero()) return Polynomial();
+  std::vector<Rational> coeffs(degree + 1, Rational(0));
+  coeffs[degree] = std::move(coefficient);
+  return Polynomial(std::move(coeffs));
+}
+
+Polynomial Polynomial::FallingFactorial(std::int64_t shift, unsigned count) {
+  Polynomial result = Constant(Rational(1));
+  // (x - shift - i) for i in [0, count).
+  for (unsigned i = 0; i < count; ++i) {
+    Polynomial factor({Rational(-(shift + static_cast<std::int64_t>(i))),
+                       Rational(1)});
+    result *= factor;
+  }
+  return result;
+}
+
+void Polynomial::Trim() {
+  while (!coefficients_.empty() && coefficients_.back().is_zero()) {
+    coefficients_.pop_back();
+  }
+}
+
+const Rational& Polynomial::coefficient(unsigned i) const {
+  if (i >= coefficients_.size()) return ZeroRational();
+  return coefficients_[i];
+}
+
+Polynomial& Polynomial::operator+=(const Polynomial& other) {
+  if (other.coefficients_.size() > coefficients_.size()) {
+    coefficients_.resize(other.coefficients_.size(), Rational(0));
+  }
+  for (std::size_t i = 0; i < other.coefficients_.size(); ++i) {
+    coefficients_[i] += other.coefficients_[i];
+  }
+  Trim();
+  return *this;
+}
+
+Polynomial& Polynomial::operator-=(const Polynomial& other) {
+  if (other.coefficients_.size() > coefficients_.size()) {
+    coefficients_.resize(other.coefficients_.size(), Rational(0));
+  }
+  for (std::size_t i = 0; i < other.coefficients_.size(); ++i) {
+    coefficients_[i] -= other.coefficients_[i];
+  }
+  Trim();
+  return *this;
+}
+
+Polynomial& Polynomial::operator*=(const Polynomial& other) {
+  if (is_zero() || other.is_zero()) {
+    coefficients_.clear();
+    return *this;
+  }
+  std::vector<Rational> result(
+      coefficients_.size() + other.coefficients_.size() - 1, Rational(0));
+  for (std::size_t i = 0; i < coefficients_.size(); ++i) {
+    if (coefficients_[i].is_zero()) continue;
+    for (std::size_t j = 0; j < other.coefficients_.size(); ++j) {
+      result[i + j] += coefficients_[i] * other.coefficients_[j];
+    }
+  }
+  coefficients_ = std::move(result);
+  Trim();
+  return *this;
+}
+
+Polynomial& Polynomial::operator*=(const Rational& scalar) {
+  if (scalar.is_zero()) {
+    coefficients_.clear();
+    return *this;
+  }
+  for (Rational& c : coefficients_) c *= scalar;
+  return *this;
+}
+
+Rational Polynomial::Evaluate(const BigInt& x) const {
+  // Horner's scheme.
+  Rational result(0);
+  for (std::size_t i = coefficients_.size(); i-- > 0;) {
+    result = result * Rational(x) + coefficients_[i];
+  }
+  return result;
+}
+
+std::string Polynomial::ToString(const std::string& variable) const {
+  if (is_zero()) return "0";
+  std::string result;
+  for (std::size_t i = coefficients_.size(); i-- > 0;) {
+    const Rational& c = coefficients_[i];
+    if (c.is_zero()) continue;
+    if (!result.empty()) {
+      result += c.sign() < 0 ? " - " : " + ";
+    } else if (c.sign() < 0) {
+      result += "-";
+    }
+    Rational abs_c = c.sign() < 0 ? -c : c;
+    bool print_coefficient = i == 0 || !abs_c.is_one();
+    if (print_coefficient) result += abs_c.ToString();
+    if (i > 0) {
+      if (print_coefficient) result += "*";
+      result += variable;
+      if (i > 1) result += "^" + std::to_string(i);
+    }
+  }
+  return result;
+}
+
+std::ostream& operator<<(std::ostream& os, const Polynomial& p) {
+  return os << p.ToString();
+}
+
+Rational LimitOfRatio(const Polynomial& p, const Polynomial& q) {
+  assert(!q.is_zero() && "LimitOfRatio: zero denominator polynomial");
+  if (p.is_zero()) return Rational(0);
+  assert(p.degree() <= q.degree() &&
+         "LimitOfRatio: ratio diverges (numerator degree too high)");
+  if (p.degree() < q.degree()) return Rational(0);
+  return p.leading_coefficient() / q.leading_coefficient();
+}
+
+}  // namespace zeroone

@@ -1,0 +1,92 @@
+#ifndef ZEROONE_COMMON_POLYNOMIAL_H_
+#define ZEROONE_COMMON_POLYNOMIAL_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/rational.h"
+
+namespace zeroone {
+
+// Dense univariate polynomial with exact rational coefficients.
+//
+// The proof of Theorem 3 expresses the support count |Supp^k(q,D)| as a
+// polynomial in k (a sum of falling factorials (k−a)_f); conditional
+// measures µ(Q|Σ,D) are then limits of ratios of two such polynomials, which
+// equal the ratio of leading coefficients when degrees agree. This class is
+// the exact-arithmetic substrate for that computation.
+class Polynomial {
+ public:
+  // Constructs the zero polynomial.
+  Polynomial() = default;
+
+  // Coefficients in increasing degree order: coeffs[i] multiplies x^i.
+  explicit Polynomial(std::vector<Rational> coefficients);
+
+  static Polynomial Zero() { return Polynomial(); }
+  static Polynomial Constant(Rational value);
+  // The monomial c·x^degree.
+  static Polynomial Monomial(Rational coefficient, unsigned degree);
+  // The falling factorial (x−shift)(x−shift−1)···(x−shift−count+1),
+  // expanded into coefficient form. Returns 1 when count == 0.
+  static Polynomial FallingFactorial(std::int64_t shift, unsigned count);
+
+  bool is_zero() const { return coefficients_.empty(); }
+  // Degree of the polynomial; -1 for the zero polynomial.
+  int degree() const { return static_cast<int>(coefficients_.size()) - 1; }
+  // Coefficient of x^i (zero beyond the degree).
+  const Rational& coefficient(unsigned i) const;
+  // Leading coefficient. Precondition: not the zero polynomial.
+  const Rational& leading_coefficient() const { return coefficients_.back(); }
+
+  Polynomial& operator+=(const Polynomial& other);
+  Polynomial& operator-=(const Polynomial& other);
+  Polynomial& operator*=(const Polynomial& other);
+  Polynomial& operator*=(const Rational& scalar);
+
+  friend Polynomial operator+(Polynomial a, const Polynomial& b) {
+    return a += b;
+  }
+  friend Polynomial operator-(Polynomial a, const Polynomial& b) {
+    return a -= b;
+  }
+  friend Polynomial operator*(Polynomial a, const Polynomial& b) {
+    return a *= b;
+  }
+  friend Polynomial operator*(Polynomial a, const Rational& s) {
+    return a *= s;
+  }
+
+  friend bool operator==(const Polynomial& a, const Polynomial& b) {
+    return a.coefficients_ == b.coefficients_;
+  }
+  friend bool operator!=(const Polynomial& a, const Polynomial& b) {
+    return !(a == b);
+  }
+
+  // Evaluates at an integer point, exactly.
+  Rational Evaluate(const BigInt& x) const;
+
+  // Human-readable form like "2*k^3 - 1/2*k + 7" using the given variable
+  // name (default "k", the domain-size parameter throughout the paper).
+  std::string ToString(const std::string& variable = "k") const;
+
+ private:
+  void Trim();
+
+  std::vector<Rational> coefficients_;  // coefficients_[i] multiplies x^i.
+};
+
+std::ostream& operator<<(std::ostream& os, const Polynomial& p);
+
+// The limit of p(k)/q(k) as k → ∞, under the promise that the limit exists
+// and is finite (true whenever p counts a subset of what q counts, as in
+// µ(Q∧Σ|Σ): deg p <= deg q). Returns 0 if p is zero; if deg p < deg q the
+// limit is 0; if degrees are equal it is the ratio of leading coefficients.
+// Precondition: q is not the zero polynomial and deg p <= deg q.
+Rational LimitOfRatio(const Polynomial& p, const Polynomial& q);
+
+}  // namespace zeroone
+
+#endif  // ZEROONE_COMMON_POLYNOMIAL_H_

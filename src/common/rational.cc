@@ -1,0 +1,81 @@
+#include "common/rational.h"
+
+#include <cassert>
+#include <ostream>
+#include <utility>
+
+namespace zeroone {
+
+Rational::Rational(BigInt numerator, BigInt denominator)
+    : numerator_(std::move(numerator)), denominator_(std::move(denominator)) {
+  assert(!denominator_.is_zero() && "Rational with zero denominator");
+  Reduce();
+}
+
+void Rational::Reduce() {
+  if (denominator_.is_negative()) {
+    numerator_ = -numerator_;
+    denominator_ = -denominator_;
+  }
+  if (numerator_.is_zero()) {
+    denominator_ = BigInt(1);
+    return;
+  }
+  BigInt g = BigInt::Gcd(numerator_, denominator_);
+  if (g != BigInt(1)) {
+    numerator_ /= g;
+    denominator_ /= g;
+  }
+}
+
+Rational Rational::operator-() const {
+  Rational result = *this;
+  result.numerator_ = -result.numerator_;
+  return result;
+}
+
+Rational& Rational::operator+=(const Rational& other) {
+  numerator_ = numerator_ * other.denominator_ + other.numerator_ * denominator_;
+  denominator_ *= other.denominator_;
+  Reduce();
+  return *this;
+}
+
+Rational& Rational::operator-=(const Rational& other) {
+  return *this += -other;
+}
+
+Rational& Rational::operator*=(const Rational& other) {
+  numerator_ *= other.numerator_;
+  denominator_ *= other.denominator_;
+  Reduce();
+  return *this;
+}
+
+Rational& Rational::operator/=(const Rational& other) {
+  assert(!other.is_zero() && "Rational division by zero");
+  numerator_ *= other.denominator_;
+  denominator_ *= other.numerator_;
+  Reduce();
+  return *this;
+}
+
+bool operator<(const Rational& a, const Rational& b) {
+  // Denominators are positive, so cross-multiplication preserves order.
+  return a.numerator_ * b.denominator_ < b.numerator_ * a.denominator_;
+}
+
+std::string Rational::ToString() const {
+  if (denominator_ == BigInt(1)) return numerator_.ToString();
+  return numerator_.ToString() + "/" + denominator_.ToString();
+}
+
+double Rational::ToDouble() const {
+  return numerator_.ToDouble() / denominator_.ToDouble();
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& value) {
+  return os << value.ToString();
+}
+
+}  // namespace zeroone

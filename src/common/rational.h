@@ -1,0 +1,81 @@
+#ifndef ZEROONE_COMMON_RATIONAL_H_
+#define ZEROONE_COMMON_RATIONAL_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "common/bigint.h"
+
+namespace zeroone {
+
+// Exact rational number with BigInt numerator/denominator, always kept in
+// lowest terms with a positive denominator. This is the value type for
+// measures µ^k(Q,D), their limits, and polynomial coefficients: Theorem 3
+// shows limits are arbitrary rationals, so exactness is part of the spec.
+class Rational {
+ public:
+  // Constructs zero.
+  Rational() : numerator_(0), denominator_(1) {}
+  Rational(std::int64_t value) : numerator_(value), denominator_(1) {}  // NOLINT
+  Rational(BigInt value) : numerator_(std::move(value)), denominator_(1) {}  // NOLINT
+
+  // Precondition: denominator is nonzero.
+  Rational(BigInt numerator, BigInt denominator);
+  Rational(std::int64_t numerator, std::int64_t denominator)
+      : Rational(BigInt(numerator), BigInt(denominator)) {}
+
+  const BigInt& numerator() const { return numerator_; }
+  const BigInt& denominator() const { return denominator_; }
+
+  bool is_zero() const { return numerator_.is_zero(); }
+  bool is_one() const {
+    return numerator_ == BigInt(1) && denominator_ == BigInt(1);
+  }
+  int sign() const { return numerator_.sign(); }
+
+  Rational operator-() const;
+
+  Rational& operator+=(const Rational& other);
+  Rational& operator-=(const Rational& other);
+  Rational& operator*=(const Rational& other);
+  // Precondition: other is nonzero.
+  Rational& operator/=(const Rational& other);
+
+  friend Rational operator+(Rational a, const Rational& b) { return a += b; }
+  friend Rational operator-(Rational a, const Rational& b) { return a -= b; }
+  friend Rational operator*(Rational a, const Rational& b) { return a *= b; }
+  friend Rational operator/(Rational a, const Rational& b) { return a /= b; }
+
+  friend bool operator==(const Rational& a, const Rational& b) {
+    return a.numerator_ == b.numerator_ && a.denominator_ == b.denominator_;
+  }
+  friend bool operator!=(const Rational& a, const Rational& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const Rational& a, const Rational& b);
+  friend bool operator>(const Rational& a, const Rational& b) { return b < a; }
+  friend bool operator<=(const Rational& a, const Rational& b) {
+    return !(b < a);
+  }
+  friend bool operator>=(const Rational& a, const Rational& b) {
+    return !(a < b);
+  }
+
+  // "p/q", or just "p" when the denominator is 1.
+  std::string ToString() const;
+  double ToDouble() const;
+
+ private:
+  // Divides out the gcd and normalizes the sign onto the numerator.
+  void Reduce();
+
+  BigInt numerator_;
+  BigInt denominator_;  // Invariant: positive.
+};
+
+std::ostream& operator<<(std::ostream& os, const Rational& value);
+
+}  // namespace zeroone
+
+#endif  // ZEROONE_COMMON_RATIONAL_H_

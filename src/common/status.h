@@ -1,0 +1,61 @@
+#ifndef ZEROONE_COMMON_STATUS_H_
+#define ZEROONE_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace zeroone {
+
+// Lightweight error-reporting type in the spirit of absl::Status. The library
+// does not use exceptions; fallible operations return Status or StatusOr<T>.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() = default;
+
+  static Status Ok() { return Status(); }
+  static Status Error(std::string message) {
+    Status s;
+    s.ok_ = false;
+    s.message_ = std::move(message);
+    return s;
+  }
+
+  bool ok() const { return ok_; }
+  // Error message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+ private:
+  bool ok_ = true;
+  std::string message_;
+};
+
+// Holds either a value of type T or an error Status.
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit, mirroring absl::StatusOr: allows `return value;`
+  // and `return Status::Error(...)` from functions returning StatusOr<T>.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  // Value accessors. Precondition: ok().
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return *std::move(value_); }
+
+  const T& operator*() const { return *value_; }
+  const T* operator->() const { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace zeroone
+
+#endif  // ZEROONE_COMMON_STATUS_H_

@@ -1,0 +1,17 @@
+#include "constraints/constraint.h"
+
+namespace zeroone {
+
+Query ConstraintSetQuery(const ConstraintSet& constraints) {
+  if (constraints.empty()) {
+    return Query("Sigma", {}, Formula::True(), {});
+  }
+  std::vector<FormulaPtr> conjuncts;
+  conjuncts.reserve(constraints.size());
+  for (const ConstraintPtr& constraint : constraints) {
+    conjuncts.push_back(constraint->ToFormula());
+  }
+  return Query("Sigma", {}, Formula::And(std::move(conjuncts)), {});
+}
+
+}  // namespace zeroone

@@ -1,0 +1,40 @@
+#ifndef ZEROONE_CONSTRAINTS_CONSTRAINT_H_
+#define ZEROONE_CONSTRAINTS_CONSTRAINT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "query/query.h"
+
+namespace zeroone {
+
+// An integrity constraint, viewed (as in Section 4) as a generic Boolean
+// query: satisfied or violated by each complete database. Concrete
+// constraint classes (functional and inclusion dependencies) compile
+// themselves to first-order sentences, so the whole measure machinery —
+// conditional measures µ(Q|Σ,D), the partition-polynomial algorithm — works
+// uniformly on constraints.
+class Constraint {
+ public:
+  virtual ~Constraint() = default;
+
+  // The constraint as a closed first-order sentence (no free variables).
+  virtual FormulaPtr ToFormula() const = 0;
+
+  // Human-readable rendering, e.g. "R: {1} -> 2" or "R[1] ⊆ U[1]".
+  virtual std::string ToString() const = 0;
+};
+
+using ConstraintPtr = std::shared_ptr<const Constraint>;
+
+// A finite set Σ of constraints.
+using ConstraintSet = std::vector<ConstraintPtr>;
+
+// Σ as a single Boolean query: the conjunction of all members, or the
+// constant-true query when Σ is empty.
+Query ConstraintSetQuery(const ConstraintSet& constraints);
+
+}  // namespace zeroone
+
+#endif  // ZEROONE_CONSTRAINTS_CONSTRAINT_H_

@@ -1,0 +1,365 @@
+#include "constraints/dependencies.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+
+namespace zeroone {
+
+namespace {
+
+using Binding = std::vector<std::optional<Value>>;
+
+std::size_t VariableCount(const std::vector<DependencyAtom>& atoms,
+                          std::size_t minimum = 0) {
+  std::size_t count = minimum;
+  for (const DependencyAtom& atom : atoms) {
+    for (const Term& t : atom.terms) {
+      if (t.is_variable()) count = std::max(count, t.variable_id() + 1);
+    }
+  }
+  return count;
+}
+
+// Backtracking homomorphism search: extends *binding so that every atom
+// maps to a tuple of db; calls visitor per complete match. Visitor returns
+// false to stop the search (which then returns true = stopped early).
+bool MatchConjunction(const std::vector<DependencyAtom>& atoms,
+                      std::size_t index, const Database& db,
+                      Binding* binding,
+                      const std::function<bool(const Binding&)>& visitor) {
+  if (index == atoms.size()) return !visitor(*binding);
+  const DependencyAtom& atom = atoms[index];
+  if (!db.HasRelation(atom.relation)) return false;
+  for (const Tuple& tuple : db.relation(atom.relation)) {
+    if (tuple.arity() != atom.terms.size()) continue;
+    std::vector<std::size_t> newly_bound;
+    bool ok = true;
+    for (std::size_t i = 0; i < atom.terms.size() && ok; ++i) {
+      const Term& t = atom.terms[i];
+      if (t.is_value()) {
+        ok = t.value() == tuple[i];
+        continue;
+      }
+      std::optional<Value>& slot = (*binding)[t.variable_id()];
+      if (slot) {
+        ok = *slot == tuple[i];
+      } else {
+        slot = tuple[i];
+        newly_bound.push_back(t.variable_id());
+      }
+    }
+    if (ok && MatchConjunction(atoms, index + 1, db, binding, visitor)) {
+      for (std::size_t v : newly_bound) (*binding)[v] = std::nullopt;
+      return true;
+    }
+    for (std::size_t v : newly_bound) (*binding)[v] = std::nullopt;
+  }
+  return false;
+}
+
+FormulaPtr AtomsToConjunction(const std::vector<DependencyAtom>& atoms) {
+  std::vector<FormulaPtr> conjuncts;
+  conjuncts.reserve(atoms.size());
+  for (const DependencyAtom& atom : atoms) {
+    conjuncts.push_back(Formula::Atom(atom.relation, atom.terms));
+  }
+  return Formula::And(std::move(conjuncts));
+}
+
+std::vector<std::size_t> VariablesOf(const std::vector<DependencyAtom>& atoms) {
+  std::set<std::size_t> variables;
+  for (const DependencyAtom& atom : atoms) {
+    for (const Term& t : atom.terms) {
+      if (t.is_variable()) variables.insert(t.variable_id());
+    }
+  }
+  return std::vector<std::size_t>(variables.begin(), variables.end());
+}
+
+std::string AtomsToString(const std::vector<DependencyAtom>& atoms) {
+  std::string out;
+  for (std::size_t i = 0; i < atoms.size(); ++i) {
+    if (i > 0) out += " ∧ ";
+    out += atoms[i].relation + "(";
+    for (std::size_t j = 0; j < atoms[i].terms.size(); ++j) {
+      if (j > 0) out += ",";
+      const Term& t = atoms[i].terms[j];
+      out += t.is_variable() ? "x" + std::to_string(t.variable_id())
+                             : t.value().ToString();
+    }
+    out += ")";
+  }
+  return out;
+}
+
+}  // namespace
+
+EqualityGeneratingDependency::EqualityGeneratingDependency(
+    std::vector<DependencyAtom> body, std::size_t left_variable,
+    std::size_t right_variable)
+    : body_(std::move(body)),
+      left_variable_(left_variable),
+      right_variable_(right_variable) {
+  std::vector<std::size_t> variables = VariablesOf(body_);
+  assert(std::count(variables.begin(), variables.end(), left_variable_) == 1 &&
+         std::count(variables.begin(), variables.end(), right_variable_) ==
+             1 &&
+         "EGD equated variables must occur in the body");
+  (void)variables;
+}
+
+FormulaPtr EqualityGeneratingDependency::ToFormula() const {
+  FormulaPtr body = AtomsToConjunction(body_);
+  FormulaPtr conclusion = Formula::Equals(Term::Variable(left_variable_),
+                                          Term::Variable(right_variable_));
+  return Formula::Forall(VariablesOf(body_),
+                         Formula::Implies(std::move(body),
+                                          std::move(conclusion)));
+}
+
+std::string EqualityGeneratingDependency::ToString() const {
+  return AtomsToString(body_) + " → x" + std::to_string(left_variable_) +
+         " = x" + std::to_string(right_variable_);
+}
+
+TupleGeneratingDependency::TupleGeneratingDependency(
+    std::vector<DependencyAtom> body, std::vector<DependencyAtom> head)
+    : body_(std::move(body)), head_(std::move(head)) {
+  assert(!head_.empty() && "TGD with empty head");
+}
+
+std::vector<std::size_t> TupleGeneratingDependency::ExistentialVariables()
+    const {
+  std::vector<std::size_t> body_variables = VariablesOf(body_);
+  std::vector<std::size_t> result;
+  for (std::size_t v : VariablesOf(head_)) {
+    if (std::find(body_variables.begin(), body_variables.end(), v) ==
+        body_variables.end()) {
+      result.push_back(v);
+    }
+  }
+  return result;
+}
+
+FormulaPtr TupleGeneratingDependency::ToFormula() const {
+  FormulaPtr head = Formula::Exists(ExistentialVariables(),
+                                    AtomsToConjunction(head_));
+  return Formula::Forall(
+      VariablesOf(body_),
+      Formula::Implies(AtomsToConjunction(body_), std::move(head)));
+}
+
+std::string TupleGeneratingDependency::ToString() const {
+  return AtomsToString(body_) + " → ∃ " + AtomsToString(head_);
+}
+
+ConstraintSet DependencySet::ToConstraintSet() const {
+  ConstraintSet result;
+  for (const EqualityGeneratingDependency& egd : egds) {
+    result.push_back(std::make_shared<EqualityGeneratingDependency>(egd));
+  }
+  for (const TupleGeneratingDependency& tgd : tgds) {
+    result.push_back(std::make_shared<TupleGeneratingDependency>(tgd));
+  }
+  return result;
+}
+
+bool CheckWeakAcyclicity(const std::vector<TupleGeneratingDependency>& tgds) {
+  // Position graph: nodes are (relation, position).
+  using Position = std::pair<std::string, std::size_t>;
+  std::set<Position> nodes;
+  std::map<Position, std::set<Position>> regular;
+  std::map<Position, std::set<Position>> special;
+  for (const TupleGeneratingDependency& tgd : tgds) {
+    std::vector<std::size_t> existential = tgd.ExistentialVariables();
+    auto is_existential = [&](std::size_t v) {
+      return std::find(existential.begin(), existential.end(), v) !=
+             existential.end();
+    };
+    // Body positions of each universal variable.
+    std::map<std::size_t, std::vector<Position>> body_positions;
+    for (const DependencyAtom& atom : tgd.body()) {
+      for (std::size_t i = 0; i < atom.terms.size(); ++i) {
+        if (atom.terms[i].is_variable()) {
+          Position p{atom.relation, i};
+          nodes.insert(p);
+          body_positions[atom.terms[i].variable_id()].push_back(p);
+        }
+      }
+    }
+    for (const DependencyAtom& atom : tgd.head()) {
+      for (std::size_t i = 0; i < atom.terms.size(); ++i) {
+        if (!atom.terms[i].is_variable()) continue;
+        Position q{atom.relation, i};
+        nodes.insert(q);
+        std::size_t v = atom.terms[i].variable_id();
+        if (is_existential(v)) continue;
+        for (const Position& p : body_positions[v]) {
+          regular[p].insert(q);  // x propagates p → q.
+          // And from p, every existential head position gets a special
+          // edge.
+          for (const DependencyAtom& head_atom : tgd.head()) {
+            for (std::size_t j = 0; j < head_atom.terms.size(); ++j) {
+              const Term& ht = head_atom.terms[j];
+              if (ht.is_variable() && is_existential(ht.variable_id())) {
+                special[p].insert(Position{head_atom.relation, j});
+                nodes.insert(Position{head_atom.relation, j});
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  // Weakly acyclic iff no cycle goes through a special edge: for each
+  // special edge (u, v), v must not reach u (through edges of both kinds).
+  auto reaches = [&](const Position& from, const Position& to) {
+    std::set<Position> visited;
+    std::vector<Position> stack = {from};
+    while (!stack.empty()) {
+      Position current = stack.back();
+      stack.pop_back();
+      if (current == to) return true;
+      if (!visited.insert(current).second) continue;
+      for (const auto& edges : {regular, special}) {
+        auto it = edges.find(current);
+        if (it == edges.end()) continue;
+        stack.insert(stack.end(), it->second.begin(), it->second.end());
+      }
+    }
+    return false;
+  };
+  for (const auto& [u, targets] : special) {
+    for (const Position& v : targets) {
+      if (reaches(v, u)) return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+// Replaces `from` by `to` everywhere.
+void ReplaceValue(Value from, Value to, Database* db) {
+  Database replaced(db->schema());
+  for (const auto& [name, rel] : db->relations()) {
+    Relation& out = replaced.mutable_relation(name);
+    for (const Tuple& tuple : rel) {
+      std::vector<Value> values;
+      values.reserve(tuple.arity());
+      for (Value v : tuple) values.push_back(v == from ? to : v);
+      out.Insert(Tuple(std::move(values)));
+    }
+  }
+  *db = std::move(replaced);
+}
+
+// One EGD repair step; returns whether a violation was found (and either
+// repaired or declared fatal via *failure).
+bool StepEgd(const EqualityGeneratingDependency& egd, Database* db,
+             std::string* failure) {
+  Binding binding(VariableCount(egd.body()));
+  bool repaired = false;
+  bool fatal = false;
+  MatchConjunction(egd.body(), 0, *db, &binding, [&](const Binding& b) {
+    Value left = *b[egd.left_variable()];
+    Value right = *b[egd.right_variable()];
+    if (left == right) return true;  // Not a violation; keep searching.
+    if (left.is_constant() && right.is_constant()) {
+      fatal = true;
+      *failure = "chase failure on EGD " + egd.ToString() + ": " +
+                 left.ToString() + " = " + right.ToString();
+      return false;
+    }
+    if (left.is_null()) {
+      ReplaceValue(left, right, db);
+    } else {
+      ReplaceValue(right, left, db);
+    }
+    repaired = true;
+    return false;  // Database changed; restart matching outside.
+  });
+  return repaired || fatal;
+}
+
+// One TGD firing with the standard-chase trigger condition; returns whether
+// a rule fired.
+bool StepTgd(const TupleGeneratingDependency& tgd, Database* db) {
+  std::size_t variable_count =
+      VariableCount(tgd.head(), VariableCount(tgd.body()));
+  Binding binding(variable_count);
+  bool fired = false;
+  MatchConjunction(tgd.body(), 0, *db, &binding, [&](const Binding& b) {
+    // Standard trigger: fire only if the head has no homomorphic image in
+    // db extending b on the shared variables.
+    Binding head_binding = b;
+    bool satisfied =
+        MatchConjunction(tgd.head(), 0, *db, &head_binding,
+                         [](const Binding&) { return false; });
+    if (satisfied) return true;  // Keep searching for other triggers.
+    // Fire: fresh nulls for the existential variables.
+    Binding extended = b;
+    for (std::size_t v : tgd.ExistentialVariables()) {
+      extended[v] = Value::FreshNull();
+    }
+    for (const DependencyAtom& atom : tgd.head()) {
+      std::vector<Value> values;
+      values.reserve(atom.terms.size());
+      for (const Term& t : atom.terms) {
+        values.push_back(t.is_value() ? t.value()
+                                      : *extended[t.variable_id()]);
+      }
+      db->AddRelation(atom.relation, atom.terms.size())
+          .Insert(Tuple(std::move(values)));
+    }
+    fired = true;
+    return false;
+  });
+  return fired;
+}
+
+}  // namespace
+
+GeneralChaseResult ChaseDependencies(const DependencySet& dependencies,
+                                     const Database& db,
+                                     std::size_t max_steps) {
+  GeneralChaseResult result;
+  result.database = db;
+  std::size_t steps = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const EqualityGeneratingDependency& egd : dependencies.egds) {
+      while (StepEgd(egd, &result.database, &result.failure_reason)) {
+        if (!result.failure_reason.empty()) {
+          result.success = false;
+          return result;
+        }
+        changed = true;
+        if (++steps > max_steps) {
+          result.success = false;
+          result.failure_reason = "chase step budget exhausted";
+          return result;
+        }
+      }
+    }
+    for (const TupleGeneratingDependency& tgd : dependencies.tgds) {
+      while (StepTgd(tgd, &result.database)) {
+        changed = true;
+        if (++steps > max_steps) {
+          result.success = false;
+          result.failure_reason = "chase step budget exhausted";
+          return result;
+        }
+      }
+    }
+  }
+  result.success = true;
+  return result;
+}
+
+}  // namespace zeroone

@@ -1,0 +1,109 @@
+#ifndef ZEROONE_CONSTRAINTS_DEPENDENCIES_H_
+#define ZEROONE_CONSTRAINTS_DEPENDENCIES_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "constraints/constraint.h"
+#include "data/database.h"
+
+namespace zeroone {
+
+// General equality- and tuple-generating dependencies and the standard
+// chase — the machinery behind the data-exchange and data-integration
+// scenarios the paper's introduction cites ([3], [30]) and the general form
+// of the constraints of Section 4 (FDs are single-relation EGDs; inclusion
+// dependencies are single-atom full/existential TGDs).
+//
+//   EGD:  ∀x̄  φ(x̄) → x_i = x_j
+//   TGD:  ∀x̄  φ(x̄) → ∃ȳ ψ(x̄, ȳ)
+//
+// with φ, ψ conjunctions of relational atoms. The standard chase fires
+// violated dependencies: an EGD merges values (failing on two distinct
+// constants), a TGD invents fresh labeled nulls for ȳ. TGD chases need not
+// terminate in general; termination is guaranteed for weakly acyclic sets,
+// which CheckWeakAcyclicity decides, and ChaseDependencies additionally
+// enforces a step budget so misuse degrades into an error, never a hang.
+
+// A conjunction of atoms over variables (dense per-dependency ids) and
+// constants.
+struct DependencyAtom {
+  std::string relation;
+  std::vector<Term> terms;
+};
+
+class EqualityGeneratingDependency : public Constraint {
+ public:
+  // φ(x̄) → left = right, where left/right are variables of φ.
+  // Precondition: both variables occur in the body.
+  EqualityGeneratingDependency(std::vector<DependencyAtom> body,
+                               std::size_t left_variable,
+                               std::size_t right_variable);
+
+  const std::vector<DependencyAtom>& body() const { return body_; }
+  std::size_t left_variable() const { return left_variable_; }
+  std::size_t right_variable() const { return right_variable_; }
+
+  FormulaPtr ToFormula() const override;
+  std::string ToString() const override;
+
+ private:
+  std::vector<DependencyAtom> body_;
+  std::size_t left_variable_;
+  std::size_t right_variable_;
+};
+
+class TupleGeneratingDependency : public Constraint {
+ public:
+  // φ(x̄) → ∃ȳ ψ(x̄, ȳ). Head variables absent from the body are
+  // existential (the ȳ). Precondition: nonempty head.
+  TupleGeneratingDependency(std::vector<DependencyAtom> body,
+                            std::vector<DependencyAtom> head);
+
+  const std::vector<DependencyAtom>& body() const { return body_; }
+  const std::vector<DependencyAtom>& head() const { return head_; }
+  // Variables occurring in the head but not in the body.
+  std::vector<std::size_t> ExistentialVariables() const;
+
+  FormulaPtr ToFormula() const override;
+  std::string ToString() const override;
+
+ private:
+  std::vector<DependencyAtom> body_;
+  std::vector<DependencyAtom> head_;
+};
+
+struct DependencySet {
+  std::vector<EqualityGeneratingDependency> egds;
+  std::vector<TupleGeneratingDependency> tgds;
+
+  ConstraintSet ToConstraintSet() const;
+};
+
+// Weak acyclicity of the TGDs (Fagin–Kolaitis–Miller–Popa): build the
+// position graph with ordinary and "special" (existential-creating) edges;
+// the set is weakly acyclic iff no cycle passes through a special edge.
+// Weakly acyclic sets have terminating chases on every instance.
+bool CheckWeakAcyclicity(const std::vector<TupleGeneratingDependency>& tgds);
+
+// Result of the standard chase.
+struct GeneralChaseResult {
+  bool success = false;
+  Database database;          // Meaningful when success.
+  std::string failure_reason; // EGD constant clash, or step budget hit.
+};
+
+// Runs the standard chase (EGDs and TGDs interleaved to fixpoint). TGD
+// firings use the *standard* (non-oblivious) trigger condition: a rule
+// fires only if the head has no homomorphic image extending the trigger.
+// `max_steps` bounds the total number of firings; exceeding it fails the
+// chase (use CheckWeakAcyclicity to know termination is guaranteed).
+GeneralChaseResult ChaseDependencies(const DependencySet& dependencies,
+                                     const Database& db,
+                                     std::size_t max_steps = 10000);
+
+}  // namespace zeroone
+
+#endif  // ZEROONE_CONSTRAINTS_DEPENDENCIES_H_

@@ -1,0 +1,139 @@
+#include "constraints/fd.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace zeroone {
+
+FunctionalDependency::FunctionalDependency(std::string relation,
+                                           std::size_t arity,
+                                           std::vector<std::size_t> lhs,
+                                           std::size_t rhs)
+    : relation_(std::move(relation)),
+      arity_(arity),
+      lhs_(std::move(lhs)),
+      rhs_(rhs) {
+  assert(rhs_ < arity_ && "FD rhs position out of range");
+  for (std::size_t p : lhs_) {
+    assert(p < arity_ && "FD lhs position out of range");
+    (void)p;
+  }
+  assert(std::find(lhs_.begin(), lhs_.end(), rhs_) == lhs_.end() &&
+         "trivial FD: rhs contained in lhs");
+}
+
+FormulaPtr FunctionalDependency::ToFormula() const {
+  std::size_t width = arity_;
+  // Variables 0..width-1 for x̄, width..2*width-1 for ȳ.
+  std::vector<Term> xs;
+  std::vector<Term> ys;
+  std::vector<std::size_t> all_vars;
+  for (std::size_t i = 0; i < width; ++i) {
+    xs.push_back(Term::Variable(i));
+    ys.push_back(Term::Variable(width + i));
+    all_vars.push_back(i);
+  }
+  for (std::size_t i = 0; i < width; ++i) all_vars.push_back(width + i);
+  std::vector<FormulaPtr> premises = {Formula::Atom(relation_, xs),
+                                      Formula::Atom(relation_, ys)};
+  for (std::size_t p : lhs_) {
+    premises.push_back(Formula::Equals(xs[p], ys[p]));
+  }
+  FormulaPtr conclusion = Formula::Equals(xs[rhs_], ys[rhs_]);
+  return Formula::Forall(
+      all_vars, Formula::Implies(Formula::And(std::move(premises)),
+                                 std::move(conclusion)));
+}
+
+std::string FunctionalDependency::ToString() const {
+  std::string result = relation_ + ": {";
+  for (std::size_t i = 0; i < lhs_.size(); ++i) {
+    if (i > 0) result += ",";
+    result += std::to_string(lhs_[i]);
+  }
+  result += "} -> " + std::to_string(rhs_);
+  return result;
+}
+
+namespace {
+
+// Replaces every occurrence of `from` by `to` in the database and the
+// mapping (a chase merge step).
+void ReplaceEverywhere(Value from, Value to, Database* db,
+                       std::map<Value, Value>* mapping) {
+  Database replaced(db->schema());
+  for (const auto& [name, rel] : db->relations()) {
+    Relation& out = replaced.mutable_relation(name);
+    for (const Tuple& tuple : rel) {
+      std::vector<Value> values;
+      values.reserve(tuple.arity());
+      for (Value v : tuple) values.push_back(v == from ? to : v);
+      out.Insert(Tuple(std::move(values)));
+    }
+  }
+  *db = std::move(replaced);
+  for (auto& [original, current] : *mapping) {
+    if (current == from) current = to;
+  }
+}
+
+}  // namespace
+
+ChaseResult ChaseFds(const std::vector<FunctionalDependency>& fds,
+                     const Database& db) {
+  ChaseResult result;
+  result.database = db;
+  for (Value null : db.Nulls()) {
+    result.null_mapping.emplace(null, null);
+  }
+  // Fixpoint loop: scan for violations; each resolution strictly decreases
+  // the number of distinct values or repairs a violation, so the loop
+  // terminates in polynomially many steps.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const FunctionalDependency& fd : fds) {
+      if (!result.database.HasRelation(fd.relation())) continue;
+      const Relation& rel = result.database.relation(fd.relation());
+      // Find a violating pair.
+      for (std::size_t i = 0; i < rel.size() && !changed; ++i) {
+        for (std::size_t j = i + 1; j < rel.size() && !changed; ++j) {
+          const Tuple& t1 = rel.tuples()[i];
+          const Tuple& t2 = rel.tuples()[j];
+          bool lhs_agree = true;
+          for (std::size_t p : fd.lhs()) {
+            if (t1[p] != t2[p]) {
+              lhs_agree = false;
+              break;
+            }
+          }
+          if (!lhs_agree) continue;
+          Value a = t1[fd.rhs()];
+          Value b = t2[fd.rhs()];
+          if (a == b) continue;
+          // A violation: resolve per the three chase cases.
+          if (a.is_null() && b.is_constant()) {
+            ReplaceEverywhere(a, b, &result.database, &result.null_mapping);
+          } else if (b.is_null() && a.is_constant()) {
+            ReplaceEverywhere(b, a, &result.database, &result.null_mapping);
+          } else if (a.is_null() && b.is_null()) {
+            ReplaceEverywhere(b, a, &result.database, &result.null_mapping);
+          } else {
+            result.success = false;
+            result.failure_reason = "chase failure on " + fd.ToString() +
+                                    ": tuples " + t1.ToString() + " and " +
+                                    t2.ToString() +
+                                    " force distinct constants " +
+                                    a.ToString() + " = " + b.ToString();
+            return result;
+          }
+          changed = true;
+        }
+      }
+    }
+  }
+  result.success = true;
+  return result;
+}
+
+}  // namespace zeroone

@@ -1,0 +1,63 @@
+#ifndef ZEROONE_CONSTRAINTS_FD_H_
+#define ZEROONE_CONSTRAINTS_FD_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "constraints/constraint.h"
+#include "data/database.h"
+
+namespace zeroone {
+
+// A functional dependency X → A over a relation: any two tuples agreeing on
+// the attribute positions X must agree on position A (Section 4.4; without
+// loss of generality the right-hand side is a single attribute).
+class FunctionalDependency : public Constraint {
+ public:
+  // Positions are 0-based attribute indices into a relation of the given
+  // arity. Preconditions: all positions < arity, rhs not in lhs.
+  FunctionalDependency(std::string relation, std::size_t arity,
+                       std::vector<std::size_t> lhs, std::size_t rhs);
+
+  const std::string& relation() const { return relation_; }
+  std::size_t arity() const { return arity_; }
+  const std::vector<std::size_t>& lhs() const { return lhs_; }
+  std::size_t rhs() const { return rhs_; }
+
+  // ∀x̄ ∀ȳ (R(x̄) ∧ R(ȳ) ∧ ⋀_{i∈X} x_i = y_i) → x_A = y_A.
+  FormulaPtr ToFormula() const override;
+  std::string ToString() const override;
+
+ private:
+  std::string relation_;
+  std::size_t arity_;
+  std::vector<std::size_t> lhs_;
+  std::size_t rhs_;
+};
+
+// Result of chasing a database with a set of FDs (Section 4.4). The chase
+// repeatedly resolves violations: a null involved in a violation is replaced
+// by the other side's constant (or the two nulls are merged); two distinct
+// constants on the right-hand side make the chase fail. Every chase order
+// yields the same result up to null renaming; this implementation is
+// deterministic.
+struct ChaseResult {
+  bool success = false;
+  // chase_Σ(D); meaningful only when success.
+  Database database;
+  // Where each original null of D ended up: a constant, or the
+  // representative null of its merge class. Identity for untouched nulls.
+  std::map<Value, Value> null_mapping;
+  // For failed chases: a description of the constant/constant conflict.
+  std::string failure_reason;
+};
+
+// Chases `db` with the given FDs. Runs in polynomial time in |db|.
+ChaseResult ChaseFds(const std::vector<FunctionalDependency>& fds,
+                     const Database& db);
+
+}  // namespace zeroone
+
+#endif  // ZEROONE_CONSTRAINTS_FD_H_

@@ -1,0 +1,69 @@
+#include "constraints/ind.h"
+
+#include <cassert>
+
+namespace zeroone {
+
+InclusionDependency::InclusionDependency(
+    std::string from_relation, std::size_t from_arity,
+    std::vector<std::size_t> from_positions, std::string to_relation,
+    std::size_t to_arity, std::vector<std::size_t> to_positions)
+    : from_relation_(std::move(from_relation)),
+      from_arity_(from_arity),
+      from_positions_(std::move(from_positions)),
+      to_relation_(std::move(to_relation)),
+      to_arity_(to_arity),
+      to_positions_(std::move(to_positions)) {
+  assert(!from_positions_.empty() && "IND needs at least one position");
+  assert(from_positions_.size() == to_positions_.size() &&
+         "IND position lists must have equal length");
+  for (std::size_t p : from_positions_) {
+    assert(p < from_arity_ && "IND from-position out of range");
+    (void)p;
+  }
+  for (std::size_t p : to_positions_) {
+    assert(p < to_arity_ && "IND to-position out of range");
+    (void)p;
+  }
+}
+
+FormulaPtr InclusionDependency::ToFormula() const {
+  // Variables 0..from_arity-1 for x̄, from_arity..from_arity+to_arity-1
+  // for ȳ.
+  std::vector<Term> xs;
+  std::vector<std::size_t> x_vars;
+  for (std::size_t i = 0; i < from_arity_; ++i) {
+    xs.push_back(Term::Variable(i));
+    x_vars.push_back(i);
+  }
+  std::vector<Term> ys;
+  std::vector<std::size_t> y_vars;
+  for (std::size_t i = 0; i < to_arity_; ++i) {
+    ys.push_back(Term::Variable(from_arity_ + i));
+    y_vars.push_back(from_arity_ + i);
+  }
+  std::vector<FormulaPtr> conjuncts = {Formula::Atom(to_relation_, ys)};
+  for (std::size_t l = 0; l < from_positions_.size(); ++l) {
+    conjuncts.push_back(
+        Formula::Equals(ys[to_positions_[l]], xs[from_positions_[l]]));
+  }
+  FormulaPtr body = Formula::Implies(
+      Formula::Atom(from_relation_, xs),
+      Formula::Exists(y_vars, Formula::And(std::move(conjuncts))));
+  return Formula::Forall(x_vars, std::move(body));
+}
+
+std::string InclusionDependency::ToString() const {
+  auto positions = [](const std::vector<std::size_t>& ps) {
+    std::string out = "[";
+    for (std::size_t i = 0; i < ps.size(); ++i) {
+      if (i > 0) out += ",";
+      out += std::to_string(ps[i]);
+    }
+    return out + "]";
+  };
+  return from_relation_ + positions(from_positions_) + " ⊆ " + to_relation_ +
+         positions(to_positions_);
+}
+
+}  // namespace zeroone

@@ -1,0 +1,51 @@
+#ifndef ZEROONE_CONSTRAINTS_IND_H_
+#define ZEROONE_CONSTRAINTS_IND_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "constraints/constraint.h"
+
+namespace zeroone {
+
+// An inclusion dependency R[i₁,…,i_n] ⊆ S[j₁,…,j_n]: the projection of R to
+// positions ī is contained in the projection of S to positions j̄. These are
+// the constraints that break the 0–1 law in Section 4: with a single IND,
+// µ(Q|Σ,D) can be any rational in [0,1] (Proposition 4).
+class InclusionDependency : public Constraint {
+ public:
+  // Preconditions: equal numbers of from/to positions (nonempty), positions
+  // within the respective arities.
+  InclusionDependency(std::string from_relation, std::size_t from_arity,
+                      std::vector<std::size_t> from_positions,
+                      std::string to_relation, std::size_t to_arity,
+                      std::vector<std::size_t> to_positions);
+
+  const std::string& from_relation() const { return from_relation_; }
+  std::size_t from_arity() const { return from_arity_; }
+  const std::vector<std::size_t>& from_positions() const {
+    return from_positions_;
+  }
+  const std::string& to_relation() const { return to_relation_; }
+  std::size_t to_arity() const { return to_arity_; }
+  const std::vector<std::size_t>& to_positions() const {
+    return to_positions_;
+  }
+
+  // ∀x̄ (R(x̄) → ∃ȳ S(ȳ) ∧ ⋀_l y_{j_l} = x_{i_l}).
+  FormulaPtr ToFormula() const override;
+  std::string ToString() const override;
+
+ private:
+  std::string from_relation_;
+  std::size_t from_arity_;
+  std::vector<std::size_t> from_positions_;
+  std::string to_relation_;
+  std::size_t to_arity_;
+  std::vector<std::size_t> to_positions_;
+};
+
+}  // namespace zeroone
+
+#endif  // ZEROONE_CONSTRAINTS_IND_H_

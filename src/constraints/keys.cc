@@ -1,0 +1,156 @@
+#include "constraints/keys.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "constraints/fd.h"
+
+namespace zeroone {
+
+std::string UnaryKey::ToString() const {
+  return "key " + relation + "[" + std::to_string(position) + "]";
+}
+
+std::string UnaryForeignKey::ToString() const {
+  return "fk " + from_relation + "[" + std::to_string(from_position) +
+         "] -> " + to_relation + "[" + std::to_string(to_position) + "]";
+}
+
+namespace {
+
+// The constants of a relation column (nulls skipped).
+std::set<Value> ColumnConstants(const Database& db, const std::string& name,
+                                std::size_t position) {
+  std::set<Value> out;
+  if (!db.HasRelation(name)) return out;
+  for (const Tuple& tuple : db.relation(name)) {
+    if (tuple[position].is_constant()) out.insert(tuple[position]);
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<KeySatisfiability> CheckKeySatisfiability(
+    const std::vector<UnaryKey>& keys,
+    const std::vector<UnaryForeignKey>& foreign_keys, const Database& db) {
+  // Every FK must target a declared key column.
+  for (const UnaryForeignKey& fk : foreign_keys) {
+    bool targets_key = std::any_of(
+        keys.begin(), keys.end(), [&](const UnaryKey& key) {
+          return key.relation == fk.to_relation &&
+                 key.position == fk.to_position;
+        });
+    if (!targets_key) {
+      return Status::Error("foreign key " + fk.ToString() +
+                           " does not reference a declared key column");
+    }
+  }
+
+  KeySatisfiability result;
+  // Step 1: key columns null-free.
+  for (const UnaryKey& key : keys) {
+    if (!db.HasRelation(key.relation)) continue;
+    for (const Tuple& tuple : db.relation(key.relation)) {
+      if (tuple[key.position].is_null()) {
+        result.satisfiable = false;
+        result.reason = key.ToString() + " has a null in tuple " +
+                        tuple.ToString();
+        return result;
+      }
+    }
+  }
+
+  // Step 2: keys as FDs {key} → every other position; chase. Two tuples
+  // sharing a key value must become the same tuple under every admissible
+  // valuation, so the chase either merges them or proves unsatisfiability.
+  std::vector<FunctionalDependency> fds;
+  for (const UnaryKey& key : keys) {
+    for (std::size_t p = 0; p < key.arity; ++p) {
+      if (p == key.position) continue;
+      fds.emplace_back(key.relation, key.arity,
+                       std::vector<std::size_t>{key.position}, p);
+    }
+  }
+  ChaseResult chase = ChaseFds(fds, db);
+  if (!chase.success) {
+    result.satisfiable = false;
+    result.reason = chase.failure_reason;
+    return result;
+  }
+  const Database& chased = chase.database;
+
+  // Step 3: foreign keys. Constants must already appear in the target key
+  // column; each null must be assignable to a constant lying in every
+  // target column it is subject to. (Nulls never occur in key columns, so
+  // assignments are otherwise unconstrained, and collapsing non-key tuples
+  // cannot create key violations.)
+  std::map<Value, std::vector<const UnaryForeignKey*>> null_obligations;
+  for (const UnaryForeignKey& fk : foreign_keys) {
+    if (!chased.HasRelation(fk.from_relation)) continue;
+    std::set<Value> target =
+        ColumnConstants(chased, fk.to_relation, fk.to_position);
+    for (const Tuple& tuple : chased.relation(fk.from_relation)) {
+      Value v = tuple[fk.from_position];
+      if (v.is_constant()) {
+        if (target.count(v) == 0) {
+          result.satisfiable = false;
+          result.reason = fk.ToString() + ": constant " + v.ToString() +
+                          " missing from target key column";
+          return result;
+        }
+      } else {
+        null_obligations[v].push_back(&fk);
+      }
+    }
+  }
+  for (const auto& [null, obligations] : null_obligations) {
+    std::set<Value> candidates = ColumnConstants(
+        chased, obligations[0]->to_relation, obligations[0]->to_position);
+    for (std::size_t i = 1; i < obligations.size() && !candidates.empty();
+         ++i) {
+      std::set<Value> target = ColumnConstants(
+          chased, obligations[i]->to_relation, obligations[i]->to_position);
+      std::set<Value> intersection;
+      std::set_intersection(candidates.begin(), candidates.end(),
+                            target.begin(), target.end(),
+                            std::inserter(intersection, intersection.end()));
+      candidates = std::move(intersection);
+    }
+    if (candidates.empty()) {
+      result.satisfiable = false;
+      result.reason = "null " + null.ToString() +
+                      " has no admissible value across its foreign keys";
+      return result;
+    }
+  }
+  result.satisfiable = true;
+  return result;
+}
+
+bool KeysHold(const std::vector<UnaryKey>& keys,
+              const std::vector<UnaryForeignKey>& foreign_keys,
+              const Database& db) {
+  for (const UnaryKey& key : keys) {
+    if (!db.HasRelation(key.relation)) continue;
+    std::set<Value> seen;
+    for (const Tuple& tuple : db.relation(key.relation)) {
+      Value v = tuple[key.position];
+      if (v.is_null()) return false;
+      if (!seen.insert(v).second) return false;  // Duplicate key value.
+    }
+  }
+  for (const UnaryForeignKey& fk : foreign_keys) {
+    if (!db.HasRelation(fk.from_relation)) continue;
+    std::set<Value> target =
+        ColumnConstants(db, fk.to_relation, fk.to_position);
+    for (const Tuple& tuple : db.relation(fk.from_relation)) {
+      Value v = tuple[fk.from_position];
+      if (v.is_null() || target.count(v) == 0) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace zeroone

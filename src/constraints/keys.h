@@ -1,0 +1,71 @@
+#ifndef ZEROONE_CONSTRAINTS_KEYS_H_
+#define ZEROONE_CONSTRAINTS_KEYS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/database.h"
+
+namespace zeroone {
+
+// Unary keys and foreign keys with the RDBMS interpretation used by
+// Proposition 6: an attribute declared as a key may not contain nulls, key
+// values are unique (two tuples sharing the key value must be the same
+// tuple), and a foreign key is an inclusion of a column into a key column.
+
+// Attribute `position` of `relation` (of the given arity) is a key.
+struct UnaryKey {
+  std::string relation;
+  std::size_t arity = 0;
+  std::size_t position = 0;
+
+  std::string ToString() const;
+};
+
+// Column from_position of from_relation references the key column
+// to_position of to_relation.
+struct UnaryForeignKey {
+  std::string from_relation;
+  std::size_t from_position = 0;
+  std::string to_relation;
+  std::size_t to_position = 0;
+
+  std::string ToString() const;
+};
+
+// Outcome of the polynomial-time satisfiability test of Proposition 6:
+// whether some valuation v makes v(D) satisfy all keys and foreign keys.
+struct KeySatisfiability {
+  bool satisfiable = false;
+  // When unsatisfiable, a human-readable reason.
+  std::string reason;
+};
+
+// Decides in polynomial time (data complexity) whether the unary keys and
+// foreign keys are satisfiable in D, i.e. whether some valuation yields a
+// database satisfying them. The algorithm:
+//   1. Key columns must be null-free (the RDBMS reading).
+//   2. Two tuples agreeing on a key must be mergeable: a key induces the
+//      FDs {key} → every other position, which are chased; chase failure
+//      means two tuples share a key value but are forced to differ.
+//   3. After the chase, every foreign-key source value must be realizable:
+//      constants must appear in the target key column; each null must have
+//      a nonempty intersection of the target columns it is subject to.
+// Each foreign key's target column must be declared as a key, otherwise an
+// error is returned.
+StatusOr<KeySatisfiability> CheckKeySatisfiability(
+    const std::vector<UnaryKey>& keys,
+    const std::vector<UnaryForeignKey>& foreign_keys, const Database& db);
+
+// Direct checker on a database (typically a complete one, v(D)): do all
+// keys and foreign keys hold outright? Used to cross-validate the
+// polynomial test against brute-force search over valuations in tests.
+bool KeysHold(const std::vector<UnaryKey>& keys,
+              const std::vector<UnaryForeignKey>& foreign_keys,
+              const Database& db);
+
+}  // namespace zeroone
+
+#endif  // ZEROONE_CONSTRAINTS_KEYS_H_

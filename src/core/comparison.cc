@@ -1,0 +1,136 @@
+#include "core/comparison.h"
+
+#include <cassert>
+
+#include "core/measure.h"
+#include "core/support.h"
+#include "data/valuation.h"
+#include "query/eval.h"
+
+namespace zeroone {
+
+namespace {
+
+// The shared bounded valuation space for a set of tuples: nulls of D plus
+// any tuple nulls; range A ∪ A_m with A = C ∪ Const(D) ∪ tuple constants.
+struct ComparisonSpace {
+  std::vector<Value> nulls;
+  std::vector<Value> domain;
+};
+
+void AppendUnique(std::vector<Value>* out, const std::vector<Value>& values) {
+  for (Value v : values) {
+    bool seen = false;
+    for (Value existing : *out) seen = seen || existing == v;
+    if (!seen) out->push_back(v);
+  }
+}
+
+ComparisonSpace MakeComparisonSpace(const Query& query, const Database& db,
+                                    const std::vector<Tuple>& tuples) {
+  ComparisonSpace space;
+  space.nulls = db.Nulls();
+  std::vector<Value> prefix = query.GenericityConstants();
+  AppendUnique(&prefix, db.Constants());
+  for (const Tuple& t : tuples) {
+    AppendUnique(&space.nulls, t.Nulls());
+    for (Value v : t) {
+      if (v.is_constant()) AppendUnique(&prefix, {v});
+    }
+  }
+  space.domain =
+      MakeConstantEnumeration(prefix, prefix.size() + space.nulls.size());
+  return space;
+}
+
+bool Witnesses(const Query& query, const Database& valuated,
+               const Valuation& v, const Tuple& tuple) {
+  return EvaluateMembership(query, valuated, v.Apply(tuple));
+}
+
+}  // namespace
+
+bool Separates(const Query& query, const Database& db, const Tuple& a,
+               const Tuple& b) {
+  assert(a.arity() == query.arity() && b.arity() == query.arity());
+  ComparisonSpace space = MakeComparisonSpace(query, db, {a, b});
+  // Search for v ∈ Supp(a) − Supp(b); stop at the first.
+  return !ForEachValuationUntil(
+      space.nulls, space.domain, [&](const Valuation& v) {
+        Database valuated = v.Apply(db);
+        bool separating = Witnesses(query, valuated, v, a) &&
+                          !Witnesses(query, valuated, v, b);
+        return !separating;  // Keep going while not separating.
+      });
+}
+
+bool WeaklyDominated(const Query& query, const Database& db, const Tuple& a,
+                     const Tuple& b) {
+  return !Separates(query, db, a, b);
+}
+
+bool StrictlyDominated(const Query& query, const Database& db, const Tuple& a,
+                       const Tuple& b) {
+  return !Separates(query, db, a, b) && Separates(query, db, b, a);
+}
+
+SupportTable ComputeSupportTable(const Query& query, const Database& db,
+                                 const std::vector<Tuple>& candidates) {
+  SupportTable table;
+  table.candidates = candidates;
+  table.support.assign(candidates.size(), {});
+  ComparisonSpace space = MakeComparisonSpace(query, db, candidates);
+  ForEachValuation(space.nulls, space.domain, [&](const Valuation& v) {
+    Database valuated = v.Apply(db);
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      table.support[i].push_back(
+          Witnesses(query, valuated, v, candidates[i]));
+    }
+    ++table.valuation_count;
+  });
+  return table;
+}
+
+namespace {
+
+// support[i] ⊆ support[j]?
+bool SubsetOf(const std::vector<bool>& a, const std::vector<bool>& b) {
+  for (std::size_t v = 0; v < a.size(); ++v) {
+    if (a[v] && !b[v]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<Tuple> BestAnswersAmong(const Query& query, const Database& db,
+                                    const std::vector<Tuple>& candidates) {
+  SupportTable table = ComputeSupportTable(query, db, candidates);
+  std::vector<Tuple> best;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < candidates.size() && !dominated; ++j) {
+      if (i == j) continue;
+      // candidates[i] ◁ candidates[j]: strict support inclusion.
+      dominated = SubsetOf(table.support[i], table.support[j]) &&
+                  !SubsetOf(table.support[j], table.support[i]);
+    }
+    if (!dominated) best.push_back(candidates[i]);
+  }
+  return best;
+}
+
+std::vector<Tuple> BestAnswers(const Query& query, const Database& db) {
+  return BestAnswersAmong(query, db, AllTuplesOverAdom(db, query.arity()));
+}
+
+std::vector<Tuple> BestMuAnswers(const Query& query, const Database& db) {
+  std::vector<Tuple> best = BestAnswers(query, db);
+  std::vector<Tuple> result;
+  for (const Tuple& t : best) {
+    if (NaiveMembership(query, db, t)) result.push_back(t);
+  }
+  return result;
+}
+
+}  // namespace zeroone

@@ -1,0 +1,119 @@
+#include "core/generic_instance.h"
+
+#include <algorithm>
+#include <cassert>
+#include <thread>
+
+#include "common/partitions.h"
+
+namespace zeroone {
+
+GenericSupportCount CountGenericSupport(const GenericInstance& instance,
+                                        const Database& db, std::size_t k) {
+  assert(k >= instance.prefix.size() &&
+         "k must cover the enumeration prefix C ∪ Const(D)");
+  std::vector<Value> domain = MakeConstantEnumeration(instance.prefix, k);
+  GenericSupportCount count{BigInt(0), BigInt(0)};
+  ForEachValuation(instance.nulls, domain, [&](const Valuation& v) {
+    count.total += BigInt(1);
+    if (instance.witness(v, v.Apply(db))) count.support += BigInt(1);
+  });
+  return count;
+}
+
+GenericSupportCount CountGenericSupportParallel(
+    const GenericInstance& instance, const Database& db, std::size_t k,
+    std::size_t threads) {
+  assert(k >= instance.prefix.size() &&
+         "k must cover the enumeration prefix C ∪ Const(D)");
+  if (instance.nulls.empty() || threads <= 1) {
+    return CountGenericSupport(instance, db, k);
+  }
+  std::vector<Value> domain = MakeConstantEnumeration(instance.prefix, k);
+  // Shard on the first null's value; the remaining nulls enumerate inside
+  // each shard. Shards are independent, so plain per-thread partials
+  // suffice.
+  std::vector<Value> rest(instance.nulls.begin() + 1, instance.nulls.end());
+  std::size_t shard_count = domain.size();
+  threads = std::min(threads, shard_count);
+  std::vector<BigInt> partial_support(threads, BigInt(0));
+  std::vector<BigInt> partial_total(threads, BigInt(0));
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      for (std::size_t shard = t; shard < shard_count; shard += threads) {
+        ForEachValuation(rest, domain, [&](const Valuation& v) {
+          Valuation full = v;
+          full.Bind(instance.nulls[0], domain[shard]);
+          partial_total[t] += BigInt(1);
+          if (instance.witness(full, full.Apply(db))) {
+            partial_support[t] += BigInt(1);
+          }
+        });
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  GenericSupportCount count{BigInt(0), BigInt(0)};
+  for (std::size_t t = 0; t < threads; ++t) {
+    count.support += partial_support[t];
+    count.total += partial_total[t];
+  }
+  return count;
+}
+
+Rational GenericMuK(const GenericInstance& instance, const Database& db,
+                    std::size_t k) {
+  GenericSupportCount count = CountGenericSupport(instance, db, k);
+  if (count.total.is_zero()) return Rational(0);
+  return Rational(count.support, count.total);
+}
+
+GenericSupportPolynomial ComputeGenericSupportPolynomial(
+    const GenericInstance& instance, const Database& db) {
+  const std::vector<Value>& a_set = instance.prefix;
+  const std::size_t a = a_set.size();
+  const std::size_t m = instance.nulls.size();
+
+  // One globally fresh constant per potential free block; fresh constants
+  // lie outside A and Const(D), so distinct free blocks receive distinct
+  // non-A values, realizing the kernel partition exactly.
+  std::vector<Value> fresh;
+  fresh.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) fresh.push_back(Value::FreshConstant());
+
+  Polynomial result;
+  ForEachSetPartition(m, [&](const SetPartition& partition) {
+    const std::size_t t = partition.block_count;
+    ForEachInjectivePartialMap(
+        t, a, [&](const std::vector<std::size_t>& sigma) {
+          Valuation v;
+          std::size_t free_blocks = 0;
+          std::vector<Value> block_value(t);
+          for (std::size_t b = 0; b < t; ++b) {
+            block_value[b] = sigma[b] == kUnassigned ? fresh[free_blocks++]
+                                                     : a_set[sigma[b]];
+          }
+          for (std::size_t i = 0; i < m; ++i) {
+            v.Bind(instance.nulls[i], block_value[partition.blocks[i]]);
+          }
+          if (instance.witness(v, v.Apply(db))) {
+            result += Polynomial::FallingFactorial(
+                static_cast<std::int64_t>(a),
+                static_cast<unsigned>(free_blocks));
+          }
+        });
+  });
+  return GenericSupportPolynomial{std::move(result), a};
+}
+
+Rational GenericMuLimit(const GenericInstance& instance, const Database& db) {
+  GenericSupportPolynomial support =
+      ComputeGenericSupportPolynomial(instance, db);
+  Polynomial total = Polynomial::Monomial(
+      Rational(1), static_cast<unsigned>(instance.nulls.size()));
+  return LimitOfRatio(support.count, total);
+}
+
+}  // namespace zeroone

@@ -1,0 +1,128 @@
+#include "core/measure.h"
+
+#include <cassert>
+
+#include "core/support.h"
+#include "data/valuation.h"
+#include "query/eval.h"
+
+namespace zeroone {
+
+int MuLimit(const Query& query, const Database& db, const Tuple& tuple) {
+  return NaiveMembership(query, db, tuple) ? 1 : 0;
+}
+
+int MuLimit(const Query& query, const Database& db) {
+  return MuLimit(query, db, Tuple{});
+}
+
+bool AlmostCertainlyTrue(const Query& query, const Database& db,
+                         const Tuple& tuple) {
+  return MuLimit(query, db, tuple) == 1;
+}
+
+bool AlmostCertainlyFalse(const Query& query, const Database& db,
+                          const Tuple& tuple) {
+  return MuLimit(query, db, tuple) == 0;
+}
+
+std::vector<Tuple> AlmostCertainAnswers(const Query& query,
+                                        const Database& db) {
+  return NaiveEvaluate(query, db);
+}
+
+namespace {
+
+// The bounded valuation domain that is complete for certainty/possibility
+// checks: A = C ∪ Const(D) extended with one fresh constant per null.
+struct BoundedSearch {
+  SupportInstance instance;
+  std::vector<Value> domain;
+};
+
+BoundedSearch MakeBoundedSearch(const Query& query, const Database& db,
+                                const Tuple& tuple) {
+  BoundedSearch search;
+  search.instance = MakeSupportInstance(query, db, tuple);
+  std::size_t range_size =
+      search.instance.prefix.size() + search.instance.nulls.size();
+  search.domain = MakeConstantEnumeration(search.instance.prefix, range_size);
+  return search;
+}
+
+bool Witnesses(const SupportInstance& instance, const Valuation& v,
+               const Database& db, bool formula_has_nulls) {
+  Database valuated = v.Apply(db);
+  Tuple valuated_tuple = v.Apply(instance.tuple);
+  if (!formula_has_nulls) {
+    return EvaluateMembership(instance.query, valuated, valuated_tuple);
+  }
+  Query substituted(instance.query.name(), instance.query.free_variables(),
+                    ApplyValuationToFormula(instance.query.formula(), v),
+                    instance.query.variable_names());
+  return EvaluateMembership(substituted, valuated, valuated_tuple);
+}
+
+}  // namespace
+
+bool IsCertainAnswer(const Query& query, const Database& db,
+                     const Tuple& tuple) {
+  BoundedSearch search = MakeBoundedSearch(query, db, tuple);
+  bool formula_has_nulls = !query.formula()->MentionedNulls().empty();
+  // Certain iff no valuation in the bounded space fails to witness.
+  return ForEachValuationUntil(
+      search.instance.nulls, search.domain, [&](const Valuation& v) {
+        return Witnesses(search.instance, v, db, formula_has_nulls);
+      });
+}
+
+bool IsPossibleAnswer(const Query& query, const Database& db,
+                      const Tuple& tuple) {
+  BoundedSearch search = MakeBoundedSearch(query, db, tuple);
+  bool formula_has_nulls = !query.formula()->MentionedNulls().empty();
+  // Possible iff some valuation witnesses; stop at the first.
+  return !ForEachValuationUntil(
+      search.instance.nulls, search.domain, [&](const Valuation& v) {
+        return !Witnesses(search.instance, v, db, formula_has_nulls);
+      });
+}
+
+std::vector<Tuple> CertainAnswers(const Query& query, const Database& db) {
+  std::vector<Tuple> result;
+  for (const Tuple& candidate : NaiveEvaluate(query, db)) {
+    if (IsCertainAnswer(query, db, candidate)) result.push_back(candidate);
+  }
+  return result;
+}
+
+// All tuples over adom(D) of the given arity (odometer enumeration).
+std::vector<Tuple> AllTuplesOverAdom(const Database& db, std::size_t arity) {
+  std::vector<Value> adom = db.ActiveDomain();
+  std::vector<Tuple> result;
+  if (arity == 0) {
+    result.push_back(Tuple{});
+    return result;
+  }
+  if (adom.empty()) return result;
+  std::vector<std::size_t> indices(arity, 0);
+  while (true) {
+    std::vector<Value> values;
+    values.reserve(arity);
+    for (std::size_t i : indices) values.push_back(adom[i]);
+    result.push_back(Tuple(std::move(values)));
+    std::size_t p = 0;
+    while (p < arity && ++indices[p] == adom.size()) indices[p++] = 0;
+    if (p == arity) break;
+  }
+  return result;
+}
+
+std::vector<Tuple> PossibleAnswers(const Query& query, const Database& db) {
+  std::vector<Tuple> result;
+  for (const Tuple& candidate : AllTuplesOverAdom(db, query.arity())) {
+    if (IsPossibleAnswer(query, db, candidate)) result.push_back(candidate);
+  }
+  return result;
+}
+
+}  // namespace zeroone

@@ -1,0 +1,34 @@
+#ifndef ZEROONE_CORE_OWA_H_
+#define ZEROONE_CORE_OWA_H_
+
+#include <cstddef>
+
+#include "common/status.h"
+#include "common/rational.h"
+#include "data/database.h"
+#include "query/query.h"
+
+namespace zeroone {
+
+// Open-world semantics measure (Section 3.4). Under OWA,
+// [[D]]_owa = { v(D) ∪ D″ : v a valuation, D″ finite and complete }, and
+// owa-m^k(Q,D) is the fraction of databases in the restriction of [[D]]_owa
+// to active domains within {c₁..c_k} that satisfy the Boolean query Q.
+// Equivalently: the fraction, among all complete databases E over
+// {c₁..c_k} with v(D) ⊆ E for some valuation v into {c₁..c_k}, of those
+// satisfying Q.
+//
+// Proposition 2 shows this measure severs the link with naïve evaluation:
+// for D with a single empty unary relation U, owa-m^k(¬∃x U(x), D) = 2^−k
+// → 0 although the naïve evaluation is true.
+//
+// The computation enumerates all complete databases over {c₁..c_k} —
+// doubly exponential in k and relation arities — so it is guarded: the
+// total number of potential tuples Σ_R k^arity(R) must stay ≤ max_cells
+// (default 22, i.e. ≤ 2^22 candidate databases).
+StatusOr<Rational> OwaMK(const Query& query, const Database& db,
+                         std::size_t k, std::size_t max_cells = 22);
+
+}  // namespace zeroone
+
+#endif  // ZEROONE_CORE_OWA_H_

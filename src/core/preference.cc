@@ -1,0 +1,179 @@
+#include "core/preference.h"
+
+#include <map>
+#include <set>
+
+#include "core/support.h"
+#include "data/valuation.h"
+#include "query/eval.h"
+
+namespace zeroone {
+
+namespace {
+
+// Validated, instance-aligned preference tables: tables[i] holds the
+// (constant, weight) list for instance.nulls[i] (possibly empty).
+struct AlignedPreferences {
+  std::vector<std::vector<std::pair<Value, Rational>>> tables;
+  std::vector<Rational> fallback_mass;  // 1 − Σ weights per null.
+};
+
+StatusOr<AlignedPreferences> Align(const SupportInstance& instance,
+                                   const std::vector<NullPreference>& prefs) {
+  std::map<Value, const NullPreference*> by_null;
+  for (const NullPreference& pref : prefs) {
+    if (!pref.null.is_null()) {
+      return Status::Error("preference key " + pref.null.ToString() +
+                           " is not a null");
+    }
+    if (!by_null.emplace(pref.null, &pref).second) {
+      return Status::Error("duplicate preference table for " +
+                           pref.null.ToString());
+    }
+    std::set<Value> seen;
+    Rational mass(0);
+    for (const auto& [constant, weight] : pref.weights) {
+      if (!constant.is_constant()) {
+        return Status::Error("preferred value " + constant.ToString() +
+                             " is not a constant");
+      }
+      if (!seen.insert(constant).second) {
+        return Status::Error("duplicate preferred constant " +
+                             constant.ToString());
+      }
+      if (weight < Rational(0) || weight > Rational(1)) {
+        return Status::Error("preference weight out of [0,1]");
+      }
+      mass += weight;
+    }
+    if (mass > Rational(1)) {
+      return Status::Error("preference table mass exceeds 1 for " +
+                           pref.null.ToString());
+    }
+  }
+  AlignedPreferences aligned;
+  aligned.tables.resize(instance.nulls.size());
+  aligned.fallback_mass.assign(instance.nulls.size(), Rational(1));
+  for (std::size_t i = 0; i < instance.nulls.size(); ++i) {
+    auto it = by_null.find(instance.nulls[i]);
+    if (it == by_null.end()) continue;
+    aligned.tables[i] = it->second->weights;
+    Rational mass(0);
+    for (const auto& [constant, weight] : it->second->weights) mass += weight;
+    aligned.fallback_mass[i] = Rational(1) - mass;
+  }
+  return aligned;
+}
+
+bool Witnesses(const SupportInstance& instance, const Valuation& v,
+               const Database& db, bool formula_has_nulls) {
+  Database valuated = v.Apply(db);
+  Tuple valuated_tuple = v.Apply(instance.tuple);
+  if (!formula_has_nulls) {
+    return EvaluateMembership(instance.query, valuated, valuated_tuple);
+  }
+  Query substituted(instance.query.name(), instance.query.free_variables(),
+                    ApplyValuationToFormula(instance.query.formula(), v),
+                    instance.query.variable_names());
+  return EvaluateMembership(substituted, valuated, valuated_tuple);
+}
+
+// Recursive enumeration for the limit: each null takes a preferred
+// constant or a dedicated fresh constant; accumulate Π weights on witnessed
+// branches.
+void SumLimit(const SupportInstance& instance, const Database& db,
+              const AlignedPreferences& aligned,
+              const std::vector<Value>& fresh, bool formula_has_nulls,
+              std::size_t index, Valuation* v, const Rational& weight,
+              Rational* total) {
+  if (weight.is_zero()) return;
+  if (index == instance.nulls.size()) {
+    if (Witnesses(instance, *v, db, formula_has_nulls)) *total += weight;
+    return;
+  }
+  Value null = instance.nulls[index];
+  for (const auto& [constant, w] : aligned.tables[index]) {
+    v->Bind(null, constant);
+    SumLimit(instance, db, aligned, fresh, formula_has_nulls, index + 1, v,
+             weight * w, total);
+  }
+  // Generic branch: a fresh constant unique to this null.
+  v->Bind(null, fresh[index]);
+  SumLimit(instance, db, aligned, fresh, formula_has_nulls, index + 1, v,
+           weight * aligned.fallback_mass[index], total);
+}
+
+}  // namespace
+
+StatusOr<Rational> PreferenceMuLimit(
+    const Query& query, const Database& db, const Tuple& tuple,
+    const std::vector<NullPreference>& prefs) {
+  SupportInstance instance = MakeSupportInstance(query, db, tuple);
+  StatusOr<AlignedPreferences> aligned = Align(instance, prefs);
+  if (!aligned.ok()) return aligned.status();
+  bool formula_has_nulls = !query.formula()->MentionedNulls().empty();
+  std::vector<Value> fresh;
+  fresh.reserve(instance.nulls.size());
+  for (std::size_t i = 0; i < instance.nulls.size(); ++i) {
+    fresh.push_back(Value::FreshConstant());
+  }
+  Valuation v;
+  Rational total(0);
+  SumLimit(instance, db, *aligned, fresh, formula_has_nulls, 0, &v,
+           Rational(1), &total);
+  return total;
+}
+
+StatusOr<Rational> PreferenceMuK(const Query& query, const Database& db,
+                                 const Tuple& tuple,
+                                 const std::vector<NullPreference>& prefs,
+                                 std::size_t k) {
+  SupportInstance instance = MakeSupportInstance(query, db, tuple);
+  StatusOr<AlignedPreferences> aligned = Align(instance, prefs);
+  if (!aligned.ok()) return aligned.status();
+  // The enumeration must include A and every preferred constant.
+  std::vector<Value> prefix = instance.prefix;
+  for (const auto& table : aligned->tables) {
+    for (const auto& [constant, weight] : table) {
+      bool seen = false;
+      for (Value existing : prefix) seen = seen || existing == constant;
+      if (!seen) prefix.push_back(constant);
+    }
+  }
+  if (k < prefix.size() + 1) {
+    return Status::Error(
+        "PreferenceMuK: k must cover A, all preferred constants, and at "
+        "least one fallback constant");
+  }
+  std::vector<Value> domain = MakeConstantEnumeration(prefix, k);
+  bool formula_has_nulls = !query.formula()->MentionedNulls().empty();
+
+  // Per-null per-domain-value probabilities.
+  std::vector<std::map<Value, Rational>> preferred(instance.nulls.size());
+  std::vector<Rational> fallback_each(instance.nulls.size(), Rational(0));
+  for (std::size_t i = 0; i < instance.nulls.size(); ++i) {
+    for (const auto& [constant, weight] : aligned->tables[i]) {
+      preferred[i][constant] = weight;
+    }
+    std::size_t fallback_count = k - aligned->tables[i].size();
+    fallback_each[i] =
+        aligned->fallback_mass[i] /
+        Rational(static_cast<std::int64_t>(fallback_count));
+  }
+
+  Rational total(0);
+  ForEachValuation(instance.nulls, domain, [&](const Valuation& v) {
+    Rational weight(1);
+    for (std::size_t i = 0; i < instance.nulls.size(); ++i) {
+      Value value = v.ValueOf(instance.nulls[i]);
+      auto it = preferred[i].find(value);
+      weight *= it != preferred[i].end() ? it->second : fallback_each[i];
+      if (weight.is_zero()) break;
+    }
+    if (weight.is_zero()) return;
+    if (Witnesses(instance, v, db, formula_has_nulls)) total += weight;
+  });
+  return total;
+}
+
+}  // namespace zeroone

@@ -1,0 +1,73 @@
+#ifndef ZEROONE_CORE_PREFERENCE_H_
+#define ZEROONE_CORE_PREFERENCE_H_
+
+#include <vector>
+
+#include "common/rational.h"
+#include "common/status.h"
+#include "data/database.h"
+#include "query/query.h"
+
+namespace zeroone {
+
+// Preference-weighted measures — an implementation of the paper's Section 6
+// directions "Preferences" and "Other distributions".
+//
+// The plain measure treats every constant as equally likely a value for a
+// null. Here, each null may instead carry side information: a finite table
+// of *preferred* constants with probabilities (e.g. likely diagnoses for a
+// patient's unknown disease). A null draws from its preference table with
+// the stated probabilities, and with the remaining mass 1 − W it falls back
+// to the uniform choice over the rest of {c₁..c_k}, independently of other
+// nulls. The weighted measure is again a limit over k:
+//
+//   pref-µ(Q,D,ā) = lim_k Pr_{v ~ weighted^k} [ v(ā) ∈ Q(v(D)) ].
+//
+// Structure of the limit: as k → ∞, the fallback values behave like fresh,
+// pairwise-distinct constants outside all preference tables (collision
+// probabilities vanish at rate 1/k). Genericity then makes the limit a
+// finite sum over the choices "which preferred constant, if any, each null
+// takes":
+//
+//   pref-µ = Σ_{σ : Null ⇀ preferred} Π_{⊥∈dom σ} w_⊥(σ(⊥))
+//              · Π_{⊥∉dom σ} (1 − W_⊥) · [ v_σ(ā) ∈ Q(v_σ(D)) ],
+//
+// where v_σ maps assigned nulls to their chosen constants and the rest to
+// pairwise-distinct fresh constants. The 0–1 law no longer holds — the
+// limit is a polynomial in the weights — but it *degenerates to it*: with
+// empty preference tables the sum has one term and pref-µ = µ ∈ {0,1}.
+//
+// This generalizes the conditional-measure picture too: preference tables
+// are the "soft" analogue of inclusion constraints (a hard IND is the
+// special case of a table with total mass 1 concentrated on the target
+// column, cf. Section 4's example).
+
+// A preference table for a single null: constants with probabilities.
+struct NullPreference {
+  Value null;
+  // Pairs (constant, probability); probabilities must be in [0,1] with sum
+  // at most 1; the remainder is the "generic" fallback mass.
+  std::vector<std::pair<Value, Rational>> weights;
+};
+
+// The exact limit pref-µ(Q,D,ā) under the given preferences (nulls without
+// a table are fully generic). Fails if a table is malformed (weight out of
+// range, duplicate constants, mass > 1, non-null key).
+StatusOr<Rational> PreferenceMuLimit(const Query& query, const Database& db,
+                                     const Tuple& tuple,
+                                     const std::vector<NullPreference>& prefs);
+
+// Finite-k weighted measure, by exhaustive enumeration of V^k(D) with the
+// product distribution described above (each null: preferred constant c
+// with probability w(c); any specific non-preferred constant of the
+// enumeration with probability (1−W)/(k−|table|)). Ground truth for the
+// limit; exponential in the number of nulls. Requires k large enough that
+// the enumeration contains all preferred constants plus one fallback.
+StatusOr<Rational> PreferenceMuK(const Query& query, const Database& db,
+                                 const Tuple& tuple,
+                                 const std::vector<NullPreference>& prefs,
+                                 std::size_t k);
+
+}  // namespace zeroone
+
+#endif  // ZEROONE_CORE_PREFERENCE_H_

@@ -1,0 +1,60 @@
+#include "core/ranking.h"
+
+#include <algorithm>
+
+#include "core/conditional.h"
+#include "core/measure.h"
+#include "core/support.h"
+
+namespace zeroone {
+
+std::vector<RankedAnswer> RankAnswersAmong(
+    const Query& query, const Database& db, std::size_t k,
+    const std::vector<Tuple>& candidates) {
+  std::vector<RankedAnswer> ranked;
+  for (const Tuple& candidate : candidates) {
+    SupportInstance instance = MakeSupportInstance(query, db, candidate);
+    SupportCount count = CountSupport(instance, db, k);
+    if (count.support.is_zero()) continue;  // Not a possible answer.
+    RankedAnswer answer;
+    answer.tuple = candidate;
+    answer.mu_k = Rational(count.support, count.total);
+    answer.certain = count.support == count.total &&
+                     IsCertainAnswer(query, db, candidate);
+    answer.almost_certain = AlmostCertainlyTrue(query, db, candidate);
+    ranked.push_back(std::move(answer));
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const RankedAnswer& a, const RankedAnswer& b) {
+                     if (a.mu_k != b.mu_k) return b.mu_k < a.mu_k;
+                     return a.tuple < b.tuple;
+                   });
+  return ranked;
+}
+
+std::vector<RankedAnswer> RankAnswers(const Query& query, const Database& db,
+                                      std::size_t k) {
+  return RankAnswersAmong(query, db, k,
+                          AllTuplesOverAdom(db, query.arity()));
+}
+
+std::vector<ConditionalRankedAnswer> RankAnswersUnderConstraints(
+    const Query& query, const ConstraintSet& constraints, const Database& db,
+    const std::vector<Tuple>& candidates) {
+  std::vector<ConditionalRankedAnswer> ranked;
+  for (const Tuple& candidate : candidates) {
+    ConditionalRankedAnswer answer;
+    answer.tuple = candidate;
+    answer.mu = ConditionalMu(query, constraints, db, candidate);
+    ranked.push_back(std::move(answer));
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const ConditionalRankedAnswer& a,
+                      const ConditionalRankedAnswer& b) {
+                     if (a.mu != b.mu) return b.mu < a.mu;
+                     return a.tuple < b.tuple;
+                   });
+  return ranked;
+}
+
+}  // namespace zeroone

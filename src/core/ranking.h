@@ -1,0 +1,58 @@
+#ifndef ZEROONE_CORE_RANKING_H_
+#define ZEROONE_CORE_RANKING_H_
+
+#include <vector>
+
+#include "common/rational.h"
+#include "constraints/constraint.h"
+#include "data/database.h"
+#include "query/query.h"
+
+namespace zeroone {
+
+// Ranked query answers — the user-facing synthesis of the paper's two
+// refinements. The 0–1 law classifies answers only into almost-certain and
+// almost-impossible; at a *fixed* k, however, µ^k(Q,D,ā) is a bona fide
+// probability that grades answers smoothly (the intro example's (c2,⊥2)
+// scores above (c1,⊥1) at every finite k). Ranking by µ^k refines the
+// support order: Supp(ā) ⊆ Supp(b̄) implies µ^k(ā) ≤ µ^k(b̄) for every k,
+// so best answers always head the list, while incomparable answers get a
+// deterministic quantitative order.
+struct RankedAnswer {
+  Tuple tuple;
+  Rational mu_k;       // Exact µ^k for the ranking's k.
+  bool certain;        // Full support (µ^k = 1 for every k ≥ |A|).
+  bool almost_certain; // µ = 1 (naive answer, Theorem 1).
+};
+
+// Ranks all possible answers (tuples with nonempty support) by exact µ^k,
+// descending; ties broken by tuple order for determinism. Exponential in
+// the number of nulls (exact computation); keep k modest.
+// Precondition: k ≥ |C ∪ Const(D)|.
+std::vector<RankedAnswer> RankAnswers(const Query& query, const Database& db,
+                                      std::size_t k);
+
+// Like RankAnswers but restricted to the given candidates (e.g. the naive
+// answers, or a page of tuples).
+std::vector<RankedAnswer> RankAnswersAmong(const Query& query,
+                                           const Database& db, std::size_t k,
+                                           const std::vector<Tuple>& candidates);
+
+// Ranking under constraints: answers ordered by the exact conditional
+// measure µ(Q|Σ,D,ā) (Theorem 3's limit — a rational, so the order is
+// canonical and k-free). This is where the measure framework pays off most
+// visibly: under an inclusion dependency the Section 4 example ranks
+// (2,⊥) above (1,⊥) by 2/3 vs 1/3 — a distinction invisible to certain
+// answers, naive evaluation, and the unconditional 0–1 measure alike.
+// Σ-unsatisfiable databases rank everything at 0 (the paper's convention).
+struct ConditionalRankedAnswer {
+  Tuple tuple;
+  Rational mu;  // µ(Q|Σ,D,ā), exact.
+};
+std::vector<ConditionalRankedAnswer> RankAnswersUnderConstraints(
+    const Query& query, const ConstraintSet& constraints, const Database& db,
+    const std::vector<Tuple>& candidates);
+
+}  // namespace zeroone
+
+#endif  // ZEROONE_CORE_RANKING_H_

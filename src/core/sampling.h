@@ -1,0 +1,42 @@
+#ifndef ZEROONE_CORE_SAMPLING_H_
+#define ZEROONE_CORE_SAMPLING_H_
+
+#include <cstdint>
+
+#include "data/database.h"
+#include "query/query.h"
+
+namespace zeroone {
+
+// Monte-Carlo estimation of µ^k(Q,D,ā).
+//
+// The exact computations are exponential in the number of nulls (k^m
+// enumeration) or Bell(m)-shaped (partition polynomial, Proposition 5's
+// FP^#P bound — and #P-hardness says nothing fundamentally cheaper exists).
+// For databases with many nulls the practical tool is sampling: draw
+// valuations uniformly from V^k(D) and report the witness frequency. By
+// Hoeffding's inequality, `samples` draws estimate µ^k within ε with
+// confidence 1 − 2·exp(−2·samples·ε²); the returned struct carries the
+// half-width of the 95% confidence interval.
+//
+// Sampling also gives an asymptotics-free practical reading of Theorem 1:
+// for large k the estimate lands near 0 or 1 according to naive evaluation.
+struct MuEstimate {
+  double estimate = 0.0;
+  // Half-width of the 95% (Hoeffding) confidence interval.
+  double confidence95 = 0.0;
+  std::size_t samples = 0;
+  std::size_t witnesses = 0;
+};
+
+// Estimates µ^k(Q,D,ā) from `samples` independent uniform valuations into
+// the first k constants of the canonical enumeration (prefix C ∪ Const(D),
+// extended with fresh constants). Precondition: k ≥ |C ∪ Const(D)|,
+// samples ≥ 1.
+MuEstimate EstimateMuK(const Query& query, const Database& db,
+                       const Tuple& tuple, std::size_t k,
+                       std::size_t samples, std::uint64_t seed);
+
+}  // namespace zeroone
+
+#endif  // ZEROONE_CORE_SAMPLING_H_

@@ -1,0 +1,241 @@
+#include "core/support.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+
+#include "query/eval.h"
+
+namespace zeroone {
+
+namespace {
+
+// Deduplicating append preserving order.
+void AppendUnique(std::vector<Value>* out, const std::vector<Value>& values) {
+  for (Value v : values) {
+    bool seen = false;
+    for (Value existing : *out) {
+      if (existing == v) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) out->push_back(v);
+  }
+}
+
+// v(ā) ∈ Q(v(D)): evaluates the instance under one valuation. Handles the
+// rare case of nulls inside the query formula (a pre-substituted query) by
+// rewriting the formula under v.
+bool WitnessedBy(const SupportInstance& instance, const Valuation& v,
+                 const Database& valuated_db, bool formula_has_nulls) {
+  Tuple valuated_tuple = v.Apply(instance.tuple);
+  if (!formula_has_nulls) {
+    return EvaluateMembership(instance.query, valuated_db, valuated_tuple);
+  }
+  Query valuated(instance.query.name(), instance.query.free_variables(),
+                 ApplyValuationToFormula(instance.query.formula(), v),
+                 instance.query.variable_names());
+  return EvaluateMembership(valuated, valuated_db, valuated_tuple);
+}
+
+}  // namespace
+
+SupportInstance MakeSupportInstance(const Query& query, const Database& db,
+                                    const Tuple& tuple) {
+  assert(tuple.arity() == query.arity() && "tuple arity mismatch");
+  SupportInstance instance;
+  instance.query = query;
+  instance.tuple = tuple;
+  instance.nulls = db.Nulls();
+  AppendUnique(&instance.nulls, tuple.Nulls());
+  AppendUnique(&instance.nulls, query.formula()->MentionedNulls());
+  instance.prefix = query.GenericityConstants();
+  AppendUnique(&instance.prefix, db.Constants());
+  return instance;
+}
+
+GenericInstance ToGenericInstance(const SupportInstance& instance) {
+  GenericInstance generic;
+  generic.nulls = instance.nulls;
+  generic.prefix = instance.prefix;
+  bool formula_has_nulls = !instance.query.formula()->MentionedNulls().empty();
+  // The closure owns a copy of the FO instance.
+  SupportInstance owned = instance;
+  generic.witness = [owned, formula_has_nulls](
+                        const Valuation& v, const Database& valuated) {
+    return WitnessedBy(owned, v, valuated, formula_has_nulls);
+  };
+  return generic;
+}
+
+SupportCount CountSupport(const SupportInstance& instance, const Database& db,
+                          std::size_t k) {
+  assert(k >= instance.prefix.size() &&
+         "k must cover the enumeration prefix C ∪ Const(D)");
+  std::vector<Value> domain = MakeConstantEnumeration(instance.prefix, k);
+  bool formula_has_nulls = !instance.query.formula()->MentionedNulls().empty();
+  SupportCount count{BigInt(0), BigInt(0)};
+  ForEachValuation(instance.nulls, domain, [&](const Valuation& v) {
+    count.total += BigInt(1);
+    Database valuated = v.Apply(db);
+    if (WitnessedBy(instance, v, valuated, formula_has_nulls)) {
+      count.support += BigInt(1);
+    }
+  });
+  return count;
+}
+
+Rational MuK(const Query& query, const Database& db, const Tuple& tuple,
+             std::size_t k) {
+  SupportInstance instance = MakeSupportInstance(query, db, tuple);
+  SupportCount count = CountSupport(instance, db, k);
+  if (count.total.is_zero()) return Rational(0);
+  return Rational(count.support, count.total);
+}
+
+Rational MuK(const Query& query, const Database& db, std::size_t k) {
+  return MuK(query, db, Tuple{}, k);
+}
+
+Rational MuKParallel(const Query& query, const Database& db,
+                     const Tuple& tuple, std::size_t k, std::size_t threads) {
+  SupportInstance instance = MakeSupportInstance(query, db, tuple);
+  GenericSupportCount count = CountGenericSupportParallel(
+      ToGenericInstance(instance), db, k, threads);
+  if (count.total.is_zero()) return Rational(0);
+  return Rational(count.support, count.total);
+}
+
+BijectiveSupportCount CountBijectiveSupport(const SupportInstance& instance,
+                                            const Database& db,
+                                            std::size_t k) {
+  assert(k >= instance.prefix.size() &&
+         "k must cover the enumeration prefix C ∪ Const(D)");
+  std::vector<Value> domain = MakeConstantEnumeration(instance.prefix, k);
+  bool formula_has_nulls = !instance.query.formula()->MentionedNulls().empty();
+  BijectiveSupportCount count{BigInt(0), BigInt(0), BigInt(0)};
+  ForEachValuation(instance.nulls, domain, [&](const Valuation& v) {
+    count.total += BigInt(1);
+    if (!v.IsBijectiveAvoiding(instance.prefix)) return;
+    count.bijective += BigInt(1);
+    Database valuated = v.Apply(db);
+    if (WitnessedBy(instance, v, valuated, formula_has_nulls)) {
+      count.support += BigInt(1);
+    }
+  });
+  return count;
+}
+
+Rational MK(const Query& query, const Database& db, const Tuple& tuple,
+            std::size_t k) {
+  SupportInstance instance = MakeSupportInstance(query, db, tuple);
+  assert(k >= instance.prefix.size() &&
+         "k must cover the enumeration prefix C ∪ Const(D)");
+  std::vector<Value> domain = MakeConstantEnumeration(instance.prefix, k);
+  bool formula_has_nulls = !query.formula()->MentionedNulls().empty();
+  std::set<Database> all_outcomes;
+  std::set<Database> witnessed_outcomes;
+  ForEachValuation(instance.nulls, domain, [&](const Valuation& v) {
+    Database valuated = v.Apply(db);
+    if (WitnessedBy(instance, v, valuated, formula_has_nulls)) {
+      witnessed_outcomes.insert(valuated);
+    }
+    all_outcomes.insert(std::move(valuated));
+  });
+  if (all_outcomes.empty()) return Rational(0);
+  return Rational(BigInt(static_cast<std::int64_t>(witnessed_outcomes.size())),
+                  BigInt(static_cast<std::int64_t>(all_outcomes.size())));
+}
+
+Rational MK(const Query& query, const Database& db, std::size_t k) {
+  return MK(query, db, Tuple{}, k);
+}
+
+namespace {
+
+// Renames constants per the map (identity elsewhere).
+Database RenameConstants(const Database& db,
+                         const std::map<Value, Value>& renaming) {
+  Database result(db.schema());
+  for (const auto& [name, rel] : db.relations()) {
+    Relation& out = result.mutable_relation(name);
+    for (const Tuple& tuple : rel) {
+      std::vector<Value> values;
+      values.reserve(tuple.arity());
+      for (Value v : tuple) {
+        auto it = renaming.find(v);
+        values.push_back(it == renaming.end() ? v : it->second);
+      }
+      out.Insert(Tuple(std::move(values)));
+    }
+  }
+  return result;
+}
+
+// Canonical representative of the A-fixing isomorphism type of a complete
+// database: the minimum, under Database ordering, over all bijections from
+// its non-A constants to a fixed slot list. The number of non-A constants
+// is at most the null count, so the t! enumeration stays tiny.
+Database CanonicalType(const Database& db, const std::set<Value>& a_set,
+                       const std::vector<Value>& slots) {
+  std::vector<Value> movable;
+  for (Value v : db.Constants()) {
+    if (a_set.count(v) == 0) movable.push_back(v);
+  }
+  assert(movable.size() <= slots.size());
+  std::sort(movable.begin(), movable.end());
+  Database best;
+  bool first = true;
+  std::vector<Value> permutation = movable;
+  do {
+    std::map<Value, Value> renaming;
+    for (std::size_t i = 0; i < permutation.size(); ++i) {
+      renaming[permutation[i]] = slots[i];
+    }
+    Database candidate = RenameConstants(db, renaming);
+    if (first || candidate < best) {
+      best = std::move(candidate);
+      first = false;
+    }
+  } while (std::next_permutation(permutation.begin(), permutation.end()));
+  if (first) return db;  // No movable constants.
+  return best;
+}
+
+}  // namespace
+
+Rational NuK(const Query& query, const Database& db, const Tuple& tuple,
+             std::size_t k) {
+  SupportInstance instance = MakeSupportInstance(query, db, tuple);
+  assert(k >= instance.prefix.size() &&
+         "k must cover the enumeration prefix C ∪ Const(D)");
+  std::vector<Value> domain = MakeConstantEnumeration(instance.prefix, k);
+  bool formula_has_nulls = !query.formula()->MentionedNulls().empty();
+  std::set<Value> a_set(instance.prefix.begin(), instance.prefix.end());
+  // Canonical slots: fresh constants, shared across all outcomes.
+  std::vector<Value> slots;
+  for (std::size_t i = 0; i < instance.nulls.size(); ++i) {
+    slots.push_back(Value::FreshConstant());
+  }
+  std::set<Database> all_types;
+  std::set<Database> witnessed_types;
+  ForEachValuation(instance.nulls, domain, [&](const Valuation& v) {
+    Database valuated = v.Apply(db);
+    Database canonical = CanonicalType(valuated, a_set, slots);
+    if (WitnessedBy(instance, v, valuated, formula_has_nulls)) {
+      witnessed_types.insert(canonical);
+    }
+    all_types.insert(std::move(canonical));
+  });
+  if (all_types.empty()) return Rational(0);
+  return Rational(BigInt(static_cast<std::int64_t>(witnessed_types.size())),
+                  BigInt(static_cast<std::int64_t>(all_types.size())));
+}
+
+Rational NuK(const Query& query, const Database& db, std::size_t k) {
+  return NuK(query, db, Tuple{}, k);
+}
+
+}  // namespace zeroone

@@ -1,0 +1,56 @@
+#ifndef ZEROONE_CORE_SUPPORT_POLYNOMIAL_H_
+#define ZEROONE_CORE_SUPPORT_POLYNOMIAL_H_
+
+#include <vector>
+
+#include "common/polynomial.h"
+#include "data/database.h"
+#include "query/query.h"
+
+namespace zeroone {
+
+// The partition-polynomial algorithm from the proof of Theorem 3.
+//
+// A valuation v of the m nulls of D induces a kernel partition ρ = ker(v).
+// Fix A = C ∪ Const(D) with a = |A|. For a valuation with kernel ρ, let σ
+// be the restriction of the induced block-assignment to A (an injective
+// partial map from blocks to A); the remaining f "free" blocks take
+// pairwise-distinct values outside A. Genericity implies the truth of the
+// (Boolean) query on v(D) depends only on (ρ, σ), and the number of
+// valuations with range ⊆ {c₁..c_k} realizing a given (ρ, σ) is the falling
+// factorial (k−a)(k−a−1)···(k−a−f+1). Hence
+//
+//   |Supp^k(Q(ā), D)| = Σ_{(ρ,σ) : witnessed} (k−a)_f,
+//
+// an integer polynomial in k, exact for every k ≥ a. The polynomial is
+// *unique*: any two valid prefixes A yield the same polynomial because both
+// agree with the counting function at infinitely many k.
+//
+// Cost: Bell(m) partitions × O((a+1)^t) assignments × one query evaluation
+// each — the FP^#P algorithm of Proposition 5, and exponentially cheaper
+// than the k^m enumeration of support.h for any fixed k range.
+
+// |Supp^k(Q, D, ā)| as a polynomial in k (valid for k ≥ returned
+// `valid_from`). `extra_prefix` adds constants to A (useful to evaluate
+// several related queries over one common prefix; the polynomial itself is
+// unaffected).
+struct SupportPolynomial {
+  Polynomial count;       // |Supp^k| as a function of k.
+  std::size_t valid_from; // Exact for all k >= valid_from (= |A|).
+};
+SupportPolynomial ComputeSupportPolynomial(
+    const Query& query, const Database& db, const Tuple& tuple,
+    const std::vector<Value>& extra_prefix = {});
+
+// |V^k(D)| = k^m as a polynomial.
+Polynomial TotalCountPolynomial(const Database& db);
+
+// µ(Q, D, ā) computed as lim P(k)/k^m — an implementation of the measure
+// straight from its definition, independent of Theorem 1's shortcut. Used
+// to validate the 0–1 law itself.
+Rational MuViaPolynomial(const Query& query, const Database& db,
+                         const Tuple& tuple);
+
+}  // namespace zeroone
+
+#endif  // ZEROONE_CORE_SUPPORT_POLYNOMIAL_H_

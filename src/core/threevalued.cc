@@ -1,0 +1,186 @@
+#include "core/threevalued.h"
+
+#include <algorithm>
+#include <cassert>
+#include <optional>
+
+#include "core/measure.h"
+
+namespace zeroone {
+
+namespace {
+
+TruthValue Negate(TruthValue v) {
+  switch (v) {
+    case TruthValue::kTrue:
+      return TruthValue::kFalse;
+    case TruthValue::kFalse:
+      return TruthValue::kTrue;
+    case TruthValue::kUnknown:
+      return TruthValue::kUnknown;
+  }
+  return TruthValue::kUnknown;
+}
+
+TruthValue MinTv(TruthValue a, TruthValue b) { return std::min(a, b); }
+TruthValue MaxTv(TruthValue a, TruthValue b) { return std::max(a, b); }
+
+using Environment = std::vector<std::optional<Value>>;
+
+Value ResolveTerm(const Term& term, const Environment& env) {
+  if (term.is_value()) return term.value();
+  assert(term.variable_id() < env.size() && env[term.variable_id()] &&
+         "unbound variable in 3-valued evaluation");
+  return *env[term.variable_id()];
+}
+
+// t₁ = t₂ under Kleene semantics with marked nulls.
+TruthValue EqualsTv(Value a, Value b) {
+  if (a == b) return TruthValue::kTrue;  // Same constant or same null.
+  if (a.is_constant() && b.is_constant()) return TruthValue::kFalse;
+  return TruthValue::kUnknown;  // A null against anything different.
+}
+
+// R(t̄): true on syntactic membership; unknown when some tuple unifies
+// (componentwise equal-or-possibly-equal); false otherwise.
+TruthValue AtomTv(const Formula& atom, const Database& db,
+                  const Environment& env) {
+  if (!db.HasRelation(atom.relation_name())) return TruthValue::kFalse;
+  std::vector<Value> values;
+  values.reserve(atom.terms().size());
+  for (const Term& t : atom.terms()) values.push_back(ResolveTerm(t, env));
+  const Relation& relation = db.relation(atom.relation_name());
+  if (relation.Contains(Tuple(values))) return TruthValue::kTrue;
+  for (const Tuple& candidate : relation) {
+    bool possibly_equal = true;
+    for (std::size_t i = 0; i < values.size() && possibly_equal; ++i) {
+      possibly_equal = EqualsTv(values[i], candidate[i]) !=
+                       TruthValue::kFalse;
+    }
+    if (possibly_equal) return TruthValue::kUnknown;
+  }
+  return TruthValue::kFalse;
+}
+
+TruthValue Eval3(const Formula& formula, const Database& db,
+                 const std::vector<Value>& domain, Environment* env) {
+  switch (formula.kind()) {
+    case Formula::Kind::kTrue:
+      return TruthValue::kTrue;
+    case Formula::Kind::kFalse:
+      return TruthValue::kFalse;
+    case Formula::Kind::kAtom:
+      return AtomTv(formula, db, *env);
+    case Formula::Kind::kEquals:
+      return EqualsTv(ResolveTerm(formula.left(), *env),
+                      ResolveTerm(formula.right(), *env));
+    case Formula::Kind::kNot:
+      return Negate(Eval3(*formula.children()[0], db, domain, env));
+    case Formula::Kind::kAnd: {
+      TruthValue result = TruthValue::kTrue;
+      for (const FormulaPtr& child : formula.children()) {
+        result = MinTv(result, Eval3(*child, db, domain, env));
+        if (result == TruthValue::kFalse) break;
+      }
+      return result;
+    }
+    case Formula::Kind::kOr: {
+      TruthValue result = TruthValue::kFalse;
+      for (const FormulaPtr& child : formula.children()) {
+        result = MaxTv(result, Eval3(*child, db, domain, env));
+        if (result == TruthValue::kTrue) break;
+      }
+      return result;
+    }
+    case Formula::Kind::kImplies:
+      return MaxTv(Negate(Eval3(*formula.children()[0], db, domain, env)),
+                   Eval3(*formula.children()[1], db, domain, env));
+    case Formula::Kind::kExists: {
+      std::size_t var = formula.bound_variable();
+      if (var >= env->size()) env->resize(var + 1);
+      std::optional<Value> saved = (*env)[var];
+      TruthValue result = TruthValue::kFalse;
+      for (Value v : domain) {
+        (*env)[var] = v;
+        result =
+            MaxTv(result, Eval3(*formula.children()[0], db, domain, env));
+        if (result == TruthValue::kTrue) break;
+      }
+      (*env)[var] = saved;
+      return result;
+    }
+    case Formula::Kind::kForall: {
+      std::size_t var = formula.bound_variable();
+      if (var >= env->size()) env->resize(var + 1);
+      std::optional<Value> saved = (*env)[var];
+      TruthValue result = TruthValue::kTrue;
+      for (Value v : domain) {
+        (*env)[var] = v;
+        result =
+            MinTv(result, Eval3(*formula.children()[0], db, domain, env));
+        if (result == TruthValue::kFalse) break;
+      }
+      (*env)[var] = saved;
+      return result;
+    }
+  }
+  return TruthValue::kUnknown;
+}
+
+}  // namespace
+
+const char* ToString(TruthValue value) {
+  switch (value) {
+    case TruthValue::kTrue:
+      return "true";
+    case TruthValue::kFalse:
+      return "false";
+    case TruthValue::kUnknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+TruthValue ThreeValuedMembership(const Query& query, const Database& db,
+                                 const Tuple& tuple) {
+  assert(tuple.arity() == query.arity());
+  std::vector<Value> domain = db.ActiveDomain();
+  Environment env(query.variable_count());
+  for (std::size_t i = 0; i < tuple.arity(); ++i) {
+    std::size_t var = query.free_variables()[i];
+    if (env[var] && *env[var] != tuple[i]) {
+      // Repeated output variable bound to two different values: under the
+      // 3-valued reading this is the conjunction of the equalities.
+      TruthValue consistency = EqualsTv(*env[var], tuple[i]);
+      if (consistency == TruthValue::kFalse) return TruthValue::kFalse;
+      // Possibly equal: conservative answer is unknown.
+      return TruthValue::kUnknown;
+    }
+    env[var] = tuple[i];
+  }
+  return Eval3(*query.formula(), db, domain, &env);
+}
+
+std::vector<Tuple> ThreeValuedCertainApproximation(const Query& query,
+                                                   const Database& db) {
+  std::vector<Tuple> result;
+  for (const Tuple& candidate : AllTuplesOverAdom(db, query.arity())) {
+    if (ThreeValuedMembership(query, db, candidate) == TruthValue::kTrue) {
+      result.push_back(candidate);
+    }
+  }
+  return result;
+}
+
+std::vector<Tuple> ThreeValuedPossibleApproximation(const Query& query,
+                                                    const Database& db) {
+  std::vector<Tuple> result;
+  for (const Tuple& candidate : AllTuplesOverAdom(db, query.arity())) {
+    if (ThreeValuedMembership(query, db, candidate) != TruthValue::kFalse) {
+      result.push_back(candidate);
+    }
+  }
+  return result;
+}
+
+}  // namespace zeroone

@@ -1,0 +1,51 @@
+#ifndef ZEROONE_CORE_THREEVALUED_H_
+#define ZEROONE_CORE_THREEVALUED_H_
+
+#include <vector>
+
+#include "data/database.h"
+#include "query/query.h"
+
+namespace zeroone {
+
+// Three-valued (Kleene / SQL-style) evaluation over incomplete databases —
+// the certain-answer approximation scheme whose quality Section 6 of the
+// paper proposes to measure with the µ framework (cf. Libkin, "SQL's
+// three-valued logic and certain answers", TODS 2016, reference [32]).
+//
+// Truth values: an atom R(t̄) is true when t̄ is syntactically in R, false
+// when no tuple of R can ever equal t̄ under any valuation (some constant
+// position disagrees), and unknown otherwise. Equality t₁ = t₂ is true on
+// identical values (including the same marked null — this is where the
+// marked-null model is sharper than SQL's), false on distinct constants,
+// unknown when a null meets anything else. Connectives follow Kleene's
+// strong tables; quantifiers take max (∃) / min (∀) over the active domain.
+//
+// Soundness (the approximation guarantee): evaluation to *true* implies the
+// tuple is a certain answer, and evaluation to *false* implies it is
+// certainly not an answer — verified against the exact exponential
+// certainty check in tests. The scheme is incomplete: certain answers can
+// evaluate to unknown, and bench/bench_approximation measures how many, as
+// a function of null density (the "quality of approximation" question).
+
+enum class TruthValue { kFalse = 0, kUnknown = 1, kTrue = 2 };
+
+const char* ToString(TruthValue value);
+
+// Evaluates the query on ā under 3-valued semantics.
+TruthValue ThreeValuedMembership(const Query& query, const Database& db,
+                                 const Tuple& tuple);
+
+// The sound under-approximation of certain answers: all tuples over
+// adom(D)^arity that evaluate to true.
+std::vector<Tuple> ThreeValuedCertainApproximation(const Query& query,
+                                                   const Database& db);
+
+// The sound over-approximation of possible answers: all tuples that do not
+// evaluate to false.
+std::vector<Tuple> ThreeValuedPossibleApproximation(const Query& query,
+                                                    const Database& db);
+
+}  // namespace zeroone
+
+#endif  // ZEROONE_CORE_THREEVALUED_H_

@@ -1,0 +1,120 @@
+#include "data/database.h"
+
+#include <algorithm>
+#include <cassert>
+#include <ostream>
+#include <set>
+
+namespace zeroone {
+
+void Schema::AddRelation(const std::string& name, std::size_t arity) {
+  auto [it, inserted] = arities_.emplace(name, arity);
+  assert((inserted || it->second == arity) &&
+         "relation redeclared with a different arity");
+  (void)it;
+  (void)inserted;
+}
+
+bool Schema::HasRelation(const std::string& name) const {
+  return arities_.count(name) != 0;
+}
+
+std::size_t Schema::ArityOf(const std::string& name) const {
+  auto it = arities_.find(name);
+  assert(it != arities_.end() && "unknown relation");
+  return it->second;
+}
+
+std::vector<std::string> Schema::RelationNames() const {
+  std::vector<std::string> names;
+  names.reserve(arities_.size());
+  for (const auto& [name, arity] : arities_) names.push_back(name);
+  return names;
+}
+
+Database::Database(Schema schema) : schema_(std::move(schema)) {
+  for (const std::string& name : schema_.RelationNames()) {
+    relations_.emplace(name, Relation(name, schema_.ArityOf(name)));
+  }
+}
+
+Relation& Database::AddRelation(const std::string& name, std::size_t arity) {
+  schema_.AddRelation(name, arity);
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    it = relations_.emplace(name, Relation(name, arity)).first;
+  }
+  return it->second;
+}
+
+bool Database::HasRelation(const std::string& name) const {
+  return relations_.count(name) != 0;
+}
+
+const Relation& Database::relation(const std::string& name) const {
+  auto it = relations_.find(name);
+  assert(it != relations_.end() && "unknown relation");
+  return it->second;
+}
+
+Relation& Database::mutable_relation(const std::string& name) {
+  auto it = relations_.find(name);
+  assert(it != relations_.end() && "unknown relation");
+  return it->second;
+}
+
+std::size_t Database::TupleCount() const {
+  std::size_t count = 0;
+  for (const auto& [name, rel] : relations_) count += rel.size();
+  return count;
+}
+
+namespace {
+std::vector<Value> CollectValues(const Database& db,
+                                 Value::Kind kind_filter) {
+  std::set<Value> seen;
+  std::vector<Value> result;
+  for (const auto& [name, rel] : db.relations()) {
+    for (const Tuple& tuple : rel) {
+      for (Value v : tuple) {
+        if (v.kind() != kind_filter) continue;
+        if (seen.insert(v).second) result.push_back(v);
+      }
+    }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+}  // namespace
+
+std::vector<Value> Database::Constants() const {
+  return CollectValues(*this, Value::Kind::kConstant);
+}
+
+std::vector<Value> Database::Nulls() const {
+  return CollectValues(*this, Value::Kind::kNull);
+}
+
+std::vector<Value> Database::ActiveDomain() const {
+  std::vector<Value> domain = Constants();
+  std::vector<Value> nulls = Nulls();
+  domain.insert(domain.end(), nulls.begin(), nulls.end());
+  return domain;
+}
+
+bool Database::IsComplete() const { return Nulls().empty(); }
+
+std::string Database::ToString() const {
+  std::string result;
+  for (const auto& [name, rel] : relations_) {
+    if (!result.empty()) result += "\n";
+    result += rel.ToString();
+  }
+  return result;
+}
+
+std::ostream& operator<<(std::ostream& os, const Database& db) {
+  return os << db.ToString();
+}
+
+}  // namespace zeroone

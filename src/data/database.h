@@ -1,0 +1,95 @@
+#ifndef ZEROONE_DATA_DATABASE_H_
+#define ZEROONE_DATA_DATABASE_H_
+
+#include <cstddef>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "data/relation.h"
+
+namespace zeroone {
+
+// A relational schema: relation names with associated arities.
+class Schema {
+ public:
+  Schema() = default;
+
+  void AddRelation(const std::string& name, std::size_t arity);
+  bool HasRelation(const std::string& name) const;
+  // Precondition: HasRelation(name).
+  std::size_t ArityOf(const std::string& name) const;
+  // Relation names in lexicographic order.
+  std::vector<std::string> RelationNames() const;
+
+  friend bool operator==(const Schema& a, const Schema& b) {
+    return a.arities_ == b.arities_;
+  }
+
+ private:
+  std::map<std::string, std::size_t> arities_;
+};
+
+// An incomplete relational database instance: one (possibly incomplete)
+// relation per schema symbol. Relations are held in name order, so database
+// equality and printing are deterministic.
+class Database {
+ public:
+  Database() = default;
+  explicit Database(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+
+  // Declares a relation (adding it to the schema if absent) and returns a
+  // mutable reference to it for populating.
+  Relation& AddRelation(const std::string& name, std::size_t arity);
+
+  bool HasRelation(const std::string& name) const;
+  // Precondition: HasRelation(name).
+  const Relation& relation(const std::string& name) const;
+  Relation& mutable_relation(const std::string& name);
+
+  // Relations in name order.
+  const std::map<std::string, Relation>& relations() const {
+    return relations_;
+  }
+
+  // Total number of tuples across relations.
+  std::size_t TupleCount() const;
+
+  // Const(D): constants occurring in the database, deduplicated, in
+  // deterministic (interning) order.
+  std::vector<Value> Constants() const;
+  // Null(D): nulls occurring in the database, deduplicated, deterministic.
+  std::vector<Value> Nulls() const;
+  // adom(D) = Const(D) ∪ Null(D).
+  std::vector<Value> ActiveDomain() const;
+  // True iff the database has no nulls.
+  bool IsComplete() const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Database& a, const Database& b) {
+    return a.relations_ == b.relations_;
+  }
+  friend bool operator!=(const Database& a, const Database& b) {
+    return !(a == b);
+  }
+  // Lexicographic over name-ordered relations; used to store complete
+  // databases v(D) in ordered sets when counting distinct outcomes
+  // (the alternative measure m^k of Theorem 2).
+  friend bool operator<(const Database& a, const Database& b) {
+    return a.relations_ < b.relations_;
+  }
+
+ private:
+  Schema schema_;
+  std::map<std::string, Relation> relations_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Database& db);
+
+}  // namespace zeroone
+
+#endif  // ZEROONE_DATA_DATABASE_H_

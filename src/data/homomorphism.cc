@@ -1,0 +1,124 @@
+#include "data/homomorphism.h"
+
+#include <functional>
+#include <vector>
+
+namespace zeroone {
+
+namespace {
+
+// One tuple of `from` viewed as a pattern to embed into `to`.
+struct PatternTuple {
+  const std::string* relation;
+  const Tuple* tuple;
+};
+
+std::vector<PatternTuple> PatternsOf(const Database& db) {
+  std::vector<PatternTuple> patterns;
+  for (const auto& [name, rel] : db.relations()) {
+    for (const Tuple& t : rel) {
+      patterns.push_back(PatternTuple{&name, &t});
+    }
+  }
+  return patterns;
+}
+
+// Backtracking embedding of the patterns into `to`, extending `mapping` on
+// nulls (constants must match exactly). Calls `on_match` per complete
+// homomorphism; on_match returning false stops the search (returns true).
+bool Search(const std::vector<PatternTuple>& patterns, std::size_t index,
+            const Database& to, std::map<Value, Value>* mapping,
+            const std::function<bool(const std::map<Value, Value>&)>& on_match) {
+  if (index == patterns.size()) return !on_match(*mapping);
+  const PatternTuple& pattern = patterns[index];
+  if (!to.HasRelation(*pattern.relation)) return false;
+  for (const Tuple& candidate : to.relation(*pattern.relation)) {
+    if (candidate.arity() != pattern.tuple->arity()) continue;
+    std::vector<Value> newly_bound;
+    bool ok = true;
+    for (std::size_t i = 0; i < candidate.arity() && ok; ++i) {
+      Value v = (*pattern.tuple)[i];
+      if (v.is_constant()) {
+        ok = v == candidate[i];
+        continue;
+      }
+      auto it = mapping->find(v);
+      if (it != mapping->end()) {
+        ok = it->second == candidate[i];
+      } else {
+        mapping->emplace(v, candidate[i]);
+        newly_bound.push_back(v);
+      }
+    }
+    if (ok && Search(patterns, index + 1, to, mapping, on_match)) {
+      for (Value v : newly_bound) mapping->erase(v);
+      return true;
+    }
+    for (Value v : newly_bound) mapping->erase(v);
+  }
+  return false;
+}
+
+Database ApplyMapping(const Database& db,
+                      const std::map<Value, Value>& mapping) {
+  Database image(db.schema());
+  for (const auto& [name, rel] : db.relations()) {
+    Relation& out = image.mutable_relation(name);
+    for (const Tuple& tuple : rel) {
+      std::vector<Value> values;
+      values.reserve(tuple.arity());
+      for (Value v : tuple) {
+        auto it = mapping.find(v);
+        values.push_back(it == mapping.end() ? v : it->second);
+      }
+      out.Insert(Tuple(std::move(values)));
+    }
+  }
+  return image;
+}
+
+}  // namespace
+
+std::optional<std::map<Value, Value>> FindHomomorphism(const Database& from,
+                                                       const Database& to) {
+  std::vector<PatternTuple> patterns = PatternsOf(from);
+  std::map<Value, Value> mapping;
+  std::optional<std::map<Value, Value>> found;
+  Search(patterns, 0, to, &mapping,
+         [&](const std::map<Value, Value>& h) {
+           found = h;
+           return false;  // First homomorphism suffices.
+         });
+  return found;
+}
+
+bool AreHomomorphicallyEquivalent(const Database& a, const Database& b) {
+  return FindHomomorphism(a, b).has_value() &&
+         FindHomomorphism(b, a).has_value();
+}
+
+Database ComputeCore(const Database& db) {
+  Database current = db;
+  bool reduced = true;
+  while (reduced) {
+    reduced = false;
+    // Search for an endomorphism whose image is a proper sub-instance.
+    std::vector<PatternTuple> patterns = PatternsOf(current);
+    std::map<Value, Value> mapping;
+    Database smaller;
+    Search(patterns, 0, current, &mapping,
+           [&](const std::map<Value, Value>& h) {
+             Database image = ApplyMapping(current, h);
+             if (image != current) {
+               smaller = std::move(image);
+               reduced = true;
+               return false;  // Stop: fold and restart.
+             }
+             return true;  // An automorphism; keep searching.
+           });
+    if (reduced) current = std::move(smaller);
+  }
+  return current;
+}
+
+}  // namespace zeroone

@@ -1,0 +1,36 @@
+#ifndef ZEROONE_DATA_HOMOMORPHISM_H_
+#define ZEROONE_DATA_HOMOMORPHISM_H_
+
+#include <map>
+#include <optional>
+
+#include "data/database.h"
+
+namespace zeroone {
+
+// Homomorphisms between incomplete databases: maps h fixing constants and
+// sending nulls to values (constants or nulls) with h(D) ⊆ D′ tuple-wise.
+// Homomorphisms are the backbone of naive-table theory: UCQ naive answers
+// are preserved under them (the fact the Theorem 8 algorithm leans on), and
+// the *core* — the smallest homomorphically-equivalent sub-instance — is
+// the canonical "best" data-exchange solution whose identification is
+// DP-complete (Fagin–Kolaitis–Popa, cited in the paper's Preliminaries as
+// prior database use of the class DP). Sizes here are small, so exact
+// backtracking search is appropriate.
+
+// A homomorphism from `from` to `to`, if one exists: a map defined on
+// Null(from) (constants implicitly fixed) with h(from) ⊆ to.
+std::optional<std::map<Value, Value>> FindHomomorphism(const Database& from,
+                                                       const Database& to);
+
+// Homomorphic equivalence: maps in both directions.
+bool AreHomomorphicallyEquivalent(const Database& a, const Database& b);
+
+// The core of the database: a minimal induced sub-instance C ⊆ D with a
+// homomorphism D → C (unique up to isomorphism). Computed by greedily
+// searching for proper retractions. Complete databases are their own core.
+Database ComputeCore(const Database& db);
+
+}  // namespace zeroone
+
+#endif  // ZEROONE_DATA_HOMOMORPHISM_H_

@@ -1,0 +1,211 @@
+#include "data/io.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+namespace zeroone {
+
+namespace {
+
+// Minimal cursor-based scanner shared by the database and tuple parsers.
+class Scanner {
+ public:
+  explicit Scanner(std::string_view text) : text_(text) {}
+
+  void SkipWhitespaceAndComments() {
+    while (position_ < text_.size()) {
+      char c = text_[position_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++position_;
+      } else if (c == '#') {
+        while (position_ < text_.size() && text_[position_] != '\n') {
+          ++position_;
+        }
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool AtEnd() {
+    SkipWhitespaceAndComments();
+    return position_ >= text_.size();
+  }
+
+  bool Consume(char expected) {
+    SkipWhitespaceAndComments();
+    if (position_ < text_.size() && text_[position_] == expected) {
+      ++position_;
+      return true;
+    }
+    return false;
+  }
+
+  char Peek() {
+    SkipWhitespaceAndComments();
+    return position_ < text_.size() ? text_[position_] : '\0';
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::Error("database parse error at offset " +
+                         std::to_string(position_) + ": " + message);
+  }
+
+  // Identifier or number token: [A-Za-z0-9_-]+ (no leading scan of sign).
+  StatusOr<std::string> Word() {
+    SkipWhitespaceAndComments();
+    std::size_t start = position_;
+    while (position_ < text_.size()) {
+      char c = text_[position_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+          c == '-') {
+        ++position_;
+      } else {
+        break;
+      }
+    }
+    if (position_ == start) return Error("expected identifier or number");
+    return std::string(text_.substr(start, position_ - start));
+  }
+
+  StatusOr<Value> ParseValue() {
+    SkipWhitespaceAndComments();
+    if (position_ >= text_.size()) return Error("expected value");
+    char c = text_[position_];
+    if (c == '\'') {
+      ++position_;
+      std::size_t start = position_;
+      while (position_ < text_.size() && text_[position_] != '\'') {
+        ++position_;
+      }
+      if (position_ == text_.size()) return Error("unterminated string");
+      std::string name(text_.substr(start, position_ - start));
+      ++position_;
+      return Value::Constant(name);
+    }
+    // Unicode null sigil ⊥ (UTF-8 bytes E2 8A A5).
+    if (position_ + 2 < text_.size() &&
+        static_cast<unsigned char>(text_[position_]) == 0xE2 &&
+        static_cast<unsigned char>(text_[position_ + 1]) == 0x8A &&
+        static_cast<unsigned char>(text_[position_ + 2]) == 0xA5) {
+      position_ += 3;
+      StatusOr<std::string> label = Word();
+      if (!label.ok()) return label.status();
+      return Value::Null(*label);
+    }
+    if (c == '_') {
+      ++position_;
+      StatusOr<std::string> label = Word();
+      if (!label.ok()) return label.status();
+      return Value::Null(*label);
+    }
+    StatusOr<std::string> word = Word();
+    if (!word.ok()) return word.status();
+    return Value::Constant(*word);
+  }
+
+  StatusOr<Tuple> ParseTupleBody() {
+    if (!Consume('(')) return Error("expected '('");
+    std::vector<Value> values;
+    if (Peek() != ')') {
+      while (true) {
+        StatusOr<Value> value = ParseValue();
+        if (!value.ok()) return value.status();
+        values.push_back(*value);
+        if (Consume(',')) continue;
+        break;
+      }
+    }
+    if (!Consume(')')) return Error("expected ')' closing tuple");
+    return Tuple(std::move(values));
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t position_ = 0;
+};
+
+}  // namespace
+
+StatusOr<Database> ParseDatabase(std::string_view text) {
+  Scanner scanner(text);
+  Database db;
+  while (!scanner.AtEnd()) {
+    StatusOr<std::string> name = scanner.Word();
+    if (!name.ok()) return name.status();
+    if (!scanner.Consume('(')) {
+      return Status::Error("database parse error: expected '(' after '" +
+                           *name + "'");
+    }
+    StatusOr<std::string> arity_text = scanner.Word();
+    if (!arity_text.ok()) return arity_text.status();
+    std::size_t arity = 0;
+    for (char c : *arity_text) {
+      if (!std::isdigit(static_cast<unsigned char>(c))) {
+        return Status::Error("database parse error: bad arity '" +
+                             *arity_text + "'");
+      }
+      arity = arity * 10 + static_cast<std::size_t>(c - '0');
+    }
+    if (!scanner.Consume(')') || !scanner.Consume('=') ||
+        !scanner.Consume('{')) {
+      return Status::Error(
+          "database parse error: expected '(arity) = {' after relation name");
+    }
+    Relation& relation = db.AddRelation(*name, arity);
+    if (scanner.Peek() != '}') {
+      while (true) {
+        StatusOr<Tuple> tuple = scanner.ParseTupleBody();
+        if (!tuple.ok()) return tuple.status();
+        if (tuple->arity() != arity) {
+          return Status::Error("database parse error: tuple " +
+                               tuple->ToString() + " has arity " +
+                               std::to_string(tuple->arity()) +
+                               ", expected " + std::to_string(arity));
+        }
+        relation.Insert(*tuple);
+        if (scanner.Consume(',')) continue;
+        break;
+      }
+    }
+    if (!scanner.Consume('}')) {
+      return Status::Error("database parse error: expected '}'");
+    }
+  }
+  return db;
+}
+
+StatusOr<Tuple> ParseTuple(std::string_view text) {
+  Scanner scanner(text);
+  StatusOr<Tuple> tuple = scanner.ParseTupleBody();
+  if (!tuple.ok()) return tuple;
+  if (!scanner.AtEnd()) {
+    return Status::Error("tuple parse error: trailing input");
+  }
+  return tuple;
+}
+
+std::string FormatDatabase(const Database& db) {
+  std::string out;
+  for (const auto& [name, relation] : db.relations()) {
+    out += name + "(" + std::to_string(relation.arity()) + ") = {";
+    bool first = true;
+    for (const Tuple& tuple : relation) {
+      if (!first) out += ",";
+      first = false;
+      out += " (";
+      for (std::size_t i = 0; i < tuple.arity(); ++i) {
+        if (i > 0) out += ", ";
+        Value v = tuple[i];
+        out += v.is_null() ? "_" + v.name() : v.name();
+      }
+      out += ")";
+    }
+    out += first ? "}" : " }";
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace zeroone

@@ -1,0 +1,32 @@
+#ifndef ZEROONE_DATA_IO_H_
+#define ZEROONE_DATA_IO_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "data/database.h"
+#include "data/tuple.h"
+
+namespace zeroone {
+
+// Text format for incomplete databases, one relation per statement:
+//
+//   R(2) = { (1, _1), (2, 2) }
+//   U(1) = { (1), (2), (3) }
+//   S(2) = {}
+//
+// Values: numbers and bare identifiers are constants; `_label` (or the
+// unicode form ⊥label) is the marked null with that label; single-quoted
+// strings are constants with arbitrary characters. Whitespace and newlines
+// are insignificant; `#` starts a comment until end of line.
+StatusOr<Database> ParseDatabase(std::string_view text);
+
+// Parses a single tuple like "(c1, _1)" with the same value syntax.
+StatusOr<Tuple> ParseTuple(std::string_view text);
+
+// Serializes a database in the ParseDatabase format (round-trips).
+std::string FormatDatabase(const Database& db);
+
+}  // namespace zeroone
+
+#endif  // ZEROONE_DATA_IO_H_

@@ -1,0 +1,146 @@
+#include "data/isomorphism.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <tuple>
+#include <set>
+#include <vector>
+
+namespace zeroone {
+
+namespace {
+
+// Occurrence signature of a null: sorted list of (relation, position,
+// occurrence count) triples — a cheap isomorphism invariant.
+using Signature = std::vector<std::tuple<std::string, std::size_t, std::size_t>>;
+
+std::map<Value, Signature> SignaturesOf(const Database& db) {
+  std::map<Value, std::map<std::pair<std::string, std::size_t>, std::size_t>>
+      raw;
+  for (const auto& [name, rel] : db.relations()) {
+    for (const Tuple& tuple : rel) {
+      for (std::size_t i = 0; i < tuple.arity(); ++i) {
+        if (tuple[i].is_null()) {
+          ++raw[tuple[i]][{name, i}];
+        }
+      }
+    }
+  }
+  std::map<Value, Signature> result;
+  for (const auto& [null, occurrences] : raw) {
+    Signature signature;
+    for (const auto& [where, count] : occurrences) {
+      signature.emplace_back(where.first, where.second, count);
+    }
+    result.emplace(null, std::move(signature));
+  }
+  return result;
+}
+
+// Applies a null→null mapping to the database.
+Database RenameNulls(const Database& db, const std::map<Value, Value>& map) {
+  Database result(db.schema());
+  for (const auto& [name, rel] : db.relations()) {
+    Relation& out = result.mutable_relation(name);
+    for (const Tuple& tuple : rel) {
+      std::vector<Value> values;
+      values.reserve(tuple.arity());
+      for (Value v : tuple) {
+        auto it = map.find(v);
+        values.push_back(it == map.end() ? v : it->second);
+      }
+      out.Insert(Tuple(std::move(values)));
+    }
+  }
+  return result;
+}
+
+bool Backtrack(const Database& a, const Database& b,
+               const std::vector<Value>& a_nulls,
+               const std::vector<std::vector<Value>>& candidates,
+               std::size_t index, std::map<Value, Value>* mapping,
+               std::set<Value>* used) {
+  if (index == a_nulls.size()) {
+    return RenameNulls(a, *mapping) == b;
+  }
+  Value null = a_nulls[index];
+  for (Value candidate : candidates[index]) {
+    if (used->count(candidate) != 0) continue;
+    (*mapping)[null] = candidate;
+    used->insert(candidate);
+    if (Backtrack(a, b, a_nulls, candidates, index + 1, mapping, used)) {
+      return true;
+    }
+    used->erase(candidate);
+    mapping->erase(null);
+  }
+  return false;
+}
+
+}  // namespace
+
+bool AreIsomorphic(const Database& a, const Database& b) {
+  if (a.schema().RelationNames() != b.schema().RelationNames()) return false;
+  for (const auto& [name, rel] : a.relations()) {
+    if (rel.size() != b.relation(name).size() ||
+        rel.arity() != b.relation(name).arity()) {
+      return false;
+    }
+  }
+  std::vector<Value> a_nulls = a.Nulls();
+  std::vector<Value> b_nulls = b.Nulls();
+  if (a_nulls.size() != b_nulls.size()) return false;
+  if (a_nulls.empty()) return a == b;
+
+  // Signature pruning: a null of `a` can only map to nulls of `b` with the
+  // identical occurrence profile.
+  std::map<Value, Signature> a_signatures = SignaturesOf(a);
+  std::map<Value, Signature> b_signatures = SignaturesOf(b);
+  std::vector<std::vector<Value>> candidates;
+  candidates.reserve(a_nulls.size());
+  for (Value null : a_nulls) {
+    std::vector<Value> compatible;
+    for (Value target : b_nulls) {
+      if (a_signatures[null] == b_signatures[target]) {
+        compatible.push_back(target);
+      }
+    }
+    if (compatible.empty()) return false;
+    candidates.push_back(std::move(compatible));
+  }
+  std::map<Value, Value> mapping;
+  std::set<Value> used;
+  return Backtrack(a, b, a_nulls, candidates, 0, &mapping, &used);
+}
+
+bool HasOnlyCoddNulls(const Database& db) {
+  std::set<Value> seen;
+  for (const auto& [name, rel] : db.relations()) {
+    for (const Tuple& tuple : rel) {
+      for (Value v : tuple) {
+        if (!v.is_null()) continue;
+        if (!seen.insert(v).second) return false;
+      }
+    }
+  }
+  return true;
+}
+
+Database CoddWeakening(const Database& db) {
+  Database result(db.schema());
+  for (const auto& [name, rel] : db.relations()) {
+    Relation& out = result.mutable_relation(name);
+    for (const Tuple& tuple : rel) {
+      std::vector<Value> values;
+      values.reserve(tuple.arity());
+      for (Value v : tuple) {
+        values.push_back(v.is_null() ? Value::FreshNull() : v);
+      }
+      out.Insert(Tuple(std::move(values)));
+    }
+  }
+  return result;
+}
+
+}  // namespace zeroone

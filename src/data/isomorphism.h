@@ -1,0 +1,35 @@
+#ifndef ZEROONE_DATA_ISOMORPHISM_H_
+#define ZEROONE_DATA_ISOMORPHISM_H_
+
+#include "data/database.h"
+
+namespace zeroone {
+
+// Null-renaming isomorphism: two incomplete databases are isomorphic if
+// some bijection between their nulls (constants fixed pointwise) maps one
+// onto the other. This is the equivalence under which the chase result is
+// unique ("every sequence of chase steps results in the same instance, up
+// to renaming of nulls", Section 4.4), and the right notion of equality for
+// chase outputs, normalized instances, and generated workloads.
+//
+// Decision procedure: backtracking search over null bijections with
+// signature pruning (nulls can only map to nulls with the same occurrence
+// profile). Exponential in the worst case — graph-isomorphism-hard in
+// general — but instant on the instance sizes this library manipulates.
+bool AreIsomorphic(const Database& a, const Database& b);
+
+// True if every null occurs at most once in the database — the Codd-null
+// (SQL-style) special case of the marked-null model (Section 6 "SQL
+// nulls"). Codd databases are exactly those whose isomorphism type is
+// determined by the null *positions* alone.
+bool HasOnlyCoddNulls(const Database& db);
+
+// Replaces every null occurrence with a globally fresh null, yielding the
+// Codd-null weakening of the database: repeated-null correlations are
+// forgotten. Useful to quantify (see bench/bench_ablation) how much of the
+// measure/comparison structure is lost by SQL's simpler null model.
+Database CoddWeakening(const Database& db);
+
+}  // namespace zeroone
+
+#endif  // ZEROONE_DATA_ISOMORPHISM_H_

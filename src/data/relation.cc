@@ -1,0 +1,34 @@
+#include "data/relation.h"
+
+#include <algorithm>
+#include <cassert>
+#include <ostream>
+
+namespace zeroone {
+
+void Relation::Insert(const Tuple& tuple) {
+  assert(tuple.arity() == arity_ && "tuple arity mismatch");
+  auto it = std::lower_bound(tuples_.begin(), tuples_.end(), tuple);
+  if (it != tuples_.end() && *it == tuple) return;
+  tuples_.insert(it, tuple);
+}
+
+bool Relation::Contains(const Tuple& tuple) const {
+  return std::binary_search(tuples_.begin(), tuples_.end(), tuple);
+}
+
+std::string Relation::ToString() const {
+  std::string result = name_ + " = {";
+  for (std::size_t i = 0; i < tuples_.size(); ++i) {
+    if (i > 0) result += ", ";
+    result += tuples_[i].ToString();
+  }
+  result += "}";
+  return result;
+}
+
+std::ostream& operator<<(std::ostream& os, const Relation& relation) {
+  return os << relation.ToString();
+}
+
+}  // namespace zeroone

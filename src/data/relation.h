@@ -1,0 +1,64 @@
+#ifndef ZEROONE_DATA_RELATION_H_
+#define ZEROONE_DATA_RELATION_H_
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "data/tuple.h"
+
+namespace zeroone {
+
+// A (possibly incomplete) relation instance: a finite set of k-ary tuples
+// over Const ∪ Null. Tuples are kept sorted and deduplicated, so a Relation
+// is a set in the mathematical sense and iteration order is deterministic.
+class Relation {
+ public:
+  Relation() = default;
+  Relation(std::string name, std::size_t arity)
+      : name_(std::move(name)), arity_(arity) {}
+
+  const std::string& name() const { return name_; }
+  std::size_t arity() const { return arity_; }
+  std::size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+
+  // Inserts a tuple (idempotent). Precondition: tuple.arity() == arity().
+  void Insert(const Tuple& tuple);
+  void Insert(std::initializer_list<Value> values) { Insert(Tuple(values)); }
+
+  bool Contains(const Tuple& tuple) const;
+
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+  auto begin() const { return tuples_.begin(); }
+  auto end() const { return tuples_.end(); }
+
+  // "R = {(1, ⊥1), (2, 2)}".
+  std::string ToString() const;
+
+  friend bool operator==(const Relation& a, const Relation& b) {
+    return a.name_ == b.name_ && a.arity_ == b.arity_ && a.tuples_ == b.tuples_;
+  }
+  friend bool operator!=(const Relation& a, const Relation& b) {
+    return !(a == b);
+  }
+  // Lexicographic on (name, arity, tuples); enables ordered sets of
+  // relations and databases.
+  friend bool operator<(const Relation& a, const Relation& b) {
+    if (a.name_ != b.name_) return a.name_ < b.name_;
+    if (a.arity_ != b.arity_) return a.arity_ < b.arity_;
+    return a.tuples_ < b.tuples_;
+  }
+
+ private:
+  std::string name_;
+  std::size_t arity_ = 0;
+  std::vector<Tuple> tuples_;  // Invariant: sorted, no duplicates.
+};
+
+std::ostream& operator<<(std::ostream& os, const Relation& relation);
+
+}  // namespace zeroone
+
+#endif  // ZEROONE_DATA_RELATION_H_

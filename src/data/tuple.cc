@@ -1,0 +1,38 @@
+#include "data/tuple.h"
+
+#include <algorithm>
+#include <ostream>
+
+namespace zeroone {
+
+bool Tuple::IsComplete() const {
+  return std::all_of(values_.begin(), values_.end(),
+                     [](Value v) { return v.is_constant(); });
+}
+
+std::vector<Value> Tuple::Nulls() const {
+  std::vector<Value> nulls;
+  for (Value v : values_) {
+    if (!v.is_null()) continue;
+    if (std::find(nulls.begin(), nulls.end(), v) == nulls.end()) {
+      nulls.push_back(v);
+    }
+  }
+  return nulls;
+}
+
+std::string Tuple::ToString() const {
+  std::string result = "(";
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) result += ", ";
+    result += values_[i].ToString();
+  }
+  result += ")";
+  return result;
+}
+
+std::ostream& operator<<(std::ostream& os, const Tuple& tuple) {
+  return os << tuple.ToString();
+}
+
+}  // namespace zeroone

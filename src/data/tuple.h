@@ -1,0 +1,59 @@
+#ifndef ZEROONE_DATA_TUPLE_H_
+#define ZEROONE_DATA_TUPLE_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "data/value.h"
+
+namespace zeroone {
+
+// A database tuple over Const ∪ Null. The empty tuple () is the single
+// 0-ary tuple and doubles as `true` for Boolean queries (Section 2).
+class Tuple {
+ public:
+  Tuple() = default;
+  Tuple(std::initializer_list<Value> values) : values_(values) {}
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+
+  std::size_t arity() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  Value operator[](std::size_t i) const { return values_[i]; }
+  Value& operator[](std::size_t i) { return values_[i]; }
+
+  const std::vector<Value>& values() const { return values_; }
+
+  auto begin() const { return values_.begin(); }
+  auto end() const { return values_.end(); }
+
+  void push_back(Value v) { values_.push_back(v); }
+
+  // True if no component is a null.
+  bool IsComplete() const;
+  // The nulls occurring in the tuple, deduplicated, in first-occurrence order.
+  std::vector<Value> Nulls() const;
+
+  // "(a, b, ⊥1)"; the empty tuple prints as "()".
+  std::string ToString() const;
+
+  friend bool operator==(const Tuple& a, const Tuple& b) {
+    return a.values_ == b.values_;
+  }
+  friend bool operator!=(const Tuple& a, const Tuple& b) { return !(a == b); }
+  friend bool operator<(const Tuple& a, const Tuple& b) {
+    return a.values_ < b.values_;
+  }
+
+ private:
+  std::vector<Value> values_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Tuple& tuple);
+
+}  // namespace zeroone
+
+#endif  // ZEROONE_DATA_TUPLE_H_

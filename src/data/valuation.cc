@@ -1,0 +1,126 @@
+#include "data/valuation.h"
+
+#include <algorithm>
+#include <cassert>
+#include <ostream>
+#include <set>
+
+namespace zeroone {
+
+void Valuation::Bind(Value null, Value constant) {
+  assert(null.is_null() && "valuation domain must be nulls");
+  assert(constant.is_constant() && "valuation range must be constants");
+  assignment_[null] = constant;
+}
+
+bool Valuation::IsBound(Value null) const {
+  return assignment_.count(null) != 0;
+}
+
+Value Valuation::ValueOf(Value null) const {
+  auto it = assignment_.find(null);
+  assert(it != assignment_.end() && "null not bound by valuation");
+  return it->second;
+}
+
+Value Valuation::Apply(Value value) const {
+  if (!value.is_null()) return value;
+  auto it = assignment_.find(value);
+  return it == assignment_.end() ? value : it->second;
+}
+
+Tuple Valuation::Apply(const Tuple& tuple) const {
+  std::vector<Value> values;
+  values.reserve(tuple.arity());
+  for (Value v : tuple) values.push_back(Apply(v));
+  return Tuple(std::move(values));
+}
+
+Database Valuation::Apply(const Database& db) const {
+  Database result(db.schema());
+  for (const auto& [name, rel] : db.relations()) {
+    Relation& out = result.mutable_relation(name);
+    for (const Tuple& tuple : rel) out.Insert(Apply(tuple));
+  }
+  return result;
+}
+
+std::vector<Value> Valuation::Range() const {
+  std::set<Value> range;
+  for (const auto& [null, constant] : assignment_) range.insert(constant);
+  return std::vector<Value>(range.begin(), range.end());
+}
+
+bool Valuation::IsBijectiveAvoiding(const std::vector<Value>& forbidden) const {
+  std::set<Value> seen;
+  for (const auto& [null, constant] : assignment_) {
+    if (!seen.insert(constant).second) return false;  // Not injective.
+    if (std::find(forbidden.begin(), forbidden.end(), constant) !=
+        forbidden.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Valuation::ToString() const {
+  std::string result = "{";
+  bool first = true;
+  for (const auto& [null, constant] : assignment_) {
+    if (!first) result += ", ";
+    first = false;
+    result += null.ToString() + " ↦ " + constant.ToString();
+  }
+  result += "}";
+  return result;
+}
+
+std::ostream& operator<<(std::ostream& os, const Valuation& valuation) {
+  return os << valuation.ToString();
+}
+
+Valuation MakeBijectiveValuation(const Database& db) {
+  Valuation v;
+  for (Value null : db.Nulls()) v.Bind(null, Value::FreshConstant());
+  return v;
+}
+
+bool ForEachValuationUntil(
+    const std::vector<Value>& nulls, const std::vector<Value>& domain,
+    const std::function<bool(const Valuation&)>& visitor) {
+  if (nulls.empty()) {
+    return visitor(Valuation());
+  }
+  assert(!domain.empty() && "cannot valuate nulls over an empty domain");
+  // Odometer over domain indices, least significant digit first.
+  std::vector<std::size_t> indices(nulls.size(), 0);
+  Valuation valuation;
+  for (std::size_t i = 0; i < nulls.size(); ++i) {
+    valuation.Bind(nulls[i], domain[0]);
+  }
+  while (true) {
+    if (!visitor(valuation)) return false;
+    std::size_t position = 0;
+    while (position < indices.size()) {
+      if (++indices[position] < domain.size()) {
+        valuation.Bind(nulls[position], domain[indices[position]]);
+        break;
+      }
+      indices[position] = 0;
+      valuation.Bind(nulls[position], domain[0]);
+      ++position;
+    }
+    if (position == indices.size()) return true;  // Odometer wrapped.
+  }
+}
+
+void ForEachValuation(const std::vector<Value>& nulls,
+                      const std::vector<Value>& domain,
+                      const std::function<void(const Valuation&)>& visitor) {
+  ForEachValuationUntil(nulls, domain, [&](const Valuation& v) {
+    visitor(v);
+    return true;
+  });
+}
+
+}  // namespace zeroone

@@ -1,0 +1,207 @@
+#include "datalog/eval.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <optional>
+#include <set>
+
+namespace zeroone {
+
+namespace {
+
+// A variable binding during rule instantiation.
+using Binding = std::vector<std::optional<Value>>;
+
+std::size_t RuleVariableCount(const DatalogRule& rule) {
+  std::size_t count = rule.variable_names.size();
+  auto note = [&](const DatalogAtom& atom) {
+    for (const Term& t : atom.terms) {
+      if (t.is_variable()) count = std::max(count, t.variable_id() + 1);
+    }
+  };
+  note(rule.head);
+  for (const DatalogLiteral& literal : rule.body) note(literal.atom);
+  return count;
+}
+
+// Tries to match `atom` against `tuple`, extending the binding; returns the
+// variables newly bound (for rollback), or nullopt on mismatch.
+std::optional<std::vector<std::size_t>> MatchAtom(const DatalogAtom& atom,
+                                                  const Tuple& tuple,
+                                                  Binding* binding) {
+  if (atom.terms.size() != tuple.arity()) return std::nullopt;
+  std::vector<std::size_t> newly_bound;
+  for (std::size_t i = 0; i < atom.terms.size(); ++i) {
+    const Term& t = atom.terms[i];
+    if (t.is_value()) {
+      if (t.value() != tuple[i]) {
+        for (std::size_t v : newly_bound) (*binding)[v] = std::nullopt;
+        return std::nullopt;
+      }
+      continue;
+    }
+    std::optional<Value>& slot = (*binding)[t.variable_id()];
+    if (slot) {
+      if (*slot != tuple[i]) {
+        for (std::size_t v : newly_bound) (*binding)[v] = std::nullopt;
+        return std::nullopt;
+      }
+    } else {
+      slot = tuple[i];
+      newly_bound.push_back(t.variable_id());
+    }
+  }
+  return newly_bound;
+}
+
+// The instantiated image of an atom under a (total-enough) binding.
+Tuple Instantiate(const DatalogAtom& atom, const Binding& binding) {
+  std::vector<Value> values;
+  values.reserve(atom.terms.size());
+  for (const Term& t : atom.terms) {
+    if (t.is_value()) {
+      values.push_back(t.value());
+    } else {
+      assert(binding[t.variable_id()] && "unsafe rule slipped through");
+      values.push_back(*binding[t.variable_id()]);
+    }
+  }
+  return Tuple(std::move(values));
+}
+
+// Relation lookup that treats missing relations as empty.
+const std::vector<Tuple>& TuplesOf(const Database& db,
+                                   const std::string& predicate) {
+  static const std::vector<Tuple>& kEmpty = *new std::vector<Tuple>();
+  if (!db.HasRelation(predicate)) return kEmpty;
+  return db.relation(predicate).tuples();
+}
+
+// Recursively instantiates positive body literals (literal `delta_index`
+// drawing from `delta` instead of the full database), then checks negated
+// literals and emits the head instantiation.
+void FireRule(const DatalogRule& rule, const Database& db,
+              const std::map<std::string, std::set<Tuple>>* delta,
+              int delta_index, std::size_t literal_index, Binding* binding,
+              std::set<Tuple>* derived) {
+  if (literal_index == rule.body.size()) {
+    derived->insert(Instantiate(rule.head, *binding));
+    return;
+  }
+  const DatalogLiteral& literal = rule.body[literal_index];
+  if (literal.negated) {
+    // Negated literals refer to lower strata (or EDB), fully materialized
+    // in `db`; safety guarantees the atom is ground here.
+    Tuple image = Instantiate(literal.atom, *binding);
+    bool present = db.HasRelation(literal.atom.predicate) &&
+                   db.relation(literal.atom.predicate).Contains(image);
+    if (!present) {
+      FireRule(rule, db, delta, delta_index, literal_index + 1, binding,
+               derived);
+    }
+    return;
+  }
+  // Positive literal: iterate matching tuples, from the delta if this is
+  // the designated delta position.
+  auto scan = [&](const Tuple& tuple) {
+    std::optional<std::vector<std::size_t>> bound =
+        MatchAtom(literal.atom, tuple, binding);
+    if (!bound) return;
+    FireRule(rule, db, delta, delta_index, literal_index + 1, binding,
+             derived);
+    for (std::size_t v : *bound) (*binding)[v] = std::nullopt;
+  };
+  if (delta != nullptr && static_cast<int>(literal_index) == delta_index) {
+    auto it = delta->find(literal.atom.predicate);
+    if (it == delta->end()) return;
+    for (const Tuple& tuple : it->second) scan(tuple);
+  } else {
+    for (const Tuple& tuple : TuplesOf(db, literal.atom.predicate)) {
+      scan(tuple);
+    }
+  }
+}
+
+}  // namespace
+
+Database MaterializeDatalog(const DatalogProgram& program,
+                            const Database& db) {
+  Database materialized = db;
+  // Declare all intensional relations (possibly empty).
+  std::map<std::string, std::size_t> idb_arity;
+  for (const DatalogRule& rule : program.rules()) {
+    idb_arity[rule.head.predicate] = rule.head.terms.size();
+  }
+  for (const auto& [predicate, arity] : idb_arity) {
+    materialized.AddRelation(predicate, arity);
+  }
+
+  for (const std::vector<std::string>& stratum : program.strata()) {
+    std::set<std::string> in_stratum(stratum.begin(), stratum.end());
+    std::vector<const DatalogRule*> stratum_rules;
+    for (const DatalogRule& rule : program.rules()) {
+      if (in_stratum.count(rule.head.predicate) != 0) {
+        stratum_rules.push_back(&rule);
+      }
+    }
+    // Initial round: full evaluation of every rule of the stratum.
+    std::map<std::string, std::set<Tuple>> delta;
+    for (const DatalogRule* rule : stratum_rules) {
+      Binding binding(RuleVariableCount(*rule));
+      std::set<Tuple> derived;
+      FireRule(*rule, materialized, nullptr, -1, 0, &binding, &derived);
+      for (const Tuple& t : derived) {
+        Relation& relation =
+            materialized.mutable_relation(rule->head.predicate);
+        if (!relation.Contains(t)) {
+          relation.Insert(t);
+          delta[rule->head.predicate].insert(t);
+        }
+      }
+    }
+    // Semi-naive rounds: each recursive instantiation uses the latest delta
+    // in one positive literal position.
+    while (!delta.empty()) {
+      std::map<std::string, std::set<Tuple>> next_delta;
+      for (const DatalogRule* rule : stratum_rules) {
+        for (std::size_t i = 0; i < rule->body.size(); ++i) {
+          const DatalogLiteral& literal = rule->body[i];
+          if (literal.negated) continue;
+          if (in_stratum.count(literal.atom.predicate) == 0) continue;
+          if (delta.find(literal.atom.predicate) == delta.end()) continue;
+          Binding binding(RuleVariableCount(*rule));
+          std::set<Tuple> derived;
+          FireRule(*rule, materialized, &delta, static_cast<int>(i), 0,
+                   &binding, &derived);
+          for (const Tuple& t : derived) {
+            Relation& relation =
+                materialized.mutable_relation(rule->head.predicate);
+            if (!relation.Contains(t)) {
+              relation.Insert(t);
+              next_delta[rule->head.predicate].insert(t);
+            }
+          }
+        }
+      }
+      delta = std::move(next_delta);
+    }
+  }
+  return materialized;
+}
+
+std::vector<Tuple> EvaluateDatalog(const DatalogProgram& program,
+                                   const Database& db) {
+  Database materialized = MaterializeDatalog(program, db);
+  if (!materialized.HasRelation(program.goal_predicate())) return {};
+  return materialized.relation(program.goal_predicate()).tuples();
+}
+
+bool DatalogMembership(const DatalogProgram& program, const Database& db,
+                       const Tuple& tuple) {
+  Database materialized = MaterializeDatalog(program, db);
+  return materialized.HasRelation(program.goal_predicate()) &&
+         materialized.relation(program.goal_predicate()).Contains(tuple);
+}
+
+}  // namespace zeroone

@@ -1,0 +1,33 @@
+#ifndef ZEROONE_DATALOG_EVAL_H_
+#define ZEROONE_DATALOG_EVAL_H_
+
+#include <vector>
+
+#include "data/database.h"
+#include "datalog/program.h"
+
+namespace zeroone {
+
+// Bottom-up evaluation of a stratified datalog program: strata are
+// materialized in order, each with semi-naive fixpoint iteration (every
+// round instantiates each recursive rule with at least one delta literal,
+// so no derivation is recomputed). Evaluation is syntactic on values, so on
+// incomplete databases this computes the program's *naïve* answers — nulls
+// behave as fresh constants, exactly as in the FO evaluator, and the
+// measure machinery (datalog/measure.h) builds on that.
+
+// Materializes all intensional predicates over the given database and
+// returns the result (EDB relations unchanged, IDB relations filled).
+Database MaterializeDatalog(const DatalogProgram& program, const Database& db);
+
+// The goal relation's tuples after materialization.
+std::vector<Tuple> EvaluateDatalog(const DatalogProgram& program,
+                                   const Database& db);
+
+// Membership test: ā ∈ goal(D).
+bool DatalogMembership(const DatalogProgram& program, const Database& db,
+                       const Tuple& tuple);
+
+}  // namespace zeroone
+
+#endif  // ZEROONE_DATALOG_EVAL_H_

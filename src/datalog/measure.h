@@ -1,0 +1,39 @@
+#ifndef ZEROONE_DATALOG_MEASURE_H_
+#define ZEROONE_DATALOG_MEASURE_H_
+
+#include "common/polynomial.h"
+#include "common/rational.h"
+#include "core/generic_instance.h"
+#include "data/database.h"
+#include "datalog/program.h"
+
+namespace zeroone {
+
+// Measures for datalog queries. A datalog program is a generic query
+// (logic-defined, data-independent), so Theorem 1 applies verbatim:
+// µ(Q,D,ā) ∈ {0,1} with µ = 1 iff ā is a naïve answer — even though
+// datalog is not first-order. These functions lower a program to the
+// formalism-agnostic GenericInstance and reuse the shared measure engine,
+// which is exactly how the paper's "only genericity is needed" argument
+// plays out in code.
+
+// Lowers (program, D, ā) to the generic measure interface.
+GenericInstance MakeDatalogInstance(const DatalogProgram& program,
+                                    const Database& db, const Tuple& tuple);
+
+// µ(Q,D,ā) by the 0–1 law: 1 iff ā ∈ Q^naive(D) (one bottom-up run).
+int DatalogMuLimit(const DatalogProgram& program, const Database& db,
+                   const Tuple& tuple);
+
+// Exact µ^k by enumeration (ground truth; exponential in #nulls).
+Rational DatalogMuK(const DatalogProgram& program, const Database& db,
+                    const Tuple& tuple, std::size_t k);
+
+// µ from the definition via the partition-polynomial method — the
+// independent check that the 0–1 law holds beyond FO.
+Rational DatalogMuViaPolynomial(const DatalogProgram& program,
+                                const Database& db, const Tuple& tuple);
+
+}  // namespace zeroone
+
+#endif  // ZEROONE_DATALOG_MEASURE_H_

@@ -1,0 +1,203 @@
+#include "datalog/parser.h"
+
+#include <cctype>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace zeroone {
+
+namespace {
+
+class Cursor {
+ public:
+  explicit Cursor(std::string_view text) : text_(text) {}
+
+  void SkipWhitespaceAndComments() {
+    while (position_ < text_.size()) {
+      char c = text_[position_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++position_;
+      } else if (c == '%' || c == '#') {
+        while (position_ < text_.size() && text_[position_] != '\n') {
+          ++position_;
+        }
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool AtEnd() {
+    SkipWhitespaceAndComments();
+    return position_ >= text_.size();
+  }
+
+  char Peek() {
+    SkipWhitespaceAndComments();
+    return position_ < text_.size() ? text_[position_] : '\0';
+  }
+
+  bool Consume(char expected) {
+    SkipWhitespaceAndComments();
+    if (position_ < text_.size() && text_[position_] == expected) {
+      ++position_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeSequence(std::string_view expected) {
+    SkipWhitespaceAndComments();
+    if (text_.substr(position_, expected.size()) == expected) {
+      position_ += expected.size();
+      return true;
+    }
+    return false;
+  }
+
+  StatusOr<std::string> Identifier() {
+    SkipWhitespaceAndComments();
+    std::size_t start = position_;
+    while (position_ < text_.size()) {
+      char c = text_[position_];
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+        ++position_;
+      } else {
+        break;
+      }
+    }
+    if (position_ == start) {
+      return Status::Error("datalog parse error at offset " +
+                           std::to_string(position_) +
+                           ": expected identifier");
+    }
+    return std::string(text_.substr(start, position_ - start));
+  }
+
+  StatusOr<std::string> QuotedString() {
+    // Precondition: Peek() == '\''.
+    ++position_;
+    std::size_t start = position_;
+    while (position_ < text_.size() && text_[position_] != '\'') ++position_;
+    if (position_ == text_.size()) {
+      return Status::Error("datalog parse error: unterminated string");
+    }
+    std::string result(text_.substr(start, position_ - start));
+    ++position_;
+    return result;
+  }
+
+  std::size_t position() const { return position_; }
+
+ private:
+  std::string_view text_;
+  std::size_t position_ = 0;
+};
+
+// Per-rule variable scope: names → dense ids.
+class RuleScope {
+ public:
+  std::size_t IdOf(const std::string& name) {
+    auto it = ids_.find(name);
+    if (it != ids_.end()) return it->second;
+    std::size_t id = names_.size();
+    names_.push_back(name);
+    ids_.emplace(name, id);
+    return id;
+  }
+  std::vector<std::string> names() const { return names_; }
+
+ private:
+  std::vector<std::string> names_;
+  std::map<std::string, std::size_t> ids_;
+};
+
+StatusOr<Term> ParseTerm(Cursor* cursor, RuleScope* scope) {
+  char c = cursor->Peek();
+  if (c == '\'') {
+    StatusOr<std::string> text = cursor->QuotedString();
+    if (!text.ok()) return text.status();
+    return Term::Val(Value::Constant(*text));
+  }
+  StatusOr<std::string> identifier = cursor->Identifier();
+  if (!identifier.ok()) return identifier.status();
+  char first = (*identifier)[0];
+  if (std::isupper(static_cast<unsigned char>(first))) {
+    return Term::Variable(scope->IdOf(*identifier));
+  }
+  return Term::Val(Value::Constant(*identifier));
+}
+
+StatusOr<DatalogAtom> ParseAtom(Cursor* cursor, RuleScope* scope) {
+  StatusOr<std::string> predicate = cursor->Identifier();
+  if (!predicate.ok()) return predicate.status();
+  DatalogAtom atom;
+  atom.predicate = *predicate;
+  if (!cursor->Consume('(')) {
+    return Status::Error("datalog parse error: expected '(' after " +
+                         atom.predicate);
+  }
+  if (cursor->Peek() != ')') {
+    while (true) {
+      StatusOr<Term> term = ParseTerm(cursor, scope);
+      if (!term.ok()) return term.status();
+      atom.terms.push_back(*term);
+      if (cursor->Consume(',')) continue;
+      break;
+    }
+  }
+  if (!cursor->Consume(')')) {
+    return Status::Error("datalog parse error: expected ')' closing atom");
+  }
+  return atom;
+}
+
+}  // namespace
+
+StatusOr<DatalogProgram> ParseDatalogProgram(std::string_view text) {
+  Cursor cursor(text);
+  std::vector<DatalogRule> rules;
+  std::string goal;
+  while (!cursor.AtEnd()) {
+    if (cursor.ConsumeSequence("?-")) {
+      StatusOr<std::string> predicate = cursor.Identifier();
+      if (!predicate.ok()) return predicate.status();
+      if (!goal.empty()) {
+        return Status::Error("datalog parse error: multiple goals");
+      }
+      goal = *predicate;
+      continue;
+    }
+    RuleScope scope;
+    DatalogRule rule;
+    StatusOr<DatalogAtom> head = ParseAtom(&cursor, &scope);
+    if (!head.ok()) return head.status();
+    rule.head = std::move(*head);
+    if (cursor.ConsumeSequence(":-")) {
+      while (true) {
+        DatalogLiteral literal;
+        literal.negated = cursor.Consume('!');
+        StatusOr<DatalogAtom> atom = ParseAtom(&cursor, &scope);
+        if (!atom.ok()) return atom.status();
+        literal.atom = std::move(*atom);
+        rule.body.push_back(std::move(literal));
+        if (cursor.Consume(',')) continue;
+        break;
+      }
+    }
+    if (!cursor.Consume('.')) {
+      return Status::Error("datalog parse error at offset " +
+                           std::to_string(cursor.position()) +
+                           ": expected '.' ending the rule");
+    }
+    rule.variable_names = scope.names();
+    rules.push_back(std::move(rule));
+  }
+  if (goal.empty()) {
+    return Status::Error("datalog parse error: missing goal ('?- P')");
+  }
+  return DatalogProgram::Create(std::move(rules), std::move(goal));
+}
+
+}  // namespace zeroone

@@ -1,0 +1,28 @@
+#ifndef ZEROONE_DATALOG_PARSER_H_
+#define ZEROONE_DATALOG_PARSER_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "datalog/program.h"
+
+namespace zeroone {
+
+// Parses a datalog program. Syntax:
+//
+//   T(X, Y) :- E(X, Y).
+//   T(X, Z) :- E(X, Y), T(Y, Z).
+//   Far(X)  :- T(a, X), !E(a, X).
+//   ?- Far
+//
+// One rule per '.'-terminated statement; '!' negates a body literal; the
+// final '?- <predicate>' names the goal. Identifiers beginning with an
+// uppercase letter are variables (Prolog convention — note this differs
+// from the FO query parser, which uses declaration sites); lowercase
+// identifiers, numbers, and single-quoted strings are constants. '%' or '#'
+// start comments to end of line.
+StatusOr<DatalogProgram> ParseDatalogProgram(std::string_view text);
+
+}  // namespace zeroone
+
+#endif  // ZEROONE_DATALOG_PARSER_H_

@@ -1,0 +1,184 @@
+#include "datalog/program.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace zeroone {
+
+namespace {
+
+std::string NameOf(std::size_t id, const std::vector<std::string>& names) {
+  if (id < names.size() && !names[id].empty()) return names[id];
+  return "X" + std::to_string(id);
+}
+
+}  // namespace
+
+std::string DatalogAtom::ToString(
+    const std::vector<std::string>& variable_names) const {
+  std::string result = predicate + "(";
+  for (std::size_t i = 0; i < terms.size(); ++i) {
+    if (i > 0) result += ", ";
+    result += terms[i].is_variable()
+                  ? NameOf(terms[i].variable_id(), variable_names)
+                  : terms[i].value().ToString();
+  }
+  return result + ")";
+}
+
+std::string DatalogRule::ToString() const {
+  std::string result = head.ToString(variable_names);
+  if (body.empty()) return result + ".";
+  result += " :- ";
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    if (i > 0) result += ", ";
+    if (body[i].negated) result += "!";
+    result += body[i].atom.ToString(variable_names);
+  }
+  return result + ".";
+}
+
+StatusOr<DatalogProgram> DatalogProgram::Create(std::vector<DatalogRule> rules,
+                                                std::string goal_predicate) {
+  DatalogProgram program;
+  // Arity consistency.
+  std::map<std::string, std::size_t> arities;
+  auto note_arity = [&](const DatalogAtom& atom) -> Status {
+    auto [it, inserted] = arities.emplace(atom.predicate, atom.terms.size());
+    if (!inserted && it->second != atom.terms.size()) {
+      return Status::Error("predicate " + atom.predicate +
+                           " used with arities " +
+                           std::to_string(it->second) + " and " +
+                           std::to_string(atom.terms.size()));
+    }
+    return Status::Ok();
+  };
+  std::set<std::string> intensional;
+  for (const DatalogRule& rule : rules) {
+    Status status = note_arity(rule.head);
+    if (!status.ok()) return status;
+    intensional.insert(rule.head.predicate);
+    for (const DatalogLiteral& literal : rule.body) {
+      status = note_arity(literal.atom);
+      if (!status.ok()) return status;
+    }
+  }
+  if (arities.find(goal_predicate) == arities.end()) {
+    return Status::Error("goal predicate " + goal_predicate +
+                         " does not occur in the program");
+  }
+
+  // Safety.
+  for (const DatalogRule& rule : rules) {
+    std::set<std::size_t> positive_variables;
+    for (const DatalogLiteral& literal : rule.body) {
+      if (literal.negated) continue;
+      for (const Term& t : literal.atom.terms) {
+        if (t.is_variable()) positive_variables.insert(t.variable_id());
+      }
+    }
+    auto check_covered = [&](const DatalogAtom& atom,
+                             const char* where) -> Status {
+      for (const Term& t : atom.terms) {
+        if (t.is_variable() &&
+            positive_variables.count(t.variable_id()) == 0) {
+          return Status::Error("unsafe rule (" + rule.ToString() +
+                               "): variable in " + where +
+                               " not bound by a positive body literal");
+        }
+      }
+      return Status::Ok();
+    };
+    Status status = check_covered(rule.head, "head");
+    if (!status.ok()) return status;
+    for (const DatalogLiteral& literal : rule.body) {
+      if (!literal.negated) continue;
+      status = check_covered(literal.atom, "negated literal");
+      if (!status.ok()) return status;
+    }
+  }
+
+  // Stratification: iteratively assign strata; stratum(p) must be
+  // >= stratum(q) for positive edges q → p and > stratum(q) for negative
+  // ones. Failure to stabilize within |predicates| rounds means a negative
+  // cycle.
+  std::map<std::string, std::size_t> stratum;
+  for (const auto& [predicate, arity] : arities) stratum[predicate] = 0;
+  bool changed = true;
+  std::size_t rounds = 0;
+  // Strata are bounded by the predicate count, so a legal program
+  // stabilizes within |predicates|² + 1 rounds; exceeding that bound means
+  // strata grow without bound — a negative cycle.
+  const std::size_t max_rounds = arities.size() * arities.size() + 2;
+  while (changed) {
+    if (++rounds > max_rounds) {
+      return Status::Error(
+          "program is not stratifiable (recursion through negation)");
+    }
+    changed = false;
+    for (const DatalogRule& rule : rules) {
+      std::size_t& head_stratum = stratum[rule.head.predicate];
+      for (const DatalogLiteral& literal : rule.body) {
+        std::size_t body_stratum = stratum[literal.atom.predicate];
+        // Negation over an intensional predicate forces a strictly higher
+        // stratum; extensional predicates never change during evaluation,
+        // so negating them is free.
+        std::size_t required =
+            literal.negated && intensional.count(literal.atom.predicate) != 0
+                ? body_stratum + 1
+                : body_stratum;
+        if (head_stratum < required) {
+          head_stratum = required;
+          changed = true;
+        }
+      }
+    }
+  }
+  // Group intensional predicates by stratum.
+  std::map<std::size_t, std::vector<std::string>> grouped;
+  for (const std::string& predicate : intensional) {
+    grouped[stratum[predicate]].push_back(predicate);
+  }
+  for (auto& [level, predicates] : grouped) {
+    std::sort(predicates.begin(), predicates.end());
+    program.strata_.push_back(predicates);
+  }
+
+  program.rules_ = std::move(rules);
+  program.goal_predicate_ = std::move(goal_predicate);
+  program.goal_arity_ = arities[program.goal_predicate_];
+  return program;
+}
+
+bool DatalogProgram::IsIntensional(const std::string& predicate) const {
+  return std::any_of(rules_.begin(), rules_.end(),
+                     [&](const DatalogRule& rule) {
+                       return rule.head.predicate == predicate;
+                     });
+}
+
+std::vector<Value> DatalogProgram::MentionedConstants() const {
+  std::set<Value> constants;
+  auto collect = [&](const DatalogAtom& atom) {
+    for (const Term& t : atom.terms) {
+      if (t.is_value() && t.value().is_constant()) constants.insert(t.value());
+    }
+  };
+  for (const DatalogRule& rule : rules_) {
+    collect(rule.head);
+    for (const DatalogLiteral& literal : rule.body) collect(literal.atom);
+  }
+  return std::vector<Value>(constants.begin(), constants.end());
+}
+
+std::string DatalogProgram::ToString() const {
+  std::string result;
+  for (const DatalogRule& rule : rules_) {
+    result += rule.ToString() + "\n";
+  }
+  result += "?- " + goal_predicate_ + "\n";
+  return result;
+}
+
+}  // namespace zeroone

@@ -1,0 +1,88 @@
+#ifndef ZEROONE_DATALOG_PROGRAM_H_
+#define ZEROONE_DATALOG_PROGRAM_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "data/value.h"
+#include "query/formula.h"
+
+namespace zeroone {
+
+// Datalog with stratified negation. The paper's Theorem 1 requires only
+// genericity, so its 0–1 law covers datalog — a language with no classical
+// logical 0–1 law story of its own in this setting (fixed-point logics are
+// explicitly cited). This module provides the language: programs, safety
+// and stratification checking (program.h), semi-naive bottom-up evaluation
+// (eval.h), and the measure glue lowering a program to a GenericInstance
+// (measure.h).
+//
+// Terms reuse the first-order Term type: variables carry per-rule dense
+// ids assigned by the parser or the builder.
+
+struct DatalogAtom {
+  std::string predicate;
+  std::vector<Term> terms;
+
+  std::string ToString(const std::vector<std::string>& variable_names) const;
+};
+
+struct DatalogLiteral {
+  DatalogAtom atom;
+  bool negated = false;
+};
+
+// head :- body₁, …, body_n. A rule with an empty body is a fact template
+// (must then be variable-free by safety).
+struct DatalogRule {
+  DatalogAtom head;
+  std::vector<DatalogLiteral> body;
+  // Display names for the rule's variable ids.
+  std::vector<std::string> variable_names;
+
+  std::string ToString() const;
+};
+
+class DatalogProgram {
+ public:
+  DatalogProgram() = default;
+
+  // Validates and freezes a program:
+  //  - arity consistency per predicate;
+  //  - safety: every variable of a rule head and of every negated literal
+  //    occurs in some positive body literal;
+  //  - stratification: no recursion through negation.
+  // The goal predicate is the program's output relation.
+  static StatusOr<DatalogProgram> Create(std::vector<DatalogRule> rules,
+                                         std::string goal_predicate);
+
+  const std::vector<DatalogRule>& rules() const { return rules_; }
+  const std::string& goal_predicate() const { return goal_predicate_; }
+  std::size_t goal_arity() const { return goal_arity_; }
+
+  // Intensional predicates (heads of rules), in stratum order: evaluating
+  // strata left to right respects negation.
+  const std::vector<std::vector<std::string>>& strata() const {
+    return strata_;
+  }
+
+  // True iff the predicate appears in some rule head.
+  bool IsIntensional(const std::string& predicate) const;
+
+  // The constants mentioned by the program (the genericity set C).
+  std::vector<Value> MentionedConstants() const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<DatalogRule> rules_;
+  std::string goal_predicate_;
+  std::size_t goal_arity_ = 0;
+  std::vector<std::vector<std::string>> strata_;
+};
+
+}  // namespace zeroone
+
+#endif  // ZEROONE_DATALOG_PROGRAM_H_

@@ -1,0 +1,50 @@
+#include "gen/random_db.h"
+
+#include <random>
+
+namespace zeroone {
+
+Database GenerateRandomDatabase(const RandomDatabaseOptions& options) {
+  std::mt19937_64 rng(options.seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  std::uniform_int_distribution<std::size_t> constant_pick(
+      0, options.constant_pool == 0 ? 0 : options.constant_pool - 1);
+  std::uniform_int_distribution<std::size_t> null_pick(
+      0, options.null_pool == 0 ? 0 : options.null_pool - 1);
+
+  std::vector<Value> constants;
+  constants.reserve(options.constant_pool);
+  for (std::size_t i = 0; i < options.constant_pool; ++i) {
+    constants.push_back(Value::Constant("c" + std::to_string(i)));
+  }
+  std::vector<Value> nulls;
+  nulls.reserve(options.null_pool);
+  for (std::size_t i = 0; i < options.null_pool; ++i) {
+    nulls.push_back(Value::Null("s" + std::to_string(options.seed) + "n" +
+                                std::to_string(i)));
+  }
+
+  Database db;
+  for (const auto& spec : options.relations) {
+    Relation& relation = db.AddRelation(spec.name, spec.arity);
+    for (std::size_t t = 0; t < spec.tuple_count; ++t) {
+      std::vector<Value> values;
+      values.reserve(spec.arity);
+      for (std::size_t p = 0; p < spec.arity; ++p) {
+        bool use_null = !nulls.empty() &&
+                        coin(rng) < options.null_probability;
+        if (use_null) {
+          values.push_back(nulls[null_pick(rng)]);
+        } else if (!constants.empty()) {
+          values.push_back(constants[constant_pick(rng)]);
+        } else {
+          values.push_back(nulls[null_pick(rng)]);
+        }
+      }
+      relation.Insert(Tuple(std::move(values)));
+    }
+  }
+  return db;
+}
+
+}  // namespace zeroone

@@ -1,0 +1,40 @@
+#ifndef ZEROONE_GEN_RANDOM_DB_H_
+#define ZEROONE_GEN_RANDOM_DB_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/database.h"
+
+namespace zeroone {
+
+// Seeded random incomplete-database generation for property tests and
+// benchmark workloads. Generation is deterministic in the options
+// (including the seed): the same options always produce the same database,
+// with constants named c0..c{constant_pool-1} and nulls labeled
+// s<seed>n0..s<seed>n{null_pool-1} (fresh labels per seed, so databases
+// from different seeds do not share nulls).
+struct RandomDatabaseOptions {
+  struct RelationSpec {
+    std::string name;
+    std::size_t arity;
+    std::size_t tuple_count;
+  };
+  std::vector<RelationSpec> relations;
+  // Number of distinct constants values are drawn from.
+  std::size_t constant_pool = 8;
+  // Number of distinct nulls values are drawn from (shared across
+  // relations, producing the correlations that make marked nulls
+  // interesting).
+  std::size_t null_pool = 3;
+  // Probability that a position holds a null rather than a constant.
+  double null_probability = 0.3;
+  std::uint64_t seed = 1;
+};
+
+Database GenerateRandomDatabase(const RandomDatabaseOptions& options);
+
+}  // namespace zeroone
+
+#endif  // ZEROONE_GEN_RANDOM_DB_H_

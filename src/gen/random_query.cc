@@ -1,0 +1,134 @@
+#include "gen/random_query.h"
+
+#include <cassert>
+#include <random>
+#include <set>
+
+namespace zeroone {
+
+namespace {
+
+// Builds one clause: a conjunction of (possibly negated) atoms over the
+// variable ids [0, free + existential), with every free variable forced to
+// occur in at least one positive atom.
+FormulaPtr BuildClause(const RandomQueryOptions& options,
+                       double negation_probability, std::mt19937_64* rng) {
+  assert(!options.relations.empty());
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  std::uniform_int_distribution<std::size_t> relation_pick(
+      0, options.relations.size() - 1);
+  std::size_t variable_count =
+      options.free_variables + options.existential_variables;
+  std::uniform_int_distribution<std::size_t> variable_pick(
+      0, variable_count == 0 ? 0 : variable_count - 1);
+  std::uniform_int_distribution<std::size_t> constant_pick(
+      0, options.constant_pool == 0 ? 0 : options.constant_pool - 1);
+
+  struct RawAtom {
+    std::size_t relation;
+    std::vector<Term> terms;
+    bool negated;
+  };
+  std::vector<RawAtom> atoms;
+  for (std::size_t i = 0; i < options.atoms_per_clause; ++i) {
+    RawAtom atom;
+    atom.relation = relation_pick(*rng);
+    std::size_t arity = options.relations[atom.relation].arity;
+    for (std::size_t p = 0; p < arity; ++p) {
+      bool use_constant = options.constant_pool > 0 &&
+                          coin(*rng) < options.constant_probability;
+      if (use_constant || variable_count == 0) {
+        atom.terms.push_back(Term::Val(
+            Value::Constant("c" + std::to_string(constant_pick(*rng)))));
+      } else {
+        atom.terms.push_back(Term::Variable(variable_pick(*rng)));
+      }
+    }
+    atom.negated = coin(*rng) < negation_probability;
+    atoms.push_back(std::move(atom));
+  }
+
+  // Range restriction: every free variable must occur in a positive atom.
+  for (std::size_t v = 0; v < options.free_variables; ++v) {
+    bool occurs = false;
+    for (const RawAtom& atom : atoms) {
+      if (atom.negated) continue;
+      for (const Term& t : atom.terms) {
+        occurs = occurs || (t.is_variable() && t.variable_id() == v);
+      }
+    }
+    if (occurs) continue;
+    // Place v into a random position of a positive atom (creating one if
+    // all atoms are negated).
+    std::vector<std::size_t> positive;
+    for (std::size_t i = 0; i < atoms.size(); ++i) {
+      if (!atoms[i].negated && !atoms[i].terms.empty()) positive.push_back(i);
+    }
+    if (positive.empty()) {
+      for (RawAtom& atom : atoms) {
+        if (!atom.terms.empty()) {
+          atom.negated = false;
+          positive.push_back(&atom - atoms.data());
+          break;
+        }
+      }
+    }
+    if (positive.empty()) continue;  // Only 0-ary atoms; nothing to do.
+    std::uniform_int_distribution<std::size_t> atom_pick(0,
+                                                         positive.size() - 1);
+    RawAtom& host = atoms[positive[atom_pick(*rng)]];
+    std::uniform_int_distribution<std::size_t> position_pick(
+        0, host.terms.size() - 1);
+    host.terms[position_pick(*rng)] = Term::Variable(v);
+  }
+
+  std::vector<FormulaPtr> literals;
+  for (const RawAtom& atom : atoms) {
+    FormulaPtr f = Formula::Atom(options.relations[atom.relation].name,
+                                 atom.terms);
+    literals.push_back(atom.negated ? Formula::Not(std::move(f))
+                                    : std::move(f));
+  }
+  FormulaPtr body = Formula::And(std::move(literals));
+  // Existentially quantify the non-free variables that occur.
+  std::vector<std::size_t> existential;
+  for (std::size_t v = options.free_variables; v < variable_count; ++v) {
+    existential.push_back(v);
+  }
+  return Formula::Exists(existential, std::move(body));
+}
+
+Query BuildQuery(const RandomQueryOptions& options,
+                 double negation_probability) {
+  std::mt19937_64 rng(options.seed);
+  std::vector<FormulaPtr> clauses;
+  for (std::size_t i = 0; i < options.clauses; ++i) {
+    clauses.push_back(BuildClause(options, negation_probability, &rng));
+  }
+  FormulaPtr formula = Formula::Or(std::move(clauses));
+  std::vector<std::size_t> free_variables;
+  std::vector<std::string> names;
+  for (std::size_t v = 0; v < options.free_variables; ++v) {
+    free_variables.push_back(v);
+    names.push_back("x" + std::to_string(v));
+  }
+  for (std::size_t v = options.free_variables;
+       v < options.free_variables + options.existential_variables; ++v) {
+    names.push_back("y" + std::to_string(v));
+  }
+  return Query("Qrand", std::move(free_variables), std::move(formula),
+               std::move(names));
+}
+
+}  // namespace
+
+Query GenerateRandomUcq(const RandomQueryOptions& options) {
+  return BuildQuery(options, 0.0);
+}
+
+Query GenerateRandomFo(const RandomQueryOptions& options,
+                       double negation_probability) {
+  return BuildQuery(options, negation_probability);
+}
+
+}  // namespace zeroone

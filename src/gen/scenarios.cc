@@ -1,0 +1,192 @@
+#include "gen/scenarios.h"
+
+#include <cassert>
+#include <random>
+
+#include "query/parser.h"
+
+namespace zeroone {
+
+namespace {
+
+// All scenario queries are fixed strings; parsing them cannot fail, which
+// the assert documents.
+Query MustParse(const char* text) {
+  StatusOr<Query> query = ParseQuery(text);
+  assert(query.ok() && "scenario query failed to parse");
+  return std::move(query).value();
+}
+
+}  // namespace
+
+IntroExample PaperIntroExample() {
+  IntroExample example;
+  Value c1 = Value::Constant("c1");
+  Value c2 = Value::Constant("c2");
+  Value n1 = Value::Null("1");
+  Value n2 = Value::Null("2");
+  Value n3 = Value::Null("3");
+  Relation& r1 = example.db.AddRelation("R1", 2);
+  r1.Insert({c1, n1});
+  r1.Insert({c2, n1});
+  r1.Insert({c2, n2});
+  Relation& r2 = example.db.AddRelation("R2", 2);
+  r2.Insert({c1, n2});
+  r2.Insert({c2, n1});
+  r2.Insert({n3, n1});
+  example.query = MustParse("Q(x, y) := R1(x, y) & !R2(x, y)");
+  return example;
+}
+
+IntroExample ScaledIntroExample(std::size_t customers,
+                                std::size_t orders_per_customer,
+                                double null_fraction, std::uint64_t seed) {
+  IntroExample example;
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  Relation& r1 = example.db.AddRelation("R1", 2);
+  Relation& r2 = example.db.AddRelation("R2", 2);
+  std::size_t next_null = 0;
+  for (std::size_t c = 0; c < customers; ++c) {
+    Value customer = Value::Constant("cust" + std::to_string(c));
+    for (std::size_t o = 0; o < orders_per_customer; ++o) {
+      Value product =
+          Value::Constant("prod" + std::to_string((c * 7 + o * 13) % (customers * orders_per_customer)));
+      bool nullify = coin(rng) < null_fraction;
+      if (!nullify) {
+        r1.Insert({customer, product});
+        r2.Insert({customer, product});
+        continue;
+      }
+      // An unknown product; with probability 1/2 the same unknown product
+      // was bought from both suppliers (a shared null, as ⊥1 in the paper).
+      Value unknown = Value::Null("intro" + std::to_string(seed) + "_" +
+                                  std::to_string(next_null++));
+      r1.Insert({customer, unknown});
+      if (coin(rng) < 0.5) {
+        r2.Insert({customer, unknown});
+      } else {
+        r2.Insert({customer, product});
+      }
+    }
+  }
+  example.query = MustParse("Q(x, y) := R1(x, y) & !R2(x, y)");
+  return example;
+}
+
+ConditionalExample PaperConditionalExample() {
+  ConditionalExample example;
+  Value one = Value::Constant("1");
+  Value two = Value::Constant("2");
+  Value three = Value::Constant("3");
+  Value null = Value::Null("cond");
+  Relation& r = example.db.AddRelation("R", 2);
+  r.Insert({two, one});
+  r.Insert({null, null});
+  Relation& u = example.db.AddRelation("U", 1);
+  u.Insert({one});
+  u.Insert({two});
+  u.Insert({three});
+  example.query = MustParse("Q(x, y) := R(x, y)");
+  example.constraints.push_back(std::make_shared<InclusionDependency>(
+      "R", 2, std::vector<std::size_t>{0}, "U", 1,
+      std::vector<std::size_t>{0}));
+  example.tuple_a = Tuple{one, null};
+  example.tuple_b = Tuple{two, null};
+  return example;
+}
+
+RationalValueExample Proposition4Example(std::size_t p, std::size_t r) {
+  assert(p >= 1 && p <= r && "Proposition 4 requires 0 < p <= r");
+  RationalValueExample example;
+  Relation& rel_r = example.db.AddRelation("R", 2);
+  for (std::size_t i = 1; i + 1 <= p; ++i) {
+    Value v = Value::Int(static_cast<std::int64_t>(i));
+    rel_r.Insert({v, v});
+  }
+  Value null = Value::Null("prop4");
+  rel_r.Insert({null, Value::Int(static_cast<std::int64_t>(p))});
+  Relation& rel_s = example.db.AddRelation("S", 2);
+  rel_s.Insert({null, null});
+  Relation& rel_u = example.db.AddRelation("U", 1);
+  for (std::size_t i = 1; i <= r; ++i) {
+    rel_u.Insert({Value::Int(static_cast<std::int64_t>(i))});
+  }
+  example.query = MustParse(":= exists x, y . R(x, y) & S(x, y)");
+  example.constraints.push_back(std::make_shared<InclusionDependency>(
+      "R", 2, std::vector<std::size_t>{0}, "U", 1,
+      std::vector<std::size_t>{0}));
+  return example;
+}
+
+NaiveBreaksExample PaperNaiveBreaksExample() {
+  NaiveBreaksExample example;
+  Value null_r = Value::Null("nb1");
+  Value null_s = Value::Null("nb2");
+  example.db.AddRelation("R", 1).Insert({null_r});
+  example.db.AddRelation("S", 1).Insert({null_s});
+  example.db.AddRelation("U", 1).Insert({null_r});
+  example.db.AddRelation("V", 1).Insert({Value::Constant("1")});
+  example.query = MustParse(":= forall x . U(x) -> (R(x) & !S(x))");
+  example.constraints.push_back(std::make_shared<InclusionDependency>(
+      "R", 1, std::vector<std::size_t>{0}, "V", 1,
+      std::vector<std::size_t>{0}));
+  example.constraints.push_back(std::make_shared<InclusionDependency>(
+      "S", 1, std::vector<std::size_t>{0}, "V", 1,
+      std::vector<std::size_t>{0}));
+  return example;
+}
+
+BestAnswerExample PaperBestAnswerExample() {
+  BestAnswerExample example;
+  Value one = Value::Constant("1");
+  Value two = Value::Constant("2");
+  Value n1 = Value::Null("ba1");
+  Value n2 = Value::Null("ba2");
+  Value n3 = Value::Null("ba3");
+  Relation& r = example.db.AddRelation("R", 2);
+  r.Insert({one, n1});
+  r.Insert({two, n2});
+  Relation& s = example.db.AddRelation("S", 2);
+  s.Insert({one, n2});
+  s.Insert({n3, n1});
+  example.query = MustParse("Q(x, y) := R(x, y) & !S(x, y)");
+  example.tuple_a = Tuple{one, n1};
+  example.tuple_b = Tuple{two, n2};
+  return example;
+}
+
+OrthogonalityExample Proposition7Example(bool with_g) {
+  OrthogonalityExample example;
+  Value a = Value::Constant("a");
+  Value b = Value::Constant("b");
+  Value n1 = Value::Null("or1");
+  Value n2 = Value::Null("or2");
+  example.db.AddRelation("A", 1).Insert({a});
+  example.db.AddRelation("B", 1).Insert({b});
+  Relation& r = example.db.AddRelation("R", 2);
+  r.Insert({n1, n2});
+  if (with_g) {
+    example.db.AddRelation("G", 1).Insert({Value::Constant("g")});
+    example.query = MustParse(
+        "Q(x) := G(x) | (B(x) & (exists y . R(y, y))) | "
+        "(A(x) & !(exists y . R(y, y)))");
+  } else {
+    example.query = MustParse(
+        "Q(x) := (B(x) & (exists y . R(y, y))) | "
+        "(A(x) & !(exists y . R(y, y)))");
+  }
+  example.tuple_a = Tuple{a};
+  example.tuple_b = Tuple{b};
+  return example;
+}
+
+OwaExample Proposition2Example() {
+  OwaExample example;
+  example.db.AddRelation("U", 1);
+  example.q1 = MustParse(":= !(exists x . U(x))");
+  example.q2 = MustParse(":= exists x . U(x)");
+  return example;
+}
+
+}  // namespace zeroone

@@ -1,0 +1,106 @@
+#ifndef ZEROONE_GEN_SCENARIOS_H_
+#define ZEROONE_GEN_SCENARIOS_H_
+
+#include <cstdint>
+
+#include "constraints/constraint.h"
+#include "constraints/ind.h"
+#include "data/database.h"
+#include "query/query.h"
+
+namespace zeroone {
+
+// The worked examples of the paper, reproduced exactly, plus scalable
+// variants for benchmarking. Each returns the database/query/constraints a
+// section of the paper reasons about, so tests and benches can check the
+// claimed numbers verbatim.
+
+// Section 1 (decision support): relations R1, R2 with customers c1, c2 and
+// nulls ⊥1, ⊥2, ⊥3; query Q(x,y) = R1(x,y) ∧ ¬R2(x,y). The paper's claims:
+// certain answers are empty; naïve answers are (c1,⊥1) and (c2,⊥2); tuple
+// (c2,⊥2) has strictly more support; under the FD customer→product both
+// naïve answers become almost certainly false.
+struct IntroExample {
+  Database db;
+  Query query;
+};
+IntroExample PaperIntroExample();
+
+// A scalable version of the intro scenario: `customers` customers each
+// buying `orders_per_customer` products from two suppliers, a fraction of
+// product fields null (some shared between suppliers, as in the paper).
+IntroExample ScaledIntroExample(std::size_t customers,
+                                std::size_t orders_per_customer,
+                                double null_fraction, std::uint64_t seed);
+
+// Section 4 (conditional probability): R = {(2,1), (⊥,⊥)}, U = {1,2,3},
+// Σ = { R[0] ⊆ U[0] }, Q(x,y) = R(x,y). Claims: µ(Q|Σ,D,(1,⊥)) = 1/3 and
+// µ(Q|Σ,D,(2,⊥)) = 2/3.
+struct ConditionalExample {
+  Database db;
+  Query query;
+  ConstraintSet constraints;
+  Tuple tuple_a;  // (1, ⊥)
+  Tuple tuple_b;  // (2, ⊥)
+};
+ConditionalExample PaperConditionalExample();
+
+// Proposition 4: for s = p/r (0 < p ≤ r), a database, one inclusion
+// dependency, and a Boolean conjunctive query with µ(Q|Σ,D) = p/r:
+// R = {(1,1), …, (p−1,p−1), (⊥,p)}, S = {(⊥,⊥)}, U = {1..r},
+// Σ = { R[0] ⊆ U[0] }, Q = ∃x,y R(x,y) ∧ S(x,y).
+struct RationalValueExample {
+  Database db;
+  Query query;
+  ConstraintSet constraints;
+};
+RationalValueExample Proposition4Example(std::size_t p, std::size_t r);
+
+// Section 4.3 (constraints break naïve evaluation): R = {⊥}, S = {⊥′},
+// U = {⊥}, V = {1}, Σ = { R ⊆ V, S ⊆ V },
+// Q = ∀x U(x) → (R(x) ∧ ¬S(x)). Claims: Q^naive(D) and (Σ→Q)^naive(D) are
+// true but µ(Q|Σ,D) = 0.
+struct NaiveBreaksExample {
+  Database db;
+  Query query;
+  ConstraintSet constraints;
+};
+NaiveBreaksExample PaperNaiveBreaksExample();
+
+// Section 5 (best answers): R = {(1,⊥1),(2,⊥2)}, S = {(1,⊥2),(⊥3,⊥1)},
+// Q(x,y) = R(x,y) ∧ ¬S(x,y). Claims: certain answers empty;
+// (1,⊥1) ◁ (2,⊥2); Best(Q,D) = {(2,⊥2)}.
+struct BestAnswerExample {
+  Database db;
+  Query query;
+  Tuple tuple_a;  // (1, ⊥1)
+  Tuple tuple_b;  // (2, ⊥2)
+};
+BestAnswerExample PaperBestAnswerExample();
+
+// Proposition 7 (best vs almost-certain orthogonality): relations A = {a},
+// B = {b}, R = {(⊥,⊥′)} and Q(x) = (B(x) ∧ ∃y R(y,y)) ∨ (A(x) ∧ ¬∃y R(y,y)).
+// Claims: Best = {a, b}, µ(Q,D,a) = 1, µ(Q,D,b) = 0. The expanded variant
+// adds G = {g} and Q′(x) = G(x) ∨ Q(x), making a and b non-best with
+// unchanged measures.
+struct OrthogonalityExample {
+  Database db;          // With relation G already present (add_g == true).
+  Query query;          // Q or Q′ depending on with_g.
+  Tuple tuple_a;        // (a)
+  Tuple tuple_b;        // (b)
+};
+OrthogonalityExample Proposition7Example(bool with_g);
+
+// Proposition 2 (OWA): D with a single empty unary relation U;
+// Q1 = ¬∃x U(x) (owa-m = 0, naïve true), Q2 = ∃x U(x) (owa-m = 1, naïve
+// false).
+struct OwaExample {
+  Database db;
+  Query q1;
+  Query q2;
+};
+OwaExample Proposition2Example();
+
+}  // namespace zeroone
+
+#endif  // ZEROONE_GEN_SCENARIOS_H_

@@ -1,0 +1,242 @@
+#include "query/eval.h"
+
+#include <cassert>
+#include <map>
+
+#include "data/valuation.h"
+
+namespace zeroone {
+
+namespace {
+
+Value ResolveTerm(const Term& term, const Environment& env) {
+  if (term.is_value()) return term.value();
+  assert(term.variable_id() < env.size() && env[term.variable_id()] &&
+         "unbound variable during evaluation");
+  return *env[term.variable_id()];
+}
+
+}  // namespace
+
+bool EvaluateFormula(const Formula& formula, const Database& db,
+                     const std::vector<Value>& domain, Environment* env) {
+  switch (formula.kind()) {
+    case Formula::Kind::kTrue:
+      return true;
+    case Formula::Kind::kFalse:
+      return false;
+    case Formula::Kind::kAtom: {
+      if (!db.HasRelation(formula.relation_name())) return false;
+      std::vector<Value> values;
+      values.reserve(formula.terms().size());
+      for (const Term& t : formula.terms()) {
+        values.push_back(ResolveTerm(t, *env));
+      }
+      return db.relation(formula.relation_name()).Contains(Tuple(values));
+    }
+    case Formula::Kind::kEquals:
+      return ResolveTerm(formula.left(), *env) ==
+             ResolveTerm(formula.right(), *env);
+    case Formula::Kind::kNot:
+      return !EvaluateFormula(*formula.children()[0], db, domain, env);
+    case Formula::Kind::kAnd:
+      for (const FormulaPtr& child : formula.children()) {
+        if (!EvaluateFormula(*child, db, domain, env)) return false;
+      }
+      return true;
+    case Formula::Kind::kOr:
+      for (const FormulaPtr& child : formula.children()) {
+        if (EvaluateFormula(*child, db, domain, env)) return true;
+      }
+      return false;
+    case Formula::Kind::kImplies:
+      return !EvaluateFormula(*formula.children()[0], db, domain, env) ||
+             EvaluateFormula(*formula.children()[1], db, domain, env);
+    case Formula::Kind::kExists: {
+      std::size_t var = formula.bound_variable();
+      if (var >= env->size()) env->resize(var + 1);
+      std::optional<Value> saved = (*env)[var];
+      bool result = false;
+      for (Value v : domain) {
+        (*env)[var] = v;
+        if (EvaluateFormula(*formula.children()[0], db, domain, env)) {
+          result = true;
+          break;
+        }
+      }
+      (*env)[var] = saved;
+      return result;
+    }
+    case Formula::Kind::kForall: {
+      std::size_t var = formula.bound_variable();
+      if (var >= env->size()) env->resize(var + 1);
+      std::optional<Value> saved = (*env)[var];
+      bool result = true;
+      for (Value v : domain) {
+        (*env)[var] = v;
+        if (!EvaluateFormula(*formula.children()[0], db, domain, env)) {
+          result = false;
+          break;
+        }
+      }
+      (*env)[var] = saved;
+      return result;
+    }
+  }
+  return false;
+}
+
+bool EvaluateMembership(const Query& query, const Database& db,
+                        const Tuple& tuple) {
+  assert(tuple.arity() == query.arity() && "membership tuple arity mismatch");
+  std::vector<Value> domain = db.ActiveDomain();
+  Environment env(query.variable_count());
+  for (std::size_t i = 0; i < tuple.arity(); ++i) {
+    std::size_t var = query.free_variables()[i];
+    // Repeated output variables must agree.
+    if (env[var] && *env[var] != tuple[i]) return false;
+    env[var] = tuple[i];
+  }
+  return EvaluateFormula(*query.formula(), db, domain, &env);
+}
+
+namespace {
+
+// Enumerates assignments of `columns` free variables over the domain,
+// collecting satisfying tuples.
+void EnumerateAnswers(const Query& query, const Database& db,
+                      const std::vector<Value>& domain, std::size_t column,
+                      Environment* env, std::vector<Value>* current,
+                      std::vector<Tuple>* out) {
+  if (column == query.arity()) {
+    if (EvaluateFormula(*query.formula(), db, domain, env)) {
+      out->push_back(Tuple(*current));
+    }
+    return;
+  }
+  std::size_t var = query.free_variables()[column];
+  std::optional<Value> pre_bound = (*env)[var];
+  if (pre_bound) {
+    // A repeated output variable already bound by an earlier column.
+    current->push_back(*pre_bound);
+    EnumerateAnswers(query, db, domain, column + 1, env, current, out);
+    current->pop_back();
+    return;
+  }
+  for (Value v : domain) {
+    (*env)[var] = v;
+    current->push_back(v);
+    EnumerateAnswers(query, db, domain, column + 1, env, current, out);
+    current->pop_back();
+  }
+  (*env)[var] = std::nullopt;
+}
+
+}  // namespace
+
+std::vector<Tuple> EvaluateQuery(const Query& query, const Database& db) {
+  std::vector<Value> domain = db.ActiveDomain();
+  Environment env(query.variable_count());
+  std::vector<Tuple> answers;
+  if (query.is_boolean()) {
+    if (EvaluateFormula(*query.formula(), db, domain, &env)) {
+      answers.push_back(Tuple{});
+    }
+    return answers;
+  }
+  std::vector<Value> current;
+  current.reserve(query.arity());
+  EnumerateAnswers(query, db, domain, 0, &env, &current, &answers);
+  return answers;
+}
+
+FormulaPtr ApplyValuationToFormula(const FormulaPtr& formula,
+                                   const Valuation& v) {
+  const Formula& f = *formula;
+  switch (f.kind()) {
+    case Formula::Kind::kTrue:
+    case Formula::Kind::kFalse:
+      return formula;
+    case Formula::Kind::kAtom:
+    case Formula::Kind::kEquals: {
+      std::vector<Term> terms;
+      terms.reserve(f.terms().size());
+      bool changed = false;
+      for (const Term& t : f.terms()) {
+        if (t.is_value() && t.value().is_null() && v.IsBound(t.value())) {
+          terms.push_back(Term::Val(v.ValueOf(t.value())));
+          changed = true;
+        } else {
+          terms.push_back(t);
+        }
+      }
+      if (!changed) return formula;
+      if (f.kind() == Formula::Kind::kEquals) {
+        return Formula::Equals(terms[0], terms[1]);
+      }
+      return Formula::Atom(f.relation_name(), std::move(terms));
+    }
+    default: {
+      std::vector<FormulaPtr> children;
+      children.reserve(f.children().size());
+      bool changed = false;
+      for (const FormulaPtr& child : f.children()) {
+        FormulaPtr replaced = ApplyValuationToFormula(child, v);
+        changed = changed || replaced != child;
+        children.push_back(std::move(replaced));
+      }
+      if (!changed) return formula;
+      switch (f.kind()) {
+        case Formula::Kind::kNot:
+          return Formula::Not(children[0]);
+        case Formula::Kind::kAnd:
+          return Formula::And(std::move(children));
+        case Formula::Kind::kOr:
+          return Formula::Or(std::move(children));
+        case Formula::Kind::kImplies:
+          return Formula::Implies(children[0], children[1]);
+        case Formula::Kind::kExists:
+          return Formula::Exists(f.bound_variable(), children[0]);
+        case Formula::Kind::kForall:
+          return Formula::Forall(f.bound_variable(), children[0]);
+        default:
+          return formula;
+      }
+    }
+  }
+}
+
+std::vector<Tuple> NaiveEvaluate(const Query& query, const Database& db) {
+  return EvaluateQuery(query, db);
+}
+
+bool NaiveMembership(const Query& query, const Database& db,
+                     const Tuple& tuple) {
+  return EvaluateMembership(query, db, tuple);
+}
+
+std::vector<Tuple> NaiveEvaluateViaBijection(const Query& query,
+                                             const Database& db) {
+  Valuation v = MakeBijectiveValuation(db);
+  Database complete = v.Apply(db);
+  std::vector<Tuple> raw = EvaluateQuery(query, complete);
+  // Invert v on every component of every answer.
+  std::map<Value, Value> inverse;
+  for (const auto& [null, constant] : v.assignment()) {
+    inverse[constant] = null;
+  }
+  std::vector<Tuple> answers;
+  answers.reserve(raw.size());
+  for (const Tuple& t : raw) {
+    std::vector<Value> values;
+    values.reserve(t.arity());
+    for (Value value : t) {
+      auto it = inverse.find(value);
+      values.push_back(it == inverse.end() ? value : it->second);
+    }
+    answers.push_back(Tuple(std::move(values)));
+  }
+  return answers;
+}
+
+}  // namespace zeroone

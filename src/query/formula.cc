@@ -1,0 +1,254 @@
+#include "query/formula.h"
+
+#include <algorithm>
+#include <cassert>
+#include <set>
+
+namespace zeroone {
+
+namespace {
+struct ConcreteFormula : Formula {
+  explicit ConcreteFormula(Kind k) : Formula(k) {}
+};
+
+// Formula's constructor is private; expose it through a local subclass. The
+// factories mutate the fresh node before publishing it as a FormulaPtr.
+std::shared_ptr<ConcreteFormula> Make(Formula::Kind kind) {
+  return std::make_shared<ConcreteFormula>(kind);
+}
+}  // namespace
+
+FormulaPtr Formula::True() { return Make(Kind::kTrue); }
+FormulaPtr Formula::False() { return Make(Kind::kFalse); }
+
+FormulaPtr Formula::Atom(std::string relation_name, std::vector<Term> terms) {
+  auto f = Make(Kind::kAtom);
+  f->relation_name_ = std::move(relation_name);
+  f->terms_ = std::move(terms);
+  return f;
+}
+
+FormulaPtr Formula::Equals(Term left, Term right) {
+  auto f = Make(Kind::kEquals);
+  f->terms_ = {left, right};
+  return f;
+}
+
+FormulaPtr Formula::Not(FormulaPtr child) {
+  assert(child != nullptr);
+  auto f = Make(Kind::kNot);
+  f->children_ = {std::move(child)};
+  return f;
+}
+
+FormulaPtr Formula::And(std::vector<FormulaPtr> children) {
+  assert(!children.empty());
+  if (children.size() == 1) return children[0];
+  auto f = Make(Kind::kAnd);
+  f->children_ = std::move(children);
+  return f;
+}
+
+FormulaPtr Formula::And(FormulaPtr a, FormulaPtr b) {
+  return And(std::vector<FormulaPtr>{std::move(a), std::move(b)});
+}
+
+FormulaPtr Formula::Or(std::vector<FormulaPtr> children) {
+  assert(!children.empty());
+  if (children.size() == 1) return children[0];
+  auto f = Make(Kind::kOr);
+  f->children_ = std::move(children);
+  return f;
+}
+
+FormulaPtr Formula::Or(FormulaPtr a, FormulaPtr b) {
+  return Or(std::vector<FormulaPtr>{std::move(a), std::move(b)});
+}
+
+FormulaPtr Formula::Implies(FormulaPtr premise, FormulaPtr conclusion) {
+  auto f = Make(Kind::kImplies);
+  f->children_ = {std::move(premise),
+                                        std::move(conclusion)};
+  return f;
+}
+
+FormulaPtr Formula::Exists(std::size_t variable, FormulaPtr body) {
+  auto f = Make(Kind::kExists);
+  f->children_ = {std::move(body)};
+  f->bound_variable_ = variable;
+  return f;
+}
+
+FormulaPtr Formula::Exists(const std::vector<std::size_t>& variables,
+                           FormulaPtr body) {
+  FormulaPtr result = std::move(body);
+  for (std::size_t i = variables.size(); i-- > 0;) {
+    result = Exists(variables[i], std::move(result));
+  }
+  return result;
+}
+
+FormulaPtr Formula::Forall(std::size_t variable, FormulaPtr body) {
+  auto f = Make(Kind::kForall);
+  f->children_ = {std::move(body)};
+  f->bound_variable_ = variable;
+  return f;
+}
+
+FormulaPtr Formula::Forall(const std::vector<std::size_t>& variables,
+                           FormulaPtr body) {
+  FormulaPtr result = std::move(body);
+  for (std::size_t i = variables.size(); i-- > 0;) {
+    result = Forall(variables[i], std::move(result));
+  }
+  return result;
+}
+
+namespace {
+
+void CollectConstants(const Formula& f, std::set<Value>* out) {
+  for (const Term& t : f.terms()) {
+    if (t.is_value()) out->insert(t.value());
+  }
+  for (const FormulaPtr& child : f.children()) {
+    CollectConstants(*child, out);
+  }
+}
+
+void CollectFreeVariables(const Formula& f, std::set<std::size_t>* bound,
+                          std::set<std::size_t>* out) {
+  switch (f.kind()) {
+    case Formula::Kind::kAtom:
+    case Formula::Kind::kEquals:
+      for (const Term& t : f.terms()) {
+        if (t.is_variable() && bound->count(t.variable_id()) == 0) {
+          out->insert(t.variable_id());
+        }
+      }
+      return;
+    case Formula::Kind::kExists:
+    case Formula::Kind::kForall: {
+      bool newly_bound = bound->insert(f.bound_variable()).second;
+      CollectFreeVariables(*f.children()[0], bound, out);
+      if (newly_bound) bound->erase(f.bound_variable());
+      return;
+    }
+    default:
+      for (const FormulaPtr& child : f.children()) {
+        CollectFreeVariables(*child, bound, out);
+      }
+      return;
+  }
+}
+
+int MaxVariableIdOf(const Formula& f) {
+  int result = -1;
+  for (const Term& t : f.terms()) {
+    if (t.is_variable()) {
+      result = std::max(result, static_cast<int>(t.variable_id()));
+    }
+  }
+  if (f.kind() == Formula::Kind::kExists ||
+      f.kind() == Formula::Kind::kForall) {
+    result = std::max(result, static_cast<int>(f.bound_variable()));
+  }
+  for (const FormulaPtr& child : f.children()) {
+    result = std::max(result, MaxVariableIdOf(*child));
+  }
+  return result;
+}
+
+std::string NameOf(std::size_t id,
+                   const std::vector<std::string>& variable_names) {
+  if (id < variable_names.size() && !variable_names[id].empty()) {
+    return variable_names[id];
+  }
+  return "x" + std::to_string(id);
+}
+
+std::string TermToString(const Term& t,
+                         const std::vector<std::string>& variable_names) {
+  if (t.is_variable()) return NameOf(t.variable_id(), variable_names);
+  return t.value().ToString();
+}
+
+std::string ToStringImpl(const Formula& f,
+                         const std::vector<std::string>& names) {
+  switch (f.kind()) {
+    case Formula::Kind::kTrue:
+      return "true";
+    case Formula::Kind::kFalse:
+      return "false";
+    case Formula::Kind::kAtom: {
+      std::string result = f.relation_name() + "(";
+      for (std::size_t i = 0; i < f.terms().size(); ++i) {
+        if (i > 0) result += ", ";
+        result += TermToString(f.terms()[i], names);
+      }
+      return result + ")";
+    }
+    case Formula::Kind::kEquals:
+      return TermToString(f.left(), names) + " = " +
+             TermToString(f.right(), names);
+    case Formula::Kind::kNot:
+      return "!(" + ToStringImpl(*f.children()[0], names) + ")";
+    case Formula::Kind::kAnd:
+    case Formula::Kind::kOr: {
+      std::string op = f.kind() == Formula::Kind::kAnd ? " & " : " | ";
+      std::string result = "(";
+      for (std::size_t i = 0; i < f.children().size(); ++i) {
+        if (i > 0) result += op;
+        result += ToStringImpl(*f.children()[i], names);
+      }
+      return result + ")";
+    }
+    case Formula::Kind::kImplies:
+      return "(" + ToStringImpl(*f.children()[0], names) + " -> " +
+             ToStringImpl(*f.children()[1], names) + ")";
+    case Formula::Kind::kExists:
+      return "exists " + NameOf(f.bound_variable(), names) + ". " +
+             ToStringImpl(*f.children()[0], names);
+    case Formula::Kind::kForall:
+      return "forall " + NameOf(f.bound_variable(), names) + ". " +
+             ToStringImpl(*f.children()[0], names);
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::vector<Value> Formula::MentionedConstants() const {
+  std::set<Value> constants;
+  CollectConstants(*this, &constants);
+  std::vector<Value> result;
+  for (Value v : constants) {
+    if (v.is_constant()) result.push_back(v);
+  }
+  return result;
+}
+
+std::vector<Value> Formula::MentionedNulls() const {
+  std::set<Value> values;
+  CollectConstants(*this, &values);
+  std::vector<Value> result;
+  for (Value v : values) {
+    if (v.is_null()) result.push_back(v);
+  }
+  return result;
+}
+
+std::vector<std::size_t> Formula::FreeVariables() const {
+  std::set<std::size_t> bound;
+  std::set<std::size_t> free;
+  CollectFreeVariables(*this, &bound, &free);
+  return std::vector<std::size_t>(free.begin(), free.end());
+}
+
+int Formula::MaxVariableId() const { return MaxVariableIdOf(*this); }
+
+std::string Formula::ToString(
+    const std::vector<std::string>& variable_names) const {
+  return ToStringImpl(*this, variable_names);
+}
+
+}  // namespace zeroone

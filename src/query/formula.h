@@ -1,0 +1,139 @@
+#ifndef ZEROONE_QUERY_FORMULA_H_
+#define ZEROONE_QUERY_FORMULA_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/value.h"
+
+namespace zeroone {
+
+// A term of first-order logic: a variable (identified by a dense per-query
+// id) or a value (a constant mentioned in the query, or — when a tuple ā is
+// substituted for free variables — possibly a null of the database).
+class Term {
+ public:
+  static Term Variable(std::size_t id) { return Term(true, id, Value()); }
+  static Term Val(Value value) { return Term(false, 0, value); }
+
+  bool is_variable() const { return is_variable_; }
+  bool is_value() const { return !is_variable_; }
+  // Precondition: is_variable().
+  std::size_t variable_id() const { return variable_id_; }
+  // Precondition: is_value().
+  Value value() const { return value_; }
+
+  friend bool operator==(const Term& a, const Term& b) {
+    if (a.is_variable_ != b.is_variable_) return false;
+    return a.is_variable_ ? a.variable_id_ == b.variable_id_
+                          : a.value_ == b.value_;
+  }
+  friend bool operator!=(const Term& a, const Term& b) { return !(a == b); }
+
+ private:
+  Term(bool is_variable, std::size_t variable_id, Value value)
+      : is_variable_(is_variable), variable_id_(variable_id), value_(value) {}
+
+  bool is_variable_;
+  std::size_t variable_id_;
+  Value value_;
+};
+
+class Formula;
+using FormulaPtr = std::shared_ptr<const Formula>;
+
+// An immutable first-order formula over a relational vocabulary, with
+// Boolean connectives ∧, ∨, ¬, →, quantifiers ∃, ∀ (active-domain
+// semantics), relational atoms, and (in)equality atoms. Implication is kept
+// as a distinct node so that the Pos∀G fragment of Corollary 3 — which is
+// defined via guarded implications ∀x̄ (α(x̄) → φ) — remains syntactically
+// recognizable.
+//
+// Formulas are shared immutable trees; build them with the factory
+// functions below or with the parser in query/parser.h.
+class Formula {
+ public:
+  enum class Kind {
+    kTrue,
+    kFalse,
+    kAtom,     // R(t₁, …, t_n)
+    kEquals,   // t₁ = t₂
+    kNot,      // ¬φ
+    kAnd,      // φ₁ ∧ … ∧ φ_n (n >= 1)
+    kOr,       // φ₁ ∨ … ∨ φ_n (n >= 1)
+    kImplies,  // φ → ψ
+    kExists,   // ∃x φ
+    kForall,   // ∀x φ
+  };
+
+  Kind kind() const { return kind_; }
+
+  // Atom accessors. Precondition: kind() == kAtom.
+  const std::string& relation_name() const { return relation_name_; }
+  const std::vector<Term>& terms() const { return terms_; }
+
+  // Equality accessors. Precondition: kind() == kEquals.
+  const Term& left() const { return terms_[0]; }
+  const Term& right() const { return terms_[1]; }
+
+  // Child formulas: 1 for kNot and quantifiers, 2 for kImplies
+  // (premise, conclusion), n for kAnd/kOr.
+  const std::vector<FormulaPtr>& children() const { return children_; }
+
+  // Bound variable id. Precondition: kind() is kExists or kForall.
+  std::size_t bound_variable() const { return bound_variable_; }
+
+  // --- Factories ---
+  static FormulaPtr True();
+  static FormulaPtr False();
+  static FormulaPtr Atom(std::string relation_name, std::vector<Term> terms);
+  static FormulaPtr Equals(Term left, Term right);
+  static FormulaPtr Not(FormulaPtr child);
+  static FormulaPtr And(std::vector<FormulaPtr> children);
+  static FormulaPtr And(FormulaPtr a, FormulaPtr b);
+  static FormulaPtr Or(std::vector<FormulaPtr> children);
+  static FormulaPtr Or(FormulaPtr a, FormulaPtr b);
+  static FormulaPtr Implies(FormulaPtr premise, FormulaPtr conclusion);
+  static FormulaPtr Exists(std::size_t variable, FormulaPtr body);
+  // ∃x₁…∃x_n φ for a list of variables.
+  static FormulaPtr Exists(const std::vector<std::size_t>& variables,
+                           FormulaPtr body);
+  static FormulaPtr Forall(std::size_t variable, FormulaPtr body);
+  static FormulaPtr Forall(const std::vector<std::size_t>& variables,
+                           FormulaPtr body);
+
+  // The constants mentioned anywhere in the formula (the finite set C of
+  // Definition 1 that makes the query C-generic), deduplicated.
+  std::vector<Value> MentionedConstants() const;
+
+  // The nulls mentioned in the formula (possible after substituting a tuple
+  // over the active domain for free variables), deduplicated.
+  std::vector<Value> MentionedNulls() const;
+
+  // Ids of variables occurring free in the formula, deduplicated, sorted.
+  std::vector<std::size_t> FreeVariables() const;
+
+  // The largest variable id occurring anywhere (free or bound), or -1 if
+  // there are no variables. Useful for sizing evaluation environments.
+  int MaxVariableId() const;
+
+  // Renders the formula using the supplied variable names; ids without a
+  // name print as x<id>.
+  std::string ToString(const std::vector<std::string>& variable_names) const;
+
+ protected:
+  explicit Formula(Kind kind) : kind_(kind) {}
+
+ private:
+  Kind kind_;
+  std::string relation_name_;        // kAtom.
+  std::vector<Term> terms_;          // kAtom, kEquals.
+  std::vector<FormulaPtr> children_; // kNot/kAnd/kOr/kImplies/quantifiers.
+  std::size_t bound_variable_ = 0;   // kExists/kForall.
+};
+
+}  // namespace zeroone
+
+#endif  // ZEROONE_QUERY_FORMULA_H_

@@ -1,0 +1,46 @@
+#ifndef ZEROONE_QUERY_MATCHER_H_
+#define ZEROONE_QUERY_MATCHER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "data/database.h"
+#include "query/fragments.h"
+#include "query/query.h"
+
+namespace zeroone {
+
+// Efficient evaluation of unions of conjunctive queries via backtracking
+// homomorphism search (a backtracking join over the clause atoms), instead
+// of the exhaustive adom^vars enumeration of query/eval.h. Evaluation is
+// syntactic on values, so on incomplete databases this computes naïve
+// answers — which is exactly what the polynomial-time comparison algorithm
+// of Theorem 8 needs when it tests v′(b̄) ∉ Q^naive(v′(D)) against the full
+// database.
+//
+// Semantics matches EvaluateQuery/EvaluateMembership on the same UCQ:
+// existential variables range over adom(D) (active-domain semantics), so a
+// clause variable that occurs in no atom is satisfiable iff adom(D) is
+// nonempty.
+
+// ā ∈ Q^naive(D) for a normalized UCQ. `free_variables` gives the output
+// variable order matching `tuple`.
+bool UcqMembership(const UcqNormalForm& ucq,
+                   const std::vector<std::size_t>& free_variables,
+                   const Database& db, const Tuple& tuple);
+
+// All naïve answers of the UCQ over adom(D), deduplicated and sorted.
+std::vector<Tuple> UcqEvaluate(const UcqNormalForm& ucq,
+                               const std::vector<std::size_t>& free_variables,
+                               const Database& db);
+
+// Convenience wrappers that normalize `query` first; fail if the query is
+// not a UCQ.
+StatusOr<bool> UcqMembership(const Query& query, const Database& db,
+                             const Tuple& tuple);
+StatusOr<std::vector<Tuple>> UcqEvaluate(const Query& query,
+                                         const Database& db);
+
+}  // namespace zeroone
+
+#endif  // ZEROONE_QUERY_MATCHER_H_

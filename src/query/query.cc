@@ -1,0 +1,136 @@
+#include "query/query.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+#include "data/tuple.h"
+
+namespace zeroone {
+
+namespace {
+
+// Replaces free occurrences of the mapped variables by values, respecting
+// shadowing by quantifiers.
+FormulaPtr SubstituteVars(const FormulaPtr& f,
+                          std::map<std::size_t, Value>* substitution) {
+  switch (f->kind()) {
+    case Formula::Kind::kTrue:
+    case Formula::Kind::kFalse:
+      return f;
+    case Formula::Kind::kAtom:
+    case Formula::Kind::kEquals: {
+      std::vector<Term> terms;
+      terms.reserve(f->terms().size());
+      bool changed = false;
+      for (const Term& t : f->terms()) {
+        if (t.is_variable()) {
+          auto it = substitution->find(t.variable_id());
+          if (it != substitution->end()) {
+            terms.push_back(Term::Val(it->second));
+            changed = true;
+            continue;
+          }
+        }
+        terms.push_back(t);
+      }
+      if (!changed) return f;
+      if (f->kind() == Formula::Kind::kEquals) {
+        return Formula::Equals(terms[0], terms[1]);
+      }
+      return Formula::Atom(f->relation_name(), std::move(terms));
+    }
+    case Formula::Kind::kExists:
+    case Formula::Kind::kForall: {
+      std::size_t bound = f->bound_variable();
+      auto it = substitution->find(bound);
+      if (it != substitution->end()) {
+        // Shadowed: remove, recurse, restore.
+        Value saved = it->second;
+        substitution->erase(it);
+        FormulaPtr body = SubstituteVars(f->children()[0], substitution);
+        substitution->emplace(bound, saved);
+        if (body == f->children()[0]) return f;
+        return f->kind() == Formula::Kind::kExists
+                   ? Formula::Exists(bound, std::move(body))
+                   : Formula::Forall(bound, std::move(body));
+      }
+      FormulaPtr body = SubstituteVars(f->children()[0], substitution);
+      if (body == f->children()[0]) return f;
+      return f->kind() == Formula::Kind::kExists
+                 ? Formula::Exists(bound, std::move(body))
+                 : Formula::Forall(bound, std::move(body));
+    }
+    default: {
+      std::vector<FormulaPtr> children;
+      children.reserve(f->children().size());
+      bool changed = false;
+      for (const FormulaPtr& child : f->children()) {
+        FormulaPtr replaced = SubstituteVars(child, substitution);
+        changed = changed || replaced != child;
+        children.push_back(std::move(replaced));
+      }
+      if (!changed) return f;
+      switch (f->kind()) {
+        case Formula::Kind::kNot:
+          return Formula::Not(children[0]);
+        case Formula::Kind::kAnd:
+          return Formula::And(std::move(children));
+        case Formula::Kind::kOr:
+          return Formula::Or(std::move(children));
+        case Formula::Kind::kImplies:
+          return Formula::Implies(children[0], children[1]);
+        default:
+          assert(false && "unreachable");
+          return f;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Query::Query(std::string name, std::vector<std::size_t> free_variables,
+             FormulaPtr formula, std::vector<std::string> variable_names)
+    : name_(std::move(name)),
+      free_variables_(std::move(free_variables)),
+      formula_(std::move(formula)),
+      variable_names_(std::move(variable_names)) {
+  assert(formula_ != nullptr);
+  variable_count_ = static_cast<std::size_t>(formula_->MaxVariableId() + 1);
+  for (std::size_t v : free_variables_) {
+    variable_count_ = std::max(variable_count_, v + 1);
+  }
+}
+
+Query Query::Substitute(const Tuple& tuple) const {
+  assert(tuple.arity() == arity() && "substituted tuple arity mismatch");
+  std::map<std::size_t, Value> substitution;
+  for (std::size_t i = 0; i < free_variables_.size(); ++i) {
+    auto [it, inserted] = substitution.emplace(free_variables_[i], tuple[i]);
+    // A variable listed twice in the output must receive equal components.
+    assert((inserted || it->second == tuple[i]) &&
+           "inconsistent substitution for repeated output variable");
+    (void)it;
+    (void)inserted;
+  }
+  FormulaPtr substituted = SubstituteVars(formula_, &substitution);
+  return Query(name_.empty() ? "" : name_ + tuple.ToString(), {}, substituted,
+               variable_names_);
+}
+
+std::string Query::ToString() const {
+  std::string result = name_.empty() ? "Q" : name_;
+  result += "(";
+  for (std::size_t i = 0; i < free_variables_.size(); ++i) {
+    if (i > 0) result += ", ";
+    std::size_t id = free_variables_[i];
+    result += id < variable_names_.size() && !variable_names_[id].empty()
+                  ? variable_names_[id]
+                  : "x" + std::to_string(id);
+  }
+  result += ") := " + formula_->ToString(variable_names_);
+  return result;
+}
+
+}  // namespace zeroone

@@ -1,0 +1,73 @@
+#ifndef ZEROONE_QUERY_QUERY_H_
+#define ZEROONE_QUERY_QUERY_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "data/tuple.h"
+#include "data/value.h"
+#include "query/formula.h"
+
+namespace zeroone {
+
+// An m-ary query: a first-order formula together with an ordered list of
+// free variables (the output columns). Queries in this library are generic
+// by construction (Definition 1): they are logical formulas, so they are
+// C-generic for C = the set of constants mentioned in the formula.
+//
+// A Boolean query has arity 0; its answers are the empty set (false) or the
+// set containing the empty tuple (true).
+class Query {
+ public:
+  Query() = default;
+
+  // `free_variables` gives the output order: answer column i is the value of
+  // variable free_variables[i]. `variable_names` maps every variable id used
+  // in the formula to a display name (ids beyond the vector print as x<id>).
+  // Precondition: the formula's free variables are exactly `free_variables`
+  // (duplicates allowed in the output list; each must occur free).
+  Query(std::string name, std::vector<std::size_t> free_variables,
+        FormulaPtr formula, std::vector<std::string> variable_names);
+
+  const std::string& name() const { return name_; }
+  std::size_t arity() const { return free_variables_.size(); }
+  bool is_boolean() const { return free_variables_.empty(); }
+  const std::vector<std::size_t>& free_variables() const {
+    return free_variables_;
+  }
+  const FormulaPtr& formula() const { return formula_; }
+  const std::vector<std::string>& variable_names() const {
+    return variable_names_;
+  }
+
+  // Number of variable ids in use (max id + 1); environments for evaluation
+  // must have at least this many slots.
+  std::size_t variable_count() const { return variable_count_; }
+
+  // The constant set C witnessing C-genericity: constants mentioned in the
+  // formula (Definition 1).
+  std::vector<Value> GenericityConstants() const {
+    return formula_->MentionedConstants();
+  }
+
+  // The Boolean query Q(ā): this query with the tuple substituted for the
+  // free variables. Values of ā may be constants or nulls (tuples over the
+  // active domain can contain nulls — "certain answers with nulls").
+  // Precondition: tuple.arity() == arity().
+  Query Substitute(const Tuple& tuple) const;
+
+  // "Q(x, y) := R(x, y) & !S(x, y)".
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  std::vector<std::size_t> free_variables_;
+  FormulaPtr formula_;
+  std::vector<std::string> variable_names_;
+  std::size_t variable_count_ = 0;
+};
+
+}  // namespace zeroone
+
+#endif  // ZEROONE_QUERY_QUERY_H_

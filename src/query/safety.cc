@@ -1,0 +1,186 @@
+#include "query/safety.h"
+
+#include <optional>
+#include <set>
+
+namespace zeroone {
+
+namespace {
+
+// Negation normal form over the library's connectives: negations are pushed
+// down to atoms, equalities, and (negated) existential blocks; ∀ and →
+// are eliminated. This is the SRNF preprocessing of the classical
+// safe-range test.
+FormulaPtr Nnf(const FormulaPtr& f, bool negated);
+
+using NaryFactory = FormulaPtr (*)(std::vector<FormulaPtr>);
+
+FormulaPtr NnfChildren(const Formula& f, bool negated, NaryFactory combine) {
+  std::vector<FormulaPtr> children;
+  children.reserve(f.children().size());
+  for (const FormulaPtr& child : f.children()) {
+    children.push_back(Nnf(child, negated));
+  }
+  return combine(std::move(children));
+}
+
+constexpr NaryFactory kAndFactory =
+    static_cast<NaryFactory>(&Formula::And);
+constexpr NaryFactory kOrFactory = static_cast<NaryFactory>(&Formula::Or);
+
+FormulaPtr Nnf(const FormulaPtr& f, bool negated) {
+  switch (f->kind()) {
+    case Formula::Kind::kTrue:
+      return negated ? Formula::False() : Formula::True();
+    case Formula::Kind::kFalse:
+      return negated ? Formula::True() : Formula::False();
+    case Formula::Kind::kAtom:
+    case Formula::Kind::kEquals:
+      return negated ? Formula::Not(f) : f;
+    case Formula::Kind::kNot:
+      return Nnf(f->children()[0], !negated);
+    case Formula::Kind::kAnd:
+      return NnfChildren(*f, negated, negated ? kOrFactory : kAndFactory);
+    case Formula::Kind::kOr:
+      return NnfChildren(*f, negated, negated ? kAndFactory : kOrFactory);
+    case Formula::Kind::kImplies:
+      // φ → ψ ≡ ¬φ ∨ ψ; negated: φ ∧ ¬ψ.
+      if (negated) {
+        return Formula::And(Nnf(f->children()[0], false),
+                            Nnf(f->children()[1], true));
+      }
+      return Formula::Or(Nnf(f->children()[0], true),
+                         Nnf(f->children()[1], false));
+    case Formula::Kind::kExists: {
+      // ∃x φ normalizes its body positively; under negation the whole
+      // block stays wrapped: ¬∃x φ (the body is NOT negated — pushing
+      // further would change the meaning).
+      FormulaPtr block = Formula::Exists(f->bound_variable(),
+                                         Nnf(f->children()[0], false));
+      return negated ? Formula::Not(std::move(block)) : std::move(block);
+    }
+    case Formula::Kind::kForall: {
+      // ∀x φ ≡ ¬∃x ¬φ; ¬∀x φ ≡ ∃x ¬φ. Either way the rewritten body is ¬φ.
+      FormulaPtr block = Formula::Exists(f->bound_variable(),
+                                         Nnf(f->children()[0], true));
+      return negated ? std::move(block) : Formula::Not(std::move(block));
+    }
+  }
+  return f;
+}
+
+// Range-restricted variables of an NNF formula; nullopt = the formula is
+// not safe-range (some quantified variable unrestricted in its scope).
+std::optional<std::set<std::size_t>> RangeRestricted(const Formula& f) {
+  switch (f.kind()) {
+    case Formula::Kind::kTrue:
+    case Formula::Kind::kFalse:
+      return std::set<std::size_t>{};
+    case Formula::Kind::kAtom: {
+      std::set<std::size_t> vars;
+      for (const Term& t : f.terms()) {
+        if (t.is_variable()) vars.insert(t.variable_id());
+      }
+      return vars;
+    }
+    case Formula::Kind::kEquals: {
+      std::set<std::size_t> vars;
+      // x = c grounds x; x = y grounds neither on its own (handled by the
+      // ∧ propagation below).
+      if (f.left().is_variable() && f.right().is_value()) {
+        vars.insert(f.left().variable_id());
+      }
+      if (f.right().is_variable() && f.left().is_value()) {
+        vars.insert(f.right().variable_id());
+      }
+      return vars;
+    }
+    case Formula::Kind::kNot: {
+      // Negated atom / equality / existential block: contributes no
+      // restriction, but the inside must itself be safe.
+      if (!RangeRestricted(*f.children()[0])) return std::nullopt;
+      return std::set<std::size_t>{};
+    }
+    case Formula::Kind::kAnd: {
+      std::set<std::size_t> restricted;
+      for (const FormulaPtr& child : f.children()) {
+        std::optional<std::set<std::size_t>> sub = RangeRestricted(*child);
+        if (!sub) return std::nullopt;
+        restricted.insert(sub->begin(), sub->end());
+      }
+      // Propagate restriction through x = y conjuncts to a fixpoint.
+      bool changed = true;
+      while (changed) {
+        changed = false;
+        for (const FormulaPtr& child : f.children()) {
+          if (child->kind() != Formula::Kind::kEquals) continue;
+          const Term& l = child->left();
+          const Term& r = child->right();
+          if (l.is_variable() && r.is_variable()) {
+            bool has_l = restricted.count(l.variable_id()) != 0;
+            bool has_r = restricted.count(r.variable_id()) != 0;
+            if (has_l && !has_r) {
+              restricted.insert(r.variable_id());
+              changed = true;
+            } else if (has_r && !has_l) {
+              restricted.insert(l.variable_id());
+              changed = true;
+            }
+          }
+        }
+      }
+      return restricted;
+    }
+    case Formula::Kind::kOr: {
+      std::optional<std::set<std::size_t>> result;
+      for (const FormulaPtr& child : f.children()) {
+        std::optional<std::set<std::size_t>> sub = RangeRestricted(*child);
+        if (!sub) return std::nullopt;
+        if (!result) {
+          result = std::move(sub);
+          continue;
+        }
+        std::set<std::size_t> intersection;
+        for (std::size_t v : *sub) {
+          if (result->count(v) != 0) intersection.insert(v);
+        }
+        result = std::move(intersection);
+      }
+      return result ? result : std::set<std::size_t>{};
+    }
+    case Formula::Kind::kExists: {
+      std::optional<std::set<std::size_t>> sub =
+          RangeRestricted(*f.children()[0]);
+      if (!sub) return std::nullopt;
+      if (sub->count(f.bound_variable()) == 0) return std::nullopt;
+      sub->erase(f.bound_variable());
+      return sub;
+    }
+    default:
+      // kImplies/kForall cannot appear in NNF.
+      return std::nullopt;
+  }
+}
+
+}  // namespace
+
+bool IsSafeRangeFormula(const Formula& formula) {
+  // The NNF transform needs a shared_ptr; wrap without copying by building
+  // from the public factories (formulas are immutable shared trees, so the
+  // caller-supplied node is reachable only via the Query path; here, rebuild
+  // through Nnf on a non-owning alias).
+  FormulaPtr alias(&formula, [](const Formula*) {});
+  FormulaPtr nnf = Nnf(alias, /*negated=*/false);
+  std::optional<std::set<std::size_t>> restricted = RangeRestricted(*nnf);
+  if (!restricted) return false;
+  for (std::size_t v : formula.FreeVariables()) {
+    if (restricted->count(v) == 0) return false;
+  }
+  return true;
+}
+
+bool IsSafeRange(const Query& query) {
+  return IsSafeRangeFormula(*query.formula());
+}
+
+}  // namespace zeroone

@@ -1,0 +1,50 @@
+#ifndef ZEROONE_QUERY_SAFETY_H_
+#define ZEROONE_QUERY_SAFETY_H_
+
+#include "query/query.h"
+
+namespace zeroone {
+
+// Safe-range analysis (domain independence).
+//
+// The paper evaluates queries under active-domain semantics (queries return
+// subsets of adom(D)^m; quantifiers range over adom). For arbitrary FO that
+// semantics is a *choice* — ∃x (x = x) is true exactly when the domain is
+// nonempty, and ¬R(x) "returns" whatever the domain offers. The classical
+// class for which the choice does not matter is the safe-range queries:
+// every variable is *range restricted* — grounded by a positive atom (or an
+// equality chain to one) in every branch where its value matters. Safe-range
+// FO = domain-independent FO in expressive power (Codd's theorem territory,
+// cf. Abiteboul–Hull–Vianu ch. 5).
+//
+// This analyzer implements the standard syntactic check on the library's
+// AST: it computes the set of range-restricted free variables of each
+// subformula (after pushing ¬ through ∧/∨/→/quantifiers as needed):
+//
+//   rr(R(t̄))        = variables of t̄
+//   rr(x = c)        = {x}
+//   rr(x = y)        = ∅ (but equalities propagate restriction in ∧)
+//   rr(φ ∧ ψ)        = rr(φ) ∪ rr(ψ), then closed under x = y conjuncts
+//   rr(φ ∨ ψ)        = rr(φ) ∩ rr(ψ)
+//   rr(¬φ)           = ∅
+//   rr(∃x φ)         = rr(φ) − {x}, provided x ∈ rr(φ)
+//   rr(∀x φ)         treated as ¬∃x¬φ
+//
+// A query is safe-range if the analysis succeeds (every quantified variable
+// is restricted in its scope) and every free (output) variable is
+// restricted.
+//
+// In this library the analyzer is advisory: evaluation always uses
+// active-domain semantics (as the paper does), and IsSafeRange tells you
+// when the result is additionally domain independent — e.g. when comparing
+// against an external engine, or when adding constants to the database must
+// not change answers.
+bool IsSafeRange(const Query& query);
+
+// The subformula-level entry point: true if all quantifications are
+// range-restricted and every free variable of the formula is restricted.
+bool IsSafeRangeFormula(const Formula& formula);
+
+}  // namespace zeroone
+
+#endif  // ZEROONE_QUERY_SAFETY_H_

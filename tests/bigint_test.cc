@@ -1,0 +1,144 @@
+#include "common/bigint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+namespace zeroone {
+namespace {
+
+TEST(BigIntTest, DefaultIsZero) {
+  BigInt zero;
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_EQ(zero.sign(), 0);
+  EXPECT_EQ(zero.ToString(), "0");
+}
+
+TEST(BigIntTest, Int64RoundTrip) {
+  for (std::int64_t v : {std::int64_t{0}, std::int64_t{1}, std::int64_t{-1},
+                         std::int64_t{999999999}, std::int64_t{1000000000},
+                         std::int64_t{-123456789012345},
+                         std::numeric_limits<std::int64_t>::max(),
+                         std::numeric_limits<std::int64_t>::min()}) {
+    BigInt b(v);
+    EXPECT_EQ(b.ToString(), std::to_string(v)) << v;
+    StatusOr<std::int64_t> back = b.ToInt64();
+    ASSERT_TRUE(back.ok()) << v;
+    EXPECT_EQ(*back, v);
+  }
+}
+
+TEST(BigIntTest, FromStringParsesAndRejects) {
+  StatusOr<BigInt> ok = BigInt::FromString("-1234567890123456789012345");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->ToString(), "-1234567890123456789012345");
+  EXPECT_FALSE(BigInt::FromString("").ok());
+  EXPECT_FALSE(BigInt::FromString("-").ok());
+  EXPECT_FALSE(BigInt::FromString("12a").ok());
+  // Leading zeros normalize away.
+  EXPECT_EQ(BigInt::FromString("000042")->ToString(), "42");
+  EXPECT_EQ(BigInt::FromString("-000")->ToString(), "0");
+}
+
+TEST(BigIntTest, AdditionSubtractionSigns) {
+  BigInt a(1000000000000LL);
+  BigInt b(-999999999999LL);
+  EXPECT_EQ((a + b).ToString(), "1");
+  EXPECT_EQ((b + a).ToString(), "1");
+  EXPECT_EQ((a - a).ToString(), "0");
+  EXPECT_EQ((b - a).ToString(), "-1999999999999");
+  EXPECT_EQ((-a).ToString(), "-1000000000000");
+}
+
+TEST(BigIntTest, CarriesAcrossLimbs) {
+  BigInt a(999999999);  // One limb below the base.
+  EXPECT_EQ((a + BigInt(1)).ToString(), "1000000000");
+  EXPECT_EQ((a * a).ToString(), "999999998000000001");
+}
+
+TEST(BigIntTest, MultiplicationLarge) {
+  StatusOr<BigInt> a = BigInt::FromString("123456789012345678901234567890");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ((*a * *a).ToString(),
+            "15241578753238836750495351562536198787501905199875019052100");
+}
+
+TEST(BigIntTest, DivisionTruncatesTowardZero) {
+  EXPECT_EQ((BigInt(7) / BigInt(2)).ToString(), "3");
+  EXPECT_EQ((BigInt(-7) / BigInt(2)).ToString(), "-3");
+  EXPECT_EQ((BigInt(7) / BigInt(-2)).ToString(), "-3");
+  EXPECT_EQ((BigInt(-7) / BigInt(-2)).ToString(), "3");
+  EXPECT_EQ((BigInt(7) % BigInt(2)).ToString(), "1");
+  EXPECT_EQ((BigInt(-7) % BigInt(2)).ToString(), "-1");
+}
+
+TEST(BigIntTest, DivisionLargeExact) {
+  StatusOr<BigInt> n = BigInt::FromString(
+      "15241578753238836750495351562536198787501905199875019052100");
+  StatusOr<BigInt> d = BigInt::FromString("123456789012345678901234567890");
+  ASSERT_TRUE(n.ok() && d.ok());
+  EXPECT_EQ((*n / *d).ToString(), "123456789012345678901234567890");
+  EXPECT_TRUE((*n % *d).is_zero());
+}
+
+TEST(BigIntTest, DivisionWithRemainderReconstructs) {
+  StatusOr<BigInt> n = BigInt::FromString("987654321987654321987654321");
+  BigInt d(1234567891);
+  BigInt q = *n / d;
+  BigInt r = *n % d;
+  EXPECT_EQ((q * d + r), *n);
+  EXPECT_TRUE(r >= BigInt(0));
+  EXPECT_TRUE(r < d);
+}
+
+TEST(BigIntTest, Comparisons) {
+  EXPECT_LT(BigInt(-5), BigInt(3));
+  EXPECT_LT(BigInt(-5), BigInt(-3));
+  EXPECT_LT(BigInt(2), BigInt(1000000000000LL));
+  EXPECT_GE(BigInt(0), BigInt(0));
+  EXPECT_LE(BigInt(7), BigInt(7));
+}
+
+TEST(BigIntTest, Gcd) {
+  EXPECT_EQ(BigInt::Gcd(BigInt(12), BigInt(18)).ToString(), "6");
+  EXPECT_EQ(BigInt::Gcd(BigInt(-12), BigInt(18)).ToString(), "6");
+  EXPECT_EQ(BigInt::Gcd(BigInt(0), BigInt(5)).ToString(), "5");
+  EXPECT_EQ(BigInt::Gcd(BigInt(0), BigInt(0)).ToString(), "0");
+  EXPECT_EQ(BigInt::Gcd(BigInt(17), BigInt(13)).ToString(), "1");
+}
+
+TEST(BigIntTest, PowAndFactorial) {
+  EXPECT_EQ(BigInt::Pow(BigInt(2), 0).ToString(), "1");
+  EXPECT_EQ(BigInt::Pow(BigInt(2), 64).ToString(), "18446744073709551616");
+  EXPECT_EQ(BigInt::Pow(BigInt(10), 30).ToString(),
+            "1000000000000000000000000000000");
+  EXPECT_EQ(BigInt::Factorial(0).ToString(), "1");
+  EXPECT_EQ(BigInt::Factorial(20).ToString(), "2432902008176640000");
+  EXPECT_EQ(BigInt::Factorial(30).ToString(),
+            "265252859812191058636308480000000");
+}
+
+TEST(BigIntTest, FallingFactorial) {
+  // 10 * 9 * 8 = 720.
+  EXPECT_EQ(BigInt::FallingFactorial(BigInt(10), 3).ToString(), "720");
+  EXPECT_EQ(BigInt::FallingFactorial(BigInt(10), 0).ToString(), "1");
+  // (3)_5 passes through zero: 3*2*1*0*(-1) = 0.
+  EXPECT_TRUE(BigInt::FallingFactorial(BigInt(3), 5).is_zero());
+}
+
+TEST(BigIntTest, ToInt64OverflowDetected) {
+  StatusOr<BigInt> huge = BigInt::FromString("99999999999999999999");
+  ASSERT_TRUE(huge.ok());
+  EXPECT_FALSE(huge->ToInt64().ok());
+}
+
+TEST(BigIntTest, ToDoubleApproximates) {
+  StatusOr<BigInt> big = BigInt::FromString("1000000000000000000000");
+  ASSERT_TRUE(big.ok());
+  EXPECT_NEAR(big->ToDouble(), 1e21, 1e6);
+  EXPECT_DOUBLE_EQ(BigInt(-42).ToDouble(), -42.0);
+}
+
+}  // namespace
+}  // namespace zeroone

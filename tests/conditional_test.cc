@@ -1,0 +1,284 @@
+#include "core/conditional.h"
+
+#include <gtest/gtest.h>
+
+#include "core/measure.h"
+#include "data/io.h"
+#include "gen/random_db.h"
+#include "gen/random_query.h"
+#include "gen/scenarios.h"
+#include "query/eval.h"
+#include "query/parser.h"
+
+namespace zeroone {
+namespace {
+
+Database Db(const char* text) {
+  StatusOr<Database> db = ParseDatabase(text);
+  EXPECT_TRUE(db.ok()) << db.status().message();
+  return std::move(db).value();
+}
+
+Query Q(const char* text) {
+  StatusOr<Query> q = ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << q.status().message();
+  return std::move(q).value();
+}
+
+TEST(ConditionalTest, PaperSection4Example) {
+  // µ(Q|Σ,D,(1,⊥)) = 1/3 and µ(Q|Σ,D,(2,⊥)) = 2/3.
+  ConditionalExample example = PaperConditionalExample();
+  EXPECT_EQ(ConditionalMu(example.query, example.constraints, example.db,
+                          example.tuple_a),
+            Rational(1, 3));
+  EXPECT_EQ(ConditionalMu(example.query, example.constraints, example.db,
+                          example.tuple_b),
+            Rational(2, 3));
+}
+
+TEST(ConditionalTest, Section4ExampleFiniteKStabilizes) {
+  // With the IND pinning ⊥ to {1,2,3}, µ^k(Q|Σ) is already exact at every
+  // k ≥ |A|.
+  ConditionalExample example = PaperConditionalExample();
+  Query sigma = ConstraintSetQuery(example.constraints);
+  Query qa = example.query.Substitute(example.tuple_a);
+  for (std::size_t k : {4u, 6u, 9u}) {
+    EXPECT_EQ(ConditionalMuK(qa, sigma, example.db, Tuple{}, k),
+              Rational(1, 3))
+        << k;
+  }
+}
+
+// Proposition 4: every rational p/r in (0,1] is realizable.
+class RationalRealizability
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(RationalRealizability, ExactValue) {
+  auto [p, r] = GetParam();
+  RationalValueExample example =
+      Proposition4Example(static_cast<std::size_t>(p),
+                          static_cast<std::size_t>(r));
+  EXPECT_EQ(ConditionalMu(example.query, example.constraints, example.db),
+            Rational(p, r))
+      << "p=" << p << " r=" << r;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RationalRealizability,
+    ::testing::Values(std::pair{1, 1}, std::pair{1, 2}, std::pair{1, 3},
+                      std::pair{2, 3}, std::pair{3, 4}, std::pair{2, 5},
+                      std::pair{5, 7}, std::pair{4, 9}, std::pair{7, 8}));
+
+TEST(ConditionalTest, UnsatisfiableSigmaGivesZero) {
+  // Σ forces the null to be in an empty relation: unsatisfiable.
+  Database db = Db("R(1) = { (_u1) }  V(1) = {}");
+  ConstraintSet sigma = {std::make_shared<InclusionDependency>(
+      "R", 1, std::vector<std::size_t>{0}, "V", 1,
+      std::vector<std::size_t>{0})};
+  ConditionalMeasure result =
+      ComputeConditionalMu(Q(":= exists x . R(x)"), sigma, db, Tuple{});
+  EXPECT_FALSE(result.sigma_satisfiable);
+  EXPECT_EQ(result.value, Rational(0));
+}
+
+TEST(ConditionalTest, NaiveBreaksUnderConstraints) {
+  // Section 4.3: Q^naive and (Σ→Q)^naive true, yet µ(Q|Σ,D) = 0.
+  NaiveBreaksExample example = PaperNaiveBreaksExample();
+  EXPECT_EQ(MuLimit(example.query, example.db), 1);
+  Query sigma = ConstraintSetQuery(example.constraints);
+  EXPECT_EQ(ImplicationMuLimit(example.query, sigma, example.db, Tuple{}), 1);
+  EXPECT_EQ(
+      ConditionalMu(example.query, example.constraints, example.db),
+      Rational(0));
+}
+
+// Proposition 3: µ(Σ→Q) is 1 when µ(Σ) = 0, else equals µ(Q).
+class ImplicationDegeneracy : public ::testing::TestWithParam<int> {};
+
+TEST_P(ImplicationDegeneracy, Holds) {
+  RandomDatabaseOptions db_options;
+  db_options.relations = {{"R", 2, 3}, {"U", 1, 3}};
+  db_options.constant_pool = 3;
+  db_options.null_pool = 2;
+  db_options.null_probability = 0.4;
+  db_options.seed = static_cast<std::uint64_t>(GetParam()) + 1500;
+  Database db = GenerateRandomDatabase(db_options);
+  ConstraintSet constraints = {std::make_shared<InclusionDependency>(
+      "R", 2, std::vector<std::size_t>{0}, "U", 1,
+      std::vector<std::size_t>{0})};
+  Query sigma = ConstraintSetQuery(constraints);
+
+  RandomQueryOptions q_options;
+  q_options.relations = {{"R", 2}, {"U", 1}};
+  q_options.free_variables = 0;
+  q_options.existential_variables = 2;
+  q_options.clauses = 2;
+  q_options.atoms_per_clause = 2;
+  q_options.seed = static_cast<std::uint64_t>(GetParam()) + 1600;
+  Query query = GenerateRandomFo(q_options, 0.3);
+
+  int mu_sigma = MuLimit(sigma, db);
+  int mu_q = MuLimit(query, db);
+  int mu_implication = ImplicationMuLimit(query, sigma, db, Tuple{});
+  if (mu_sigma == 0) {
+    EXPECT_EQ(mu_implication, 1);
+  } else {
+    EXPECT_EQ(mu_implication, mu_q);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ImplicationDegeneracy,
+                         ::testing::Range(0, 20));
+
+// Theorem 4: if Σ^naive(D) = true then µ(Q|Σ,D,ā) = µ(Q,D,ā).
+class AlmostSurelyTrueConstraints : public ::testing::TestWithParam<int> {};
+
+TEST_P(AlmostSurelyTrueConstraints, ConstraintsDoNotMatter) {
+  RandomDatabaseOptions db_options;
+  db_options.relations = {{"R", 2, 3}, {"U", 1, 4}};
+  db_options.constant_pool = 4;
+  db_options.null_pool = 2;
+  db_options.null_probability = 0.35;
+  db_options.seed = static_cast<std::uint64_t>(GetParam()) + 1700;
+  Database db = GenerateRandomDatabase(db_options);
+  // Make Σ naively true by closing U over R's first column (nulls
+  // included: naive evaluation treats them as values).
+  for (const Tuple& t : db.relation("R")) {
+    db.mutable_relation("U").Insert({t[0]});
+  }
+  ConstraintSet constraints = {std::make_shared<InclusionDependency>(
+      "R", 2, std::vector<std::size_t>{0}, "U", 1,
+      std::vector<std::size_t>{0})};
+  Query sigma = ConstraintSetQuery(constraints);
+  ASSERT_EQ(MuLimit(sigma, db), 1);
+
+  RandomQueryOptions q_options;
+  q_options.relations = {{"R", 2}, {"U", 1}};
+  q_options.free_variables = 0;
+  q_options.existential_variables = 2;
+  q_options.clauses = 2;
+  q_options.atoms_per_clause = 2;
+  q_options.seed = static_cast<std::uint64_t>(GetParam()) + 1800;
+  Query query = GenerateRandomFo(q_options, 0.3);
+
+  Rational conditional = ConditionalMu(query, constraints, db);
+  EXPECT_EQ(conditional, Rational(MuLimit(query, db)))
+      << query.ToString() << "\n" << db.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AlmostSurelyTrueConstraints,
+                         ::testing::Range(0, 20));
+
+// The closed-form conditional measure agrees with brute-force µ^k ratios at
+// finite k (for k past the prefix, values match exactly once the polynomial
+// regime is reached — compare at several k).
+class ConditionalFiniteKAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConditionalFiniteKAgreement, PolynomialMatchesEnumeration) {
+  RandomDatabaseOptions db_options;
+  db_options.relations = {{"R", 2, 3}, {"U", 1, 2}};
+  db_options.constant_pool = 2;
+  db_options.null_pool = 2;
+  db_options.null_probability = 0.5;
+  db_options.seed = static_cast<std::uint64_t>(GetParam()) + 1900;
+  Database db = GenerateRandomDatabase(db_options);
+  ConstraintSet constraints = {std::make_shared<InclusionDependency>(
+      "R", 2, std::vector<std::size_t>{0}, "U", 1,
+      std::vector<std::size_t>{0})};
+  Query sigma = ConstraintSetQuery(constraints);
+
+  RandomQueryOptions q_options;
+  q_options.relations = {{"R", 2}, {"U", 1}};
+  q_options.free_variables = 0;
+  q_options.existential_variables = 2;
+  q_options.clauses = 1;
+  q_options.atoms_per_clause = 2;
+  q_options.seed = static_cast<std::uint64_t>(GetParam()) + 2000;
+  Query query = GenerateRandomUcq(q_options);
+
+  ConditionalMeasure exact = ComputeConditionalMu(query, sigma, db, Tuple{});
+  for (std::size_t k = 6; k <= 8; ++k) {
+    Rational at_k = ConditionalMuK(query, sigma, db, Tuple{}, k);
+    // In the polynomial regime the finite-k ratio equals
+    // numerator(k)/denominator(k).
+    Rational denominator =
+        exact.denominator.Evaluate(BigInt(static_cast<std::int64_t>(k)));
+    if (denominator.is_zero()) {
+      EXPECT_EQ(at_k, Rational(0));
+      continue;
+    }
+    Rational expected =
+        exact.numerator.Evaluate(BigInt(static_cast<std::int64_t>(k))) /
+        denominator;
+    EXPECT_EQ(at_k, expected) << "k=" << k << " " << query.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConditionalFiniteKAgreement,
+                         ::testing::Range(0, 15));
+
+// Theorem 5: FD chase shortcut equals the exact conditional measure.
+class ChaseShortcut : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChaseShortcut, MatchesExactConditionalMu) {
+  RandomDatabaseOptions db_options;
+  db_options.relations = {{"R", 2, 4}};
+  db_options.constant_pool = 3;
+  db_options.null_pool = 3;
+  db_options.null_probability = 0.5;
+  db_options.seed = static_cast<std::uint64_t>(GetParam()) + 2100;
+  Database db = GenerateRandomDatabase(db_options);
+  std::vector<FunctionalDependency> fds = {
+      FunctionalDependency("R", 2, {0}, 1)};
+  ConstraintSet constraints = {
+      std::make_shared<FunctionalDependency>(fds[0])};
+
+  RandomQueryOptions q_options;
+  q_options.relations = {{"R", 2}};
+  q_options.free_variables = 0;
+  q_options.existential_variables = 2;
+  q_options.clauses = 2;
+  q_options.atoms_per_clause = 2;
+  q_options.seed = static_cast<std::uint64_t>(GetParam()) + 2200;
+  Query query = GenerateRandomFo(q_options, 0.3);
+
+  int via_chase = ConditionalMuViaChase(query, fds, db, Tuple{});
+  Rational exact = ConditionalMu(query, constraints, db);
+  EXPECT_EQ(Rational(via_chase), exact)
+      << query.ToString() << "\n" << db.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaseShortcut, ::testing::Range(0, 25));
+
+TEST(ChaseShortcutTest, FailedChaseMeansZero) {
+  Database db = Db("R(2) = { (a, b), (a, c), (x, _cs1) }");
+  std::vector<FunctionalDependency> fds = {
+      FunctionalDependency("R", 2, {0}, 1)};
+  EXPECT_EQ(ConditionalMuViaChase(Q(":= exists x, y . R(x, y)"), fds, db,
+                                  Tuple{}),
+            0);
+  // And the exact measure agrees: Σ unsatisfiable → 0 by convention.
+  ConstraintSet constraints = {std::make_shared<FunctionalDependency>(
+      "R", 2, std::vector<std::size_t>{0}, 1)};
+  ConditionalMeasure exact = ComputeConditionalMu(
+      Q(":= exists x, y . R(x, y)"), constraints, db, Tuple{});
+  EXPECT_FALSE(exact.sigma_satisfiable);
+  EXPECT_EQ(exact.value, Rational(0));
+}
+
+TEST(ChaseShortcutTest, TupleNullsMappedThroughChase) {
+  // ⊥t1 is merged with the constant b by the chase; asking about (a,⊥t1)
+  // under Σ is asking about (a,b) in the chased database.
+  Database db = Db("R(2) = { (a, _t1), (a, b) }");
+  std::vector<FunctionalDependency> fds = {
+      FunctionalDependency("R", 2, {0}, 1)};
+  Query q = Q("Q(x, y) := R(x, y)");
+  Tuple t{Value::Constant("a"), Value::Null("t1")};
+  EXPECT_EQ(ConditionalMuViaChase(q, fds, db, t), 1);
+  ConstraintSet constraints = {std::make_shared<FunctionalDependency>(
+      "R", 2, std::vector<std::size_t>{0}, 1)};
+  EXPECT_EQ(ConditionalMu(q, constraints, db, t), Rational(1));
+}
+
+}  // namespace
+}  // namespace zeroone

@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include "constraints/constraint.h"
+#include "constraints/fd.h"
+#include "constraints/ind.h"
+#include "constraints/keys.h"
+#include "data/io.h"
+#include "data/valuation.h"
+#include "gen/random_db.h"
+#include "query/eval.h"
+
+namespace zeroone {
+namespace {
+
+Database Db(const char* text) {
+  StatusOr<Database> db = ParseDatabase(text);
+  EXPECT_TRUE(db.ok()) << db.status().message();
+  return std::move(db).value();
+}
+
+TEST(FdTest, FormulaHoldsExactlyWhenFdHolds) {
+  FunctionalDependency fd("R", 2, {0}, 1);
+  Query sigma = ConstraintSetQuery({std::make_shared<FunctionalDependency>(fd)});
+  EXPECT_TRUE(EvaluateMembership(sigma, Db("R(2) = { (a, b), (c, b) }"),
+                                 Tuple{}));
+  EXPECT_FALSE(EvaluateMembership(sigma, Db("R(2) = { (a, b), (a, c) }"),
+                                  Tuple{}));
+  // Vacuously true on empty and singleton relations.
+  EXPECT_TRUE(EvaluateMembership(sigma, Db("R(2) = {}"), Tuple{}));
+  EXPECT_TRUE(EvaluateMembership(sigma, Db("R(2) = { (a, b) }"), Tuple{}));
+}
+
+TEST(FdTest, CompositeLhsFormula)  {
+  FunctionalDependency fd("T", 3, {0, 1}, 2);
+  Query sigma = ConstraintSetQuery({std::make_shared<FunctionalDependency>(fd)});
+  EXPECT_TRUE(EvaluateMembership(
+      sigma, Db("T(3) = { (a, b, c), (a, x, d) }"), Tuple{}));
+  EXPECT_FALSE(EvaluateMembership(
+      sigma, Db("T(3) = { (a, b, c), (a, b, d) }"), Tuple{}));
+}
+
+TEST(ChaseTest, NullReplacedByConstant) {
+  Database db = Db("R(2) = { (a, _h1), (a, b) }");
+  ChaseResult result = ChaseFds({FunctionalDependency("R", 2, {0}, 1)}, db);
+  ASSERT_TRUE(result.success);
+  EXPECT_EQ(result.database.relation("R").size(), 1u);
+  EXPECT_TRUE(result.database.relation("R").Contains(
+      Tuple{Value::Constant("a"), Value::Constant("b")}));
+  EXPECT_EQ(result.null_mapping.at(Value::Null("h1")), Value::Constant("b"));
+}
+
+TEST(ChaseTest, NullsMerged) {
+  Database db = Db("R(2) = { (a, _h2), (a, _h3) }");
+  ChaseResult result = ChaseFds({FunctionalDependency("R", 2, {0}, 1)}, db);
+  ASSERT_TRUE(result.success);
+  EXPECT_EQ(result.database.relation("R").size(), 1u);
+  // Both nulls map to the same representative.
+  EXPECT_EQ(result.null_mapping.at(Value::Null("h2")),
+            result.null_mapping.at(Value::Null("h3")));
+}
+
+TEST(ChaseTest, FailureOnDistinctConstants) {
+  Database db = Db("R(2) = { (a, b), (a, c) }");
+  ChaseResult result = ChaseFds({FunctionalDependency("R", 2, {0}, 1)}, db);
+  EXPECT_FALSE(result.success);
+  EXPECT_FALSE(result.failure_reason.empty());
+}
+
+TEST(ChaseTest, ReplacementPropagatesAcrossRelations) {
+  // ⊥p occurs in R and S; the chase on R must rewrite S too.
+  Database db = Db("R(2) = { (a, _p), (a, b) }  S(1) = { (_p) }");
+  ChaseResult result = ChaseFds({FunctionalDependency("R", 2, {0}, 1)}, db);
+  ASSERT_TRUE(result.success);
+  EXPECT_TRUE(result.database.relation("S").Contains(
+      Tuple{Value::Constant("b")}));
+}
+
+TEST(ChaseTest, CascadingMerges) {
+  // FD fires transitively: merging ⊥a with b makes a new violation.
+  Database db = Db(
+      "R(2) = { (x, _ca), (x, _cb) }"
+      "S(2) = { (_ca, u), (_cb, v) }");
+  ChaseResult result =
+      ChaseFds({FunctionalDependency("R", 2, {0}, 1),
+                FunctionalDependency("S", 2, {0}, 1)},
+               db);
+  // ⊥ca and ⊥cb merge, then S forces u = v → failure.
+  EXPECT_FALSE(result.success);
+}
+
+TEST(ChaseTest, IntroExampleUnderCustomerDeterminesProduct) {
+  // Section 1's closing point: with the FD customer → product, ⊥1 = ⊥2 for
+  // c2's tuples, and chasing makes the two R1-tuples for c2 collapse.
+  Database db = Db(
+      "R1(2) = { (c1, _i1), (c2, _i1), (c2, _i2) }"
+      "R2(2) = { (c1, _i2), (c2, _i1), (_i3, _i1) }");
+  ChaseResult result =
+      ChaseFds({FunctionalDependency("R1", 2, {0}, 1),
+                FunctionalDependency("R2", 2, {0}, 1)},
+               db);
+  ASSERT_TRUE(result.success);
+  EXPECT_EQ(result.null_mapping.at(Value::Null("i1")),
+            result.null_mapping.at(Value::Null("i2")));
+  EXPECT_EQ(result.database.relation("R1").size(), 2u);
+}
+
+TEST(ChaseTest, SatisfiedFdIsNoOp) {
+  Database db = Db("R(2) = { (a, _n1), (b, _n2) }");
+  ChaseResult result = ChaseFds({FunctionalDependency("R", 2, {0}, 1)}, db);
+  ASSERT_TRUE(result.success);
+  EXPECT_EQ(result.database, db);
+}
+
+TEST(IndTest, FormulaSemantics) {
+  InclusionDependency ind("R", 2, {0}, "U", 1, {0});
+  Query sigma = ConstraintSetQuery({std::make_shared<InclusionDependency>(ind)});
+  EXPECT_TRUE(EvaluateMembership(
+      sigma, Db("R(2) = { (a, x) } U(1) = { (a), (b) }"), Tuple{}));
+  EXPECT_FALSE(EvaluateMembership(
+      sigma, Db("R(2) = { (c, x) } U(1) = { (a), (b) }"), Tuple{}));
+  EXPECT_TRUE(EvaluateMembership(sigma, Db("R(2) = {} U(1) = {}"), Tuple{}));
+}
+
+TEST(IndTest, MultiPositionFormula) {
+  InclusionDependency ind("R", 3, {2, 0}, "S", 2, {0, 1});
+  Query sigma = ConstraintSetQuery({std::make_shared<InclusionDependency>(ind)});
+  // π_{2,0}(R) ⊆ π_{0,1}(S): R has (a,b,c) → (c,a) must be in S.
+  EXPECT_TRUE(EvaluateMembership(
+      sigma, Db("R(3) = { (a, b, c) } S(2) = { (c, a) }"), Tuple{}));
+  EXPECT_FALSE(EvaluateMembership(
+      sigma, Db("R(3) = { (a, b, c) } S(2) = { (a, c) }"), Tuple{}));
+}
+
+TEST(KeysTest, NullInKeyColumnUnsatisfiable) {
+  Database db = Db("R(2) = { (_k1, a) }");
+  StatusOr<KeySatisfiability> result =
+      CheckKeySatisfiability({{"R", 2, 0}}, {}, db);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->satisfiable);
+}
+
+TEST(KeysTest, DuplicateKeyMergeableViaNulls) {
+  // Two tuples share the key value a but can be merged by equating nulls.
+  Database db = Db("R(2) = { (a, _k2), (a, _k3) }");
+  StatusOr<KeySatisfiability> result =
+      CheckKeySatisfiability({{"R", 2, 0}}, {}, db);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->satisfiable);
+}
+
+TEST(KeysTest, DuplicateKeyWithConflictingConstantsUnsatisfiable) {
+  Database db = Db("R(2) = { (a, b), (a, c) }");
+  StatusOr<KeySatisfiability> result =
+      CheckKeySatisfiability({{"R", 2, 0}}, {}, db);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->satisfiable);
+}
+
+TEST(KeysTest, ForeignKeyMustTargetKey) {
+  Database db = Db("R(2) = { (a, b) } S(2) = { (b, c) }");
+  EXPECT_FALSE(
+      CheckKeySatisfiability({}, {{"R", 1, "S", 0}}, db).ok());
+}
+
+TEST(KeysTest, ForeignKeyNullIntersection) {
+  // ⊥f must be in S[0] ∩ T[0] = {b}: satisfiable.
+  Database db = Db(
+      "R(2) = { (a, _f) }"
+      "S(2) = { (b, x), (c, y) }"
+      "T(2) = { (b, z) }");
+  std::vector<UnaryKey> keys = {{"S", 2, 0}, {"T", 2, 0}};
+  std::vector<UnaryForeignKey> fks = {{"R", 1, "S", 0}, {"R", 1, "T", 0}};
+  StatusOr<KeySatisfiability> result = CheckKeySatisfiability(keys, fks, db);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->satisfiable);
+  // Empty intersection: unsatisfiable.
+  Database db2 = Db(
+      "R(2) = { (a, _f2) }"
+      "S(2) = { (b, x) }"
+      "T(2) = { (c, z) }");
+  StatusOr<KeySatisfiability> result2 = CheckKeySatisfiability(keys, fks, db2);
+  ASSERT_TRUE(result2.ok());
+  EXPECT_FALSE(result2->satisfiable);
+}
+
+TEST(KeysTest, ForeignKeyConstantMissingUnsatisfiable) {
+  Database db = Db("R(2) = { (a, q) } S(2) = { (b, x) }");
+  StatusOr<KeySatisfiability> result = CheckKeySatisfiability(
+      {{"S", 2, 0}}, {{"R", 1, "S", 0}}, db);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->satisfiable);
+}
+
+// Property sweep: the polynomial satisfiability test agrees with explicit
+// search over valuations into Const(D) ∪ {fresh per null}.
+class KeySatisfiabilityAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(KeySatisfiabilityAgreement, MatchesBruteForce) {
+  RandomDatabaseOptions options;
+  options.relations = {{"R", 2, 3}, {"S", 2, 3}};
+  options.constant_pool = 3;
+  options.null_pool = 2;
+  options.null_probability = 0.4;
+  options.seed = static_cast<std::uint64_t>(GetParam()) + 3000;
+  Database db = GenerateRandomDatabase(options);
+  std::vector<UnaryKey> keys = {{"S", 2, 0}};
+  std::vector<UnaryForeignKey> fks = {{"R", 1, "S", 0}};
+
+  StatusOr<KeySatisfiability> fast = CheckKeySatisfiability(keys, fks, db);
+  ASSERT_TRUE(fast.ok());
+
+  // Brute force over the bounded valuation space. The RDBMS reading bans
+  // nulls in key columns of D itself, so that is checked first.
+  bool null_in_key_column = false;
+  for (const UnaryKey& key : keys) {
+    for (const Tuple& t : db.relation(key.relation)) {
+      null_in_key_column = null_in_key_column || t[key.position].is_null();
+    }
+  }
+  std::vector<Value> nulls = db.Nulls();
+  std::vector<Value> domain = MakeConstantEnumeration(
+      db.Constants(), db.Constants().size() + nulls.size());
+  bool brute = !null_in_key_column &&
+               !ForEachValuationUntil(
+                   nulls, domain, [&](const Valuation& v) {
+                     return !KeysHold(keys, fks, v.Apply(db));
+                   });
+  EXPECT_EQ(fast->satisfiable, brute)
+      << db.ToString() << "\nreason: " << fast->reason;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KeySatisfiabilityAgreement,
+                         ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace zeroone

@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/database.h"
+#include "data/io.h"
+#include "data/valuation.h"
+#include "data/relation.h"
+#include "data/tuple.h"
+#include "data/value.h"
+
+namespace zeroone {
+namespace {
+
+TEST(ValueTest, ConstantsInternByName) {
+  Value a1 = Value::Constant("alpha");
+  Value a2 = Value::Constant("alpha");
+  Value b = Value::Constant("beta");
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, b);
+  EXPECT_TRUE(a1.is_constant());
+  EXPECT_EQ(a1.ToString(), "alpha");
+}
+
+TEST(ValueTest, IntConstantsShareNamespaceWithDecimalNames) {
+  EXPECT_EQ(Value::Int(42), Value::Constant("42"));
+}
+
+TEST(ValueTest, NullsAreMarked) {
+  Value n1 = Value::Null("1");
+  Value n1_again = Value::Null("1");
+  Value n2 = Value::Null("2");
+  EXPECT_EQ(n1, n1_again);  // The same marked null.
+  EXPECT_NE(n1, n2);
+  EXPECT_TRUE(n1.is_null());
+  EXPECT_EQ(n1.ToString(), "⊥1");
+}
+
+TEST(ValueTest, ConstantAndNullWithSameNameDiffer) {
+  EXPECT_NE(Value::Constant("x"), Value::Null("x"));
+}
+
+TEST(ValueTest, FreshValuesAreDistinct) {
+  std::set<Value> values;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(values.insert(Value::FreshNull()).second);
+    EXPECT_TRUE(values.insert(Value::FreshConstant()).second);
+  }
+}
+
+TEST(ValueTest, ConstantEnumerationPrefixAndLength) {
+  Value a = Value::Constant("ea");
+  Value b = Value::Constant("eb");
+  std::vector<Value> enumeration = MakeConstantEnumeration({a, b, a}, 5);
+  ASSERT_EQ(enumeration.size(), 5u);
+  EXPECT_EQ(enumeration[0], a);
+  EXPECT_EQ(enumeration[1], b);  // Duplicate `a` removed.
+  std::set<Value> distinct(enumeration.begin(), enumeration.end());
+  EXPECT_EQ(distinct.size(), 5u);
+}
+
+TEST(TupleTest, BasicsAndNulls) {
+  Tuple t{Value::Constant("a"), Value::Null("t1"), Value::Null("t1"),
+          Value::Null("t2")};
+  EXPECT_EQ(t.arity(), 4u);
+  EXPECT_FALSE(t.IsComplete());
+  std::vector<Value> nulls = t.Nulls();
+  ASSERT_EQ(nulls.size(), 2u);  // Deduplicated.
+  EXPECT_EQ(nulls[0], Value::Null("t1"));
+  EXPECT_EQ(nulls[1], Value::Null("t2"));
+  EXPECT_EQ(t.ToString(), "(a, ⊥t1, ⊥t1, ⊥t2)");
+  EXPECT_EQ(Tuple{}.ToString(), "()");
+  EXPECT_TRUE(Tuple{}.IsComplete());
+}
+
+TEST(RelationTest, InsertIsSetSemantics) {
+  Relation r("R", 2);
+  r.Insert({Value::Int(1), Value::Int(2)});
+  r.Insert({Value::Int(1), Value::Int(2)});
+  r.Insert({Value::Int(0), Value::Int(9)});
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_TRUE(r.Contains(Tuple{Value::Int(1), Value::Int(2)}));
+  EXPECT_FALSE(r.Contains(Tuple{Value::Int(2), Value::Int(1)}));
+  // Sorted deterministic order (by the values' total order).
+  EXPECT_TRUE(r.tuples()[0] < r.tuples()[1]);
+}
+
+TEST(DatabaseTest, ActiveDomainSplitsKinds) {
+  Database db;
+  Relation& r = db.AddRelation("R", 2);
+  r.Insert({Value::Constant("k"), Value::Null("d1")});
+  r.Insert({Value::Null("d1"), Value::Null("d2")});
+  db.AddRelation("S", 1).Insert({Value::Constant("m")});
+  EXPECT_EQ(db.Constants().size(), 2u);
+  EXPECT_EQ(db.Nulls().size(), 2u);
+  EXPECT_EQ(db.ActiveDomain().size(), 4u);
+  EXPECT_FALSE(db.IsComplete());
+  EXPECT_EQ(db.TupleCount(), 3u);
+}
+
+TEST(DatabaseTest, EmptyRelationsCountAsComplete) {
+  Database db;
+  db.AddRelation("R", 3);
+  EXPECT_TRUE(db.IsComplete());
+  EXPECT_TRUE(db.ActiveDomain().empty());
+}
+
+TEST(DatabaseTest, EqualityAndOrdering) {
+  Database d1;
+  d1.AddRelation("R", 1).Insert({Value::Int(1)});
+  Database d2;
+  d2.AddRelation("R", 1).Insert({Value::Int(1)});
+  EXPECT_EQ(d1, d2);
+  d2.mutable_relation("R").Insert({Value::Int(2)});
+  EXPECT_NE(d1, d2);
+  EXPECT_TRUE(d1 < d2 || d2 < d1);
+}
+
+TEST(IoTest, ParseDatabaseRoundTrips) {
+  const char* text = R"(
+    # The intro example, R1 only.
+    R1(2) = { (c1, _1), (c2, _1), (c2, _2) }
+    U(1) = { (1), (2) }
+    Empty(3) = {}
+  )";
+  StatusOr<Database> db = ParseDatabase(text);
+  ASSERT_TRUE(db.ok()) << db.status().message();
+  EXPECT_EQ(db->relation("R1").size(), 3u);
+  EXPECT_EQ(db->relation("U").size(), 2u);
+  EXPECT_EQ(db->relation("Empty").size(), 0u);
+  EXPECT_TRUE(db->relation("R1").Contains(
+      Tuple{Value::Constant("c2"), Value::Null("2")}));
+  // Round trip through the formatter.
+  StatusOr<Database> again = ParseDatabase(FormatDatabase(*db));
+  ASSERT_TRUE(again.ok()) << again.status().message();
+  EXPECT_EQ(*again, *db);
+}
+
+TEST(IoTest, ParseTupleSyntax) {
+  StatusOr<Tuple> t = ParseTuple("(c1, _7, 'hello world', 42)");
+  ASSERT_TRUE(t.ok()) << t.status().message();
+  ASSERT_EQ(t->arity(), 4u);
+  EXPECT_EQ((*t)[0], Value::Constant("c1"));
+  EXPECT_EQ((*t)[1], Value::Null("7"));
+  EXPECT_EQ((*t)[2], Value::Constant("hello world"));
+  EXPECT_EQ((*t)[3], Value::Int(42));
+  StatusOr<Tuple> empty = ParseTuple("()");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->arity(), 0u);
+}
+
+TEST(IoTest, ParseUnicodeNullSigil) {
+  StatusOr<Tuple> t = ParseTuple("(⊥1, ⊥abc)");
+  ASSERT_TRUE(t.ok()) << t.status().message();
+  EXPECT_EQ((*t)[0], Value::Null("1"));
+  EXPECT_EQ((*t)[1], Value::Null("abc"));
+}
+
+TEST(IoTest, ParseErrors) {
+  EXPECT_FALSE(ParseDatabase("R(2) = { (1) }").ok());     // Arity mismatch.
+  EXPECT_FALSE(ParseDatabase("R(2) = { (1, 2 }").ok());   // Bad bracket.
+  EXPECT_FALSE(ParseDatabase("R2 = { }").ok());           // Missing arity.
+  EXPECT_FALSE(ParseTuple("(1,2) x").ok());               // Trailing junk.
+}
+
+TEST(ValuationBasicsTest, ApplyAndRange) {
+  Valuation v;
+  v.Bind(Value::Null("v1"), Value::Constant("a"));
+  v.Bind(Value::Null("v2"), Value::Constant("a"));
+  EXPECT_EQ(v.Apply(Value::Null("v1")), Value::Constant("a"));
+  EXPECT_EQ(v.Apply(Value::Null("other")), Value::Null("other"));
+  EXPECT_EQ(v.Apply(Value::Constant("c")), Value::Constant("c"));
+  EXPECT_EQ(v.Range().size(), 1u);
+  EXPECT_FALSE(v.IsBijectiveAvoiding({}));  // Not injective.
+  Valuation w;
+  w.Bind(Value::Null("v1"), Value::Constant("a"));
+  w.Bind(Value::Null("v2"), Value::Constant("b"));
+  EXPECT_TRUE(w.IsBijectiveAvoiding({Value::Constant("c")}));
+  EXPECT_FALSE(w.IsBijectiveAvoiding({Value::Constant("a")}));
+}
+
+TEST(ValuationBasicsTest, ApplyToDatabase) {
+  Database db;
+  Relation& r = db.AddRelation("R", 2);
+  r.Insert({Value::Int(1), Value::Null("ad1")});
+  r.Insert({Value::Int(1), Value::Null("ad2")});
+  Valuation v;
+  v.Bind(Value::Null("ad1"), Value::Int(7));
+  v.Bind(Value::Null("ad2"), Value::Int(7));
+  Database image = v.Apply(db);
+  // The two tuples collapse to one.
+  EXPECT_EQ(image.relation("R").size(), 1u);
+  EXPECT_TRUE(image.IsComplete());
+}
+
+TEST(ValuationEnumerationTest, CountsArePowers) {
+  std::vector<Value> nulls = {Value::Null("e1"), Value::Null("e2"),
+                              Value::Null("e3")};
+  std::vector<Value> domain = MakeConstantEnumeration({}, 4);
+  std::size_t count = 0;
+  std::set<Valuation> distinct;
+  ForEachValuation(nulls, domain, [&](const Valuation& v) {
+    ++count;
+    distinct.insert(v);
+  });
+  EXPECT_EQ(count, 64u);  // 4^3.
+  EXPECT_EQ(distinct.size(), 64u);
+}
+
+TEST(ValuationEnumerationTest, EmptyNullsYieldOneValuation) {
+  std::size_t count = 0;
+  ForEachValuation({}, MakeConstantEnumeration({}, 2),
+                   [&](const Valuation&) { ++count; });
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(ValuationEnumerationTest, EarlyStop) {
+  std::vector<Value> nulls = {Value::Null("s1")};
+  std::vector<Value> domain = MakeConstantEnumeration({}, 10);
+  std::size_t count = 0;
+  bool completed = ForEachValuationUntil(nulls, domain,
+                                         [&](const Valuation&) {
+                                           ++count;
+                                           return count < 3;
+                                         });
+  EXPECT_FALSE(completed);
+  EXPECT_EQ(count, 3u);
+}
+
+}  // namespace
+}  // namespace zeroone

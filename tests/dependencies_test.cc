@@ -1,0 +1,203 @@
+#include "constraints/dependencies.h"
+
+#include <gtest/gtest.h>
+
+#include "core/conditional.h"
+#include "core/measure.h"
+#include "data/io.h"
+#include "query/eval.h"
+#include "query/parser.h"
+
+namespace zeroone {
+namespace {
+
+Database Db(const char* text) {
+  StatusOr<Database> db = ParseDatabase(text);
+  EXPECT_TRUE(db.ok()) << db.status().message();
+  return std::move(db).value();
+}
+
+Query Q(const char* text) {
+  StatusOr<Query> q = ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << q.status().message();
+  return std::move(q).value();
+}
+
+// R(x, y) ∧ R(x, z) → y = z (the FD R: 0 → 1 as an EGD).
+EqualityGeneratingDependency KeyEgd() {
+  std::vector<DependencyAtom> body = {
+      {"R", {Term::Variable(0), Term::Variable(1)}},
+      {"R", {Term::Variable(0), Term::Variable(2)}}};
+  return EqualityGeneratingDependency(std::move(body), 1, 2);
+}
+
+TEST(EgdTest, FormulaSemanticsMatchesFd) {
+  Query sigma = ConstraintSetQuery({std::make_shared<
+      EqualityGeneratingDependency>(KeyEgd())});
+  EXPECT_TRUE(EvaluateMembership(sigma, Db("R(2) = { (a, b), (c, b) }"),
+                                 Tuple{}));
+  EXPECT_FALSE(EvaluateMembership(sigma, Db("R(2) = { (a, b), (a, c) }"),
+                                  Tuple{}));
+}
+
+TEST(EgdTest, ChaseMergesLikeFdChase) {
+  DependencySet dependencies;
+  dependencies.egds.push_back(KeyEgd());
+  GeneralChaseResult result =
+      ChaseDependencies(dependencies, Db("R(2) = { (a, _ge1), (a, b) }"));
+  ASSERT_TRUE(result.success);
+  EXPECT_EQ(result.database.relation("R").size(), 1u);
+  EXPECT_TRUE(result.database.relation("R").Contains(
+      Tuple{Value::Constant("a"), Value::Constant("b")}));
+}
+
+TEST(EgdTest, ChaseFailsOnConstants) {
+  DependencySet dependencies;
+  dependencies.egds.push_back(KeyEgd());
+  GeneralChaseResult result =
+      ChaseDependencies(dependencies, Db("R(2) = { (a, b), (a, c) }"));
+  EXPECT_FALSE(result.success);
+  EXPECT_FALSE(result.failure_reason.empty());
+}
+
+// R(x, y) → ∃z S(y, z) — an existential TGD (a foreign key with invention).
+TupleGeneratingDependency ReferenceTgd() {
+  std::vector<DependencyAtom> body = {
+      {"R", {Term::Variable(0), Term::Variable(1)}}};
+  std::vector<DependencyAtom> head = {
+      {"S", {Term::Variable(1), Term::Variable(2)}}};
+  return TupleGeneratingDependency(std::move(body), std::move(head));
+}
+
+TEST(TgdTest, FormulaSemantics) {
+  Query sigma = ConstraintSetQuery(
+      {std::make_shared<TupleGeneratingDependency>(ReferenceTgd())});
+  EXPECT_TRUE(EvaluateMembership(
+      sigma, Db("R(2) = { (a, b) }  S(2) = { (b, q) }"), Tuple{}));
+  EXPECT_FALSE(EvaluateMembership(
+      sigma, Db("R(2) = { (a, b) }  S(2) = { (c, q) }"), Tuple{}));
+}
+
+TEST(TgdTest, ChaseInventsNulls) {
+  DependencySet dependencies;
+  dependencies.tgds.push_back(ReferenceTgd());
+  Database db = Db("R(2) = { (a, b) }");
+  GeneralChaseResult result = ChaseDependencies(dependencies, db);
+  ASSERT_TRUE(result.success);
+  ASSERT_TRUE(result.database.HasRelation("S"));
+  ASSERT_EQ(result.database.relation("S").size(), 1u);
+  const Tuple& invented = result.database.relation("S").tuples()[0];
+  EXPECT_EQ(invented[0], Value::Constant("b"));
+  EXPECT_TRUE(invented[1].is_null());  // Fresh labeled null.
+  // The result satisfies the dependency (chase fixpoint).
+  Query sigma = ConstraintSetQuery(dependencies.ToConstraintSet());
+  EXPECT_TRUE(EvaluateMembership(sigma, result.database, Tuple{}));
+}
+
+TEST(TgdTest, StandardChaseDoesNotRefire) {
+  // If S already satisfies the head, the TGD must not invent anything.
+  DependencySet dependencies;
+  dependencies.tgds.push_back(ReferenceTgd());
+  Database db = Db("R(2) = { (a, b) }  S(2) = { (b, c) }");
+  GeneralChaseResult result = ChaseDependencies(dependencies, db);
+  ASSERT_TRUE(result.success);
+  EXPECT_EQ(result.database, db);
+}
+
+TEST(TgdTest, CascadeAcrossDependencies) {
+  // R → S → T: two invention steps.
+  DependencySet dependencies;
+  dependencies.tgds.push_back(ReferenceTgd());  // R(x,y) → ∃z S(y,z).
+  dependencies.tgds.push_back(TupleGeneratingDependency(
+      {{"S", {Term::Variable(0), Term::Variable(1)}}},
+      {{"T", {Term::Variable(1)}}}));  // Full TGD: S(x,y) → T(y).
+  GeneralChaseResult result =
+      ChaseDependencies(dependencies, Db("R(2) = { (a, b) }"));
+  ASSERT_TRUE(result.success);
+  EXPECT_EQ(result.database.relation("S").size(), 1u);
+  EXPECT_EQ(result.database.relation("T").size(), 1u);
+}
+
+TEST(WeakAcyclicityTest, DetectsCycles) {
+  // Self-feeding invention: S(x, y) → ∃z S(y, z) is NOT weakly acyclic.
+  TupleGeneratingDependency looping(
+      {{"S", {Term::Variable(0), Term::Variable(1)}}},
+      {{"S", {Term::Variable(1), Term::Variable(2)}}});
+  EXPECT_FALSE(CheckWeakAcyclicity({looping}));
+  // The single reference TGD R → S is weakly acyclic.
+  EXPECT_TRUE(CheckWeakAcyclicity({ReferenceTgd()}));
+  // Full TGDs (no existentials) are always weakly acyclic.
+  TupleGeneratingDependency full(
+      {{"R", {Term::Variable(0), Term::Variable(1)}}},
+      {{"T", {Term::Variable(1), Term::Variable(0)}}});
+  EXPECT_TRUE(CheckWeakAcyclicity({full}));
+}
+
+TEST(WeakAcyclicityTest, NonTerminatingChaseHitsBudget) {
+  DependencySet dependencies;
+  dependencies.tgds.push_back(TupleGeneratingDependency(
+      {{"S", {Term::Variable(0), Term::Variable(1)}}},
+      {{"S", {Term::Variable(1), Term::Variable(2)}}}));
+  ASSERT_FALSE(CheckWeakAcyclicity(dependencies.tgds));
+  GeneralChaseResult result =
+      ChaseDependencies(dependencies, Db("S(2) = { (a, b) }"),
+                        /*max_steps=*/50);
+  EXPECT_FALSE(result.success);
+  EXPECT_EQ(result.failure_reason, "chase step budget exhausted");
+}
+
+TEST(DependenciesTest, ConditionalMeasureWithEgds) {
+  // EGDs as Σ in the conditional measure: behave exactly like their FD
+  // counterparts (a 0–1 law via Theorem 5's reasoning).
+  Database db = Db("R(2) = { (a, _gm1), (a, b) }");
+  ConstraintSet egd_sigma = {
+      std::make_shared<EqualityGeneratingDependency>(KeyEgd())};
+  // Under Σ, ⊥gm1 must be b: the query R(a, c) is conditionally impossible,
+  // R(a, b) conditionally certain.
+  EXPECT_EQ(ConditionalMu(Q(":= R(a, b)"), egd_sigma, db), Rational(1));
+  EXPECT_EQ(ConditionalMu(Q(":= R(a, c)"), egd_sigma, db), Rational(0));
+}
+
+TEST(DependenciesTest, DataExchangeScenario) {
+  // A miniature data-exchange setting: source facts are copied into the
+  // target with invented join keys, then queried under certain-answer
+  // semantics — the pipeline the paper's intro points at.
+  Database source = Db("Emp(2) = { (alice, sales), (bob, hr) }");
+  DependencySet mapping;
+  // Emp(n, d) → ∃i Works(n, i), DeptOf(i, d).
+  mapping.tgds.push_back(TupleGeneratingDependency(
+      {{"Emp", {Term::Variable(0), Term::Variable(1)}}},
+      {{"Works", {Term::Variable(0), Term::Variable(2)}},
+       {"DeptOf", {Term::Variable(2), Term::Variable(1)}}}));
+  ASSERT_TRUE(CheckWeakAcyclicity(mapping.tgds));
+  GeneralChaseResult result = ChaseDependencies(mapping, source);
+  ASSERT_TRUE(result.success);
+  // The canonical universal solution has one invented id per employee.
+  EXPECT_EQ(result.database.relation("Works").size(), 2u);
+  EXPECT_EQ(result.database.relation("DeptOf").size(), 2u);
+  EXPECT_EQ(result.database.Nulls().size(), 2u);
+  // Certain answer over the exchanged data: alice works in sales.
+  Query q = Q(":= exists i . Works(alice, i) & DeptOf(i, sales)");
+  EXPECT_TRUE(IsCertainAnswer(q, result.database, Tuple{}));
+  // And naive evaluation agrees (Theorem 1: almost certainly true).
+  EXPECT_EQ(MuLimit(q, result.database), 1);
+}
+
+TEST(DependenciesTest, ConditionalMeasureWithTgds) {
+  // TGDs compile to FO sentences, so they work as Σ in the conditional
+  // measure directly: R(x,y) → ∃z S(y,z) forces v(⊥) to a value with an
+  // S-successor, i.e. v(⊥) ∈ {b, d}; the query picks out one of the two.
+  Database db = Db("R(2) = { (a, _tc1) }  S(2) = { (b, c), (d, e) }");
+  ConstraintSet sigma = {std::make_shared<TupleGeneratingDependency>(
+      std::vector<DependencyAtom>{
+          {"R", {Term::Variable(0), Term::Variable(1)}}},
+      std::vector<DependencyAtom>{
+          {"S", {Term::Variable(1), Term::Variable(2)}}})};
+  Query q = Q(":= exists x . R(a, x) & S(x, c)");
+  EXPECT_EQ(ConditionalMu(q, sigma, db), Rational(1, 2));
+  // And unconditionally the query is almost surely false.
+  EXPECT_EQ(MuLimit(q, db), 0);
+}
+
+}  // namespace
+}  // namespace zeroone

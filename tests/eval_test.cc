@@ -1,0 +1,146 @@
+#include "query/eval.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "data/io.h"
+#include "gen/random_db.h"
+#include "gen/random_query.h"
+#include "query/parser.h"
+
+namespace zeroone {
+namespace {
+
+Database Db(const char* text) {
+  StatusOr<Database> db = ParseDatabase(text);
+  EXPECT_TRUE(db.ok()) << db.status().message();
+  return std::move(db).value();
+}
+
+Query Q(const char* text) {
+  StatusOr<Query> q = ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << q.status().message();
+  return std::move(q).value();
+}
+
+TEST(EvalTest, AtomAndProjection) {
+  Database db = Db("E(2) = { (a, b), (b, c) }");
+  Query q = Q("Q(x) := exists y . E(x, y)");
+  std::vector<Tuple> answers = EvaluateQuery(q, db);
+  ASSERT_EQ(answers.size(), 2u);
+  EXPECT_TRUE(EvaluateMembership(q, db, Tuple{Value::Constant("a")}));
+  EXPECT_TRUE(EvaluateMembership(q, db, Tuple{Value::Constant("b")}));
+  EXPECT_FALSE(EvaluateMembership(q, db, Tuple{Value::Constant("c")}));
+}
+
+TEST(EvalTest, DistanceTwoFromConstant) {
+  // The example after Definition 3: φ(x) = ∃y E(c,y) ∧ E(y,x) on
+  // G = {(c,c'), (c',⊥)} returns {⊥}.
+  Database db = Db("E(2) = { (c, cp), (cp, _d2) }");
+  Query q = Q("phi(x) := exists y . E(c, y) & E(y, x)");
+  std::vector<Tuple> answers = NaiveEvaluate(q, db);
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_EQ(answers[0], Tuple{Value::Null("d2")});
+}
+
+TEST(EvalTest, NegationAndDifference) {
+  Database db = Db("R(1) = { (a), (b) }  S(1) = { (b) }");
+  Query q = Q("Q(x) := R(x) & !S(x)");
+  std::vector<Tuple> answers = EvaluateQuery(q, db);
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_EQ(answers[0], Tuple{Value::Constant("a")});
+}
+
+TEST(EvalTest, UniversalQuantifierActiveDomain) {
+  Database db = Db("U(1) = { (a), (b) }  R(1) = { (a), (b), (c) }");
+  EXPECT_TRUE(EvaluateMembership(Q(":= forall x . U(x) -> R(x)"), db,
+                                 Tuple{}));
+  EXPECT_FALSE(EvaluateMembership(Q(":= forall x . R(x) -> U(x)"), db,
+                                  Tuple{}));
+}
+
+TEST(EvalTest, EqualityIsSyntacticOnNulls) {
+  Database db = Db("R(2) = { (_q1, _q2) }");
+  // Nulls are distinct values syntactically: naive evaluation of x = y
+  // under R(x,y) fails, of x != y succeeds.
+  EXPECT_FALSE(
+      EvaluateMembership(Q(":= exists x, y . R(x, y) & x = y"), db, Tuple{}));
+  EXPECT_TRUE(EvaluateMembership(Q(":= exists x, y . R(x, y) & x != y"), db,
+                                 Tuple{}));
+}
+
+TEST(EvalTest, BooleanConstantsAndEmptyDb) {
+  Database db;
+  db.AddRelation("R", 1);
+  EXPECT_TRUE(EvaluateMembership(Q(":= true"), db, Tuple{}));
+  EXPECT_FALSE(EvaluateMembership(Q(":= false"), db, Tuple{}));
+  // ∃x over an empty active domain is false; ∀x is vacuously true.
+  EXPECT_FALSE(EvaluateMembership(Q(":= exists x . x = x"), db, Tuple{}));
+  EXPECT_TRUE(EvaluateMembership(Q(":= forall x . R(x)"), db, Tuple{}));
+}
+
+TEST(EvalTest, MissingRelationIsEmpty) {
+  Database db = Db("R(1) = { (a) }");
+  EXPECT_FALSE(EvaluateMembership(Q(":= exists x . Zzz(x)"), db, Tuple{}));
+}
+
+TEST(EvalTest, RepeatedFreeVariableMembership) {
+  Database db = Db("R(2) = { (a, a), (a, b) }");
+  Query q = Q("Q(x, x) := R(x, x)");
+  EXPECT_TRUE(EvaluateMembership(
+      q, db, Tuple{Value::Constant("a"), Value::Constant("a")}));
+  EXPECT_FALSE(EvaluateMembership(
+      q, db, Tuple{Value::Constant("a"), Value::Constant("b")}));
+  std::vector<Tuple> answers = EvaluateQuery(q, db);
+  ASSERT_EQ(answers.size(), 1u);
+}
+
+TEST(EvalTest, NaiveEvaluationOnIntroExample) {
+  // Section 1: naive answers are (c1,⊥1) and (c2,⊥2).
+  Database db = Db(
+      "R1(2) = { (c1, _1), (c2, _1), (c2, _2) }"
+      "R2(2) = { (c1, _2), (c2, _1), (_3, _1) }");
+  Query q = Q("Q(x, y) := R1(x, y) & !R2(x, y)");
+  std::vector<Tuple> naive = NaiveEvaluate(q, db);
+  ASSERT_EQ(naive.size(), 2u);
+  EXPECT_TRUE(std::count(naive.begin(), naive.end(),
+                         (Tuple{Value::Constant("c1"), Value::Null("1")})));
+  EXPECT_TRUE(std::count(naive.begin(), naive.end(),
+                         (Tuple{Value::Constant("c2"), Value::Null("2")})));
+}
+
+// Proposition 1 / Definition 3: the direct syntactic evaluator agrees with
+// the via-bijection reference implementation on randomized instances.
+class NaiveEvalAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(NaiveEvalAgreement, DirectMatchesBijection) {
+  RandomDatabaseOptions db_options;
+  db_options.relations = {{"R", 2, 5}, {"S", 1, 3}};
+  db_options.constant_pool = 4;
+  db_options.null_pool = 3;
+  db_options.null_probability = 0.4;
+  db_options.seed = static_cast<std::uint64_t>(GetParam());
+  Database db = GenerateRandomDatabase(db_options);
+
+  RandomQueryOptions q_options;
+  q_options.relations = {{"R", 2}, {"S", 1}};
+  q_options.free_variables = 1;
+  q_options.existential_variables = 2;
+  q_options.clauses = 2;
+  q_options.atoms_per_clause = 2;
+  q_options.seed = static_cast<std::uint64_t>(GetParam()) + 1000;
+  Query fo = GenerateRandomFo(q_options, 0.3);
+
+  std::vector<Tuple> direct = NaiveEvaluate(fo, db);
+  std::vector<Tuple> reference = NaiveEvaluateViaBijection(fo, db);
+  std::sort(direct.begin(), direct.end());
+  std::sort(reference.begin(), reference.end());
+  EXPECT_EQ(direct, reference);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NaiveEvalAgreement,
+                         ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace zeroone

@@ -1,0 +1,125 @@
+#include "data/homomorphism.h"
+
+#include <gtest/gtest.h>
+
+#include "constraints/dependencies.h"
+#include "data/io.h"
+#include "data/isomorphism.h"
+#include "gen/random_db.h"
+
+namespace zeroone {
+namespace {
+
+Database Db(const char* text) {
+  StatusOr<Database> db = ParseDatabase(text);
+  EXPECT_TRUE(db.ok()) << db.status().message();
+  return std::move(db).value();
+}
+
+TEST(HomomorphismTest, NullsFoldOntoConstants) {
+  Database from = Db("R(2) = { (a, _hm1) }");
+  Database to = Db("R(2) = { (a, b) }");
+  auto h = FindHomomorphism(from, to);
+  ASSERT_TRUE(h.has_value());
+  EXPECT_EQ(h->at(Value::Null("hm1")), Value::Constant("b"));
+  // No homomorphism the other way: constants are fixed.
+  EXPECT_FALSE(FindHomomorphism(to, from).has_value());
+}
+
+TEST(HomomorphismTest, ConstantsMustMatch) {
+  Database from = Db("R(1) = { (a) }");
+  Database to = Db("R(1) = { (b) }");
+  EXPECT_FALSE(FindHomomorphism(from, to).has_value());
+}
+
+TEST(HomomorphismTest, SharedNullForcesConsistency) {
+  // (⊥, ⊥) can only map to a "diagonal" tuple.
+  Database from = Db("R(2) = { (_hc1, _hc1) }");
+  EXPECT_TRUE(FindHomomorphism(from, Db("R(2) = { (a, a) }")).has_value());
+  EXPECT_FALSE(FindHomomorphism(from, Db("R(2) = { (a, b) }")).has_value());
+}
+
+TEST(HomomorphismTest, EquivalenceViaDifferentShapes) {
+  // Both instances fold onto R(a, a)-style diagonals.
+  Database a = Db("R(2) = { (a, _he1), (_he1, a) }");
+  Database b = Db("R(2) = { (a, _he2), (_he2, a), (a, _he3), (_he3, a) }");
+  EXPECT_TRUE(AreHomomorphicallyEquivalent(a, b));
+}
+
+TEST(CoreTest, CompleteDatabaseIsItsOwnCore) {
+  Database db = Db("R(2) = { (a, b), (b, c) }");
+  EXPECT_EQ(ComputeCore(db), db);
+}
+
+TEST(CoreTest, RedundantNullTupleFolds) {
+  // (a, ⊥) is subsumed by (a, b): the core drops it.
+  Database db = Db("R(2) = { (a, b), (a, _cr1) }");
+  Database core = ComputeCore(db);
+  EXPECT_EQ(core.relation("R").size(), 1u);
+  EXPECT_TRUE(core.relation("R").Contains(
+      Tuple{Value::Constant("a"), Value::Constant("b")}));
+}
+
+TEST(CoreTest, NonRedundantNullSurvives) {
+  // (c, ⊥) is not subsumed — c appears nowhere else.
+  Database db = Db("R(2) = { (a, b), (c, _cs1) }");
+  Database core = ComputeCore(db);
+  EXPECT_EQ(core.relation("R").size(), 2u);
+}
+
+TEST(CoreTest, CoreIsHomEquivalentAndMinimal) {
+  Database db = Db(
+      "R(2) = { (a, _cm1), (a, _cm2), (_cm2, b), (a, b) }");
+  Database core = ComputeCore(db);
+  EXPECT_TRUE(AreHomomorphicallyEquivalent(db, core));
+  // Minimality: the core of the core is itself.
+  EXPECT_EQ(ComputeCore(core), core);
+  EXPECT_LT(core.TupleCount(), db.TupleCount());
+}
+
+TEST(CoreTest, CoreUniqueUpToIsomorphismOnRandomInstances) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    RandomDatabaseOptions options;
+    options.relations = {{"R", 2, 5}};
+    options.constant_pool = 2;
+    options.null_pool = 3;
+    options.null_probability = 0.5;
+    options.seed = seed + 110000;
+    Database db = GenerateRandomDatabase(options);
+    Database core = ComputeCore(db);
+    EXPECT_TRUE(AreHomomorphicallyEquivalent(db, core)) << db.ToString();
+    EXPECT_EQ(ComputeCore(core), core) << db.ToString();
+  }
+}
+
+TEST(CoreTest, DataExchangeCanonicalSolutionCore) {
+  // Chase a source through a mapping with invention, then core the result:
+  // the invented null for alice folds away if a concrete fact already
+  // covers it.
+  Database source = Db("Emp(2) = { (alice, sales) }  Works(2) = { (alice, w1) }  DeptOf(2) = { (w1, sales) }");
+  DependencySet mapping;
+  mapping.tgds.push_back(TupleGeneratingDependency(
+      {{"Emp", {Term::Variable(0), Term::Variable(1)}}},
+      {{"Works", {Term::Variable(0), Term::Variable(2)}},
+       {"DeptOf", {Term::Variable(2), Term::Variable(1)}}}));
+  GeneralChaseResult result = ChaseDependencies(mapping, source);
+  ASSERT_TRUE(result.success);
+  // The standard chase does not fire (the head is already satisfied via
+  // w1), so the canonical solution is already core-like; force invention
+  // by removing the witness.
+  Database bare = Db("Emp(2) = { (alice, sales) }");
+  GeneralChaseResult invented = ChaseDependencies(mapping, bare);
+  ASSERT_TRUE(invented.success);
+  EXPECT_EQ(invented.database.Nulls().size(), 1u);
+  Database merged = invented.database;
+  // Add the concrete fact afterwards: the invented null becomes redundant.
+  merged.mutable_relation("Works").Insert(
+      {Value::Constant("alice"), Value::Constant("w1")});
+  merged.mutable_relation("DeptOf").Insert(
+      {Value::Constant("w1"), Value::Constant("sales")});
+  Database core = ComputeCore(merged);
+  EXPECT_TRUE(core.Nulls().empty()) << core.ToString();
+}
+
+}  // namespace
+}  // namespace zeroone

@@ -1,0 +1,115 @@
+// End-to-end test reproducing every claim the paper makes about its running
+// examples, exercising the whole stack: parser → evaluation → measures →
+// constraints → comparisons.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "constraints/fd.h"
+#include "core/comparison.h"
+#include "core/conditional.h"
+#include "core/measure.h"
+#include "core/support.h"
+#include "core/support_polynomial.h"
+#include "core/ucq_compare.h"
+#include "gen/scenarios.h"
+#include "query/eval.h"
+#include "query/parser.h"
+
+namespace zeroone {
+namespace {
+
+TEST(IntegrationTest, IntroExampleFullStory) {
+  IntroExample example = PaperIntroExample();
+  Tuple a{Value::Constant("c1"), Value::Null("1")};
+  Tuple b{Value::Constant("c2"), Value::Null("2")};
+
+  // 1. Certain answers are empty.
+  EXPECT_TRUE(CertainAnswers(example.query, example.db).empty());
+
+  // 2. Naive evaluation returns exactly (c1,⊥1) and (c2,⊥2).
+  std::vector<Tuple> naive = NaiveEvaluate(example.query, example.db);
+  std::sort(naive.begin(), naive.end());
+  std::vector<Tuple> expected = {a, b};
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(naive, expected);
+
+  // 3. Both are almost certainly true (µ = 1) but not certain.
+  EXPECT_EQ(MuLimit(example.query, example.db, a), 1);
+  EXPECT_EQ(MuLimit(example.query, example.db, b), 1);
+  EXPECT_FALSE(IsCertainAnswer(example.query, example.db, a));
+  EXPECT_FALSE(IsCertainAnswer(example.query, example.db, b));
+
+  // 4. The measure computed from its very definition agrees (0–1 law).
+  EXPECT_EQ(MuViaPolynomial(example.query, example.db, a), Rational(1));
+  EXPECT_EQ(MuViaPolynomial(example.query, example.db, b), Rational(1));
+
+  // 5. Every valuation supporting (c1,⊥1) supports (c2,⊥2), not conversely
+  //    (because v(⊥3) could be c1): a ◁ b.
+  EXPECT_TRUE(WeaklyDominated(example.query, example.db, a, b));
+  EXPECT_TRUE(StrictlyDominated(example.query, example.db, a, b));
+
+  // 6. No other tuple has more support: b ∈ Best(Q,D).
+  std::vector<Tuple> best = BestAnswers(example.query, example.db);
+  EXPECT_TRUE(std::count(best.begin(), best.end(), b));
+  EXPECT_FALSE(std::count(best.begin(), best.end(), a));
+
+  // 7. Under the FD customer → product, both answers become almost
+  //    certainly false: all Q(v(D)) are empty for admissible v.
+  std::vector<FunctionalDependency> fds = {
+      FunctionalDependency("R1", 2, {0}, 1),
+      FunctionalDependency("R2", 2, {0}, 1)};
+  EXPECT_EQ(ConditionalMuViaChase(example.query, fds, example.db, a), 0);
+  EXPECT_EQ(ConditionalMuViaChase(example.query, fds, example.db, b), 0);
+  // Cross-check with the exact partition-polynomial computation.
+  ConstraintSet constraints;
+  for (const FunctionalDependency& fd : fds) {
+    constraints.push_back(std::make_shared<FunctionalDependency>(fd));
+  }
+  EXPECT_EQ(ConditionalMu(example.query, constraints, example.db, a),
+            Rational(0));
+  EXPECT_EQ(ConditionalMu(example.query, constraints, example.db, b),
+            Rational(0));
+}
+
+TEST(IntegrationTest, MuKConvergenceIsMonotoneTowardOne) {
+  // The intro example's likely answers: µ^k increases in k toward 1.
+  IntroExample example = PaperIntroExample();
+  Tuple a{Value::Constant("c1"), Value::Null("1")};
+  Rational previous(0);
+  for (std::size_t k = 4; k <= 16; k += 4) {
+    Rational current = MuK(example.query, example.db, a, k);
+    EXPECT_GT(current, previous) << k;
+    previous = current;
+  }
+  EXPECT_GT(previous, Rational(4, 5));
+}
+
+TEST(IntegrationTest, ScaledIntroNaiveAnswersAreAlmostCertain) {
+  IntroExample example = ScaledIntroExample(20, 5, 0.3, 7);
+  std::vector<Tuple> naive = NaiveEvaluate(example.query, example.db);
+  for (const Tuple& t : naive) {
+    EXPECT_EQ(MuLimit(example.query, example.db, t), 1);
+  }
+}
+
+TEST(IntegrationTest, BestAnswersViaBothAlgorithmsOnUcq) {
+  // A UCQ over the intro database: the generic and the polynomial
+  // algorithms agree end to end.
+  IntroExample example = PaperIntroExample();
+  StatusOr<Query> q = [] {
+    return ParseQuery("Q(x) := (exists y . R1(x, y)) | (exists y . R2(x, y))");
+  }();
+  ASSERT_TRUE(q.ok());
+  std::vector<Tuple> generic = BestAnswers(*q, example.db);
+  StatusOr<std::vector<Tuple>> fast = UcqBestAnswers(*q, example.db);
+  ASSERT_TRUE(fast.ok());
+  std::vector<Tuple> fast_sorted = *fast;
+  std::sort(generic.begin(), generic.end());
+  std::sort(fast_sorted.begin(), fast_sorted.end());
+  EXPECT_EQ(generic, fast_sorted);
+}
+
+}  // namespace
+}  // namespace zeroone

@@ -1,0 +1,133 @@
+#include "data/isomorphism.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <random>
+
+#include "constraints/fd.h"
+#include "data/io.h"
+#include "gen/random_db.h"
+
+namespace zeroone {
+namespace {
+
+Database Db(const char* text) {
+  StatusOr<Database> db = ParseDatabase(text);
+  EXPECT_TRUE(db.ok()) << db.status().message();
+  return std::move(db).value();
+}
+
+TEST(IsomorphismTest, RenamedNullsAreIsomorphic) {
+  Database a = Db("R(2) = { (x, _i1), (_i1, _i2) }");
+  Database b = Db("R(2) = { (x, _j1), (_j1, _j2) }");
+  EXPECT_TRUE(AreIsomorphic(a, b));
+}
+
+TEST(IsomorphismTest, DifferentNullStructureIsNot) {
+  // a correlates the two occurrences; b does not.
+  Database a = Db("R(2) = { (x, _k1), (_k1, y) }");
+  Database b = Db("R(2) = { (x, _k2), (_k3, y) }");
+  EXPECT_FALSE(AreIsomorphic(a, b));
+}
+
+TEST(IsomorphismTest, ConstantsMustMatchExactly) {
+  Database a = Db("R(1) = { (p) }");
+  Database b = Db("R(1) = { (q) }");
+  EXPECT_FALSE(AreIsomorphic(a, b));
+  EXPECT_TRUE(AreIsomorphic(a, a));
+}
+
+TEST(IsomorphismTest, PermutedInterchangeableNulls) {
+  // Two nulls with identical roles; any bijection works.
+  Database a = Db("R(1) = { (_m1), (_m2) }");
+  Database b = Db("R(1) = { (_m3), (_m4) }");
+  EXPECT_TRUE(AreIsomorphic(a, b));
+}
+
+TEST(IsomorphismTest, CrossRelationCorrelationChecked) {
+  Database a = Db("R(1) = { (_c1) }  S(1) = { (_c1) }");
+  Database b = Db("R(1) = { (_c2) }  S(1) = { (_c3) }");
+  // a shares its null across relations; b does not (and has a different
+  // null count, caught early).
+  EXPECT_FALSE(AreIsomorphic(a, b));
+}
+
+TEST(IsomorphismTest, RandomRenamingsAlwaysIsomorphic) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    RandomDatabaseOptions options;
+    options.relations = {{"R", 2, 5}, {"S", 1, 3}};
+    options.constant_pool = 3;
+    options.null_pool = 3;
+    options.null_probability = 0.5;
+    options.seed = seed + 40000;
+    Database db = GenerateRandomDatabase(options);
+    // Rename every null freshly (bijectively); valuations target constants,
+    // so build the null-to-null map directly.
+    std::map<Value, Value> map;
+    for (Value null : db.Nulls()) map[null] = Value::FreshNull();
+    Database renamed(db.schema());
+    for (const auto& [name, rel] : db.relations()) {
+      for (const Tuple& t : rel) {
+        std::vector<Value> values;
+        for (Value v : t) {
+          values.push_back(v.is_null() ? map[v] : v);
+        }
+        renamed.mutable_relation(name).Insert(Tuple(values));
+      }
+    }
+    EXPECT_TRUE(AreIsomorphic(db, renamed)) << db.ToString();
+  }
+}
+
+TEST(CoddTest, Detection) {
+  EXPECT_TRUE(HasOnlyCoddNulls(Db("R(2) = { (a, _cd1), (b, _cd2) }")));
+  EXPECT_FALSE(HasOnlyCoddNulls(Db("R(2) = { (a, _cd3), (b, _cd3) }")));
+  EXPECT_TRUE(HasOnlyCoddNulls(Db("R(2) = { (a, b) }")));
+}
+
+TEST(CoddTest, WeakeningForgetsCorrelations) {
+  Database marked = Db("R(2) = { (a, _cw1), (b, _cw1) }");
+  Database codd = CoddWeakening(marked);
+  EXPECT_TRUE(HasOnlyCoddNulls(codd));
+  EXPECT_EQ(codd.relation("R").size(), 2u);
+  EXPECT_EQ(codd.Nulls().size(), 2u);  // The shared null split in two.
+  EXPECT_FALSE(AreIsomorphic(marked, codd));
+}
+
+// The chase is Church–Rosser up to null renaming: shuffling the FD order
+// yields isomorphic results (Section 4.4).
+class ChaseConfluence : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChaseConfluence, OrderInvariantUpToRenaming) {
+  RandomDatabaseOptions options;
+  options.relations = {{"R", 3, 5}};
+  options.constant_pool = 2;
+  options.null_pool = 3;
+  options.null_probability = 0.5;
+  options.seed = static_cast<std::uint64_t>(GetParam()) + 41000;
+  Database db = GenerateRandomDatabase(options);
+
+  std::vector<FunctionalDependency> fds = {
+      FunctionalDependency("R", 3, {0}, 1),
+      FunctionalDependency("R", 3, {0}, 2),
+      FunctionalDependency("R", 3, {1}, 2)};
+  ChaseResult forward = ChaseFds(fds, db);
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) + 42000);
+  std::shuffle(fds.begin(), fds.end(), rng);
+  ChaseResult shuffled = ChaseFds(fds, db);
+
+  EXPECT_EQ(forward.success, shuffled.success);
+  if (forward.success) {
+    EXPECT_TRUE(AreIsomorphic(forward.database, shuffled.database))
+        << db.ToString() << "\n--- forward ---\n"
+        << forward.database.ToString() << "\n--- shuffled ---\n"
+        << shuffled.database.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaseConfluence, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace zeroone

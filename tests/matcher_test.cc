@@ -1,0 +1,131 @@
+#include "query/matcher.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "data/io.h"
+#include "gen/random_db.h"
+#include "gen/random_query.h"
+#include "query/eval.h"
+#include "query/parser.h"
+
+namespace zeroone {
+namespace {
+
+Database Db(const char* text) {
+  StatusOr<Database> db = ParseDatabase(text);
+  EXPECT_TRUE(db.ok()) << db.status().message();
+  return std::move(db).value();
+}
+
+Query Q(const char* text) {
+  StatusOr<Query> q = ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << q.status().message();
+  return std::move(q).value();
+}
+
+TEST(MatcherTest, SimpleJoin) {
+  Database db = Db("E(2) = { (a, b), (b, c), (c, d) }");
+  Query q = Q("Q(x, z) := exists y . E(x, y) & E(y, z)");
+  StatusOr<std::vector<Tuple>> answers = UcqEvaluate(q, db);
+  ASSERT_TRUE(answers.ok());
+  EXPECT_EQ(answers->size(), 2u);  // (a,c) and (b,d).
+  StatusOr<bool> member = UcqMembership(
+      q, db, Tuple{Value::Constant("a"), Value::Constant("c")});
+  ASSERT_TRUE(member.ok());
+  EXPECT_TRUE(*member);
+}
+
+TEST(MatcherTest, RejectsNonUcq) {
+  Database db = Db("E(2) = { (a, b) }");
+  EXPECT_FALSE(UcqEvaluate(Q("Q(x) := !(exists y . E(x, y))"), db).ok());
+}
+
+TEST(MatcherTest, EqualitiesPinVariables) {
+  Database db = Db("R(2) = { (a, b), (b, b) }");
+  Query q = Q("Q(x) := exists y . R(x, y) & x = y");
+  StatusOr<std::vector<Tuple>> answers = UcqEvaluate(q, db);
+  ASSERT_TRUE(answers.ok());
+  ASSERT_EQ(answers->size(), 1u);
+  EXPECT_EQ((*answers)[0], Tuple{Value::Constant("b")});
+}
+
+TEST(MatcherTest, NullsMatchSyntactically) {
+  Database db = Db("R(2) = { (_m1, _m2), (_m1, _m1) }");
+  Query q = Q("Q(x) := R(x, x)");
+  StatusOr<std::vector<Tuple>> answers = UcqEvaluate(q, db);
+  ASSERT_TRUE(answers.ok());
+  ASSERT_EQ(answers->size(), 1u);
+  EXPECT_EQ((*answers)[0], Tuple{Value::Null("m1")});
+}
+
+// Property sweep: the backtracking matcher agrees with the exhaustive
+// evaluator on random UCQ/database pairs.
+class MatcherAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatcherAgreement, MatchesExhaustiveEvaluator) {
+  RandomDatabaseOptions db_options;
+  db_options.relations = {{"R", 2, 6}, {"S", 1, 4}, {"T", 3, 3}};
+  db_options.constant_pool = 5;
+  db_options.null_pool = 3;
+  db_options.null_probability = 0.3;
+  db_options.seed = static_cast<std::uint64_t>(GetParam());
+  Database db = GenerateRandomDatabase(db_options);
+
+  RandomQueryOptions q_options;
+  q_options.relations = {{"R", 2}, {"S", 1}, {"T", 3}};
+  q_options.free_variables = (GetParam() % 2) + 1;
+  q_options.existential_variables = 2;
+  q_options.clauses = 2;
+  q_options.atoms_per_clause = 2;
+  q_options.constant_pool = 3;
+  q_options.seed = static_cast<std::uint64_t>(GetParam()) + 500;
+  Query ucq = GenerateRandomUcq(q_options);
+
+  std::vector<Tuple> exhaustive = EvaluateQuery(ucq, db);
+  StatusOr<std::vector<Tuple>> fast = UcqEvaluate(ucq, db);
+  ASSERT_TRUE(fast.ok()) << fast.status().message();
+  std::sort(exhaustive.begin(), exhaustive.end());
+  // UcqEvaluate returns sorted unique answers already.
+  EXPECT_EQ(*fast, exhaustive)
+      << "query: " << ucq.ToString() << "\ndb:\n" << db.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatcherAgreement, ::testing::Range(0, 30));
+
+// Membership agrees with the exhaustive membership on every candidate.
+class MatcherMembershipAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(MatcherMembershipAgreement, AllCandidates) {
+  RandomDatabaseOptions db_options;
+  db_options.relations = {{"R", 2, 5}, {"S", 1, 3}};
+  db_options.constant_pool = 4;
+  db_options.null_pool = 2;
+  db_options.null_probability = 0.35;
+  db_options.seed = static_cast<std::uint64_t>(GetParam()) + 77;
+  Database db = GenerateRandomDatabase(db_options);
+
+  RandomQueryOptions q_options;
+  q_options.relations = {{"R", 2}, {"S", 1}};
+  q_options.free_variables = 1;
+  q_options.existential_variables = 1;
+  q_options.clauses = 2;
+  q_options.atoms_per_clause = 2;
+  q_options.seed = static_cast<std::uint64_t>(GetParam()) + 600;
+  Query ucq = GenerateRandomUcq(q_options);
+
+  for (Value v : db.ActiveDomain()) {
+    Tuple candidate{v};
+    StatusOr<bool> fast = UcqMembership(ucq, db, candidate);
+    ASSERT_TRUE(fast.ok());
+    EXPECT_EQ(*fast, EvaluateMembership(ucq, db, candidate))
+        << candidate.ToString() << " on " << ucq.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatcherMembershipAgreement,
+                         ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace zeroone

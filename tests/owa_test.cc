@@ -1,0 +1,79 @@
+#include "core/owa.h"
+
+#include <gtest/gtest.h>
+
+#include "core/measure.h"
+#include "data/io.h"
+#include "gen/scenarios.h"
+#include "query/parser.h"
+
+namespace zeroone {
+namespace {
+
+Query Q(const char* text) {
+  StatusOr<Query> q = ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << q.status().message();
+  return std::move(q).value();
+}
+
+TEST(OwaTest, Proposition2ExactSeries) {
+  // D: empty unary U. owa-m^k(¬∃x U(x), D) = 2^{-k} — naive evaluation is
+  // true, yet the measure goes to 0. Dually for ∃x U(x).
+  OwaExample example = Proposition2Example();
+  for (std::size_t k = 1; k <= 6; ++k) {
+    StatusOr<Rational> q1 = OwaMK(example.q1, example.db, k);
+    ASSERT_TRUE(q1.ok()) << q1.status().message();
+    EXPECT_EQ(*q1, Rational(BigInt(1),
+                            BigInt::Pow(BigInt(2), static_cast<unsigned>(k))))
+        << k;
+    StatusOr<Rational> q2 = OwaMK(example.q2, example.db, k);
+    ASSERT_TRUE(q2.ok());
+    EXPECT_EQ(*q2, Rational(1) - *q1) << k;
+  }
+  // The naive evaluations point the other way (Proposition 2).
+  EXPECT_EQ(MuLimit(example.q1, example.db), 1);
+  EXPECT_EQ(MuLimit(example.q2, example.db), 0);
+}
+
+TEST(OwaTest, DatabaseTuplesAlwaysPresent) {
+  // With D = {U(a)}, every OWA world contains a: ∃x U(x) has owa-m^k = 1.
+  StatusOr<Database> db = ParseDatabase("U(1) = { (a) }");
+  ASSERT_TRUE(db.ok());
+  StatusOr<Rational> present = OwaMK(Q(":= exists x . U(x)"), *db, 3);
+  ASSERT_TRUE(present.ok());
+  EXPECT_EQ(*present, Rational(1));
+  // U(a) itself is certain under OWA.
+  StatusOr<Rational> specific = OwaMK(Q(":= U(a)"), *db, 3);
+  ASSERT_TRUE(specific.ok());
+  EXPECT_EQ(*specific, Rational(1));
+}
+
+TEST(OwaTest, NullConstrainedWorlds) {
+  // D = {U(⊥)}: every world contains some element, so ∃x U(x) is certain;
+  // U(a) holds in the worlds where either v(⊥) = a or a was added freely.
+  StatusOr<Database> db = ParseDatabase("U(1) = { (_ow1) }");
+  ASSERT_TRUE(db.ok());
+  StatusOr<Rational> any = OwaMK(Q(":= exists x . U(x)"), *db, 3);
+  ASSERT_TRUE(any.ok());
+  EXPECT_EQ(*any, Rational(1));
+  StatusOr<Rational> specific = OwaMK(Q(":= U(a)"), *db, 3);
+  ASSERT_TRUE(specific.ok());
+  EXPECT_GT(*specific, Rational(1, 2));
+  EXPECT_LT(*specific, Rational(1));
+}
+
+TEST(OwaTest, GuardRejectsLargeInstances) {
+  StatusOr<Database> db = ParseDatabase("R(3) = { (a, b, c) }");
+  ASSERT_TRUE(db.ok());
+  // k = 4 gives 4^3 = 64 cells > default guard.
+  EXPECT_FALSE(OwaMK(Q(":= exists x . R(x, x, x)"), *db, 4).ok());
+}
+
+TEST(OwaTest, RejectsNonBoolean) {
+  StatusOr<Database> db = ParseDatabase("U(1) = { (a) }");
+  ASSERT_TRUE(db.ok());
+  EXPECT_FALSE(OwaMK(Q("Q(x) := U(x)"), *db, 2).ok());
+}
+
+}  // namespace
+}  // namespace zeroone

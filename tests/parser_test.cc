@@ -1,0 +1,136 @@
+#include "query/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "query/fragments.h"
+
+namespace zeroone {
+namespace {
+
+TEST(ParserTest, ParsesIntroQuery) {
+  StatusOr<Query> q = ParseQuery("Q(x, y) := R1(x, y) & !R2(x, y)");
+  ASSERT_TRUE(q.ok()) << q.status().message();
+  EXPECT_EQ(q->name(), "Q");
+  EXPECT_EQ(q->arity(), 2u);
+  EXPECT_EQ(q->formula()->kind(), Formula::Kind::kAnd);
+  EXPECT_EQ(q->ToString(), "Q(x, y) := (R1(x, y) & !(R2(x, y)))");
+}
+
+TEST(ParserTest, BooleanQueryWithoutHead) {
+  StatusOr<Query> q = ParseQuery(":= exists x . U(x)");
+  ASSERT_TRUE(q.ok()) << q.status().message();
+  EXPECT_TRUE(q->is_boolean());
+  StatusOr<Query> bare = ParseQuery("exists x . U(x)");
+  ASSERT_TRUE(bare.ok()) << bare.status().message();
+  EXPECT_TRUE(bare->is_boolean());
+}
+
+TEST(ParserTest, UndeclaredIdentifiersAreConstants) {
+  StatusOr<Query> q = ParseQuery("phi(x) := exists y . E(c, y) & E(y, x)");
+  ASSERT_TRUE(q.ok()) << q.status().message();
+  std::vector<Value> constants = q->GenericityConstants();
+  ASSERT_EQ(constants.size(), 1u);
+  EXPECT_EQ(constants[0], Value::Constant("c"));
+}
+
+TEST(ParserTest, NumbersAndStringsAreConstants) {
+  StatusOr<Query> q = ParseQuery("Q(x) := R(x, 42) | R(x, 'forty two')");
+  ASSERT_TRUE(q.ok()) << q.status().message();
+  EXPECT_EQ(q->GenericityConstants().size(), 2u);
+}
+
+TEST(ParserTest, MultiVariableQuantifier) {
+  StatusOr<Query> q = ParseQuery(":= exists x, y, z . R(x, y) & R(y, z)");
+  ASSERT_TRUE(q.ok()) << q.status().message();
+  // Three nested Exists.
+  const Formula* f = q->formula().get();
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(f->kind(), Formula::Kind::kExists) << i;
+    f = f->children()[0].get();
+  }
+  EXPECT_EQ(f->kind(), Formula::Kind::kAnd);
+}
+
+TEST(ParserTest, ImplicationAndForall) {
+  StatusOr<Query> q = ParseQuery(":= forall x . U(x) -> (R(x) & !S(x))");
+  ASSERT_TRUE(q.ok()) << q.status().message();
+  ASSERT_EQ(q->formula()->kind(), Formula::Kind::kForall);
+  EXPECT_EQ(q->formula()->children()[0]->kind(), Formula::Kind::kImplies);
+}
+
+TEST(ParserTest, EqualityAndInequality) {
+  StatusOr<Query> q = ParseQuery("Q(x, y) := R(x, y) & x != y & y = 3");
+  ASSERT_TRUE(q.ok()) << q.status().message();
+  EXPECT_EQ(q->formula()->children().size(), 3u);
+  EXPECT_EQ(q->formula()->children()[1]->kind(), Formula::Kind::kNot);
+  EXPECT_EQ(q->formula()->children()[2]->kind(), Formula::Kind::kEquals);
+}
+
+TEST(ParserTest, PrecedenceAndOverOr) {
+  StatusOr<Query> q = ParseQuery(":= A() & B() | C()");
+  ASSERT_TRUE(q.ok()) << q.status().message();
+  // (A & B) | C.
+  ASSERT_EQ(q->formula()->kind(), Formula::Kind::kOr);
+  EXPECT_EQ(q->formula()->children()[0]->kind(), Formula::Kind::kAnd);
+}
+
+TEST(ParserTest, QuantifierBodyExtendsRight) {
+  StatusOr<Query> q = ParseQuery(":= A() & exists x . B(x) & C(x)");
+  ASSERT_TRUE(q.ok()) << q.status().message();
+  // A & (exists x . (B & C)).
+  ASSERT_EQ(q->formula()->kind(), Formula::Kind::kAnd);
+  ASSERT_EQ(q->formula()->children()[1]->kind(), Formula::Kind::kExists);
+  EXPECT_EQ(q->formula()->children()[1]->children()[0]->kind(),
+            Formula::Kind::kAnd);
+}
+
+TEST(ParserTest, TrueFalseLiterals) {
+  EXPECT_TRUE(ParseQuery(":= true").ok());
+  EXPECT_TRUE(ParseQuery(":= false | R()").ok());
+}
+
+TEST(ParserTest, ZeroAryAtom) {
+  StatusOr<Query> q = ParseQuery(":= P()");
+  ASSERT_TRUE(q.ok()) << q.status().message();
+  EXPECT_EQ(q->formula()->kind(), Formula::Kind::kAtom);
+  EXPECT_TRUE(q->formula()->terms().empty());
+}
+
+TEST(ParserTest, RepeatedHeadVariable) {
+  StatusOr<Query> q = ParseQuery("Q(x, x) := R(x)");
+  ASSERT_TRUE(q.ok()) << q.status().message();
+  EXPECT_EQ(q->arity(), 2u);
+  EXPECT_EQ(q->free_variables()[0], q->free_variables()[1]);
+}
+
+TEST(ParserTest, ErrorCases) {
+  EXPECT_FALSE(ParseQuery("").ok());
+  EXPECT_FALSE(ParseQuery("Q(x) := R(x").ok());          // Unclosed atom.
+  EXPECT_FALSE(ParseQuery("Q(x) :=").ok());              // Missing body.
+  EXPECT_FALSE(ParseQuery(":= exists . R(x)").ok());     // Missing variable.
+  EXPECT_FALSE(ParseQuery(":= R(x) &").ok());            // Dangling operator.
+  EXPECT_FALSE(ParseQuery(":= R(x) R(y)").ok());         // Trailing input.
+  EXPECT_FALSE(ParseQuery(":= 'unterminated").ok());
+  // Note: "Q() := R(x)" is *not* an error — undeclared x is a constant.
+}
+
+TEST(ParserTest, FreeVariableInBodyMustBeInHead) {
+  // y is free in the body but not declared: it becomes a *constant* by the
+  // undeclared-identifier rule, so this parses — with y a constant.
+  StatusOr<Query> q = ParseQuery("Q(x) := R(x, y)");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->GenericityConstants().size(), 1u);
+}
+
+TEST(ParserTest, SubstituteProducesBooleanQuery) {
+  StatusOr<Query> q = ParseQuery("Q(x, y) := R(x, y) & !S(x, y)");
+  ASSERT_TRUE(q.ok());
+  Tuple t{Value::Constant("a"), Value::Null("p1")};
+  Query boolean = q->Substitute(t);
+  EXPECT_TRUE(boolean.is_boolean());
+  EXPECT_EQ(boolean.formula()->MentionedNulls().size(), 1u);
+  EXPECT_EQ(boolean.formula()->MentionedConstants().size(), 1u);
+}
+
+}  // namespace
+}  // namespace zeroone

@@ -1,0 +1,85 @@
+#include "common/polynomial.h"
+
+#include <gtest/gtest.h>
+
+namespace zeroone {
+namespace {
+
+TEST(PolynomialTest, ZeroAndDegree) {
+  Polynomial zero;
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_EQ(zero.degree(), -1);
+  EXPECT_EQ(zero.ToString(), "0");
+  Polynomial constant = Polynomial::Constant(Rational(5));
+  EXPECT_EQ(constant.degree(), 0);
+  EXPECT_EQ(constant.ToString(), "5");
+}
+
+TEST(PolynomialTest, TrimsLeadingZeros) {
+  Polynomial p({Rational(1), Rational(0), Rational(0)});
+  EXPECT_EQ(p.degree(), 0);
+  Polynomial q = Polynomial::Monomial(Rational(1), 2) -
+                 Polynomial::Monomial(Rational(1), 2);
+  EXPECT_TRUE(q.is_zero());
+}
+
+TEST(PolynomialTest, ArithmeticAndEvaluation) {
+  // p = k^2 + 2k + 1 = (k+1)^2.
+  Polynomial p({Rational(1), Rational(2), Rational(1)});
+  Polynomial k_plus_1({Rational(1), Rational(1)});
+  EXPECT_EQ(p, k_plus_1 * k_plus_1);
+  EXPECT_EQ(p.Evaluate(BigInt(9)), Rational(100));
+  EXPECT_EQ((p - p).degree(), -1);
+  EXPECT_EQ((p * Rational(1, 2)).Evaluate(BigInt(9)), Rational(50));
+}
+
+TEST(PolynomialTest, FallingFactorialExpansion) {
+  // (k-2)(k-3)(k-4) at k = 10: 8*7*6 = 336.
+  Polynomial f = Polynomial::FallingFactorial(2, 3);
+  EXPECT_EQ(f.degree(), 3);
+  EXPECT_EQ(f.Evaluate(BigInt(10)), Rational(336));
+  EXPECT_EQ(f.Evaluate(BigInt(4)), Rational(0));
+  // Count 0 is the constant 1.
+  EXPECT_EQ(Polynomial::FallingFactorial(5, 0), Polynomial::Constant(Rational(1)));
+}
+
+TEST(PolynomialTest, FallingFactorialPartitionIdentity) {
+  // Σ over kernel structure: for m = 2 nulls and a = 2 prefix constants,
+  //   k^2 = Σ_ρ Σ_σ (k−a)_f
+  // where ρ ranges over the 2 partitions of a 2-set and σ over injective
+  // partial maps into A. Spot-check the identity numerically at several k.
+  // ρ = {{0},{1}} (t=2): σ options: both free (k−2)(k−3); one of 2 blocks →
+  // one of 2 constants, other free: 4·(k−2); both assigned injectively:
+  // 2 permutations. ρ = {{0,1}} (t=1): free (k−2) or assigned: 2.
+  for (std::int64_t k : {2, 3, 5, 10}) {
+    Polynomial total =
+        Polynomial::FallingFactorial(2, 2) +
+        Polynomial::FallingFactorial(2, 1) * Rational(4) +
+        Polynomial::Constant(Rational(2)) +
+        Polynomial::FallingFactorial(2, 1) + Polynomial::Constant(Rational(2));
+    EXPECT_EQ(total.Evaluate(BigInt(k)), Rational(k * k)) << k;
+  }
+}
+
+TEST(PolynomialTest, ToStringFormatting) {
+  Polynomial p({Rational(7), Rational(-1, 2), Rational(0), Rational(2)});
+  EXPECT_EQ(p.ToString(), "2*k^3 - 1/2*k + 7");
+  Polynomial q({Rational(0), Rational(1)});
+  EXPECT_EQ(q.ToString(), "k");
+  EXPECT_EQ(q.ToString("n"), "n");
+  Polynomial negative({Rational(0), Rational(0), Rational(-1)});
+  EXPECT_EQ(negative.ToString(), "-k^2");
+}
+
+TEST(PolynomialTest, LimitOfRatio) {
+  Polynomial p({Rational(5), Rational(3)});       // 3k + 5
+  Polynomial q({Rational(0), Rational(0), Rational(2)});  // 2k^2
+  EXPECT_EQ(LimitOfRatio(p, q), Rational(0));     // Lower degree → 0.
+  EXPECT_EQ(LimitOfRatio(q, q), Rational(1));
+  Polynomial r({Rational(1), Rational(0), Rational(1, 3)});  // k^2/3 + 1
+  EXPECT_EQ(LimitOfRatio(r, q), Rational(1, 6));
+  EXPECT_EQ(LimitOfRatio(Polynomial(), q), Rational(0));
+}
+
+}  // namespace
+}  // namespace zeroone

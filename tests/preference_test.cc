@@ -1,0 +1,216 @@
+#include "core/preference.h"
+
+#include <gtest/gtest.h>
+
+#include "core/measure.h"
+#include "core/support.h"
+#include "data/io.h"
+#include "gen/random_db.h"
+#include "gen/random_query.h"
+#include "query/parser.h"
+
+namespace zeroone {
+namespace {
+
+Database Db(const char* text) {
+  StatusOr<Database> db = ParseDatabase(text);
+  EXPECT_TRUE(db.ok()) << db.status().message();
+  return std::move(db).value();
+}
+
+Query Q(const char* text) {
+  StatusOr<Query> q = ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << q.status().message();
+  return std::move(q).value();
+}
+
+TEST(PreferenceTest, EmptyTablesDegenerateToZeroOneLaw) {
+  Database db = Db("R(2) = { (a, _pf1), (_pf2, b) }");
+  Query q = Q(":= exists x . R(a, x)");
+  StatusOr<Rational> mu = PreferenceMuLimit(q, db, Tuple{}, {});
+  ASSERT_TRUE(mu.ok());
+  EXPECT_EQ(*mu, Rational(MuLimit(q, db)));
+}
+
+TEST(PreferenceTest, SingleNullPointMass) {
+  // ⊥ is b with probability 1: the query R(a,b) holds with probability 1,
+  // R(a,c) with probability 0.
+  Database db = Db("R(2) = { (a, _pm1) }");
+  std::vector<NullPreference> prefs = {
+      {Value::Null("pm1"), {{Value::Constant("b"), Rational(1)}}}};
+  StatusOr<Rational> is_b = PreferenceMuLimit(Q(":= R(a, b)"), db, Tuple{},
+                                              prefs);
+  ASSERT_TRUE(is_b.ok());
+  EXPECT_EQ(*is_b, Rational(1));
+  StatusOr<Rational> is_c = PreferenceMuLimit(Q(":= R(a, c)"), db, Tuple{},
+                                              prefs);
+  ASSERT_TRUE(is_c.ok());
+  EXPECT_EQ(*is_c, Rational(0));
+}
+
+TEST(PreferenceTest, PartialMassSplitsBetweenBranches) {
+  // ⊥ = b with probability 1/3; otherwise generic (almost surely ≠ b).
+  Database db = Db("R(2) = { (a, _ps1) }");
+  std::vector<NullPreference> prefs = {
+      {Value::Null("ps1"), {{Value::Constant("b"), Rational(1, 3)}}}};
+  StatusOr<Rational> is_b =
+      PreferenceMuLimit(Q(":= R(a, b)"), db, Tuple{}, prefs);
+  ASSERT_TRUE(is_b.ok());
+  EXPECT_EQ(*is_b, Rational(1, 3));
+  StatusOr<Rational> not_b = PreferenceMuLimit(
+      Q(":= exists x . R(a, x) & x != b"), db, Tuple{}, prefs);
+  ASSERT_TRUE(not_b.ok());
+  EXPECT_EQ(*not_b, Rational(2, 3));
+}
+
+TEST(PreferenceTest, SoftInclusionConstraintMirrorsSection4Example) {
+  // The Section 4 example's hard IND pinned ⊥ to {1,2,3} and gave
+  // conditional measures 1/3 and 2/3. A uniform preference table over
+  // {1,2,3} reproduces them as *weighted* measures — preferences are the
+  // soft version of the constraint.
+  Database db = Db("R(2) = { (2, 1), (_sp1, _sp1) }  U(1) = { (1), (2), (3) }");
+  Query q = Q("Q(x, y) := R(x, y)");
+  std::vector<NullPreference> prefs = {
+      {Value::Null("sp1"),
+       {{Value::Constant("1"), Rational(1, 3)},
+        {Value::Constant("2"), Rational(1, 3)},
+        {Value::Constant("3"), Rational(1, 3)}}}};
+  StatusOr<Rational> mu_a = PreferenceMuLimit(
+      q, db, Tuple{Value::Constant("1"), Value::Null("sp1")}, prefs);
+  ASSERT_TRUE(mu_a.ok());
+  EXPECT_EQ(*mu_a, Rational(1, 3));
+  StatusOr<Rational> mu_b = PreferenceMuLimit(
+      q, db, Tuple{Value::Constant("2"), Value::Null("sp1")}, prefs);
+  ASSERT_TRUE(mu_b.ok());
+  EXPECT_EQ(*mu_b, Rational(2, 3));
+}
+
+TEST(PreferenceTest, CorrelatedNullsMultiplyWeights) {
+  // Two independent nulls each b with probability 1/2: R(b,b) has
+  // probability 1/4.
+  Database db = Db("R(2) = { (_cw1, _cw2) }");
+  std::vector<NullPreference> prefs = {
+      {Value::Null("cw1"), {{Value::Constant("b"), Rational(1, 2)}}},
+      {Value::Null("cw2"), {{Value::Constant("b"), Rational(1, 2)}}}};
+  StatusOr<Rational> mu =
+      PreferenceMuLimit(Q(":= R(b, b)"), db, Tuple{}, prefs);
+  ASSERT_TRUE(mu.ok());
+  EXPECT_EQ(*mu, Rational(1, 4));
+  // The same null twice is perfectly correlated: S(⊥,⊥) always matches
+  // S(x,x); asking for S(b,b) costs only one factor of 1/2.
+  Database db2 = Db("S(2) = { (_cw3, _cw3) }");
+  std::vector<NullPreference> prefs2 = {
+      {Value::Null("cw3"), {{Value::Constant("b"), Rational(1, 2)}}}};
+  StatusOr<Rational> mu2 =
+      PreferenceMuLimit(Q(":= S(b, b)"), db2, Tuple{}, prefs2);
+  ASSERT_TRUE(mu2.ok());
+  EXPECT_EQ(*mu2, Rational(1, 2));
+}
+
+TEST(PreferenceTest, ValidationErrors) {
+  Database db = Db("R(1) = { (_ve1) }");
+  Query q = Q(":= exists x . R(x)");
+  // Mass over 1.
+  EXPECT_FALSE(PreferenceMuLimit(
+                   q, db, Tuple{},
+                   {{Value::Null("ve1"),
+                     {{Value::Constant("a"), Rational(2, 3)},
+                      {Value::Constant("b"), Rational(1, 2)}}}})
+                   .ok());
+  // Duplicate constant.
+  EXPECT_FALSE(PreferenceMuLimit(
+                   q, db, Tuple{},
+                   {{Value::Null("ve1"),
+                     {{Value::Constant("a"), Rational(1, 4)},
+                      {Value::Constant("a"), Rational(1, 4)}}}})
+                   .ok());
+  // Non-null key.
+  EXPECT_FALSE(PreferenceMuLimit(q, db, Tuple{},
+                                 {{Value::Constant("a"), {}}})
+                   .ok());
+  // Duplicate table.
+  EXPECT_FALSE(PreferenceMuLimit(q, db, Tuple{},
+                                 {{Value::Null("ve1"), {}},
+                                  {Value::Null("ve1"), {}}})
+                   .ok());
+}
+
+// The finite-k weighted measure converges to the closed-form limit.
+class PreferenceConvergence : public ::testing::TestWithParam<int> {};
+
+TEST_P(PreferenceConvergence, FiniteKApproachesLimit) {
+  RandomDatabaseOptions db_options;
+  db_options.relations = {{"R", 2, 3}};
+  db_options.constant_pool = 3;
+  db_options.null_pool = 2;
+  db_options.null_probability = 0.5;
+  db_options.seed = static_cast<std::uint64_t>(GetParam()) + 30000;
+  Database db = GenerateRandomDatabase(db_options);
+  if (db.Nulls().empty()) GTEST_SKIP();
+
+  RandomQueryOptions q_options;
+  q_options.relations = {{"R", 2}};
+  q_options.free_variables = 0;
+  q_options.existential_variables = 2;
+  q_options.clauses = 2;
+  q_options.atoms_per_clause = 2;
+  q_options.seed = static_cast<std::uint64_t>(GetParam()) + 30100;
+  Query query = GenerateRandomFo(q_options, 0.3);
+
+  std::vector<NullPreference> prefs = {
+      {db.Nulls()[0],
+       {{Value::Constant("c0"), Rational(1, 2)},
+        {Value::Constant("c1"), Rational(1, 4)}}}};
+
+  StatusOr<Rational> limit = PreferenceMuLimit(query, db, Tuple{}, prefs);
+  ASSERT_TRUE(limit.ok());
+  // |pref-µ^k − limit| shrinks with k (collision terms are O(1/k)).
+  StatusOr<Rational> at8 = PreferenceMuK(query, db, Tuple{}, prefs, 8);
+  StatusOr<Rational> at16 = PreferenceMuK(query, db, Tuple{}, prefs, 16);
+  ASSERT_TRUE(at8.ok() && at16.ok());
+  auto gap = [&](const Rational& x) {
+    Rational d = x - *limit;
+    return d.sign() < 0 ? -d : d;
+  };
+  EXPECT_LE(gap(*at16), gap(*at8))
+      << query.ToString() << "\n" << db.ToString();
+  // And the gap at k=16 is already small.
+  EXPECT_LT(gap(*at16), Rational(1, 4));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PreferenceConvergence, ::testing::Range(0, 20));
+
+// With empty preferences, the finite-k weighted measure *equals* µ^k.
+class PreferenceUniformAgreement : public ::testing::TestWithParam<int> {};
+
+TEST_P(PreferenceUniformAgreement, MatchesMuK) {
+  RandomDatabaseOptions db_options;
+  db_options.relations = {{"R", 2, 3}};
+  db_options.constant_pool = 2;
+  db_options.null_pool = 2;
+  db_options.null_probability = 0.5;
+  db_options.seed = static_cast<std::uint64_t>(GetParam()) + 31000;
+  Database db = GenerateRandomDatabase(db_options);
+
+  RandomQueryOptions q_options;
+  q_options.relations = {{"R", 2}};
+  q_options.free_variables = 0;
+  q_options.existential_variables = 2;
+  q_options.clauses = 1;
+  q_options.atoms_per_clause = 2;
+  q_options.seed = static_cast<std::uint64_t>(GetParam()) + 31100;
+  Query query = GenerateRandomFo(q_options, 0.3);
+
+  for (std::size_t k = 5; k <= 7; ++k) {
+    StatusOr<Rational> weighted =
+        PreferenceMuK(query, db, Tuple{}, {}, k);
+    ASSERT_TRUE(weighted.ok());
+    EXPECT_EQ(*weighted, MuK(query, db, k)) << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PreferenceUniformAgreement,
+                         ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace zeroone

@@ -1,0 +1,107 @@
+#include "algebra/ra_parser.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "data/io.h"
+#include "query/eval.h"
+
+namespace zeroone {
+namespace {
+
+Database Db(const char* text) {
+  StatusOr<Database> db = ParseDatabase(text);
+  EXPECT_TRUE(db.ok()) << db.status().message();
+  return std::move(db).value();
+}
+
+TEST(RaParserTest, BaseRelationAndArity) {
+  Database db = Db("R(2) = { (a, b) }");
+  StatusOr<RaExprPtr> expr = ParseRaExpr("R", db.schema());
+  ASSERT_TRUE(expr.ok()) << expr.status().message();
+  EXPECT_EQ((*expr)->arity(), 2u);
+  EXPECT_FALSE(ParseRaExpr("Zzz", db.schema()).ok());
+}
+
+TEST(RaParserTest, SelectProjectPipeline) {
+  Database db = Db("R(2) = { (a, b), (a, a), (c, d) }");
+  StatusOr<RaExprPtr> expr =
+      ParseRaExpr("project(select(R, 0 = 1), 0)", db.schema());
+  ASSERT_TRUE(expr.ok()) << expr.status().message();
+  std::vector<Tuple> result = (*expr)->Evaluate(db);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0], Tuple{Value::Constant("a")});
+}
+
+TEST(RaParserTest, ValueConditions) {
+  Database db = Db("R(2) = { (a, b), (c, d) }  N(1) = { (7), (8) }");
+  StatusOr<RaExprPtr> by_string =
+      ParseRaExpr("select(R, 0 = 'a')", db.schema());
+  ASSERT_TRUE(by_string.ok()) << by_string.status().message();
+  EXPECT_EQ((*by_string)->Evaluate(db).size(), 1u);
+  StatusOr<RaExprPtr> by_number =
+      ParseRaExpr("select(N, 0 = #7)", db.schema());
+  ASSERT_TRUE(by_number.ok()) << by_number.status().message();
+  EXPECT_EQ((*by_number)->Evaluate(db).size(), 1u);
+  StatusOr<RaExprPtr> negated =
+      ParseRaExpr("select(R, 0 != 'a')", db.schema());
+  ASSERT_TRUE(negated.ok()) << negated.status().message();
+  EXPECT_EQ((*negated)->Evaluate(db).size(), 1u);
+}
+
+TEST(RaParserTest, JoinTimesUnionMinus) {
+  Database db = Db(
+      "E(2) = { (a, b), (b, c) }  F(2) = { (a, b) }");
+  StatusOr<RaExprPtr> join =
+      ParseRaExpr("project(join(E, E, 1 = 0), 0, 3)", db.schema());
+  ASSERT_TRUE(join.ok()) << join.status().message();
+  std::vector<Tuple> paths = (*join)->Evaluate(db);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0], (Tuple{Value::Constant("a"), Value::Constant("c")}));
+
+  StatusOr<RaExprPtr> minus = ParseRaExpr("E minus F", db.schema());
+  ASSERT_TRUE(minus.ok());
+  EXPECT_EQ((*minus)->Evaluate(db).size(), 1u);
+  StatusOr<RaExprPtr> uni = ParseRaExpr("E union F", db.schema());
+  ASSERT_TRUE(uni.ok());
+  EXPECT_EQ((*uni)->Evaluate(db).size(), 2u);
+  StatusOr<RaExprPtr> times = ParseRaExpr("E times F", db.schema());
+  ASSERT_TRUE(times.ok());
+  EXPECT_EQ((*times)->arity(), 4u);
+}
+
+TEST(RaParserTest, ParenthesesAndPrecedence) {
+  Database db = Db("A(1) = { (x) }  B(1) = { (y) }  C(1) = { (x), (y) }");
+  // minus/union associate left; times binds tighter.
+  StatusOr<RaExprPtr> expr = ParseRaExpr("C minus (A union B)", db.schema());
+  ASSERT_TRUE(expr.ok()) << expr.status().message();
+  EXPECT_TRUE((*expr)->Evaluate(db).empty());
+}
+
+TEST(RaParserTest, ErrorCases) {
+  Database db = Db("R(2) = { (a, b) }");
+  const Schema& schema = db.schema();
+  EXPECT_FALSE(ParseRaExpr("", schema).ok());
+  EXPECT_FALSE(ParseRaExpr("select(R)", schema).ok());      // No condition.
+  EXPECT_FALSE(ParseRaExpr("select(R, 5 = 0)", schema).ok());  // Range.
+  EXPECT_FALSE(ParseRaExpr("project(R, 9)", schema).ok());  // Range.
+  EXPECT_FALSE(ParseRaExpr("R union S3", schema).ok());     // Unknown rel.
+  EXPECT_FALSE(ParseRaExpr("R R", schema).ok());            // Trailing.
+  EXPECT_FALSE(ParseRaExpr("join(R, R, 0 = 9)", schema).ok());
+}
+
+TEST(RaParserTest, ParsedPlanMatchesCompiledQuery) {
+  // End-to-end: parse, evaluate directly, and evaluate the FO compilation;
+  // they agree (on an incomplete database, both are naive).
+  Database db = Db("R1(2) = { (c1, _1), (c2, _2) }  R2(2) = { (c1, _2) }");
+  StatusOr<RaExprPtr> plan = ParseRaExpr("R1 minus R2", db.schema());
+  ASSERT_TRUE(plan.ok());
+  std::vector<Tuple> direct = (*plan)->Evaluate(db);
+  std::vector<Tuple> compiled = EvaluateQuery((*plan)->ToQuery(), db);
+  std::sort(compiled.begin(), compiled.end());
+  EXPECT_EQ(direct, compiled);
+}
+
+}  // namespace
+}  // namespace zeroone

@@ -1,0 +1,135 @@
+#include "core/ranking.h"
+
+#include <gtest/gtest.h>
+
+#include "constraints/ind.h"
+#include "core/comparison.h"
+#include "core/support.h"
+#include "data/io.h"
+#include "gen/scenarios.h"
+#include "query/parser.h"
+
+namespace zeroone {
+namespace {
+
+Database Db(const char* text) {
+  StatusOr<Database> db = ParseDatabase(text);
+  EXPECT_TRUE(db.ok()) << db.status().message();
+  return std::move(db).value();
+}
+
+Query Q(const char* text) {
+  StatusOr<Query> q = ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << q.status().message();
+  return std::move(q).value();
+}
+
+TEST(RankingTest, IntroExampleOrder) {
+  // µ^k((c2,⊥2)) = 1 − 1/k > µ^k((c1,⊥1)) = (1 − 1/k)²: the better-supported
+  // answer ranks first at every k.
+  IntroExample example = PaperIntroExample();
+  std::vector<RankedAnswer> ranked =
+      RankAnswers(example.query, example.db, 8);
+  ASSERT_GE(ranked.size(), 2u);
+  Tuple better{Value::Constant("c2"), Value::Null("2")};
+  Tuple worse{Value::Constant("c1"), Value::Null("1")};
+  EXPECT_EQ(ranked[0].tuple, better);
+  EXPECT_EQ(ranked[0].mu_k, Rational(7, 8));
+  EXPECT_EQ(ranked[1].tuple, worse);
+  EXPECT_EQ(ranked[1].mu_k, Rational(49, 64));
+  EXPECT_TRUE(ranked[0].almost_certain);
+  EXPECT_FALSE(ranked[0].certain);
+}
+
+TEST(RankingTest, CertainAnswersScoreOne) {
+  Database db = Db("R(2) = { (a, b), (a, _rk1) }");
+  Query q = Q("Q(x, y) := R(x, y)");
+  std::vector<RankedAnswer> ranked = RankAnswers(q, db, 6);
+  ASSERT_FALSE(ranked.empty());
+  // Both relation tuples are certain (with nulls) and rank at the top with
+  // µ^k = 1.
+  EXPECT_EQ(ranked[0].mu_k, Rational(1));
+  EXPECT_TRUE(ranked[0].certain);
+  EXPECT_TRUE(ranked[1].certain);
+}
+
+TEST(RankingTest, ImpossibleAnswersExcluded) {
+  Database db = Db("R(1) = { (a) }  S(1) = { (a), (b) }");
+  Query q = Q("Q(x) := R(x)");
+  std::vector<RankedAnswer> ranked = RankAnswers(q, db, 5);
+  ASSERT_EQ(ranked.size(), 1u);  // Only (a); (b) has empty support.
+  EXPECT_EQ(ranked[0].tuple, Tuple{Value::Constant("a")});
+}
+
+TEST(RankingTest, RefinesSupportOrder) {
+  // Supp(a) ⊆ Supp(b) must imply rank(b) ≤ rank(a) — check on the Section 5
+  // example across several k.
+  BestAnswerExample example = PaperBestAnswerExample();
+  for (std::size_t k : {5u, 9u}) {
+    std::vector<RankedAnswer> ranked =
+        RankAnswersAmong(example.query, example.db, k,
+                         {example.tuple_a, example.tuple_b});
+    ASSERT_EQ(ranked.size(), 2u);
+    EXPECT_EQ(ranked[0].tuple, example.tuple_b) << k;
+    EXPECT_LT(ranked[1].mu_k, ranked[0].mu_k) << k;
+  }
+}
+
+TEST(AlternativeNuTest, TypeMeasureStabilizesUnlikeMu) {
+  // The remark after Theorem 1: here (unlike in logical 0–1 laws) the
+  // number of isomorphism types stabilizes with k. On this instance the
+  // four A-fixing types of v(D) — {(1,1)}, {(1,x)}, {(1,1),(1,x)},
+  // {(1,x),(1,y)} — are all realized from k = 3 on, two of them witnessed,
+  // so ν^k ≡ 1/2 while µ^k = 1/k → 0.
+  Database db = Db("R(2) = { (1, _nu1), (1, _nu2) }");
+  Query q = Q(":= exists x, y . R(x, y) & (forall z, u . R(z, u) -> u = y)");
+  EXPECT_EQ(NuK(q, db, 2), Rational(2, 3));  // The fourth type needs k ≥ 3.
+  for (std::size_t k : {3u, 4u, 6u}) {
+    EXPECT_EQ(NuK(q, db, k), Rational(1, 2)) << k;
+    EXPECT_GE(NuK(q, db, k), MuK(q, db, k)) << k;
+  }
+}
+
+TEST(AlternativeNuTest, ExactTypeCountsOnTinyInstance) {
+  // D: U = {⊥}. Outcomes over k=3: v(⊥) ∈ {1, c2, c3} where 1 ∈ A (the
+  // database constant... here A = Const(D) ∪ C = {} ∪ query constants).
+  Database db = Db("U(1) = { (_nt1) }");
+  Query q = Q(":= U(a)");  // A = {a}.
+  // Valuations: v(⊥) = a (witness) or one of k−1 others (no witness, all
+  // one type). So ν^k = 1/2 for every k ≥ 2 while µ^k = 1/k.
+  for (std::size_t k : {2u, 4u, 7u}) {
+    EXPECT_EQ(NuK(q, db, k), Rational(1, 2)) << k;
+    EXPECT_EQ(MuK(q, db, k),
+              Rational(1, static_cast<std::int64_t>(k)))
+        << k;
+  }
+}
+
+TEST(ConditionalRankingTest, Section4ExampleOrder) {
+  // Under the IND, (2,⊥) ranks above (1,⊥) by 2/3 vs 1/3 — exactly the
+  // paper's conditional probabilities.
+  ConditionalExample example = PaperConditionalExample();
+  std::vector<ConditionalRankedAnswer> ranked = RankAnswersUnderConstraints(
+      example.query, example.constraints, example.db,
+      {example.tuple_a, example.tuple_b});
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked[0].tuple, example.tuple_b);
+  EXPECT_EQ(ranked[0].mu, Rational(2, 3));
+  EXPECT_EQ(ranked[1].tuple, example.tuple_a);
+  EXPECT_EQ(ranked[1].mu, Rational(1, 3));
+}
+
+TEST(ConditionalRankingTest, UnsatisfiableSigmaRanksAllZero) {
+  Database db = Db("R(1) = { (_cz1) }  V(1) = {}");
+  ConstraintSet sigma = {std::make_shared<InclusionDependency>(
+      "R", 1, std::vector<std::size_t>{0}, "V", 1,
+      std::vector<std::size_t>{0})};
+  Query q = Q("Q(x) := R(x)");
+  std::vector<ConditionalRankedAnswer> ranked = RankAnswersUnderConstraints(
+      q, sigma, db, {Tuple{Value::Null("cz1")}});
+  ASSERT_EQ(ranked.size(), 1u);
+  EXPECT_EQ(ranked[0].mu, Rational(0));
+}
+
+}  // namespace
+}  // namespace zeroone

@@ -1,0 +1,72 @@
+#include "common/rational.h"
+
+#include <gtest/gtest.h>
+
+namespace zeroone {
+namespace {
+
+TEST(RationalTest, ReducesToLowestTerms) {
+  Rational r(6, 8);
+  EXPECT_EQ(r.numerator().ToString(), "3");
+  EXPECT_EQ(r.denominator().ToString(), "4");
+  EXPECT_EQ(r.ToString(), "3/4");
+}
+
+TEST(RationalTest, SignNormalizedOntoNumerator) {
+  Rational r(3, -6);
+  EXPECT_EQ(r.ToString(), "-1/2");
+  EXPECT_EQ(r.sign(), -1);
+  Rational s(-3, -6);
+  EXPECT_EQ(s.ToString(), "1/2");
+}
+
+TEST(RationalTest, ZeroNormalizes) {
+  Rational r(0, 17);
+  EXPECT_TRUE(r.is_zero());
+  EXPECT_EQ(r.denominator().ToString(), "1");
+  EXPECT_EQ(r.ToString(), "0");
+}
+
+TEST(RationalTest, IntegerPrintsWithoutDenominator) {
+  EXPECT_EQ(Rational(14, 7).ToString(), "2");
+  EXPECT_TRUE(Rational(7, 7).is_one());
+}
+
+TEST(RationalTest, Arithmetic) {
+  Rational half(1, 2);
+  Rational third(1, 3);
+  EXPECT_EQ((half + third).ToString(), "5/6");
+  EXPECT_EQ((half - third).ToString(), "1/6");
+  EXPECT_EQ((half * third).ToString(), "1/6");
+  EXPECT_EQ((half / third).ToString(), "3/2");
+  EXPECT_EQ((-half).ToString(), "-1/2");
+}
+
+TEST(RationalTest, Comparisons) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LT(Rational(-1, 2), Rational(-1, 3));
+  EXPECT_LE(Rational(2, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(2, 4), Rational(1, 2));
+  EXPECT_NE(Rational(2, 4), Rational(3, 4));
+  EXPECT_GT(Rational(0), Rational(-1, 100));
+}
+
+TEST(RationalTest, ToDouble) {
+  EXPECT_DOUBLE_EQ(Rational(1, 4).ToDouble(), 0.25);
+  EXPECT_DOUBLE_EQ(Rational(-3, 2).ToDouble(), -1.5);
+}
+
+TEST(RationalTest, LargeValuesStayExact) {
+  // (10^18 / (2 * 10^18)) reduces to 1/2 exactly.
+  Rational r(BigInt(1000000000000000000LL), BigInt(2000000000000000000LL));
+  EXPECT_EQ(r, Rational(1, 2));
+  // Repeated squaring stays exact.
+  Rational x(3, 7);
+  Rational acc(1);
+  for (int i = 0; i < 10; ++i) acc *= x;
+  EXPECT_EQ(acc.numerator().ToString(), "59049");        // 3^10
+  EXPECT_EQ(acc.denominator().ToString(), "282475249");  // 7^10
+}
+
+}  // namespace
+}  // namespace zeroone

@@ -1,0 +1,190 @@
+// Robustness and hardening tests: concurrency of the intern tables, parser
+// behavior on garbage input, arithmetic reconstruction properties, and
+// mixed-constraint conditional measures.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/bigint.h"
+#include "constraints/fd.h"
+#include "constraints/ind.h"
+#include "core/comparison.h"
+#include "core/conditional.h"
+#include "core/ucq_compare.h"
+#include "data/io.h"
+#include "data/value.h"
+#include "gen/random_db.h"
+#include "gen/random_query.h"
+#include "query/eval.h"
+#include "query/parser.h"
+
+namespace zeroone {
+namespace {
+
+TEST(InternerTest, ConcurrentInterningIsConsistent) {
+  constexpr int kThreads = 8;
+  constexpr int kValuesPerThread = 200;
+  std::vector<std::thread> threads;
+  std::vector<std::vector<Value>> results(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &results] {
+      for (int i = 0; i < kValuesPerThread; ++i) {
+        // All threads intern the same names; ids must agree.
+        results[t].push_back(
+            Value::Constant("shared" + std::to_string(i)));
+        results[t].push_back(Value::Null("sharednull" + std::to_string(i)));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(results[t], results[0]) << "thread " << t;
+  }
+  // Names resolve correctly after the storm.
+  EXPECT_EQ(Value::Constant("shared0").name(), "shared0");
+}
+
+TEST(ParserRobustnessTest, GarbageNeverCrashes) {
+  std::mt19937_64 rng(424242);
+  const std::string alphabet =
+      "RSxyz(),.&|!=:-<>' 0123456789_existforalltrue";
+  std::uniform_int_distribution<std::size_t> pick(0, alphabet.size() - 1);
+  std::uniform_int_distribution<std::size_t> length(0, 60);
+  for (int i = 0; i < 500; ++i) {
+    std::string text;
+    std::size_t n = length(rng);
+    for (std::size_t j = 0; j < n; ++j) text.push_back(alphabet[pick(rng)]);
+    // Must return (ok or error), never crash or hang.
+    StatusOr<Query> q = ParseQuery(text);
+    StatusOr<Database> db = ParseDatabase(text);
+    StatusOr<Tuple> tuple = ParseTuple(text);
+    (void)q;
+    (void)db;
+    (void)tuple;
+  }
+  SUCCEED();
+}
+
+TEST(BigIntPropertyTest, DivModReconstruction) {
+  std::mt19937_64 rng(777);
+  std::uniform_int_distribution<std::int64_t> magnitude(
+      -1000000000000LL, 1000000000000LL);
+  std::uniform_int_distribution<std::int64_t> divisor(1, 99999);
+  for (int i = 0; i < 300; ++i) {
+    std::int64_t a = magnitude(rng);
+    std::int64_t b = divisor(rng) * (i % 2 == 0 ? 1 : -1);
+    BigInt big_a(a);
+    BigInt big_b(b);
+    BigInt q = big_a / big_b;
+    BigInt r = big_a % big_b;
+    // Truncated division invariants, matching int64 semantics.
+    EXPECT_EQ(q * big_b + r, big_a) << a << " / " << b;
+    EXPECT_EQ(*q.ToInt64(), a / b) << a << " / " << b;
+    EXPECT_EQ(*r.ToInt64(), a % b) << a << " % " << b;
+  }
+}
+
+TEST(EvalTest, QuantifierAlternation) {
+  StatusOr<Database> db = ParseDatabase("E(2) = { (a, b), (b, a), (c, a) }");
+  ASSERT_TRUE(db.ok());
+  // ∀x∃y E(x,y): every node has an out-edge — true here.
+  StatusOr<Query> all_out =
+      ParseQuery(":= forall x . exists y . E(x, y)");
+  ASSERT_TRUE(all_out.ok());
+  EXPECT_TRUE(EvaluateMembership(*all_out, *db, Tuple{}));
+  // ∃y∀x E(x,y): a universal sink — false (nothing points at b from c).
+  StatusOr<Query> sink = ParseQuery(":= exists y . forall x . E(x, y)");
+  ASSERT_TRUE(sink.ok());
+  EXPECT_FALSE(EvaluateMembership(*sink, *db, Tuple{}));
+  // Add edges to a: a becomes a sink only if a→a too.
+  Database with_loop = *db;
+  with_loop.mutable_relation("E").Insert(
+      {Value::Constant("a"), Value::Constant("a")});
+  EXPECT_TRUE(EvaluateMembership(*sink, with_loop, Tuple{}));
+}
+
+TEST(ConditionalTest, MixedFdAndIndConstraints) {
+  // Σ mixes an FD with an IND: the conditional measure still exists and is
+  // exact. R(0→1) plus R[0] ⊆ U[0]; D forces ⊥ to 1..3 via the IND while
+  // the FD pins the second column.
+  StatusOr<Database> db = ParseDatabase(
+      "R(2) = { (_mx1, 5), (2, _mx2) }  U(1) = { (1), (2), (3) }");
+  ASSERT_TRUE(db.ok());
+  ConstraintSet sigma = {
+      std::make_shared<FunctionalDependency>(
+          "R", 2, std::vector<std::size_t>{0}, 1),
+      std::make_shared<InclusionDependency>(
+          "R", 2, std::vector<std::size_t>{0}, "U", 1,
+          std::vector<std::size_t>{0})};
+  StatusOr<Query> q = ParseQuery(":= exists x . R(x, 5)");
+  ASSERT_TRUE(q.ok());
+  ConditionalMeasure measure = ComputeConditionalMu(*q, sigma, *db, Tuple{});
+  EXPECT_TRUE(measure.sigma_satisfiable);
+  // Q holds whenever Σ does: the tuple (⊥1, 5) always supplies x with
+  // second column 5 (Σ only constrains which x).
+  EXPECT_EQ(measure.value, Rational(1));
+  // A query pinning both columns: µ(R(2,5) | Σ). Σ-valuations: v(⊥1) ∈
+  // {1,2,3}; when v(⊥1) = 2 the FD forces v(⊥2) = 5, otherwise ⊥2 is free —
+  // so |Supp^k(Σ)| = 2k + 1. R(2,5) holds iff v(⊥1) = 2 (1 valuation) or
+  // v(⊥2) = 5 with v(⊥1) ∈ {1,3} (2 valuations): a constant numerator 3,
+  // hence the limit is 0 — an example where Q is conditionally possible yet
+  // almost certainly false, with the polynomials certifying why.
+  StatusOr<Query> pinned = ParseQuery(":= R(2, 5)");
+  ASSERT_TRUE(pinned.ok());
+  ConditionalMeasure exact = ComputeConditionalMu(*pinned, sigma, *db, Tuple{});
+  EXPECT_EQ(exact.numerator, Polynomial::Constant(Rational(3)));
+  EXPECT_EQ(exact.denominator,
+            (Polynomial{{Rational(1), Rational(2)}}));  // 2k + 1.
+  EXPECT_EQ(exact.value, Rational(0));
+}
+
+// Arity-2 agreement sweep for the Theorem 8 algorithm (the earlier sweeps
+// use arity 1; repeated variables and wider tuples exercise different
+// unification paths).
+class UcqSepArity2 : public ::testing::TestWithParam<int> {};
+
+TEST_P(UcqSepArity2, MatchesGenericSeparates) {
+  RandomDatabaseOptions db_options;
+  db_options.relations = {{"R", 2, 3}, {"S", 2, 3}};
+  db_options.constant_pool = 2;
+  db_options.null_pool = 2;
+  db_options.null_probability = 0.45;
+  db_options.seed = static_cast<std::uint64_t>(GetParam()) + 120000;
+  Database db = GenerateRandomDatabase(db_options);
+
+  RandomQueryOptions q_options;
+  q_options.relations = {{"R", 2}, {"S", 2}};
+  q_options.free_variables = 2;
+  q_options.existential_variables = 1;
+  q_options.clauses = 2;
+  q_options.atoms_per_clause = 2;
+  q_options.seed = static_cast<std::uint64_t>(GetParam()) + 120100;
+  Query ucq = GenerateRandomUcq(q_options);
+
+  std::vector<Value> adom = db.ActiveDomain();
+  // A few structured candidate pairs, including repeated components.
+  std::vector<Tuple> candidates;
+  for (std::size_t i = 0; i + 1 < adom.size() && candidates.size() < 4; ++i) {
+    candidates.push_back(Tuple{adom[i], adom[i + 1]});
+    candidates.push_back(Tuple{adom[i], adom[i]});
+  }
+  for (const Tuple& a : candidates) {
+    for (const Tuple& b : candidates) {
+      StatusOr<bool> fast = UcqSeparates(ucq, db, a, b);
+      ASSERT_TRUE(fast.ok());
+      EXPECT_EQ(*fast, Separates(ucq, db, a, b))
+          << "Sep(" << a.ToString() << ", " << b.ToString() << ") for "
+          << ucq.ToString() << "\n"
+          << db.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UcqSepArity2, ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace zeroone

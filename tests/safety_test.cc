@@ -1,0 +1,72 @@
+#include "query/safety.h"
+
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+
+namespace zeroone {
+namespace {
+
+bool Safe(const char* text) {
+  StatusOr<Query> q = ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << q.status().message();
+  return IsSafeRange(*q);
+}
+
+TEST(SafetyTest, PositiveQueriesAreSafe) {
+  EXPECT_TRUE(Safe("Q(x) := exists y . R(x, y)"));
+  EXPECT_TRUE(Safe("Q(x, y) := R(x, y) | S(x, y)"));
+  EXPECT_TRUE(Safe("Q(x) := R(x, x) & S(x)"));
+  EXPECT_TRUE(Safe(":= exists x, y . R(x, y)"));
+}
+
+TEST(SafetyTest, GuardedNegationIsSafe) {
+  // The intro query: difference guarded by a positive atom.
+  EXPECT_TRUE(Safe("Q(x, y) := R1(x, y) & !R2(x, y)"));
+  // Inequality guarded by atoms.
+  EXPECT_TRUE(Safe("Q(x, y) := R(x, y) & x != y"));
+}
+
+TEST(SafetyTest, UnguardedNegationIsUnsafe) {
+  // "Everything not in R" is domain dependent.
+  EXPECT_FALSE(Safe("Q(x) := !R(x)"));
+  // Disjunction restricts only the common variables.
+  EXPECT_FALSE(Safe("Q(x, y) := R(x, x) | S(y)"));
+}
+
+TEST(SafetyTest, EqualityPropagation) {
+  // y is grounded through the equality chain to a grounded x.
+  EXPECT_TRUE(Safe("Q(x, y) := R(x) & x = y"));
+  EXPECT_TRUE(Safe("Q(y) := exists x . R(x) & x = y"));
+  // x = y alone grounds nothing.
+  EXPECT_FALSE(Safe("Q(x, y) := x = y"));
+  // Constant equality grounds.
+  EXPECT_TRUE(Safe("Q(x) := x = 3"));
+}
+
+TEST(SafetyTest, QuantifierCases) {
+  // ∃x (x = x) is the textbook domain-dependent sentence.
+  EXPECT_FALSE(Safe(":= exists x . x = x"));
+  // Guarded universals are safe: ∀x (U(x) → R(x)) ≡ ¬∃x (U(x) ∧ ¬R(x)).
+  EXPECT_TRUE(Safe(":= forall x . U(x) -> R(x)"));
+  // Unguarded universal is not: ∀x R(x) quantifies over the whole domain.
+  EXPECT_FALSE(Safe(":= forall x . R(x)"));
+}
+
+TEST(SafetyTest, PaperExamplesClassified) {
+  // The Section 4.3 query is a guarded universal — safe.
+  EXPECT_TRUE(Safe(":= forall x . U(x) -> (R(x) & !S(x))"));
+  // Proposition 7's query is safe (each disjunct grounds x positively).
+  EXPECT_TRUE(Safe(
+      "Q(x) := (B(x) & (exists y . R(y, y))) | "
+      "(A(x) & !(exists y . R(y, y)))"));
+}
+
+TEST(SafetyTest, DoubleNegationNormalizes) {
+  EXPECT_TRUE(Safe("Q(x) := !(!(R(x)))"));
+  // ¬(¬R(x) ∨ ¬S(x)) ≡ R(x) ∧ S(x): safe after push-down.
+  EXPECT_TRUE(Safe("Q(x) := !(!(R(x)) | !(S(x)))"));
+}
+
+}  // namespace
+}  // namespace zeroone

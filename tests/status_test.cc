@@ -1,0 +1,52 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace zeroone {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_TRUE(status.message().empty());
+  EXPECT_TRUE(Status::Ok().ok());
+}
+
+TEST(StatusTest, ErrorCarriesMessage) {
+  Status status = Status::Error("something broke");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.message(), "something broke");
+}
+
+TEST(StatusOrTest, ValuePath) {
+  StatusOr<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+  EXPECT_EQ(result.value(), 42);
+}
+
+TEST(StatusOrTest, ErrorPath) {
+  StatusOr<int> result = Status::Error("no value");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().message(), "no value");
+}
+
+TEST(StatusOrTest, MoveOnlyValueSupport) {
+  StatusOr<std::vector<std::string>> result =
+      std::vector<std::string>{"a", "b"};
+  ASSERT_TRUE(result.ok());
+  std::vector<std::string> extracted = std::move(result).value();
+  EXPECT_EQ(extracted.size(), 2u);
+}
+
+TEST(StatusOrTest, ArrowOperator) {
+  StatusOr<std::string> result = std::string("hello");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 5u);
+}
+
+}  // namespace
+}  // namespace zeroone

@@ -1,0 +1,156 @@
+#include "core/threevalued.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/measure.h"
+#include "data/io.h"
+#include "gen/random_db.h"
+#include "gen/random_query.h"
+#include "query/parser.h"
+
+namespace zeroone {
+namespace {
+
+Database Db(const char* text) {
+  StatusOr<Database> db = ParseDatabase(text);
+  EXPECT_TRUE(db.ok()) << db.status().message();
+  return std::move(db).value();
+}
+
+Query Q(const char* text) {
+  StatusOr<Query> q = ParseQuery(text);
+  EXPECT_TRUE(q.ok()) << q.status().message();
+  return std::move(q).value();
+}
+
+TEST(ThreeValuedTest, AtomTruthValues) {
+  Database db = Db("R(2) = { (a, b), (a, _tv1) }");
+  // Syntactic membership → true.
+  EXPECT_EQ(ThreeValuedMembership(Q(":= R(a, b)"), db, Tuple{}),
+            TruthValue::kTrue);
+  // Unifies with (a, ⊥) → unknown.
+  EXPECT_EQ(ThreeValuedMembership(Q(":= R(a, c)"), db, Tuple{}),
+            TruthValue::kUnknown);
+  // Constant mismatch with every tuple → false.
+  EXPECT_EQ(ThreeValuedMembership(Q(":= R(z, b)"), db, Tuple{}),
+            TruthValue::kFalse);
+}
+
+TEST(ThreeValuedTest, EqualityOnNulls) {
+  Database db = Db("R(2) = { (_eq1, _eq2) }");
+  // The same marked null is equal to itself — sharper than SQL.
+  EXPECT_EQ(ThreeValuedMembership(
+                Q(":= exists x, y . R(x, y) & x = x"), db, Tuple{}),
+            TruthValue::kTrue);
+  // Two distinct nulls: unknown.
+  EXPECT_EQ(ThreeValuedMembership(
+                Q(":= exists x, y . R(x, y) & x = y"), db, Tuple{}),
+            TruthValue::kUnknown);
+}
+
+TEST(ThreeValuedTest, KleeneConnectives) {
+  Database db = Db("R(1) = { (_kc1) }  S(1) = { (a) }");
+  // unknown ∧ false = false; unknown ∨ true = true; ¬unknown = unknown.
+  EXPECT_EQ(ThreeValuedMembership(Q(":= R(b) & S(b)"), db, Tuple{}),
+            TruthValue::kFalse);
+  EXPECT_EQ(ThreeValuedMembership(Q(":= R(b) | S(a)"), db, Tuple{}),
+            TruthValue::kTrue);
+  EXPECT_EQ(ThreeValuedMembership(Q(":= !R(b)"), db, Tuple{}),
+            TruthValue::kUnknown);
+}
+
+TEST(ThreeValuedTest, IntroExampleAllUnknown) {
+  // The Section 1 query on its database: both naive answers evaluate to
+  // unknown (they are not certain), showing how much coarser 3-valued
+  // evaluation is than the measure (which says µ = 1 for both).
+  Database db = Db(
+      "R1(2) = { (c1, _1), (c2, _1), (c2, _2) }"
+      "R2(2) = { (c1, _2), (c2, _1), (_3, _1) }");
+  Query q = Q("Q(x, y) := R1(x, y) & !R2(x, y)");
+  EXPECT_EQ(ThreeValuedMembership(
+                q, db, Tuple{Value::Constant("c1"), Value::Null("1")}),
+            TruthValue::kUnknown);
+  EXPECT_EQ(ThreeValuedMembership(
+                q, db, Tuple{Value::Constant("c2"), Value::Null("2")}),
+            TruthValue::kUnknown);
+  EXPECT_TRUE(ThreeValuedCertainApproximation(q, db).empty());
+}
+
+// The soundness guarantee: true ⟹ certain, false ⟹ not possible.
+class ThreeValuedSoundness : public ::testing::TestWithParam<int> {};
+
+TEST_P(ThreeValuedSoundness, TrueImpliesCertainFalseImpliesImpossible) {
+  RandomDatabaseOptions db_options;
+  db_options.relations = {{"R", 2, 4}, {"S", 1, 3}};
+  db_options.constant_pool = 3;
+  db_options.null_pool = 2;
+  db_options.null_probability = 0.4;
+  db_options.seed = static_cast<std::uint64_t>(GetParam()) + 80000;
+  Database db = GenerateRandomDatabase(db_options);
+
+  RandomQueryOptions q_options;
+  q_options.relations = {{"R", 2}, {"S", 1}};
+  q_options.free_variables = 1;
+  q_options.existential_variables = 1;
+  q_options.clauses = 2;
+  q_options.atoms_per_clause = 2;
+  q_options.seed = static_cast<std::uint64_t>(GetParam()) + 80100;
+  Query fo = GenerateRandomFo(q_options, 0.35);
+
+  for (const Tuple& candidate : AllTuplesOverAdom(db, 1)) {
+    TruthValue tv = ThreeValuedMembership(fo, db, candidate);
+    if (tv == TruthValue::kTrue) {
+      EXPECT_TRUE(IsCertainAnswer(fo, db, candidate))
+          << candidate.ToString() << " 3V-true but not certain for "
+          << fo.ToString() << "\n"
+          << db.ToString();
+    } else if (tv == TruthValue::kFalse) {
+      EXPECT_FALSE(IsPossibleAnswer(fo, db, candidate))
+          << candidate.ToString() << " 3V-false but possible for "
+          << fo.ToString() << "\n"
+          << db.ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ThreeValuedSoundness,
+                         ::testing::Range(0, 30));
+
+TEST(ThreeValuedTest, ApproximationIsIncomplete) {
+  // A certain answer the 3-valued scheme misses: x = x under a null.
+  Database db = Db("R(1) = { (_ic1) }");
+  Query q = Q("Q(x) := R(x) & !S(x)");  // S absent: always false.
+  Tuple t{Value::Null("ic1")};
+  EXPECT_TRUE(IsCertainAnswer(q, db, t));
+  // 3-valued: R(⊥) true but S(⊥)... S missing → false → !S true. This one
+  // is found. A sharper miss: tautologies over nulls.
+  Database db2 = Db("R(2) = { (_ic2, _ic3) }");
+  Query q2 = Q(":= exists x, y . R(x, y) & (x = y | x != y)");
+  EXPECT_TRUE(IsCertainAnswer(q2, db2, Tuple{}));
+  EXPECT_EQ(ThreeValuedMembership(q2, db2, Tuple{}), TruthValue::kUnknown);
+}
+
+TEST(ThreeValuedTest, ApproximationsBracketTruth) {
+  // certain ⊆ 3V-true-free... precisely: 3V-certain ⊆ certain ⊆ naive and
+  // possible ⊆ 3V-possible.
+  Database db = Db("R(2) = { (a, _br1), (b, c) }  S(2) = { (a, c) }");
+  Query q = Q("Q(x, y) := R(x, y) & !S(x, y)");
+  std::vector<Tuple> certain = CertainAnswers(q, db);
+  std::vector<Tuple> approx = ThreeValuedCertainApproximation(q, db);
+  std::sort(certain.begin(), certain.end());
+  for (const Tuple& t : approx) {
+    EXPECT_TRUE(std::binary_search(certain.begin(), certain.end(), t));
+  }
+  std::vector<Tuple> possible = PossibleAnswers(q, db);
+  std::vector<Tuple> possible_approx = ThreeValuedPossibleApproximation(q, db);
+  std::sort(possible_approx.begin(), possible_approx.end());
+  for (const Tuple& t : possible) {
+    EXPECT_TRUE(std::binary_search(possible_approx.begin(),
+                                   possible_approx.end(), t));
+  }
+}
+
+}  // namespace
+}  // namespace zeroone

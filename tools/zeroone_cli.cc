@@ -1,0 +1,366 @@
+// zeroone_cli — an interactive shell over the library.
+//
+// Reads commands from a script file (argv[1]) or stdin. Lines starting with
+// '#' are comments. Commands:
+//
+//   load <file>             load a database file (ParseDatabase format)
+//   db <statement>          add one relation statement inline
+//   show                    print the current database
+//   query <text>            set the current query (ParseQuery syntax)
+//   naive                   naive answers (= almost certainly true, Thm 1)
+//   certain                 certain answers (exact, exponential in nulls)
+//   possible                possible answers
+//   best                    Best(Q,D) — support-maximal answers
+//   bestmu                  Best_µ(Q,D) — best ∩ almost certainly true
+//   mu <tuple>              µ(Q,D,ā) limit (0 or 1, by the 0-1 law)
+//   muk <k> <tuple>         exact µ^k(Q,D,ā)
+//   poly <tuple>            support-count polynomial |Supp^k| in k
+//   compare <t1> <t2>       Supp inclusion between two tuples
+//   fd <R> <arity> <l1,..> <rhs>    add a functional dependency
+//   ind <R> <ar> <pos,..> <S> <ar> <pos,..>   add an inclusion dependency
+//   constraints             list constraints
+//   clear                   drop all constraints
+//   cond <tuple>            exact conditional µ(Q|Σ,D,ā)
+//   chase                   chase the database with the FD constraints
+//   ra <expr>               evaluate a relational-algebra plan (naive);
+//                           syntax in algebra/ra_parser.h
+//   dlog <file>             load a datalog program (datalog/parser.h
+//                           syntax) and print its goal relation over the
+//                           current database (naive answers)
+//   help                    this text
+//   quit                    exit
+//
+// Example session:
+//   db R1(2) = { (c1, _1), (c2, _1), (c2, _2) }
+//   db R2(2) = { (c1, _2), (c2, _1), (_3, _1) }
+//   query Q(x, y) := R1(x, y) & !R2(x, y)
+//   naive
+//   mu (c1, _1)
+//   best
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "algebra/ra_parser.h"
+#include "constraints/fd.h"
+#include "constraints/ind.h"
+#include "core/comparison.h"
+#include "core/conditional.h"
+#include "core/measure.h"
+#include "core/support.h"
+#include "core/support_polynomial.h"
+#include "data/io.h"
+#include "datalog/eval.h"
+#include "datalog/parser.h"
+#include "query/eval.h"
+#include "query/parser.h"
+
+namespace zeroone {
+namespace {
+
+struct Session {
+  Database db;
+  Query query;
+  bool has_query = false;
+  ConstraintSet constraints;
+  std::vector<FunctionalDependency> fds;
+};
+
+void PrintTuples(const std::vector<Tuple>& tuples) {
+  if (tuples.empty()) {
+    std::cout << "  (none)\n";
+    return;
+  }
+  for (const Tuple& t : tuples) std::cout << "  " << t.ToString() << "\n";
+}
+
+bool RequireQuery(const Session& session) {
+  if (!session.has_query) {
+    std::cout << "error: no query set (use `query <text>`)\n";
+    return false;
+  }
+  return true;
+}
+
+StatusOr<Tuple> ParseTupleArg(const Session& session,
+                              const std::string& text) {
+  StatusOr<Tuple> tuple = ParseTuple(text);
+  if (!tuple.ok()) return tuple;
+  if (session.has_query && tuple->arity() != session.query.arity()) {
+    return Status::Error("tuple arity " + std::to_string(tuple->arity()) +
+                         " does not match query arity " +
+                         std::to_string(session.query.arity()));
+  }
+  return tuple;
+}
+
+// Splits a comma list of numbers, e.g. "0,2".
+StatusOr<std::vector<std::size_t>> ParsePositions(const std::string& text) {
+  std::vector<std::size_t> positions;
+  std::stringstream stream(text);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (item.empty()) return Status::Error("empty position in '" + text + "'");
+    std::size_t value = 0;
+    for (char c : item) {
+      if (c < '0' || c > '9') {
+        return Status::Error("bad position list '" + text + "'");
+      }
+      value = value * 10 + static_cast<std::size_t>(c - '0');
+    }
+    positions.push_back(value);
+  }
+  if (positions.empty()) return Status::Error("empty position list");
+  return positions;
+}
+
+void Handle(Session* session, const std::string& line) {
+  std::stringstream stream(line);
+  std::string command;
+  stream >> command;
+  if (command.empty() || command[0] == '#') return;
+  std::string rest;
+  std::getline(stream, rest);
+  while (!rest.empty() && rest.front() == ' ') rest.erase(rest.begin());
+
+  if (command == "help") {
+    std::cout << "commands: load db show query naive certain possible best ra dlog "
+                 "bestmu mu muk poly compare fd ind constraints clear cond "
+                 "chase help quit\n";
+  } else if (command == "load") {
+    std::ifstream file(rest);
+    if (!file) {
+      std::cout << "error: cannot open '" << rest << "'\n";
+      return;
+    }
+    std::stringstream contents;
+    contents << file.rdbuf();
+    StatusOr<Database> db = ParseDatabase(contents.str());
+    if (!db.ok()) {
+      std::cout << "error: " << db.status().message() << "\n";
+      return;
+    }
+    session->db = std::move(*db);
+    std::cout << "loaded " << session->db.TupleCount() << " tuples\n";
+  } else if (command == "db") {
+    StatusOr<Database> parsed = ParseDatabase(rest);
+    if (!parsed.ok()) {
+      std::cout << "error: " << parsed.status().message() << "\n";
+      return;
+    }
+    for (const auto& [name, rel] : parsed->relations()) {
+      Relation& target = session->db.AddRelation(name, rel.arity());
+      for (const Tuple& t : rel) target.Insert(t);
+    }
+  } else if (command == "show") {
+    std::cout << session->db.ToString() << "\n";
+  } else if (command == "query") {
+    StatusOr<Query> query = ParseQuery(rest);
+    if (!query.ok()) {
+      std::cout << "error: " << query.status().message() << "\n";
+      return;
+    }
+    session->query = std::move(*query);
+    session->has_query = true;
+    std::cout << session->query.ToString() << "\n";
+  } else if (command == "naive") {
+    if (!RequireQuery(*session)) return;
+    PrintTuples(NaiveEvaluate(session->query, session->db));
+  } else if (command == "certain") {
+    if (!RequireQuery(*session)) return;
+    PrintTuples(CertainAnswers(session->query, session->db));
+  } else if (command == "possible") {
+    if (!RequireQuery(*session)) return;
+    PrintTuples(PossibleAnswers(session->query, session->db));
+  } else if (command == "best") {
+    if (!RequireQuery(*session)) return;
+    PrintTuples(BestAnswers(session->query, session->db));
+  } else if (command == "bestmu") {
+    if (!RequireQuery(*session)) return;
+    PrintTuples(BestMuAnswers(session->query, session->db));
+  } else if (command == "mu") {
+    if (!RequireQuery(*session)) return;
+    StatusOr<Tuple> tuple = ParseTupleArg(*session, rest);
+    if (!tuple.ok()) {
+      std::cout << "error: " << tuple.status().message() << "\n";
+      return;
+    }
+    std::cout << "mu = " << MuLimit(session->query, session->db, *tuple)
+              << "\n";
+  } else if (command == "muk") {
+    if (!RequireQuery(*session)) return;
+    std::stringstream args(rest);
+    std::size_t k = 0;
+    args >> k;
+    std::string tuple_text;
+    std::getline(args, tuple_text);
+    StatusOr<Tuple> tuple = ParseTupleArg(*session, tuple_text);
+    if (!tuple.ok() || k == 0) {
+      std::cout << "usage: muk <k> <tuple>\n";
+      return;
+    }
+    SupportInstance instance =
+        MakeSupportInstance(session->query, session->db, *tuple);
+    if (k < instance.prefix.size()) {
+      std::cout << "error: k must be at least |C ∪ Const(D)| = "
+                << instance.prefix.size() << "\n";
+      return;
+    }
+    Rational mu = MuK(session->query, session->db, *tuple, k);
+    std::cout << "mu^" << k << " = " << mu.ToString() << " ≈ "
+              << mu.ToDouble() << "\n";
+  } else if (command == "poly") {
+    if (!RequireQuery(*session)) return;
+    StatusOr<Tuple> tuple = ParseTupleArg(*session, rest);
+    if (!tuple.ok()) {
+      std::cout << "error: " << tuple.status().message() << "\n";
+      return;
+    }
+    SupportPolynomial poly =
+        ComputeSupportPolynomial(session->query, session->db, *tuple);
+    std::cout << "|Supp^k| = " << poly.count.ToString()
+              << "   (valid for k >= " << poly.valid_from << "; |V^k| = "
+              << TotalCountPolynomial(session->db).ToString() << ")\n";
+  } else if (command == "compare") {
+    if (!RequireQuery(*session)) return;
+    // Two tuples: split at the closing parenthesis.
+    std::size_t split = rest.find(')');
+    if (split == std::string::npos) {
+      std::cout << "usage: compare (t1) (t2)\n";
+      return;
+    }
+    StatusOr<Tuple> a = ParseTupleArg(*session, rest.substr(0, split + 1));
+    StatusOr<Tuple> b = ParseTupleArg(*session, rest.substr(split + 1));
+    if (!a.ok() || !b.ok()) {
+      std::cout << "usage: compare (t1) (t2)\n";
+      return;
+    }
+    bool ab = WeaklyDominated(session->query, session->db, *a, *b);
+    bool ba = WeaklyDominated(session->query, session->db, *b, *a);
+    std::cout << "Supp(a) ⊆ Supp(b): " << (ab ? "yes" : "no")
+              << "; Supp(b) ⊆ Supp(a): " << (ba ? "yes" : "no") << "\n";
+    if (ab && !ba) std::cout << "a ◁ b (b is the better answer)\n";
+    if (ba && !ab) std::cout << "b ◁ a (a is the better answer)\n";
+    if (ab && ba) std::cout << "equal support\n";
+    if (!ab && !ba) std::cout << "incomparable\n";
+  } else if (command == "fd") {
+    std::stringstream args(rest);
+    std::string relation;
+    std::size_t arity = 0;
+    std::string lhs_text;
+    std::size_t rhs = 0;
+    args >> relation >> arity >> lhs_text >> rhs;
+    StatusOr<std::vector<std::size_t>> lhs = ParsePositions(lhs_text);
+    if (relation.empty() || arity == 0 || !lhs.ok()) {
+      std::cout << "usage: fd <R> <arity> <l1,l2,..> <rhs>\n";
+      return;
+    }
+    FunctionalDependency fd(relation, arity, *lhs, rhs);
+    session->fds.push_back(fd);
+    session->constraints.push_back(
+        std::make_shared<FunctionalDependency>(fd));
+    std::cout << "added " << fd.ToString() << "\n";
+  } else if (command == "ind") {
+    std::stringstream args(rest);
+    std::string from, to, from_pos, to_pos;
+    std::size_t from_arity = 0, to_arity = 0;
+    args >> from >> from_arity >> from_pos >> to >> to_arity >> to_pos;
+    StatusOr<std::vector<std::size_t>> fp = ParsePositions(from_pos);
+    StatusOr<std::vector<std::size_t>> tp = ParsePositions(to_pos);
+    if (from.empty() || to.empty() || !fp.ok() || !tp.ok()) {
+      std::cout << "usage: ind <R> <arity> <pos,..> <S> <arity> <pos,..>\n";
+      return;
+    }
+    auto ind = std::make_shared<InclusionDependency>(from, from_arity, *fp,
+                                                     to, to_arity, *tp);
+    std::cout << "added " << ind->ToString() << "\n";
+    session->constraints.push_back(std::move(ind));
+  } else if (command == "constraints") {
+    if (session->constraints.empty()) std::cout << "  (none)\n";
+    for (const ConstraintPtr& c : session->constraints) {
+      std::cout << "  " << c->ToString() << "\n";
+    }
+  } else if (command == "clear") {
+    session->constraints.clear();
+    session->fds.clear();
+  } else if (command == "cond") {
+    if (!RequireQuery(*session)) return;
+    StatusOr<Tuple> tuple = ParseTupleArg(*session, rest);
+    if (!tuple.ok()) {
+      std::cout << "error: " << tuple.status().message() << "\n";
+      return;
+    }
+    ConditionalMeasure result = ComputeConditionalMu(
+        session->query, session->constraints, session->db, *tuple);
+    std::cout << "mu(Q|Sigma) = " << result.value.ToString();
+    if (!result.sigma_satisfiable) std::cout << "   (Sigma unsatisfiable)";
+    std::cout << "\n";
+  } else if (command == "chase") {
+    ChaseResult result = ChaseFds(session->fds, session->db);
+    if (!result.success) {
+      std::cout << "chase failed: " << result.failure_reason << "\n";
+      return;
+    }
+    session->db = result.database;
+    std::cout << session->db.ToString() << "\n";
+  } else if (command == "ra") {
+    StatusOr<RaExprPtr> plan = ParseRaExpr(rest, session->db.schema());
+    if (!plan.ok()) {
+      std::cout << "error: " << plan.status().message() << "\n";
+      return;
+    }
+    std::cout << (*plan)->ToString() << "\n";
+    PrintTuples((*plan)->Evaluate(session->db));
+  } else if (command == "dlog") {
+    std::ifstream file(rest);
+    if (!file) {
+      std::cout << "error: cannot open '" << rest << "'\n";
+      return;
+    }
+    std::stringstream contents;
+    contents << file.rdbuf();
+    StatusOr<DatalogProgram> program = ParseDatalogProgram(contents.str());
+    if (!program.ok()) {
+      std::cout << "error: " << program.status().message() << "\n";
+      return;
+    }
+    std::cout << program->ToString();
+    PrintTuples(EvaluateDatalog(*program, session->db));
+  } else if (command == "quit" || command == "exit") {
+    std::exit(0);
+  } else {
+    std::cout << "unknown command '" << command << "' (try `help`)\n";
+  }
+}
+
+}  // namespace
+}  // namespace zeroone
+
+int main(int argc, char** argv) {
+  zeroone::Session session;
+  std::istream* input = &std::cin;
+  std::ifstream file;
+  bool interactive = true;
+  if (argc > 1) {
+    file.open(argv[1]);
+    if (!file) {
+      std::cerr << "cannot open script '" << argv[1] << "'\n";
+      return 1;
+    }
+    input = &file;
+    interactive = false;
+  }
+  std::string line;
+  while (true) {
+    if (interactive) std::cout << "zeroone> " << std::flush;
+    if (!std::getline(*input, line)) break;
+    if (!interactive && !line.empty() && line[0] != '#') {
+      std::cout << "zeroone> " << line << "\n";
+    }
+    zeroone::Handle(&session, line);
+  }
+  return 0;
+}
