@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_alternative_measure.dir/bench_alternative_measure.cc.o"
+  "CMakeFiles/bench_alternative_measure.dir/bench_alternative_measure.cc.o.d"
+  "bench_alternative_measure"
+  "bench_alternative_measure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_alternative_measure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

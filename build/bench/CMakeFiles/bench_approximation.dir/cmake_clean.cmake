@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_approximation.dir/bench_approximation.cc.o"
+  "CMakeFiles/bench_approximation.dir/bench_approximation.cc.o.d"
+  "bench_approximation"
+  "bench_approximation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_approximation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_best_answers.dir/bench_best_answers.cc.o"
+  "CMakeFiles/bench_best_answers.dir/bench_best_answers.cc.o.d"
+  "bench_best_answers"
+  "bench_best_answers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_best_answers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_comparison_fo.dir/bench_comparison_fo.cc.o"
+  "CMakeFiles/bench_comparison_fo.dir/bench_comparison_fo.cc.o.d"
+  "bench_comparison_fo"
+  "bench_comparison_fo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_comparison_fo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_comparison_fo.
+# This may be replaced when dependencies are built.

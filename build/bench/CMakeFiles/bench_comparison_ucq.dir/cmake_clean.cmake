@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_comparison_ucq.dir/bench_comparison_ucq.cc.o"
+  "CMakeFiles/bench_comparison_ucq.dir/bench_comparison_ucq.cc.o.d"
+  "bench_comparison_ucq"
+  "bench_comparison_ucq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_comparison_ucq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_conditional_measure.dir/bench_conditional_measure.cc.o"
+  "CMakeFiles/bench_conditional_measure.dir/bench_conditional_measure.cc.o.d"
+  "bench_conditional_measure"
+  "bench_conditional_measure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_conditional_measure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

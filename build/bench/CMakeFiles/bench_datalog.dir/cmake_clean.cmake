@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_datalog.dir/bench_datalog.cc.o"
+  "CMakeFiles/bench_datalog.dir/bench_datalog.cc.o.d"
+  "bench_datalog"
+  "bench_datalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_datalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

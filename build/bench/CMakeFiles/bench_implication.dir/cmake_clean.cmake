@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_implication.dir/bench_implication.cc.o"
+  "CMakeFiles/bench_implication.dir/bench_implication.cc.o.d"
+  "bench_implication"
+  "bench_implication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_implication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

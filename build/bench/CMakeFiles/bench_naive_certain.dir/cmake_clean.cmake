@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_naive_certain.dir/bench_naive_certain.cc.o"
+  "CMakeFiles/bench_naive_certain.dir/bench_naive_certain.cc.o.d"
+  "bench_naive_certain"
+  "bench_naive_certain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_naive_certain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_naive_certain.
+# This may be replaced when dependencies are built.

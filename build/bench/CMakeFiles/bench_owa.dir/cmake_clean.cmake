@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_owa.dir/bench_owa.cc.o"
+  "CMakeFiles/bench_owa.dir/bench_owa.cc.o.d"
+  "bench_owa"
+  "bench_owa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_owa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rational_values.dir/bench_rational_values.cc.o"
+  "CMakeFiles/bench_rational_values.dir/bench_rational_values.cc.o.d"
+  "bench_rational_values"
+  "bench_rational_values.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rational_values.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

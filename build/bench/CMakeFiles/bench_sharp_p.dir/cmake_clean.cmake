@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sharp_p.dir/bench_sharp_p.cc.o"
+  "CMakeFiles/bench_sharp_p.dir/bench_sharp_p.cc.o.d"
+  "bench_sharp_p"
+  "bench_sharp_p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sharp_p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

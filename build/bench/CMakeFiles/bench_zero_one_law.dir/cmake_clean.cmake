@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_zero_one_law.dir/bench_zero_one_law.cc.o"
+  "CMakeFiles/bench_zero_one_law.dir/bench_zero_one_law.cc.o.d"
+  "bench_zero_one_law"
+  "bench_zero_one_law.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_zero_one_law.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

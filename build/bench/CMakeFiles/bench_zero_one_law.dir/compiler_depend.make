@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_zero_one_law.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/best_answers.dir/best_answers.cc.o"
+  "CMakeFiles/best_answers.dir/best_answers.cc.o.d"
+  "best_answers"
+  "best_answers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/best_answers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for best_answers.
+# This may be replaced when dependencies are built.

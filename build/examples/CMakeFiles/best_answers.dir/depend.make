@@ -1,0 +1,2 @@
+# Empty dependencies file for best_answers.
+# This may be replaced when dependencies are built.

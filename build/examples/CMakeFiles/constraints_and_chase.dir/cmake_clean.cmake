@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constraints_and_chase.dir/constraints_and_chase.cc.o"
+  "CMakeFiles/constraints_and_chase.dir/constraints_and_chase.cc.o.d"
+  "constraints_and_chase"
+  "constraints_and_chase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constraints_and_chase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_exchange.dir/data_exchange.cc.o"
+  "CMakeFiles/data_exchange.dir/data_exchange.cc.o.d"
+  "data_exchange"
+  "data_exchange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_exchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

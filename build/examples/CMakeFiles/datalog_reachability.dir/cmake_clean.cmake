@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datalog_reachability.dir/datalog_reachability.cc.o"
+  "CMakeFiles/datalog_reachability.dir/datalog_reachability.cc.o.d"
+  "datalog_reachability"
+  "datalog_reachability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datalog_reachability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

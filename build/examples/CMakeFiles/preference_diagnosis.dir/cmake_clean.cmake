@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preference_diagnosis.dir/preference_diagnosis.cc.o"
+  "CMakeFiles/preference_diagnosis.dir/preference_diagnosis.cc.o.d"
+  "preference_diagnosis"
+  "preference_diagnosis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preference_diagnosis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

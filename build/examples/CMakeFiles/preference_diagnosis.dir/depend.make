@@ -1,0 +1,2 @@
+# Empty dependencies file for preference_diagnosis.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algebra/algebra.cc" "src/algebra/CMakeFiles/zeroone_algebra.dir/algebra.cc.o" "gcc" "src/algebra/CMakeFiles/zeroone_algebra.dir/algebra.cc.o.d"
+  "/root/repo/src/algebra/ra_parser.cc" "src/algebra/CMakeFiles/zeroone_algebra.dir/ra_parser.cc.o" "gcc" "src/algebra/CMakeFiles/zeroone_algebra.dir/ra_parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/query/CMakeFiles/zeroone_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/zeroone_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/zeroone_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

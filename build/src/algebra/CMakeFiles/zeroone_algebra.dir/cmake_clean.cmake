@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zeroone_algebra.dir/algebra.cc.o"
+  "CMakeFiles/zeroone_algebra.dir/algebra.cc.o.d"
+  "CMakeFiles/zeroone_algebra.dir/ra_parser.cc.o"
+  "CMakeFiles/zeroone_algebra.dir/ra_parser.cc.o.d"
+  "libzeroone_algebra.a"
+  "libzeroone_algebra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zeroone_algebra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/bigint.cc" "src/common/CMakeFiles/zeroone_common.dir/bigint.cc.o" "gcc" "src/common/CMakeFiles/zeroone_common.dir/bigint.cc.o.d"
+  "/root/repo/src/common/partitions.cc" "src/common/CMakeFiles/zeroone_common.dir/partitions.cc.o" "gcc" "src/common/CMakeFiles/zeroone_common.dir/partitions.cc.o.d"
+  "/root/repo/src/common/polynomial.cc" "src/common/CMakeFiles/zeroone_common.dir/polynomial.cc.o" "gcc" "src/common/CMakeFiles/zeroone_common.dir/polynomial.cc.o.d"
+  "/root/repo/src/common/rational.cc" "src/common/CMakeFiles/zeroone_common.dir/rational.cc.o" "gcc" "src/common/CMakeFiles/zeroone_common.dir/rational.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

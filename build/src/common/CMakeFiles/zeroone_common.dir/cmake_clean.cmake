@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zeroone_common.dir/bigint.cc.o"
+  "CMakeFiles/zeroone_common.dir/bigint.cc.o.d"
+  "CMakeFiles/zeroone_common.dir/partitions.cc.o"
+  "CMakeFiles/zeroone_common.dir/partitions.cc.o.d"
+  "CMakeFiles/zeroone_common.dir/polynomial.cc.o"
+  "CMakeFiles/zeroone_common.dir/polynomial.cc.o.d"
+  "CMakeFiles/zeroone_common.dir/rational.cc.o"
+  "CMakeFiles/zeroone_common.dir/rational.cc.o.d"
+  "libzeroone_common.a"
+  "libzeroone_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zeroone_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/constraints/constraint.cc" "src/constraints/CMakeFiles/zeroone_constraints.dir/constraint.cc.o" "gcc" "src/constraints/CMakeFiles/zeroone_constraints.dir/constraint.cc.o.d"
+  "/root/repo/src/constraints/dependencies.cc" "src/constraints/CMakeFiles/zeroone_constraints.dir/dependencies.cc.o" "gcc" "src/constraints/CMakeFiles/zeroone_constraints.dir/dependencies.cc.o.d"
+  "/root/repo/src/constraints/fd.cc" "src/constraints/CMakeFiles/zeroone_constraints.dir/fd.cc.o" "gcc" "src/constraints/CMakeFiles/zeroone_constraints.dir/fd.cc.o.d"
+  "/root/repo/src/constraints/ind.cc" "src/constraints/CMakeFiles/zeroone_constraints.dir/ind.cc.o" "gcc" "src/constraints/CMakeFiles/zeroone_constraints.dir/ind.cc.o.d"
+  "/root/repo/src/constraints/keys.cc" "src/constraints/CMakeFiles/zeroone_constraints.dir/keys.cc.o" "gcc" "src/constraints/CMakeFiles/zeroone_constraints.dir/keys.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/query/CMakeFiles/zeroone_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/zeroone_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/zeroone_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zeroone_constraints.dir/constraint.cc.o"
+  "CMakeFiles/zeroone_constraints.dir/constraint.cc.o.d"
+  "CMakeFiles/zeroone_constraints.dir/dependencies.cc.o"
+  "CMakeFiles/zeroone_constraints.dir/dependencies.cc.o.d"
+  "CMakeFiles/zeroone_constraints.dir/fd.cc.o"
+  "CMakeFiles/zeroone_constraints.dir/fd.cc.o.d"
+  "CMakeFiles/zeroone_constraints.dir/ind.cc.o"
+  "CMakeFiles/zeroone_constraints.dir/ind.cc.o.d"
+  "CMakeFiles/zeroone_constraints.dir/keys.cc.o"
+  "CMakeFiles/zeroone_constraints.dir/keys.cc.o.d"
+  "libzeroone_constraints.a"
+  "libzeroone_constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zeroone_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/comparison.cc" "src/core/CMakeFiles/zeroone_core.dir/comparison.cc.o" "gcc" "src/core/CMakeFiles/zeroone_core.dir/comparison.cc.o.d"
+  "/root/repo/src/core/conditional.cc" "src/core/CMakeFiles/zeroone_core.dir/conditional.cc.o" "gcc" "src/core/CMakeFiles/zeroone_core.dir/conditional.cc.o.d"
+  "/root/repo/src/core/generic_instance.cc" "src/core/CMakeFiles/zeroone_core.dir/generic_instance.cc.o" "gcc" "src/core/CMakeFiles/zeroone_core.dir/generic_instance.cc.o.d"
+  "/root/repo/src/core/measure.cc" "src/core/CMakeFiles/zeroone_core.dir/measure.cc.o" "gcc" "src/core/CMakeFiles/zeroone_core.dir/measure.cc.o.d"
+  "/root/repo/src/core/owa.cc" "src/core/CMakeFiles/zeroone_core.dir/owa.cc.o" "gcc" "src/core/CMakeFiles/zeroone_core.dir/owa.cc.o.d"
+  "/root/repo/src/core/preference.cc" "src/core/CMakeFiles/zeroone_core.dir/preference.cc.o" "gcc" "src/core/CMakeFiles/zeroone_core.dir/preference.cc.o.d"
+  "/root/repo/src/core/ranking.cc" "src/core/CMakeFiles/zeroone_core.dir/ranking.cc.o" "gcc" "src/core/CMakeFiles/zeroone_core.dir/ranking.cc.o.d"
+  "/root/repo/src/core/sampling.cc" "src/core/CMakeFiles/zeroone_core.dir/sampling.cc.o" "gcc" "src/core/CMakeFiles/zeroone_core.dir/sampling.cc.o.d"
+  "/root/repo/src/core/support.cc" "src/core/CMakeFiles/zeroone_core.dir/support.cc.o" "gcc" "src/core/CMakeFiles/zeroone_core.dir/support.cc.o.d"
+  "/root/repo/src/core/support_polynomial.cc" "src/core/CMakeFiles/zeroone_core.dir/support_polynomial.cc.o" "gcc" "src/core/CMakeFiles/zeroone_core.dir/support_polynomial.cc.o.d"
+  "/root/repo/src/core/threevalued.cc" "src/core/CMakeFiles/zeroone_core.dir/threevalued.cc.o" "gcc" "src/core/CMakeFiles/zeroone_core.dir/threevalued.cc.o.d"
+  "/root/repo/src/core/ucq_compare.cc" "src/core/CMakeFiles/zeroone_core.dir/ucq_compare.cc.o" "gcc" "src/core/CMakeFiles/zeroone_core.dir/ucq_compare.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/constraints/CMakeFiles/zeroone_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/zeroone_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/zeroone_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/zeroone_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

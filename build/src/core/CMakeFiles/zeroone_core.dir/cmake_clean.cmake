@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zeroone_core.dir/comparison.cc.o"
+  "CMakeFiles/zeroone_core.dir/comparison.cc.o.d"
+  "CMakeFiles/zeroone_core.dir/conditional.cc.o"
+  "CMakeFiles/zeroone_core.dir/conditional.cc.o.d"
+  "CMakeFiles/zeroone_core.dir/generic_instance.cc.o"
+  "CMakeFiles/zeroone_core.dir/generic_instance.cc.o.d"
+  "CMakeFiles/zeroone_core.dir/measure.cc.o"
+  "CMakeFiles/zeroone_core.dir/measure.cc.o.d"
+  "CMakeFiles/zeroone_core.dir/owa.cc.o"
+  "CMakeFiles/zeroone_core.dir/owa.cc.o.d"
+  "CMakeFiles/zeroone_core.dir/preference.cc.o"
+  "CMakeFiles/zeroone_core.dir/preference.cc.o.d"
+  "CMakeFiles/zeroone_core.dir/ranking.cc.o"
+  "CMakeFiles/zeroone_core.dir/ranking.cc.o.d"
+  "CMakeFiles/zeroone_core.dir/sampling.cc.o"
+  "CMakeFiles/zeroone_core.dir/sampling.cc.o.d"
+  "CMakeFiles/zeroone_core.dir/support.cc.o"
+  "CMakeFiles/zeroone_core.dir/support.cc.o.d"
+  "CMakeFiles/zeroone_core.dir/support_polynomial.cc.o"
+  "CMakeFiles/zeroone_core.dir/support_polynomial.cc.o.d"
+  "CMakeFiles/zeroone_core.dir/threevalued.cc.o"
+  "CMakeFiles/zeroone_core.dir/threevalued.cc.o.d"
+  "CMakeFiles/zeroone_core.dir/ucq_compare.cc.o"
+  "CMakeFiles/zeroone_core.dir/ucq_compare.cc.o.d"
+  "libzeroone_core.a"
+  "libzeroone_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zeroone_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/database.cc" "src/data/CMakeFiles/zeroone_data.dir/database.cc.o" "gcc" "src/data/CMakeFiles/zeroone_data.dir/database.cc.o.d"
+  "/root/repo/src/data/homomorphism.cc" "src/data/CMakeFiles/zeroone_data.dir/homomorphism.cc.o" "gcc" "src/data/CMakeFiles/zeroone_data.dir/homomorphism.cc.o.d"
+  "/root/repo/src/data/io.cc" "src/data/CMakeFiles/zeroone_data.dir/io.cc.o" "gcc" "src/data/CMakeFiles/zeroone_data.dir/io.cc.o.d"
+  "/root/repo/src/data/isomorphism.cc" "src/data/CMakeFiles/zeroone_data.dir/isomorphism.cc.o" "gcc" "src/data/CMakeFiles/zeroone_data.dir/isomorphism.cc.o.d"
+  "/root/repo/src/data/relation.cc" "src/data/CMakeFiles/zeroone_data.dir/relation.cc.o" "gcc" "src/data/CMakeFiles/zeroone_data.dir/relation.cc.o.d"
+  "/root/repo/src/data/tuple.cc" "src/data/CMakeFiles/zeroone_data.dir/tuple.cc.o" "gcc" "src/data/CMakeFiles/zeroone_data.dir/tuple.cc.o.d"
+  "/root/repo/src/data/valuation.cc" "src/data/CMakeFiles/zeroone_data.dir/valuation.cc.o" "gcc" "src/data/CMakeFiles/zeroone_data.dir/valuation.cc.o.d"
+  "/root/repo/src/data/value.cc" "src/data/CMakeFiles/zeroone_data.dir/value.cc.o" "gcc" "src/data/CMakeFiles/zeroone_data.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/zeroone_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zeroone_data.dir/database.cc.o"
+  "CMakeFiles/zeroone_data.dir/database.cc.o.d"
+  "CMakeFiles/zeroone_data.dir/homomorphism.cc.o"
+  "CMakeFiles/zeroone_data.dir/homomorphism.cc.o.d"
+  "CMakeFiles/zeroone_data.dir/io.cc.o"
+  "CMakeFiles/zeroone_data.dir/io.cc.o.d"
+  "CMakeFiles/zeroone_data.dir/isomorphism.cc.o"
+  "CMakeFiles/zeroone_data.dir/isomorphism.cc.o.d"
+  "CMakeFiles/zeroone_data.dir/relation.cc.o"
+  "CMakeFiles/zeroone_data.dir/relation.cc.o.d"
+  "CMakeFiles/zeroone_data.dir/tuple.cc.o"
+  "CMakeFiles/zeroone_data.dir/tuple.cc.o.d"
+  "CMakeFiles/zeroone_data.dir/valuation.cc.o"
+  "CMakeFiles/zeroone_data.dir/valuation.cc.o.d"
+  "CMakeFiles/zeroone_data.dir/value.cc.o"
+  "CMakeFiles/zeroone_data.dir/value.cc.o.d"
+  "libzeroone_data.a"
+  "libzeroone_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zeroone_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datalog/eval.cc" "src/datalog/CMakeFiles/zeroone_datalog.dir/eval.cc.o" "gcc" "src/datalog/CMakeFiles/zeroone_datalog.dir/eval.cc.o.d"
+  "/root/repo/src/datalog/measure.cc" "src/datalog/CMakeFiles/zeroone_datalog.dir/measure.cc.o" "gcc" "src/datalog/CMakeFiles/zeroone_datalog.dir/measure.cc.o.d"
+  "/root/repo/src/datalog/parser.cc" "src/datalog/CMakeFiles/zeroone_datalog.dir/parser.cc.o" "gcc" "src/datalog/CMakeFiles/zeroone_datalog.dir/parser.cc.o.d"
+  "/root/repo/src/datalog/program.cc" "src/datalog/CMakeFiles/zeroone_datalog.dir/program.cc.o" "gcc" "src/datalog/CMakeFiles/zeroone_datalog.dir/program.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/zeroone_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/zeroone_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/zeroone_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraints/CMakeFiles/zeroone_constraints.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/zeroone_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zeroone_datalog.dir/eval.cc.o"
+  "CMakeFiles/zeroone_datalog.dir/eval.cc.o.d"
+  "CMakeFiles/zeroone_datalog.dir/measure.cc.o"
+  "CMakeFiles/zeroone_datalog.dir/measure.cc.o.d"
+  "CMakeFiles/zeroone_datalog.dir/parser.cc.o"
+  "CMakeFiles/zeroone_datalog.dir/parser.cc.o.d"
+  "CMakeFiles/zeroone_datalog.dir/program.cc.o"
+  "CMakeFiles/zeroone_datalog.dir/program.cc.o.d"
+  "libzeroone_datalog.a"
+  "libzeroone_datalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zeroone_datalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for zeroone_datalog.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zeroone_gen.dir/random_db.cc.o"
+  "CMakeFiles/zeroone_gen.dir/random_db.cc.o.d"
+  "CMakeFiles/zeroone_gen.dir/random_query.cc.o"
+  "CMakeFiles/zeroone_gen.dir/random_query.cc.o.d"
+  "CMakeFiles/zeroone_gen.dir/scenarios.cc.o"
+  "CMakeFiles/zeroone_gen.dir/scenarios.cc.o.d"
+  "libzeroone_gen.a"
+  "libzeroone_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zeroone_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

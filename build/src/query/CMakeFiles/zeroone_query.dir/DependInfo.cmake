@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/eval.cc" "src/query/CMakeFiles/zeroone_query.dir/eval.cc.o" "gcc" "src/query/CMakeFiles/zeroone_query.dir/eval.cc.o.d"
+  "/root/repo/src/query/formula.cc" "src/query/CMakeFiles/zeroone_query.dir/formula.cc.o" "gcc" "src/query/CMakeFiles/zeroone_query.dir/formula.cc.o.d"
+  "/root/repo/src/query/fragments.cc" "src/query/CMakeFiles/zeroone_query.dir/fragments.cc.o" "gcc" "src/query/CMakeFiles/zeroone_query.dir/fragments.cc.o.d"
+  "/root/repo/src/query/matcher.cc" "src/query/CMakeFiles/zeroone_query.dir/matcher.cc.o" "gcc" "src/query/CMakeFiles/zeroone_query.dir/matcher.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/query/CMakeFiles/zeroone_query.dir/parser.cc.o" "gcc" "src/query/CMakeFiles/zeroone_query.dir/parser.cc.o.d"
+  "/root/repo/src/query/query.cc" "src/query/CMakeFiles/zeroone_query.dir/query.cc.o" "gcc" "src/query/CMakeFiles/zeroone_query.dir/query.cc.o.d"
+  "/root/repo/src/query/safety.cc" "src/query/CMakeFiles/zeroone_query.dir/safety.cc.o" "gcc" "src/query/CMakeFiles/zeroone_query.dir/safety.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/data/CMakeFiles/zeroone_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/zeroone_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

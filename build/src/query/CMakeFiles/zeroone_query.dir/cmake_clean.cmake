@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zeroone_query.dir/eval.cc.o"
+  "CMakeFiles/zeroone_query.dir/eval.cc.o.d"
+  "CMakeFiles/zeroone_query.dir/formula.cc.o"
+  "CMakeFiles/zeroone_query.dir/formula.cc.o.d"
+  "CMakeFiles/zeroone_query.dir/fragments.cc.o"
+  "CMakeFiles/zeroone_query.dir/fragments.cc.o.d"
+  "CMakeFiles/zeroone_query.dir/matcher.cc.o"
+  "CMakeFiles/zeroone_query.dir/matcher.cc.o.d"
+  "CMakeFiles/zeroone_query.dir/parser.cc.o"
+  "CMakeFiles/zeroone_query.dir/parser.cc.o.d"
+  "CMakeFiles/zeroone_query.dir/query.cc.o"
+  "CMakeFiles/zeroone_query.dir/query.cc.o.d"
+  "CMakeFiles/zeroone_query.dir/safety.cc.o"
+  "CMakeFiles/zeroone_query.dir/safety.cc.o.d"
+  "libzeroone_query.a"
+  "libzeroone_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zeroone_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

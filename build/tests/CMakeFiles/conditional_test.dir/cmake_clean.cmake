@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conditional_test.dir/conditional_test.cc.o"
+  "CMakeFiles/conditional_test.dir/conditional_test.cc.o.d"
+  "conditional_test"
+  "conditional_test.pdb"
+  "conditional_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conditional_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

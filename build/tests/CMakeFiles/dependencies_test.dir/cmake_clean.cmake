@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dependencies_test.dir/dependencies_test.cc.o"
+  "CMakeFiles/dependencies_test.dir/dependencies_test.cc.o.d"
+  "dependencies_test"
+  "dependencies_test.pdb"
+  "dependencies_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dependencies_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

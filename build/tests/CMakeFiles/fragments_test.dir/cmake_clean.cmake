@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fragments_test.dir/fragments_test.cc.o"
+  "CMakeFiles/fragments_test.dir/fragments_test.cc.o.d"
+  "fragments_test"
+  "fragments_test.pdb"
+  "fragments_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fragments_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/owa_test.dir/owa_test.cc.o"
+  "CMakeFiles/owa_test.dir/owa_test.cc.o.d"
+  "owa_test"
+  "owa_test.pdb"
+  "owa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/owa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partitions_test.dir/partitions_test.cc.o"
+  "CMakeFiles/partitions_test.dir/partitions_test.cc.o.d"
+  "partitions_test"
+  "partitions_test.pdb"
+  "partitions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partitions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/propositions_test.dir/propositions_test.cc.o"
+  "CMakeFiles/propositions_test.dir/propositions_test.cc.o.d"
+  "propositions_test"
+  "propositions_test.pdb"
+  "propositions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/propositions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

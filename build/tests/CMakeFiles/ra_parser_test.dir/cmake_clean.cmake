@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ra_parser_test.dir/ra_parser_test.cc.o"
+  "CMakeFiles/ra_parser_test.dir/ra_parser_test.cc.o.d"
+  "ra_parser_test"
+  "ra_parser_test.pdb"
+  "ra_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ra_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

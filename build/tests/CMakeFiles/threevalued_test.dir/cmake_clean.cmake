@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threevalued_test.dir/threevalued_test.cc.o"
+  "CMakeFiles/threevalued_test.dir/threevalued_test.cc.o.d"
+  "threevalued_test"
+  "threevalued_test.pdb"
+  "threevalued_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threevalued_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

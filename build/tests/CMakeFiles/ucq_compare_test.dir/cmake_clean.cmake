@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ucq_compare_test.dir/ucq_compare_test.cc.o"
+  "CMakeFiles/ucq_compare_test.dir/ucq_compare_test.cc.o.d"
+  "ucq_compare_test"
+  "ucq_compare_test.pdb"
+  "ucq_compare_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ucq_compare_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zeroone_cli.dir/zeroone_cli.cc.o"
+  "CMakeFiles/zeroone_cli.dir/zeroone_cli.cc.o.d"
+  "zeroone_cli"
+  "zeroone_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zeroone_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
