@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "bench_common.h"
 #include "core/measure.h"
 #include "core/support.h"
 #include "data/io.h"
@@ -17,6 +18,7 @@
 using namespace zeroone;
 
 int main() {
+  bench::Experiment experiment("alternative_measure");
   std::printf("E3: alternative measure m^k vs mu^k (Theorem 2)\n");
   std::printf("-----------------------------------------------\n");
   Database db = ParseDatabase("R(2) = { (1, _alt1), (1, _alt2) }").value();
@@ -31,19 +33,32 @@ int main() {
   std::printf("D: %s\n", db.ToString().c_str());
   std::printf("%6s | %12s %12s %12s | %12s %12s %12s\n", "k", "mu^k(Q1)",
               "m^k(Q1)", "nu^k(Q1)", "mu^k(Q2)", "m^k(Q2)", "nu^k(Q2)");
+  bool q2_closed_forms = true;
   for (std::size_t k = 2; k <= 14; k += 2) {
+    Rational mu_q2 = MuK(q2, db, k);
+    Rational m_q2 = MK(q2, db, k);
+    q2_closed_forms =
+        q2_closed_forms &&
+        mu_q2 == Rational(1, static_cast<std::int64_t>(k)) &&
+        m_q2 == Rational(2, static_cast<std::int64_t>(k) + 1);
     std::printf("%6zu | %12.6f %12.6f %12.6f | %12.6f %12.6f %12.6f\n", k,
                 MuK(q1, db, k).ToDouble(), MK(q1, db, k).ToDouble(),
-                NuK(q1, db, k).ToDouble(), MuK(q2, db, k).ToDouble(),
-                MK(q2, db, k).ToDouble(), NuK(q2, db, k).ToDouble());
+                NuK(q1, db, k).ToDouble(), mu_q2.ToDouble(),
+                m_q2.ToDouble(), NuK(q2, db, k).ToDouble());
   }
+  experiment.Claim(q2_closed_forms,
+                   "exact closed forms mu^k(Q2) = 1/k and m^k(Q2) = 2/(k+1)");
   std::printf("(claims: mu^k and m^k differ at finite k but pair up in the "
               "limit — Q1 -> 1, Q2 -> 0, exact forms mu^k(Q2) = 1/k and "
               "m^k(Q2) = 2/(k+1); the isomorphism-type measure nu^k "
               "STABILIZES instead, per the remark after Theorem 1: the "
               "number of types stops growing, so nu is a type-level "
               "measure, not an asymptotic one)\n");
-  std::printf("limits by 0-1 law: mu(Q1) = %d, mu(Q2) = %d\n",
-              MuLimit(q1, db), MuLimit(q2, db));
-  return 0;
+  bool limit_q1 = MuLimit(q1, db);
+  bool limit_q2 = MuLimit(q2, db);
+  std::printf("limits by 0-1 law: mu(Q1) = %d, mu(Q2) = %d\n", limit_q1,
+              limit_q2);
+  experiment.Claim(limit_q1 && !limit_q2,
+                   "limits pair up: mu(Q1) = 1, mu(Q2) = 0");
+  return experiment.Finish();
 }

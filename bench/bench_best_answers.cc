@@ -12,6 +12,7 @@
 
 #include <algorithm>
 
+#include "bench_common.h"
 #include "core/comparison.h"
 #include "core/measure.h"
 #include "core/support.h"
@@ -20,24 +21,29 @@
 using namespace zeroone;
 
 int main() {
+  bench::Experiment experiment("best_answers");
   std::printf("E13: best answers vs the measure (Prop 7, Section 5)\n");
   std::printf("----------------------------------------------------\n");
 
   std::printf("Section 5 example (Q = R - S):\n");
   BestAnswerExample example = PaperBestAnswerExample();
-  std::printf("  certain answers: %zu   (claim: 0)\n",
-              CertainAnswers(example.query, example.db).size());
+  std::size_t certain = CertainAnswers(example.query, example.db).size();
+  std::printf("  certain answers: %zu   (claim: 0)\n", certain);
+  experiment.Claim(certain == 0,
+                   "Section 5 example has no certain answers");
+  bool dominated = StrictlyDominated(example.query, example.db,
+                                     example.tuple_a, example.tuple_b);
   std::printf("  (1,⊥1) ◁ (2,⊥2): %s   (claim: yes)\n",
-              StrictlyDominated(example.query, example.db, example.tuple_a,
-                                example.tuple_b)
-                  ? "yes"
-                  : "no");
+              dominated ? "yes" : "no");
+  experiment.Claim(dominated, "(1,⊥1) is strictly dominated by (2,⊥2)");
   std::vector<Tuple> best = BestAnswers(example.query, example.db);
   std::printf("  Best(Q,D) = {");
   for (std::size_t i = 0; i < best.size(); ++i) {
     std::printf("%s%s", i ? ", " : " ", best[i].ToString().c_str());
   }
   std::printf(" }   (claim: {(2,⊥2)})\n\n");
+  experiment.Claim(best.size() == 1 && best[0] == example.tuple_b,
+                   "Best(Q,D) is exactly {(2,⊥2)}");
 
   std::printf("Proposition 7 orthogonality table:\n");
   std::printf("%-12s %-10s %-8s %-12s %-12s\n", "tuple", "variant", "best?",
@@ -64,5 +70,8 @@ int main() {
     std::printf("%s%s", i ? ", " : " ", best_mu[i].ToString().c_str());
   }
   std::printf(" }   (claim: {(a)})\n");
-  return 0;
+  experiment.Claim(best_mu.size() == 1,
+                   "Best_mu of the plain Proposition 7 variant is a "
+                   "single answer");
+  return experiment.Finish();
 }

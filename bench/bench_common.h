@@ -1,0 +1,129 @@
+// Shared experiment harness for the bench_* binaries.
+//
+// Each bench wraps its run in a zeroone::bench::Experiment. The harness
+// records wall time and the observability counter deltas attributable to the
+// run, collects paper-claim checks (`Claim`), and on `Finish` writes a
+// machine-readable BENCH_<name>.json next to the human-readable stdout
+// report. Finish returns a nonzero exit code when any claim failed, so CI
+// catches regressions of the paper's claims instead of scrolling past them.
+//
+// The JSON lands in $ZEROONE_BENCH_DIR (if set) or the working directory:
+//
+//   {
+//     "experiment": "zero_one_law",
+//     "schema_version": 1,
+//     "obs_enabled": true,
+//     "wall_time_ms": 123.4,
+//     "claims": [{"description": "...", "ok": true}, ...],
+//     "claims_failed": 0,
+//     "metrics": {"support.valuations_enumerated": 123, ...}
+//   }
+
+#ifndef ZEROONE_BENCH_BENCH_COMMON_H_
+#define ZEROONE_BENCH_BENCH_COMMON_H_
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace zeroone {
+namespace bench {
+
+class Experiment {
+ public:
+  explicit Experiment(std::string name)
+      : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {}
+
+  Experiment(const Experiment&) = delete;
+  Experiment& operator=(const Experiment&) = delete;
+
+  // Records one paper-claim check; failures are echoed immediately.
+  void Claim(bool ok, const std::string& description) {
+    claims_.emplace_back(description, ok);
+    if (!ok) {
+      std::fprintf(stderr, "CLAIM FAILED [%s]: %s\n", name_.c_str(),
+                   description.c_str());
+    }
+  }
+
+  std::size_t failed_claims() const {
+    std::size_t failed = 0;
+    for (const auto& [description, ok] : claims_) {
+      failed += static_cast<std::size_t>(!ok);
+    }
+    return failed;
+  }
+
+  // Writes BENCH_<name>.json and returns the process exit code: 0 when every
+  // claim held and the result file was written, 1 otherwise. Call as
+  // `return experiment.Finish();`.
+  int Finish() {
+    bool wrote = false;
+    double wall_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - start_)
+                         .count();
+    std::size_t failed = failed_claims();
+
+    std::string path = "BENCH_" + name_ + ".json";
+    if (const char* dir = std::getenv("ZEROONE_BENCH_DIR")) {
+      if (dir[0] != '\0') path = std::string(dir) + "/" + path;
+    }
+    std::ofstream out(path);
+    if (out) {
+      out << "{\"experiment\": ";
+      obs::AppendJsonString(out, name_);
+      out << ", \"schema_version\": 1";
+      out << ", \"obs_enabled\": "
+          << (ZEROONE_OBS_ENABLED ? "true" : "false");
+      out << ", \"wall_time_ms\": " << wall_ms;
+      out << ", \"claims\": [";
+      bool first = true;
+      for (const auto& [description, ok] : claims_) {
+        if (!first) out << ", ";
+        first = false;
+        out << "{\"description\": ";
+        obs::AppendJsonString(out, description);
+        out << ", \"ok\": " << (ok ? "true" : "false") << "}";
+      }
+      out << "], \"claims_failed\": " << failed;
+      out << ", \"metrics\": {";
+      first = true;
+      for (const auto& [counter, delta] : snapshot_.Deltas()) {
+        if (!first) out << ", ";
+        first = false;
+        obs::AppendJsonString(out, counter);
+        out << ": " << delta;
+      }
+      out << "}}\n";
+      wrote = static_cast<bool>(out.flush());
+      std::printf("\n[%s] wrote %s (%zu/%zu claims ok)\n", name_.c_str(),
+                  path.c_str(), claims_.size() - failed, claims_.size());
+    }
+    if (!wrote) {
+      std::fprintf(stderr, "[%s] cannot write %s\n", name_.c_str(),
+                   path.c_str());
+    }
+    if (failed != 0) {
+      std::fprintf(stderr, "[%s] %zu claim(s) FAILED\n", name_.c_str(),
+                   failed);
+    }
+    return (failed != 0 || !wrote) ? 1 : 0;
+  }
+
+ private:
+  std::string name_;
+  obs::ScopedSnapshot snapshot_;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<std::pair<std::string, bool>> claims_;
+};
+
+}  // namespace bench
+}  // namespace zeroone
+
+#endif  // ZEROONE_BENCH_BENCH_COMMON_H_

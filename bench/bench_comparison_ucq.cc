@@ -14,6 +14,7 @@
 
 #include <cstdio>
 
+#include "bench_common.h"
 #include "core/comparison.h"
 #include "core/ucq_compare.h"
 #include "gen/random_db.h"
@@ -81,7 +82,7 @@ void BM_UcqBestAnswers(benchmark::State& state) {
 }
 BENCHMARK(BM_UcqBestAnswers)->Arg(8)->Arg(16)->Arg(24);
 
-void SpotCheck() {
+void SpotCheck(bench::Experiment* experiment) {
   std::size_t agreements = 0;
   std::size_t total = 0;
   for (std::uint64_t seed = 0; seed < 10; ++seed) {
@@ -100,18 +101,21 @@ void SpotCheck() {
   std::printf("correctness spot-check: Theorem 8 algorithm agrees with the "
               "generic search on %zu/%zu pairs (claim: all)\n\n",
               agreements, total);
+  experiment->Claim(total > 0 && agreements == total,
+                    "Theorem 8 UCQ algorithm agrees with the generic search");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::Experiment experiment("comparison_ucq");
   std::printf("E11: polynomial UCQ comparisons (Thm 8)\n");
   std::printf("---------------------------------------\n");
-  SpotCheck();
+  SpotCheck(&experiment);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   std::printf("(claim shape: UcqSeparates grows polynomially with |D| while "
               "the generic algorithm blows up with the null count — compare "
               "BM_UcqSeparates/16 with BM_GenericSeparates/16)\n");
-  return 0;
+  return experiment.Finish();
 }

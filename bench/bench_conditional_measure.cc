@@ -12,6 +12,7 @@
 
 #include <cstdio>
 
+#include "bench_common.h"
 #include "constraints/ind.h"
 #include "core/conditional.h"
 #include "core/measure.h"
@@ -22,6 +23,7 @@
 using namespace zeroone;
 
 int main() {
+  bench::Experiment experiment("conditional_measure");
   std::printf("E6: conditional measure exists and is rational (Thm 3)\n");
   std::printf("------------------------------------------------------\n");
   ConditionalExample example = PaperConditionalExample();
@@ -32,6 +34,9 @@ int main() {
   std::printf("Section 4 example: mu(Q|Sigma,D,(1,⊥)) = %s (claim 1/3), "
               "mu(Q|Sigma,D,(2,⊥)) = %s (claim 2/3)\n",
               mu_a.value.ToString().c_str(), mu_b.value.ToString().c_str());
+  experiment.Claim(mu_a.value == Rational(1, 3) &&
+                       mu_b.value == Rational(2, 3),
+                   "Section 4 example: conditional measures are 1/3 and 2/3");
 
   std::printf("\nfinite-k sequence for (2,⊥):  ");
   Query sigma = ConstraintSetQuery(example.constraints);
@@ -46,6 +51,7 @@ int main() {
 
   std::printf("\nRandom IND instances: distinct rational limits observed\n");
   std::printf("%6s %28s %10s\n", "seed", "mu(Q|Sigma,D)", "in[0,1]");
+  bool all_in_range = true;
   for (std::uint64_t seed = 0; seed < 12; ++seed) {
     RandomDatabaseOptions db_options;
     db_options.relations = {{"R", 2, 3}, {"U", 1, 3}};
@@ -67,10 +73,13 @@ int main() {
     Query query = GenerateRandomUcq(q_options);
     Rational mu = ConditionalMu(query, constraints, db);
     bool in_range = mu >= Rational(0) && mu <= Rational(1);
+    all_in_range = all_in_range && in_range;
     std::printf("%6llu %28s %10s\n",
                 static_cast<unsigned long long>(seed), mu.ToString().c_str(),
                 in_range ? "yes" : "NO");
   }
+  experiment.Claim(all_in_range,
+                   "every random conditional measure is a rational in [0,1]");
 
   std::printf("\nE8: almost surely true constraints do not matter (Thm 4)\n");
   std::printf("---------------------------------------------------------\n");
@@ -106,5 +115,7 @@ int main() {
   std::printf("mu(Q|Sigma,D) == mu(Q,D) on %zu/%zu instances with "
               "Sigma^naive(D) = true   (claim: all)\n",
               agreements, total);
-  return 0;
+  experiment.Claim(total > 0 && agreements == total,
+                   "Theorem 4: almost surely true constraints do not matter");
+  return experiment.Finish();
 }

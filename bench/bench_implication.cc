@@ -10,6 +10,7 @@
 
 #include <cstdio>
 
+#include "bench_common.h"
 #include "constraints/ind.h"
 #include "core/conditional.h"
 #include "core/measure.h"
@@ -20,6 +21,7 @@
 using namespace zeroone;
 
 int main() {
+  bench::Experiment experiment("implication");
   std::printf("E5: measuring implication vs conditional (Prop 3)\n");
   std::printf("-------------------------------------------------\n");
   std::size_t case_sigma_zero = 0;
@@ -63,15 +65,19 @@ int main() {
               total, case_sigma_zero, case_sigma_one);
   std::printf("Proposition 3 prediction confirmed on %zu/%zu\n", confirmed,
               total);
+  experiment.Claim(total > 0 && confirmed == total,
+                   "Proposition 3 case analysis holds on every random triple");
 
   std::printf("\nSection 4.3 contrast (implication blind, conditional not):\n");
   NaiveBreaksExample example = PaperNaiveBreaksExample();
   Query sigma = ConstraintSetQuery(example.constraints);
-  std::printf("  mu(Sigma -> Q, D) = %d   (claim: 1)\n",
-              ImplicationMuLimit(example.query, sigma, example.db, Tuple{}));
+  int impl = ImplicationMuLimit(example.query, sigma, example.db, Tuple{});
+  Rational cond =
+      ConditionalMu(example.query, example.constraints, example.db);
+  std::printf("  mu(Sigma -> Q, D) = %d   (claim: 1)\n", impl);
   std::printf("  mu(Q | Sigma, D)  = %s   (claim: 0)\n",
-              ConditionalMu(example.query, example.constraints, example.db)
-                  .ToString()
-                  .c_str());
-  return 0;
+              cond.ToString().c_str());
+  experiment.Claim(impl == 1 && cond == Rational(0),
+                   "Section 4.3: implication measure 1 but conditional 0");
+  return experiment.Finish();
 }

@@ -13,6 +13,7 @@
 
 #include <cstdio>
 
+#include "bench_common.h"
 #include "core/measure.h"
 #include "gen/random_db.h"
 #include "gen/random_query.h"
@@ -46,7 +47,7 @@ Query MakeQuery(std::uint64_t seed, bool positive) {
                   : GenerateRandomFo(options, 0.35);
 }
 
-void ReportContainment() {
+void ReportContainment(bench::Experiment* experiment) {
   std::size_t fo_contained = 0;
   std::size_t fo_equal = 0;
   std::size_t fo_total = 0;
@@ -88,6 +89,10 @@ void ReportContainment() {
   std::printf("Cor 3: certain == naive on %zu/%zu Pos∀G instances "
               "(claim: all)\n\n",
               pos_equal, pos_total);
+  experiment->Claim(fo_total > 0 && fo_contained == fo_total,
+                    "Corollary 1: certain ⊆ naive on every FO instance");
+  experiment->Claim(pos_total > 0 && pos_equal == pos_total,
+                    "Corollary 3: certain == naive on every Pos∀G instance");
 }
 
 void BM_AlmostCertainCheck(benchmark::State& state) {
@@ -129,13 +134,14 @@ BENCHMARK(BM_CertainCheck)->DenseRange(1, 4)->Complexity();
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::Experiment experiment("naive_certain");
   std::printf("E14: naive vs certain answers (Corollaries 1-3)\n");
   std::printf("-----------------------------------------------\n");
-  ReportContainment();
+  ReportContainment(&experiment);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   std::printf("(claim shape: the almost-certainty check costs one query "
               "evaluation (Cor 2) while exact certainty explodes with the "
               "null count)\n");
-  return 0;
+  return experiment.Finish();
 }

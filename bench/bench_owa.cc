@@ -7,6 +7,7 @@
 
 #include <cstdio>
 
+#include "bench_common.h"
 #include "core/measure.h"
 #include "core/owa.h"
 #include "gen/scenarios.h"
@@ -14,16 +15,23 @@
 using namespace zeroone;
 
 int main() {
+  bench::Experiment experiment("owa");
   std::printf("E4: open-world measure (Proposition 2)\n");
   std::printf("---------------------------------------\n");
   OwaExample example = Proposition2Example();
   std::printf("D: single empty unary relation U\n");
+  bool naive_q1 = MuLimit(example.q1, example.db);
+  bool naive_q2 = MuLimit(example.q2, example.db);
   std::printf("Q1 = %s   (naive: %s)\n", example.q1.ToString().c_str(),
-              MuLimit(example.q1, example.db) ? "true" : "false");
+              naive_q1 ? "true" : "false");
   std::printf("Q2 = %s   (naive: %s)\n", example.q2.ToString().c_str(),
-              MuLimit(example.q2, example.db) ? "true" : "false");
+              naive_q2 ? "true" : "false");
+  experiment.Claim(naive_q1 && !naive_q2,
+                   "naive evaluation: Q1 true, Q2 false on the empty U");
   std::printf("%6s %16s %12s %16s\n", "k", "owa-m^k(Q1)", "claim 2^-k",
               "owa-m^k(Q2)");
+  bool q1_matches_series = true;
+  std::size_t points = 0;
   for (std::size_t k = 1; k <= 8; ++k) {
     StatusOr<Rational> q1 = OwaMK(example.q1, example.db, k);
     StatusOr<Rational> q2 = OwaMK(example.q2, example.db, k);
@@ -31,11 +39,17 @@ int main() {
       std::printf("%6zu  (guard: %s)\n", k, q1.status().message().c_str());
       break;
     }
+    q1_matches_series =
+        q1_matches_series &&
+        *q1 == Rational(1, static_cast<std::int64_t>(1) << k);
+    ++points;
     std::printf("%6zu %16s %12.6f %16s\n", k, q1->ToString().c_str(),
                 1.0 / static_cast<double>(1u << k), q2->ToString().c_str());
   }
   std::printf("(claim: owa-m(Q1) = 0 with naive true; owa-m(Q2) = 1 with "
               "naive false — naive evaluation and the OWA measure point in "
               "opposite directions)\n");
-  return 0;
+  experiment.Claim(points > 0 && q1_matches_series,
+                   "owa-m^k(Q1) equals 2^-k exactly (Proposition 2)");
+  return experiment.Finish();
 }

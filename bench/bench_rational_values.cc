@@ -10,12 +10,14 @@
 
 #include <cstdio>
 
+#include "bench_common.h"
 #include "core/conditional.h"
 #include "gen/scenarios.h"
 
 using namespace zeroone;
 
 int main() {
+  bench::Experiment experiment("rational_values");
   std::printf("E7: every rational is a conditional measure (Prop 4)\n");
   std::printf("----------------------------------------------------\n");
   std::printf("%8s %12s %8s\n", "p/r", "measured", "match");
@@ -38,5 +40,7 @@ int main() {
   }
   std::printf("... (%zu/%zu grid points match; claim: all)\n", matches,
               total);
-  return 0;
+  experiment.Claim(total > 0 && matches == total,
+                   "Proposition 4 construction realizes every p/r exactly");
+  return experiment.Finish();
 }

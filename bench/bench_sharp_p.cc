@@ -13,6 +13,7 @@
 
 #include <cstdio>
 
+#include "bench_common.h"
 #include "common/partitions.h"
 #include "constraints/keys.h"
 #include "constraints/ind.h"
@@ -87,6 +88,7 @@ BENCHMARK(BM_KeySatisfiability)
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::Experiment experiment("sharp_p");
   std::printf("E12: #P-shaped exact computation vs PTIME satisfiability "
               "(Props 5, 6)\n");
   std::printf("--------------------------------------------------------\n");
@@ -94,10 +96,12 @@ int main(int argc, char** argv) {
   for (std::size_t m = 1; m <= 7; ++m) {
     std::printf("B(%zu)=%s ", m, BellNumber(m).ToString().c_str());
   }
+  experiment.Claim(BellNumber(7) == BigInt(877),
+                   "Bell-number sequence is computed correctly (B(7) = 877)");
   std::printf("\n(claim shape: exact conditional-measure time tracks "
               "Bell(m)·(a+1)^m growth in the null count m, while key/FK "
               "satisfiability stays polynomial in |D|)\n\n");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return experiment.Finish();
 }

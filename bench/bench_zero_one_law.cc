@@ -10,6 +10,7 @@
 
 #include <cstdio>
 
+#include "bench_common.h"
 #include "core/measure.h"
 #include "core/support.h"
 #include "core/support_polynomial.h"
@@ -20,6 +21,7 @@
 using namespace zeroone;
 
 int main() {
+  bench::Experiment experiment("zero_one_law");
   std::printf("E1: 0-1 law (Theorem 1)\n");
   std::printf("-----------------------\n");
   IntroExample example = PaperIntroExample();
@@ -36,12 +38,15 @@ int main() {
                 MuK(example.query, example.db, b, k).ToDouble(),
                 MuK(example.query, example.db, bad, k).ToDouble());
   }
+  Rational mu_a = MuViaPolynomial(example.query, example.db, a);
+  Rational mu_b = MuViaPolynomial(example.query, example.db, b);
+  Rational mu_bad = MuViaPolynomial(example.query, example.db, bad);
   std::printf("limit via partition polynomial: %s, %s, %s  (claim: 1, 1, 0)\n",
-              MuViaPolynomial(example.query, example.db, a).ToString().c_str(),
-              MuViaPolynomial(example.query, example.db, b).ToString().c_str(),
-              MuViaPolynomial(example.query, example.db, bad)
-                  .ToString()
-                  .c_str());
+              mu_a.ToString().c_str(), mu_b.ToString().c_str(),
+              mu_bad.ToString().c_str());
+  experiment.Claim(mu_a == Rational(1) && mu_b == Rational(1) &&
+                       mu_bad == Rational(0),
+                   "intro example limits are 1, 1, 0");
 
   std::printf(
       "\nRandom sweep: mu (from definition) vs naive evaluation\n");
@@ -78,12 +83,19 @@ int main() {
   std::printf("  %zu (query, tuple) pairs: mu in {0,1} for %zu, "
               "mu == naive for %zu   (claim: all)\n",
               checked, zero_one, matches);
+  experiment.Claim(checked > 0 && zero_one == checked,
+                   "mu is 0 or 1 on every random (query, tuple) pair");
+  experiment.Claim(matches == checked,
+                   "mu == 1 exactly on naive answers (Theorem 1)");
 
   std::printf("\nE2: share of C-bijective valuations (proof of Thm 1)\n");
   SupportInstance instance =
       MakeSupportInstance(example.query, example.db, a);
   std::printf("%6s %18s %22s\n", "k", "bijective share",
               "mu^k_bij (within bij)");
+  double previous_share = 0.0;
+  bool share_grows = true;
+  bool bijective_witnessed = true;
   for (std::size_t k = 8; k <= 40; k += 8) {
     BijectiveSupportCount count =
         CountBijectiveSupport(instance, example.db, k);
@@ -91,9 +103,16 @@ int main() {
     double mu_bij = count.bijective.is_zero()
                         ? 0.0
                         : Rational(count.support, count.bijective).ToDouble();
+    share_grows = share_grows && share >= previous_share;
+    previous_share = share;
+    bijective_witnessed = bijective_witnessed && mu_bij == 1.0;
     std::printf("%6zu %18.6f %22.6f\n", k, share, mu_bij);
   }
   std::printf("(claim: share -> 1; within bijective valuations the naive "
               "answer is always witnessed -> 1.0 column)\n");
-  return 0;
+  experiment.Claim(share_grows && previous_share > 0.5,
+                   "C-bijective share of valuations grows toward 1");
+  experiment.Claim(bijective_witnessed,
+                   "every C-bijective valuation witnesses the naive answer");
+  return experiment.Finish();
 }

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Runs every benchmark and collects the BENCH_<name>.json artifacts (metric
+# deltas + paper-claim check results, see bench/bench_common.h) into
+# bench/results/. Benches exit nonzero when a paper-claim check fails; this
+# script propagates that. Usage: scripts/run_benches.sh [build-dir] [extra
+# bench args...], e.g. scripts/run_benches.sh build --benchmark_min_time=0.01
+set -u
+BUILD_DIR="${1:-build}"
+shift $(( $# > 0 ? 1 : 0 ))
+OUT_DIR="bench/results"
+mkdir -p "$OUT_DIR"
+export ZEROONE_BENCH_DIR="$OUT_DIR"
+status=0
+for bench in "$BUILD_DIR"/bench/*; do
+  [ -f "$bench" ] && [ -x "$bench" ] || continue
+  name="$(basename "$bench")"
+  echo "=== $name ==="
+  if ! "$bench" "$@"; then
+    echo "FAILED: $name" >&2
+    status=1
+  fi
+  echo
+done
+echo "Collected $(ls "$OUT_DIR"/BENCH_*.json 2>/dev/null | wc -l) result files in $OUT_DIR/"
+exit $status

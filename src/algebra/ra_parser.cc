@@ -32,8 +32,8 @@ class RaParser {
   }
 
   Status Error(const std::string& message) {
-    return Status::Error("RA parse error at offset " +
-                         std::to_string(position_) + ": " + message);
+    return Status::Error("RA parse error at offset ", position_, ": ",
+                         message);
   }
 
   bool ConsumeKeyword(std::string_view keyword) {
@@ -115,9 +115,8 @@ class RaParser {
   }
 
   StatusOr<RaCondition> ParseCondition(std::size_t arity) {
-    StatusOr<std::size_t> left = Number();
-    if (!left.ok()) return left.status();
-    if (*left >= arity) return Error("condition column out of range");
+    ZO_ASSIGN_OR_RETURN(std::size_t left, Number());
+    if (left >= arity) return Error("condition column out of range");
     bool not_equals = false;
     SkipWhitespace();
     if (ConsumeChar('!')) {
@@ -125,7 +124,7 @@ class RaParser {
     }
     if (!ConsumeChar('=')) return Error("expected '=' or '!=' in condition");
     RaCondition condition;
-    condition.left_column = *left;
+    condition.left_column = left;
     SkipWhitespace();
     char next = position_ < text_.size() ? text_[position_] : '\0';
     if (next == '\'') {
@@ -144,17 +143,15 @@ class RaParser {
     }
     if (next == '#') {
       ++position_;
-      StatusOr<std::size_t> number = Number();
-      if (!number.ok()) return number.status();
-      condition.value = Value::Int(static_cast<std::int64_t>(*number));
+      ZO_ASSIGN_OR_RETURN(std::size_t number, Number());
+      condition.value = Value::Int(static_cast<std::int64_t>(number));
       condition.kind = not_equals ? RaCondition::Kind::kColumnNotEqualsValue
                                   : RaCondition::Kind::kColumnEqualsValue;
       return condition;
     }
-    StatusOr<std::size_t> right = Number();
-    if (!right.ok()) return right.status();
-    if (*right >= arity) return Error("condition column out of range");
-    condition.right_column = *right;
+    ZO_ASSIGN_OR_RETURN(std::size_t right, Number());
+    if (right >= arity) return Error("condition column out of range");
+    condition.right_column = right;
     condition.kind = not_equals ? RaCondition::Kind::kColumnNotEqualsColumn
                                 : RaCondition::Kind::kColumnEqualsColumn;
     return condition;
@@ -173,9 +170,9 @@ class RaParser {
       if (!child.ok()) return child;
       std::vector<RaCondition> conditions;
       while (ConsumeChar(',')) {
-        StatusOr<RaCondition> condition = ParseCondition((*child)->arity());
-        if (!condition.ok()) return condition.status();
-        conditions.push_back(*condition);
+        ZO_ASSIGN_OR_RETURN(RaCondition condition,
+                            ParseCondition((*child)->arity()));
+        conditions.push_back(condition);
       }
       if (conditions.empty()) return Error("select needs conditions");
       if (!ConsumeChar(')')) return Error("expected ')' closing select");
@@ -187,12 +184,11 @@ class RaParser {
       if (!child.ok()) return child;
       std::vector<std::size_t> columns;
       while (ConsumeChar(',')) {
-        StatusOr<std::size_t> column = Number();
-        if (!column.ok()) return column.status();
-        if (*column >= (*child)->arity()) {
+        ZO_ASSIGN_OR_RETURN(std::size_t column, Number());
+        if (column >= (*child)->arity()) {
           return Error("projection column out of range");
         }
-        columns.push_back(*column);
+        columns.push_back(column);
       }
       if (!ConsumeChar(')')) return Error("expected ')' closing project");
       return RaExpr::Project(*child, std::move(columns));
@@ -206,26 +202,23 @@ class RaParser {
       if (!right.ok()) return right;
       std::vector<std::pair<std::size_t, std::size_t>> on;
       while (ConsumeChar(',')) {
-        StatusOr<std::size_t> l = Number();
-        if (!l.ok()) return l.status();
+        ZO_ASSIGN_OR_RETURN(std::size_t l, Number());
         if (!ConsumeChar('=')) return Error("expected '=' in join condition");
-        StatusOr<std::size_t> r = Number();
-        if (!r.ok()) return r.status();
-        if (*l >= (*left)->arity() || *r >= (*right)->arity()) {
+        ZO_ASSIGN_OR_RETURN(std::size_t r, Number());
+        if (l >= (*left)->arity() || r >= (*right)->arity()) {
           return Error("join column out of range");
         }
-        on.emplace_back(*l, *r);
+        on.emplace_back(l, r);
       }
       if (!ConsumeChar(')')) return Error("expected ')' closing join");
       return RaExpr::Join(*left, *right, std::move(on));
     }
     // A base relation.
-    StatusOr<std::string> name = Identifier();
-    if (!name.ok()) return name.status();
-    if (!schema_.HasRelation(*name)) {
-      return Error("unknown relation '" + *name + "'");
+    ZO_ASSIGN_OR_RETURN(std::string name, Identifier());
+    if (!schema_.HasRelation(name)) {
+      return Error(StrCat("unknown relation '", name, "'"));
     }
-    return RaExpr::Relation(*name, schema_.ArityOf(*name));
+    return RaExpr::Relation(name, schema_.ArityOf(name));
   }
 
   std::string_view text_;

@@ -2,10 +2,22 @@
 #define ZEROONE_COMMON_STATUS_H_
 
 #include <optional>
+#include <sstream>
 #include <string>
 #include <utility>
 
 namespace zeroone {
+
+// Concatenates its arguments into one string via operator<<, in the spirit
+// of absl::StrCat. Anything streamable works: strings, numbers, chars.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream stream;
+  // The void cast keeps the empty-pack case (which folds to just `stream`)
+  // from tripping -Wunused-value.
+  (void)(stream << ... << args);
+  return stream.str();
+}
 
 // Lightweight error-reporting type in the spirit of absl::Status. The library
 // does not use exceptions; fallible operations return Status or StatusOr<T>.
@@ -20,6 +32,12 @@ class Status {
     s.ok_ = false;
     s.message_ = std::move(message);
     return s;
+  }
+  // Variadic form: Status::Error("expected ", n, " columns, got ", m).
+  template <typename First, typename Second, typename... Rest>
+  static Status Error(const First& first, const Second& second,
+                      const Rest&... rest) {
+    return Error(StrCat(first, second, rest...));
   }
 
   bool ok() const { return ok_; }
@@ -56,6 +74,41 @@ class StatusOr {
   std::optional<T> value_;
 };
 
+namespace status_internal {
+
+// Extracts the Status from either a Status or a StatusOr<T>, so the
+// ZO_RETURN_IF_ERROR macro accepts both.
+inline const Status& ToStatus(const Status& status) { return status; }
+template <typename T>
+const Status& ToStatus(const StatusOr<T>& status_or) {
+  return status_or.status();
+}
+
+}  // namespace status_internal
 }  // namespace zeroone
+
+#define ZO_STATUS_CONCAT_INNER_(a, b) a##b
+#define ZO_STATUS_CONCAT_(a, b) ZO_STATUS_CONCAT_INNER_(a, b)
+
+// Evaluates an expression returning Status (or StatusOr) and returns its
+// error status from the enclosing function on failure.
+#define ZO_RETURN_IF_ERROR(expr)                                        \
+  do {                                                                  \
+    const auto& zo_status_or_ = (expr);                                 \
+    if (!zo_status_or_.ok()) {                                          \
+      return ::zeroone::status_internal::ToStatus(zo_status_or_);       \
+    }                                                                   \
+  } while (0)
+
+// Evaluates `rexpr` (a StatusOr<T> expression); on success assigns the value
+// to `lhs` (which may be a declaration), on failure returns the status.
+#define ZO_ASSIGN_OR_RETURN(lhs, rexpr)                           \
+  ZO_ASSIGN_OR_RETURN_IMPL_(                                      \
+      ZO_STATUS_CONCAT_(zo_status_or_value_, __LINE__), lhs, rexpr)
+
+#define ZO_ASSIGN_OR_RETURN_IMPL_(temp, lhs, rexpr)               \
+  auto temp = (rexpr);                                            \
+  if (!temp.ok()) return temp.status();                           \
+  lhs = std::move(temp).value()
 
 #endif  // ZEROONE_COMMON_STATUS_H_

@@ -7,6 +7,9 @@
 #include <optional>
 #include <set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace zeroone {
 
 namespace {
@@ -35,6 +38,7 @@ bool MatchConjunction(const std::vector<DependencyAtom>& atoms,
   const DependencyAtom& atom = atoms[index];
   if (!db.HasRelation(atom.relation)) return false;
   for (const Tuple& tuple : db.relation(atom.relation)) {
+    ZO_COUNTER_INC("chase.match_nodes");
     if (tuple.arity() != atom.terms.size()) continue;
     std::vector<std::size_t> newly_bound;
     bool ok = true;
@@ -280,6 +284,7 @@ bool StepEgd(const EqualityGeneratingDependency& egd, Database* db,
     } else {
       ReplaceValue(right, left, db);
     }
+    ZO_COUNTER_INC("chase.egd_repairs");
     repaired = true;
     return false;  // Database changed; restart matching outside.
   });
@@ -316,6 +321,7 @@ bool StepTgd(const TupleGeneratingDependency& tgd, Database* db) {
       db->AddRelation(atom.relation, atom.terms.size())
           .Insert(Tuple(std::move(values)));
     }
+    ZO_COUNTER_INC("chase.tgd_firings");
     fired = true;
     return false;
   });
@@ -327,11 +333,13 @@ bool StepTgd(const TupleGeneratingDependency& tgd, Database* db) {
 GeneralChaseResult ChaseDependencies(const DependencySet& dependencies,
                                      const Database& db,
                                      std::size_t max_steps) {
+  ZO_TRACE_SPAN("ChaseDependencies");
   GeneralChaseResult result;
   result.database = db;
   std::size_t steps = 0;
   bool changed = true;
   while (changed) {
+    ZO_COUNTER_INC("chase.rounds");
     changed = false;
     for (const EqualityGeneratingDependency& egd : dependencies.egds) {
       while (StepEgd(egd, &result.database, &result.failure_reason)) {
@@ -339,6 +347,7 @@ GeneralChaseResult ChaseDependencies(const DependencySet& dependencies,
           result.success = false;
           return result;
         }
+        ZO_COUNTER_INC("chase.steps");
         changed = true;
         if (++steps > max_steps) {
           result.success = false;
@@ -349,6 +358,7 @@ GeneralChaseResult ChaseDependencies(const DependencySet& dependencies,
     }
     for (const TupleGeneratingDependency& tgd : dependencies.tgds) {
       while (StepTgd(tgd, &result.database)) {
+        ZO_COUNTER_INC("chase.steps");
         changed = true;
         if (++steps > max_steps) {
           result.success = false;

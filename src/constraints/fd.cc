@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace zeroone {
 
 FunctionalDependency::FunctionalDependency(std::string relation,
@@ -81,6 +84,7 @@ void ReplaceEverywhere(Value from, Value to, Database* db,
 
 ChaseResult ChaseFds(const std::vector<FunctionalDependency>& fds,
                      const Database& db) {
+  ZO_TRACE_SPAN("ChaseFds");
   ChaseResult result;
   result.database = db;
   for (Value null : db.Nulls()) {
@@ -91,6 +95,7 @@ ChaseResult ChaseFds(const std::vector<FunctionalDependency>& fds,
   // terminates in polynomially many steps.
   bool changed = true;
   while (changed) {
+    ZO_COUNTER_INC("chase.rounds");
     changed = false;
     for (const FunctionalDependency& fd : fds) {
       if (!result.database.HasRelation(fd.relation())) continue;
@@ -113,10 +118,13 @@ ChaseResult ChaseFds(const std::vector<FunctionalDependency>& fds,
           if (a == b) continue;
           // A violation: resolve per the three chase cases.
           if (a.is_null() && b.is_constant()) {
+            ZO_COUNTER_INC("chase.fd_repairs");
             ReplaceEverywhere(a, b, &result.database, &result.null_mapping);
           } else if (b.is_null() && a.is_constant()) {
+            ZO_COUNTER_INC("chase.fd_repairs");
             ReplaceEverywhere(b, a, &result.database, &result.null_mapping);
           } else if (a.is_null() && b.is_null()) {
+            ZO_COUNTER_INC("chase.fd_repairs");
             ReplaceEverywhere(b, a, &result.database, &result.null_mapping);
           } else {
             result.success = false;

@@ -5,6 +5,8 @@
 #include <thread>
 
 #include "common/partitions.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace zeroone {
 
@@ -12,11 +14,16 @@ GenericSupportCount CountGenericSupport(const GenericInstance& instance,
                                         const Database& db, std::size_t k) {
   assert(k >= instance.prefix.size() &&
          "k must cover the enumeration prefix C ∪ Const(D)");
+  ZO_TRACE_SPAN("CountGenericSupport");
   std::vector<Value> domain = MakeConstantEnumeration(instance.prefix, k);
   GenericSupportCount count{BigInt(0), BigInt(0)};
   ForEachValuation(instance.nulls, domain, [&](const Valuation& v) {
+    ZO_COUNTER_INC("support.valuations_enumerated");
     count.total += BigInt(1);
-    if (instance.witness(v, v.Apply(db))) count.support += BigInt(1);
+    if (instance.witness(v, v.Apply(db))) {
+      ZO_COUNTER_INC("support.witnesses_found");
+      count.support += BigInt(1);
+    }
   });
   return count;
 }
@@ -29,6 +36,7 @@ GenericSupportCount CountGenericSupportParallel(
   if (instance.nulls.empty() || threads <= 1) {
     return CountGenericSupport(instance, db, k);
   }
+  ZO_TRACE_SPAN("CountGenericSupportParallel");
   std::vector<Value> domain = MakeConstantEnumeration(instance.prefix, k);
   // Shard on the first null's value; the remaining nulls enumerate inside
   // each shard. Shards are independent, so plain per-thread partials
@@ -44,10 +52,12 @@ GenericSupportCount CountGenericSupportParallel(
     workers.emplace_back([&, t] {
       for (std::size_t shard = t; shard < shard_count; shard += threads) {
         ForEachValuation(rest, domain, [&](const Valuation& v) {
+          ZO_COUNTER_INC("support.valuations_enumerated");
           Valuation full = v;
           full.Bind(instance.nulls[0], domain[shard]);
           partial_total[t] += BigInt(1);
           if (instance.witness(full, full.Apply(db))) {
+            ZO_COUNTER_INC("support.witnesses_found");
             partial_support[t] += BigInt(1);
           }
         });
@@ -72,6 +82,7 @@ Rational GenericMuK(const GenericInstance& instance, const Database& db,
 
 GenericSupportPolynomial ComputeGenericSupportPolynomial(
     const GenericInstance& instance, const Database& db) {
+  ZO_TRACE_SPAN("ComputeGenericSupportPolynomial");
   const std::vector<Value>& a_set = instance.prefix;
   const std::size_t a = a_set.size();
   const std::size_t m = instance.nulls.size();
@@ -85,9 +96,11 @@ GenericSupportPolynomial ComputeGenericSupportPolynomial(
 
   Polynomial result;
   ForEachSetPartition(m, [&](const SetPartition& partition) {
+    ZO_COUNTER_INC("support.partitions_enumerated");
     const std::size_t t = partition.block_count;
     ForEachInjectivePartialMap(
         t, a, [&](const std::vector<std::size_t>& sigma) {
+          ZO_COUNTER_INC("support.partition_maps_enumerated");
           Valuation v;
           std::size_t free_blocks = 0;
           std::vector<Value> block_value(t);
@@ -99,6 +112,7 @@ GenericSupportPolynomial ComputeGenericSupportPolynomial(
             v.Bind(instance.nulls[i], block_value[partition.blocks[i]]);
           }
           if (instance.witness(v, v.Apply(db))) {
+            ZO_COUNTER_INC("support.witnesses_found");
             result += Polynomial::FallingFactorial(
                 static_cast<std::int64_t>(a),
                 static_cast<unsigned>(free_blocks));

@@ -5,6 +5,8 @@
 #include <map>
 #include <set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/eval.h"
 
 namespace zeroone {
@@ -74,13 +76,16 @@ SupportCount CountSupport(const SupportInstance& instance, const Database& db,
                           std::size_t k) {
   assert(k >= instance.prefix.size() &&
          "k must cover the enumeration prefix C ∪ Const(D)");
+  ZO_TRACE_SPAN("CountSupport");
   std::vector<Value> domain = MakeConstantEnumeration(instance.prefix, k);
   bool formula_has_nulls = !instance.query.formula()->MentionedNulls().empty();
   SupportCount count{BigInt(0), BigInt(0)};
   ForEachValuation(instance.nulls, domain, [&](const Valuation& v) {
+    ZO_COUNTER_INC("support.valuations_enumerated");
     count.total += BigInt(1);
     Database valuated = v.Apply(db);
     if (WitnessedBy(instance, v, valuated, formula_has_nulls)) {
+      ZO_COUNTER_INC("support.witnesses_found");
       count.support += BigInt(1);
     }
   });
@@ -113,15 +118,18 @@ BijectiveSupportCount CountBijectiveSupport(const SupportInstance& instance,
                                             std::size_t k) {
   assert(k >= instance.prefix.size() &&
          "k must cover the enumeration prefix C ∪ Const(D)");
+  ZO_TRACE_SPAN("CountBijectiveSupport");
   std::vector<Value> domain = MakeConstantEnumeration(instance.prefix, k);
   bool formula_has_nulls = !instance.query.formula()->MentionedNulls().empty();
   BijectiveSupportCount count{BigInt(0), BigInt(0), BigInt(0)};
   ForEachValuation(instance.nulls, domain, [&](const Valuation& v) {
+    ZO_COUNTER_INC("support.valuations_enumerated");
     count.total += BigInt(1);
     if (!v.IsBijectiveAvoiding(instance.prefix)) return;
     count.bijective += BigInt(1);
     Database valuated = v.Apply(db);
     if (WitnessedBy(instance, v, valuated, formula_has_nulls)) {
+      ZO_COUNTER_INC("support.witnesses_found");
       count.support += BigInt(1);
     }
   });
@@ -130,6 +138,7 @@ BijectiveSupportCount CountBijectiveSupport(const SupportInstance& instance,
 
 Rational MK(const Query& query, const Database& db, const Tuple& tuple,
             std::size_t k) {
+  ZO_TRACE_SPAN("MK");
   SupportInstance instance = MakeSupportInstance(query, db, tuple);
   assert(k >= instance.prefix.size() &&
          "k must cover the enumeration prefix C ∪ Const(D)");
@@ -138,6 +147,7 @@ Rational MK(const Query& query, const Database& db, const Tuple& tuple,
   std::set<Database> all_outcomes;
   std::set<Database> witnessed_outcomes;
   ForEachValuation(instance.nulls, domain, [&](const Valuation& v) {
+    ZO_COUNTER_INC("support.valuations_enumerated");
     Database valuated = v.Apply(db);
     if (WitnessedBy(instance, v, valuated, formula_has_nulls)) {
       witnessed_outcomes.insert(valuated);
@@ -208,6 +218,7 @@ Database CanonicalType(const Database& db, const std::set<Value>& a_set,
 
 Rational NuK(const Query& query, const Database& db, const Tuple& tuple,
              std::size_t k) {
+  ZO_TRACE_SPAN("NuK");
   SupportInstance instance = MakeSupportInstance(query, db, tuple);
   assert(k >= instance.prefix.size() &&
          "k must cover the enumeration prefix C ∪ Const(D)");
@@ -222,6 +233,7 @@ Rational NuK(const Query& query, const Database& db, const Tuple& tuple,
   std::set<Database> all_types;
   std::set<Database> witnessed_types;
   ForEachValuation(instance.nulls, domain, [&](const Valuation& v) {
+    ZO_COUNTER_INC("support.valuations_enumerated");
     Database valuated = v.Apply(db);
     Database canonical = CanonicalType(valuated, a_set, slots);
     if (WitnessedBy(instance, v, valuated, formula_has_nulls)) {

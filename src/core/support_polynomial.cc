@@ -4,12 +4,14 @@
 
 #include "core/generic_instance.h"
 #include "core/support.h"
+#include "obs/trace.h"
 
 namespace zeroone {
 
 SupportPolynomial ComputeSupportPolynomial(
     const Query& query, const Database& db, const Tuple& tuple,
     const std::vector<Value>& extra_prefix) {
+  ZO_TRACE_SPAN("ComputeSupportPolynomial");
   SupportInstance instance = MakeSupportInstance(query, db, tuple);
   for (Value v : extra_prefix) {
     bool seen = false;

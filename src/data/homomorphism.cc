@@ -3,6 +3,9 @@
 #include <functional>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace zeroone {
 
 namespace {
@@ -33,6 +36,7 @@ bool Search(const std::vector<PatternTuple>& patterns, std::size_t index,
   const PatternTuple& pattern = patterns[index];
   if (!to.HasRelation(*pattern.relation)) return false;
   for (const Tuple& candidate : to.relation(*pattern.relation)) {
+    ZO_COUNTER_INC("homomorphism.search_nodes");
     if (candidate.arity() != pattern.tuple->arity()) continue;
     std::vector<Value> newly_bound;
     bool ok = true;
@@ -81,6 +85,8 @@ Database ApplyMapping(const Database& db,
 
 std::optional<std::map<Value, Value>> FindHomomorphism(const Database& from,
                                                        const Database& to) {
+  ZO_TRACE_SPAN("FindHomomorphism");
+  ZO_COUNTER_INC("homomorphism.searches");
   std::vector<PatternTuple> patterns = PatternsOf(from);
   std::map<Value, Value> mapping;
   std::optional<std::map<Value, Value>> found;
@@ -98,10 +104,12 @@ bool AreHomomorphicallyEquivalent(const Database& a, const Database& b) {
 }
 
 Database ComputeCore(const Database& db) {
+  ZO_TRACE_SPAN("ComputeCore");
   Database current = db;
   bool reduced = true;
   while (reduced) {
     reduced = false;
+    ZO_COUNTER_INC("homomorphism.core_folding_rounds");
     // Search for an endomorphism whose image is a proper sub-instance.
     std::vector<PatternTuple> patterns = PatternsOf(current);
     std::map<Value, Value> mapping;

@@ -48,8 +48,8 @@ class Scanner {
   }
 
   Status Error(const std::string& message) const {
-    return Status::Error("database parse error at offset " +
-                         std::to_string(position_) + ": " + message);
+    return Status::Error("database parse error at offset ", position_, ": ",
+                         message);
   }
 
   // Identifier or number token: [A-Za-z0-9_-]+ (no leading scan of sign).
@@ -90,19 +90,16 @@ class Scanner {
         static_cast<unsigned char>(text_[position_ + 1]) == 0x8A &&
         static_cast<unsigned char>(text_[position_ + 2]) == 0xA5) {
       position_ += 3;
-      StatusOr<std::string> label = Word();
-      if (!label.ok()) return label.status();
-      return Value::Null(*label);
+      ZO_ASSIGN_OR_RETURN(std::string label, Word());
+      return Value::Null(label);
     }
     if (c == '_') {
       ++position_;
-      StatusOr<std::string> label = Word();
-      if (!label.ok()) return label.status();
-      return Value::Null(*label);
+      ZO_ASSIGN_OR_RETURN(std::string label, Word());
+      return Value::Null(label);
     }
-    StatusOr<std::string> word = Word();
-    if (!word.ok()) return word.status();
-    return Value::Constant(*word);
+    ZO_ASSIGN_OR_RETURN(std::string word, Word());
+    return Value::Constant(word);
   }
 
   StatusOr<Tuple> ParseTupleBody() {
@@ -110,9 +107,8 @@ class Scanner {
     std::vector<Value> values;
     if (Peek() != ')') {
       while (true) {
-        StatusOr<Value> value = ParseValue();
-        if (!value.ok()) return value.status();
-        values.push_back(*value);
+        ZO_ASSIGN_OR_RETURN(Value value, ParseValue());
+        values.push_back(value);
         if (Consume(',')) continue;
         break;
       }
@@ -132,19 +128,17 @@ StatusOr<Database> ParseDatabase(std::string_view text) {
   Scanner scanner(text);
   Database db;
   while (!scanner.AtEnd()) {
-    StatusOr<std::string> name = scanner.Word();
-    if (!name.ok()) return name.status();
+    ZO_ASSIGN_OR_RETURN(std::string name, scanner.Word());
     if (!scanner.Consume('(')) {
-      return Status::Error("database parse error: expected '(' after '" +
-                           *name + "'");
+      return Status::Error("database parse error: expected '(' after '",
+                           name, "'");
     }
-    StatusOr<std::string> arity_text = scanner.Word();
-    if (!arity_text.ok()) return arity_text.status();
+    ZO_ASSIGN_OR_RETURN(std::string arity_text, scanner.Word());
     std::size_t arity = 0;
-    for (char c : *arity_text) {
+    for (char c : arity_text) {
       if (!std::isdigit(static_cast<unsigned char>(c))) {
-        return Status::Error("database parse error: bad arity '" +
-                             *arity_text + "'");
+        return Status::Error("database parse error: bad arity '", arity_text,
+                             "'");
       }
       arity = arity * 10 + static_cast<std::size_t>(c - '0');
     }
@@ -153,18 +147,16 @@ StatusOr<Database> ParseDatabase(std::string_view text) {
       return Status::Error(
           "database parse error: expected '(arity) = {' after relation name");
     }
-    Relation& relation = db.AddRelation(*name, arity);
+    Relation& relation = db.AddRelation(name, arity);
     if (scanner.Peek() != '}') {
       while (true) {
-        StatusOr<Tuple> tuple = scanner.ParseTupleBody();
-        if (!tuple.ok()) return tuple.status();
-        if (tuple->arity() != arity) {
-          return Status::Error("database parse error: tuple " +
-                               tuple->ToString() + " has arity " +
-                               std::to_string(tuple->arity()) +
-                               ", expected " + std::to_string(arity));
+        ZO_ASSIGN_OR_RETURN(Tuple tuple, scanner.ParseTupleBody());
+        if (tuple.arity() != arity) {
+          return Status::Error("database parse error: tuple ",
+                               tuple.ToString(), " has arity ",
+                               tuple.arity(), ", expected ", arity);
         }
-        relation.Insert(*tuple);
+        relation.Insert(tuple);
         if (scanner.Consume(',')) continue;
         break;
       }

@@ -6,6 +6,9 @@
 #include <optional>
 #include <set>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace zeroone {
 
 namespace {
@@ -86,6 +89,7 @@ void FireRule(const DatalogRule& rule, const Database& db,
               int delta_index, std::size_t literal_index, Binding* binding,
               std::set<Tuple>* derived) {
   if (literal_index == rule.body.size()) {
+    ZO_COUNTER_INC("datalog.rule_firings");
     derived->insert(Instantiate(rule.head, *binding));
     return;
   }
@@ -127,6 +131,7 @@ void FireRule(const DatalogRule& rule, const Database& db,
 
 Database MaterializeDatalog(const DatalogProgram& program,
                             const Database& db) {
+  ZO_TRACE_SPAN("MaterializeDatalog");
   Database materialized = db;
   // Declare all intensional relations (possibly empty).
   std::map<std::string, std::size_t> idb_arity;
@@ -146,6 +151,7 @@ Database MaterializeDatalog(const DatalogProgram& program,
       }
     }
     // Initial round: full evaluation of every rule of the stratum.
+    ZO_COUNTER_INC("datalog.rounds");
     std::map<std::string, std::set<Tuple>> delta;
     for (const DatalogRule* rule : stratum_rules) {
       Binding binding(RuleVariableCount(*rule));
@@ -156,6 +162,7 @@ Database MaterializeDatalog(const DatalogProgram& program,
             materialized.mutable_relation(rule->head.predicate);
         if (!relation.Contains(t)) {
           relation.Insert(t);
+          ZO_COUNTER_INC("datalog.facts_derived");
           delta[rule->head.predicate].insert(t);
         }
       }
@@ -163,6 +170,7 @@ Database MaterializeDatalog(const DatalogProgram& program,
     // Semi-naive rounds: each recursive instantiation uses the latest delta
     // in one positive literal position.
     while (!delta.empty()) {
+      ZO_COUNTER_INC("datalog.rounds");
       std::map<std::string, std::set<Tuple>> next_delta;
       for (const DatalogRule* rule : stratum_rules) {
         for (std::size_t i = 0; i < rule->body.size(); ++i) {
@@ -179,6 +187,7 @@ Database MaterializeDatalog(const DatalogProgram& program,
                 materialized.mutable_relation(rule->head.predicate);
             if (!relation.Contains(t)) {
               relation.Insert(t);
+              ZO_COUNTER_INC("datalog.facts_derived");
               next_delta[rule->head.predicate].insert(t);
             }
           }

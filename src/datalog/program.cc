@@ -47,25 +47,22 @@ StatusOr<DatalogProgram> DatalogProgram::Create(std::vector<DatalogRule> rules,
   auto note_arity = [&](const DatalogAtom& atom) -> Status {
     auto [it, inserted] = arities.emplace(atom.predicate, atom.terms.size());
     if (!inserted && it->second != atom.terms.size()) {
-      return Status::Error("predicate " + atom.predicate +
-                           " used with arities " +
-                           std::to_string(it->second) + " and " +
-                           std::to_string(atom.terms.size()));
+      return Status::Error("predicate ", atom.predicate,
+                           " used with arities ", it->second, " and ",
+                           atom.terms.size());
     }
     return Status::Ok();
   };
   std::set<std::string> intensional;
   for (const DatalogRule& rule : rules) {
-    Status status = note_arity(rule.head);
-    if (!status.ok()) return status;
+    ZO_RETURN_IF_ERROR(note_arity(rule.head));
     intensional.insert(rule.head.predicate);
     for (const DatalogLiteral& literal : rule.body) {
-      status = note_arity(literal.atom);
-      if (!status.ok()) return status;
+      ZO_RETURN_IF_ERROR(note_arity(literal.atom));
     }
   }
   if (arities.find(goal_predicate) == arities.end()) {
-    return Status::Error("goal predicate " + goal_predicate +
+    return Status::Error("goal predicate ", goal_predicate,
                          " does not occur in the program");
   }
 
@@ -90,12 +87,10 @@ StatusOr<DatalogProgram> DatalogProgram::Create(std::vector<DatalogRule> rules,
       }
       return Status::Ok();
     };
-    Status status = check_covered(rule.head, "head");
-    if (!status.ok()) return status;
+    ZO_RETURN_IF_ERROR(check_covered(rule.head, "head"));
     for (const DatalogLiteral& literal : rule.body) {
       if (!literal.negated) continue;
-      status = check_covered(literal.atom, "negated literal");
-      if (!status.ok()) return status;
+      ZO_RETURN_IF_ERROR(check_covered(literal.atom, "negated literal"));
     }
   }
 

@@ -1,0 +1,151 @@
+#include "obs/metrics.h"
+
+#include <limits>
+#include <ostream>
+
+namespace zeroone {
+namespace obs {
+
+std::uint64_t Histogram::BucketUpperBound(std::size_t i) {
+  if (i + 1 >= kBucketCount) return std::numeric_limits<std::uint64_t>::max();
+  return std::uint64_t{1} << i;
+}
+
+std::size_t Histogram::BucketIndex(std::uint64_t micros) {
+  for (std::size_t i = 0; i + 1 < kBucketCount; ++i) {
+    if (micros <= BucketUpperBound(i)) return i;
+  }
+  return kBucketCount - 1;
+}
+
+void Histogram::Record(std::uint64_t micros) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_micros_.fetch_add(micros, std::memory_order_relaxed);
+  buckets_[BucketIndex(micros)].fetch_add(1, std::memory_order_relaxed);
+}
+
+Registry& Registry::Global() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+Counter& Registry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name),
+                      std::make_unique<Counter>(std::string(name)))
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::string(name)))
+             .first;
+  }
+  return *it->second;
+}
+
+std::map<std::string, std::uint64_t> Registry::CounterValues() const {
+  std::map<std::string, std::uint64_t> values;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, counter] : counters_) {
+    values[name] = counter->value();
+  }
+  return values;
+}
+
+void AppendJsonString(std::ostream& os, std::string_view text) {
+  os << '"';
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          const char* hex = "0123456789abcdef";
+          os << "\\u00" << hex[(c >> 4) & 0xF] << hex[c & 0xF];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void Registry::DumpJson(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  os << "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!first) os << ", ";
+    first = false;
+    AppendJsonString(os, name);
+    os << ": " << counter->value();
+  }
+  os << "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    if (!first) os << ", ";
+    first = false;
+    AppendJsonString(os, name);
+    os << ": {\"count\": " << histogram->count()
+       << ", \"sum_micros\": " << histogram->sum_micros() << ", \"buckets\": [";
+    for (std::size_t i = 0; i < Histogram::kBucketCount; ++i) {
+      if (i > 0) os << ", ";
+      os << "{\"le_micros\": ";
+      if (i + 1 == Histogram::kBucketCount) {
+        os << "null";
+      } else {
+        os << Histogram::BucketUpperBound(i);
+      }
+      os << ", \"count\": " << histogram->bucket(i) << "}";
+    }
+    os << "]}";
+  }
+  os << "}}";
+}
+
+ScopedSnapshot::ScopedSnapshot()
+    : baseline_(Registry::Global().CounterValues()) {}
+
+std::uint64_t ScopedSnapshot::Delta(std::string_view name) const {
+  std::uint64_t current =
+      Registry::Global().GetCounter(name).value();
+  auto it = baseline_.find(std::string(name));
+  std::uint64_t before = it == baseline_.end() ? 0 : it->second;
+  return current - before;
+}
+
+std::map<std::string, std::uint64_t> ScopedSnapshot::Deltas() const {
+  std::map<std::string, std::uint64_t> deltas;
+  for (const auto& [name, value] : Registry::Global().CounterValues()) {
+    auto it = baseline_.find(name);
+    std::uint64_t before = it == baseline_.end() ? 0 : it->second;
+    if (value > before) deltas[name] = value - before;
+  }
+  return deltas;
+}
+
+}  // namespace obs
+}  // namespace zeroone

@@ -1,0 +1,168 @@
+#ifndef ZEROONE_OBS_METRICS_H_
+#define ZEROONE_OBS_METRICS_H_
+
+// Process-global observability registry: named monotonic counters and
+// latency histograms, in the spirit of absl/prometheus client metrics.
+//
+// Hot-path contract: a counter handle is resolved ONCE per call-site (a
+// function-local static reference into the registry), after which each
+// increment is a single relaxed atomic add. Registration takes a mutex and
+// only happens the first time a call-site executes.
+//
+// The ZO_COUNTER_* macros (and ZO_TRACE_SPAN in obs/trace.h) compile to
+// nothing when the library is configured with -DZEROONE_OBS=OFF, which
+// defines ZEROONE_OBS_ENABLED=0; instrumented translation units then carry
+// no reference to zeroone::obs at all.
+
+#if !defined(ZEROONE_OBS_ENABLED)
+#define ZEROONE_OBS_ENABLED 1
+#endif
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace zeroone {
+namespace obs {
+
+// A monotonically increasing counter. Thread-safe; increments are relaxed
+// atomic adds. Instances live forever inside the Registry, so handles taken
+// once stay valid for the process lifetime.
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  void Add(std::uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  const std::string& name() const { return name_; }
+
+ private:
+  const std::string name_;
+  std::atomic<std::uint64_t> value_{0};
+};
+
+// A latency histogram over exponential (power-of-two) microsecond buckets:
+// bucket i counts samples with value <= 2^i µs (i < kBucketCount - 1); the
+// last bucket is unbounded. Thread-safe via relaxed atomics.
+class Histogram {
+ public:
+  static constexpr std::size_t kBucketCount = 20;
+
+  explicit Histogram(std::string name) : name_(std::move(name)) {}
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  // Upper bound (inclusive, in µs) of bucket i; the last bucket has no
+  // bound and reports UINT64_MAX.
+  static std::uint64_t BucketUpperBound(std::size_t i);
+  // Index of the bucket that receives a sample of `micros`.
+  static std::size_t BucketIndex(std::uint64_t micros);
+
+  void Record(std::uint64_t micros);
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum_micros() const {
+    return sum_micros_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bucket(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  const std::string& name() const { return name_; }
+
+ private:
+  const std::string name_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_micros_{0};
+  std::atomic<std::uint64_t> buckets_[kBucketCount] = {};
+};
+
+// Process-global registry of counters and histograms. Lookup-or-create is
+// mutex-protected; returned references are stable for the process lifetime.
+class Registry {
+ public:
+  static Registry& Global();
+
+  Counter& GetCounter(std::string_view name);
+  Histogram& GetHistogram(std::string_view name);
+
+  // All counter values by name, captured atomically enough for reporting
+  // (each value is an independent relaxed load).
+  std::map<std::string, std::uint64_t> CounterValues() const;
+
+  // Dumps every counter and histogram as a JSON object:
+  //   {"counters": {name: value, ...},
+  //    "histograms": {name: {"count": n, "sum_micros": s,
+  //                          "buckets": [{"le_micros": b, "count": c}, ...]},
+  //                   ...}}
+  void DumpJson(std::ostream& os) const;
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+// Captures all counter values at construction; Delta() reports how much a
+// counter grew since then. Used by tests and the bench harness to attribute
+// work to one call region.
+class ScopedSnapshot {
+ public:
+  ScopedSnapshot();
+
+  // Growth of `name` since construction (0 for unknown counters).
+  std::uint64_t Delta(std::string_view name) const;
+  // All counters with a nonzero delta since construction.
+  std::map<std::string, std::uint64_t> Deltas() const;
+
+ private:
+  std::map<std::string, std::uint64_t> baseline_;
+};
+
+// Escapes and quotes `text` as a JSON string literal (shared by the metric
+// and trace dumpers).
+void AppendJsonString(std::ostream& os, std::string_view text);
+
+}  // namespace obs
+}  // namespace zeroone
+
+#define ZO_OBS_CONCAT_INNER_(a, b) a##b
+#define ZO_OBS_CONCAT_(a, b) ZO_OBS_CONCAT_INNER_(a, b)
+
+#if ZEROONE_OBS_ENABLED
+
+// Increments the named counter. The registry lookup happens once per
+// call-site; afterwards this is one relaxed atomic add.
+#define ZO_COUNTER_INC(name) ZO_COUNTER_ADD(name, 1)
+
+#define ZO_COUNTER_ADD(name, n)                                        \
+  do {                                                                 \
+    static ::zeroone::obs::Counter& ZO_OBS_CONCAT_(zo_counter_,        \
+                                                   __LINE__) =         \
+        ::zeroone::obs::Registry::Global().GetCounter(name);           \
+    ZO_OBS_CONCAT_(zo_counter_, __LINE__).Add(n);                      \
+  } while (0)
+
+#else  // !ZEROONE_OBS_ENABLED
+
+#define ZO_COUNTER_INC(name) ((void)0)
+#define ZO_COUNTER_ADD(name, n) ((void)0)
+
+#endif  // ZEROONE_OBS_ENABLED
+
+#endif  // ZEROONE_OBS_METRICS_H_

@@ -1,0 +1,101 @@
+#include "obs/trace.h"
+
+#include <ostream>
+#include <thread>
+
+namespace zeroone {
+namespace obs {
+
+namespace {
+
+std::chrono::steady_clock::time_point ProcessStart() {
+  static const std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+  return start;
+}
+
+// Small dense per-thread id for trace readability (std::thread::id values
+// are opaque and large).
+std::uint32_t CurrentTid() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local std::uint32_t tid = next.fetch_add(1);
+  return tid;
+}
+
+}  // namespace
+
+std::uint64_t MicrosSinceProcessStart() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - ProcessStart())
+          .count());
+}
+
+TraceBuffer& TraceBuffer::Global() {
+  static TraceBuffer* buffer = new TraceBuffer();
+  return *buffer;
+}
+
+void TraceBuffer::Append(const TraceEvent& event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_[next_ % kCapacity] = event;
+  ++next_;
+}
+
+std::vector<TraceEvent> TraceBuffer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TraceEvent> events;
+  if (next_ <= kCapacity) {
+    events.assign(ring_.begin(),
+                  ring_.begin() + static_cast<std::ptrdiff_t>(next_));
+  } else {
+    events.reserve(kCapacity);
+    for (std::uint64_t i = next_ - kCapacity; i < next_; ++i) {
+      events.push_back(ring_[i % kCapacity]);
+    }
+  }
+  return events;
+}
+
+std::uint64_t TraceBuffer::total_appended() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_;
+}
+
+void TraceBuffer::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  next_ = 0;
+}
+
+void TraceBuffer::WriteChromeTrace(std::ostream& os) const {
+  std::vector<TraceEvent> events = Snapshot();
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    if (i > 0) os << ",";
+    os << "\n  {\"name\": ";
+    AppendJsonString(os, e.name == nullptr ? "" : e.name);
+    os << ", \"cat\": \"zeroone\", \"ph\": \"X\", \"pid\": 1, \"tid\": "
+       << e.tid << ", \"ts\": " << e.ts_micros << ", \"dur\": "
+       << e.dur_micros << "}";
+  }
+  os << "\n]}\n";
+}
+
+TraceSpan::~TraceSpan() {
+  std::uint64_t end = MicrosSinceProcessStart();
+  std::uint64_t duration = end - start_micros_;
+  if (histogram_ != nullptr) histogram_->Record(duration);
+  TraceBuffer& buffer = TraceBuffer::Global();
+  if (buffer.enabled()) {
+    TraceEvent event;
+    event.name = name_;
+    event.ts_micros = start_micros_;
+    event.dur_micros = duration;
+    event.tid = CurrentTid();
+    buffer.Append(event);
+  }
+}
+
+}  // namespace obs
+}  // namespace zeroone

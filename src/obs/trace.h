@@ -1,0 +1,123 @@
+#ifndef ZEROONE_OBS_TRACE_H_
+#define ZEROONE_OBS_TRACE_H_
+
+// Scoped wall-time spans recorded into a bounded ring buffer, exportable in
+// the Chrome trace_events JSON format (open in chrome://tracing or Perfetto
+// https://ui.perfetto.dev).
+//
+// Usage — one statement at the top of a function or block:
+//
+//   void CountSupport(...) {
+//     ZO_TRACE_SPAN("CountSupport");
+//     ...
+//   }
+//
+// Every span always records its duration into the latency histogram
+// "latency.<name>" (see obs/metrics.h); it additionally appends a ring
+// buffer event when tracing is enabled (TraceBuffer::Global().Enable(),
+// done by `zeroone_cli --trace=FILE`). When the build is configured with
+// -DZEROONE_OBS=OFF the macro expands to nothing.
+
+#include "obs/metrics.h"
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <vector>
+
+namespace zeroone {
+namespace obs {
+
+// One completed span. `name` must be a string literal (or otherwise outlive
+// the buffer); spans store the pointer, not a copy.
+struct TraceEvent {
+  const char* name = nullptr;
+  std::uint64_t ts_micros = 0;   // Start, relative to process start.
+  std::uint64_t dur_micros = 0;  // Wall-clock duration.
+  std::uint32_t tid = 0;         // Small dense thread id.
+};
+
+// Microseconds since the first call in this process (a fixed epoch shared
+// by all spans, so trace timestamps are comparable).
+std::uint64_t MicrosSinceProcessStart();
+
+// Bounded ring buffer of completed spans. Appends are mutex-protected and
+// only attempted when `enabled()`; the enabled check itself is one relaxed
+// atomic load, so instrumented code pays almost nothing while tracing is
+// off. When the buffer is full the oldest events are overwritten.
+class TraceBuffer {
+ public:
+  static constexpr std::size_t kCapacity = 1 << 14;
+
+  static TraceBuffer& Global();
+
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  void Append(const TraceEvent& event);
+
+  // Events in append order (oldest surviving first).
+  std::vector<TraceEvent> Snapshot() const;
+  // Total events ever appended (including overwritten ones).
+  std::uint64_t total_appended() const;
+  std::size_t capacity() const { return kCapacity; }
+  void Clear();
+
+  // Writes the buffer as Chrome trace_events JSON:
+  //   {"displayTimeUnit": "ms", "traceEvents": [
+  //     {"name": ..., "cat": "zeroone", "ph": "X", "pid": 1, "tid": ...,
+  //      "ts": ..., "dur": ...}, ...]}
+  void WriteChromeTrace(std::ostream& os) const;
+
+ private:
+  TraceBuffer() : ring_(kCapacity) {}
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> ring_;
+  std::uint64_t next_ = 0;  // Total appended; next slot is next_ % kCapacity.
+};
+
+// RAII span: records wall time from construction to destruction into the
+// given histogram, and into the global trace buffer when tracing is on.
+// Instantiate via ZO_TRACE_SPAN rather than directly.
+class TraceSpan {
+ public:
+  TraceSpan(const char* name, Histogram* histogram)
+      : name_(name),
+        histogram_(histogram),
+        start_micros_(MicrosSinceProcessStart()) {}
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan();
+
+ private:
+  const char* name_;
+  Histogram* histogram_;
+  std::uint64_t start_micros_;
+};
+
+}  // namespace obs
+}  // namespace zeroone
+
+#if ZEROONE_OBS_ENABLED
+
+// `name` must be a string literal. One per scope (uses __LINE__ for
+// uniqueness).
+#define ZO_TRACE_SPAN(name)                                                 \
+  static ::zeroone::obs::Histogram& ZO_OBS_CONCAT_(zo_span_histogram_,      \
+                                                   __LINE__) =              \
+      ::zeroone::obs::Registry::Global().GetHistogram(std::string(          \
+          "latency.") += (name));                                           \
+  ::zeroone::obs::TraceSpan ZO_OBS_CONCAT_(zo_span_, __LINE__)(             \
+      (name), &ZO_OBS_CONCAT_(zo_span_histogram_, __LINE__))
+
+#else  // !ZEROONE_OBS_ENABLED
+
+#define ZO_TRACE_SPAN(name) ((void)0)
+
+#endif  // ZEROONE_OBS_ENABLED
+
+#endif  // ZEROONE_OBS_TRACE_H_

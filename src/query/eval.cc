@@ -4,6 +4,8 @@
 #include <map>
 
 #include "data/valuation.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace zeroone {
 
@@ -26,6 +28,7 @@ bool EvaluateFormula(const Formula& formula, const Database& db,
     case Formula::Kind::kFalse:
       return false;
     case Formula::Kind::kAtom: {
+      ZO_COUNTER_INC("eval.atom_probes");
       if (!db.HasRelation(formula.relation_name())) return false;
       std::vector<Value> values;
       values.reserve(formula.terms().size());
@@ -89,6 +92,7 @@ bool EvaluateFormula(const Formula& formula, const Database& db,
 bool EvaluateMembership(const Query& query, const Database& db,
                         const Tuple& tuple) {
   assert(tuple.arity() == query.arity() && "membership tuple arity mismatch");
+  ZO_COUNTER_INC("eval.membership_checks");
   std::vector<Value> domain = db.ActiveDomain();
   Environment env(query.variable_count());
   for (std::size_t i = 0; i < tuple.arity(); ++i) {
@@ -109,6 +113,7 @@ void EnumerateAnswers(const Query& query, const Database& db,
                       Environment* env, std::vector<Value>* current,
                       std::vector<Tuple>* out) {
   if (column == query.arity()) {
+    ZO_COUNTER_INC("eval.tuple_probes");
     if (EvaluateFormula(*query.formula(), db, domain, env)) {
       out->push_back(Tuple(*current));
     }
@@ -135,6 +140,8 @@ void EnumerateAnswers(const Query& query, const Database& db,
 }  // namespace
 
 std::vector<Tuple> EvaluateQuery(const Query& query, const Database& db) {
+  ZO_TRACE_SPAN("EvaluateQuery");
+  ZO_COUNTER_INC("eval.queries_evaluated");
   std::vector<Value> domain = db.ActiveDomain();
   Environment env(query.variable_count());
   std::vector<Tuple> answers;

@@ -1,0 +1,23 @@
+// Compile/link smoke test for the ZEROONE_OBS=OFF configuration. This
+// translation unit is compiled with ZEROONE_OBS_ENABLED=0 and is
+// deliberately NOT linked against zeroone_obs: it can only link if the
+// instrumentation macros expand to nothing, which is exactly the guarantee
+// the OFF configuration makes for instrumented library code.
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+#include <cstdio>
+
+#if ZEROONE_OBS_ENABLED
+#error "obs_off_smoke must be compiled with ZEROONE_OBS_ENABLED=0"
+#endif
+
+int main() {
+  for (int i = 0; i < 10; ++i) {
+    ZO_TRACE_SPAN("smoke.loop");
+    ZO_COUNTER_INC("smoke.iterations");
+    ZO_COUNTER_ADD("smoke.bulk", 3);
+  }
+  std::puts("obs-off smoke ok");
+  return 0;
+}

@@ -1,0 +1,318 @@
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace zeroone {
+namespace obs {
+namespace {
+
+// Minimal recursive-descent JSON validator — enough to assert that the
+// dumpers emit syntactically well-formed documents without pulling in a
+// JSON library.
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view text) : text_(text) {}
+
+  bool Valid() { return Value() && (Skip(), position_ == text_.size()); }
+
+ private:
+  void Skip() {
+    while (position_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[position_]))) {
+      ++position_;
+    }
+  }
+
+  bool Consume(char c) {
+    Skip();
+    if (position_ < text_.size() && text_[position_] == c) {
+      ++position_;
+      return true;
+    }
+    return false;
+  }
+
+  char Peek() {
+    Skip();
+    return position_ < text_.size() ? text_[position_] : '\0';
+  }
+
+  bool Literal(std::string_view word) {
+    if (text_.substr(position_, word.size()) != word) return false;
+    position_ += word.size();
+    return true;
+  }
+
+  bool String() {
+    if (!Consume('"')) return false;
+    while (position_ < text_.size() && text_[position_] != '"') {
+      if (text_[position_] == '\\') {
+        ++position_;
+        if (position_ >= text_.size()) return false;
+      }
+      ++position_;
+    }
+    return Consume('"');
+  }
+
+  bool Number() {
+    std::size_t start = position_;
+    if (position_ < text_.size() && text_[position_] == '-') ++position_;
+    while (position_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[position_])) ||
+            text_[position_] == '.' || text_[position_] == 'e' ||
+            text_[position_] == 'E' || text_[position_] == '+' ||
+            text_[position_] == '-')) {
+      ++position_;
+    }
+    return position_ > start;
+  }
+
+  bool Value() {
+    char c = Peek();
+    if (c == '{') {
+      Consume('{');
+      if (Peek() == '}') return Consume('}');
+      do {
+        Skip();
+        if (!String() || !Consume(':') || !Value()) return false;
+      } while (Consume(','));
+      return Consume('}');
+    }
+    if (c == '[') {
+      Consume('[');
+      if (Peek() == ']') return Consume(']');
+      do {
+        if (!Value()) return false;
+      } while (Consume(','));
+      return Consume(']');
+    }
+    if (c == '"') return String();
+    Skip();
+    if (Literal("null") || Literal("true") || Literal("false")) return true;
+    return Number();
+  }
+
+  std::string_view text_;
+  std::size_t position_ = 0;
+};
+
+TEST(CounterTest, RegistryReturnsStableHandles) {
+  Counter& a = Registry::Global().GetCounter("obs_test.stable");
+  Counter& b = Registry::Global().GetCounter("obs_test.stable");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.name(), "obs_test.stable");
+}
+
+TEST(CounterTest, IncrementAndAdd) {
+  Counter& counter = Registry::Global().GetCounter("obs_test.basic");
+  std::uint64_t before = counter.value();
+  counter.Increment();
+  counter.Add(41);
+  EXPECT_EQ(counter.value(), before + 42);
+}
+
+TEST(CounterTest, ConcurrentIncrementsFromEightThreadsLoseNothing) {
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 100000;
+  Counter& counter = Registry::Global().GetCounter("obs_test.concurrent");
+  std::uint64_t before = counter.value();
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) counter.Increment();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(), before + kThreads * kPerThread);
+}
+
+TEST(CounterTest, MacroIncrementsNamedCounter) {
+  std::uint64_t before =
+      Registry::Global().GetCounter("obs_test.macro").value();
+  ZO_COUNTER_INC("obs_test.macro");
+  ZO_COUNTER_ADD("obs_test.macro", 4);
+#if ZEROONE_OBS_ENABLED
+  EXPECT_EQ(Registry::Global().GetCounter("obs_test.macro").value(),
+            before + 5);
+#else
+  // With ZEROONE_OBS=OFF the macros are no-ops.
+  EXPECT_EQ(Registry::Global().GetCounter("obs_test.macro").value(), before);
+#endif
+}
+
+TEST(ScopedSnapshotTest, DeltaAttributesGrowthSinceConstruction) {
+  Counter& counter = Registry::Global().GetCounter("obs_test.snapshot");
+  counter.Add(7);  // Pre-existing value must not leak into the delta.
+  ScopedSnapshot snapshot;
+  counter.Add(3);
+  EXPECT_EQ(snapshot.Delta("obs_test.snapshot"), 3u);
+  EXPECT_EQ(snapshot.Delta("obs_test.never_touched_by_anyone"), 0u);
+}
+
+TEST(ScopedSnapshotTest, DeltasListsOnlyCountersThatGrew) {
+  Counter& grew = Registry::Global().GetCounter("obs_test.deltas.grew");
+  Registry::Global().GetCounter("obs_test.deltas.idle").Add(5);
+  ScopedSnapshot snapshot;
+  grew.Add(2);
+  auto deltas = snapshot.Deltas();
+  EXPECT_EQ(deltas["obs_test.deltas.grew"], 2u);
+  EXPECT_EQ(deltas.count("obs_test.deltas.idle"), 0u);
+}
+
+TEST(HistogramTest, BucketUpperBoundsArePowersOfTwo) {
+  EXPECT_EQ(Histogram::BucketUpperBound(0), 1u);
+  EXPECT_EQ(Histogram::BucketUpperBound(1), 2u);
+  EXPECT_EQ(Histogram::BucketUpperBound(10), 1024u);
+  EXPECT_EQ(Histogram::BucketUpperBound(18), std::uint64_t{1} << 18);
+  EXPECT_EQ(Histogram::BucketUpperBound(Histogram::kBucketCount - 1),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(HistogramTest, RecordPlacesSamplesInCorrectBuckets) {
+  Histogram& histogram =
+      Registry::Global().GetHistogram("obs_test.histogram");
+  histogram.Record(1);        // <= 2^0 -> bucket 0.
+  histogram.Record(2);        // <= 2^1 -> bucket 1.
+  histogram.Record(3);        // <= 2^2 -> bucket 2.
+  histogram.Record(1000000);  // > 2^18 -> unbounded last bucket.
+  EXPECT_EQ(histogram.count(), 4u);
+  EXPECT_EQ(histogram.sum_micros(), 1000006u);
+  EXPECT_EQ(histogram.bucket(0), 1u);
+  EXPECT_EQ(histogram.bucket(1), 1u);
+  EXPECT_EQ(histogram.bucket(2), 1u);
+  EXPECT_EQ(histogram.bucket(Histogram::kBucketCount - 1), 1u);
+}
+
+TEST(HistogramTest, BucketIndexBoundaries) {
+  EXPECT_EQ(Histogram::BucketIndex(0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(2), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(4), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(5), 3u);
+  EXPECT_EQ(Histogram::BucketIndex(std::uint64_t{1} << 18),
+            std::size_t{18});
+  EXPECT_EQ(Histogram::BucketIndex((std::uint64_t{1} << 18) + 1),
+            Histogram::kBucketCount - 1);
+}
+
+TEST(TraceBufferTest, RingOverwritesOldestOnWraparound) {
+  TraceBuffer& buffer = TraceBuffer::Global();
+  buffer.Clear();
+  buffer.Enable();
+  const std::size_t capacity = buffer.capacity();
+  for (std::size_t i = 0; i < capacity + 10; ++i) {
+    TraceEvent event;
+    event.name = "wrap";
+    event.ts_micros = i;
+    buffer.Append(event);
+  }
+  buffer.Disable();
+  std::vector<TraceEvent> events = buffer.Snapshot();
+  ASSERT_EQ(events.size(), capacity);
+  EXPECT_EQ(buffer.total_appended(), capacity + 10);
+  // The ten oldest events were overwritten; the survivors are in order.
+  EXPECT_EQ(events.front().ts_micros, 10u);
+  EXPECT_EQ(events.back().ts_micros, capacity + 9);
+  buffer.Clear();
+}
+
+TEST(TraceBufferTest, SpanRecordsHistogramAlwaysAndEventWhenEnabled) {
+  TraceBuffer& buffer = TraceBuffer::Global();
+  buffer.Clear();
+  Histogram& histogram =
+      Registry::Global().GetHistogram("latency.obs_test_span");
+  std::uint64_t recorded_before = histogram.count();
+
+  // Tracing disabled: histogram still records, ring stays empty.
+  {
+    TraceSpan span("obs_test_span", &histogram);
+  }
+  EXPECT_EQ(histogram.count(), recorded_before + 1);
+  EXPECT_EQ(buffer.Snapshot().size(), 0u);
+
+  buffer.Enable();
+  {
+    TraceSpan span("obs_test_span", &histogram);
+  }
+  buffer.Disable();
+  EXPECT_EQ(histogram.count(), recorded_before + 2);
+  std::vector<TraceEvent> events = buffer.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events.front().name, "obs_test_span");
+  EXPECT_GT(events.front().tid, 0u);
+  buffer.Clear();
+}
+
+TEST(TraceBufferTest, SpanMacroFollowsBuildConfiguration) {
+  TraceBuffer& buffer = TraceBuffer::Global();
+  buffer.Clear();
+  Histogram& histogram =
+      Registry::Global().GetHistogram("latency.obs_test_macro_span");
+  std::uint64_t recorded_before = histogram.count();
+  buffer.Enable();
+  {
+    ZO_TRACE_SPAN("obs_test_macro_span");
+  }
+  buffer.Disable();
+#if ZEROONE_OBS_ENABLED
+  EXPECT_EQ(histogram.count(), recorded_before + 1);
+  EXPECT_EQ(buffer.Snapshot().size(), 1u);
+#else
+  // With ZEROONE_OBS=OFF the macro is a no-op even while tracing is on.
+  EXPECT_EQ(histogram.count(), recorded_before);
+  EXPECT_EQ(buffer.Snapshot().size(), 0u);
+#endif
+  buffer.Clear();
+}
+
+TEST(JsonOutputTest, MetricsDumpIsValidJson) {
+  Registry::Global().GetCounter("obs_test.json \"quoted\\name\"").Increment();
+  Registry::Global().GetHistogram("obs_test.json_histogram").Record(3);
+  std::ostringstream stream;
+  Registry::Global().DumpJson(stream);
+  std::string dump = stream.str();
+  EXPECT_TRUE(JsonChecker(dump).Valid()) << dump;
+  EXPECT_NE(dump.find("\"counters\""), std::string::npos);
+  EXPECT_NE(dump.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(dump.find("\"le_micros\": null"), std::string::npos);
+}
+
+TEST(JsonOutputTest, ChromeTraceIsValidJson) {
+  TraceBuffer& buffer = TraceBuffer::Global();
+  buffer.Clear();
+  buffer.Enable();
+  {
+    Histogram& histogram =
+        Registry::Global().GetHistogram("latency.obs_test_chrome");
+    TraceSpan span("obs_test_chrome", &histogram);
+  }
+  buffer.Disable();
+  std::ostringstream stream;
+  buffer.WriteChromeTrace(stream);
+  std::string trace = stream.str();
+  EXPECT_TRUE(JsonChecker(trace).Valid()) << trace;
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\": \"X\""), std::string::npos);
+  buffer.Clear();
+}
+
+TEST(JsonOutputTest, AppendJsonStringEscapes) {
+  std::ostringstream stream;
+  AppendJsonString(stream, "a\"b\\c\nd\te\x01");
+  EXPECT_EQ(stream.str(), "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace zeroone

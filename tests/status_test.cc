@@ -48,5 +48,79 @@ TEST(StatusOrTest, ArrowOperator) {
   EXPECT_EQ(result->size(), 5u);
 }
 
+TEST(StrCatTest, ConcatenatesMixedTypes) {
+  EXPECT_EQ(StrCat("arity ", 3, " vs ", 4u), "arity 3 vs 4");
+  EXPECT_EQ(StrCat("x"), "x");
+  EXPECT_EQ(StrCat(), "");
+  EXPECT_EQ(StrCat('a', std::string("bc"), 1.5), "abc1.5");
+}
+
+TEST(StatusTest, VariadicErrorFormatsLikeStrCat) {
+  Status status = Status::Error("expected ", 2, " columns, got ", 5);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.message(), "expected 2 columns, got 5");
+}
+
+namespace macro_helpers {
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::Error("negative: ", x);
+  return Status::Ok();
+}
+
+StatusOr<int> DoubleIfPositive(int x) {
+  if (x <= 0) return Status::Error("not positive: ", x);
+  return 2 * x;
+}
+
+Status CheckBoth(int a, int b) {
+  ZO_RETURN_IF_ERROR(FailIfNegative(a));
+  ZO_RETURN_IF_ERROR(FailIfNegative(b));
+  return Status::Ok();
+}
+
+// ZO_RETURN_IF_ERROR on a StatusOr expression, from a function whose own
+// return type is a differently parameterized StatusOr.
+StatusOr<std::string> DescribeDouble(int x) {
+  ZO_RETURN_IF_ERROR(DoubleIfPositive(x));
+  return StrCat("doubles to ", 2 * x);
+}
+
+StatusOr<int> SumOfDoubles(int a, int b) {
+  ZO_ASSIGN_OR_RETURN(int da, DoubleIfPositive(a));
+  ZO_ASSIGN_OR_RETURN(int db, DoubleIfPositive(b));
+  return da + db;
+}
+
+}  // namespace macro_helpers
+
+TEST(StatusMacroTest, ReturnIfErrorPassesThroughOk) {
+  EXPECT_TRUE(macro_helpers::CheckBoth(1, 2).ok());
+}
+
+TEST(StatusMacroTest, ReturnIfErrorReturnsFirstFailure) {
+  Status status = macro_helpers::CheckBoth(-3, -4);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.message(), "negative: -3");
+}
+
+TEST(StatusMacroTest, ReturnIfErrorAdaptsStatusOr) {
+  StatusOr<std::string> ok = macro_helpers::DescribeDouble(4);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, "doubles to 8");
+  StatusOr<std::string> error = macro_helpers::DescribeDouble(-1);
+  EXPECT_FALSE(error.ok());
+  EXPECT_EQ(error.status().message(), "not positive: -1");
+}
+
+TEST(StatusMacroTest, AssignOrReturnUnwrapsValues) {
+  StatusOr<int> ok = macro_helpers::SumOfDoubles(2, 3);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 10);
+  StatusOr<int> error = macro_helpers::SumOfDoubles(2, 0);
+  EXPECT_FALSE(error.ok());
+  EXPECT_EQ(error.status().message(), "not positive: 0");
+}
+
 }  // namespace
 }  // namespace zeroone

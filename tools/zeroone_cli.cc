@@ -1,7 +1,10 @@
 // zeroone_cli — an interactive shell over the library.
 //
-// Reads commands from a script file (argv[1]) or stdin. Lines starting with
-// '#' are comments. Commands:
+// Reads commands from a script file (first non-flag argument) or stdin.
+// Flags: --metrics[=FILE] dumps the observability counter registry as JSON
+// on exit; --trace=FILE records scoped spans and writes Chrome trace_events
+// JSON (load in chrome://tracing or https://ui.perfetto.dev). Lines starting
+// with '#' are comments. Commands:
 //
 //   load <file>             load a database file (ParseDatabase format)
 //   db <statement>          add one relation statement inline
@@ -55,6 +58,8 @@
 #include "data/io.h"
 #include "datalog/eval.h"
 #include "datalog/parser.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/eval.h"
 #include "query/parser.h"
 
@@ -65,6 +70,7 @@ struct Session {
   Database db;
   Query query;
   bool has_query = false;
+  bool done = false;
   ConstraintSet constraints;
   std::vector<FunctionalDependency> fds;
 };
@@ -330,7 +336,7 @@ void Handle(Session* session, const std::string& line) {
     std::cout << program->ToString();
     PrintTuples(EvaluateDatalog(*program, session->db));
   } else if (command == "quit" || command == "exit") {
-    std::exit(0);
+    session->done = true;
   } else {
     std::cout << "unknown command '" << command << "' (try `help`)\n";
   }
@@ -340,27 +346,85 @@ void Handle(Session* session, const std::string& line) {
 }  // namespace zeroone
 
 int main(int argc, char** argv) {
+  // Observability flags, recognized anywhere on the command line:
+  //   --metrics[=FILE]   dump the counter/histogram registry as JSON at exit
+  //   --trace=FILE       record trace spans and write Chrome trace_events JSON
+  bool dump_metrics = false;
+  std::string metrics_file;
+  std::string trace_file;
+  std::string script;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--metrics") {
+      dump_metrics = true;
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      dump_metrics = true;
+      metrics_file = arg.substr(std::string("--metrics=").size());
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      trace_file = arg.substr(std::string("--trace=").size());
+    } else if (arg == "--help") {
+      std::cout << "usage: zeroone_cli [--metrics[=FILE]] [--trace=FILE] "
+                   "[script]\n";
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "unknown flag '" << arg << "'\n";
+      return 1;
+    } else if (script.empty()) {
+      script = arg;
+    } else {
+      std::cerr << "unexpected extra argument '" << arg << "'\n";
+      return 1;
+    }
+  }
+  if (!trace_file.empty()) {
+    zeroone::obs::TraceBuffer::Global().Enable();
+  }
+
   zeroone::Session session;
   std::istream* input = &std::cin;
   std::ifstream file;
   bool interactive = true;
-  if (argc > 1) {
-    file.open(argv[1]);
+  if (!script.empty()) {
+    file.open(script);
     if (!file) {
-      std::cerr << "cannot open script '" << argv[1] << "'\n";
+      std::cerr << "cannot open script '" << script << "'\n";
       return 1;
     }
     input = &file;
     interactive = false;
   }
   std::string line;
-  while (true) {
+  while (!session.done) {
     if (interactive) std::cout << "zeroone> " << std::flush;
     if (!std::getline(*input, line)) break;
     if (!interactive && !line.empty() && line[0] != '#') {
       std::cout << "zeroone> " << line << "\n";
     }
     zeroone::Handle(&session, line);
+  }
+
+  if (!trace_file.empty()) {
+    zeroone::obs::TraceBuffer::Global().Disable();
+    std::ofstream out(trace_file);
+    if (!out) {
+      std::cerr << "cannot write trace file '" << trace_file << "'\n";
+      return 1;
+    }
+    zeroone::obs::TraceBuffer::Global().WriteChromeTrace(out);
+  }
+  if (dump_metrics) {
+    if (metrics_file.empty()) {
+      zeroone::obs::Registry::Global().DumpJson(std::cout);
+      std::cout << "\n";
+    } else {
+      std::ofstream out(metrics_file);
+      if (!out) {
+        std::cerr << "cannot write metrics file '" << metrics_file << "'\n";
+        return 1;
+      }
+      zeroone::obs::Registry::Global().DumpJson(out);
+      out << "\n";
+    }
   }
   return 0;
 }
