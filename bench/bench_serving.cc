@@ -1,0 +1,209 @@
+// Experiment: the zeroone::svc serving subsystem.
+//
+// Claims checked (ISSUE acceptance criteria for the serving layer):
+//   1. A cache hit answers a repeated query ≥10x faster than the cold
+//      evaluation.
+//   2. Under a burst that exceeds the bounded queue, the server answers
+//      every request and rejects the overflow with explicit OVERLOADED —
+//      no hang, no silent drop.
+//   3. A request with an expired deadline returns DEADLINE_EXCEEDED well
+//      before the full evaluation time.
+//
+// The server runs in-process on a loopback socket, so the measured
+// latencies include the full wire round-trip (what a client observes).
+// Micro-benchmarks for the protocol parser and LRU cache ride along.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "svc/cache.h"
+#include "svc/client.h"
+#include "svc/protocol.h"
+#include "svc/server.h"
+
+using namespace zeroone;
+using namespace zeroone::svc;
+
+namespace {
+
+// ~20ms of certain-answer evaluation (4 nulls) — big enough that a cache
+// hit (microseconds) is unambiguously faster, small enough for CI.
+constexpr const char* kColdDb =
+    "R(2) = { (c1, _1), (c2, _2), (c3, _3), (c4, _4) }";
+// ~0.5s of evaluation (5 nulls) for the overload and deadline scenarios.
+constexpr const char* kSlowDb =
+    "R(2) = { (c1, _1), (c2, _2), (c3, _3), (c4, _4), (c5, _5) }";
+constexpr const char* kQuery = "Q(x) := exists y . R(x, y)";
+
+Request MakeRequest(const std::string& command, const std::string& args = "",
+                    const std::string& session = "default") {
+  Request request;
+  request.command = command;
+  request.args = args;
+  request.session = session;
+  return request;
+}
+
+double CallMs(BlockingClient& client, const Request& request,
+              WireStatus* status = nullptr) {
+  auto start = std::chrono::steady_clock::now();
+  StatusOr<Response> response = client.Call(request);
+  double ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - start)
+                  .count();
+  if (status != nullptr) {
+    *status = response.ok() ? response->status : WireStatus::kErr;
+  }
+  return ms;
+}
+
+void ReportCacheSpeedup(bench::Experiment* experiment, Server* server) {
+  BlockingClient client;
+  client.Connect("127.0.0.1", server->port());
+  client.Call(MakeRequest("db", kColdDb, "cachebench"));
+  client.Call(MakeRequest("query", kQuery, "cachebench"));
+
+  double cold_ms = CallMs(client, MakeRequest("certain", "", "cachebench"));
+  // Median of repeated warm calls, to be robust against scheduler noise.
+  std::vector<double> warm;
+  for (int i = 0; i < 9; ++i) {
+    warm.push_back(CallMs(client, MakeRequest("certain", "", "cachebench")));
+  }
+  std::sort(warm.begin(), warm.end());
+  double warm_ms = warm[warm.size() / 2];
+  double speedup = warm_ms > 0 ? cold_ms / warm_ms : 0.0;
+  std::printf("cache: cold %.2fms, warm (median of %zu) %.3fms — %.0fx\n",
+              cold_ms, warm.size(), warm_ms, speedup);
+  experiment->Claim(speedup >= 10.0,
+                    "cache hit is >=10x faster than cold evaluation");
+}
+
+void ReportOverload(bench::Experiment* experiment, Server* server) {
+  BlockingClient setup;
+  setup.Connect("127.0.0.1", server->port());
+  setup.Call(MakeRequest("db", kSlowDb, "loadbench"));
+  setup.Call(MakeRequest("query", kQuery, "loadbench"));
+
+  // Pipeline a burst of slow uncacheable requests; with one worker and a
+  // one-slot queue most of the burst must be rejected, and every request
+  // must still get an answer.
+  constexpr int kBurst = 6;
+  BlockingClient client;
+  client.Connect("127.0.0.1", server->port());
+  for (int i = 0; i < kBurst; ++i) {
+    Request request = MakeRequest("certain", "", "loadbench");
+    request.id = std::to_string(i + 1);
+    request.no_cache = true;
+    client.Send(request);
+  }
+  int ok = 0, overloaded = 0, answered = 0;
+  for (int i = 0; i < kBurst; ++i) {
+    StatusOr<Response> response = client.Receive();
+    if (!response.ok()) break;
+    ++answered;
+    ok += response->status == WireStatus::kOk;
+    overloaded += response->status == WireStatus::kOverloaded;
+  }
+  std::printf("overload: burst %d -> %d answered (%d OK, %d OVERLOADED)\n",
+              kBurst, answered, ok, overloaded);
+  experiment->Claim(answered == kBurst,
+                    "every burst request is answered (no hang/silent drop)");
+  experiment->Claim(overloaded >= 1 && ok >= 1,
+                    "overflow beyond the bounded queue is rejected with "
+                    "OVERLOADED while admitted work completes");
+}
+
+void ReportDeadline(bench::Experiment* experiment, Server* server) {
+  BlockingClient client;
+  client.Connect("127.0.0.1", server->port());
+  client.Call(MakeRequest("db", kSlowDb, "deadlinebench"));
+  client.Call(MakeRequest("query", kQuery, "deadlinebench"));
+
+  Request unbounded = MakeRequest("certain", "", "deadlinebench");
+  unbounded.no_cache = true;
+  double full_ms = CallMs(client, unbounded);
+
+  Request bounded = MakeRequest("certain", "", "deadlinebench");
+  bounded.no_cache = true;
+  bounded.deadline_ms = 25;
+  WireStatus status = WireStatus::kOk;
+  double bounded_ms = CallMs(client, bounded, &status);
+  std::printf("deadline: full evaluation %.0fms; @deadline_ms=25 answered "
+              "%s in %.0fms\n",
+              full_ms, std::string(WireStatusName(status)).c_str(),
+              bounded_ms);
+  experiment->Claim(status == WireStatus::kDeadlineExceeded,
+                    "expired deadline yields DEADLINE_EXCEEDED");
+  experiment->Claim(bounded_ms < full_ms / 2,
+                    "cancellation abandons the evaluation well before "
+                    "completion");
+}
+
+void BM_ParseRequestLine(benchmark::State& state) {
+  const std::string line =
+      "@id=42 @session=alpha @deadline_ms=250 @nocache mu (a, b)";
+  for (auto _ : state) {
+    StatusOr<Request> request = ParseRequestLine(line);
+    benchmark::DoNotOptimize(request);
+  }
+}
+BENCHMARK(BM_ParseRequestLine);
+
+void BM_FormatResponse(benchmark::State& state) {
+  Response response;
+  response.id = "42";
+  response.payload = std::string(256, 'x');
+  for (auto _ : state) {
+    std::string frame = FormatResponse(response);
+    benchmark::DoNotOptimize(frame);
+  }
+}
+BENCHMARK(BM_FormatResponse);
+
+void BM_CacheGetHit(benchmark::State& state) {
+  LruCache cache(1 << 20);
+  for (int i = 0; i < 64; ++i) {
+    cache.Put("key" + std::to_string(i), std::string(128, 'v'));
+  }
+  std::string value;
+  int i = 0;
+  for (auto _ : state) {
+    bool hit = cache.Get("key" + std::to_string(i++ % 64), &value);
+    benchmark::DoNotOptimize(hit);
+  }
+}
+BENCHMARK(BM_CacheGetHit);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Experiment experiment("serving");
+  std::printf("Serving: cache speedup, overload rejection, deadlines\n");
+  std::printf("-----------------------------------------------------\n");
+  {
+    // One worker and a one-slot queue make overload deterministic; the
+    // cache and deadline scenarios are unaffected by the pool size.
+    ServerOptions options;
+    options.threads = 1;
+    options.queue_capacity = 1;
+    Server server(options);
+    Status started = server.Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "server start failed: %s\n",
+                   started.message().c_str());
+      return 1;
+    }
+    ReportCacheSpeedup(&experiment, &server);
+    ReportOverload(&experiment, &server);
+    ReportDeadline(&experiment, &server);
+    server.Shutdown();
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return experiment.Finish();
+}

@@ -1,0 +1,18 @@
+#include "common/cancel.h"
+
+namespace zeroone {
+
+namespace {
+thread_local CancelToken* current_token = nullptr;
+}  // namespace
+
+CancelToken* CurrentCancelToken() { return current_token; }
+
+ScopedCancelToken::ScopedCancelToken(CancelToken* token)
+    : previous_(current_token) {
+  current_token = token;
+}
+
+ScopedCancelToken::~ScopedCancelToken() { current_token = previous_; }
+
+}  // namespace zeroone

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/cancel.h"
+
 namespace zeroone {
 
 std::vector<std::vector<std::size_t>> SetPartition::Blocks() const {
@@ -15,42 +17,53 @@ std::vector<std::vector<std::size_t>> SetPartition::Blocks() const {
 
 namespace {
 
-// Recursive restricted-growth-string enumeration.
-void EnumeratePartitions(std::size_t position, std::size_t used_blocks,
+// Recursive restricted-growth-string enumeration. Returns false when a
+// cancellation request stopped the enumeration early (partial visit).
+bool EnumeratePartitions(std::size_t position, std::size_t used_blocks,
                          SetPartition* partition,
                          const std::function<void(const SetPartition&)>& visitor) {
   if (position == partition->blocks.size()) {
+    if (CancellationRequested()) return false;
     partition->block_count = used_blocks;
     visitor(*partition);
-    return;
+    return true;
   }
   for (std::size_t b = 0; b <= used_blocks; ++b) {
     partition->blocks[position] = b;
-    EnumeratePartitions(position + 1, std::max(used_blocks, b + 1), partition,
-                        visitor);
+    if (!EnumeratePartitions(position + 1, std::max(used_blocks, b + 1),
+                             partition, visitor)) {
+      return false;
+    }
   }
+  return true;
 }
 
-void EnumerateInjectiveMaps(
+bool EnumerateInjectiveMaps(
     std::size_t position, std::size_t range, std::vector<bool>* taken,
     std::vector<std::size_t>* map,
     const std::function<void(const std::vector<std::size_t>&)>& visitor) {
   if (position == map->size()) {
+    if (CancellationRequested()) return false;
     visitor(*map);
-    return;
+    return true;
   }
   // Leave `position` unassigned.
   (*map)[position] = kUnassigned;
-  EnumerateInjectiveMaps(position + 1, range, taken, map, visitor);
+  if (!EnumerateInjectiveMaps(position + 1, range, taken, map, visitor)) {
+    return false;
+  }
   // Or map it to each still-free target.
   for (std::size_t target = 0; target < range; ++target) {
     if ((*taken)[target]) continue;
     (*taken)[target] = true;
     (*map)[position] = target;
-    EnumerateInjectiveMaps(position + 1, range, taken, map, visitor);
+    bool keep_going =
+        EnumerateInjectiveMaps(position + 1, range, taken, map, visitor);
     (*taken)[target] = false;
+    if (!keep_going) return false;
   }
   (*map)[position] = kUnassigned;
+  return true;
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/cancel.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -94,7 +95,7 @@ ChaseResult ChaseFds(const std::vector<FunctionalDependency>& fds,
   // the number of distinct values or repairs a violation, so the loop
   // terminates in polynomially many steps.
   bool changed = true;
-  while (changed) {
+  while (changed && !CancellationRequested()) {
     ZO_COUNTER_INC("chase.rounds");
     changed = false;
     for (const FunctionalDependency& fd : fds) {

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <thread>
 
+#include "common/cancel.h"
 #include "common/partitions.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -48,8 +49,12 @@ GenericSupportCount CountGenericSupportParallel(
   std::vector<BigInt> partial_total(threads, BigInt(0));
   std::vector<std::thread> workers;
   workers.reserve(threads);
+  // Cancellation tokens are thread-local; re-install the calling thread's
+  // token inside each worker so cancelling it stops every shard.
+  CancelToken* cancel = CurrentCancelToken();
   for (std::size_t t = 0; t < threads; ++t) {
     workers.emplace_back([&, t] {
+      ScopedCancelToken scoped_cancel(cancel);
       for (std::size_t shard = t; shard < shard_count; shard += threads) {
         ForEachValuation(rest, domain, [&](const Valuation& v) {
           ZO_COUNTER_INC("support.valuations_enumerated");

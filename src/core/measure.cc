@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "common/cancel.h"
 #include "core/support.h"
 #include "data/valuation.h"
 #include "query/eval.h"
@@ -90,6 +91,7 @@ bool IsPossibleAnswer(const Query& query, const Database& db,
 std::vector<Tuple> CertainAnswers(const Query& query, const Database& db) {
   std::vector<Tuple> result;
   for (const Tuple& candidate : NaiveEvaluate(query, db)) {
+    if (CancellationRequested()) break;
     if (IsCertainAnswer(query, db, candidate)) result.push_back(candidate);
   }
   return result;
@@ -120,6 +122,7 @@ std::vector<Tuple> AllTuplesOverAdom(const Database& db, std::size_t arity) {
 std::vector<Tuple> PossibleAnswers(const Query& query, const Database& db) {
   std::vector<Tuple> result;
   for (const Tuple& candidate : AllTuplesOverAdom(db, query.arity())) {
+    if (CancellationRequested()) break;
     if (IsPossibleAnswer(query, db, candidate)) result.push_back(candidate);
   }
   return result;

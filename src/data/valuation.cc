@@ -5,6 +5,8 @@
 #include <ostream>
 #include <set>
 
+#include "common/cancel.h"
+
 namespace zeroone {
 
 void Valuation::Bind(Value null, Value constant) {
@@ -99,6 +101,9 @@ bool ForEachValuationUntil(
     valuation.Bind(nulls[i], domain[0]);
   }
   while (true) {
+    // Cooperative cancellation: a cancelled enumeration stops early and
+    // reports false; the token's installer discards the partial result.
+    if (CancellationRequested()) return false;
     if (!visitor(valuation)) return false;
     std::size_t position = 0;
     while (position < indices.size()) {

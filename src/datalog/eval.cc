@@ -6,6 +6,7 @@
 #include <optional>
 #include <set>
 
+#include "common/cancel.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -168,8 +169,9 @@ Database MaterializeDatalog(const DatalogProgram& program,
       }
     }
     // Semi-naive rounds: each recursive instantiation uses the latest delta
-    // in one positive literal position.
-    while (!delta.empty()) {
+    // in one positive literal position. A cancellation request abandons the
+    // fixpoint mid-way; the token's installer discards the partial result.
+    while (!delta.empty() && !CancellationRequested()) {
       ZO_COUNTER_INC("datalog.rounds");
       std::map<std::string, std::set<Tuple>> next_delta;
       for (const DatalogRule* rule : stratum_rules) {

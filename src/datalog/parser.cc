@@ -68,8 +68,7 @@ class Cursor {
       }
     }
     if (position_ == start) {
-      return Status::Error("datalog parse error at offset " +
-                           std::to_string(position_) +
+      return Status::Error("datalog parse error at offset ", position_,
                            ": expected identifier");
     }
     return std::string(text_.substr(start, position_ - start));
@@ -116,33 +115,28 @@ class RuleScope {
 StatusOr<Term> ParseTerm(Cursor* cursor, RuleScope* scope) {
   char c = cursor->Peek();
   if (c == '\'') {
-    StatusOr<std::string> text = cursor->QuotedString();
-    if (!text.ok()) return text.status();
-    return Term::Val(Value::Constant(*text));
+    ZO_ASSIGN_OR_RETURN(std::string text, cursor->QuotedString());
+    return Term::Val(Value::Constant(text));
   }
-  StatusOr<std::string> identifier = cursor->Identifier();
-  if (!identifier.ok()) return identifier.status();
-  char first = (*identifier)[0];
+  ZO_ASSIGN_OR_RETURN(std::string identifier, cursor->Identifier());
+  char first = identifier[0];
   if (std::isupper(static_cast<unsigned char>(first))) {
-    return Term::Variable(scope->IdOf(*identifier));
+    return Term::Variable(scope->IdOf(identifier));
   }
-  return Term::Val(Value::Constant(*identifier));
+  return Term::Val(Value::Constant(identifier));
 }
 
 StatusOr<DatalogAtom> ParseAtom(Cursor* cursor, RuleScope* scope) {
-  StatusOr<std::string> predicate = cursor->Identifier();
-  if (!predicate.ok()) return predicate.status();
   DatalogAtom atom;
-  atom.predicate = *predicate;
+  ZO_ASSIGN_OR_RETURN(atom.predicate, cursor->Identifier());
   if (!cursor->Consume('(')) {
-    return Status::Error("datalog parse error: expected '(' after " +
+    return Status::Error("datalog parse error: expected '(' after ",
                          atom.predicate);
   }
   if (cursor->Peek() != ')') {
     while (true) {
-      StatusOr<Term> term = ParseTerm(cursor, scope);
-      if (!term.ok()) return term.status();
-      atom.terms.push_back(*term);
+      ZO_ASSIGN_OR_RETURN(Term term, ParseTerm(cursor, scope));
+      atom.terms.push_back(term);
       if (cursor->Consume(',')) continue;
       break;
     }
@@ -161,34 +155,29 @@ StatusOr<DatalogProgram> ParseDatalogProgram(std::string_view text) {
   std::string goal;
   while (!cursor.AtEnd()) {
     if (cursor.ConsumeSequence("?-")) {
-      StatusOr<std::string> predicate = cursor.Identifier();
-      if (!predicate.ok()) return predicate.status();
+      ZO_ASSIGN_OR_RETURN(std::string predicate, cursor.Identifier());
       if (!goal.empty()) {
         return Status::Error("datalog parse error: multiple goals");
       }
-      goal = *predicate;
+      goal = std::move(predicate);
       continue;
     }
     RuleScope scope;
     DatalogRule rule;
-    StatusOr<DatalogAtom> head = ParseAtom(&cursor, &scope);
-    if (!head.ok()) return head.status();
-    rule.head = std::move(*head);
+    ZO_ASSIGN_OR_RETURN(rule.head, ParseAtom(&cursor, &scope));
     if (cursor.ConsumeSequence(":-")) {
       while (true) {
         DatalogLiteral literal;
         literal.negated = cursor.Consume('!');
-        StatusOr<DatalogAtom> atom = ParseAtom(&cursor, &scope);
-        if (!atom.ok()) return atom.status();
-        literal.atom = std::move(*atom);
+        ZO_ASSIGN_OR_RETURN(literal.atom, ParseAtom(&cursor, &scope));
         rule.body.push_back(std::move(literal));
         if (cursor.Consume(',')) continue;
         break;
       }
     }
     if (!cursor.Consume('.')) {
-      return Status::Error("datalog parse error at offset " +
-                           std::to_string(cursor.position()) +
+      return Status::Error("datalog parse error at offset ",
+                           cursor.position(),
                            ": expected '.' ending the rule");
     }
     rule.variable_names = scope.names();

@@ -114,8 +114,7 @@ class Lexer {
             i += 2;
             continue;
           }
-          return Status::Error("parse error: stray '-' at offset " +
-                               std::to_string(i));
+          return Status::Error("parse error: stray '-' at offset ", i);
         case '=':
           tokens.push_back({TokenKind::kEquals, "=", i++});
           continue;
@@ -125,11 +124,10 @@ class Lexer {
             i += 2;
             continue;
           }
-          return Status::Error("parse error: stray ':' at offset " +
-                               std::to_string(i));
+          return Status::Error("parse error: stray ':' at offset ", i);
         default:
-          return Status::Error(std::string("parse error: unexpected '") + c +
-                               "' at offset " + std::to_string(i));
+          return Status::Error("parse error: unexpected '", c, "' at offset ",
+                               i);
       }
     }
     tokens.push_back({TokenKind::kEnd, "", text_.size()});
@@ -179,23 +177,22 @@ class Parser {
     } else if (Current().kind == TokenKind::kAssign) {
       Advance();  // Boolean query written ":= formula".
     }
-    StatusOr<FormulaPtr> formula = ParseFormula();
-    if (!formula.ok()) return formula.status();
+    ZO_ASSIGN_OR_RETURN(FormulaPtr formula, ParseFormula());
     if (Current().kind != TokenKind::kEnd) {
       return Error("unexpected trailing input");
     }
     // Verify the head variables are exactly the free variables.
-    std::vector<std::size_t> actual_free = (*formula)->FreeVariables();
+    std::vector<std::size_t> actual_free = formula->FreeVariables();
     for (std::size_t v : actual_free) {
       bool declared = false;
       for (std::size_t f : free_variables) declared = declared || f == v;
       if (!declared) {
-        return Status::Error("parse error: variable '" + variable_names_[v] +
+        return Status::Error("parse error: variable '", variable_names_[v],
                              "' is free in the body but not in the head");
       }
     }
     return Query(std::move(query_name), std::move(free_variables),
-                 std::move(*formula), variable_names_);
+                 std::move(formula), variable_names_);
   }
 
  private:
@@ -209,8 +206,8 @@ class Parser {
   }
 
   Status Error(const std::string& message) const {
-    return Status::Error("parse error at offset " +
-                         std::to_string(Current().position) + ": " + message);
+    return Status::Error("parse error at offset ", Current().position, ": ",
+                         message);
   }
 
   bool LooksLikeHead() const {
@@ -274,50 +271,45 @@ class Parser {
       return Error("expected '.' after quantified variables");
     }
     Advance();
-    StatusOr<FormulaPtr> body = ParseFormula();
-    if (!body.ok()) return body.status();
+    ZO_ASSIGN_OR_RETURN(FormulaPtr body, ParseFormula());
     // Quantified variable names go out of scope after the body; they remain
     // in variable_names_ (ids are unique), but identifiers are re-usable
     // as constants afterwards only if never declared — we keep paper
     // semantics simple: a name, once a variable, stays a variable.
-    return is_exists ? Formula::Exists(vars, std::move(*body))
-                     : Formula::Forall(vars, std::move(*body));
+    return is_exists ? Formula::Exists(vars, std::move(body))
+                     : Formula::Forall(vars, std::move(body));
   }
 
   StatusOr<FormulaPtr> ParseImplication() {
-    StatusOr<FormulaPtr> left = ParseDisjunction();
-    if (!left.ok()) return left;
+    ZO_ASSIGN_OR_RETURN(FormulaPtr left, ParseDisjunction());
     if (Current().kind == TokenKind::kArrow) {
       Advance();
-      StatusOr<FormulaPtr> right = ParseFormula();
-      if (!right.ok()) return right;
-      return Formula::Implies(std::move(*left), std::move(*right));
+      ZO_ASSIGN_OR_RETURN(FormulaPtr right, ParseFormula());
+      return Formula::Implies(std::move(left), std::move(right));
     }
     return left;
   }
 
   StatusOr<FormulaPtr> ParseDisjunction() {
-    StatusOr<FormulaPtr> first = ParseConjunction();
-    if (!first.ok()) return first;
-    std::vector<FormulaPtr> children = {std::move(*first)};
+    ZO_ASSIGN_OR_RETURN(FormulaPtr first, ParseConjunction());
+    std::vector<FormulaPtr> children;
+    children.push_back(std::move(first));
     while (Current().kind == TokenKind::kPipe) {
       Advance();
-      StatusOr<FormulaPtr> next = ParseConjunction();
-      if (!next.ok()) return next;
-      children.push_back(std::move(*next));
+      ZO_ASSIGN_OR_RETURN(FormulaPtr next, ParseConjunction());
+      children.push_back(std::move(next));
     }
     return Formula::Or(std::move(children));
   }
 
   StatusOr<FormulaPtr> ParseConjunction() {
-    StatusOr<FormulaPtr> first = ParseUnary();
-    if (!first.ok()) return first;
-    std::vector<FormulaPtr> children = {std::move(*first)};
+    ZO_ASSIGN_OR_RETURN(FormulaPtr first, ParseUnary());
+    std::vector<FormulaPtr> children;
+    children.push_back(std::move(first));
     while (Current().kind == TokenKind::kAmp) {
       Advance();
-      StatusOr<FormulaPtr> next = ParseUnary();
-      if (!next.ok()) return next;
-      children.push_back(std::move(*next));
+      ZO_ASSIGN_OR_RETURN(FormulaPtr next, ParseUnary());
+      children.push_back(std::move(next));
     }
     return Formula::And(std::move(children));
   }
@@ -325,9 +317,8 @@ class Parser {
   StatusOr<FormulaPtr> ParseUnary() {
     if (Current().kind == TokenKind::kBang) {
       Advance();
-      StatusOr<FormulaPtr> child = ParseUnary();
-      if (!child.ok()) return child;
-      return Formula::Not(std::move(*child));
+      ZO_ASSIGN_OR_RETURN(FormulaPtr child, ParseUnary());
+      return Formula::Not(std::move(child));
     }
     if (Current().kind == TokenKind::kIdentifier &&
         (Current().text == "exists" || Current().text == "forall")) {
@@ -339,8 +330,7 @@ class Parser {
   StatusOr<FormulaPtr> ParsePrimary() {
     if (Current().kind == TokenKind::kLParen) {
       Advance();
-      StatusOr<FormulaPtr> inner = ParseFormula();
-      if (!inner.ok()) return inner;
+      ZO_ASSIGN_OR_RETURN(FormulaPtr inner, ParseFormula());
       if (Current().kind != TokenKind::kRParen) {
         return Error("expected ')'");
       }
@@ -365,9 +355,8 @@ class Parser {
       std::vector<Term> terms;
       if (Current().kind != TokenKind::kRParen) {
         while (true) {
-          StatusOr<Term> term = ParseTerm();
-          if (!term.ok()) return term.status();
-          terms.push_back(*term);
+          ZO_ASSIGN_OR_RETURN(Term term, ParseTerm());
+          terms.push_back(term);
           if (Current().kind == TokenKind::kComma) {
             Advance();
             continue;
@@ -382,19 +371,16 @@ class Parser {
       return Formula::Atom(std::move(relation), std::move(terms));
     }
     // (In)equality between two terms.
-    StatusOr<Term> left = ParseTerm();
-    if (!left.ok()) return left.status();
+    ZO_ASSIGN_OR_RETURN(Term left, ParseTerm());
     if (Current().kind == TokenKind::kEquals) {
       Advance();
-      StatusOr<Term> right = ParseTerm();
-      if (!right.ok()) return right.status();
-      return Formula::Equals(*left, *right);
+      ZO_ASSIGN_OR_RETURN(Term right, ParseTerm());
+      return Formula::Equals(left, right);
     }
     if (Current().kind == TokenKind::kNotEquals) {
       Advance();
-      StatusOr<Term> right = ParseTerm();
-      if (!right.ok()) return right.status();
-      return Formula::Not(Formula::Equals(*left, *right));
+      ZO_ASSIGN_OR_RETURN(Term right, ParseTerm());
+      return Formula::Not(Formula::Equals(left, right));
     }
     return Error("expected '=' or '!=' after term");
   }
@@ -433,9 +419,8 @@ class Parser {
 
 StatusOr<Query> ParseQuery(std::string_view text) {
   Lexer lexer(text);
-  StatusOr<std::vector<Token>> tokens = lexer.Tokenize();
-  if (!tokens.ok()) return tokens.status();
-  Parser parser(std::move(*tokens));
+  ZO_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
   return parser.ParseTopLevel();
 }
 

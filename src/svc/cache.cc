@@ -1,0 +1,97 @@
+#include "svc/cache.h"
+
+#include "obs/metrics.h"
+
+namespace zeroone {
+namespace svc {
+
+bool LruCache::Get(const std::string& key, std::string* value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(std::string_view(key));
+  if (it == index_.end()) {
+    ++stats_.misses;
+    ZO_COUNTER_INC("svc.cache.miss");
+    return false;
+  }
+  entries_.splice(entries_.begin(), entries_, it->second);
+  *value = it->second->value;
+  ++stats_.hits;
+  ZO_COUNTER_INC("svc.cache.hit");
+  return true;
+}
+
+void LruCache::Put(const std::string& key, std::string value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(std::string_view(key));
+  if (it != index_.end()) {
+    bytes_ -= EntryBytes(*it->second);
+    it->second->value = std::move(value);
+    bytes_ += EntryBytes(*it->second);
+    entries_.splice(entries_.begin(), entries_, it->second);
+    ++stats_.insertions;
+    EvictToFit();
+    return;
+  }
+  Entry entry{key, std::move(value)};
+  if (EntryBytes(entry) > capacity_bytes_) {
+    ++stats_.oversized_rejections;
+    ZO_COUNTER_INC("svc.cache.oversized_rejection");
+    return;
+  }
+  entries_.push_front(std::move(entry));
+  bytes_ += EntryBytes(entries_.front());
+  index_.emplace(std::string_view(entries_.front().key), entries_.begin());
+  ++stats_.insertions;
+  ZO_COUNTER_INC("svc.cache.insertion");
+  EvictToFit();
+}
+
+void LruCache::EvictToFit() {
+  while (bytes_ > capacity_bytes_ && !entries_.empty()) {
+    Entry& victim = entries_.back();
+    bytes_ -= EntryBytes(victim);
+    index_.erase(std::string_view(victim.key));
+    entries_.pop_back();
+    ++stats_.evictions;
+    ZO_COUNTER_INC("svc.cache.eviction");
+  }
+}
+
+std::size_t LruCache::EraseIf(
+    const std::function<bool(std::string_view key)>& predicate) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t erased = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (predicate(it->key)) {
+      bytes_ -= EntryBytes(*it);
+      index_.erase(std::string_view(it->key));
+      it = entries_.erase(it);
+      ++erased;
+    } else {
+      ++it;
+    }
+  }
+  stats_.invalidations += erased;
+  ZO_COUNTER_ADD("svc.cache.invalidation", erased);
+  return erased;
+}
+
+void LruCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.invalidations += entries_.size();
+  index_.clear();
+  entries_.clear();
+  bytes_ = 0;
+}
+
+LruCache::Stats LruCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats stats = stats_;
+  stats.bytes = bytes_;
+  stats.entries = entries_.size();
+  stats.capacity_bytes = capacity_bytes_;
+  return stats;
+}
+
+}  // namespace svc
+}  // namespace zeroone

@@ -1,0 +1,94 @@
+#ifndef ZEROONE_SVC_CACHE_H_
+#define ZEROONE_SVC_CACHE_H_
+
+// Byte-bounded LRU cache for query results.
+//
+// Keys encode (session, session version, semantics command, canonicalized
+// arguments, canonicalized query) — see Dispatcher::CacheKey — so a stale
+// entry can never be served: any mutation bumps the session version and
+// makes old keys unreachable. Mutations additionally erase the session's
+// entries eagerly (EraseIf) so dead results stop occupying budget.
+//
+// Thread-safe; one mutex guards the map and the recency list. The charged
+// size of an entry is key + value + a fixed bookkeeping overhead, so a
+// cache full of tiny entries cannot blow past the byte budget via
+// per-entry allocator costs.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+
+namespace zeroone {
+namespace svc {
+
+class LruCache {
+ public:
+  // Charged per entry on top of key/value bytes (list node + map slot).
+  static constexpr std::size_t kEntryOverheadBytes = 96;
+
+  explicit LruCache(std::size_t capacity_bytes)
+      : capacity_bytes_(capacity_bytes) {}
+  LruCache(const LruCache&) = delete;
+  LruCache& operator=(const LruCache&) = delete;
+
+  // On hit copies the value into *value, refreshes recency, and returns
+  // true. Counts a hit or a miss either way.
+  bool Get(const std::string& key, std::string* value);
+
+  // Inserts or overwrites. Entries larger than the whole capacity are not
+  // admitted (counted as an oversized rejection, not an eviction storm).
+  void Put(const std::string& key, std::string value);
+
+  // Erases every entry whose key matches the predicate; returns the number
+  // of entries removed. Used for eager invalidation of one session's keys.
+  std::size_t EraseIf(
+      const std::function<bool(std::string_view key)>& predicate);
+
+  void Clear();
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::uint64_t invalidations = 0;  // Entries removed by EraseIf/Clear.
+    std::uint64_t oversized_rejections = 0;
+    std::size_t bytes = 0;
+    std::size_t entries = 0;
+    std::size_t capacity_bytes = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string value;
+  };
+  using EntryList = std::list<Entry>;
+
+  static std::size_t EntryBytes(const Entry& entry) {
+    return entry.key.size() + entry.value.size() + kEntryOverheadBytes;
+  }
+
+  // Drops least-recently-used entries until bytes_ fits the budget.
+  // Caller holds mutex_.
+  void EvictToFit();
+
+  const std::size_t capacity_bytes_;
+  mutable std::mutex mutex_;
+  EntryList entries_;  // Front = most recently used.
+  std::unordered_map<std::string_view, EntryList::iterator> index_;
+  std::size_t bytes_ = 0;
+  Stats stats_;
+};
+
+}  // namespace svc
+}  // namespace zeroone
+
+#endif  // ZEROONE_SVC_CACHE_H_

@@ -1,0 +1,102 @@
+#include "svc/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace zeroone {
+namespace svc {
+
+BlockingClient::~BlockingClient() { Close(); }
+
+BlockingClient::BlockingClient(BlockingClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), buffer_(std::move(other.buffer_)) {}
+
+BlockingClient& BlockingClient::operator=(BlockingClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    buffer_ = std::move(other.buffer_);
+  }
+  return *this;
+}
+
+void BlockingClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+Status BlockingClient::Connect(const std::string& host, int port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return Status::Error("socket failed: ", std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::Error("bad host address '", host, "'");
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status = Status::Error("connect to ", host, ":", port,
+                                  " failed: ", std::strerror(errno));
+    Close();
+    return status;
+  }
+  return Status::Ok();
+}
+
+Status BlockingClient::Send(const Request& request) {
+  if (fd_ < 0) return Status::Error("not connected");
+  std::string line = FormatRequestLine(request);
+  line.push_back('\n');
+  std::string_view data = line;
+  while (!data.empty()) {
+    ssize_t n = ::send(fd_, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return Status::Error("send failed: ", std::strerror(errno));
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return Status::Ok();
+}
+
+StatusOr<Response> BlockingClient::Receive() {
+  if (fd_ < 0) return Status::Error("not connected");
+  char chunk[4096];
+  for (;;) {
+    Response response;
+    ZO_ASSIGN_OR_RETURN(std::size_t consumed,
+                        ParseResponseFrame(buffer_, &response));
+    if (consumed > 0) {
+      buffer_.erase(0, consumed);
+      return response;
+    }
+    ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      return Status::Error("connection closed mid-response (",
+                           buffer_.size(), " bytes buffered)");
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+StatusOr<Response> BlockingClient::Call(const Request& request) {
+  ZO_RETURN_IF_ERROR(Send(request));
+  return Receive();
+}
+
+}  // namespace svc
+}  // namespace zeroone

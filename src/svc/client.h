@@ -1,0 +1,45 @@
+#ifndef ZEROONE_SVC_CLIENT_H_
+#define ZEROONE_SVC_CLIENT_H_
+
+// Minimal blocking client for the zeroone wire protocol, shared by
+// tools/zeroone_loadgen.cc, bench/bench_serving.cc, and tests/svc_test.cc.
+// One connection, synchronous Call() or pipelined Send()/Receive().
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "svc/protocol.h"
+
+namespace zeroone {
+namespace svc {
+
+class BlockingClient {
+ public:
+  BlockingClient() = default;
+  ~BlockingClient();
+  BlockingClient(BlockingClient&& other) noexcept;
+  BlockingClient& operator=(BlockingClient&& other) noexcept;
+  BlockingClient(const BlockingClient&) = delete;
+  BlockingClient& operator=(const BlockingClient&) = delete;
+
+  Status Connect(const std::string& host, int port);
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  // Sends one request line (pipelining: responses arrive in order).
+  Status Send(const Request& request);
+  // Blocks for the next response frame.
+  StatusOr<Response> Receive();
+  // Send + Receive.
+  StatusOr<Response> Call(const Request& request);
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  // Unconsumed bytes past the last parsed frame.
+};
+
+}  // namespace svc
+}  // namespace zeroone
+
+#endif  // ZEROONE_SVC_CLIENT_H_

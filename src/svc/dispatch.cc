@@ -1,0 +1,400 @@
+#include "svc/dispatch.h"
+
+#include <fstream>
+#include <mutex>
+#include <shared_mutex>
+#include <sstream>
+#include <utility>
+
+#include "algebra/ra_parser.h"
+#include "common/cancel.h"
+#include "constraints/fd.h"
+#include "constraints/ind.h"
+#include "core/comparison.h"
+#include "core/conditional.h"
+#include "core/measure.h"
+#include "core/support.h"
+#include "core/support_polynomial.h"
+#include "data/io.h"
+#include "datalog/eval.h"
+#include "datalog/parser.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "query/eval.h"
+#include "query/parser.h"
+
+namespace zeroone {
+namespace svc {
+
+namespace {
+
+// Field separator in cache keys; cannot occur in request lines (control
+// bytes are rejected by ParseRequestLine) or in Query::ToString output.
+constexpr char kKeySep = '\x1f';
+
+// Mirrors the CLI's tuple-list output exactly.
+void AppendTuples(std::ostringstream* out, const std::vector<Tuple>& tuples) {
+  if (tuples.empty()) {
+    *out << "  (none)\n";
+    return;
+  }
+  for (const Tuple& t : tuples) *out << "  " << t.ToString() << "\n";
+}
+
+Status RequireQuery(const SessionState& session) {
+  if (!session.has_query) {
+    return Status::Error("no query set (use `query <text>`)");
+  }
+  return Status::Ok();
+}
+
+StatusOr<Tuple> ParseTupleArg(const SessionState& session,
+                              const std::string& text) {
+  ZO_ASSIGN_OR_RETURN(Tuple tuple, ParseTuple(text));
+  if (session.has_query && tuple.arity() != session.query.arity()) {
+    return Status::Error("tuple arity ", tuple.arity(),
+                         " does not match query arity ",
+                         session.query.arity());
+  }
+  return tuple;
+}
+
+// Splits a comma list of numbers, e.g. "0,2" (CLI syntax for fd/ind).
+StatusOr<std::vector<std::size_t>> ParsePositions(const std::string& text) {
+  std::vector<std::size_t> positions;
+  std::stringstream stream(text);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    if (item.empty()) return Status::Error("empty position in '", text, "'");
+    std::size_t value = 0;
+    for (char c : item) {
+      if (c < '0' || c > '9') {
+        return Status::Error("bad position list '", text, "'");
+      }
+      value = value * 10 + static_cast<std::size_t>(c - '0');
+    }
+    positions.push_back(value);
+  }
+  if (positions.empty()) return Status::Error("empty position list");
+  return positions;
+}
+
+StatusOr<std::string> ReadFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) return Status::Error("cannot open '", path, "'");
+  std::stringstream contents;
+  contents << file.rdbuf();
+  return contents.str();
+}
+
+// Runs one command against the session. The caller holds the appropriate
+// session lock. Sets *mutated when session state changed (the caller then
+// bumps the version and invalidates cache entries).
+StatusOr<std::string> RunCommand(SessionState* session,
+                                 const std::string& command,
+                                 const std::string& args, bool* mutated) {
+  std::ostringstream out;
+  if (command == "db") {
+    ZO_ASSIGN_OR_RETURN(Database parsed, ParseDatabase(args));
+    std::size_t added = 0;
+    for (const auto& [name, rel] : parsed.relations()) {
+      Relation& target = session->db.AddRelation(name, rel.arity());
+      for (const Tuple& t : rel) {
+        target.Insert(t);
+        ++added;
+      }
+    }
+    *mutated = true;
+    out << "added " << added << " tuples";
+  } else if (command == "load") {
+    ZO_ASSIGN_OR_RETURN(std::string contents, ReadFile(args));
+    ZO_ASSIGN_OR_RETURN(Database db, ParseDatabase(contents));
+    session->db = std::move(db);
+    *mutated = true;
+    out << "loaded " << session->db.TupleCount() << " tuples";
+  } else if (command == "reset") {
+    session->db = Database();
+    session->query = Query();
+    session->has_query = false;
+    session->constraints.clear();
+    session->fds.clear();
+    *mutated = true;
+    out << "reset";
+  } else if (command == "show") {
+    out << session->db.ToString() << "\n";
+  } else if (command == "query") {
+    ZO_ASSIGN_OR_RETURN(Query query, ParseQuery(args));
+    session->query = std::move(query);
+    session->has_query = true;
+    *mutated = true;
+    out << session->query.ToString();
+  } else if (command == "naive") {
+    ZO_RETURN_IF_ERROR(RequireQuery(*session));
+    AppendTuples(&out, NaiveEvaluate(session->query, session->db));
+  } else if (command == "certain") {
+    ZO_RETURN_IF_ERROR(RequireQuery(*session));
+    AppendTuples(&out, CertainAnswers(session->query, session->db));
+  } else if (command == "possible") {
+    ZO_RETURN_IF_ERROR(RequireQuery(*session));
+    AppendTuples(&out, PossibleAnswers(session->query, session->db));
+  } else if (command == "best") {
+    ZO_RETURN_IF_ERROR(RequireQuery(*session));
+    AppendTuples(&out, BestAnswers(session->query, session->db));
+  } else if (command == "bestmu") {
+    ZO_RETURN_IF_ERROR(RequireQuery(*session));
+    AppendTuples(&out, BestMuAnswers(session->query, session->db));
+  } else if (command == "mu") {
+    ZO_RETURN_IF_ERROR(RequireQuery(*session));
+    ZO_ASSIGN_OR_RETURN(Tuple tuple, ParseTupleArg(*session, args));
+    out << "mu = " << MuLimit(session->query, session->db, tuple);
+  } else if (command == "muk") {
+    ZO_RETURN_IF_ERROR(RequireQuery(*session));
+    std::stringstream arg_stream(args);
+    std::size_t k = 0;
+    arg_stream >> k;
+    std::string tuple_text;
+    std::getline(arg_stream, tuple_text);
+    if (k == 0) return Status::Error("usage: muk <k> <tuple>");
+    ZO_ASSIGN_OR_RETURN(Tuple tuple, ParseTupleArg(*session, tuple_text));
+    SupportInstance instance =
+        MakeSupportInstance(session->query, session->db, tuple);
+    if (k < instance.prefix.size()) {
+      return Status::Error("k must be at least |C ∪ Const(D)| = ",
+                           instance.prefix.size());
+    }
+    Rational mu = MuK(session->query, session->db, tuple, k);
+    out << "mu^" << k << " = " << mu.ToString() << " ≈ " << mu.ToDouble();
+  } else if (command == "poly") {
+    ZO_RETURN_IF_ERROR(RequireQuery(*session));
+    ZO_ASSIGN_OR_RETURN(Tuple tuple, ParseTupleArg(*session, args));
+    SupportPolynomial poly =
+        ComputeSupportPolynomial(session->query, session->db, tuple);
+    out << "|Supp^k| = " << poly.count.ToString() << "   (valid for k >= "
+        << poly.valid_from << "; |V^k| = "
+        << TotalCountPolynomial(session->db).ToString() << ")";
+  } else if (command == "compare") {
+    ZO_RETURN_IF_ERROR(RequireQuery(*session));
+    std::size_t split = args.find(')');
+    if (split == std::string::npos) {
+      return Status::Error("usage: compare (t1) (t2)");
+    }
+    ZO_ASSIGN_OR_RETURN(Tuple a,
+                        ParseTupleArg(*session, args.substr(0, split + 1)));
+    ZO_ASSIGN_OR_RETURN(Tuple b,
+                        ParseTupleArg(*session, args.substr(split + 1)));
+    bool ab = WeaklyDominated(session->query, session->db, a, b);
+    bool ba = WeaklyDominated(session->query, session->db, b, a);
+    out << "Supp(a) ⊆ Supp(b): " << (ab ? "yes" : "no")
+        << "; Supp(b) ⊆ Supp(a): " << (ba ? "yes" : "no") << "\n";
+    if (ab && !ba) out << "a ◁ b (b is the better answer)\n";
+    if (ba && !ab) out << "b ◁ a (a is the better answer)\n";
+    if (ab && ba) out << "equal support\n";
+    if (!ab && !ba) out << "incomparable\n";
+  } else if (command == "fd") {
+    std::stringstream arg_stream(args);
+    std::string relation;
+    std::size_t arity = 0;
+    std::string lhs_text;
+    std::size_t rhs = 0;
+    arg_stream >> relation >> arity >> lhs_text >> rhs;
+    if (relation.empty() || arity == 0) {
+      return Status::Error("usage: fd <R> <arity> <l1,l2,..> <rhs>");
+    }
+    ZO_ASSIGN_OR_RETURN(std::vector<std::size_t> lhs,
+                        ParsePositions(lhs_text));
+    if (rhs >= arity) {
+      return Status::Error("fd rhs position ", rhs, " out of range for arity ",
+                           arity);
+    }
+    for (std::size_t p : lhs) {
+      if (p >= arity) {
+        return Status::Error("fd lhs position ", p, " out of range for arity ",
+                             arity);
+      }
+    }
+    FunctionalDependency fd(relation, arity, lhs, rhs);
+    session->fds.push_back(fd);
+    session->constraints.push_back(std::make_shared<FunctionalDependency>(fd));
+    *mutated = true;
+    out << "added " << fd.ToString();
+  } else if (command == "ind") {
+    std::stringstream arg_stream(args);
+    std::string from, to, from_pos, to_pos;
+    std::size_t from_arity = 0, to_arity = 0;
+    arg_stream >> from >> from_arity >> from_pos >> to >> to_arity >> to_pos;
+    if (from.empty() || to.empty() || from_arity == 0 || to_arity == 0) {
+      return Status::Error(
+          "usage: ind <R> <arity> <pos,..> <S> <arity> <pos,..>");
+    }
+    ZO_ASSIGN_OR_RETURN(std::vector<std::size_t> fp,
+                        ParsePositions(from_pos));
+    ZO_ASSIGN_OR_RETURN(std::vector<std::size_t> tp, ParsePositions(to_pos));
+    for (std::size_t p : fp) {
+      if (p >= from_arity) {
+        return Status::Error("ind position ", p, " out of range for arity ",
+                             from_arity);
+      }
+    }
+    for (std::size_t p : tp) {
+      if (p >= to_arity) {
+        return Status::Error("ind position ", p, " out of range for arity ",
+                             to_arity);
+      }
+    }
+    auto ind = std::make_shared<InclusionDependency>(from, from_arity, fp, to,
+                                                     to_arity, tp);
+    out << "added " << ind->ToString();
+    session->constraints.push_back(std::move(ind));
+    *mutated = true;
+  } else if (command == "constraints") {
+    if (session->constraints.empty()) {
+      out << "  (none)\n";
+    } else {
+      for (const ConstraintPtr& c : session->constraints) {
+        out << "  " << c->ToString() << "\n";
+      }
+    }
+  } else if (command == "clear") {
+    session->constraints.clear();
+    session->fds.clear();
+    *mutated = true;
+    out << "cleared";
+  } else if (command == "cond") {
+    ZO_RETURN_IF_ERROR(RequireQuery(*session));
+    ZO_ASSIGN_OR_RETURN(Tuple tuple, ParseTupleArg(*session, args));
+    ConditionalMeasure result = ComputeConditionalMu(
+        session->query, session->constraints, session->db, tuple);
+    out << "mu(Q|Sigma) = " << result.value.ToString();
+    if (!result.sigma_satisfiable) out << "   (Sigma unsatisfiable)";
+  } else if (command == "chase") {
+    ChaseResult result = ChaseFds(session->fds, session->db);
+    if (!result.success) {
+      return Status::Error("chase failed: ", result.failure_reason);
+    }
+    session->db = result.database;
+    *mutated = true;
+    out << session->db.ToString() << "\n";
+  } else if (command == "ra") {
+    ZO_ASSIGN_OR_RETURN(RaExprPtr plan,
+                        ParseRaExpr(args, session->db.schema()));
+    out << plan->ToString() << "\n";
+    AppendTuples(&out, plan->Evaluate(session->db));
+  } else if (command == "dlog") {
+    ZO_ASSIGN_OR_RETURN(std::string contents, ReadFile(args));
+    ZO_ASSIGN_OR_RETURN(DatalogProgram program,
+                        ParseDatalogProgram(contents));
+    out << program.ToString();
+    AppendTuples(&out, EvaluateDatalog(program, session->db));
+  } else {
+    return Status::Error("unknown command '", command, "'");
+  }
+  return out.str();
+}
+
+}  // namespace
+
+Dispatcher::Dispatcher(const Options& options)
+    : cache_(options.cache_bytes) {}
+
+std::string Dispatcher::CacheKey(const Request& request,
+                                 std::uint64_t version,
+                                 const std::string& canonical_query) {
+  return StrCat(request.session, kKeySep, version, kKeySep, request.command,
+                kKeySep, request.args, kKeySep, canonical_query);
+}
+
+Response Dispatcher::Execute(const Request& request) {
+  ZO_TRACE_SPAN("svc.execute");
+  Response response;
+  response.id = request.id;
+
+  if (request.command == "ping") {
+    response.payload = "pong";
+    return response;
+  }
+  if (request.command == "stats") {
+    response.payload = StatsJson();
+    return response;
+  }
+
+  std::shared_ptr<SessionState> session = sessions_.GetOrCreate(request.session);
+  CancelToken* token = CurrentCancelToken();
+  bool mutation = IsMutationCommand(request.command);
+  bool cacheable = !request.no_cache && !mutation &&
+                   IsCacheableCommand(request.command);
+
+  std::string cache_key;
+  StatusOr<std::string> result = std::string();
+  bool mutated = false;
+  if (mutation) {
+    std::unique_lock<std::shared_mutex> lock(session->mutex);
+    result = RunCommand(session.get(), request.command, request.args,
+                        &mutated);
+    if (mutated) {
+      ++session->version;
+      // Eager invalidation: results computed against older versions are
+      // already unreachable (the version is in the key); erasing them
+      // frees their bytes for live entries.
+      const std::string prefix = StrCat(request.session, kKeySep);
+      cache_.EraseIf([&prefix](std::string_view key) {
+        return key.substr(0, prefix.size()) == prefix;
+      });
+    }
+  } else {
+    std::shared_lock<std::shared_mutex> lock(session->mutex);
+    if (cacheable) {
+      cache_key = CacheKey(request, session->version,
+                           session->has_query ? session->query.ToString()
+                                              : std::string());
+      std::string cached;
+      if (cache_.Get(cache_key, &cached)) {
+        response.payload = std::move(cached);
+        return response;
+      }
+    }
+    result = RunCommand(session.get(), request.command, request.args,
+                        &mutated);
+  }
+
+  if (token != nullptr && token->cancelled()) {
+    // The evaluation was abandoned mid-enumeration; whatever RunCommand
+    // returned is partial garbage. Report the partial failure explicitly.
+    ZO_COUNTER_INC("svc.requests.deadline_exceeded");
+    response.status = WireStatus::kDeadlineExceeded;
+    response.payload = StrCat("deadline exceeded during '", request.command,
+                              "'; partial result discarded");
+    return response;
+  }
+
+  if (!result.ok()) {
+    ZO_COUNTER_INC("svc.requests.error");
+    response.status = WireStatus::kErr;
+    response.payload = result.status().message();
+    return response;
+  }
+  response.payload = std::move(result).value();
+  if (cacheable && !cache_key.empty()) {
+    cache_.Put(cache_key, response.payload);
+  }
+  ZO_COUNTER_INC("svc.requests.ok");
+  return response;
+}
+
+std::string Dispatcher::StatsJson() const {
+  LruCache::Stats cache = cache_.stats();
+  std::ostringstream out;
+  out << "{\"cache\": {\"hits\": " << cache.hits
+      << ", \"misses\": " << cache.misses
+      << ", \"insertions\": " << cache.insertions
+      << ", \"evictions\": " << cache.evictions
+      << ", \"invalidations\": " << cache.invalidations
+      << ", \"oversized_rejections\": " << cache.oversized_rejections
+      << ", \"bytes\": " << cache.bytes
+      << ", \"entries\": " << cache.entries
+      << ", \"capacity_bytes\": " << cache.capacity_bytes << "}"
+      << ", \"sessions\": " << sessions_.size() << "}";
+  return out.str();
+}
+
+}  // namespace svc
+}  // namespace zeroone

@@ -1,0 +1,70 @@
+#ifndef ZEROONE_SVC_DISPATCH_H_
+#define ZEROONE_SVC_DISPATCH_H_
+
+// Command execution over named sessions, with result caching.
+//
+// The Dispatcher exposes the zeroone_cli command surface (load / db / query
+// / naive / certain / possible / best / bestmu / mu / muk / poly / compare
+// / fd / ind / constraints / clear / cond / chase / ra / dlog) as a pure
+// request → response function, shared by the TCP server, the serving bench,
+// and the tests. Payload text matches the CLI's output byte-for-byte so
+// concurrent serving can be validated against sequential evaluation.
+//
+// Locking: evaluation commands hold the session's shared lock, mutations
+// the exclusive lock; see svc/session.h. Caching: successful cacheable
+// results are stored under a key that includes the session version (see
+// CacheKey); any mutation bumps the version and eagerly erases the
+// session's entries.
+//
+// Deadlines: Execute runs under the calling thread's CancelToken (see
+// common/cancel.h). When the token reports cancellation after evaluation,
+// the partial result is discarded and a DEADLINE_EXCEEDED response is
+// returned; cancelled results are never cached.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "svc/cache.h"
+#include "svc/protocol.h"
+#include "svc/session.h"
+
+namespace zeroone {
+namespace svc {
+
+class Dispatcher {
+ public:
+  struct Options {
+    std::size_t cache_bytes = 8 * 1024 * 1024;
+  };
+
+  explicit Dispatcher(const Options& options);
+  Dispatcher(const Dispatcher&) = delete;
+  Dispatcher& operator=(const Dispatcher&) = delete;
+
+  // Executes one parsed request to completion (request-line errors are the
+  // caller's concern; `request` is assumed well-formed). Thread-safe.
+  Response Execute(const Request& request);
+
+  // The cache key for a cacheable command at one session version:
+  //   session \x1f version \x1f command \x1f args \x1f query
+  // The current query's canonical ToString() form participates because
+  // every evaluation command is implicitly parameterized by it.
+  static std::string CacheKey(const Request& request, std::uint64_t version,
+                              const std::string& canonical_query);
+
+  LruCache& cache() { return cache_; }
+  SessionRegistry& sessions() { return sessions_; }
+
+  // JSON object with cache/session statistics (the `stats` payload).
+  std::string StatsJson() const;
+
+ private:
+  LruCache cache_;
+  SessionRegistry sessions_;
+};
+
+}  // namespace svc
+}  // namespace zeroone
+
+#endif  // ZEROONE_SVC_DISPATCH_H_

@@ -1,0 +1,92 @@
+#include "svc/executor.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace zeroone {
+namespace svc {
+
+BoundedExecutor::BoundedExecutor(std::size_t threads,
+                                 std::size_t queue_capacity)
+    : queue_capacity_(std::max<std::size_t>(1, queue_capacity)) {
+  threads = std::max<std::size_t>(1, threads);
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+BoundedExecutor::~BoundedExecutor() { Drain(); }
+
+bool BoundedExecutor::TrySubmit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (draining_ || queue_.size() >= queue_capacity_) {
+      ++rejected_;
+      ZO_COUNTER_INC("svc.executor.rejected");
+      return false;
+    }
+    queue_.push_back(std::move(task));
+    ++submitted_;
+    ZO_COUNTER_INC("svc.executor.submitted");
+  }
+  work_available_.notify_one();
+  return true;
+}
+
+void BoundedExecutor::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock,
+                           [this] { return draining_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // Draining and nothing left to run.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++completed_;
+    }
+    ZO_COUNTER_INC("svc.executor.completed");
+  }
+}
+
+void BoundedExecutor::Drain() {
+  std::call_once(drain_once_, [this] {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      draining_ = true;
+    }
+    work_available_.notify_all();
+    // Joined threads stay in the vector (stats() reads its size under the
+    // mutex concurrently; join itself does not mutate the vector).
+    for (std::thread& worker : workers_) {
+      if (worker.joinable()) worker.join();
+    }
+  });
+}
+
+bool BoundedExecutor::draining() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return draining_;
+}
+
+BoundedExecutor::Stats BoundedExecutor::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats stats;
+  stats.submitted = submitted_;
+  stats.rejected = rejected_;
+  stats.completed = completed_;
+  stats.queue_depth = queue_.size();
+  stats.threads = workers_.size();
+  stats.queue_capacity = queue_capacity_;
+  return stats;
+}
+
+}  // namespace svc
+}  // namespace zeroone

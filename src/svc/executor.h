@@ -1,0 +1,71 @@
+#ifndef ZEROONE_SVC_EXECUTOR_H_
+#define ZEROONE_SVC_EXECUTOR_H_
+
+// Worker-thread pool with a *bounded* work queue.
+//
+// Overload policy: TrySubmit never blocks and never queues unboundedly —
+// when the queue is at capacity (or the executor is draining) it returns
+// false immediately and the caller turns that into an explicit OVERLOADED
+// response. This keeps tail latency bounded under load instead of letting
+// the queue absorb (and eventually time out) an unbounded backlog.
+//
+// Drain policy: Drain() stops admission, lets the workers finish every task
+// that was already accepted (accepted work is never silently dropped), then
+// joins the workers. Idempotent.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace zeroone {
+namespace svc {
+
+class BoundedExecutor {
+ public:
+  BoundedExecutor(std::size_t threads, std::size_t queue_capacity);
+  ~BoundedExecutor();  // Drains.
+  BoundedExecutor(const BoundedExecutor&) = delete;
+  BoundedExecutor& operator=(const BoundedExecutor&) = delete;
+
+  // Enqueues `task` unless the queue is full or the executor is draining.
+  bool TrySubmit(std::function<void()> task);
+
+  // Stops admission, completes all accepted tasks, joins the workers.
+  void Drain();
+
+  bool draining() const;
+
+  struct Stats {
+    std::uint64_t submitted = 0;
+    std::uint64_t rejected = 0;   // TrySubmit refusals (full or draining).
+    std::uint64_t completed = 0;
+    std::size_t queue_depth = 0;  // Tasks queued, not yet started.
+    std::size_t threads = 0;
+    std::size_t queue_capacity = 0;
+  };
+  Stats stats() const;
+
+ private:
+  void WorkerLoop();
+
+  const std::size_t queue_capacity_;
+  std::once_flag drain_once_;
+  mutable std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool draining_ = false;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace svc
+}  // namespace zeroone
+
+#endif  // ZEROONE_SVC_EXECUTOR_H_

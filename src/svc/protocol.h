@@ -1,0 +1,114 @@
+#ifndef ZEROONE_SVC_PROTOCOL_H_
+#define ZEROONE_SVC_PROTOCOL_H_
+
+// Wire protocol of the zeroone query server (docs/serving.md has the full
+// grammar). The protocol is line-oriented and UTF-8:
+//
+// Request — exactly one line, at most kMaxRequestBytes bytes:
+//
+//   request  := *(option SP) command [SP args] LF
+//   option   := "@id=" token | "@session=" token | "@deadline_ms=" uint
+//             | "@nocache"
+//   command  := "ping" | "stats" | "db" | "load" | "reset" | "show"
+//             | "query" | "naive" | "certain" | "possible" | "best"
+//             | "bestmu" | "mu" | "muk" | "poly" | "compare" | "cond"
+//             | "fd" | "ind" | "constraints" | "clear" | "chase" | "ra"
+//             | "dlog"
+//   token    := 1*64( ALPHA / DIGIT / "_" / "-" / "." )
+//
+// Response — a header line followed by a length-prefixed payload:
+//
+//   response := "ZO1" SP status SP id SP payload_bytes LF payload LF
+//   status   := "OK" | "ERR" | "BAD_REQUEST" | "OVERLOADED"
+//             | "DEADLINE_EXCEEDED" | "SHUTTING_DOWN"
+//
+// The payload is exactly payload_bytes bytes (it may itself contain
+// newlines); the trailing LF is a frame terminator, not part of the
+// payload. Requests on one connection are answered in submission order.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace zeroone {
+namespace svc {
+
+// Hard cap on one request line (including options), chosen to fit any
+// realistic inline `db` statement while bounding per-connection memory.
+inline constexpr std::size_t kMaxRequestBytes = 64 * 1024;
+// Hard cap on one response payload; larger payloads are truncated with a
+// trailing marker rather than silently dropped.
+inline constexpr std::size_t kMaxPayloadBytes = 4 * 1024 * 1024;
+// Cap on @id= and @session= tokens.
+inline constexpr std::size_t kMaxTokenBytes = 64;
+
+enum class WireStatus {
+  kOk,
+  kErr,               // Command-level failure (parse error, bad tuple, ...).
+  kBadRequest,        // The request line itself was malformed.
+  kOverloaded,        // Bounded queue full; retry later.
+  kDeadlineExceeded,  // Evaluation abandoned at the request deadline.
+  kShuttingDown,      // Server is draining; no new work accepted.
+};
+
+std::string_view WireStatusName(WireStatus status);
+// Inverse of WireStatusName; errors on unknown names.
+StatusOr<WireStatus> ParseWireStatus(std::string_view name);
+
+struct Request {
+  std::string id = "0";            // Echoed verbatim in the response.
+  std::string session = "default"; // Named database session.
+  std::uint64_t deadline_ms = 0;   // 0 = no deadline.
+  bool no_cache = false;           // Bypass (and do not fill) the cache.
+  std::string command;
+  std::string args;                // Remainder of the line, trimmed.
+};
+
+struct Response {
+  WireStatus status = WireStatus::kOk;
+  std::string id = "0";
+  std::string payload;
+};
+
+// True for commands the server understands (the list in the grammar above).
+bool IsKnownCommand(std::string_view command);
+// True for commands that mutate session state (database, query,
+// constraints) and therefore bump the session version and invalidate the
+// session's cache entries. `query` counts: it changes what the evaluation
+// commands operate on.
+bool IsMutationCommand(std::string_view command);
+// True for commands whose successful results are worth caching: pure reads
+// whose output depends only on (session state version, command, args).
+bool IsCacheableCommand(std::string_view command);
+
+// Parses one request line (without the trailing LF). Enforces the size cap,
+// UTF-8 validity, option syntax, token shape, and command membership; any
+// violation is an error Status (never a crash — see svc_protocol_test).
+StatusOr<Request> ParseRequestLine(std::string_view line);
+
+// Serializes a request to its canonical line form (no trailing LF).
+// Options with default values are omitted. ParseRequestLine round-trips it.
+std::string FormatRequestLine(const Request& request);
+
+// Serializes a full response frame (header, payload, terminator). Payloads
+// over kMaxPayloadBytes are truncated with a "\n...[truncated]" tail.
+std::string FormatResponse(const Response& response);
+
+// Incremental response parse: examines the front of `buffer` and, if it
+// holds a complete frame, fills `out` and returns the bytes consumed.
+// Returns 0 when the frame is still incomplete; an error Status when the
+// buffer cannot be a response frame prefix.
+StatusOr<std::size_t> ParseResponseFrame(std::string_view buffer,
+                                         Response* out);
+
+// True iff `text` is well-formed UTF-8 (rejects overlongs, surrogates,
+// and values past U+10FFFF). Exposed for tests.
+bool IsValidUtf8(std::string_view text);
+
+}  // namespace svc
+}  // namespace zeroone
+
+#endif  // ZEROONE_SVC_PROTOCOL_H_

@@ -1,0 +1,364 @@
+#include "svc/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "common/cancel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace zeroone {
+namespace svc {
+
+namespace {
+
+// Writes all of `data` to `fd`, ignoring SIGPIPE (the peer may have gone).
+void WriteAll(int fd, std::string_view data) {
+  while (!data.empty()) {
+    ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;  // Peer closed; drop the rest of the frame.
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace
+
+// One client connection. Responses are delivered in request-arrival order:
+// the reader assigns each request a slot in `pending_`, workers fill slots
+// out of order, and whoever fills the front flushes the longest completed
+// prefix to the socket.
+class Server::Connection {
+ public:
+  explicit Connection(int fd) : fd_(fd) {}
+  ~Connection() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  int fd() const { return fd_; }
+
+  // Reserves the next in-order response slot; returns its sequence number.
+  std::uint64_t ReserveSlot() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pending_.emplace_back();
+    return base_seq_ + pending_.size() - 1;
+  }
+
+  // Fills a slot and flushes every completed frame at the queue's front.
+  void CompleteSlot(std::uint64_t seq, std::string frame) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pending_[static_cast<std::size_t>(seq - base_seq_)] = std::move(frame);
+    while (!pending_.empty() && pending_.front().has_value()) {
+      WriteAll(fd_, *pending_.front());
+      pending_.pop_front();
+      ++base_seq_;
+    }
+    MaybeShutdownWriteLocked();
+  }
+
+  // Half-closes the read side so the reader thread unblocks; queued
+  // responses can still be written.
+  void ShutdownRead() { ::shutdown(fd_, SHUT_RD); }
+
+  // Called by the reader thread when it stops reading (client EOF or a
+  // framing error). Once every reserved slot has been answered, half-close
+  // the write side so clients reading until EOF terminate promptly.
+  void FinishReading() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    reading_done_ = true;
+    MaybeShutdownWriteLocked();
+  }
+
+ private:
+  void MaybeShutdownWriteLocked() {
+    if (reading_done_ && pending_.empty()) ::shutdown(fd_, SHUT_WR);
+  }
+
+  const int fd_;
+  std::mutex mutex_;
+  std::deque<std::optional<std::string>> pending_;
+  std::uint64_t base_seq_ = 0;
+  bool reading_done_ = false;
+};
+
+Server::Server(const ServerOptions& options)
+    : options_(options),
+      dispatcher_(Dispatcher::Options{options.cache_bytes}),
+      executor_(std::make_unique<BoundedExecutor>(options.threads,
+                                                  options.queue_capacity)) {}
+
+Server::~Server() {
+  BeginShutdown();
+  Wait();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
+  if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
+}
+
+Status Server::Start() {
+  if (started_.exchange(true)) {
+    return Status::Error("server already started");
+  }
+  if (::pipe(wake_pipe_) != 0) {
+    return Status::Error("pipe failed: ", std::strerror(errno));
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Error("socket failed: ", std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::Error("bad listen address '", options_.host, "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Status::Error("bind to ", options_.host, ":", options_.port,
+                         " failed: ", std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    return Status::Error("listen failed: ", std::strerror(errno));
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void Server::Notify() {
+  // Async-signal-safe: a single write to the self-pipe.
+  if (wake_pipe_[1] >= 0) {
+    char byte = 's';
+    [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  }
+}
+
+void Server::WaitForShutdownRequest() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    pollfd pfd{wake_pipe_[0], POLLIN, 0};
+    int rc = ::poll(&pfd, 1, 200);
+    if (rc > 0 && (pfd.revents & POLLIN) != 0) return;
+  }
+}
+
+void Server::AcceptLoop() {
+  for (;;) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
+    int rc = ::poll(fds, 2, 200);
+    if (stopping_.load(std::memory_order_relaxed)) return;
+    if (rc <= 0) continue;
+    if ((fds[1].revents & POLLIN) != 0) return;  // Woken for shutdown.
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    // A client that stops reading must not wedge a worker (or the drain)
+    // in send(): bound the blocking write time, then drop the frame.
+    timeval send_timeout{30, 0};
+    ::setsockopt(client, SOL_SOCKET, SO_SNDTIMEO, &send_timeout,
+                 sizeof(send_timeout));
+    ZO_COUNTER_INC("svc.server.connections");
+    auto connection = std::make_shared<Connection>(client);
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      if (stopping_.load(std::memory_order_relaxed)) {
+        // Raced with shutdown: refuse politely.
+        WriteAll(client, FormatResponse(Response{WireStatus::kShuttingDown,
+                                                 "0", "server draining"}));
+        continue;  // connection closes the fd on destruction.
+      }
+      connections_.push_back(connection);
+      reader_threads_.emplace_back(
+          [this, connection] { ServeConnection(connection); });
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.connections_accepted;
+    }
+  }
+}
+
+void Server::ServeConnection(std::shared_ptr<Connection> connection) {
+  // Whatever path exits the read loop, let the connection half-close its
+  // write side once all reserved slots are answered.
+  struct ReadingGuard {
+    Connection* connection;
+    ~ReadingGuard() { connection->FinishReading(); }
+  } guard{connection.get()};
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    std::size_t newline;
+    while ((newline = buffer.find('\n')) == std::string::npos) {
+      if (buffer.size() > kMaxRequestBytes) {
+        // Framing is unrecoverable once a line overruns the cap: answer
+        // BAD_REQUEST and drop the connection.
+        std::uint64_t seq = connection->ReserveSlot();
+        connection->CompleteSlot(
+            seq, FormatResponse(Response{
+                     WireStatus::kBadRequest, "0",
+                     StrCat("request line exceeds ", kMaxRequestBytes,
+                            " bytes")}));
+        {
+          std::lock_guard<std::mutex> lock(stats_mutex_);
+          ++stats_.bad_requests;
+        }
+        return;
+      }
+      ssize_t n = ::recv(connection->fd(), chunk, sizeof(chunk), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return;  // EOF or error: client is done.
+      buffer.append(chunk, static_cast<std::size_t>(n));
+    }
+    std::string line = buffer.substr(0, newline);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    buffer.erase(0, newline + 1);
+    if (line.empty()) continue;  // Blank keep-alive line.
+    HandleLine(connection, std::move(line));
+  }
+}
+
+void Server::HandleLine(const std::shared_ptr<Connection>& connection,
+                        std::string line) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.requests_received;
+  }
+  ZO_COUNTER_INC("svc.server.requests");
+  std::uint64_t seq = connection->ReserveSlot();
+  StatusOr<Request> parsed = ParseRequestLine(line);
+  if (!parsed.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.bad_requests;
+    }
+    ZO_COUNTER_INC("svc.server.bad_requests");
+    connection->CompleteSlot(
+        seq, FormatResponse(Response{WireStatus::kBadRequest, "0",
+                                     parsed.status().message()}));
+    return;
+  }
+  Request request = std::move(*parsed);
+  std::uint64_t deadline_ms = request.deadline_ms != 0
+                                  ? request.deadline_ms
+                                  : options_.default_deadline_ms;
+  // The lambda below moves `request` out when it is *constructed* (i.e.
+  // even when TrySubmit then rejects it), so keep what the rejection
+  // response needs.
+  const std::string request_id = request.id;
+  auto admitted = std::chrono::steady_clock::now();
+
+  bool submitted = executor_->TrySubmit([this, connection, seq,
+                                         request = std::move(request),
+                                         deadline_ms, admitted] {
+    ZO_TRACE_SPAN("svc.request");
+    CancelToken token;
+    if (deadline_ms != 0) {
+      // The deadline clock starts at admission: time spent queued counts.
+      token.SetDeadline(admitted + std::chrono::milliseconds(deadline_ms));
+    }
+    ScopedCancelToken scoped(&token);
+    Response response;
+    if (token.cancelled()) {
+      // Expired while queued; don't start the evaluation at all.
+      ZO_COUNTER_INC("svc.requests.deadline_exceeded");
+      response = Response{WireStatus::kDeadlineExceeded, request.id,
+                          StrCat("deadline expired after ", deadline_ms,
+                                 "ms in queue; '", request.command,
+                                 "' not started")};
+    } else {
+      response = dispatcher_.Execute(request);
+    }
+    connection->CompleteSlot(seq, FormatResponse(response));
+  });
+  if (!submitted) {
+    bool draining = stopping_.load(std::memory_order_relaxed) ||
+                    executor_->draining();
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      if (draining) {
+        ++stats_.shutting_down_rejects;
+      } else {
+        ++stats_.overloaded;
+      }
+    }
+    ZO_COUNTER_INC("svc.server.overloaded");
+    connection->CompleteSlot(
+        seq,
+        FormatResponse(Response{
+            draining ? WireStatus::kShuttingDown : WireStatus::kOverloaded,
+            request_id,
+            draining
+                ? std::string("server draining; request rejected")
+                : StrCat("work queue full (capacity ",
+                         options_.queue_capacity, "); retry later")}));
+  }
+}
+
+void Server::BeginShutdown() {
+  if (stopping_.exchange(true)) {
+    Notify();
+    return;
+  }
+  Notify();  // Wake the accept loop and WaitForShutdownRequest.
+  // Half-close every connection: readers see EOF and stop submitting; the
+  // executor still finishes (and answers) everything already accepted.
+  std::lock_guard<std::mutex> lock(connections_mutex_);
+  for (const auto& connection : connections_) connection->ShutdownRead();
+}
+
+void Server::Wait() {
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Close the listen socket so late connects are refused outright instead
+  // of sitting unanswered in the accept backlog.
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  // No new submissions can arrive once readers are gone or rejected;
+  // Drain completes every accepted request (writing its response).
+  std::vector<std::thread> readers;
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    readers.swap(reader_threads_);
+  }
+  for (std::thread& reader : readers) {
+    if (reader.joinable()) reader.join();
+  }
+  executor_->Drain();
+  std::lock_guard<std::mutex> lock(connections_mutex_);
+  connections_.clear();  // Closes fds once workers release their refs.
+}
+
+void Server::Shutdown() {
+  BeginShutdown();
+  Wait();
+}
+
+Server::Stats Server::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+}  // namespace svc
+}  // namespace zeroone

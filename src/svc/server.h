@@ -1,0 +1,123 @@
+#ifndef ZEROONE_SVC_SERVER_H_
+#define ZEROONE_SVC_SERVER_H_
+
+// The long-lived TCP query server (tools/zeroone_server.cc is the binary).
+//
+// Architecture: one accept thread, one reader thread per connection, and a
+// shared BoundedExecutor worker pool. The reader parses newline-delimited
+// requests (svc/protocol.h), stamps each with its admission time, and
+// submits it to the executor; a full queue is answered OVERLOADED
+// immediately — admission control, not unbounded buffering. Workers run the
+// Dispatcher under a per-request CancelToken whose deadline is admission
+// time + @deadline_ms, so queueing time counts against the deadline.
+//
+// Responses on a connection are delivered in request-arrival order via a
+// per-connection reorder buffer, so clients may pipeline without matching
+// ids themselves.
+//
+// Graceful drain: BeginShutdown() (async-signal-safe trigger via Notify on
+// a self-pipe) stops the accept loop, half-closes every connection for
+// reading, and lets accepted requests finish; Wait() joins everything.
+// Accepted work is never dropped.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "svc/dispatch.h"
+#include "svc/executor.h"
+#include "svc/protocol.h"
+
+namespace zeroone {
+namespace svc {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;  // 0 = ephemeral; the bound port is Server::port().
+  std::size_t threads = 4;
+  std::size_t queue_capacity = 64;
+  std::size_t cache_bytes = 8 * 1024 * 1024;
+  // Applied when a request carries no @deadline_ms; 0 = unlimited.
+  std::uint64_t default_deadline_ms = 0;
+};
+
+class Server {
+ public:
+  explicit Server(const ServerOptions& options);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Binds, listens, and starts the accept thread. Call once.
+  Status Start();
+
+  // The port actually bound (resolves port 0). Valid after Start().
+  int port() const { return port_; }
+
+  // Initiates graceful drain; returns immediately. Safe to call from any
+  // thread and more than once. From a signal handler, call Notify()
+  // instead and run BeginShutdown() on a normal thread.
+  void BeginShutdown();
+
+  // Blocks until the accept thread, all in-flight requests, and all
+  // connection readers have finished. Call after BeginShutdown().
+  void Wait();
+
+  // Convenience: BeginShutdown() + Wait().
+  void Shutdown();
+
+  // Async-signal-safe: wakes WaitForShutdownRequest(). The signal handler
+  // in tools/zeroone_server.cc calls this.
+  void Notify();
+
+  // Blocks until Notify() or BeginShutdown() is called.
+  void WaitForShutdownRequest();
+
+  Dispatcher& dispatcher() { return dispatcher_; }
+  BoundedExecutor& executor() { return *executor_; }
+
+  struct Stats {
+    std::uint64_t connections_accepted = 0;
+    std::uint64_t requests_received = 0;
+    std::uint64_t bad_requests = 0;
+    std::uint64_t overloaded = 0;
+    std::uint64_t shutting_down_rejects = 0;
+  };
+  Stats stats() const;
+
+ private:
+  class Connection;
+
+  void AcceptLoop();
+  void ServeConnection(std::shared_ptr<Connection> connection);
+  void HandleLine(const std::shared_ptr<Connection>& connection,
+                  std::string line);
+
+  const ServerOptions options_;
+  Dispatcher dispatcher_;
+  std::unique_ptr<BoundedExecutor> executor_;
+
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};  // [0] read end polled by AcceptLoop.
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> started_{false};
+
+  std::thread accept_thread_;
+  std::mutex connections_mutex_;
+  std::vector<std::shared_ptr<Connection>> connections_;
+  std::vector<std::thread> reader_threads_;
+
+  mutable std::mutex stats_mutex_;
+  Stats stats_;
+};
+
+}  // namespace svc
+}  // namespace zeroone
+
+#endif  // ZEROONE_SVC_SERVER_H_

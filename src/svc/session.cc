@@ -1,0 +1,33 @@
+#include "svc/session.h"
+
+#include "obs/metrics.h"
+
+namespace zeroone {
+namespace svc {
+
+std::shared_ptr<SessionState> SessionRegistry::GetOrCreate(
+    const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sessions_.find(name);
+  if (it != sessions_.end()) return it->second;
+  auto session = std::make_shared<SessionState>();
+  sessions_.emplace(name, session);
+  ZO_COUNTER_INC("svc.sessions.created");
+  return session;
+}
+
+std::vector<std::string> SessionRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(sessions_.size());
+  for (const auto& [name, session] : sessions_) names.push_back(name);
+  return names;
+}
+
+std::size_t SessionRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sessions_.size();
+}
+
+}  // namespace svc
+}  // namespace zeroone

@@ -1,0 +1,72 @@
+#ifndef ZEROONE_SVC_SESSION_H_
+#define ZEROONE_SVC_SESSION_H_
+
+// Named database sessions.
+//
+// A session carries the same state as one zeroone_cli shell: a database, a
+// current query, and a constraint set. Sessions are created on first use
+// (the `@session=` request option; "default" otherwise) and live for the
+// server's lifetime.
+//
+// Concurrency: the per-session shared_mutex serializes mutations against
+// evaluations — evaluation commands are pure in the session state, so any
+// number of them run concurrently under shared locks, while a mutation
+// (which also bumps `version`) takes the lock exclusively. The version is
+// part of every cache key, so results computed against an old version can
+// never be served after a mutation.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "constraints/constraint.h"
+#include "constraints/fd.h"
+#include "data/database.h"
+#include "query/query.h"
+
+namespace zeroone {
+namespace svc {
+
+struct SessionState {
+  // Guards every field below. Shared for evaluation, exclusive for
+  // mutation (see Dispatcher).
+  std::shared_mutex mutex;
+
+  // Bumped on every successful mutation command.
+  std::uint64_t version = 0;
+
+  Database db;
+  Query query;
+  bool has_query = false;
+  ConstraintSet constraints;
+  std::vector<FunctionalDependency> fds;
+};
+
+class SessionRegistry {
+ public:
+  SessionRegistry() = default;
+  SessionRegistry(const SessionRegistry&) = delete;
+  SessionRegistry& operator=(const SessionRegistry&) = delete;
+
+  // Returns the named session, creating it on first use. The returned
+  // pointer stays valid for the registry's lifetime.
+  std::shared_ptr<SessionState> GetOrCreate(const std::string& name);
+
+  // Session names in deterministic order (for the `stats` command).
+  std::vector<std::string> Names() const;
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<SessionState>> sessions_;
+};
+
+}  // namespace svc
+}  // namespace zeroone
+
+#endif  // ZEROONE_SVC_SESSION_H_

@@ -1,0 +1,479 @@
+// Tests for the zeroone::svc serving subsystem: the LRU result cache, the
+// bounded executor, the dispatcher's cache/invalidation behavior, and the
+// TCP server end to end (concurrent correctness, overload rejection,
+// deadlines, graceful drain).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/cache.h"
+#include "svc/client.h"
+#include "svc/dispatch.h"
+#include "svc/executor.h"
+#include "svc/protocol.h"
+#include "svc/server.h"
+
+namespace zeroone {
+namespace svc {
+namespace {
+
+// A small incomplete database: `certain` over it takes ~10-30ms (4 nulls).
+constexpr const char* kFastDb =
+    "R(2) = { (c1, _1), (c2, _2), (c3, _3), (c4, _4) }";
+// With 5 nulls the same query takes several hundred ms — long enough that
+// deadline, overload, and drain behavior are observable, short enough for
+// a unit test.
+constexpr const char* kSlowDb =
+    "R(2) = { (c1, _1), (c2, _2), (c3, _3), (c4, _4), (c5, _5) }";
+constexpr const char* kQuery = "Q(x) := exists y . R(x, y)";
+
+Request MakeRequest(const std::string& command, const std::string& args = "",
+                    const std::string& session = "default") {
+  Request request;
+  request.command = command;
+  request.args = args;
+  request.session = session;
+  return request;
+}
+
+// ---------------------------------------------------------------------------
+// LruCache
+
+TEST(LruCacheTest, MissThenHit) {
+  LruCache cache(4096);
+  std::string value;
+  EXPECT_FALSE(cache.Get("k", &value));
+  cache.Put("k", "v");
+  ASSERT_TRUE(cache.Get("k", &value));
+  EXPECT_EQ(value, "v");
+  LruCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(LruCacheTest, OverwriteReplacesValue) {
+  LruCache cache(4096);
+  cache.Put("k", "old");
+  cache.Put("k", "new");
+  std::string value;
+  ASSERT_TRUE(cache.Get("k", &value));
+  EXPECT_EQ(value, "new");
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsedWithinByteBudget) {
+  // Capacity fits exactly two entries (1-byte keys, 1-byte values).
+  const std::size_t entry = 2 + LruCache::kEntryOverheadBytes;
+  LruCache cache(2 * entry);
+  cache.Put("a", "1");
+  cache.Put("b", "2");
+  std::string value;
+  ASSERT_TRUE(cache.Get("a", &value));  // Refresh "a": now "b" is LRU.
+  cache.Put("c", "3");                  // Evicts "b".
+  EXPECT_TRUE(cache.Get("a", &value));
+  EXPECT_FALSE(cache.Get("b", &value));
+  EXPECT_TRUE(cache.Get("c", &value));
+  LruCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_LE(stats.bytes, 2 * entry);
+  EXPECT_EQ(stats.entries, 2u);
+}
+
+TEST(LruCacheTest, RejectsEntriesLargerThanCapacity) {
+  LruCache cache(64);  // Smaller than the fixed per-entry overhead.
+  cache.Put("k", "v");
+  std::string value;
+  EXPECT_FALSE(cache.Get("k", &value));
+  EXPECT_EQ(cache.stats().oversized_rejections, 1u);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(LruCacheTest, EraseIfRemovesMatchingPrefix) {
+  LruCache cache(4096);
+  cache.Put("s1\x1f k1", "a");
+  cache.Put("s1\x1f k2", "b");
+  cache.Put("s2\x1f k1", "c");
+  std::size_t removed = cache.EraseIf([](std::string_view key) {
+    return key.substr(0, 3) == "s1\x1f";
+  });
+  EXPECT_EQ(removed, 2u);
+  std::string value;
+  EXPECT_FALSE(cache.Get("s1\x1f k1", &value));
+  EXPECT_TRUE(cache.Get("s2\x1f k1", &value));
+  EXPECT_EQ(cache.stats().invalidations, 2u);
+}
+
+TEST(LruCacheTest, ClearEmptiesEverything) {
+  LruCache cache(4096);
+  cache.Put("a", "1");
+  cache.Put("b", "2");
+  cache.Clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().bytes, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// BoundedExecutor
+
+TEST(BoundedExecutorTest, RejectsWhenQueueFull) {
+  BoundedExecutor executor(/*threads=*/1, /*queue_capacity=*/1);
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<int> done{0};
+  // Occupy the single worker...
+  ASSERT_TRUE(executor.TrySubmit([&] {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return release; });
+    ++done;
+  }));
+  // ...and give the worker a moment to pick the task up, so the next
+  // submission lands in the queue rather than going straight to a worker.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  ASSERT_TRUE(executor.TrySubmit([&] { ++done; }));  // Fills the queue.
+  // Queue full: reject, never block, never drop silently.
+  EXPECT_FALSE(executor.TrySubmit([&] { ++done; }));
+  EXPECT_GE(executor.stats().rejected, 1u);
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    release = true;
+  }
+  cv.notify_all();
+  executor.Drain();
+  EXPECT_EQ(done.load(), 2);  // Both accepted tasks ran; the reject did not.
+}
+
+TEST(BoundedExecutorTest, DrainCompletesAcceptedTasks) {
+  std::atomic<int> done{0};
+  {
+    BoundedExecutor executor(/*threads=*/2, /*queue_capacity=*/16);
+    for (int i = 0; i < 10; ++i) {
+      ASSERT_TRUE(executor.TrySubmit([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        ++done;
+      }));
+    }
+    executor.Drain();
+    EXPECT_EQ(done.load(), 10);
+    EXPECT_FALSE(executor.TrySubmit([&] { ++done; }));  // After drain.
+  }
+  EXPECT_EQ(done.load(), 10);
+}
+
+// ---------------------------------------------------------------------------
+// Dispatcher (in-process, no sockets)
+
+TEST(DispatcherTest, CachesReadsAndInvalidatesOnMutation) {
+  Dispatcher dispatcher(Dispatcher::Options{});
+  EXPECT_EQ(dispatcher.Execute(MakeRequest("db", kFastDb)).status,
+            WireStatus::kOk);
+  EXPECT_EQ(dispatcher.Execute(MakeRequest("query", kQuery)).status,
+            WireStatus::kOk);
+
+  Response cold = dispatcher.Execute(MakeRequest("certain"));
+  ASSERT_EQ(cold.status, WireStatus::kOk);
+  Response warm = dispatcher.Execute(MakeRequest("certain"));
+  EXPECT_EQ(warm.payload, cold.payload);
+  EXPECT_GE(dispatcher.cache().stats().hits, 1u);
+
+  // Mutating the session must invalidate: add a tuple, re-ask.
+  EXPECT_EQ(dispatcher.Execute(MakeRequest("db", "R(2) = { (c9, c9) }")).status,
+            WireStatus::kOk);
+  Response after = dispatcher.Execute(MakeRequest("certain"));
+  ASSERT_EQ(after.status, WireStatus::kOk);
+  EXPECT_NE(after.payload, cold.payload);  // (c9) is now a certain answer.
+  EXPECT_GE(dispatcher.cache().stats().invalidations, 1u);
+}
+
+TEST(DispatcherTest, NoCacheRequestsBypassTheCache) {
+  Dispatcher dispatcher(Dispatcher::Options{});
+  dispatcher.Execute(MakeRequest("db", kFastDb));
+  dispatcher.Execute(MakeRequest("query", kQuery));
+  Request request = MakeRequest("certain");
+  request.no_cache = true;
+  dispatcher.Execute(request);
+  dispatcher.Execute(request);
+  EXPECT_EQ(dispatcher.cache().stats().hits, 0u);
+  EXPECT_EQ(dispatcher.cache().stats().insertions, 0u);
+}
+
+TEST(DispatcherTest, SessionsAreIsolated) {
+  Dispatcher dispatcher(Dispatcher::Options{});
+  dispatcher.Execute(MakeRequest("db", kFastDb, "alpha"));
+  dispatcher.Execute(MakeRequest("query", kQuery, "alpha"));
+  Response beta = dispatcher.Execute(MakeRequest("certain", "", "beta"));
+  EXPECT_EQ(beta.status, WireStatus::kErr);  // beta has no query set.
+  Response alpha = dispatcher.Execute(MakeRequest("certain", "", "alpha"));
+  EXPECT_EQ(alpha.status, WireStatus::kOk);
+}
+
+// ---------------------------------------------------------------------------
+// Server end to end
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void StartServer(ServerOptions options) {
+    server_ = std::make_unique<Server>(options);
+    Status started = server_->Start();
+    ASSERT_TRUE(started.ok()) << started.message();
+  }
+
+  BlockingClient Connect() {
+    BlockingClient client;
+    Status status = client.Connect("127.0.0.1", server_->port());
+    EXPECT_TRUE(status.ok()) << status.message();
+    return client;
+  }
+
+  // Runs the session preamble (db + query) through `client`.
+  void Preamble(BlockingClient& client, const std::string& db,
+                const std::string& session = "default") {
+    StatusOr<Response> r = client.Call(MakeRequest("db", db, session));
+    ASSERT_TRUE(r.ok()) << r.status().message();
+    ASSERT_EQ(r->status, WireStatus::kOk) << r->payload;
+    r = client.Call(MakeRequest("query", kQuery, session));
+    ASSERT_TRUE(r.ok()) << r.status().message();
+    ASSERT_EQ(r->status, WireStatus::kOk) << r->payload;
+  }
+
+  std::unique_ptr<Server> server_;
+};
+
+// Acceptance (a): concurrent clients observe answers bit-identical to a
+// sequential evaluation of the same commands.
+TEST_F(ServerTest, SixteenConcurrentClientsMatchSequentialAnswers) {
+  ServerOptions options;
+  options.threads = 4;
+  options.queue_capacity = 256;
+  StartServer(options);
+
+  // Sequential reference: the same session state evaluated in-process.
+  Dispatcher reference(Dispatcher::Options{});
+  reference.Execute(MakeRequest("db", kFastDb));
+  reference.Execute(MakeRequest("query", kQuery));
+  const std::string expected_certain =
+      reference.Execute(MakeRequest("certain")).payload;
+  const std::string expected_possible =
+      reference.Execute(MakeRequest("possible")).payload;
+  const std::string expected_naive =
+      reference.Execute(MakeRequest("naive")).payload;
+  ASSERT_FALSE(expected_certain.empty());
+
+  {
+    BlockingClient setup = Connect();
+    Preamble(setup, kFastDb);
+  }
+
+  constexpr int kClients = 16;
+  std::atomic<int> mismatches{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      BlockingClient client;
+      if (!client.Connect("127.0.0.1", server_->port()).ok()) {
+        ++failures;
+        return;
+      }
+      // Alternate cached and uncached so both paths are exercised under
+      // concurrency.
+      const struct {
+        const char* command;
+        const std::string* expected;
+      } cases[] = {{"certain", &expected_certain},
+                   {"possible", &expected_possible},
+                   {"naive", &expected_naive}};
+      for (int round = 0; round < 2; ++round) {
+        for (const auto& c : cases) {
+          Request request = MakeRequest(c.command);
+          request.no_cache = (i + round) % 2 == 0;
+          StatusOr<Response> response = client.Call(request);
+          if (!response.ok() || response->status != WireStatus::kOk) {
+            ++failures;
+            return;
+          }
+          if (response->payload != *c.expected) ++mismatches;
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+// Acceptance (b): a full bounded queue yields an explicit OVERLOADED
+// response — requests are never silently dropped and the server never
+// hangs.
+TEST_F(ServerTest, FullQueueYieldsOverloaded) {
+  ServerOptions options;
+  options.threads = 1;
+  options.queue_capacity = 1;
+  StartServer(options);
+  {
+    BlockingClient setup = Connect();
+    Preamble(setup, kSlowDb);
+  }
+
+  // Pipeline a burst of slow, uncacheable requests on one connection. The
+  // first occupies the worker (~hundreds of ms), the second fits the
+  // queue, and with a burst this size at least one must be rejected.
+  constexpr int kBurst = 8;
+  BlockingClient client = Connect();
+  for (int i = 0; i < kBurst; ++i) {
+    Request request = MakeRequest("certain");
+    request.id = std::to_string(i + 1);
+    request.no_cache = true;
+    ASSERT_TRUE(client.Send(request).ok());
+  }
+  int ok = 0, overloaded = 0, other = 0;
+  for (int i = 0; i < kBurst; ++i) {
+    StatusOr<Response> response = client.Receive();
+    ASSERT_TRUE(response.ok()) << response.status().message();
+    if (response->status == WireStatus::kOk) {
+      ++ok;
+    } else if (response->status == WireStatus::kOverloaded) {
+      ++overloaded;
+    } else {
+      ++other;
+    }
+  }
+  // Every request was answered (no hang, no silent drop)...
+  EXPECT_EQ(ok + overloaded + other, kBurst);
+  EXPECT_EQ(other, 0);
+  // ...some ran, and the overflow was rejected explicitly.
+  EXPECT_GE(ok, 1);
+  EXPECT_GE(overloaded, 1);
+  EXPECT_EQ(server_->stats().overloaded,
+            static_cast<std::uint64_t>(overloaded));
+}
+
+// Acceptance (c): a request whose deadline expires mid-evaluation returns
+// DEADLINE_EXCEEDED (cooperative cancellation inside the enumeration
+// loops), and the cancelled partial result is never served from cache.
+TEST_F(ServerTest, ExpiredDeadlineYieldsDeadlineExceeded) {
+  StartServer(ServerOptions{});
+  BlockingClient client = Connect();
+  Preamble(client, kSlowDb);
+
+  Request request = MakeRequest("certain");
+  request.deadline_ms = 30;  // Far below the ~0.5s evaluation time.
+  auto start = std::chrono::steady_clock::now();
+  StatusOr<Response> response = client.Call(request);
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  ASSERT_TRUE(response.ok()) << response.status().message();
+  EXPECT_EQ(response->status, WireStatus::kDeadlineExceeded)
+      << response->payload;
+  // Cancellation is cooperative but prompt: far sooner than completion.
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed),
+            std::chrono::milliseconds(400));
+
+  // The same query without a deadline must now compute the real answer —
+  // the cancelled partial result must not have been cached.
+  StatusOr<Response> full = client.Call(MakeRequest("certain"));
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full->status, WireStatus::kOk);
+  EXPECT_NE(full->payload, response->payload);
+}
+
+// A deadline that already expired while the request sat in the queue is
+// answered without starting the evaluation.
+TEST_F(ServerTest, DeadlineCoversQueueTime) {
+  ServerOptions options;
+  options.threads = 1;
+  options.queue_capacity = 4;
+  StartServer(options);
+  BlockingClient client = Connect();
+  Preamble(client, kSlowDb);
+
+  Request slow = MakeRequest("certain");
+  slow.id = "1";
+  slow.no_cache = true;
+  ASSERT_TRUE(client.Send(slow).ok());  // Occupies the single worker.
+  Request queued = MakeRequest("naive");
+  queued.id = "2";
+  queued.deadline_ms = 20;  // Will expire long before the worker frees up.
+  ASSERT_TRUE(client.Send(queued).ok());
+
+  StatusOr<Response> first = client.Receive();
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->status, WireStatus::kOk);
+  StatusOr<Response> second = client.Receive();
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->status, WireStatus::kDeadlineExceeded);
+  EXPECT_NE(second->payload.find("not started"), std::string::npos)
+      << second->payload;
+}
+
+// Acceptance (d): SIGTERM-style drain finishes in-flight requests — every
+// accepted request is answered before the server exits.
+TEST_F(ServerTest, DrainFinishesInFlightRequests) {
+  ServerOptions options;
+  options.threads = 2;
+  StartServer(options);
+  BlockingClient client = Connect();
+  Preamble(client, kSlowDb);
+
+  Request slow = MakeRequest("certain");
+  slow.no_cache = true;
+  ASSERT_TRUE(client.Send(slow).ok());
+  // Let the request reach a worker, then initiate drain mid-evaluation.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  server_->BeginShutdown();
+
+  // The in-flight response still arrives, complete and correct.
+  StatusOr<Response> response = client.Receive();
+  ASSERT_TRUE(response.ok()) << response.status().message();
+  EXPECT_EQ(response->status, WireStatus::kOk);
+  EXPECT_NE(response->payload.find("(c"), std::string::npos)
+      << response->payload;
+
+  server_->Wait();
+  // New connections are refused (or reset) after drain.
+  BlockingClient late;
+  if (late.Connect("127.0.0.1", server_->port()).ok()) {
+    StatusOr<Response> refused = late.Call(MakeRequest("ping"));
+    EXPECT_TRUE(!refused.ok() ||
+                refused->status == WireStatus::kShuttingDown);
+  }
+}
+
+// Responses on one connection come back in request order even when a slow
+// request is pipelined before fast ones.
+TEST_F(ServerTest, PipelinedResponsesArriveInOrder) {
+  ServerOptions options;
+  options.threads = 4;
+  StartServer(options);
+  BlockingClient client = Connect();
+  Preamble(client, kFastDb);
+
+  const char* ids[] = {"10", "11", "12", "13"};
+  Request slow = MakeRequest("certain");
+  slow.id = ids[0];
+  slow.no_cache = true;
+  ASSERT_TRUE(client.Send(slow).ok());
+  for (int i = 1; i < 4; ++i) {
+    Request fast = MakeRequest("ping");
+    fast.id = ids[i];
+    ASSERT_TRUE(client.Send(fast).ok());
+  }
+  for (const char* id : ids) {
+    StatusOr<Response> response = client.Receive();
+    ASSERT_TRUE(response.ok());
+    EXPECT_EQ(response->id, id);
+  }
+}
+
+}  // namespace
+}  // namespace svc
+}  // namespace zeroone

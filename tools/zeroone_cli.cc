@@ -363,16 +363,35 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--trace=", 0) == 0) {
       trace_file = arg.substr(std::string("--trace=").size());
     } else if (arg == "--help") {
-      std::cout << "usage: zeroone_cli [--metrics[=FILE]] [--trace=FILE] "
-                   "[script]\n";
+      std::cout
+          << "usage: zeroone_cli [--metrics[=FILE]] [--trace=FILE] [script]\n"
+             "\n"
+             "Interactive REPL (or script runner) for certain-answer and\n"
+             "almost-certain-answer evaluation over incomplete databases.\n"
+             "\n"
+             "  --metrics[=FILE]  dump the observability counter registry as\n"
+             "                    JSON on exit (stdout when FILE is omitted)\n"
+             "  --trace=FILE      record spans, write Chrome trace_events\n"
+             "  script            newline-delimited command file; '#' starts\n"
+             "                    a comment. Omit for an interactive prompt.\n"
+             "\n"
+             "Commands (type `help` at the prompt): load db show query naive\n"
+             "certain possible best bestmu mu muk poly compare fd ind\n"
+             "constraints clear cond chase ra dlog help quit.\n"
+             "The same command surface is served over TCP by zeroone_server\n"
+             "(see docs/serving.md).\n";
       return 0;
     } else if (arg.rfind("--", 0) == 0) {
-      std::cerr << "unknown flag '" << arg << "'\n";
+      std::cerr << "unknown flag '" << arg << "'\n"
+                << "usage: zeroone_cli [--metrics[=FILE]] [--trace=FILE] "
+                   "[script] (try --help)\n";
       return 1;
     } else if (script.empty()) {
       script = arg;
     } else {
-      std::cerr << "unexpected extra argument '" << arg << "'\n";
+      std::cerr << "unexpected extra argument '" << arg << "'\n"
+                << "usage: zeroone_cli [--metrics[=FILE]] [--trace=FILE] "
+                   "[script] (try --help)\n";
       return 1;
     }
   }

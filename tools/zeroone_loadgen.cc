@@ -1,0 +1,261 @@
+// zeroone_loadgen — closed-loop load generator for zeroone_server.
+//
+// Opens N connections, each on its own session. Every connection first
+// runs a preamble (a small incomplete database plus a query with joins
+// over nulls), then issues a rotating mix of read commands (certain /
+// possible / naive / mu) back-to-back, measuring per-request latency and
+// tallying wire statuses. At the end it prints a human summary to stderr
+// and a single JSON line to stdout (consumed by scripts/smoke_serving.sh).
+//
+// Flags:
+//   --host=ADDR        server address (default 127.0.0.1)
+//   --port=N           server port (required)
+//   --connections=N    concurrent connections/threads (default 2)
+//   --requests=N       requests per connection after preamble (default 50)
+//   --seconds=N        optional wall-clock cap; stop early when exceeded
+//   --deadline-ms=N    attach @deadline_ms=N to every read request
+//   --nocache          attach @nocache to every read request
+//   --help             usage
+//
+// Exit status is 0 iff every request got a well-formed response frame
+// (OVERLOADED / DEADLINE_EXCEEDED count as well-formed — they are the
+// server working as designed) and at least one request returned OK.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/client.h"
+#include "svc/protocol.h"
+
+namespace {
+
+using zeroone::Status;
+using zeroone::StatusOr;
+using zeroone::svc::BlockingClient;
+using zeroone::svc::Request;
+using zeroone::svc::Response;
+using zeroone::svc::WireStatus;
+
+constexpr const char* kDatabase =
+    "R(2) = { (a, _1), (b, _1), (b, _2), (c, _3), (d, _4) } "
+    "S(1) = { (a), (b), (_2) }";
+constexpr const char* kQuery = "Q(x) := exists y . R(x, y) & S(x)";
+
+const char* const kReadCommands[] = {"certain", "possible", "naive", "certain"};
+
+struct WorkerResult {
+  std::vector<double> latencies_ms;
+  std::uint64_t ok = 0;
+  std::uint64_t err = 0;
+  std::uint64_t overloaded = 0;
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t other = 0;
+  std::uint64_t transport_failures = 0;
+};
+
+struct LoadgenOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  std::size_t connections = 2;
+  std::size_t requests = 50;
+  std::uint64_t seconds = 0;
+  std::uint64_t deadline_ms = 0;
+  bool no_cache = false;
+};
+
+void PrintUsage(std::ostream& os) {
+  os << "usage: zeroone_loadgen --port=N [--host=ADDR] [--connections=N]\n"
+        "                       [--requests=N] [--seconds=N] "
+        "[--deadline-ms=N] [--nocache]\n";
+}
+
+bool ParseUintFlag(const std::string& arg, const std::string& prefix,
+                   std::uint64_t* out) {
+  if (arg.rfind(prefix, 0) != 0) return false;
+  const std::string value = arg.substr(prefix.size());
+  if (value.empty()) return false;
+  std::uint64_t parsed = 0;
+  for (char c : value) {
+    if (c < '0' || c > '9') return false;
+    parsed = parsed * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *out = parsed;
+  return true;
+}
+
+void Tally(WireStatus status, WorkerResult* result) {
+  switch (status) {
+    case WireStatus::kOk:
+      ++result->ok;
+      break;
+    case WireStatus::kErr:
+    case WireStatus::kBadRequest:
+      ++result->err;
+      break;
+    case WireStatus::kOverloaded:
+      ++result->overloaded;
+      break;
+    case WireStatus::kDeadlineExceeded:
+      ++result->deadline_exceeded;
+      break;
+    default:
+      ++result->other;
+      break;
+  }
+}
+
+void RunWorker(const LoadgenOptions& options, std::size_t index,
+               std::chrono::steady_clock::time_point stop_at,
+               WorkerResult* result) {
+  BlockingClient client;
+  Status connected = client.Connect(options.host, options.port);
+  if (!connected.ok()) {
+    ++result->transport_failures;
+    return;
+  }
+  const std::string session = "loadgen" + std::to_string(index);
+  std::uint64_t next_id = 1;
+  auto call = [&](const std::string& command, const std::string& args,
+                  bool read) -> StatusOr<Response> {
+    Request request;
+    request.id = std::to_string(next_id++);
+    request.session = session;
+    request.command = command;
+    request.args = args;
+    if (read) {
+      request.deadline_ms = options.deadline_ms;
+      request.no_cache = options.no_cache;
+    }
+    return client.Call(request);
+  };
+
+  StatusOr<Response> db_response = call("db", kDatabase, /*read=*/false);
+  StatusOr<Response> query_response = call("query", kQuery, /*read=*/false);
+  if (!db_response.ok() || !query_response.ok()) {
+    ++result->transport_failures;
+    return;
+  }
+
+  for (std::size_t i = 0; i < options.requests; ++i) {
+    if (std::chrono::steady_clock::now() >= stop_at) break;
+    const char* command = kReadCommands[i % (sizeof(kReadCommands) /
+                                             sizeof(kReadCommands[0]))];
+    auto start = std::chrono::steady_clock::now();
+    StatusOr<Response> response = call(command, "", /*read=*/true);
+    auto elapsed = std::chrono::steady_clock::now() - start;
+    if (!response.ok()) {
+      // Transport failure (server gone / frame never arrived) — this is
+      // the condition the smoke test must catch, not a wire error status.
+      ++result->transport_failures;
+      return;
+    }
+    result->latencies_ms.push_back(
+        std::chrono::duration<double, std::milli>(elapsed).count());
+    Tally(response->status, result);
+  }
+}
+
+double Percentile(std::vector<double>* sorted, double p) {
+  if (sorted->empty()) return 0.0;
+  std::size_t index = static_cast<std::size_t>(
+      p * static_cast<double>(sorted->size() - 1));
+  return (*sorted)[index];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LoadgenOptions options;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::uint64_t value = 0;
+    if (arg == "--help") {
+      PrintUsage(std::cout);
+      return 0;
+    } else if (arg.rfind("--host=", 0) == 0) {
+      options.host = arg.substr(7);
+    } else if (ParseUintFlag(arg, "--port=", &value)) {
+      options.port = static_cast<int>(value);
+    } else if (ParseUintFlag(arg, "--connections=", &value)) {
+      options.connections = static_cast<std::size_t>(value);
+    } else if (ParseUintFlag(arg, "--requests=", &value)) {
+      options.requests = static_cast<std::size_t>(value);
+    } else if (ParseUintFlag(arg, "--seconds=", &value)) {
+      options.seconds = value;
+    } else if (ParseUintFlag(arg, "--deadline-ms=", &value)) {
+      options.deadline_ms = value;
+    } else if (arg == "--nocache") {
+      options.no_cache = true;
+    } else {
+      std::cerr << "unknown flag '" << arg << "'\n";
+      PrintUsage(std::cerr);
+      return 1;
+    }
+  }
+  if (options.port == 0) {
+    std::cerr << "missing required --port=N\n";
+    PrintUsage(std::cerr);
+    return 1;
+  }
+  if (options.connections == 0) options.connections = 1;
+
+  auto start = std::chrono::steady_clock::now();
+  auto stop_at = options.seconds == 0
+                     ? std::chrono::steady_clock::time_point::max()
+                     : start + std::chrono::seconds(options.seconds);
+
+  std::vector<WorkerResult> results(options.connections);
+  std::vector<std::thread> workers;
+  workers.reserve(options.connections);
+  for (std::size_t i = 0; i < options.connections; ++i) {
+    workers.emplace_back(RunWorker, std::cref(options), i, stop_at,
+                         &results[i]);
+  }
+  for (std::thread& worker : workers) worker.join();
+  double wall_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+
+  WorkerResult total;
+  for (const WorkerResult& r : results) {
+    total.ok += r.ok;
+    total.err += r.err;
+    total.overloaded += r.overloaded;
+    total.deadline_exceeded += r.deadline_exceeded;
+    total.other += r.other;
+    total.transport_failures += r.transport_failures;
+    total.latencies_ms.insert(total.latencies_ms.end(),
+                              r.latencies_ms.begin(), r.latencies_ms.end());
+  }
+  std::sort(total.latencies_ms.begin(), total.latencies_ms.end());
+  double p50 = Percentile(&total.latencies_ms, 0.50);
+  double p95 = Percentile(&total.latencies_ms, 0.95);
+  double p99 = Percentile(&total.latencies_ms, 0.99);
+  std::uint64_t answered = static_cast<std::uint64_t>(
+      total.latencies_ms.size());
+
+  std::cerr << "loadgen: " << answered << " answered in " << wall_s << "s ("
+            << total.ok << " OK, " << total.err << " ERR, "
+            << total.overloaded << " OVERLOADED, " << total.deadline_exceeded
+            << " DEADLINE_EXCEEDED, " << total.transport_failures
+            << " transport failures)\n"
+            << "loadgen: latency ms p50=" << p50 << " p95=" << p95
+            << " p99=" << p99 << "\n";
+
+  std::cout << "{\"answered\": " << answered << ", \"ok\": " << total.ok
+            << ", \"err\": " << total.err
+            << ", \"overloaded\": " << total.overloaded
+            << ", \"deadline_exceeded\": " << total.deadline_exceeded
+            << ", \"transport_failures\": " << total.transport_failures
+            << ", \"wall_seconds\": " << wall_s
+            << ", \"latency_ms\": {\"p50\": " << p50 << ", \"p95\": " << p95
+            << ", \"p99\": " << p99 << "}}" << std::endl;
+
+  return (total.transport_failures == 0 && total.ok > 0) ? 0 : 1;
+}

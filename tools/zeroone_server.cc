@@ -1,0 +1,160 @@
+// zeroone_server — the long-lived TCP query server (docs/serving.md).
+//
+// Speaks the newline-delimited zeroone wire protocol (src/svc/protocol.h)
+// over named database sessions, with a worker pool, a bounded admission
+// queue (OVERLOADED instead of unbounded buffering), a byte-bounded LRU
+// result cache, and per-request deadlines (DEADLINE_EXCEEDED via
+// cooperative cancellation). SIGINT/SIGTERM drain gracefully: the listener
+// stops accepting, in-flight requests finish and are answered, then
+// --metrics / --trace output is flushed.
+//
+// Flags:
+//   --host=ADDR           listen address (default 127.0.0.1)
+//   --port=N              listen port; 0 picks an ephemeral port (default 0)
+//   --threads=N           worker threads (default 4)
+//   --queue=N             bounded queue capacity (default 64)
+//   --cache-bytes=N       result cache budget in bytes (default 8388608)
+//   --deadline-ms=N       default per-request deadline; 0 = none (default 0)
+//   --metrics[=FILE]      dump the obs counter registry as JSON on exit
+//   --trace=FILE          record spans, write Chrome trace_events on exit
+//   --help                usage
+//
+// On startup the server prints exactly one line to stdout:
+//   listening on HOST:PORT
+// (scripts parse the port from it; see scripts/smoke_serving.sh).
+
+#include <csignal>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "svc/server.h"
+
+namespace {
+
+zeroone::svc::Server* g_server = nullptr;
+
+void HandleSignal(int) {
+  // Async-signal-safe: one write to the server's self-pipe; the main
+  // thread performs the actual drain.
+  if (g_server != nullptr) g_server->Notify();
+}
+
+void PrintUsage(std::ostream& os) {
+  os << "usage: zeroone_server [--host=ADDR] [--port=N] [--threads=N]\n"
+        "                      [--queue=N] [--cache-bytes=N] "
+        "[--deadline-ms=N]\n"
+        "                      [--metrics[=FILE]] [--trace=FILE]\n"
+        "Serves the zeroone wire protocol (docs/serving.md); SIGINT/SIGTERM "
+        "drain gracefully.\n";
+}
+
+bool ParseUintFlag(const std::string& arg, const std::string& prefix,
+                   std::uint64_t* out) {
+  if (arg.rfind(prefix, 0) != 0) return false;
+  const std::string value = arg.substr(prefix.size());
+  if (value.empty()) return false;
+  std::uint64_t parsed = 0;
+  for (char c : value) {
+    if (c < '0' || c > '9') return false;
+    parsed = parsed * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *out = parsed;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  zeroone::svc::ServerOptions options;
+  bool dump_metrics = false;
+  std::string metrics_file;
+  std::string trace_file;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::uint64_t value = 0;
+    if (arg == "--help") {
+      PrintUsage(std::cout);
+      return 0;
+    } else if (arg.rfind("--host=", 0) == 0) {
+      options.host = arg.substr(7);
+    } else if (ParseUintFlag(arg, "--port=", &value)) {
+      options.port = static_cast<int>(value);
+    } else if (ParseUintFlag(arg, "--threads=", &value)) {
+      options.threads = static_cast<std::size_t>(value);
+    } else if (ParseUintFlag(arg, "--queue=", &value)) {
+      options.queue_capacity = static_cast<std::size_t>(value);
+    } else if (ParseUintFlag(arg, "--cache-bytes=", &value)) {
+      options.cache_bytes = static_cast<std::size_t>(value);
+    } else if (ParseUintFlag(arg, "--deadline-ms=", &value)) {
+      options.default_deadline_ms = value;
+    } else if (arg == "--metrics") {
+      dump_metrics = true;
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      dump_metrics = true;
+      metrics_file = arg.substr(10);
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      trace_file = arg.substr(8);
+    } else {
+      std::cerr << "unknown flag '" << arg << "'\n";
+      PrintUsage(std::cerr);
+      return 1;
+    }
+  }
+  if (!trace_file.empty()) {
+    zeroone::obs::TraceBuffer::Global().Enable();
+  }
+
+  zeroone::svc::Server server(options);
+  g_server = &server;
+  zeroone::Status started = server.Start();
+  if (!started.ok()) {
+    std::cerr << "error: " << started.message() << "\n";
+    return 1;
+  }
+
+  struct sigaction action{};
+  action.sa_handler = HandleSignal;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+
+  std::cout << "listening on " << options.host << ":" << server.port()
+            << std::endl;
+
+  server.WaitForShutdownRequest();
+  std::cerr << "draining: finishing in-flight requests...\n";
+  server.Shutdown();
+  zeroone::svc::Server::Stats stats = server.stats();
+  std::cerr << "drained: " << stats.requests_received << " requests ("
+            << stats.overloaded << " overloaded, " << stats.bad_requests
+            << " bad)\n";
+
+  if (!trace_file.empty()) {
+    zeroone::obs::TraceBuffer::Global().Disable();
+    std::ofstream out(trace_file);
+    if (!out) {
+      std::cerr << "cannot write trace file '" << trace_file << "'\n";
+      return 1;
+    }
+    zeroone::obs::TraceBuffer::Global().WriteChromeTrace(out);
+  }
+  if (dump_metrics) {
+    if (metrics_file.empty()) {
+      zeroone::obs::Registry::Global().DumpJson(std::cout);
+      std::cout << "\n";
+    } else {
+      std::ofstream out(metrics_file);
+      if (!out) {
+        std::cerr << "cannot write metrics file '" << metrics_file << "'\n";
+        return 1;
+      }
+      zeroone::obs::Registry::Global().DumpJson(out);
+      out << "\n";
+    }
+  }
+  return 0;
+}
