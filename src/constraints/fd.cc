@@ -95,15 +95,25 @@ ChaseResult ChaseFds(const std::vector<FunctionalDependency>& fds,
   // the number of distinct values or repairs a violation, so the loop
   // terminates in polynomially many steps.
   bool changed = true;
-  while (changed && !CancellationRequested()) {
+  while (changed) {
+    if (CancellationRequested()) {
+      result.cancelled = true;
+      result.failure_reason = "chase cancelled before reaching a fixpoint";
+      return result;  // success stays false: the database is half-repaired.
+    }
     ZO_COUNTER_INC("chase.rounds");
     changed = false;
     for (const FunctionalDependency& fd : fds) {
+      // A repair rebuilds result.database, dangling `rel` (and t1/t2), so
+      // once `changed` is set nothing below may touch them: restart the
+      // scan with fresh references, and test `!changed` *before* rel.size()
+      // in the loop conditions.
+      if (changed) break;
       if (!result.database.HasRelation(fd.relation())) continue;
       const Relation& rel = result.database.relation(fd.relation());
       // Find a violating pair.
-      for (std::size_t i = 0; i < rel.size() && !changed; ++i) {
-        for (std::size_t j = i + 1; j < rel.size() && !changed; ++j) {
+      for (std::size_t i = 0; !changed && i < rel.size(); ++i) {
+        for (std::size_t j = i + 1; !changed && j < rel.size(); ++j) {
           const Tuple& t1 = rel.tuples()[i];
           const Tuple& t2 = rel.tuples()[j];
           bool lhs_agree = true;

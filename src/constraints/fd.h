@@ -45,6 +45,10 @@ class FunctionalDependency : public Constraint {
 // deterministic.
 struct ChaseResult {
   bool success = false;
+  // Set when the chase was abandoned by cooperative cancellation (deadline
+  // or explicit cancel) before reaching a fixpoint. `database` is then only
+  // partially repaired and must not be committed anywhere; success is false.
+  bool cancelled = false;
   // chase_Σ(D); meaningful only when success.
   Database database;
   // Where each original null of D ended up: a constant, or the

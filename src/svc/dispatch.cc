@@ -268,6 +268,13 @@ StatusOr<std::string> RunCommand(SessionState* session,
     if (!result.sigma_satisfiable) out << "   (Sigma unsatisfiable)";
   } else if (command == "chase") {
     ChaseResult result = ChaseFds(session->fds, session->db);
+    if (result.cancelled) {
+      // Deadline hit mid-fixpoint: result.database is only half-repaired.
+      // Leave session->db untouched and *mutated unset so Execute neither
+      // commits it nor bumps the version; Execute's cancellation check then
+      // turns this into DEADLINE_EXCEEDED.
+      return Status::Error(result.failure_reason);
+    }
     if (!result.success) {
       return Status::Error("chase failed: ", result.failure_reason);
     }
@@ -354,6 +361,14 @@ Response Dispatcher::Execute(const Request& request) {
     }
     result = RunCommand(session.get(), request.command, request.args,
                         &mutated);
+    // Publish while still holding the shared lock: mutations take the
+    // exclusive lock, so no version bump + EraseIf can slip in between
+    // computing the result and inserting it (which would re-insert an
+    // unreachable entry that wastes cache budget until LRU eviction).
+    if (cacheable && result.ok() &&
+        (token == nullptr || !token->cancelled())) {
+      cache_.Put(cache_key, result.value());
+    }
   }
 
   if (token != nullptr && token->cancelled()) {
@@ -373,9 +388,6 @@ Response Dispatcher::Execute(const Request& request) {
     return response;
   }
   response.payload = std::move(result).value();
-  if (cacheable && !cache_key.empty()) {
-    cache_.Put(cache_key, response.payload);
-  }
   ZO_COUNTER_INC("svc.requests.ok");
   return response;
 }

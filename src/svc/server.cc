@@ -23,15 +23,19 @@ namespace svc {
 namespace {
 
 // Writes all of `data` to `fd`, ignoring SIGPIPE (the peer may have gone).
-void WriteAll(int fd, std::string_view data) {
+// Returns false when the peer closed or the send timed out (SO_SNDTIMEO):
+// a frame may then have been written partially, so the stream is desynced
+// and the caller must stop writing to this connection entirely.
+bool WriteAll(int fd, std::string_view data) {
   while (!data.empty()) {
     ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
-      return;  // Peer closed; drop the rest of the frame.
+      return false;
     }
     data.remove_prefix(static_cast<std::size_t>(n));
   }
+  return true;
 }
 
 }  // namespace
@@ -59,14 +63,33 @@ class Server::Connection {
   }
 
   // Fills a slot and flushes every completed frame at the queue's front.
+  // Socket writes happen with the mutex released: a client that stops
+  // reading blocks only the one flushing thread in send(), not every worker
+  // finishing a request for this connection (nor the reader in ReserveSlot).
+  // `writing_` serializes flushers; whoever holds it keeps draining frames
+  // completed by others in the meantime.
   void CompleteSlot(std::uint64_t seq, std::string frame) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_lock<std::mutex> lock(mutex_);
     pending_[static_cast<std::size_t>(seq - base_seq_)] = std::move(frame);
+    if (writing_) return;  // The active flusher will pick this frame up.
+    writing_ = true;
     while (!pending_.empty() && pending_.front().has_value()) {
-      WriteAll(fd_, *pending_.front());
+      std::string next = std::move(*pending_.front());
       pending_.pop_front();
       ++base_seq_;
+      if (broken_) continue;  // Discard: the stream is already desynced.
+      lock.unlock();
+      bool ok = WriteAll(fd_, next);
+      lock.lock();
+      if (!ok) {
+        // A partial or timed-out send leaves the framing desynced; writing
+        // later frames would feed the client garbage. Tear the connection
+        // down instead so it sees a broken socket.
+        broken_ = true;
+        ::shutdown(fd_, SHUT_RDWR);
+      }
     }
+    writing_ = false;
     MaybeShutdownWriteLocked();
   }
 
@@ -85,7 +108,11 @@ class Server::Connection {
 
  private:
   void MaybeShutdownWriteLocked() {
-    if (reading_done_ && pending_.empty()) ::shutdown(fd_, SHUT_WR);
+    // !writing_: a flusher may be mid-send() with mutex_ released and
+    // pending_ momentarily empty; it re-runs this check when it finishes.
+    if (reading_done_ && pending_.empty() && !writing_) {
+      ::shutdown(fd_, SHUT_WR);
+    }
   }
 
   const int fd_;
@@ -93,6 +120,8 @@ class Server::Connection {
   std::deque<std::optional<std::string>> pending_;
   std::uint64_t base_seq_ = 0;
   bool reading_done_ = false;
+  bool writing_ = false;  // A flusher is in send() with mutex_ released.
+  bool broken_ = false;   // A send failed; drop all further frames.
 };
 
 Server::Server(const ServerOptions& options)

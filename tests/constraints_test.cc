@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/cancel.h"
 #include "constraints/constraint.h"
 #include "constraints/fd.h"
 #include "constraints/ind.h"
@@ -102,6 +103,20 @@ TEST(ChaseTest, IntroExampleUnderCustomerDeterminesProduct) {
   EXPECT_EQ(result.null_mapping.at(Value::Null("i1")),
             result.null_mapping.at(Value::Null("i2")));
   EXPECT_EQ(result.database.relation("R1").size(), 2u);
+}
+
+TEST(ChaseTest, CancellationReportsCancelledNotSuccess) {
+  // A cancelled chase is abandoned mid-fixpoint, so its database may be
+  // only partially repaired; it must come back as cancelled (and not as a
+  // success) so callers never commit it.
+  Database db = Db("R(2) = { (a, _h1), (a, b) }");
+  CancelToken token;
+  token.Cancel();
+  ScopedCancelToken scoped(&token);
+  ChaseResult result = ChaseFds({FunctionalDependency("R", 2, {0}, 1)}, db);
+  EXPECT_TRUE(result.cancelled);
+  EXPECT_FALSE(result.success);
+  EXPECT_FALSE(result.failure_reason.empty());
 }
 
 TEST(ChaseTest, SatisfiedFdIsNoOp) {

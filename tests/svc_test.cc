@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/cancel.h"
 #include "svc/cache.h"
 #include "svc/client.h"
 #include "svc/dispatch.h"
@@ -204,6 +205,40 @@ TEST(DispatcherTest, NoCacheRequestsBypassTheCache) {
   dispatcher.Execute(request);
   EXPECT_EQ(dispatcher.cache().stats().hits, 0u);
   EXPECT_EQ(dispatcher.cache().stats().insertions, 0u);
+}
+
+TEST(DispatcherTest, CancelledChaseLeavesSessionUntouched) {
+  Dispatcher dispatcher(Dispatcher::Options{});
+  // A repairable FD violation: an uncancelled chase would rewrite the db.
+  EXPECT_EQ(
+      dispatcher.Execute(MakeRequest("db", "R(2) = { (a, _h1), (a, b) }"))
+          .status,
+      WireStatus::kOk);
+  EXPECT_EQ(dispatcher.Execute(MakeRequest("fd", "R 2 0 1")).status,
+            WireStatus::kOk);
+  Request show = MakeRequest("show");
+  show.no_cache = true;  // Compare live session state, not cache entries.
+  Response before = dispatcher.Execute(show);
+  ASSERT_EQ(before.status, WireStatus::kOk);
+
+  // A chase abandoned by cancellation must not commit the half-repaired
+  // database to the session (or bump its version).
+  CancelToken token;
+  token.Cancel();
+  Response cancelled;
+  {
+    ScopedCancelToken scoped(&token);
+    cancelled = dispatcher.Execute(MakeRequest("chase"));
+  }
+  EXPECT_EQ(cancelled.status, WireStatus::kDeadlineExceeded);
+  Response after = dispatcher.Execute(show);
+  ASSERT_EQ(after.status, WireStatus::kOk);
+  EXPECT_EQ(after.payload, before.payload);
+
+  // Without deadline pressure the same chase commits the repair.
+  Response chased = dispatcher.Execute(MakeRequest("chase"));
+  ASSERT_EQ(chased.status, WireStatus::kOk);
+  EXPECT_NE(dispatcher.Execute(show).payload, before.payload);
 }
 
 TEST(DispatcherTest, SessionsAreIsolated) {
