@@ -1,0 +1,175 @@
+#!/usr/bin/env bash
+# Serving chaos test: run a mutating workload against zeroone_server while
+# SIGKILLing and restarting the server repeatedly, then assert the two
+# robustness contracts from docs/robustness.md:
+#
+#   1. Zero acknowledged-mutation loss: every tuple the loadgen recorded in
+#      its ack-log (insert + `save` OK with no intervening reconnect) is
+#      still visible after the final restart.
+#   2. 100% eventual client success: no request exhausts its retries even
+#      though the server dies mid-flight several times.
+#
+# Also checks that snapshots written by a SIGKILLed server are never
+# quarantined on reload (crash-atomic temp->fsync->rename), and that a
+# deliberately corrupted snapshot IS quarantined, not loaded.
+#
+# On ZEROONE_FAULT=ON builds a deterministic fault plan is injected on top
+# of the kills (partial sends, dropped cache inserts, client send faults);
+# on OFF builds the SIGKILL cycle alone provides the chaos.
+#
+#   scripts/chaos_serving.sh [build-dir]   # default: build
+set -euo pipefail
+
+build_dir="${1:-build}"
+server="$build_dir/tools/zeroone_server"
+loadgen="$build_dir/tools/zeroone_loadgen"
+for binary in "$server" "$loadgen"; do
+  if [[ ! -x "$binary" ]]; then
+    echo "missing binary: $binary (build the zeroone_server and" \
+         "zeroone_loadgen targets first)" >&2
+    exit 1
+  fi
+done
+
+workdir="$(mktemp -d)"
+server_pid=""
+cleanup() {
+  [[ -n "$server_pid" ]] && kill -KILL "$server_pid" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+snapdir="$workdir/snapshots"
+acklog="$workdir/acks.log"
+kills=5
+connections=16
+requests=500  # Sized so traffic spans every kill cycle below.
+seed=42
+
+# Detect whether fault injection is compiled in: --faults on an OFF build
+# fails fast with a distinctive message before any sockets are touched.
+server_faults=()
+client_faults=()
+probe_err="$("$loadgen" --port=1 --connections=1 --requests=1 \
+    --retry-attempts=1 --faults=chaos.probe=0.0 2>&1 >/dev/null)" || true
+if grep -q "ZEROONE_FAULT=ON" <<<"$probe_err"; then
+  echo "fault injection not compiled in; relying on SIGKILL alone"
+else
+  server_faults=("--faults=seed=$seed,svc.send.partial=0.02,svc.session.mutate.fail=0.02,svc.cache.insert.drop=0.1")
+  client_faults=("--faults=seed=7,svc.client.send.fail=0.02")
+  echo "fault injection active: ${server_faults[0]#--faults=}"
+fi
+
+# A fixed port so restarted servers are reachable at the same address; the
+# server's --bind-retry-ms absorbs any lingering socket from the old pid.
+port="$(python3 -c 'import socket; s = socket.socket();
+s.bind(("127.0.0.1", 0)); print(s.getsockname()[1])')"
+
+epoch=0
+start_server() {
+  epoch=$((epoch + 1))
+  local out="$workdir/server.$epoch.out" err="$workdir/server.$epoch.err"
+  "$server" --port="$port" --threads=4 --queue=64 \
+    --snapshot-dir="$snapdir" --bind-retry-ms=5000 "${server_faults[@]}" \
+    > "$out" 2> "$err" &
+  server_pid=$!
+  for _ in $(seq 1 100); do
+    grep -q "^listening on " "$out" && return 0
+    if ! kill -0 "$server_pid" 2>/dev/null; then break; fi
+    sleep 0.1
+  done
+  echo "server epoch $epoch did not come up; stderr:" >&2
+  cat "$err" >&2
+  return 1
+}
+
+start_server
+echo "server epoch $epoch up on port $port (pid $server_pid)"
+
+"$loadgen" --port="$port" --mutate --connections="$connections" \
+  --requests="$requests" --ack-log="$acklog" --seed="$seed" \
+  --retry-attempts=10 --retry-backoff-ms=20 "${client_faults[@]}" \
+  > "$workdir/loadgen.json" 2> "$workdir/loadgen.err" &
+loadgen_pid=$!
+
+# The kill cycle: SIGKILL (no drain, no final save) and restart. Restarted
+# epochs must reload every snapshot the dead server managed to write —
+# quarantines here would mean a torn write escaped the rename protocol.
+for cycle in $(seq 1 "$kills"); do
+  sleep 0.4
+  if ! kill -0 "$loadgen_pid" 2>/dev/null; then
+    echo "chaos_serving: FAIL — loadgen finished before kill cycle $cycle;" \
+         "raise requests= so traffic spans every kill" >&2
+    exit 1
+  fi
+  kill -KILL "$server_pid" 2>/dev/null || true
+  wait "$server_pid" 2>/dev/null || true
+  start_server
+  echo "cycle $cycle: killed and restarted (epoch $epoch, pid $server_pid)"
+done
+
+loadgen_rc=0
+wait "$loadgen_pid" || loadgen_rc=$?
+cat "$workdir/loadgen.err" >&2
+echo "loadgen summary: $(cat "$workdir/loadgen.json")"
+if [[ "$loadgen_rc" -ne 0 ]]; then
+  echo "chaos_serving: FAIL — loadgen exited $loadgen_rc (a request" \
+       "exhausted its retries: eventual success violated)" >&2
+  exit 1
+fi
+
+# No restart may have quarantined a snapshot: SIGKILL must never produce a
+# torn .zo1snap file.
+for err in "$workdir"/server.*.err; do
+  if grep -q "quarantined [1-9]" "$err"; then
+    echo "chaos_serving: FAIL — snapshots quarantined after SIGKILL:" >&2
+    grep "snapshots:" "$err" >&2
+    exit 1
+  fi
+done
+
+# Final restart + verify: every acknowledged tuple must still be visible.
+kill -KILL "$server_pid" 2>/dev/null || true
+wait "$server_pid" 2>/dev/null || true
+start_server
+echo "verify epoch $epoch: $(wc -l < "$acklog") acknowledged mutations"
+if ! "$loadgen" --port="$port" --verify="$acklog" --seed="$seed"; then
+  echo "chaos_serving: FAIL — acknowledged mutations lost" >&2
+  exit 1
+fi
+
+# Graceful drain of the last healthy epoch.
+kill -TERM "$server_pid"
+server_rc=0
+wait "$server_pid" || server_rc=$?
+server_pid=""
+if [[ "$server_rc" -ne 0 ]]; then
+  echo "chaos_serving: FAIL — final server exited $server_rc on SIGTERM" >&2
+  exit 1
+fi
+
+# Corruption drill: damage one snapshot on purpose; the next epoch must
+# quarantine exactly that file (renamed *.corrupt) and still come up.
+victim="$(ls "$snapdir"/*.zo1snap | head -1)"
+python3 - "$victim" <<'EOF'
+import sys
+path = sys.argv[1]
+data = open(path, "rb").read()
+open(path, "wb").write(data[: len(data) // 2])
+EOF
+start_server
+if ! grep -q "quarantined 1" "$workdir/server.$epoch.err"; then
+  echo "chaos_serving: FAIL — corrupt snapshot was not quarantined:" >&2
+  cat "$workdir/server.$epoch.err" >&2
+  exit 1
+fi
+if [[ ! -f "$victim.corrupt" ]]; then
+  echo "chaos_serving: FAIL — corrupt snapshot not renamed aside" >&2
+  exit 1
+fi
+kill -TERM "$server_pid"
+wait "$server_pid" || true
+server_pid=""
+
+echo "chaos_serving: PASS ($kills kills survived, $(wc -l < "$acklog")" \
+     "acknowledged mutations verified, corrupt snapshot quarantined)"

@@ -1,0 +1,33 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace zeroone {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> MakeCrcTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? 0xEDB88320u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kCrcTable = MakeCrcTable();
+
+}  // namespace
+
+std::uint32_t Crc32(std::string_view data, std::uint32_t seed) {
+  std::uint32_t crc = ~seed;
+  for (char c : data) {
+    crc = (crc >> 8) ^ kCrcTable[(crc ^ static_cast<unsigned char>(c)) & 0xFF];
+  }
+  return ~crc;
+}
+
+}  // namespace zeroone

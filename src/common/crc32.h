@@ -1,0 +1,19 @@
+#ifndef ZEROONE_COMMON_CRC32_H_
+#define ZEROONE_COMMON_CRC32_H_
+
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320), the checksum guarding
+// session snapshot bodies (src/svc/snapshot.h). Table-driven, one byte at
+// a time — snapshots are written once per drain/SAVE, not on a hot path.
+
+#include <cstdint>
+#include <string_view>
+
+namespace zeroone {
+
+// CRC of `data` continuing from `seed` (0 for a fresh checksum), so large
+// bodies can be checksummed in chunks: Crc32(b, Crc32(a)) == Crc32(ab).
+std::uint32_t Crc32(std::string_view data, std::uint32_t seed = 0);
+
+}  // namespace zeroone
+
+#endif  // ZEROONE_COMMON_CRC32_H_

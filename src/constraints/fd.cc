@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/cancel.h"
+#include "fault/fault.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -102,6 +103,13 @@ ChaseResult ChaseFds(const std::vector<FunctionalDependency>& fds,
       return result;  // success stays false: the database is half-repaired.
     }
     ZO_COUNTER_INC("chase.rounds");
+    if (ZO_FAULT_POINT("chase.step.fail")) {
+      // Simulated chase-step failure: route through the normal failure
+      // path so no half-repaired database is ever committed.
+      result.success = false;
+      result.failure_reason = "injected fault: chase.step.fail";
+      return result;
+    }
     changed = false;
     for (const FunctionalDependency& fd : fds) {
       // A repair rebuilds result.database, dangling `rel` (and t1/t2), so

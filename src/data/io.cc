@@ -178,6 +178,23 @@ StatusOr<Tuple> ParseTuple(std::string_view text) {
   return tuple;
 }
 
+namespace {
+
+// A constant re-parses bare only if it is a nonempty [A-Za-z0-9_-]+ word
+// that does not start with '_' (which would read back as a null label).
+bool ConstantNeedsQuoting(const std::string& name) {
+  if (name.empty() || name[0] == '_') return true;
+  for (char c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' &&
+        c != '-') {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
 std::string FormatDatabase(const Database& db) {
   std::string out;
   for (const auto& [name, relation] : db.relations()) {
@@ -190,7 +207,13 @@ std::string FormatDatabase(const Database& db) {
       for (std::size_t i = 0; i < tuple.arity(); ++i) {
         if (i > 0) out += ", ";
         Value v = tuple[i];
-        out += v.is_null() ? "_" + v.name() : v.name();
+        if (v.is_null()) {
+          out += "_" + v.name();
+        } else if (ConstantNeedsQuoting(v.name())) {
+          out += "'" + v.name() + "'";
+        } else {
+          out += v.name();
+        }
       }
       out += ")";
     }

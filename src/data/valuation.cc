@@ -6,6 +6,7 @@
 #include <set>
 
 #include "common/cancel.h"
+#include "fault/fault.h"
 
 namespace zeroone {
 
@@ -104,6 +105,14 @@ bool ForEachValuationUntil(
     // Cooperative cancellation: a cancelled enumeration stops early and
     // reports false; the token's installer discards the partial result.
     if (CancellationRequested()) return false;
+    if (ZO_FAULT_POINT("core.valuation.cancel")) {
+      // Simulated mid-enumeration failure: cancel through the installed
+      // token so the existing discard-partial-result machinery fires (the
+      // serving layer answers DEADLINE_EXCEEDED). Without a token this is
+      // a plain early stop, which every caller already tolerates.
+      if (CancelToken* token = CurrentCancelToken()) token->Cancel();
+      return false;
+    }
     if (!visitor(valuation)) return false;
     std::size_t position = 0;
     while (position < indices.size()) {

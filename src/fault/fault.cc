@@ -1,0 +1,253 @@
+#include "fault/fault.h"
+
+#include <cstdlib>
+#include <utility>
+
+namespace zeroone {
+namespace fault {
+
+namespace {
+
+// splitmix64: the decision hash for probability schedules. Statistical
+// quality is ample for fault scheduling, and it is trivially portable, so
+// a fault seed reproduces the same firing pattern on every platform.
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t HashName(std::string_view name) {
+  // FNV-1a, then one mix round to spread the low bits.
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ull;
+  }
+  return Mix64(h);
+}
+
+// Uniform double in [0, 1) from the top 53 bits of the hash.
+double Unit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool IsSiteChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+}
+
+bool IsValidSiteName(std::string_view name) {
+  if (name.empty() || name.size() > 64) return false;
+  for (char c : name) {
+    if (!IsSiteChar(c)) return false;
+  }
+  return true;
+}
+
+StatusOr<std::uint64_t> ParseUint(std::string_view text) {
+  if (text.empty() || text.size() > 19) {
+    return Status::Error("bad unsigned integer '", text, "'");
+  }
+  std::uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') {
+      return Status::Error("bad unsigned integer '", text, "'");
+    }
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+StatusOr<double> ParseProbability(std::string_view text) {
+  // Accepts 0, 1, 0.5, .25 — digits and at most one dot, value in [0,1].
+  if (text.empty() || text.size() > 18) {
+    return Status::Error("bad probability '", text, "'");
+  }
+  double value = 0.0;
+  double scale = 0.0;  // 0 until the dot is seen, then 0.1, 0.01, ...
+  bool any_digit = false;
+  for (char c : text) {
+    if (c == '.') {
+      if (scale != 0.0) return Status::Error("bad probability '", text, "'");
+      scale = 0.1;
+    } else if (c >= '0' && c <= '9') {
+      any_digit = true;
+      if (scale == 0.0) {
+        value = value * 10.0 + (c - '0');
+      } else {
+        value += (c - '0') * scale;
+        scale *= 0.1;
+      }
+    } else {
+      return Status::Error("bad probability '", text, "'");
+    }
+  }
+  if (!any_digit || value < 0.0 || value > 1.0) {
+    return Status::Error("probability '", text, "' not in [0, 1]");
+  }
+  return value;
+}
+
+}  // namespace
+
+Site::Site(std::string name)
+    : name_(std::move(name)), name_hash_(HashName(name_)) {}
+
+bool Site::Evaluate() {
+  const Schedule* schedule = schedule_.load(std::memory_order_acquire);
+  if (schedule == nullptr) return false;
+  std::uint64_t hit = hits_.fetch_add(1, std::memory_order_relaxed) + 1;
+  bool fire = false;
+  switch (schedule->kind) {
+    case Kind::kProbability:
+      fire = Unit(Mix64(schedule->seed ^ name_hash_ ^ Mix64(hit))) <
+             schedule->probability;
+      break;
+    case Kind::kNth:
+      fire = hit == schedule->n;
+      break;
+    case Kind::kEvery:
+      fire = schedule->n != 0 && hit % schedule->n == 0;
+      break;
+  }
+  if (fire) fired_.fetch_add(1, std::memory_order_relaxed);
+  return fire;
+}
+
+Registry& Registry::Global() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+Status Registry::Configure(std::string_view spec) {
+  // Parse into a staging plan first; install only a fully valid spec.
+  std::vector<std::pair<std::string, Site::Schedule>> plan;
+  std::uint64_t seed = 0;
+  std::string_view rest = spec;
+  while (!rest.empty()) {
+    std::size_t comma = rest.find(',');
+    std::string_view entry = rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view()
+                                           : rest.substr(comma + 1);
+    if (entry.empty()) continue;
+    std::size_t eq = entry.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::Error("fault spec entry '", entry, "' has no '='");
+    }
+    std::string_view key = entry.substr(0, eq);
+    std::string_view value = entry.substr(eq + 1);
+    if (key == "seed") {
+      ZO_ASSIGN_OR_RETURN(seed, ParseUint(value));
+      continue;
+    }
+    if (!IsValidSiteName(key)) {
+      return Status::Error("bad fault site name '", key, "'");
+    }
+    Site::Schedule schedule;
+    if (!value.empty() && value.front() == '#') {
+      schedule.kind = Site::Kind::kNth;
+      ZO_ASSIGN_OR_RETURN(schedule.n, ParseUint(value.substr(1)));
+      if (schedule.n == 0) {
+        return Status::Error("fault site '", key, "': #N must have N >= 1");
+      }
+    } else if (!value.empty() && value.front() == '%') {
+      schedule.kind = Site::Kind::kEvery;
+      ZO_ASSIGN_OR_RETURN(schedule.n, ParseUint(value.substr(1)));
+      if (schedule.n == 0) {
+        return Status::Error("fault site '", key, "': %N must have N >= 1");
+      }
+    } else {
+      schedule.kind = Site::Kind::kProbability;
+      ZO_ASSIGN_OR_RETURN(schedule.probability, ParseProbability(value));
+    }
+    plan.emplace_back(std::string(key), schedule);
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Disarm everything, then arm the new plan. Counters restart so a plan
+  // change always measures from hit 1 (determinism depends on it).
+  for (auto& [name, site] : sites_) {
+    site->schedule_.store(nullptr, std::memory_order_release);
+    site->hits_.store(0, std::memory_order_relaxed);
+    site->fired_.store(0, std::memory_order_relaxed);
+  }
+  seed_ = seed;
+  plan_ = std::move(plan);
+  for (auto& [name, schedule] : plan_) {
+    schedule.seed = seed_;
+    auto owned = std::make_unique<Site::Schedule>(schedule);
+    const Site::Schedule* raw = owned.get();
+    retired_.push_back(std::move(owned));
+    auto it = sites_.find(name);
+    if (it == sites_.end()) {
+      it = sites_.emplace(name, std::make_unique<Site>(name)).first;
+    }
+    it->second->schedule_.store(raw, std::memory_order_release);
+  }
+  return Status::Ok();
+}
+
+Status Registry::ConfigureFromEnv() {
+  const char* spec = std::getenv("ZEROONE_FAULTS");
+  if (spec == nullptr || *spec == '\0') return Status::Ok();
+  return Configure(spec);
+}
+
+void Registry::Clear() { (void)Configure(""); }
+
+std::string Registry::PlanString() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  if (!plan_.empty()) {
+    out = StrCat("seed=", seed_);
+  }
+  for (const auto& [name, schedule] : plan_) {
+    out += ',';
+    out += name;
+    out += '=';
+    switch (schedule.kind) {
+      case Site::Kind::kProbability:
+        out += StrCat(schedule.probability);
+        break;
+      case Site::Kind::kNth:
+        out += StrCat('#', schedule.n);
+        break;
+      case Site::Kind::kEvery:
+        out += StrCat('%', schedule.n);
+        break;
+    }
+  }
+  return out;
+}
+
+Site& Registry::GetSite(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sites_.find(name);
+  if (it == sites_.end()) {
+    it = sites_.emplace(std::string(name),
+                        std::make_unique<Site>(std::string(name)))
+             .first;
+  }
+  return *it->second;
+}
+
+SiteStats Registry::Stats(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sites_.find(name);
+  if (it == sites_.end()) return SiteStats{};
+  return SiteStats{it->second->hits(), it->second->fired()};
+}
+
+std::map<std::string, SiteStats> Registry::AllStats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, SiteStats> stats;
+  for (const auto& [name, site] : sites_) {
+    stats.emplace(name, SiteStats{site->hits(), site->fired()});
+  }
+  return stats;
+}
+
+}  // namespace fault
+}  // namespace zeroone

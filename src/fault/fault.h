@@ -1,0 +1,167 @@
+#ifndef ZEROONE_FAULT_FAULT_H_
+#define ZEROONE_FAULT_FAULT_H_
+
+// Deterministic, seed-driven fault injection (docs/robustness.md).
+//
+// Instrumented code marks failure-capable operations with a named site:
+//
+//   if (ZO_FAULT_POINT("svc.send.partial")) {
+//     // behave as if the operation failed here
+//   }
+//
+// Sites are inert until a fault plan is installed, either programmatically
+// (Registry::Global().Configure("seed=42,svc.send.partial=0.01")) or from
+// the ZEROONE_FAULTS environment variable / a tool's --faults flag. The
+// plan grammar:
+//
+//   spec     := entry *( "," entry )
+//   entry    := "seed=" UINT | site "=" schedule
+//   schedule := FLOAT          fire each hit with this probability in [0,1]
+//             | "#" UINT       fire exactly on the Nth hit (1-based), once
+//             | "%" UINT       fire on every Nth hit (N, 2N, 3N, ...)
+//   site     := 1*64( ALPHA / DIGIT / "." / "_" / "-" )
+//
+// Determinism: whether hit number k of site s fires depends only on
+// (seed, s, k) — a hash of the three for probability schedules, arithmetic
+// on k for the others — never on wall clock, thread identity, or address
+// layout. Two runs with the same plan and the same per-site hit counts
+// fire identically; a chaos failure therefore reproduces from its seed.
+//
+// Hot-path contract (mirrors obs/metrics.h): the site handle is resolved
+// once per call-site into a function-local static; afterwards an unarmed
+// site costs one relaxed atomic load and a predictable branch, cheap
+// enough for the valuation-enumeration inner loop. Armed sites add one
+// relaxed fetch_add (the hit counter) and the schedule arithmetic.
+//
+// Building with -DZEROONE_FAULT=OFF defines ZEROONE_FAULT_ENABLED=0 and
+// ZO_FAULT_POINT expands to `false`: instrumented translation units carry
+// no reference to zeroone::fault at all (nm-checked in CI, like obs).
+
+#if !defined(ZEROONE_FAULT_ENABLED)
+#define ZEROONE_FAULT_ENABLED 1
+#endif
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace zeroone {
+namespace fault {
+
+// One named injection point. Instances live forever inside the Registry;
+// handles taken once stay valid for the process lifetime.
+class Site {
+ public:
+  explicit Site(std::string name);
+  Site(const Site&) = delete;
+  Site& operator=(const Site&) = delete;
+
+  // Counts a hit and decides whether it fires. Unarmed: one relaxed load.
+  bool Evaluate();
+
+  const std::string& name() const { return name_; }
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t fired() const {
+    return fired_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Registry;
+
+  enum class Kind { kProbability, kNth, kEvery };
+  struct Schedule {
+    Kind kind = Kind::kProbability;
+    double probability = 0.0;  // kProbability
+    std::uint64_t n = 0;       // kNth / kEvery
+    std::uint64_t seed = 0;    // Global seed mixed with the site name.
+  };
+
+  const std::string name_;
+  const std::uint64_t name_hash_;  // Mixed into probability decisions.
+  // Armed schedule, or nullptr. Retired schedules are kept alive by the
+  // Registry so a racing Evaluate never dereferences freed memory.
+  std::atomic<const Schedule*> schedule_{nullptr};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> fired_{0};
+};
+
+struct SiteStats {
+  std::uint64_t hits = 0;
+  std::uint64_t fired = 0;
+};
+
+// Process-global site registry and fault plan.
+class Registry {
+ public:
+  static Registry& Global();
+
+  // Parses `spec` (grammar above) and installs it as the complete fault
+  // plan, replacing any previous plan and resetting hit/fired counts of
+  // every known site. An empty spec clears the plan. On a parse error the
+  // previous plan is left untouched.
+  Status Configure(std::string_view spec);
+
+  // Configure(getenv("ZEROONE_FAULTS")); an unset or empty variable is a
+  // no-op success. Tools call this before parsing --faults (which wins).
+  Status ConfigureFromEnv();
+
+  // Removes the plan and resets all site counters.
+  void Clear();
+
+  // The canonical form of the installed plan ("" when none), for logging.
+  std::string PlanString() const;
+
+  // Lookup-or-create; the ZO_FAULT_POINT macro caches the result.
+  Site& GetSite(std::string_view name);
+
+  // Hit/fired counts for one site (zeros for unknown sites).
+  SiteStats Stats(std::string_view name) const;
+  // All sites that have been hit or configured, by name.
+  std::map<std::string, SiteStats> AllStats() const;
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Site>, std::less<>> sites_;
+  // (site name, schedule) pairs of the installed plan, in spec order.
+  std::vector<std::pair<std::string, Site::Schedule>> plan_;
+  std::uint64_t seed_ = 0;
+  // Schedules ever installed; never freed (plans are tiny and reconfigs
+  // rare) so Site::schedule_ pointers stay valid without synchronizing
+  // Evaluate against Configure.
+  std::vector<std::unique_ptr<Site::Schedule>> retired_;
+};
+
+}  // namespace fault
+}  // namespace zeroone
+
+#define ZO_FAULT_CONCAT_INNER_(a, b) a##b
+#define ZO_FAULT_CONCAT_(a, b) ZO_FAULT_CONCAT_INNER_(a, b)
+
+#if ZEROONE_FAULT_ENABLED
+
+// True when the named site fires on this hit. `name` must be a string
+// literal; the registry lookup happens once per call-site.
+#define ZO_FAULT_POINT(name)                                              \
+  ([]() -> bool {                                                         \
+    static ::zeroone::fault::Site& ZO_FAULT_CONCAT_(zo_fault_site_,       \
+                                                    __LINE__) =           \
+        ::zeroone::fault::Registry::Global().GetSite(name);               \
+    return ZO_FAULT_CONCAT_(zo_fault_site_, __LINE__).Evaluate();         \
+  }())
+
+#else  // !ZEROONE_FAULT_ENABLED
+
+#define ZO_FAULT_POINT(name) (false)
+
+#endif  // ZEROONE_FAULT_ENABLED
+
+#endif  // ZEROONE_FAULT_FAULT_H_

@@ -1,5 +1,6 @@
 #include "svc/cache.h"
 
+#include "fault/fault.h"
 #include "obs/metrics.h"
 
 namespace zeroone {
@@ -21,6 +22,12 @@ bool LruCache::Get(const std::string& key, std::string* value) {
 }
 
 void LruCache::Put(const std::string& key, std::string value) {
+  if (ZO_FAULT_POINT("svc.cache.insert.drop")) {
+    // Simulated allocation failure: the insert is silently dropped. The
+    // cache is an optimization only — correctness must survive any miss.
+    ZO_COUNTER_INC("svc.cache.injected_insert_drop");
+    return;
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = index_.find(std::string_view(key));
   if (it != index_.end()) {

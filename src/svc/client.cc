@@ -1,25 +1,89 @@
 #include "svc/client.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
+
+#include "fault/fault.h"
 
 namespace zeroone {
 namespace svc {
 
+namespace {
+
+void SetSocketTimeout(int fd, int option, std::uint64_t ms) {
+  if (ms == 0) return;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, option, &tv, sizeof(tv));
+}
+
+// Connects with a deadline: non-blocking connect, poll for writability,
+// then read back SO_ERROR. Blocking mode is restored on success.
+Status ConnectWithTimeout(int fd, const sockaddr_in& addr,
+                          std::uint64_t timeout_ms) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+    return Status::Error("fcntl failed: ", std::strerror(errno));
+  }
+  int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr));
+  if (rc != 0) {
+    if (errno != EINPROGRESS) {
+      return Status::Error("connect failed: ", std::strerror(errno));
+    }
+    pollfd pfd{fd, POLLOUT, 0};
+    rc = ::poll(&pfd, 1, static_cast<int>(timeout_ms));
+    if (rc == 0) {
+      return Status::Error("connect timed out after ", timeout_ms, "ms");
+    }
+    if (rc < 0) {
+      return Status::Error("poll failed: ", std::strerror(errno));
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      return Status::Error("connect failed: ",
+                           std::strerror(err != 0 ? err : errno));
+    }
+  }
+  if (::fcntl(fd, F_SETFL, flags) != 0) {
+    return Status::Error("fcntl failed: ", std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
 BlockingClient::~BlockingClient() { Close(); }
 
 BlockingClient::BlockingClient(BlockingClient&& other) noexcept
-    : fd_(std::exchange(other.fd_, -1)), buffer_(std::move(other.buffer_)) {}
+    : options_(other.options_),
+      fd_(std::exchange(other.fd_, -1)),
+      buffer_(std::move(other.buffer_)) {}
 
 BlockingClient& BlockingClient::operator=(BlockingClient&& other) noexcept {
   if (this != &other) {
     Close();
+    options_ = other.options_;
     fd_ = std::exchange(other.fd_, -1);
     buffer_ = std::move(other.buffer_);
   }
@@ -36,6 +100,10 @@ void BlockingClient::Close() {
 
 Status BlockingClient::Connect(const std::string& host, int port) {
   Close();
+  if (ZO_FAULT_POINT("svc.client.connect.fail")) {
+    return Status::Error("injected fault: connect to ", host, ":", port,
+                         " refused");
+  }
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) {
     return Status::Error("socket failed: ", std::strerror(errno));
@@ -47,17 +115,32 @@ Status BlockingClient::Connect(const std::string& host, int port) {
     Close();
     return Status::Error("bad host address '", host, "'");
   }
-  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    Status status = Status::Error("connect to ", host, ":", port,
-                                  " failed: ", std::strerror(errno));
+  Status connected =
+      options_.connect_timeout_ms != 0
+          ? ConnectWithTimeout(fd_, addr, options_.connect_timeout_ms)
+          : (::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                       sizeof(addr)) == 0
+                 ? Status::Ok()
+                 : Status::Error("connect failed: ", std::strerror(errno)));
+  if (!connected.ok()) {
+    Status status = Status::Error("connect to ", host, ":", port, " failed: ",
+                                  connected.message());
     Close();
     return status;
   }
+  SetSocketTimeout(fd_, SO_SNDTIMEO, options_.io_timeout_ms);
+  SetSocketTimeout(fd_, SO_RCVTIMEO, options_.io_timeout_ms);
   return Status::Ok();
 }
 
 Status BlockingClient::Send(const Request& request) {
   if (fd_ < 0) return Status::Error("not connected");
+  if (ZO_FAULT_POINT("svc.client.send.fail")) {
+    // Simulated send-side failure: the request may or may not have reached
+    // the server — exactly the ambiguity a retrying caller must tolerate.
+    Close();
+    return Status::Error("injected fault: send failed (connection reset)");
+  }
   std::string line = FormatRequestLine(request);
   line.push_back('\n');
   std::string_view data = line;
@@ -83,8 +166,16 @@ StatusOr<Response> BlockingClient::Receive() {
       buffer_.erase(0, consumed);
       return response;
     }
+    if (ZO_FAULT_POINT("svc.client.recv.reset")) {
+      Close();
+      return Status::Error("injected fault: connection reset mid-response");
+    }
     ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
     if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return Status::Error("receive timed out after ", options_.io_timeout_ms,
+                           "ms (", buffer_.size(), " bytes buffered)");
+    }
     if (n <= 0) {
       return Status::Error("connection closed mid-response (",
                            buffer_.size(), " bytes buffered)");
@@ -96,6 +187,105 @@ StatusOr<Response> BlockingClient::Receive() {
 StatusOr<Response> BlockingClient::Call(const Request& request) {
   ZO_RETURN_IF_ERROR(Send(request));
   return Receive();
+}
+
+bool IsTransientWireStatus(WireStatus status) {
+  switch (status) {
+    case WireStatus::kOverloaded:
+    case WireStatus::kUnavailable:
+    case WireStatus::kShuttingDown:
+      return true;
+    case WireStatus::kOk:
+    case WireStatus::kErr:
+    case WireStatus::kBadRequest:
+    case WireStatus::kDeadlineExceeded:
+      return false;
+  }
+  return false;
+}
+
+RetryingClient::RetryingClient(const std::string& host, int port,
+                               const RetryPolicy& policy,
+                               const ClientOptions& options)
+    : host_(host),
+      port_(port),
+      policy_(policy),
+      client_(options),
+      rng_state_(policy.seed != 0 ? policy.seed : 1) {}
+
+std::uint64_t RetryingClient::BackoffMs(int retry_index) {
+  double nominal = static_cast<double>(policy_.initial_backoff_ms);
+  for (int i = 0; i < retry_index; ++i) nominal *= policy_.backoff_multiplier;
+  double cap = static_cast<double>(policy_.max_backoff_ms);
+  if (nominal > cap) nominal = cap;
+  // Uniform in [1-jitter, 1+jitter] from the deterministic PRNG.
+  rng_state_ = Mix64(rng_state_);
+  double unit =
+      static_cast<double>(rng_state_ >> 11) * (1.0 / 9007199254740992.0);
+  double factor = 1.0 + policy_.jitter * (2.0 * unit - 1.0);
+  double jittered = nominal * factor;
+  if (jittered < 0.0) jittered = 0.0;
+  return static_cast<std::uint64_t>(jittered);
+}
+
+StatusOr<Response> RetryingClient::CallWithRetry(const Request& request) {
+  ++stats_.calls;
+  Status last_error = Status::Ok();
+  Response last_transient;
+  bool saw_transient_response = false;
+  int attempts = policy_.max_attempts > 0 ? policy_.max_attempts : 1;
+  std::uint64_t attempts_this_call = 0;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      ++stats_.retries;
+      std::uint64_t sleep_ms = BackoffMs(attempt - 1);
+      stats_.backoff_ms += sleep_ms;
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    }
+    ++stats_.attempts;
+    ++attempts_this_call;
+    if (!client_.connected()) {
+      Status connected = client_.Connect(host_, port_);
+      if (!connected.ok()) {
+        ++stats_.transport_errors;
+        last_error = connected;
+        saw_transient_response = false;
+        continue;
+      }
+      ++stats_.reconnects;
+    }
+    StatusOr<Response> result = client_.Call(request);
+    if (!result.ok()) {
+      // Transport failure: the connection is unusable (a partial frame may
+      // be buffered); reconnect on the next attempt.
+      ++stats_.transport_errors;
+      client_.Close();
+      last_error = result.status();
+      saw_transient_response = false;
+      continue;
+    }
+    if (IsTransientWireStatus(result->status)) {
+      ++stats_.transient_responses;
+      last_transient = *result;
+      saw_transient_response = true;
+      if (result->status == WireStatus::kShuttingDown) {
+        // The server is draining; this connection won't recover.
+        client_.Close();
+      }
+      continue;
+    }
+    if (attempts_this_call > stats_.max_attempts_seen) {
+      stats_.max_attempts_seen = attempts_this_call;
+    }
+    return *result;
+  }
+  ++stats_.gave_up;
+  if (attempts_this_call > stats_.max_attempts_seen) {
+    stats_.max_attempts_seen = attempts_this_call;
+  }
+  if (saw_transient_response) return last_transient;
+  return Status::Error("retries exhausted after ", attempts_this_call,
+                       " attempts; last error: ", last_error.message());
 }
 
 }  // namespace svc

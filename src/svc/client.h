@@ -1,9 +1,20 @@
 #ifndef ZEROONE_SVC_CLIENT_H_
 #define ZEROONE_SVC_CLIENT_H_
 
-// Minimal blocking client for the zeroone wire protocol, shared by
-// tools/zeroone_loadgen.cc, bench/bench_serving.cc, and tests/svc_test.cc.
-// One connection, synchronous Call() or pipelined Send()/Receive().
+// Clients for the zeroone wire protocol, shared by tools/zeroone_loadgen.cc,
+// bench/bench_serving.cc, and the tests.
+//
+// BlockingClient: one connection, synchronous Call() or pipelined
+// Send()/Receive(), with optional connect/IO timeouts.
+//
+// RetryingClient: wraps a BlockingClient with jittered exponential backoff
+// over *transient* failures — transport errors (ECONNRESET, ECONNREFUSED,
+// partial frames, timeouts) and the retryable wire statuses OVERLOADED,
+// UNAVAILABLE, and SHUTTING_DOWN. Anything the server actually answered
+// (OK, ERR, BAD_REQUEST, DEADLINE_EXCEEDED) is returned as-is: the request
+// was applied or definitively rejected, and retrying would double-apply or
+// mask a real bug. Backoff jitter is drawn from a deterministic per-client
+// PRNG so chaos runs are reproducible (docs/robustness.md).
 
 #include <cstdint>
 #include <string>
@@ -14,9 +25,17 @@
 namespace zeroone {
 namespace svc {
 
+struct ClientOptions {
+  // 0 = block indefinitely (the pre-timeout behaviour).
+  std::uint64_t connect_timeout_ms = 0;
+  // Applied to every send/recv via SO_SNDTIMEO/SO_RCVTIMEO; 0 = no limit.
+  std::uint64_t io_timeout_ms = 0;
+};
+
 class BlockingClient {
  public:
   BlockingClient() = default;
+  explicit BlockingClient(const ClientOptions& options) : options_(options) {}
   ~BlockingClient();
   BlockingClient(BlockingClient&& other) noexcept;
   BlockingClient& operator=(BlockingClient&& other) noexcept;
@@ -35,8 +54,66 @@ class BlockingClient {
   StatusOr<Response> Call(const Request& request);
 
  private:
+  ClientOptions options_;
   int fd_ = -1;
   std::string buffer_;  // Unconsumed bytes past the last parsed frame.
+};
+
+struct RetryPolicy {
+  // Total tries, including the first. 1 = no retries.
+  int max_attempts = 5;
+  std::uint64_t initial_backoff_ms = 10;
+  double backoff_multiplier = 2.0;
+  std::uint64_t max_backoff_ms = 1000;
+  // Each sleep is scattered uniformly in [1-jitter, 1+jitter] × nominal so
+  // a fleet of clients does not reconverge on the server in lockstep.
+  double jitter = 0.2;
+  // Seeds the jitter PRNG; same seed + same failure pattern = same sleeps.
+  std::uint64_t seed = 1;
+};
+
+// True for outcomes where retrying can help and cannot double-apply an
+// acknowledged mutation: the transport failed (no response seen) or the
+// server explicitly refused before doing work.
+bool IsTransientWireStatus(WireStatus status);
+
+class RetryingClient {
+ public:
+  struct Stats {
+    std::uint64_t calls = 0;             // CallWithRetry invocations.
+    std::uint64_t attempts = 0;          // Individual wire attempts.
+    std::uint64_t retries = 0;           // attempts - calls, when retried.
+    std::uint64_t reconnects = 0;        // Successful re-Connect()s.
+    std::uint64_t backoff_ms = 0;        // Total time slept in backoff.
+    std::uint64_t transport_errors = 0;  // send/recv/connect failures.
+    std::uint64_t transient_responses = 0;  // OVERLOADED etc. answers.
+    std::uint64_t gave_up = 0;           // Calls that exhausted attempts.
+    std::uint64_t max_attempts_seen = 0;  // Worst single call.
+  };
+
+  RetryingClient(const std::string& host, int port,
+                 const RetryPolicy& policy = RetryPolicy(),
+                 const ClientOptions& options = ClientOptions());
+
+  // Calls until a non-transient response arrives or attempts run out.
+  // Reconnects automatically after transport failures. On exhaustion,
+  // returns the last failure (transport Status or transient Response).
+  StatusOr<Response> CallWithRetry(const Request& request);
+
+  const Stats& stats() const { return stats_; }
+  bool connected() const { return client_.connected(); }
+  void Close() { client_.Close(); }
+
+ private:
+  // Next backoff sleep for `retry_index` (0-based), jittered.
+  std::uint64_t BackoffMs(int retry_index);
+
+  const std::string host_;
+  const int port_;
+  const RetryPolicy policy_;
+  BlockingClient client_;
+  std::uint64_t rng_state_;
+  Stats stats_;
 };
 
 }  // namespace svc

@@ -1,5 +1,6 @@
 #include "svc/dispatch.h"
 
+#include <cstdio>
 #include <fstream>
 #include <mutex>
 #include <shared_mutex>
@@ -18,6 +19,7 @@
 #include "data/io.h"
 #include "datalog/eval.h"
 #include "datalog/parser.h"
+#include "fault/fault.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "query/eval.h"
@@ -301,7 +303,39 @@ StatusOr<std::string> RunCommand(SessionState* session,
 }  // namespace
 
 Dispatcher::Dispatcher(const Options& options)
-    : cache_(options.cache_bytes) {}
+    : cache_(options.cache_bytes) {
+  if (!options.snapshot_dir.empty()) {
+    snapshots_ = std::make_unique<SnapshotStore>(options.snapshot_dir);
+  }
+}
+
+SnapshotStore::LoadReport Dispatcher::LoadSnapshots() {
+  if (snapshots_ == nullptr) return SnapshotStore::LoadReport{};
+  return snapshots_->LoadAll(&sessions_);
+}
+
+std::size_t Dispatcher::SaveAllSessions() {
+  if (snapshots_ == nullptr) return 0;
+  Status prepared = snapshots_->Prepare();
+  if (!prepared.ok()) {
+    std::fprintf(stderr, "snapshot: %s\n", prepared.message().c_str());
+    return 0;
+  }
+  std::size_t saved = 0;
+  for (const std::string& name : sessions_.Names()) {
+    std::shared_ptr<SessionState> session = sessions_.GetOrCreate(name);
+    std::shared_lock<std::shared_mutex> lock(session->mutex);
+    Status status = snapshots_->Save(name, *session);
+    if (status.ok()) {
+      ++saved;
+    } else {
+      ZO_COUNTER_INC("svc.snapshot.save_failed");
+      std::fprintf(stderr, "snapshot: saving '%s' failed: %s\n",
+                   name.c_str(), status.message().c_str());
+    }
+  }
+  return saved;
+}
 
 std::string Dispatcher::CacheKey(const Request& request,
                                  std::uint64_t version,
@@ -325,6 +359,30 @@ Response Dispatcher::Execute(const Request& request) {
   }
 
   std::shared_ptr<SessionState> session = sessions_.GetOrCreate(request.session);
+  if (request.command == "save") {
+    // Persist the session as it stands. Runs under the shared lock, so the
+    // snapshot is a consistent (state, version) pair; a failed save changed
+    // nothing server-side and is answered UNAVAILABLE so retrying is safe.
+    if (snapshots_ == nullptr) {
+      response.status = WireStatus::kErr;
+      response.payload = "snapshots disabled (start with --snapshot-dir)";
+      return response;
+    }
+    std::shared_lock<std::shared_mutex> lock(session->mutex);
+    Status prepared = snapshots_->Prepare();
+    Status saved =
+        prepared.ok() ? snapshots_->Save(request.session, *session)
+                      : prepared;
+    if (!saved.ok()) {
+      ZO_COUNTER_INC("svc.snapshot.save_failed");
+      response.status = WireStatus::kUnavailable;
+      response.payload = saved.message();
+      return response;
+    }
+    response.payload =
+        StrCat("saved ", request.session, " v", session->version);
+    return response;
+  }
   CancelToken* token = CurrentCancelToken();
   bool mutation = IsMutationCommand(request.command);
   bool cacheable = !request.no_cache && !mutation &&
@@ -334,6 +392,16 @@ Response Dispatcher::Execute(const Request& request) {
   StatusOr<std::string> result = std::string();
   bool mutated = false;
   if (mutation) {
+    if (ZO_FAULT_POINT("svc.session.mutate.fail")) {
+      // Simulated allocation failure before the mutation starts: the
+      // session is untouched, so the client may retry freely.
+      ZO_COUNTER_INC("svc.requests.injected_unavailable");
+      response.status = WireStatus::kUnavailable;
+      response.payload =
+          StrCat("injected fault: svc.session.mutate.fail before '",
+                 request.command, "'");
+      return response;
+    }
     std::unique_lock<std::shared_mutex> lock(session->mutex);
     result = RunCommand(session.get(), request.command, request.args,
                         &mutated);

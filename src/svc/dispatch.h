@@ -23,11 +23,13 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "svc/cache.h"
 #include "svc/protocol.h"
 #include "svc/session.h"
+#include "svc/snapshot.h"
 
 namespace zeroone {
 namespace svc {
@@ -36,6 +38,9 @@ class Dispatcher {
  public:
   struct Options {
     std::size_t cache_bytes = 8 * 1024 * 1024;
+    // Directory for session snapshots; empty disables persistence (the
+    // `save` command then reports ERR and drains do not write).
+    std::string snapshot_dir;
   };
 
   explicit Dispatcher(const Options& options);
@@ -55,6 +60,17 @@ class Dispatcher {
 
   LruCache& cache() { return cache_; }
   SessionRegistry& sessions() { return sessions_; }
+  // Null when persistence is disabled.
+  SnapshotStore* snapshots() { return snapshots_.get(); }
+
+  // Reloads every valid snapshot from the snapshot directory, quarantining
+  // corrupt ones (no-op report when persistence is disabled). The server
+  // calls this once before accepting traffic.
+  SnapshotStore::LoadReport LoadSnapshots();
+
+  // Persists every named session (the drain path). Returns the number of
+  // sessions saved; failures are logged to stderr and counted in obs.
+  std::size_t SaveAllSessions();
 
   // JSON object with cache/session statistics (the `stats` payload).
   std::string StatsJson() const;
@@ -62,6 +78,7 @@ class Dispatcher {
  private:
   LruCache cache_;
   SessionRegistry sessions_;
+  std::unique_ptr<SnapshotStore> snapshots_;
 };
 
 }  // namespace svc

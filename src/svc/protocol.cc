@@ -14,6 +14,7 @@ constexpr std::string_view kKnownCommands[] = {
     "query", "naive",   "certain",     "possible", "best", "bestmu",
     "mu",    "muk",     "poly",        "compare", "cond", "fd",
     "ind",   "constraints", "clear",   "chase", "ra",    "dlog",
+    "save",
 };
 
 constexpr std::string_view kMutationCommands[] = {
@@ -73,15 +74,17 @@ std::string_view WireStatusName(WireStatus status) {
     case WireStatus::kOverloaded: return "OVERLOADED";
     case WireStatus::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
     case WireStatus::kShuttingDown: return "SHUTTING_DOWN";
+    case WireStatus::kUnavailable: return "UNAVAILABLE";
   }
   return "ERR";
 }
 
 StatusOr<WireStatus> ParseWireStatus(std::string_view name) {
-  constexpr std::array<WireStatus, 6> all = {
+  constexpr std::array<WireStatus, 7> all = {
       WireStatus::kOk,           WireStatus::kErr,
       WireStatus::kBadRequest,   WireStatus::kOverloaded,
       WireStatus::kDeadlineExceeded, WireStatus::kShuttingDown,
+      WireStatus::kUnavailable,
   };
   for (WireStatus status : all) {
     if (WireStatusName(status) == name) return status;

@@ -13,14 +13,14 @@
 //             | "query" | "naive" | "certain" | "possible" | "best"
 //             | "bestmu" | "mu" | "muk" | "poly" | "compare" | "cond"
 //             | "fd" | "ind" | "constraints" | "clear" | "chase" | "ra"
-//             | "dlog"
+//             | "dlog" | "save"
 //   token    := 1*64( ALPHA / DIGIT / "_" / "-" / "." )
 //
 // Response — a header line followed by a length-prefixed payload:
 //
 //   response := "ZO1" SP status SP id SP payload_bytes LF payload LF
 //   status   := "OK" | "ERR" | "BAD_REQUEST" | "OVERLOADED"
-//             | "DEADLINE_EXCEEDED" | "SHUTTING_DOWN"
+//             | "DEADLINE_EXCEEDED" | "SHUTTING_DOWN" | "UNAVAILABLE"
 //
 // The payload is exactly payload_bytes bytes (it may itself contain
 // newlines); the trailing LF is a frame terminator, not part of the
@@ -52,6 +52,8 @@ enum class WireStatus {
   kOverloaded,        // Bounded queue full; retry later.
   kDeadlineExceeded,  // Evaluation abandoned at the request deadline.
   kShuttingDown,      // Server is draining; no new work accepted.
+  kUnavailable,       // Transient server-side failure (e.g. a snapshot
+                      // write failed); nothing was applied — safe to retry.
 };
 
 std::string_view WireStatusName(WireStatus status);

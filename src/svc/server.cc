@@ -6,14 +6,17 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <deque>
 #include <optional>
 #include <utility>
 
 #include "common/cancel.h"
+#include "fault/fault.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -27,6 +30,15 @@ namespace {
 // a frame may then have been written partially, so the stream is desynced
 // and the caller must stop writing to this connection entirely.
 bool WriteAll(int fd, std::string_view data) {
+  if (ZO_FAULT_POINT("svc.send.partial")) {
+    // Simulated torn send: half a frame leaves the socket, then the
+    // "connection" fails. The caller must latch the stream broken, exactly
+    // as for a real partial send.
+    if (data.size() > 1) {
+      (void)::send(fd, data.data(), data.size() / 2, MSG_NOSIGNAL);
+    }
+    return false;
+  }
   while (!data.empty()) {
     ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
     if (n <= 0) {
@@ -126,7 +138,8 @@ class Server::Connection {
 
 Server::Server(const ServerOptions& options)
     : options_(options),
-      dispatcher_(Dispatcher::Options{options.cache_bytes}),
+      dispatcher_(
+          Dispatcher::Options{options.cache_bytes, options.snapshot_dir}),
       executor_(std::make_unique<BoundedExecutor>(options.threads,
                                                   options.queue_capacity)) {}
 
@@ -157,10 +170,27 @@ Status Server::Start() {
   if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
     return Status::Error("bad listen address '", options_.host, "'");
   }
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    return Status::Error("bind to ", options_.host, ":", options_.port,
-                         " failed: ", std::strerror(errno));
+  // EADDRINUSE gets retried with backoff for a bounded window: after a
+  // SIGKILL the predecessor's socket may linger briefly even with
+  // SO_REUSEADDR (e.g. an orphaned process still closing), and restart
+  // supervisors should not flake on that.
+  const auto bind_deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(options_.bind_retry_ms);
+  std::uint64_t backoff_ms = 10;
+  for (;;) {
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) == 0) {
+      break;
+    }
+    if (errno != EADDRINUSE ||
+        std::chrono::steady_clock::now() >= bind_deadline) {
+      return Status::Error("bind to ", options_.host, ":", options_.port,
+                           " failed: ", std::strerror(errno));
+    }
+    ZO_COUNTER_INC("svc.server.bind_retries");
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    backoff_ms = std::min<std::uint64_t>(backoff_ms * 2, 200);
   }
   if (::listen(listen_fd_, 128) != 0) {
     return Status::Error("listen failed: ", std::strerror(errno));
@@ -170,6 +200,18 @@ Status Server::Start() {
   if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
                     &bound_len) == 0) {
     port_ = ntohs(bound.sin_port);
+  }
+  // Reload persisted sessions before any traffic can observe their absence.
+  if (dispatcher_.snapshots() != nullptr) {
+    SnapshotStore::LoadReport report = dispatcher_.LoadSnapshots();
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      stats_.snapshots_loaded = report.loaded;
+      stats_.snapshots_quarantined = report.quarantined;
+    }
+    std::fprintf(stderr,
+                 "zeroone_server: snapshots: loaded %zu, quarantined %zu\n",
+                 report.loaded, report.quarantined);
   }
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return Status::Ok();
@@ -201,6 +243,13 @@ void Server::AcceptLoop() {
     if ((fds[0].revents & POLLIN) == 0) continue;
     int client = ::accept(listen_fd_, nullptr, nullptr);
     if (client < 0) continue;
+    if (ZO_FAULT_POINT("svc.accept.drop")) {
+      // Simulated accept-time failure: the connection dies before the
+      // client sees a single byte, as if the server crashed right here.
+      ZO_COUNTER_INC("svc.server.injected_accept_drops");
+      ::close(client);
+      continue;
+    }
     // A client that stops reading must not wedge a worker (or the drain)
     // in send(): bound the blocking write time, then drop the frame.
     timeval send_timeout{30, 0};
@@ -252,6 +301,13 @@ void Server::ServeConnection(std::shared_ptr<Connection> connection) {
           std::lock_guard<std::mutex> lock(stats_mutex_);
           ++stats_.bad_requests;
         }
+        return;
+      }
+      if (ZO_FAULT_POINT("svc.recv.reset")) {
+        // Simulated mid-stream connection reset: stop reading as if the
+        // peer vanished. Reserved slots still get answered and flushed.
+        ZO_COUNTER_INC("svc.server.injected_recv_resets");
+        ::shutdown(connection->fd(), SHUT_RD);
         return;
       }
       ssize_t n = ::recv(connection->fd(), chunk, sizeof(chunk), 0);
@@ -375,6 +431,19 @@ void Server::Wait() {
     if (reader.joinable()) reader.join();
   }
   executor_->Drain();
+  // All accepted work is finished; persist every named session so a
+  // restart resumes from exactly what clients last observed. Wait() runs
+  // again from the destructor, so save exactly once.
+  if (dispatcher_.snapshots() != nullptr &&
+      !saved_on_drain_.exchange(true)) {
+    std::size_t saved = dispatcher_.SaveAllSessions();
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      stats_.snapshots_saved = saved;
+    }
+    std::fprintf(stderr, "zeroone_server: snapshots: saved %zu sessions\n",
+                 saved);
+  }
   std::lock_guard<std::mutex> lock(connections_mutex_);
   connections_.clear();  // Closes fds once workers release their refs.
 }

@@ -44,6 +44,14 @@ struct ServerOptions {
   std::size_t cache_bytes = 8 * 1024 * 1024;
   // Applied when a request carries no @deadline_ms; 0 = unlimited.
   std::uint64_t default_deadline_ms = 0;
+  // Session snapshot directory (docs/robustness.md): valid snapshots are
+  // reloaded before accepting traffic, every named session is persisted on
+  // drain, and the `save` command persists on demand. Empty = disabled.
+  std::string snapshot_dir;
+  // On EADDRINUSE, keep retrying bind with backoff for this long — a
+  // freshly killed predecessor's socket may still be draining, and chaos
+  // restarts must not flake on it. 0 = fail immediately.
+  std::uint64_t bind_retry_ms = 2000;
 };
 
 class Server {
@@ -87,6 +95,9 @@ class Server {
     std::uint64_t bad_requests = 0;
     std::uint64_t overloaded = 0;
     std::uint64_t shutting_down_rejects = 0;
+    std::uint64_t snapshots_loaded = 0;       // Valid snapshots on Start().
+    std::uint64_t snapshots_quarantined = 0;  // Corrupt files set aside.
+    std::uint64_t snapshots_saved = 0;        // Sessions saved on drain.
   };
   Stats stats() const;
 
@@ -107,6 +118,7 @@ class Server {
   int port_ = 0;
   std::atomic<bool> stopping_{false};
   std::atomic<bool> started_{false};
+  std::atomic<bool> saved_on_drain_{false};
 
   std::thread accept_thread_;
   std::mutex connections_mutex_;

@@ -1,0 +1,94 @@
+#ifndef ZEROONE_SVC_SNAPSHOT_H_
+#define ZEROONE_SVC_SNAPSHOT_H_
+
+// Crash-safe session snapshots (docs/robustness.md has the format spec).
+//
+// A snapshot serializes one named session — database (FormatDatabase),
+// current query, constraint list, and version — into
+// `<dir>/<session>.zo1snap`:
+//
+//   ZO1SNAP 1\n
+//   session=<token>\n
+//   version=<uint>\n
+//   body_bytes=<uint>\n
+//   crc32=<8 lowercase hex of the body>\n
+//   \n
+//   <body (exactly body_bytes bytes)>\n
+//
+// body := *section, each `[<kind> <bytes>]\n` + exactly <bytes> bytes + \n
+// with kinds `database` (FormatDatabase text), `query` (the canonical
+// Query::ToString form, omitted when the session has none), and `fd`/`ind`
+// (one constraint each, in session order, in the wire-command argument
+// syntax: `R <arity> <l1,l2,..> <rhs>` / `R <arity> <p,..> S <arity> <q,..>`).
+//
+// Durability: Save writes a unique temp file, fsyncs it, renames it over
+// the final path, and fsyncs the directory — a crash at any point (every
+// step carries a fault site) leaves either the old snapshot or the new
+// one, never a torn file. Load verifies magic, header sanity, exact file
+// length, and the body CRC; anything invalid is quarantined (renamed to
+// `*.zo1snap.corrupt`, logged, counted in obs), never loaded and never a
+// crash.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "svc/session.h"
+
+namespace zeroone {
+namespace svc {
+
+inline constexpr std::string_view kSnapshotMagic = "ZO1SNAP 1";
+inline constexpr std::string_view kSnapshotSuffix = ".zo1snap";
+
+// Serializes `state` (caller holds at least the session's shared lock).
+// Fails on a constraint type it cannot round-trip.
+StatusOr<std::string> EncodeSnapshot(const std::string& session,
+                                     const SessionState& state);
+
+// Parses and validates a full snapshot file image; on success fills
+// `session` and the state fields (db, query, constraints, fds, version —
+// not the mutex). Any malformation is an error, never a crash.
+Status DecodeSnapshot(std::string_view bytes, std::string* session,
+                      SessionState* state);
+
+// Snapshot directory manager. Thread-safe: concurrent Saves of distinct
+// sessions are independent; concurrent Saves of one session both land
+// atomically (last rename wins).
+class SnapshotStore {
+ public:
+  explicit SnapshotStore(std::string dir);
+
+  const std::string& dir() const { return dir_; }
+  std::string PathFor(const std::string& session) const;
+
+  // Creates the directory if missing. Call once before Save/LoadAll.
+  Status Prepare() const;
+
+  // Atomically persists one session (temp → fsync → rename → dirsync).
+  // On failure the previous snapshot, if any, is untouched.
+  Status Save(const std::string& session, const SessionState& state);
+
+  struct LoadReport {
+    std::size_t loaded = 0;       // Valid snapshots installed.
+    std::size_t quarantined = 0;  // Corrupt files renamed aside.
+    std::size_t tmp_removed = 0;  // Stale temp files from a crashed Save.
+  };
+
+  // Scans the directory, installs every valid snapshot into `sessions`
+  // (overwriting the named session's state), quarantines corrupt ones and
+  // removes stale temp files. Diagnostics go to stderr; counts also land
+  // in the obs counters svc.snapshot.{loaded,quarantined}.
+  LoadReport LoadAll(SessionRegistry* sessions);
+
+ private:
+  const std::string dir_;
+  std::atomic<std::uint64_t> tmp_seq_{0};
+};
+
+}  // namespace svc
+}  // namespace zeroone
+
+#endif  // ZEROONE_SVC_SNAPSHOT_H_

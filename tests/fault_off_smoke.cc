@@ -1,0 +1,26 @@
+// Compile/link smoke test for the ZEROONE_FAULT=OFF configuration. This
+// translation unit is compiled with ZEROONE_FAULT_ENABLED=0 and is
+// deliberately NOT linked against zeroone_fault: it can only link if
+// ZO_FAULT_POINT compiles away entirely, which is exactly the guarantee
+// the OFF configuration makes for instrumented library code.
+#include "fault/fault.h"
+
+#include <cstdio>
+
+#if ZEROONE_FAULT_ENABLED
+#error "fault_off_smoke must be compiled with ZEROONE_FAULT_ENABLED=0"
+#endif
+
+int main() {
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (ZO_FAULT_POINT("smoke.loop")) ++fired;
+    if (ZO_FAULT_POINT("smoke.other")) ++fired;
+  }
+  if (fired != 0) {
+    std::puts("fault-off smoke FAILED: a compiled-out site fired");
+    return 1;
+  }
+  std::puts("fault-off smoke ok");
+  return 0;
+}

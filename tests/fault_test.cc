@@ -1,0 +1,197 @@
+// Tests for zeroone::fault — spec parsing, schedule semantics, determinism,
+// and counters. Registry-API tests run in every build configuration; tests
+// of the ZO_FAULT_POINT macro itself are gated on ZEROONE_FAULT_ENABLED
+// because the OFF configuration compiles the macro away.
+
+#include "fault/fault.h"
+
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace zeroone {
+namespace fault {
+namespace {
+
+class FaultTest : public ::testing::Test {
+ protected:
+  void TearDown() override { Registry::Global().Clear(); }
+};
+
+TEST_F(FaultTest, EmptySpecClearsPlan) {
+  ASSERT_TRUE(Registry::Global().Configure("seed=1,a.b=0.5").ok());
+  EXPECT_NE(Registry::Global().PlanString(), "");
+  ASSERT_TRUE(Registry::Global().Configure("").ok());
+  EXPECT_EQ(Registry::Global().PlanString(), "");
+}
+
+TEST_F(FaultTest, ParseErrors) {
+  const char* bad_specs[] = {
+      "nosuchsyntax",         // No '='.
+      "a.b=",                 // Empty schedule.
+      "a.b=1.5",              // Probability out of range.
+      "a.b=-0.1",             // Negative.
+      "a.b=0.5.5",            // Two dots.
+      "a.b=#",                // '#' without a count.
+      "a.b=#abc",             // Non-numeric count.
+      "a.b=%0",               // Every-0th is meaningless.
+      "seed=",                // Empty seed.
+      "seed=abc",             // Non-numeric seed.
+      "a b=0.5",              // Space in site name.
+      "=0.5",                 // Empty site name.
+  };
+  for (const char* spec : bad_specs) {
+    EXPECT_FALSE(Registry::Global().Configure(spec).ok())
+        << "spec should be rejected: " << spec;
+  }
+}
+
+TEST_F(FaultTest, ParseErrorLeavesPreviousPlan) {
+  ASSERT_TRUE(Registry::Global().Configure("seed=3,x.y=#2").ok());
+  std::string before = Registry::Global().PlanString();
+  EXPECT_FALSE(Registry::Global().Configure("broken").ok());
+  EXPECT_EQ(Registry::Global().PlanString(), before);
+}
+
+TEST_F(FaultTest, NthSchedule) {
+  ASSERT_TRUE(Registry::Global().Configure("t.nth=#3").ok());
+  Site& site = Registry::Global().GetSite("t.nth");
+  std::vector<bool> fired;
+  for (int i = 0; i < 6; ++i) fired.push_back(site.Evaluate());
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, false, false,
+                                      false}));
+  EXPECT_EQ(Registry::Global().Stats("t.nth").hits, 6u);
+  EXPECT_EQ(Registry::Global().Stats("t.nth").fired, 1u);
+}
+
+TEST_F(FaultTest, EverySchedule) {
+  ASSERT_TRUE(Registry::Global().Configure("t.every=%2").ok());
+  Site& site = Registry::Global().GetSite("t.every");
+  std::vector<bool> fired;
+  for (int i = 0; i < 6; ++i) fired.push_back(site.Evaluate());
+  EXPECT_EQ(fired,
+            (std::vector<bool>{false, true, false, true, false, true}));
+}
+
+TEST_F(FaultTest, ProbabilityZeroNeverFires) {
+  ASSERT_TRUE(Registry::Global().Configure("t.p0=0.0").ok());
+  Site& site = Registry::Global().GetSite("t.p0");
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(site.Evaluate());
+}
+
+TEST_F(FaultTest, ProbabilityOneAlwaysFires) {
+  ASSERT_TRUE(Registry::Global().Configure("t.p1=1.0").ok());
+  Site& site = Registry::Global().GetSite("t.p1");
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(site.Evaluate());
+}
+
+TEST_F(FaultTest, ProbabilityRoughlyCalibrated) {
+  ASSERT_TRUE(Registry::Global().Configure("seed=11,t.cal=0.25").ok());
+  Site& site = Registry::Global().GetSite("t.cal");
+  int fired = 0;
+  for (int i = 0; i < 10000; ++i) fired += site.Evaluate() ? 1 : 0;
+  // 4σ ≈ 173 around the mean of 2500.
+  EXPECT_GT(fired, 2300);
+  EXPECT_LT(fired, 2700);
+}
+
+TEST_F(FaultTest, SameSeedSamePattern) {
+  auto run = [](const std::string& spec) {
+    EXPECT_TRUE(Registry::Global().Configure(spec).ok());
+    Site& site = Registry::Global().GetSite("t.det");
+    std::vector<bool> fired;
+    for (int i = 0; i < 200; ++i) fired.push_back(site.Evaluate());
+    return fired;
+  };
+  std::vector<bool> first = run("seed=42,t.det=0.1");
+  std::vector<bool> second = run("seed=42,t.det=0.1");
+  EXPECT_EQ(first, second);  // Configure resets counters: identical runs.
+  std::vector<bool> other_seed = run("seed=43,t.det=0.1");
+  EXPECT_NE(first, other_seed);  // Different seed, different pattern.
+}
+
+TEST_F(FaultTest, DistinctSitesFireIndependently) {
+  ASSERT_TRUE(Registry::Global().Configure("seed=7,t.a=0.5,t.b=0.5").ok());
+  Site& a = Registry::Global().GetSite("t.a");
+  Site& b = Registry::Global().GetSite("t.b");
+  std::vector<bool> fa, fb;
+  for (int i = 0; i < 64; ++i) {
+    fa.push_back(a.Evaluate());
+    fb.push_back(b.Evaluate());
+  }
+  EXPECT_NE(fa, fb);  // The site name participates in the hash.
+}
+
+TEST_F(FaultTest, UnarmedSiteNeverFiresAndCountsNoHits) {
+  Registry::Global().Clear();
+  Site& site = Registry::Global().GetSite("t.unarmed");
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(site.Evaluate());
+  // Unarmed Evaluate is the hot path: it must not even count hits.
+  EXPECT_EQ(Registry::Global().Stats("t.unarmed").fired, 0u);
+}
+
+TEST_F(FaultTest, ReconfigureResetsCounters) {
+  ASSERT_TRUE(Registry::Global().Configure("t.reset=#1").ok());
+  Site& site = Registry::Global().GetSite("t.reset");
+  EXPECT_TRUE(site.Evaluate());
+  ASSERT_TRUE(Registry::Global().Configure("t.reset=#1").ok());
+  EXPECT_TRUE(site.Evaluate());  // Counter restarted: #1 fires again.
+}
+
+TEST_F(FaultTest, PlanStringRoundTrips) {
+  ASSERT_TRUE(
+      Registry::Global().Configure("seed=5,a.b=0.25,c.d=#3,e.f=%4").ok());
+  std::string plan = Registry::Global().PlanString();
+  EXPECT_NE(plan.find("seed=5"), std::string::npos);
+  EXPECT_NE(plan.find("a.b="), std::string::npos);
+  EXPECT_NE(plan.find("c.d=#3"), std::string::npos);
+  EXPECT_NE(plan.find("e.f=%4"), std::string::npos);
+  // Reinstalling the canonical form is accepted and equivalent.
+  ASSERT_TRUE(Registry::Global().Configure(plan).ok());
+  EXPECT_EQ(Registry::Global().PlanString(), plan);
+}
+
+TEST_F(FaultTest, ConfigureFromEnv) {
+  ASSERT_EQ(setenv("ZEROONE_FAULTS", "t.env=#1", 1), 0);
+  EXPECT_TRUE(Registry::Global().ConfigureFromEnv().ok());
+  EXPECT_TRUE(Registry::Global().GetSite("t.env").Evaluate());
+  ASSERT_EQ(unsetenv("ZEROONE_FAULTS"), 0);
+  // Unset variable: no-op success, previous plan kept.
+  EXPECT_TRUE(Registry::Global().ConfigureFromEnv().ok());
+}
+
+TEST_F(FaultTest, AllStatsListsConfiguredAndHitSites) {
+  ASSERT_TRUE(Registry::Global().Configure("t.listed=%2").ok());
+  Registry::Global().GetSite("t.listed").Evaluate();
+  Registry::Global().GetSite("t.only_hit").Evaluate();
+  auto stats = Registry::Global().AllStats();
+  EXPECT_EQ(stats.count("t.listed"), 1u);
+  EXPECT_EQ(stats.count("t.only_hit"), 1u);
+  EXPECT_EQ(stats["t.listed"].hits, 1u);
+}
+
+#if ZEROONE_FAULT_ENABLED
+
+TEST_F(FaultTest, MacroEvaluatesSite) {
+  ASSERT_TRUE(Registry::Global().Configure("t.macro=#2").ok());
+  EXPECT_FALSE(ZO_FAULT_POINT("t.macro"));
+  EXPECT_TRUE(ZO_FAULT_POINT("t.macro"));
+  EXPECT_FALSE(ZO_FAULT_POINT("t.macro"));
+  EXPECT_EQ(Registry::Global().Stats("t.macro").fired, 1u);
+}
+
+TEST_F(FaultTest, MacroUnarmedIsFalse) {
+  Registry::Global().Clear();
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(ZO_FAULT_POINT("t.macro.unarmed"));
+  }
+}
+
+#endif  // ZEROONE_FAULT_ENABLED
+
+}  // namespace
+}  // namespace fault
+}  // namespace zeroone

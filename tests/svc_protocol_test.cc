@@ -18,7 +18,7 @@ TEST(WireStatusTest, NamesRoundTrip) {
   for (WireStatus status :
        {WireStatus::kOk, WireStatus::kErr, WireStatus::kBadRequest,
         WireStatus::kOverloaded, WireStatus::kDeadlineExceeded,
-        WireStatus::kShuttingDown}) {
+        WireStatus::kShuttingDown, WireStatus::kUnavailable}) {
     StatusOr<WireStatus> parsed = ParseWireStatus(WireStatusName(status));
     ASSERT_TRUE(parsed.ok());
     EXPECT_EQ(*parsed, status);
@@ -129,6 +129,11 @@ TEST(RequestLineTest, CommandClassesAreConsistent) {
   EXPECT_TRUE(IsMutationCommand("query"));
   EXPECT_TRUE(IsCacheableCommand("certain"));
   EXPECT_FALSE(IsCacheableCommand("show"));
+  // `save` persists a snapshot of the current state: not a mutation (the
+  // version must not change) and never cacheable.
+  EXPECT_TRUE(IsKnownCommand("save"));
+  EXPECT_FALSE(IsMutationCommand("save"));
+  EXPECT_FALSE(IsCacheableCommand("save"));
 }
 
 TEST(ResponseFrameTest, RoundTrips) {

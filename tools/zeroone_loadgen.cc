@@ -1,35 +1,60 @@
 // zeroone_loadgen — closed-loop load generator for zeroone_server.
 //
-// Opens N connections, each on its own session. Every connection first
-// runs a preamble (a small incomplete database plus a query with joins
-// over nulls), then issues a rotating mix of read commands (certain /
-// possible / naive / mu) back-to-back, measuring per-request latency and
-// tallying wire statuses. At the end it prints a human summary to stderr
-// and a single JSON line to stdout (consumed by scripts/smoke_serving.sh).
+// Opens N connections, each on its own session. In the default (read) mode
+// every connection first runs a preamble (a small incomplete database plus
+// a query with joins over nulls), then issues a rotating mix of read
+// commands (certain / possible / naive) back-to-back, measuring per-request
+// latency and tallying wire statuses. With --mutate each iteration instead
+// inserts a unique tuple and persists it with `save`; a tuple is recorded
+// in --ack-log only once it is durably acknowledged (save returned OK with
+// no reconnect since the insert — see docs/robustness.md). --verify=FILE
+// replays an ack-log against a (restarted) server and fails unless every
+// acknowledged tuple is still visible.
+//
+// All traffic goes through svc::RetryingClient: transient failures
+// (transport errors, OVERLOADED, UNAVAILABLE, SHUTTING_DOWN) are retried
+// with jittered exponential backoff, and the summary reports how hard the
+// retry machinery had to work. At the end it prints a human summary to
+// stderr and a single JSON line to stdout (consumed by
+// scripts/smoke_serving.sh and scripts/chaos_serving.sh).
 //
 // Flags:
-//   --host=ADDR        server address (default 127.0.0.1)
-//   --port=N           server port (required)
-//   --connections=N    concurrent connections/threads (default 2)
-//   --requests=N       requests per connection after preamble (default 50)
-//   --seconds=N        optional wall-clock cap; stop early when exceeded
-//   --deadline-ms=N    attach @deadline_ms=N to every read request
-//   --nocache          attach @nocache to every read request
-//   --help             usage
+//   --host=ADDR          server address (default 127.0.0.1)
+//   --port=N             server port (required)
+//   --connections=N      concurrent connections/threads (default 2)
+//   --requests=N         iterations per connection after preamble (default 50)
+//   --seconds=N          optional wall-clock cap; stop early when exceeded
+//   --deadline-ms=N      attach @deadline_ms=N to every read request
+//   --nocache            attach @nocache to every read request
+//   --mutate             insert-and-save mode (see above)
+//   --ack-log=FILE       append "session token" per acknowledged mutation
+//   --verify=FILE        check every tuple in FILE is visible, then exit
+//   --retry-attempts=N   attempts per request incl. the first (default 5)
+//   --retry-backoff-ms=N initial backoff; doubles, capped at 1000 (default 10)
+//   --seed=N             base seed for retry jitter (default 1)
+//   --faults=SPEC        install a client-side fault plan (ZEROONE_FAULT=ON
+//                        builds only), e.g. seed=7,svc.client.send.fail=0.01
+//   --help               usage
 //
-// Exit status is 0 iff every request got a well-formed response frame
-// (OVERLOADED / DEADLINE_EXCEEDED count as well-formed — they are the
-// server working as designed) and at least one request returned OK.
+// Exit status 0 iff no request exhausted its retries (OVERLOADED /
+// DEADLINE_EXCEEDED answers are the server working as designed) and at
+// least one request returned OK; in --verify mode, iff every acknowledged
+// tuple is visible.
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <fstream>
 #include <iostream>
+#include <map>
+#include <mutex>
+#include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "fault/fault.h"
 #include "svc/client.h"
 #include "svc/protocol.h"
 
@@ -37,9 +62,11 @@ namespace {
 
 using zeroone::Status;
 using zeroone::StatusOr;
-using zeroone::svc::BlockingClient;
+using zeroone::svc::ClientOptions;
 using zeroone::svc::Request;
 using zeroone::svc::Response;
+using zeroone::svc::RetryingClient;
+using zeroone::svc::RetryPolicy;
 using zeroone::svc::WireStatus;
 
 constexpr const char* kDatabase =
@@ -55,8 +82,17 @@ struct WorkerResult {
   std::uint64_t err = 0;
   std::uint64_t overloaded = 0;
   std::uint64_t deadline_exceeded = 0;
+  std::uint64_t unavailable = 0;
+  std::uint64_t shutting_down = 0;
   std::uint64_t other = 0;
-  std::uint64_t transport_failures = 0;
+  std::uint64_t transport_failures = 0;  // Requests that exhausted retries.
+  // Retry effort (aggregated from RetryingClient::Stats).
+  std::uint64_t retried_requests = 0;  // Requests needing >1 attempt.
+  std::uint64_t total_retries = 0;
+  std::uint64_t max_retries = 0;  // Worst single request.
+  std::uint64_t backoff_ms = 0;
+  std::uint64_t reconnects = 0;
+  std::uint64_t acked = 0;  // --mutate: durably acknowledged tuples.
 };
 
 struct LoadgenOptions {
@@ -67,12 +103,40 @@ struct LoadgenOptions {
   std::uint64_t seconds = 0;
   std::uint64_t deadline_ms = 0;
   bool no_cache = false;
+  bool mutate = false;
+  std::string ack_log;
+  std::string verify_file;
+  int retry_attempts = 5;
+  std::uint64_t retry_backoff_ms = 10;
+  std::uint64_t seed = 1;
+};
+
+// Serializes ack-log appends across workers; each line is flushed so a
+// SIGKILLed *loadgen* also leaves only fully-acknowledged lines behind.
+class AckLog {
+ public:
+  explicit AckLog(const std::string& path) : out_(path, std::ios::app) {}
+  bool ok() const { return out_.good(); }
+  void Append(const std::string& session, const std::string& token) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out_ << session << ' ' << token << '\n';
+    out_.flush();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::ofstream out_;
 };
 
 void PrintUsage(std::ostream& os) {
   os << "usage: zeroone_loadgen --port=N [--host=ADDR] [--connections=N]\n"
         "                       [--requests=N] [--seconds=N] "
-        "[--deadline-ms=N] [--nocache]\n";
+        "[--deadline-ms=N] [--nocache]\n"
+        "                       [--mutate] [--ack-log=FILE] "
+        "[--verify=FILE]\n"
+        "                       [--retry-attempts=N] [--retry-backoff-ms=N] "
+        "[--seed=N]\n"
+        "                       [--faults=SPEC]\n";
 }
 
 bool ParseUintFlag(const std::string& arg, const std::string& prefix,
@@ -104,25 +168,58 @@ void Tally(WireStatus status, WorkerResult* result) {
     case WireStatus::kDeadlineExceeded:
       ++result->deadline_exceeded;
       break;
+    case WireStatus::kUnavailable:
+      ++result->unavailable;
+      break;
+    case WireStatus::kShuttingDown:
+      ++result->shutting_down;
+      break;
     default:
       ++result->other;
       break;
   }
 }
 
-void RunWorker(const LoadgenOptions& options, std::size_t index,
-               std::chrono::steady_clock::time_point stop_at,
-               WorkerResult* result) {
-  BlockingClient client;
-  Status connected = client.Connect(options.host, options.port);
-  if (!connected.ok()) {
-    ++result->transport_failures;
-    return;
+RetryingClient MakeClient(const LoadgenOptions& options, std::size_t index) {
+  RetryPolicy policy;
+  policy.max_attempts = options.retry_attempts;
+  policy.initial_backoff_ms = options.retry_backoff_ms;
+  policy.seed = options.seed + index * 7919;  // Distinct jitter per worker.
+  return RetryingClient(options.host, options.port, policy, ClientOptions());
+}
+
+// One retried call; updates per-request retry accounting and the tally.
+// Returns the response when one arrived (transient or not); counts a
+// transport failure when retries were exhausted without any response.
+StatusOr<Response> TrackedCall(RetryingClient* client, const Request& request,
+                               WorkerResult* result) {
+  const RetryingClient::Stats before = client->stats();
+  StatusOr<Response> response = client->CallWithRetry(request);
+  const RetryingClient::Stats after = client->stats();
+  std::uint64_t attempts = after.attempts - before.attempts;
+  if (attempts > 1) {
+    ++result->retried_requests;
+    result->total_retries += attempts - 1;
+    result->max_retries = std::max(result->max_retries, attempts - 1);
   }
+  result->backoff_ms += after.backoff_ms - before.backoff_ms;
+  result->reconnects += after.reconnects - before.reconnects;
+  if (!response.ok()) {
+    ++result->transport_failures;
+  } else {
+    Tally(response->status, result);
+  }
+  return response;
+}
+
+void RunReadWorker(const LoadgenOptions& options, std::size_t index,
+                   std::chrono::steady_clock::time_point stop_at,
+                   WorkerResult* result) {
+  RetryingClient client = MakeClient(options, index);
   const std::string session = "loadgen" + std::to_string(index);
   std::uint64_t next_id = 1;
-  auto call = [&](const std::string& command, const std::string& args,
-                  bool read) -> StatusOr<Response> {
+  auto make_request = [&](const std::string& command, const std::string& args,
+                          bool read) {
     Request request;
     request.id = std::to_string(next_id++);
     request.session = session;
@@ -132,33 +229,140 @@ void RunWorker(const LoadgenOptions& options, std::size_t index,
       request.deadline_ms = options.deadline_ms;
       request.no_cache = options.no_cache;
     }
-    return client.Call(request);
+    return request;
   };
 
-  StatusOr<Response> db_response = call("db", kDatabase, /*read=*/false);
-  StatusOr<Response> query_response = call("query", kQuery, /*read=*/false);
-  if (!db_response.ok() || !query_response.ok()) {
-    ++result->transport_failures;
-    return;
-  }
+  StatusOr<Response> db_response =
+      TrackedCall(&client, make_request("db", kDatabase, false), result);
+  StatusOr<Response> query_response =
+      TrackedCall(&client, make_request("query", kQuery, false), result);
+  if (!db_response.ok() || !query_response.ok()) return;
 
   for (std::size_t i = 0; i < options.requests; ++i) {
     if (std::chrono::steady_clock::now() >= stop_at) break;
     const char* command = kReadCommands[i % (sizeof(kReadCommands) /
                                              sizeof(kReadCommands[0]))];
     auto start = std::chrono::steady_clock::now();
-    StatusOr<Response> response = call(command, "", /*read=*/true);
+    StatusOr<Response> response =
+        TrackedCall(&client, make_request(command, "", true), result);
     auto elapsed = std::chrono::steady_clock::now() - start;
-    if (!response.ok()) {
-      // Transport failure (server gone / frame never arrived) — this is
-      // the condition the smoke test must catch, not a wire error status.
-      ++result->transport_failures;
-      return;
-    }
+    if (!response.ok()) return;  // Retries exhausted: server unreachable.
     result->latencies_ms.push_back(
         std::chrono::duration<double, std::milli>(elapsed).count());
-    Tally(response->status, result);
   }
+}
+
+// --mutate: each iteration inserts one unique tuple into M(1) and persists
+// it with `save`. The tuple is *acknowledged* (written to the ack-log) only
+// when save returned OK and no reconnect happened between the insert and
+// the save — after a reconnect the server may have restarted from a
+// snapshot that predates the insert, so the pair is redone (Relation::
+// Insert is idempotent, making the redo safe).
+void RunMutateWorker(const LoadgenOptions& options, std::size_t index,
+                     std::chrono::steady_clock::time_point stop_at,
+                     AckLog* ack_log, WorkerResult* result) {
+  RetryingClient client = MakeClient(options, index);
+  const std::string session = "chaos" + std::to_string(index);
+  std::uint64_t next_id = 1;
+  auto make_request = [&](const std::string& command,
+                          const std::string& args) {
+    Request request;
+    request.id = std::to_string(next_id++);
+    request.session = session;
+    request.command = command;
+    request.args = args;
+    return request;
+  };
+
+  for (std::size_t i = 0; i < options.requests; ++i) {
+    if (std::chrono::steady_clock::now() >= stop_at) break;
+    const std::string token =
+        "m" + std::to_string(index) + "_" + std::to_string(i);
+    const std::string args = "M(1) = { (" + token + ") }";
+    auto start = std::chrono::steady_clock::now();
+    bool acked = false;
+    // Insert+save as a unit: redo both while the durability of the insert
+    // is in doubt. The bound only guards against a server that never comes
+    // back — each redo is cheap and idempotent.
+    for (int round = 0; round < 64 && !acked; ++round) {
+      StatusOr<Response> inserted =
+          TrackedCall(&client, make_request("db", args), result);
+      if (!inserted.ok()) return;  // Retries exhausted.
+      if (inserted->status != WireStatus::kOk) {
+        if (!zeroone::svc::IsTransientWireStatus(inserted->status)) return;
+        continue;  // Gave up on a transient status; redo the pair.
+      }
+      const std::uint64_t reconnects_before = client.stats().reconnects;
+      StatusOr<Response> saved =
+          TrackedCall(&client, make_request("save", ""), result);
+      if (!saved.ok()) return;
+      if (saved->status != WireStatus::kOk) {
+        if (!zeroone::svc::IsTransientWireStatus(saved->status)) return;
+        continue;
+      }
+      if (client.stats().reconnects != reconnects_before) {
+        // The save landed on a fresh connection — possibly a restarted
+        // server that never saw the insert. Not durable; redo.
+        continue;
+      }
+      acked = true;
+    }
+    auto elapsed = std::chrono::steady_clock::now() - start;
+    if (!acked) return;
+    ++result->acked;
+    if (ack_log != nullptr) ack_log->Append(session, token);
+    result->latencies_ms.push_back(
+        std::chrono::duration<double, std::milli>(elapsed).count());
+  }
+}
+
+// --verify: every acknowledged tuple in the log must be visible via `show`
+// on its session. Returns the number of missing tuples.
+std::uint64_t RunVerify(const LoadgenOptions& options) {
+  std::ifstream in(options.verify_file);
+  if (!in) {
+    std::cerr << "cannot read ack log '" << options.verify_file << "'\n";
+    return 1;
+  }
+  std::map<std::string, std::set<std::string>> acked_by_session;
+  std::string session, token;
+  while (in >> session >> token) acked_by_session[session].insert(token);
+
+  RetryingClient client = MakeClient(options, 0);
+  std::uint64_t verified = 0;
+  std::uint64_t missing = 0;
+  std::uint64_t id = 1;
+  for (const auto& [name, tokens] : acked_by_session) {
+    Request request;
+    request.id = std::to_string(id++);
+    request.session = name;
+    request.command = "show";
+    StatusOr<Response> response = client.CallWithRetry(request);
+    if (!response.ok() || response->status != WireStatus::kOk) {
+      std::cerr << "verify: cannot read session '" << name << "': "
+                << (response.ok() ? response->payload
+                                  : response.status().message())
+                << "\n";
+      missing += tokens.size();
+      continue;
+    }
+    for (const std::string& t : tokens) {
+      // Tuple constants render as "(token)"; substring match on the
+      // parenthesized form avoids false hits on token prefixes.
+      if (response->payload.find("(" + t + ")") != std::string::npos) {
+        ++verified;
+      } else {
+        ++missing;
+        std::cerr << "verify: session '" << name << "' lost acknowledged "
+                  << "tuple '" << t << "'\n";
+      }
+    }
+  }
+  std::cerr << "verify: " << verified << " acknowledged tuples visible, "
+            << missing << " missing\n";
+  std::cout << "{\"verified\": " << verified << ", \"missing\": " << missing
+            << "}" << std::endl;
+  return missing;
 }
 
 double Percentile(std::vector<double>* sorted, double p) {
@@ -172,6 +376,8 @@ double Percentile(std::vector<double>* sorted, double p) {
 
 int main(int argc, char** argv) {
   LoadgenOptions options;
+  std::string faults_spec;
+  bool have_faults_flag = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     std::uint64_t value = 0;
@@ -192,6 +398,21 @@ int main(int argc, char** argv) {
       options.deadline_ms = value;
     } else if (arg == "--nocache") {
       options.no_cache = true;
+    } else if (arg == "--mutate") {
+      options.mutate = true;
+    } else if (arg.rfind("--ack-log=", 0) == 0) {
+      options.ack_log = arg.substr(10);
+    } else if (arg.rfind("--verify=", 0) == 0) {
+      options.verify_file = arg.substr(9);
+    } else if (ParseUintFlag(arg, "--retry-attempts=", &value)) {
+      options.retry_attempts = static_cast<int>(value);
+    } else if (ParseUintFlag(arg, "--retry-backoff-ms=", &value)) {
+      options.retry_backoff_ms = value;
+    } else if (ParseUintFlag(arg, "--seed=", &value)) {
+      options.seed = value;
+    } else if (arg.rfind("--faults=", 0) == 0) {
+      faults_spec = arg.substr(9);
+      have_faults_flag = true;
     } else {
       std::cerr << "unknown flag '" << arg << "'\n";
       PrintUsage(std::cerr);
@@ -205,6 +426,37 @@ int main(int argc, char** argv) {
   }
   if (options.connections == 0) options.connections = 1;
 
+#if ZEROONE_FAULT_ENABLED
+  {
+    Status configured =
+        have_faults_flag
+            ? zeroone::fault::Registry::Global().Configure(faults_spec)
+            : zeroone::fault::Registry::Global().ConfigureFromEnv();
+    if (!configured.ok()) {
+      std::cerr << "error: bad fault spec: " << configured.message() << "\n";
+      return 1;
+    }
+  }
+#else
+  if (have_faults_flag) {
+    std::cerr << "error: --faults requires a build with ZEROONE_FAULT=ON\n";
+    return 1;
+  }
+#endif
+
+  if (!options.verify_file.empty()) {
+    return RunVerify(options) == 0 ? 0 : 1;
+  }
+
+  std::unique_ptr<AckLog> ack_log;
+  if (!options.ack_log.empty()) {
+    ack_log = std::make_unique<AckLog>(options.ack_log);
+    if (!ack_log->ok()) {
+      std::cerr << "cannot open ack log '" << options.ack_log << "'\n";
+      return 1;
+    }
+  }
+
   auto start = std::chrono::steady_clock::now();
   auto stop_at = options.seconds == 0
                      ? std::chrono::steady_clock::time_point::max()
@@ -214,8 +466,13 @@ int main(int argc, char** argv) {
   std::vector<std::thread> workers;
   workers.reserve(options.connections);
   for (std::size_t i = 0; i < options.connections; ++i) {
-    workers.emplace_back(RunWorker, std::cref(options), i, stop_at,
-                         &results[i]);
+    if (options.mutate) {
+      workers.emplace_back(RunMutateWorker, std::cref(options), i, stop_at,
+                           ack_log.get(), &results[i]);
+    } else {
+      workers.emplace_back(RunReadWorker, std::cref(options), i, stop_at,
+                           &results[i]);
+    }
   }
   for (std::thread& worker : workers) worker.join();
   double wall_s = std::chrono::duration<double>(
@@ -228,8 +485,16 @@ int main(int argc, char** argv) {
     total.err += r.err;
     total.overloaded += r.overloaded;
     total.deadline_exceeded += r.deadline_exceeded;
+    total.unavailable += r.unavailable;
+    total.shutting_down += r.shutting_down;
     total.other += r.other;
     total.transport_failures += r.transport_failures;
+    total.retried_requests += r.retried_requests;
+    total.total_retries += r.total_retries;
+    total.max_retries = std::max(total.max_retries, r.max_retries);
+    total.backoff_ms += r.backoff_ms;
+    total.reconnects += r.reconnects;
+    total.acked += r.acked;
     total.latencies_ms.insert(total.latencies_ms.end(),
                               r.latencies_ms.begin(), r.latencies_ms.end());
   }
@@ -240,11 +505,18 @@ int main(int argc, char** argv) {
   std::uint64_t answered = static_cast<std::uint64_t>(
       total.latencies_ms.size());
 
-  std::cerr << "loadgen: " << answered << " answered in " << wall_s << "s ("
-            << total.ok << " OK, " << total.err << " ERR, "
+  std::cerr << "loadgen: " << answered << " "
+            << (options.mutate ? "acknowledged" : "answered") << " in "
+            << wall_s << "s (" << total.ok << " OK, " << total.err << " ERR, "
             << total.overloaded << " OVERLOADED, " << total.deadline_exceeded
-            << " DEADLINE_EXCEEDED, " << total.transport_failures
-            << " transport failures)\n"
+            << " DEADLINE_EXCEEDED, " << total.unavailable << " UNAVAILABLE, "
+            << total.shutting_down << " SHUTTING_DOWN, "
+            << total.transport_failures << " gave up)\n"
+            << "loadgen: retries: " << total.retried_requests
+            << " requests retried (" << total.total_retries
+            << " total, max " << total.max_retries << " per request), "
+            << total.backoff_ms << "ms in backoff, " << total.reconnects
+            << " reconnects\n"
             << "loadgen: latency ms p50=" << p50 << " p95=" << p95
             << " p99=" << p99 << "\n";
 
@@ -252,7 +524,15 @@ int main(int argc, char** argv) {
             << ", \"err\": " << total.err
             << ", \"overloaded\": " << total.overloaded
             << ", \"deadline_exceeded\": " << total.deadline_exceeded
+            << ", \"unavailable\": " << total.unavailable
+            << ", \"shutting_down\": " << total.shutting_down
             << ", \"transport_failures\": " << total.transport_failures
+            << ", \"retried_requests\": " << total.retried_requests
+            << ", \"total_retries\": " << total.total_retries
+            << ", \"max_retries\": " << total.max_retries
+            << ", \"backoff_ms_total\": " << total.backoff_ms
+            << ", \"reconnects\": " << total.reconnects
+            << ", \"acked\": " << total.acked
             << ", \"wall_seconds\": " << wall_s
             << ", \"latency_ms\": {\"p50\": " << p50 << ", \"p95\": " << p95
             << ", \"p99\": " << p99 << "}}" << std::endl;

@@ -15,9 +15,19 @@
 //   --queue=N             bounded queue capacity (default 64)
 //   --cache-bytes=N       result cache budget in bytes (default 8388608)
 //   --deadline-ms=N       default per-request deadline; 0 = none (default 0)
+//   --snapshot-dir=DIR    reload/persist session snapshots here
+//                         (docs/robustness.md); unset disables persistence
+//   --bind-retry-ms=N     keep retrying EADDRINUSE binds for N ms
+//                         (default 2000; 0 fails immediately)
+//   --faults=SPEC         install a fault plan, e.g.
+//                         seed=42,svc.send.partial=0.01 (requires a build
+//                         with ZEROONE_FAULT=ON; overrides ZEROONE_FAULTS)
 //   --metrics[=FILE]      dump the obs counter registry as JSON on exit
 //   --trace=FILE          record spans, write Chrome trace_events on exit
 //   --help                usage
+//
+// The ZEROONE_FAULTS environment variable installs a fault plan with the
+// same grammar; an explicit --faults flag wins over it.
 //
 // On startup the server prints exactly one line to stdout:
 //   listening on HOST:PORT
@@ -30,6 +40,7 @@
 #include <iostream>
 #include <string>
 
+#include "fault/fault.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "svc/server.h"
@@ -48,7 +59,9 @@ void PrintUsage(std::ostream& os) {
   os << "usage: zeroone_server [--host=ADDR] [--port=N] [--threads=N]\n"
         "                      [--queue=N] [--cache-bytes=N] "
         "[--deadline-ms=N]\n"
-        "                      [--metrics[=FILE]] [--trace=FILE]\n"
+        "                      [--snapshot-dir=DIR] [--bind-retry-ms=N]\n"
+        "                      [--faults=SPEC] [--metrics[=FILE]] "
+        "[--trace=FILE]\n"
         "Serves the zeroone wire protocol (docs/serving.md); SIGINT/SIGTERM "
         "drain gracefully.\n";
 }
@@ -74,6 +87,8 @@ int main(int argc, char** argv) {
   bool dump_metrics = false;
   std::string metrics_file;
   std::string trace_file;
+  std::string faults_spec;
+  bool have_faults_flag = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     std::uint64_t value = 0;
@@ -92,6 +107,13 @@ int main(int argc, char** argv) {
       options.cache_bytes = static_cast<std::size_t>(value);
     } else if (ParseUintFlag(arg, "--deadline-ms=", &value)) {
       options.default_deadline_ms = value;
+    } else if (arg.rfind("--snapshot-dir=", 0) == 0) {
+      options.snapshot_dir = arg.substr(15);
+    } else if (ParseUintFlag(arg, "--bind-retry-ms=", &value)) {
+      options.bind_retry_ms = value;
+    } else if (arg.rfind("--faults=", 0) == 0) {
+      faults_spec = arg.substr(9);
+      have_faults_flag = true;
     } else if (arg == "--metrics") {
       dump_metrics = true;
     } else if (arg.rfind("--metrics=", 0) == 0) {
@@ -108,6 +130,27 @@ int main(int argc, char** argv) {
   if (!trace_file.empty()) {
     zeroone::obs::TraceBuffer::Global().Enable();
   }
+#if ZEROONE_FAULT_ENABLED
+  {
+    zeroone::Status configured =
+        have_faults_flag
+            ? zeroone::fault::Registry::Global().Configure(faults_spec)
+            : zeroone::fault::Registry::Global().ConfigureFromEnv();
+    if (!configured.ok()) {
+      std::cerr << "error: bad fault spec: " << configured.message() << "\n";
+      return 1;
+    }
+    std::string plan = zeroone::fault::Registry::Global().PlanString();
+    if (!plan.empty()) {
+      std::cerr << "fault plan: " << plan << "\n";
+    }
+  }
+#else
+  if (have_faults_flag) {
+    std::cerr << "error: --faults requires a build with ZEROONE_FAULT=ON\n";
+    return 1;
+  }
+#endif
 
   zeroone::svc::Server server(options);
   g_server = &server;
@@ -132,6 +175,11 @@ int main(int argc, char** argv) {
   std::cerr << "drained: " << stats.requests_received << " requests ("
             << stats.overloaded << " overloaded, " << stats.bad_requests
             << " bad)\n";
+  if (!options.snapshot_dir.empty()) {
+    std::cerr << "snapshots: loaded " << stats.snapshots_loaded
+              << ", quarantined " << stats.snapshots_quarantined << ", saved "
+              << stats.snapshots_saved << "\n";
+  }
 
   if (!trace_file.empty()) {
     zeroone::obs::TraceBuffer::Global().Disable();
