@@ -18,9 +18,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.h"
@@ -148,6 +151,77 @@ void ReportDeadline(bench::Experiment* experiment, Server* server) {
                     "completion");
 }
 
+// Epoll scaling: 256 idle connections must cost nothing but memory. The
+// event-thread pool is fixed at Start() — it must not grow with the
+// connection count — and the serving latency of 16 active clients with 256
+// idle connections parked on the same loops must stay within 1.5x of the
+// 16-client baseline (the whole point of replacing thread-per-connection
+// readers).
+void ReportEpollScaling(bench::Experiment* experiment) {
+  ServerOptions options;
+  options.threads = 4;
+  options.queue_capacity = 256;
+  Server server(options);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "epoll-scaling server start failed: %s\n",
+                 started.message().c_str());
+    experiment->Claim(false, "epoll-scaling server starts");
+    return;
+  }
+  const std::size_t threads_at_start = server.event_threads();
+
+  // Median ping latency across 16 concurrent clients — the pure serving
+  // path (event loop + executor + wire), no evaluation cost.
+  auto active_median_ms = [&]() {
+    constexpr int kClients = 16;
+    constexpr int kRounds = 50;
+    std::vector<double> latencies;
+    std::mutex mutex;
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&] {
+        BlockingClient client;
+        if (!client.Connect("127.0.0.1", server.port()).ok()) return;
+        std::vector<double> mine;
+        for (int i = 0; i < kRounds; ++i) {
+          mine.push_back(CallMs(client, MakeRequest("ping")));
+        }
+        std::lock_guard<std::mutex> lock(mutex);
+        latencies.insert(latencies.end(), mine.begin(), mine.end());
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    std::sort(latencies.begin(), latencies.end());
+    return latencies.empty() ? 1e9 : latencies[latencies.size() / 2];
+  };
+
+  double base_ms = active_median_ms();
+
+  // Park 256 idle connections on the same event loops, then measure again.
+  std::vector<BlockingClient> idle(256);
+  std::size_t connected = 0;
+  for (BlockingClient& client : idle) {
+    connected += client.Connect("127.0.0.1", server.port()).ok();
+  }
+  double idle_ms = active_median_ms();
+  const std::size_t threads_with_idle = server.event_threads();
+
+  std::printf("epoll scaling: 16-client ping median %.3fms; with 256 idle "
+              "connections %.3fms; event threads %zu -> %zu\n",
+              base_ms, idle_ms, threads_at_start, threads_with_idle);
+  experiment->Claim(connected == idle.size() &&
+                        threads_with_idle == threads_at_start,
+                    "server holds 256 concurrent connections with a "
+                    "constant event-thread count");
+  // The +0.3ms absolute floor keeps a sub-millisecond baseline from
+  // turning scheduler jitter into a flaky ratio.
+  experiment->Claim(idle_ms <= 1.5 * base_ms + 0.3,
+                    "16 active clients serve within 1.5x of baseline with "
+                    "256 idle connections parked");
+  server.Shutdown();
+}
+
 #if ZEROONE_FAULT_ENABLED
 // Degraded mode: every request is forced through a fresh evaluation
 // (~20ms), so a retried request costs roughly one extra evaluation plus a
@@ -268,6 +342,7 @@ int main(int argc, char** argv) {
 #endif
     server.Shutdown();
   }
+  ReportEpollScaling(&experiment);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return experiment.Finish();

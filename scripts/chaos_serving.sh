@@ -17,10 +17,20 @@
 # of the kills (partial sends, dropped cache inserts, client send faults);
 # on OFF builds the SIGKILL cycle alone provides the chaos.
 #
+# The whole battery runs twice: once with the server's default epoll
+# configuration and once with --event-threads=2, so the zero-acked-loss
+# invariant is checked under an explicitly constrained event-loop pool.
+# EXTRA_SERVER_FLAGS (space-separated) is appended to every server start.
+#
 #   scripts/chaos_serving.sh [build-dir]   # default: build
 set -euo pipefail
 
 build_dir="${1:-build}"
+extra_server_flags=()
+if [[ -n "${EXTRA_SERVER_FLAGS:-}" ]]; then
+  read -r -a extra_server_flags <<<"$EXTRA_SERVER_FLAGS"
+  echo "extra server flags: ${extra_server_flags[*]}"
+fi
 server="$build_dir/tools/zeroone_server"
 loadgen="$build_dir/tools/zeroone_loadgen"
 for binary in "$server" "$loadgen"; do
@@ -71,6 +81,7 @@ start_server() {
   local out="$workdir/server.$epoch.out" err="$workdir/server.$epoch.err"
   "$server" --port="$port" --threads=4 --queue=64 \
     --snapshot-dir="$snapdir" --bind-retry-ms=5000 "${server_faults[@]}" \
+    ${extra_server_flags[@]+"${extra_server_flags[@]}"} \
     > "$out" 2> "$err" &
   server_pid=$!
   for _ in $(seq 1 100); do
@@ -173,3 +184,11 @@ server_pid=""
 
 echo "chaos_serving: PASS ($kills kills survived, $(wc -l < "$acklog")" \
      "acknowledged mutations verified, corrupt snapshot quarantined)"
+
+# Second pass: the same battery with a constrained event-loop pool, so the
+# epoll path is chaos-tested at a thread count CI machines can't vary away.
+if [[ -z "${CHAOS_SECOND_PASS:-}" ]]; then
+  echo ""
+  echo "chaos_serving: second pass with --event-threads=2"
+  CHAOS_SECOND_PASS=1 EXTRA_SERVER_FLAGS="--event-threads=2" "$0" "$build_dir"
+fi

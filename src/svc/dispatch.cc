@@ -344,6 +344,26 @@ std::string Dispatcher::CacheKey(const Request& request,
                 kKeySep, request.args, kKeySep, canonical_query);
 }
 
+Response Dispatcher::ExecuteAdmitted(
+    const Request& request, std::chrono::steady_clock::time_point admitted,
+    std::uint64_t deadline_ms) {
+  CancelToken token;
+  if (deadline_ms != 0) {
+    // The deadline clock starts at admission: time spent queued counts.
+    token.SetDeadline(admitted + std::chrono::milliseconds(deadline_ms));
+  }
+  ScopedCancelToken scoped(&token);
+  if (token.cancelled()) {
+    // Expired while queued; don't start the evaluation at all.
+    ZO_COUNTER_INC("svc.requests.deadline_exceeded");
+    return Response{WireStatus::kDeadlineExceeded, request.id,
+                    StrCat("deadline expired after ", deadline_ms,
+                           "ms in queue; '", request.command,
+                           "' not started")};
+  }
+  return Execute(request);
+}
+
 Response Dispatcher::Execute(const Request& request) {
   ZO_TRACE_SPAN("svc.execute");
   Response response;

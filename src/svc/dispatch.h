@@ -21,6 +21,7 @@
 // the partial result is discarded and a DEADLINE_EXCEEDED response is
 // returned; cancelled results are never cached.
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -50,6 +51,17 @@ class Dispatcher {
   // Executes one parsed request to completion (request-line errors are the
   // caller's concern; `request` is assumed well-formed). Thread-safe.
   Response Execute(const Request& request);
+
+  // Execute under a deadline of `deadline_ms` (0 = none) whose clock
+  // started at `admitted` — time spent queued counts against it. A request
+  // whose deadline expired while queued is answered DEADLINE_EXCEEDED
+  // without starting the evaluation; otherwise a CancelToken with the
+  // absolute deadline is installed for the call. This is the server's
+  // worker-side entry point, shared by the legacy reader and epoll models
+  // so both produce byte-identical deadline payloads.
+  Response ExecuteAdmitted(const Request& request,
+                           std::chrono::steady_clock::time_point admitted,
+                           std::uint64_t deadline_ms);
 
   // The cache key for a cacheable command at one session version:
   //   session \x1f version \x1f command \x1f args \x1f query

@@ -3,22 +3,41 @@
 
 // The long-lived TCP query server (tools/zeroone_server.cc is the binary).
 //
-// Architecture: one accept thread, one reader thread per connection, and a
-// shared BoundedExecutor worker pool. The reader parses newline-delimited
-// requests (svc/protocol.h), stamps each with its admission time, and
-// submits it to the executor; a full queue is answered OVERLOADED
-// immediately — admission control, not unbounded buffering. Workers run the
-// Dispatcher under a per-request CancelToken whose deadline is admission
-// time + @deadline_ms, so queueing time counts against the deadline.
+// Architecture (docs/serving.md has the full picture): one accept thread
+// and a small fixed pool of epoll event-loop threads (default
+// min(4, hw_concurrency)) that multiplex every accepted connection over
+// nonblocking sockets. An event thread reads into the connection's input
+// buffer, parses newline-delimited requests (svc/protocol.h), stamps each
+// with its admission time, and submits it to the shared BoundedExecutor
+// worker pool; a full queue is answered OVERLOADED immediately — admission
+// control, not unbounded buffering. Workers run the Dispatcher under a
+// per-request deadline counted from admission (Dispatcher::ExecuteAdmitted)
+// and deliver the response via a completion callback that never touches the
+// socket: frames land in the connection's bounded outbox and the owning
+// event loop is woken through its self-pipe to flush them nonblockingly.
+//
+// Backpressure: the per-connection outbox is byte-bounded
+// (ServerOptions::outbox_max_bytes). A client that stops reading makes its
+// outbox grow past the bound, at which point the connection latches broken_
+// and is shut down — a slow reader costs one buffer, never a thread, and
+// never delays other connections sharing the event loop.
 //
 // Responses on a connection are delivered in request-arrival order via a
 // per-connection reorder buffer, so clients may pipeline without matching
 // ids themselves.
 //
 // Graceful drain: BeginShutdown() (async-signal-safe trigger via Notify on
-// a self-pipe) stops the accept loop, half-closes every connection for
-// reading, and lets accepted requests finish; Wait() joins everything.
+// a self-pipe) stops the accept loop and asks every event loop — through
+// its own self-pipe, since a thread blocked in epoll_wait needs an explicit
+// wakeup — to half-close its connections for reading; accepted requests
+// finish, their responses are flushed, then Wait() joins everything.
 // Accepted work is never dropped.
+//
+// ServerOptions::legacy_readers selects the pre-epoll model (one blocking
+// reader thread per connection, inline blocking sends). It exists so the
+// differential conformance test (tests/svc_epoll_diff_test.cc) can prove
+// the two models byte-identical on the wire; new deployments should not
+// use it.
 
 #include <atomic>
 #include <cstdint>
@@ -52,6 +71,26 @@ struct ServerOptions {
   // freshly killed predecessor's socket may still be draining, and chaos
   // restarts must not flake on it. 0 = fail immediately.
   std::uint64_t bind_retry_ms = 2000;
+  // Event-loop (epoll) threads multiplexing all connections.
+  // 0 = min(4, hw_concurrency). Ignored under legacy_readers.
+  std::size_t event_threads = 0;
+  // Connection admission limit: a connect beyond this many live
+  // connections is answered OVERLOADED and closed. 0 = unlimited.
+  std::size_t max_conns = 0;
+  // Byte bound on one connection's queued-but-unsent responses. A client
+  // that stops reading trips the bound and gets disconnected instead of
+  // buffering without limit. Ignored under legacy_readers (there the
+  // blocking send timeout bounds slow readers).
+  std::size_t outbox_max_bytes = 8 * 1024 * 1024;
+  // Pre-epoll model: one blocking reader thread per connection. Kept for
+  // the differential conformance test; see the header comment.
+  bool legacy_readers = false;
+  // SO_SNDBUF for accepted sockets; 0 = kernel default. Tests shrink it so
+  // outbox backpressure trips without megabytes of traffic.
+  int so_sndbuf = 0;
+  // During drain, a connection whose outbox makes no progress for this
+  // long (peer stopped reading) is declared broken so Wait() terminates.
+  std::uint64_t drain_flush_timeout_ms = 30000;
 };
 
 class Server {
@@ -61,11 +100,16 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  // Binds, listens, and starts the accept thread. Call once.
+  // Binds, listens, and starts the accept + event-loop threads. Call once.
   Status Start();
 
   // The port actually bound (resolves port 0). Valid after Start().
   int port() const { return port_; }
+
+  // Event-loop threads serving connections (0 under legacy_readers). The
+  // count is fixed at Start() and never grows with the connection count —
+  // bench_serving asserts exactly that.
+  std::size_t event_threads() const { return loops_.size(); }
 
   // Initiates graceful drain; returns immediately. Safe to call from any
   // thread and more than once. From a signal handler, call Notify()
@@ -73,7 +117,8 @@ class Server {
   void BeginShutdown();
 
   // Blocks until the accept thread, all in-flight requests, and all
-  // connection readers have finished. Call after BeginShutdown().
+  // event-loop (or legacy reader) threads have finished. Call after
+  // BeginShutdown().
   void Wait();
 
   // Convenience: BeginShutdown() + Wait().
@@ -91,10 +136,12 @@ class Server {
 
   struct Stats {
     std::uint64_t connections_accepted = 0;
+    std::uint64_t connections_refused = 0;  // --max-conns admission limit.
     std::uint64_t requests_received = 0;
     std::uint64_t bad_requests = 0;
     std::uint64_t overloaded = 0;
     std::uint64_t shutting_down_rejects = 0;
+    std::uint64_t outbox_overflows = 0;  // Slow readers disconnected.
     std::uint64_t snapshots_loaded = 0;       // Valid snapshots on Start().
     std::uint64_t snapshots_quarantined = 0;  // Corrupt files set aside.
     std::uint64_t snapshots_saved = 0;        // Sessions saved on drain.
@@ -103,11 +150,23 @@ class Server {
 
  private:
   class Connection;
+  struct EventLoop;
 
   void AcceptLoop();
+  // Legacy model: the per-connection blocking reader thread body.
   void ServeConnection(std::shared_ptr<Connection> connection);
+  // Shared by both models: parse, admit, and submit one request line.
   void HandleLine(const std::shared_ptr<Connection>& connection,
                   std::string line);
+
+  // Epoll model.
+  void EventLoopRun(EventLoop* loop);
+  void HandleReadable(EventLoop* loop,
+                      const std::shared_ptr<Connection>& connection);
+  void FlushConnection(EventLoop* loop,
+                       const std::shared_ptr<Connection>& connection);
+  void SweepConnections(EventLoop* loop);
+  void CountOutboxOverflow();
 
   const ServerOptions options_;
   Dispatcher dispatcher_;
@@ -119,8 +178,13 @@ class Server {
   std::atomic<bool> stopping_{false};
   std::atomic<bool> started_{false};
   std::atomic<bool> saved_on_drain_{false};
+  std::atomic<std::size_t> live_connections_{0};
 
   std::thread accept_thread_;
+  std::vector<std::unique_ptr<EventLoop>> loops_;
+  std::size_t next_loop_ = 0;  // Accept thread only: round-robin assignment.
+
+  // Legacy model state.
   std::mutex connections_mutex_;
   std::vector<std::shared_ptr<Connection>> connections_;
   std::vector<std::thread> reader_threads_;

@@ -1,0 +1,254 @@
+// Fuzz smoke for the attack surfaces that parse untrusted bytes: the wire
+// protocol (ParseRequestLine / ParseResponseFrame / IsValidUtf8) and the
+// snapshot loader (DecodeSnapshot / SnapshotStore::LoadAll). Two corpora,
+// both seeded and reproducible:
+//
+//  - random bytes: uniform garbage of assorted lengths;
+//  - mutation: valid exemplars (formatted requests, formatted response
+//    frames, encoded snapshots) run through byte flips, truncations,
+//    insertions, erasures, and splices.
+//
+// The property under test is "never crash, never hang": every input is
+// either parsed or rejected with an error Status. The suite runs in ctest
+// under the ASan/UBSan CI job (tests/CMakeLists.txt registers it like any
+// other svc test), which is what turns "no crash" into "no memory error of
+// any kind". A CancelToken with a deadline is installed around the loader
+// passes so a pathological input that sent evaluation into a long loop
+// would be cut short and fail the test rather than wedge it.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/cancel.h"
+#include "common/status.h"
+#include "constraints/fd.h"
+#include "data/io.h"
+#include "query/parser.h"
+#include "svc/protocol.h"
+#include "svc/session.h"
+#include "svc/snapshot.h"
+
+namespace zeroone {
+namespace svc {
+namespace {
+
+std::string RandomBytes(std::mt19937_64& rng, std::size_t length) {
+  std::string bytes(length, '\0');
+  for (char& c : bytes) {
+    c = static_cast<char>(static_cast<std::uint8_t>(rng() & 0xff));
+  }
+  return bytes;
+}
+
+// Applies 1-4 random structural mutations to `base`.
+std::string Mutate(std::string base, std::mt19937_64& rng) {
+  int ops = 1 + static_cast<int>(rng() % 4);
+  for (int op = 0; op < ops; ++op) {
+    if (base.empty()) {
+      base = RandomBytes(rng, 1 + rng() % 16);
+      continue;
+    }
+    std::size_t at = rng() % base.size();
+    switch (rng() % 6) {
+      case 0:  // Flip one byte.
+        base[at] = static_cast<char>(static_cast<std::uint8_t>(rng() & 0xff));
+        break;
+      case 1:  // Insert random bytes.
+        base.insert(at, RandomBytes(rng, 1 + rng() % 8));
+        break;
+      case 2:  // Erase a span.
+        base.erase(at, 1 + rng() % 16);
+        break;
+      case 3:  // Truncate.
+        base.resize(at);
+        break;
+      case 4:  // Duplicate a span in place.
+        base.insert(at, base.substr(at, 1 + rng() % 32));
+        break;
+      default:  // Splice a span from elsewhere in the input.
+        base.insert(at, base.substr(rng() % base.size(), 1 + rng() % 32));
+        break;
+    }
+  }
+  return base;
+}
+
+// A populated session whose snapshot encoding exercises every section kind.
+void BuildExemplarState(SessionState* state) {
+  StatusOr<Database> db = ParseDatabase(
+      "R(2) = { (c1, _1), (c2, c3) }\nS(1) = { (c1), (_2) }");
+  ASSERT_TRUE(db.ok()) << db.status().message();
+  state->db = std::move(*db);
+  StatusOr<Query> query = ParseQuery("Q(x) := exists y . R(x, y)");
+  ASSERT_TRUE(query.ok()) << query.status().message();
+  state->query = std::move(*query);
+  state->has_query = true;
+  FunctionalDependency fd("R", 2, {0}, 1);
+  state->fds.push_back(fd);
+  state->constraints.push_back(std::make_shared<FunctionalDependency>(fd));
+  state->version = 7;
+}
+
+TEST(SvcFuzzTest, RandomBytesNeverCrashProtocolParsers) {
+  std::mt19937_64 rng(0xf005ba11);
+  for (int i = 0; i < 4000; ++i) {
+    std::size_t length = rng() % (i % 50 == 0 ? 8192 : 256);
+    std::string bytes = RandomBytes(rng, length);
+    (void)IsValidUtf8(bytes);
+    StatusOr<Request> request = ParseRequestLine(bytes);
+    if (request.ok()) {
+      // Whatever parses must round-trip through its canonical form.
+      StatusOr<Request> again =
+          ParseRequestLine(FormatRequestLine(*request));
+      ASSERT_TRUE(again.ok()) << again.status().message();
+      EXPECT_EQ(again->command, request->command);
+      EXPECT_EQ(again->args, request->args);
+    }
+    Response response;
+    (void)ParseResponseFrame(bytes, &response);
+  }
+}
+
+TEST(SvcFuzzTest, MutatedRequestLinesParseOrFailCleanly) {
+  std::mt19937_64 rng(0x5eed0001);
+  std::vector<Request> exemplars;
+  {
+    Request r;
+    r.command = "certain";
+    exemplars.push_back(r);
+    r = Request{};
+    r.command = "db";
+    r.args = "R(2) = { (c1, _1) }";
+    r.session = "alt";
+    r.id = "q-17";
+    exemplars.push_back(r);
+    r = Request{};
+    r.command = "ping";
+    r.deadline_ms = 250;
+    r.no_cache = true;
+    exemplars.push_back(r);
+    r = Request{};
+    r.command = "query";
+    r.args = "Q(x) := exists y . R(x, y)";
+    exemplars.push_back(r);
+  }
+  for (int i = 0; i < 4000; ++i) {
+    const Request& base = exemplars[rng() % exemplars.size()];
+    std::string line = Mutate(FormatRequestLine(base), rng);
+    StatusOr<Request> parsed = ParseRequestLine(line);
+    if (parsed.ok()) {
+      StatusOr<Request> again =
+          ParseRequestLine(FormatRequestLine(*parsed));
+      ASSERT_TRUE(again.ok()) << again.status().message();
+      EXPECT_EQ(again->command, parsed->command);
+      EXPECT_EQ(again->deadline_ms, parsed->deadline_ms);
+    }
+  }
+}
+
+TEST(SvcFuzzTest, MutatedResponseFramesParseIncrementally) {
+  std::mt19937_64 rng(0x5eed0002);
+  std::vector<std::string> exemplars = {
+      FormatResponse(Response{WireStatus::kOk, "0", "pong"}),
+      FormatResponse(Response{WireStatus::kErr, "id-9",
+                              "payload\nwith\nnewlines\n"}),
+      FormatResponse(Response{WireStatus::kOverloaded, "77",
+                              std::string(2048, 'x')}),
+      FormatResponse(Response{WireStatus::kDeadlineExceeded, "d", ""}),
+  };
+  for (int i = 0; i < 4000; ++i) {
+    std::string frame = Mutate(exemplars[rng() % exemplars.size()], rng);
+    // Feed in random-size chunks, as a socket would deliver it. The parser
+    // must either consume a complete frame, ask for more bytes, or reject
+    // — and must never re-read consumed input inconsistently.
+    std::string buffer;
+    std::size_t offset = 0;
+    int steps = 0;
+    while (offset < frame.size() && steps++ < 200) {
+      std::size_t take =
+          std::min<std::size_t>(1 + rng() % 64, frame.size() - offset);
+      buffer.append(frame, offset, take);
+      offset += take;
+      Response out;
+      StatusOr<std::size_t> consumed = ParseResponseFrame(buffer, &out);
+      if (!consumed.ok()) break;  // Rejected: done with this input.
+      if (*consumed > 0) buffer.erase(0, *consumed);
+    }
+  }
+}
+
+TEST(SvcFuzzTest, MutatedSnapshotsNeverCrashDecode) {
+  SessionState state;
+  BuildExemplarState(&state);
+  StatusOr<std::string> encoded = EncodeSnapshot("fuzzed", state);
+  ASSERT_TRUE(encoded.ok()) << encoded.status().message();
+  // Sanity: the unmutated exemplar decodes.
+  {
+    std::string session;
+    SessionState decoded;
+    Status ok = DecodeSnapshot(*encoded, &session, &decoded);
+    ASSERT_TRUE(ok.ok()) << ok.message();
+    EXPECT_EQ(session, "fuzzed");
+  }
+  CancelToken token;
+  token.SetDeadline(std::chrono::steady_clock::now() +
+                    std::chrono::seconds(60));
+  ScopedCancelToken scoped(&token);
+  std::mt19937_64 rng(0x5eed0003);
+  for (int i = 0; i < 3000; ++i) {
+    std::string bytes = (i % 10 == 0)
+                            ? RandomBytes(rng, rng() % 512)
+                            : Mutate(*encoded, rng);
+    std::string session;
+    SessionState decoded;
+    (void)DecodeSnapshot(bytes, &session, &decoded);
+  }
+  EXPECT_FALSE(token.cancelled()) << "snapshot decoding fuzz pass hung";
+}
+
+TEST(SvcFuzzTest, LoadAllSurvivesDirectoryOfMutatedSnapshots) {
+  SessionState state;
+  BuildExemplarState(&state);
+  StatusOr<std::string> encoded = EncodeSnapshot("fuzzed", state);
+  ASSERT_TRUE(encoded.ok()) << encoded.status().message();
+
+  std::mt19937_64 rng(0x5eed0004);
+  CancelToken token;
+  token.SetDeadline(std::chrono::steady_clock::now() +
+                    std::chrono::seconds(60));
+  ScopedCancelToken scoped(&token);
+  for (int round = 0; round < 8; ++round) {
+    std::filesystem::path dir =
+        std::filesystem::temp_directory_path() /
+        ("zo1_fuzz_load_" + std::to_string(round));
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    constexpr int kFiles = 16;
+    for (int f = 0; f < kFiles; ++f) {
+      std::string bytes = (f % 5 == 0) ? RandomBytes(rng, rng() % 1024)
+                                       : Mutate(*encoded, rng);
+      std::ofstream out(dir / ("s" + std::to_string(f) + ".zo1snap"),
+                        std::ios::binary);
+      out.write(bytes.data(),
+                static_cast<std::streamsize>(bytes.size()));
+    }
+    SnapshotStore store(dir.string());
+    SessionRegistry sessions;
+    SnapshotStore::LoadReport report = store.LoadAll(&sessions);
+    // Every file is accounted for: installed or quarantined, no third way.
+    EXPECT_EQ(report.loaded + report.quarantined,
+              static_cast<std::size_t>(kFiles));
+    std::filesystem::remove_all(dir);
+  }
+  EXPECT_FALSE(token.cancelled()) << "LoadAll fuzz pass hung";
+}
+
+}  // namespace
+}  // namespace svc
+}  // namespace zeroone

@@ -5,6 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -507,6 +512,292 @@ TEST_F(ServerTest, PipelinedResponsesArriveInOrder) {
     ASSERT_TRUE(response.ok());
     EXPECT_EQ(response->id, id);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial clients (the epoll event loop must shrug all of these off)
+
+// A raw socket for clients that misbehave below the Request abstraction:
+// dribbling bytes, half-closing mid-frame, or never reading.
+class RawSocket {
+ public:
+  ~RawSocket() { Close(); }
+
+  bool Connect(int port, int rcvbuf = 0) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    if (rcvbuf > 0) {
+      // Must be set before connect() to shrink the advertised window, so
+      // the server's unsent bytes pile up in *its* outbox, not our kernel.
+      ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    return ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr)) == 0;
+  }
+
+  bool SendRaw(std::string_view bytes) {
+    while (!bytes.empty()) {
+      ssize_t n = ::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      bytes.remove_prefix(static_cast<std::size_t>(n));
+    }
+    return true;
+  }
+
+  void ShutdownWrite() { ::shutdown(fd_, SHUT_WR); }
+
+  // Reads until EOF or error; returns everything received.
+  std::string ReadAll() {
+    std::string all;
+    char chunk[4096];
+    for (;;) {
+      ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return all;
+      all.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  int fd() const { return fd_; }
+
+  void Close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+// Slowloris: a client dribbles a request line a byte at a time. The event
+// loop must keep serving everyone else at full speed — the dribbler costs
+// an input buffer, not a thread.
+TEST_F(ServerTest, SlowlorisClientDoesNotStallOthers) {
+  ServerOptions options;
+  options.threads = 2;
+  options.event_threads = 1;  // Worst case: dribbler shares the only loop.
+  StartServer(options);
+
+  RawSocket loris;
+  ASSERT_TRUE(loris.Connect(server_->port()));
+  const std::string line = "ping\n";
+  BlockingClient other = Connect();
+  std::uint64_t worst_us = 0;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    ASSERT_TRUE(loris.SendRaw(line.substr(i, 1)));
+    // Between dribbled bytes, a well-behaved client must see normal
+    // latency on the same event loop.
+    auto begin = std::chrono::steady_clock::now();
+    StatusOr<Response> response = other.Call(MakeRequest("ping"));
+    auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+                       std::chrono::steady_clock::now() - begin)
+                       .count();
+    worst_us = std::max<std::uint64_t>(worst_us,
+                                       static_cast<std::uint64_t>(elapsed));
+    ASSERT_TRUE(response.ok()) << response.status().message();
+    EXPECT_EQ(response->status, WireStatus::kOk);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  // Once the dribbled line completes, it is answered like any other.
+  loris.ShutdownWrite();  // No more requests: the server EOFs back after.
+  std::string frame = loris.ReadAll();
+  EXPECT_NE(frame.find("ZO1 OK"), std::string::npos) << frame;
+  // Generous bound (sanitizer-friendly): pings next to a stalled reader
+  // must not take anywhere near a human-visible pause.
+  EXPECT_LT(worst_us, 500000u) << "ping latency degraded to " << worst_us
+                               << "us beside a slowloris client";
+}
+
+// Half-open: the client shuts down its write side mid-frame. The partial
+// line is never answered; the server flushes nothing, half-closes back,
+// and retires the connection instead of leaking it.
+TEST_F(ServerTest, HalfOpenConnectionMidFrameIsRetired) {
+  ServerOptions options;
+  options.threads = 2;
+  StartServer(options);
+
+  {
+    RawSocket half;
+    ASSERT_TRUE(half.Connect(server_->port()));
+    ASSERT_TRUE(half.SendRaw("cert"));  // No newline: an incomplete frame.
+    half.ShutdownWrite();
+    // EOF with a dangling partial line: no response, just EOF back.
+    EXPECT_EQ(half.ReadAll(), "");
+  }
+  {
+    // A complete request followed by SHUT_WR must still be answered: the
+    // half-close says "no more requests", not "drop my responses".
+    RawSocket half;
+    ASSERT_TRUE(half.Connect(server_->port()));
+    ASSERT_TRUE(half.SendRaw("ping\n"));
+    half.ShutdownWrite();
+    std::string frames = half.ReadAll();
+    EXPECT_NE(frames.find("ZO1 OK"), std::string::npos) << frames;
+  }
+  // The server is unscathed.
+  BlockingClient client = Connect();
+  StatusOr<Response> response = client.Call(MakeRequest("ping"));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, WireStatus::kOk);
+}
+
+// Connection churn: 500 connect/close cycles, alternating between clean
+// requests and immediate disconnects, must neither leak connections nor
+// degrade the server.
+TEST_F(ServerTest, ConnectCloseChurnLeavesServerHealthy) {
+  ServerOptions options;
+  options.threads = 2;
+  options.event_threads = 2;
+  StartServer(options);
+
+  for (int i = 0; i < 500; ++i) {
+    RawSocket churn;
+    ASSERT_TRUE(churn.Connect(server_->port())) << "cycle " << i;
+    if (i % 3 == 0) {
+      ASSERT_TRUE(churn.SendRaw("ping\n"));
+      churn.ShutdownWrite();
+      std::string frames = churn.ReadAll();
+      EXPECT_NE(frames.find("ZO1 OK"), std::string::npos) << frames;
+    }
+    churn.Close();
+  }
+  BlockingClient client = Connect();
+  StatusOr<Response> response = client.Call(MakeRequest("ping"));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, WireStatus::kOk);
+  EXPECT_GE(server_->stats().connections_accepted, 500u);
+}
+
+// A client that never reads: its responses pile up in the bounded outbox
+// until the bound trips, then the connection is torn down — and clients
+// sharing the worker pool and event loop never notice.
+TEST_F(ServerTest, NeverReadingClientTripsOutboxBoundOnly) {
+  ServerOptions options;
+  options.threads = 2;
+  options.event_threads = 1;     // The victim shares the loop with it.
+  options.outbox_max_bytes = 64 * 1024;
+  options.so_sndbuf = 8 * 1024;  // Keep kernel buffering from hiding it.
+  StartServer(options);
+
+  // ~6KiB per `show` response: enough that a few dozen unsent responses
+  // overflow a 64KiB outbox.
+  std::string big_db = "R(2) = { ";
+  for (int i = 0; i < 200; ++i) {
+    big_db += StrCat(i == 0 ? "" : ", ", "(k", i, ", v", i, ")");
+  }
+  big_db += " }";
+
+  RawSocket glutton;
+  ASSERT_TRUE(glutton.Connect(server_->port(), /*rcvbuf=*/4 * 1024));
+  ASSERT_TRUE(glutton.SendRaw(
+      FormatRequestLine(MakeRequest("db", big_db, "hoard")) + "\n"));
+  const std::string show_line =
+      FormatRequestLine(MakeRequest("show", "", "hoard")) + "\n";
+  // Pipeline `show`s without ever reading. Stop once the server has cut
+  // us off (send fails) or after a bounded volume.
+  bool cut_off = false;
+  for (int i = 0; i < 400 && !cut_off; ++i) {
+    cut_off = !glutton.SendRaw(show_line);
+  }
+  // The overflow trip is asynchronous to our sends; poll the stat.
+  for (int i = 0; i < 100 && server_->stats().outbox_overflows == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_GE(server_->stats().outbox_overflows, 1u);
+
+  // The well-behaved client is unaffected.
+  BlockingClient client = Connect();
+  StatusOr<Response> response = client.Call(MakeRequest("ping"));
+  ASSERT_TRUE(response.ok()) << response.status().message();
+  EXPECT_EQ(response->status, WireStatus::kOk);
+}
+
+// --max-conns admission control: connections beyond the cap are refused
+// with an explicit OVERLOADED frame, and capacity frees up on disconnect.
+TEST_F(ServerTest, MaxConnsRefusesExcessConnections) {
+  ServerOptions options;
+  options.threads = 2;
+  options.max_conns = 2;
+  StartServer(options);
+
+  BlockingClient a = Connect();
+  BlockingClient b = Connect();
+  ASSERT_TRUE(a.Call(MakeRequest("ping")).ok());
+  ASSERT_TRUE(b.Call(MakeRequest("ping")).ok());
+
+  RawSocket refused;
+  ASSERT_TRUE(refused.Connect(server_->port()));
+  std::string frames = refused.ReadAll();  // Server closes after refusing.
+  EXPECT_NE(frames.find("ZO1 OVERLOADED"), std::string::npos) << frames;
+  EXPECT_NE(frames.find("connection limit"), std::string::npos) << frames;
+  EXPECT_GE(server_->stats().connections_refused, 1u);
+
+  a.Close();
+  // Retired connections free capacity; retry until the sweep runs.
+  bool admitted = false;
+  for (int i = 0; i < 100 && !admitted; ++i) {
+    BlockingClient c;
+    if (c.Connect("127.0.0.1", server_->port()).ok()) {
+      StatusOr<Response> response = c.Call(MakeRequest("ping"));
+      admitted = response.ok() && response->status == WireStatus::kOk;
+    }
+    if (!admitted) std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_TRUE(admitted);
+}
+
+// Regression for the drain wakeup bugfix: threads parked in epoll_wait
+// need the self-pipe to notice BeginShutdown — with 100 idle connections
+// (no traffic, so no I/O events either), drain must complete promptly
+// rather than hang until some unrelated event arrives.
+TEST_F(ServerTest, DrainWithHundredIdleConnectionsIsFast) {
+  ServerOptions options;
+  options.threads = 2;
+  options.event_threads = 2;
+  StartServer(options);
+
+  std::vector<RawSocket> idle(100);
+  for (RawSocket& connection : idle) {
+    ASSERT_TRUE(connection.Connect(server_->port()));
+  }
+  // Let the accept/registration pipeline settle so all 100 are parked in
+  // the event loops when the drain starts.
+  for (int i = 0; i < 100 && server_->stats().connections_accepted < 100;
+       ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_GE(server_->stats().connections_accepted, 100u);
+
+  auto begin = std::chrono::steady_clock::now();
+  server_->BeginShutdown();
+  server_->Wait();
+  auto elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        std::chrono::steady_clock::now() - begin)
+                        .count();
+  EXPECT_LT(elapsed_ms, 1000) << "drain with idle connections took "
+                              << elapsed_ms << "ms";
+  // Every idle connection was half-closed: clients see clean EOF.
+  for (RawSocket& connection : idle) {
+    EXPECT_EQ(connection.ReadAll(), "");
+  }
+}
+
+// The legacy reader model stays wire-compatible (the differential test
+// proves equivalence in depth; this is the cheap always-on smoke).
+TEST_F(ServerTest, LegacyReadersStillServe) {
+  ServerOptions options;
+  options.threads = 2;
+  options.legacy_readers = true;
+  StartServer(options);
+  EXPECT_EQ(server_->event_threads(), 0u);
+  BlockingClient client = Connect();
+  Preamble(client, kFastDb);
+  StatusOr<Response> response = client.Call(MakeRequest("certain"));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->status, WireStatus::kOk);
 }
 
 }  // namespace

@@ -13,6 +13,13 @@
 //   --port=N              listen port; 0 picks an ephemeral port (default 0)
 //   --threads=N           worker threads (default 4)
 //   --queue=N             bounded queue capacity (default 64)
+//   --event-threads=N     epoll event-loop threads multiplexing all
+//                         connections; 0 = min(4, hw_concurrency)
+//                         (default 0)
+//   --max-conns=N         refuse connections beyond N live ones with
+//                         OVERLOADED; 0 = unlimited (default 0)
+//   --legacy-readers      pre-epoll model: one blocking reader thread per
+//                         connection (kept for differential testing)
 //   --cache-bytes=N       result cache budget in bytes (default 8388608)
 //   --deadline-ms=N       default per-request deadline; 0 = none (default 0)
 //   --snapshot-dir=DIR    reload/persist session snapshots here
@@ -57,7 +64,9 @@ void HandleSignal(int) {
 
 void PrintUsage(std::ostream& os) {
   os << "usage: zeroone_server [--host=ADDR] [--port=N] [--threads=N]\n"
-        "                      [--queue=N] [--cache-bytes=N] "
+        "                      [--queue=N] [--event-threads=N] "
+        "[--max-conns=N]\n"
+        "                      [--legacy-readers] [--cache-bytes=N] "
         "[--deadline-ms=N]\n"
         "                      [--snapshot-dir=DIR] [--bind-retry-ms=N]\n"
         "                      [--faults=SPEC] [--metrics[=FILE]] "
@@ -103,6 +112,12 @@ int main(int argc, char** argv) {
       options.threads = static_cast<std::size_t>(value);
     } else if (ParseUintFlag(arg, "--queue=", &value)) {
       options.queue_capacity = static_cast<std::size_t>(value);
+    } else if (ParseUintFlag(arg, "--event-threads=", &value)) {
+      options.event_threads = static_cast<std::size_t>(value);
+    } else if (ParseUintFlag(arg, "--max-conns=", &value)) {
+      options.max_conns = static_cast<std::size_t>(value);
+    } else if (arg == "--legacy-readers") {
+      options.legacy_readers = true;
     } else if (ParseUintFlag(arg, "--cache-bytes=", &value)) {
       options.cache_bytes = static_cast<std::size_t>(value);
     } else if (ParseUintFlag(arg, "--deadline-ms=", &value)) {
@@ -167,6 +182,12 @@ int main(int argc, char** argv) {
 
   std::cout << "listening on " << options.host << ":" << server.port()
             << std::endl;
+  if (options.legacy_readers) {
+    std::cerr << "reader model: legacy (one thread per connection)\n";
+  } else {
+    std::cerr << "reader model: epoll, " << server.event_threads()
+              << " event threads\n";
+  }
 
   server.WaitForShutdownRequest();
   std::cerr << "draining: finishing in-flight requests...\n";
