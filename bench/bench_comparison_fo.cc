@@ -59,7 +59,7 @@ void BM_BestAnswersFo(benchmark::State& state) {
   Query q = ParseQuery("Q(x, y) := R(x, y) & !S(y, x)").value();
   // Candidate set restricted to the relation's tuples to isolate the
   // valuation-space explosion from the candidate-space growth.
-  std::vector<Tuple> candidates(db.relation("R").tuples());
+  std::vector<Tuple> candidates = db.relation("R").Tuples();
   for (auto _ : state) {
     std::vector<Tuple> best = BestAnswersAmong(q, db, candidates);
     benchmark::DoNotOptimize(best.size());

@@ -93,7 +93,7 @@ int main() {
     db_options.null_probability = 0.35;
     db_options.seed = seed + 8200;
     Database db = GenerateRandomDatabase(db_options);
-    for (const Tuple& t : db.relation("R")) {
+    for (Relation::Row t : db.relation("R")) {
       db.mutable_relation("U").Insert({t[0]});  // Close U: Σ^naive true.
     }
     ConstraintSet constraints = {std::make_shared<InclusionDependency>(

@@ -66,9 +66,9 @@ void BM_KeySatisfiability(benchmark::State& state) {
   // chase + FK machinery rather than failing early.
   Database clean(db.schema());
   for (const auto& [name, rel] : db.relations()) {
-    for (const Tuple& t : rel) {
+    for (Relation::Row t : rel) {
       if (name == "S" && t[0].is_null()) continue;
-      clean.mutable_relation(name).Insert(t);
+      clean.mutable_relation(name).InsertRow(t.data());
     }
   }
   std::vector<UnaryKey> keys = {{"S", 2, 0}};

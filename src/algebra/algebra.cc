@@ -128,7 +128,7 @@ std::vector<Tuple> RaExpr::Evaluate(const Database& db) const {
         const zeroone::Relation& rel = db.relation(relation_name_);
         // The declared arity must match the instance.
         assert(rel.arity() == arity_ && "scan arity mismatch");
-        result.insert(rel.begin(), rel.end());
+        for (Relation::Row row : rel) result.insert(row.ToTuple());
       }
       break;
     }

@@ -37,7 +37,7 @@ bool MatchConjunction(const std::vector<DependencyAtom>& atoms,
   if (index == atoms.size()) return !visitor(*binding);
   const DependencyAtom& atom = atoms[index];
   if (!db.HasRelation(atom.relation)) return false;
-  for (const Tuple& tuple : db.relation(atom.relation)) {
+  for (Relation::Row tuple : db.relation(atom.relation)) {
     ZO_COUNTER_INC("chase.match_nodes");
     if (tuple.arity() != atom.terms.size()) continue;
     std::vector<std::size_t> newly_bound;
@@ -251,13 +251,15 @@ namespace {
 void ReplaceValue(Value from, Value to, Database* db) {
   Database replaced(db->schema());
   for (const auto& [name, rel] : db->relations()) {
-    Relation& out = replaced.mutable_relation(name);
-    for (const Tuple& tuple : rel) {
-      std::vector<Value> values;
-      values.reserve(tuple.arity());
-      for (Value v : tuple) values.push_back(v == from ? to : v);
-      out.Insert(Tuple(std::move(values)));
+    Relation::Builder out(name, rel.arity());
+    std::vector<Value> values(rel.arity());
+    for (Relation::Row tuple : rel) {
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        values[i] = tuple[i] == from ? to : tuple[i];
+      }
+      out.AddRow(values.data());
     }
+    replaced.mutable_relation(name) = std::move(out).Build();
   }
   *db = std::move(replaced);
 }

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdint>
+#include <optional>
+#include <utility>
 
 #include "common/cancel.h"
 #include "fault/fault.h"
@@ -68,18 +71,65 @@ void ReplaceEverywhere(Value from, Value to, Database* db,
                        std::map<Value, Value>* mapping) {
   Database replaced(db->schema());
   for (const auto& [name, rel] : db->relations()) {
-    Relation& out = replaced.mutable_relation(name);
-    for (const Tuple& tuple : rel) {
-      std::vector<Value> values;
-      values.reserve(tuple.arity());
-      for (Value v : tuple) values.push_back(v == from ? to : v);
-      out.Insert(Tuple(std::move(values)));
+    Relation::Builder out(name, rel.arity());
+    std::vector<Value> values(rel.arity());
+    for (Relation::Row tuple : rel) {
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        values[i] = tuple[i] == from ? to : tuple[i];
+      }
+      out.AddRow(values.data());
     }
+    replaced.mutable_relation(name) = std::move(out).Build();
   }
   *db = std::move(replaced);
   for (auto& [original, current] : *mapping) {
     if (current == from) current = to;
   }
+}
+
+// The first violating pair of `fd` in `rel`, as sorted positions (i, j),
+// i < j, or nullopt when the FD holds. In indexed mode the inner loop
+// probes the LHS-column index for rows agreeing with row i; probe spans
+// ascend in sorted order, so the pair found is exactly the one the full
+// nested scan finds — the chase stays byte-for-byte deterministic.
+std::optional<std::pair<std::size_t, std::size_t>> FindViolation(
+    const Relation& rel, const FunctionalDependency& fd) {
+  std::vector<std::size_t> lhs_sorted(fd.lhs());
+  std::sort(lhs_sorted.begin(), lhs_sorted.end());
+  lhs_sorted.erase(std::unique(lhs_sorted.begin(), lhs_sorted.end()),
+                   lhs_sorted.end());
+  const bool indexed = storage_mode() == StorageMode::kIndexed &&
+                       !lhs_sorted.empty() &&
+                       rel.arity() <= Relation::kMaxIndexedColumns;
+  const Relation::Mask mask =
+      indexed ? Relation::MaskOfColumns(lhs_sorted) : 0;
+  std::vector<Value> key(lhs_sorted.size());
+  for (std::size_t i = 0; i < rel.size(); ++i) {
+    Relation::Row t1 = rel.row(i);
+    if (indexed) {
+      for (std::size_t k = 0; k < lhs_sorted.size(); ++k) {
+        key[k] = t1[lhs_sorted[k]];
+      }
+      for (std::uint32_t j : rel.Probe(mask, key)) {
+        if (j <= i) continue;
+        if (rel.row(j)[fd.rhs()] != t1[fd.rhs()]) return std::pair{i, std::size_t{j}};
+      }
+    } else {
+      for (std::size_t j = i + 1; j < rel.size(); ++j) {
+        Relation::Row t2 = rel.row(j);
+        bool lhs_agree = true;
+        for (std::size_t p : fd.lhs()) {
+          if (t1[p] != t2[p]) {
+            lhs_agree = false;
+            break;
+          }
+        }
+        if (!lhs_agree) continue;
+        if (t2[fd.rhs()] != t1[fd.rhs()]) return std::pair{i, j};
+      }
+    }
+  }
+  return std::nullopt;
 }
 
 }  // namespace
@@ -112,51 +162,39 @@ ChaseResult ChaseFds(const std::vector<FunctionalDependency>& fds,
     }
     changed = false;
     for (const FunctionalDependency& fd : fds) {
-      // A repair rebuilds result.database, dangling `rel` (and t1/t2), so
-      // once `changed` is set nothing below may touch them: restart the
-      // scan with fresh references, and test `!changed` *before* rel.size()
-      // in the loop conditions.
-      if (changed) break;
       if (!result.database.HasRelation(fd.relation())) continue;
       const Relation& rel = result.database.relation(fd.relation());
-      // Find a violating pair.
-      for (std::size_t i = 0; !changed && i < rel.size(); ++i) {
-        for (std::size_t j = i + 1; !changed && j < rel.size(); ++j) {
-          const Tuple& t1 = rel.tuples()[i];
-          const Tuple& t2 = rel.tuples()[j];
-          bool lhs_agree = true;
-          for (std::size_t p : fd.lhs()) {
-            if (t1[p] != t2[p]) {
-              lhs_agree = false;
-              break;
-            }
-          }
-          if (!lhs_agree) continue;
-          Value a = t1[fd.rhs()];
-          Value b = t2[fd.rhs()];
-          if (a == b) continue;
-          // A violation: resolve per the three chase cases.
-          if (a.is_null() && b.is_constant()) {
-            ZO_COUNTER_INC("chase.fd_repairs");
-            ReplaceEverywhere(a, b, &result.database, &result.null_mapping);
-          } else if (b.is_null() && a.is_constant()) {
-            ZO_COUNTER_INC("chase.fd_repairs");
-            ReplaceEverywhere(b, a, &result.database, &result.null_mapping);
-          } else if (a.is_null() && b.is_null()) {
-            ZO_COUNTER_INC("chase.fd_repairs");
-            ReplaceEverywhere(b, a, &result.database, &result.null_mapping);
-          } else {
-            result.success = false;
-            result.failure_reason = "chase failure on " + fd.ToString() +
-                                    ": tuples " + t1.ToString() + " and " +
-                                    t2.ToString() +
-                                    " force distinct constants " +
-                                    a.ToString() + " = " + b.ToString();
-            return result;
-          }
-          changed = true;
-        }
+      std::optional<std::pair<std::size_t, std::size_t>> violation =
+          FindViolation(rel, fd);
+      if (!violation) continue;
+      // A repair rebuilds result.database, dangling `rel` (and t1/t2), so
+      // resolve this one violation, then restart the scan with fresh
+      // references: nothing below the repair may touch them.
+      Relation::Row t1 = rel.row(violation->first);
+      Relation::Row t2 = rel.row(violation->second);
+      Value a = t1[fd.rhs()];
+      Value b = t2[fd.rhs()];
+      // Resolve per the three chase cases.
+      if (a.is_null() && b.is_constant()) {
+        ZO_COUNTER_INC("chase.fd_repairs");
+        ReplaceEverywhere(a, b, &result.database, &result.null_mapping);
+      } else if (b.is_null() && a.is_constant()) {
+        ZO_COUNTER_INC("chase.fd_repairs");
+        ReplaceEverywhere(b, a, &result.database, &result.null_mapping);
+      } else if (a.is_null() && b.is_null()) {
+        ZO_COUNTER_INC("chase.fd_repairs");
+        ReplaceEverywhere(b, a, &result.database, &result.null_mapping);
+      } else {
+        result.success = false;
+        result.failure_reason = "chase failure on " + fd.ToString() +
+                                ": tuples " + t1.ToString() + " and " +
+                                t2.ToString() +
+                                " force distinct constants " +
+                                a.ToString() + " = " + b.ToString();
+        return result;
       }
+      changed = true;
+      break;
     }
   }
   result.success = true;

@@ -24,7 +24,7 @@ std::set<Value> ColumnConstants(const Database& db, const std::string& name,
                                 std::size_t position) {
   std::set<Value> out;
   if (!db.HasRelation(name)) return out;
-  for (const Tuple& tuple : db.relation(name)) {
+  for (Relation::Row tuple : db.relation(name)) {
     if (tuple[position].is_constant()) out.insert(tuple[position]);
   }
   return out;
@@ -52,7 +52,7 @@ StatusOr<KeySatisfiability> CheckKeySatisfiability(
   // Step 1: key columns null-free.
   for (const UnaryKey& key : keys) {
     if (!db.HasRelation(key.relation)) continue;
-    for (const Tuple& tuple : db.relation(key.relation)) {
+    for (Relation::Row tuple : db.relation(key.relation)) {
       if (tuple[key.position].is_null()) {
         result.satisfiable = false;
         result.reason = key.ToString() + " has a null in tuple " +
@@ -91,7 +91,7 @@ StatusOr<KeySatisfiability> CheckKeySatisfiability(
     if (!chased.HasRelation(fk.from_relation)) continue;
     std::set<Value> target =
         ColumnConstants(chased, fk.to_relation, fk.to_position);
-    for (const Tuple& tuple : chased.relation(fk.from_relation)) {
+    for (Relation::Row tuple : chased.relation(fk.from_relation)) {
       Value v = tuple[fk.from_position];
       if (v.is_constant()) {
         if (target.count(v) == 0) {
@@ -135,7 +135,7 @@ bool KeysHold(const std::vector<UnaryKey>& keys,
   for (const UnaryKey& key : keys) {
     if (!db.HasRelation(key.relation)) continue;
     std::set<Value> seen;
-    for (const Tuple& tuple : db.relation(key.relation)) {
+    for (Relation::Row tuple : db.relation(key.relation)) {
       Value v = tuple[key.position];
       if (v.is_null()) return false;
       if (!seen.insert(v).second) return false;  // Duplicate key value.
@@ -145,7 +145,7 @@ bool KeysHold(const std::vector<UnaryKey>& keys,
     if (!db.HasRelation(fk.from_relation)) continue;
     std::set<Value> target =
         ColumnConstants(db, fk.to_relation, fk.to_position);
-    for (const Tuple& tuple : db.relation(fk.from_relation)) {
+    for (Relation::Row tuple : db.relation(fk.from_relation)) {
       Value v = tuple[fk.from_position];
       if (v.is_null() || target.count(v) == 0) return false;
     }

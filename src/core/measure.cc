@@ -1,5 +1,6 @@
 #include "core/measure.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "common/cancel.h"
@@ -39,6 +40,10 @@ namespace {
 struct BoundedSearch {
   SupportInstance instance;
   std::vector<Value> domain;
+  // adom(D) of the unvaluated database, computed once per search; each
+  // valuated membership check derives its quantification domain from this
+  // instead of rescanning v(D).
+  std::vector<Value> base_adom;
 };
 
 BoundedSearch MakeBoundedSearch(const Query& query, const Database& db,
@@ -48,20 +53,38 @@ BoundedSearch MakeBoundedSearch(const Query& query, const Database& db,
   std::size_t range_size =
       search.instance.prefix.size() + search.instance.nulls.size();
   search.domain = MakeConstantEnumeration(search.instance.prefix, range_size);
+  search.base_adom = db.ActiveDomain();
   return search;
 }
 
+// adom(v(D)) as the image of a precomputed adom(D): every value of v(D) is
+// the image of a value of D, so sorting + deduplicating the image yields
+// exactly what v.Apply(db).ActiveDomain() would rescan the database for
+// (constants precede nulls in the Value order, matching ActiveDomain).
+std::vector<Value> ValuatedDomain(const Valuation& v,
+                                  const std::vector<Value>& base_adom) {
+  std::vector<Value> domain;
+  domain.reserve(base_adom.size());
+  for (Value x : base_adom) domain.push_back(v.Apply(x));
+  std::sort(domain.begin(), domain.end());
+  domain.erase(std::unique(domain.begin(), domain.end()), domain.end());
+  return domain;
+}
+
 bool Witnesses(const SupportInstance& instance, const Valuation& v,
-               const Database& db, bool formula_has_nulls) {
+               const Database& db, const std::vector<Value>& base_adom,
+               bool formula_has_nulls) {
   Database valuated = v.Apply(db);
   Tuple valuated_tuple = v.Apply(instance.tuple);
+  std::vector<Value> domain = ValuatedDomain(v, base_adom);
   if (!formula_has_nulls) {
-    return EvaluateMembership(instance.query, valuated, valuated_tuple);
+    return EvaluateMembership(instance.query, valuated, valuated_tuple,
+                              domain);
   }
   Query substituted(instance.query.name(), instance.query.free_variables(),
                     ApplyValuationToFormula(instance.query.formula(), v),
                     instance.query.variable_names());
-  return EvaluateMembership(substituted, valuated, valuated_tuple);
+  return EvaluateMembership(substituted, valuated, valuated_tuple, domain);
 }
 
 }  // namespace
@@ -73,7 +96,8 @@ bool IsCertainAnswer(const Query& query, const Database& db,
   // Certain iff no valuation in the bounded space fails to witness.
   return ForEachValuationUntil(
       search.instance.nulls, search.domain, [&](const Valuation& v) {
-        return Witnesses(search.instance, v, db, formula_has_nulls);
+        return Witnesses(search.instance, v, db, search.base_adom,
+                         formula_has_nulls);
       });
 }
 
@@ -84,7 +108,8 @@ bool IsPossibleAnswer(const Query& query, const Database& db,
   // Possible iff some valuation witnesses; stop at the first.
   return !ForEachValuationUntil(
       search.instance.nulls, search.domain, [&](const Valuation& v) {
-        return !Witnesses(search.instance, v, db, formula_has_nulls);
+        return !Witnesses(search.instance, v, db, search.base_adom,
+                          formula_has_nulls);
       });
 }
 

@@ -170,16 +170,16 @@ Database RenameConstants(const Database& db,
                          const std::map<Value, Value>& renaming) {
   Database result(db.schema());
   for (const auto& [name, rel] : db.relations()) {
-    Relation& out = result.mutable_relation(name);
-    for (const Tuple& tuple : rel) {
-      std::vector<Value> values;
-      values.reserve(tuple.arity());
-      for (Value v : tuple) {
-        auto it = renaming.find(v);
-        values.push_back(it == renaming.end() ? v : it->second);
+    Relation::Builder out(name, rel.arity());
+    std::vector<Value> values(rel.arity());
+    for (Relation::Row tuple : rel) {
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        auto it = renaming.find(tuple[i]);
+        values[i] = it == renaming.end() ? tuple[i] : it->second;
       }
-      out.Insert(Tuple(std::move(values)));
+      out.AddRow(values.data());
     }
+    result.mutable_relation(name) = std::move(out).Build();
   }
   return result;
 }

@@ -50,8 +50,9 @@ TruthValue AtomTv(const Formula& atom, const Database& db,
   values.reserve(atom.terms().size());
   for (const Term& t : atom.terms()) values.push_back(ResolveTerm(t, env));
   const Relation& relation = db.relation(atom.relation_name());
-  if (relation.Contains(Tuple(values))) return TruthValue::kTrue;
-  for (const Tuple& candidate : relation) {
+  assert(values.size() == relation.arity() && "atom arity mismatch");
+  if (relation.Contains(values.data())) return TruthValue::kTrue;
+  for (Relation::Row candidate : relation) {
     bool possibly_equal = true;
     for (std::size_t i = 0; i < values.size() && possibly_equal; ++i) {
       possibly_equal = EqualsTv(values[i], candidate[i]) !=

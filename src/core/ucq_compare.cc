@@ -154,7 +154,8 @@ Valuation MostGeneralValuation(Unifier* unifier,
 
 // Collects the nulls currently in the unifier's domain that came from the
 // matched tuples and ā (i.e. the domain of v′).
-void CollectNulls(const Tuple& tuple, std::vector<Value>* nulls) {
+template <typename Values>
+void CollectNulls(const Values& tuple, std::vector<Value>* nulls) {
   for (Value v : tuple) {
     if (v.is_null()) {
       bool seen = false;
@@ -180,7 +181,7 @@ bool MatchAtoms(const SeparationContext& context,
   const CQAtom& atom = clause.atoms[atom_index];
   if (!context.db->HasRelation(atom.relation)) return false;
   const Relation& relation = context.db->relation(atom.relation);
-  for (const Tuple& tuple : relation) {
+  for (Relation::Row tuple : relation) {
     if (tuple.arity() != atom.terms.size()) continue;
     std::size_t mark = unifier->Mark();
     std::size_t nulls_before = domain_nulls->size();

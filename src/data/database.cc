@@ -75,7 +75,7 @@ std::vector<Value> CollectValues(const Database& db,
   std::set<Value> seen;
   std::vector<Value> result;
   for (const auto& [name, rel] : db.relations()) {
-    for (const Tuple& tuple : rel) {
+    for (Relation::Row tuple : rel) {
       for (Value v : tuple) {
         if (v.kind() != kind_filter) continue;
         if (seen.insert(v).second) result.push_back(v);

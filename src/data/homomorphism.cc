@@ -1,5 +1,7 @@
 #include "data/homomorphism.h"
 
+#include <algorithm>
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -12,71 +14,174 @@ namespace {
 
 // One tuple of `from` viewed as a pattern to embed into `to`.
 struct PatternTuple {
-  const std::string* relation;
-  const Tuple* tuple;
+  const Relation* target;  // The same-name relation in `to`, if any.
+  Relation::Row row;
 };
 
-std::vector<PatternTuple> PatternsOf(const Database& db) {
+std::vector<PatternTuple> PatternsOf(const Database& from,
+                                     const Database& to) {
   std::vector<PatternTuple> patterns;
-  for (const auto& [name, rel] : db.relations()) {
-    for (const Tuple& t : rel) {
-      patterns.push_back(PatternTuple{&name, &t});
+  for (const auto& [name, rel] : from.relations()) {
+    const Relation* target =
+        to.HasRelation(name) ? &to.relation(name) : nullptr;
+    for (std::size_t i = 0; i < rel.size(); ++i) {
+      patterns.push_back(PatternTuple{target, rel.row(i)});
     }
   }
   return patterns;
 }
 
-// Backtracking embedding of the patterns into `to`, extending `mapping` on
-// nulls (constants must match exactly). Calls `on_match` per complete
-// homomorphism; on_match returning false stops the search (returns true).
-bool Search(const std::vector<PatternTuple>& patterns, std::size_t index,
-            const Database& to, std::map<Value, Value>* mapping,
-            const std::function<bool(const std::map<Value, Value>&)>& on_match) {
-  if (index == patterns.size()) return !on_match(*mapping);
-  const PatternTuple& pattern = patterns[index];
-  if (!to.HasRelation(*pattern.relation)) return false;
-  for (const Tuple& candidate : to.relation(*pattern.relation)) {
+// Backtracking embedding of the tuples of `from` into `to`, extending a
+// null mapping (constants must match exactly). The mapping is a flat array
+// keyed by null id — nulls are densely interned, so this replaces the
+// historical std::map<Value, Value> with O(1) unordered lookups.
+//
+// In indexed mode, patterns are chosen most-constrained-first (most columns
+// already fixed by constants or bound nulls) and candidates come from a
+// hash probe on those columns. In scan mode the search replays the
+// historical algorithm exactly: static pattern order, full candidate scans.
+class Searcher {
+ public:
+  using MatchFn = std::function<bool(const std::map<Value, Value>&)>;
+
+  Searcher(const Database& from, const Database& to, const MatchFn& on_match)
+      : patterns_(PatternsOf(from, to)),
+        used_(patterns_.size(), 0),
+        from_nulls_(from.Nulls()),
+        on_match_(on_match),
+        indexed_(storage_mode() == StorageMode::kIndexed) {
+    std::uint32_t slots = 0;
+    for (Value null : from_nulls_) slots = std::max(slots, null.id() + 1);
+    bound_.assign(slots, 0);
+    image_.resize(slots);
+  }
+
+  // Runs the search; calls on_match per complete homomorphism. on_match
+  // returning false stops the search; Run then returns true.
+  bool Run() { return SearchStep(0); }
+
+ private:
+  bool Bound(Value null) const { return bound_[null.id()] != 0; }
+
+  // The unused pattern with the most columns already fixed (constants or
+  // bound nulls); ties break toward the original order.
+  std::size_t PickMostConstrained() const {
+    std::size_t best = patterns_.size();
+    std::size_t best_fixed = 0;
+    for (std::size_t p = 0; p < patterns_.size(); ++p) {
+      if (used_[p]) continue;
+      std::size_t fixed = 0;
+      for (Value v : patterns_[p].row) {
+        if (v.is_constant() || Bound(v)) ++fixed;
+      }
+      if (best == patterns_.size() || fixed > best_fixed) {
+        best = p;
+        best_fixed = fixed;
+      }
+    }
+    return best;
+  }
+
+  // Tries one candidate row for `pattern`; recurses on success. Returns
+  // true iff the whole search should stop.
+  bool TryCandidate(const PatternTuple& pattern, Relation::Row candidate,
+                    std::size_t depth) {
     ZO_COUNTER_INC("homomorphism.search_nodes");
-    if (candidate.arity() != pattern.tuple->arity()) continue;
     std::vector<Value> newly_bound;
     bool ok = true;
     for (std::size_t i = 0; i < candidate.arity() && ok; ++i) {
-      Value v = (*pattern.tuple)[i];
+      Value v = pattern.row[i];
       if (v.is_constant()) {
         ok = v == candidate[i];
         continue;
       }
-      auto it = mapping->find(v);
-      if (it != mapping->end()) {
-        ok = it->second == candidate[i];
+      if (Bound(v)) {
+        ok = image_[v.id()] == candidate[i];
       } else {
-        mapping->emplace(v, candidate[i]);
+        bound_[v.id()] = 1;
+        image_[v.id()] = candidate[i];
         newly_bound.push_back(v);
       }
     }
-    if (ok && Search(patterns, index + 1, to, mapping, on_match)) {
-      for (Value v : newly_bound) mapping->erase(v);
-      return true;
-    }
-    for (Value v : newly_bound) mapping->erase(v);
+    bool stop = ok && SearchStep(depth + 1);
+    for (Value v : newly_bound) bound_[v.id()] = 0;
+    return stop;
   }
-  return false;
-}
+
+  bool SearchStep(std::size_t depth) {
+    if (depth == patterns_.size()) {
+      std::map<Value, Value> mapping;
+      for (Value null : from_nulls_) {
+        if (Bound(null)) mapping.emplace(null, image_[null.id()]);
+      }
+      return !on_match_(mapping);
+    }
+    std::size_t p = indexed_ ? PickMostConstrained() : depth;
+    const PatternTuple& pattern = patterns_[p];
+    if (pattern.target == nullptr) return false;
+    const Relation& target = *pattern.target;
+    if (target.arity() != pattern.row.arity()) return false;
+
+    used_[p] = 1;
+    bool stop = false;
+    Relation::Mask mask = 0;
+    std::vector<Value> key;
+    if (indexed_ && target.arity() > 0 &&
+        target.arity() <= Relation::kMaxIndexedColumns) {
+      for (std::size_t i = 0; i < pattern.row.arity(); ++i) {
+        Value v = pattern.row[i];
+        if (v.is_constant()) {
+          mask |= Relation::Mask{1} << i;
+          key.push_back(v);
+        } else if (Bound(v)) {
+          mask |= Relation::Mask{1} << i;
+          key.push_back(image_[v.id()]);
+        }
+      }
+    }
+    if (mask != 0) {
+      for (std::uint32_t pos : target.Probe(mask, key)) {
+        if (TryCandidate(pattern, target.row(pos), depth)) {
+          stop = true;
+          break;
+        }
+      }
+    } else {
+      for (std::size_t pos = 0; pos < target.size(); ++pos) {
+        if (TryCandidate(pattern, target.row(pos), depth)) {
+          stop = true;
+          break;
+        }
+      }
+    }
+    used_[p] = 0;
+    return stop;
+  }
+
+  const std::vector<PatternTuple> patterns_;
+  std::vector<char> used_;
+  const std::vector<Value> from_nulls_;
+  const MatchFn& on_match_;
+  const bool indexed_;
+  // Flat mapping keyed by null id: image_[id] is meaningful iff bound_[id].
+  std::vector<char> bound_;
+  std::vector<Value> image_;
+};
 
 Database ApplyMapping(const Database& db,
                       const std::map<Value, Value>& mapping) {
   Database image(db.schema());
   for (const auto& [name, rel] : db.relations()) {
-    Relation& out = image.mutable_relation(name);
-    for (const Tuple& tuple : rel) {
-      std::vector<Value> values;
-      values.reserve(tuple.arity());
-      for (Value v : tuple) {
-        auto it = mapping.find(v);
-        values.push_back(it == mapping.end() ? v : it->second);
+    Relation::Builder out(name, rel.arity());
+    std::vector<Value> values(rel.arity());
+    for (Relation::Row tuple : rel) {
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        auto it = mapping.find(tuple[i]);
+        values[i] = it == mapping.end() ? tuple[i] : it->second;
       }
-      out.Insert(Tuple(std::move(values)));
+      out.AddRow(values.data());
     }
+    image.mutable_relation(name) = std::move(out).Build();
   }
   return image;
 }
@@ -87,14 +192,12 @@ std::optional<std::map<Value, Value>> FindHomomorphism(const Database& from,
                                                        const Database& to) {
   ZO_TRACE_SPAN("FindHomomorphism");
   ZO_COUNTER_INC("homomorphism.searches");
-  std::vector<PatternTuple> patterns = PatternsOf(from);
-  std::map<Value, Value> mapping;
   std::optional<std::map<Value, Value>> found;
-  Search(patterns, 0, to, &mapping,
-         [&](const std::map<Value, Value>& h) {
-           found = h;
-           return false;  // First homomorphism suffices.
-         });
+  Searcher::MatchFn on_match = [&](const std::map<Value, Value>& h) {
+    found = h;
+    return false;  // First homomorphism suffices.
+  };
+  Searcher(from, to, on_match).Run();
   return found;
 }
 
@@ -111,19 +214,17 @@ Database ComputeCore(const Database& db) {
     reduced = false;
     ZO_COUNTER_INC("homomorphism.core_folding_rounds");
     // Search for an endomorphism whose image is a proper sub-instance.
-    std::vector<PatternTuple> patterns = PatternsOf(current);
-    std::map<Value, Value> mapping;
     Database smaller;
-    Search(patterns, 0, current, &mapping,
-           [&](const std::map<Value, Value>& h) {
-             Database image = ApplyMapping(current, h);
-             if (image != current) {
-               smaller = std::move(image);
-               reduced = true;
-               return false;  // Stop: fold and restart.
-             }
-             return true;  // An automorphism; keep searching.
-           });
+    Searcher::MatchFn on_match = [&](const std::map<Value, Value>& h) {
+      Database image = ApplyMapping(current, h);
+      if (image != current) {
+        smaller = std::move(image);
+        reduced = true;
+        return false;  // Stop: fold and restart.
+      }
+      return true;  // An automorphism; keep searching.
+    };
+    Searcher(current, current, on_match).Run();
     if (reduced) current = std::move(smaller);
   }
   return current;

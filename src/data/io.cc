@@ -149,6 +149,9 @@ StatusOr<Database> ParseDatabase(std::string_view text) {
     }
     Relation& relation = db.AddRelation(name, arity);
     if (scanner.Peek() != '}') {
+      // Collect the whole block and bulk-insert it: one sort + dedup
+      // instead of a per-tuple O(n) sorted insert.
+      std::vector<Tuple> batch;
       while (true) {
         ZO_ASSIGN_OR_RETURN(Tuple tuple, scanner.ParseTupleBody());
         if (tuple.arity() != arity) {
@@ -156,10 +159,11 @@ StatusOr<Database> ParseDatabase(std::string_view text) {
                                tuple.ToString(), " has arity ",
                                tuple.arity(), ", expected ", arity);
         }
-        relation.Insert(tuple);
+        batch.push_back(std::move(tuple));
         if (scanner.Consume(',')) continue;
         break;
       }
+      relation.InsertBatch(batch);
     }
     if (!scanner.Consume('}')) {
       return Status::Error("database parse error: expected '}'");
@@ -200,7 +204,7 @@ std::string FormatDatabase(const Database& db) {
   for (const auto& [name, relation] : db.relations()) {
     out += name + "(" + std::to_string(relation.arity()) + ") = {";
     bool first = true;
-    for (const Tuple& tuple : relation) {
+    for (Relation::Row tuple : relation) {
       if (!first) out += ",";
       first = false;
       out += " (";

@@ -19,7 +19,7 @@ std::map<Value, Signature> SignaturesOf(const Database& db) {
   std::map<Value, std::map<std::pair<std::string, std::size_t>, std::size_t>>
       raw;
   for (const auto& [name, rel] : db.relations()) {
-    for (const Tuple& tuple : rel) {
+    for (Relation::Row tuple : rel) {
       for (std::size_t i = 0; i < tuple.arity(); ++i) {
         if (tuple[i].is_null()) {
           ++raw[tuple[i]][{name, i}];
@@ -42,16 +42,16 @@ std::map<Value, Signature> SignaturesOf(const Database& db) {
 Database RenameNulls(const Database& db, const std::map<Value, Value>& map) {
   Database result(db.schema());
   for (const auto& [name, rel] : db.relations()) {
-    Relation& out = result.mutable_relation(name);
-    for (const Tuple& tuple : rel) {
-      std::vector<Value> values;
-      values.reserve(tuple.arity());
-      for (Value v : tuple) {
-        auto it = map.find(v);
-        values.push_back(it == map.end() ? v : it->second);
+    Relation::Builder out(name, rel.arity());
+    std::vector<Value> values(rel.arity());
+    for (Relation::Row tuple : rel) {
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        auto it = map.find(tuple[i]);
+        values[i] = it == map.end() ? tuple[i] : it->second;
       }
-      out.Insert(Tuple(std::move(values)));
+      out.AddRow(values.data());
     }
+    result.mutable_relation(name) = std::move(out).Build();
   }
   return result;
 }
@@ -117,7 +117,7 @@ bool AreIsomorphic(const Database& a, const Database& b) {
 bool HasOnlyCoddNulls(const Database& db) {
   std::set<Value> seen;
   for (const auto& [name, rel] : db.relations()) {
-    for (const Tuple& tuple : rel) {
+    for (Relation::Row tuple : rel) {
       for (Value v : tuple) {
         if (!v.is_null()) continue;
         if (!seen.insert(v).second) return false;
@@ -130,15 +130,15 @@ bool HasOnlyCoddNulls(const Database& db) {
 Database CoddWeakening(const Database& db) {
   Database result(db.schema());
   for (const auto& [name, rel] : db.relations()) {
-    Relation& out = result.mutable_relation(name);
-    for (const Tuple& tuple : rel) {
-      std::vector<Value> values;
-      values.reserve(tuple.arity());
-      for (Value v : tuple) {
-        values.push_back(v.is_null() ? Value::FreshNull() : v);
+    Relation::Builder out(name, rel.arity());
+    std::vector<Value> values(rel.arity());
+    for (Relation::Row tuple : rel) {
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        values[i] = tuple[i].is_null() ? Value::FreshNull() : tuple[i];
       }
-      out.Insert(Tuple(std::move(values)));
+      out.AddRow(values.data());
     }
+    result.mutable_relation(name) = std::move(out).Build();
   }
   return result;
 }

@@ -42,8 +42,15 @@ Tuple Valuation::Apply(const Tuple& tuple) const {
 Database Valuation::Apply(const Database& db) const {
   Database result(db.schema());
   for (const auto& [name, rel] : db.relations()) {
-    Relation& out = result.mutable_relation(name);
-    for (const Tuple& tuple : rel) out.Insert(Apply(tuple));
+    Relation::Builder out(name, rel.arity());
+    std::vector<Value> values(rel.arity());
+    for (Relation::Row tuple : rel) {
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        values[i] = Apply(tuple[i]);
+      }
+      out.AddRow(values.data());
+    }
+    result.mutable_relation(name) = std::move(out).Build();
   }
   return result;
 }

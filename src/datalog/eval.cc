@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdint>
 #include <map>
 #include <optional>
 #include <set>
@@ -32,7 +33,7 @@ std::size_t RuleVariableCount(const DatalogRule& rule) {
 // Tries to match `atom` against `tuple`, extending the binding; returns the
 // variables newly bound (for rollback), or nullopt on mismatch.
 std::optional<std::vector<std::size_t>> MatchAtom(const DatalogAtom& atom,
-                                                  const Tuple& tuple,
+                                                  Relation::Row tuple,
                                                   Binding* binding) {
   if (atom.terms.size() != tuple.arity()) return std::nullopt;
   std::vector<std::size_t> newly_bound;
@@ -75,19 +76,50 @@ Tuple Instantiate(const DatalogAtom& atom, const Binding& binding) {
 }
 
 // Relation lookup that treats missing relations as empty.
-const std::vector<Tuple>& TuplesOf(const Database& db,
-                                   const std::string& predicate) {
-  static const std::vector<Tuple>& kEmpty = *new std::vector<Tuple>();
+const Relation& RelationOf(const Database& db, const std::string& predicate) {
+  static const Relation kEmpty;
   if (!db.HasRelation(predicate)) return kEmpty;
-  return db.relation(predicate).tuples();
+  return db.relation(predicate);
+}
+
+// Iterates the rows of `rel` that can match `atom` under `binding`. In
+// indexed mode, columns already fixed by constant terms or bound variables
+// become a hash probe; the scan path visits every row (the historical
+// behavior, kept for ZEROONE_STORAGE=scan differential runs). Either way
+// MatchAtom re-verifies each candidate, so the two paths see identical
+// match sets.
+template <typename Fn>
+void ForEachCandidate(const Relation& rel, const DatalogAtom& atom,
+                      const Binding& binding, Fn&& fn) {
+  if (storage_mode() == StorageMode::kIndexed &&
+      atom.terms.size() == rel.arity() && rel.arity() > 0 &&
+      rel.arity() <= Relation::kMaxIndexedColumns) {
+    Relation::Mask mask = 0;
+    std::vector<Value> key;
+    for (std::size_t i = 0; i < atom.terms.size(); ++i) {
+      const Term& t = atom.terms[i];
+      if (t.is_value()) {
+        mask |= Relation::Mask{1} << i;
+        key.push_back(t.value());
+      } else if (binding[t.variable_id()]) {
+        mask |= Relation::Mask{1} << i;
+        key.push_back(*binding[t.variable_id()]);
+      }
+    }
+    if (mask != 0) {
+      for (std::uint32_t pos : rel.Probe(mask, key)) fn(rel.row(pos));
+      return;
+    }
+  }
+  for (std::size_t pos = 0; pos < rel.size(); ++pos) fn(rel.row(pos));
 }
 
 // Recursively instantiates positive body literals (literal `delta_index`
 // drawing from `delta` instead of the full database), then checks negated
 // literals and emits the head instantiation.
 void FireRule(const DatalogRule& rule, const Database& db,
-              const std::map<std::string, std::set<Tuple>>* delta,
-              int delta_index, std::size_t literal_index, Binding* binding,
+              const std::map<std::string, Relation>* delta, int delta_index,
+              std::size_t literal_index, Binding* binding,
               std::set<Tuple>* derived) {
   if (literal_index == rule.body.size()) {
     ZO_COUNTER_INC("datalog.rule_firings");
@@ -109,7 +141,7 @@ void FireRule(const DatalogRule& rule, const Database& db,
   }
   // Positive literal: iterate matching tuples, from the delta if this is
   // the designated delta position.
-  auto scan = [&](const Tuple& tuple) {
+  auto scan = [&](Relation::Row tuple) {
     std::optional<std::vector<std::size_t>> bound =
         MatchAtom(literal.atom, tuple, binding);
     if (!bound) return;
@@ -120,12 +152,33 @@ void FireRule(const DatalogRule& rule, const Database& db,
   if (delta != nullptr && static_cast<int>(literal_index) == delta_index) {
     auto it = delta->find(literal.atom.predicate);
     if (it == delta->end()) return;
-    for (const Tuple& tuple : it->second) scan(tuple);
+    ForEachCandidate(it->second, literal.atom, *binding, scan);
   } else {
-    for (const Tuple& tuple : TuplesOf(db, literal.atom.predicate)) {
-      scan(tuple);
-    }
+    ForEachCandidate(RelationOf(db, literal.atom.predicate), literal.atom,
+                     *binding, scan);
   }
+}
+
+// Merges `derived` into the head relation, counting genuinely new facts
+// into `next_delta` (built per predicate with the head's arity). The new
+// facts join the relation in one InsertBatch rather than n sorted inserts.
+void MergeDerived(const DatalogRule& rule, const std::set<Tuple>& derived,
+                  Database* materialized,
+                  std::map<std::string, Relation>* next_delta) {
+  Relation& relation = materialized->mutable_relation(rule.head.predicate);
+  std::vector<Tuple> fresh;
+  for (const Tuple& t : derived) {
+    if (!relation.Contains(t)) fresh.push_back(t);
+  }
+  if (fresh.empty()) return;
+  auto [it, inserted] = next_delta->try_emplace(
+      rule.head.predicate,
+      Relation(rule.head.predicate, rule.head.terms.size()));
+  for (const Tuple& t : fresh) {
+    ZO_COUNTER_INC("datalog.facts_derived");
+    it->second.Insert(t);
+  }
+  relation.InsertBatch(fresh);
 }
 
 }  // namespace
@@ -153,27 +206,19 @@ Database MaterializeDatalog(const DatalogProgram& program,
     }
     // Initial round: full evaluation of every rule of the stratum.
     ZO_COUNTER_INC("datalog.rounds");
-    std::map<std::string, std::set<Tuple>> delta;
+    std::map<std::string, Relation> delta;
     for (const DatalogRule* rule : stratum_rules) {
       Binding binding(RuleVariableCount(*rule));
       std::set<Tuple> derived;
       FireRule(*rule, materialized, nullptr, -1, 0, &binding, &derived);
-      for (const Tuple& t : derived) {
-        Relation& relation =
-            materialized.mutable_relation(rule->head.predicate);
-        if (!relation.Contains(t)) {
-          relation.Insert(t);
-          ZO_COUNTER_INC("datalog.facts_derived");
-          delta[rule->head.predicate].insert(t);
-        }
-      }
+      MergeDerived(*rule, derived, &materialized, &delta);
     }
     // Semi-naive rounds: each recursive instantiation uses the latest delta
     // in one positive literal position. A cancellation request abandons the
     // fixpoint mid-way; the token's installer discards the partial result.
     while (!delta.empty() && !CancellationRequested()) {
       ZO_COUNTER_INC("datalog.rounds");
-      std::map<std::string, std::set<Tuple>> next_delta;
+      std::map<std::string, Relation> next_delta;
       for (const DatalogRule* rule : stratum_rules) {
         for (std::size_t i = 0; i < rule->body.size(); ++i) {
           const DatalogLiteral& literal = rule->body[i];
@@ -184,15 +229,7 @@ Database MaterializeDatalog(const DatalogProgram& program,
           std::set<Tuple> derived;
           FireRule(*rule, materialized, &delta, static_cast<int>(i), 0,
                    &binding, &derived);
-          for (const Tuple& t : derived) {
-            Relation& relation =
-                materialized.mutable_relation(rule->head.predicate);
-            if (!relation.Contains(t)) {
-              relation.Insert(t);
-              ZO_COUNTER_INC("datalog.facts_derived");
-              next_delta[rule->head.predicate].insert(t);
-            }
-          }
+          MergeDerived(*rule, derived, &materialized, &next_delta);
         }
       }
       delta = std::move(next_delta);
@@ -205,7 +242,7 @@ std::vector<Tuple> EvaluateDatalog(const DatalogProgram& program,
                                    const Database& db) {
   Database materialized = MaterializeDatalog(program, db);
   if (!materialized.HasRelation(program.goal_predicate())) return {};
-  return materialized.relation(program.goal_predicate()).tuples();
+  return materialized.relation(program.goal_predicate()).Tuples();
 }
 
 bool DatalogMembership(const DatalogProgram& program, const Database& db,

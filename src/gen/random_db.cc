@@ -27,6 +27,8 @@ Database GenerateRandomDatabase(const RandomDatabaseOptions& options) {
   Database db;
   for (const auto& spec : options.relations) {
     Relation& relation = db.AddRelation(spec.name, spec.arity);
+    std::vector<Tuple> batch;
+    batch.reserve(spec.tuple_count);
     for (std::size_t t = 0; t < spec.tuple_count; ++t) {
       std::vector<Value> values;
       values.reserve(spec.arity);
@@ -41,8 +43,9 @@ Database GenerateRandomDatabase(const RandomDatabaseOptions& options) {
           values.push_back(nulls[null_pick(rng)]);
         }
       }
-      relation.Insert(Tuple(std::move(values)));
+      batch.push_back(Tuple(std::move(values)));
     }
+    relation.InsertBatch(batch);
   }
   return db;
 }

@@ -1,7 +1,10 @@
 #include "query/eval.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cstdint>
 #include <map>
+#include <unordered_set>
 
 #include "data/valuation.h"
 #include "obs/metrics.h"
@@ -18,10 +21,143 @@ Value ResolveTerm(const Term& term, const Environment& env) {
   return *env[term.variable_id()];
 }
 
-}  // namespace
+struct EvalContext {
+  const Database& db;
+  const std::vector<Value>& domain;
+  bool indexed;  // Probe positive atoms to restrict quantifier ranges.
+};
 
-bool EvaluateFormula(const Formula& formula, const Database& db,
-                     const std::vector<Value>& domain, Environment* env) {
+// Finds a positive atom mentioning variable `var` that every satisfying
+// extension of the current environment must satisfy: if no row of the
+// atom's relation can match with var = v, the formula is false at v.
+// Quantifiers crossed on the way down rebind their variable, so those
+// variables must be treated as unbound when probing; they accumulate in
+// `shadowed` along the successful path.
+const Formula* FindRequiredAtom(const Formula& f, std::size_t var,
+                                std::vector<std::size_t>* shadowed) {
+  switch (f.kind()) {
+    case Formula::Kind::kAtom:
+      for (const Term& t : f.terms()) {
+        if (!t.is_value() && t.variable_id() == var) return &f;
+      }
+      return nullptr;
+    case Formula::Kind::kAnd:
+      for (const FormulaPtr& child : f.children()) {
+        if (const Formula* a = FindRequiredAtom(*child, var, shadowed)) {
+          return a;
+        }
+      }
+      return nullptr;
+    case Formula::Kind::kExists: {
+      if (f.bound_variable() == var) return nullptr;
+      shadowed->push_back(f.bound_variable());
+      if (const Formula* a =
+              FindRequiredAtom(*f.children()[0], var, shadowed)) {
+        return a;
+      }
+      shadowed->pop_back();
+      return nullptr;
+    }
+    default:
+      return nullptr;
+  }
+}
+
+// Finds an atom whose unmatchability at var = v makes `f` vacuously TRUE
+// (the dual of FindRequiredAtom, used to skip domain values under ∀): a
+// failed premise, a refuted negation, or such an atom inside ∀/∃/∨.
+const Formula* FindVacuityAtom(const Formula& f, std::size_t var,
+                               std::vector<std::size_t>* shadowed) {
+  switch (f.kind()) {
+    case Formula::Kind::kImplies:
+    case Formula::Kind::kNot:
+      return FindRequiredAtom(*f.children()[0], var, shadowed);
+    case Formula::Kind::kForall:
+    case Formula::Kind::kExists: {
+      if (f.bound_variable() == var) return nullptr;
+      shadowed->push_back(f.bound_variable());
+      if (const Formula* a =
+              FindVacuityAtom(*f.children()[0], var, shadowed)) {
+        return a;
+      }
+      shadowed->pop_back();
+      return nullptr;
+    }
+    case Formula::Kind::kOr:
+      for (const FormulaPtr& child : f.children()) {
+        if (const Formula* a = FindVacuityAtom(*child, var, shadowed)) {
+          return a;
+        }
+      }
+      return nullptr;
+    default:
+      return nullptr;
+  }
+}
+
+std::uint64_t PackValue(Value v) {
+  return (static_cast<std::uint64_t>(v.kind()) << 32) | v.id();
+}
+
+// Computes the subset of ctx.domain (in domain order) that variable `var`
+// can take while `atom` still has a matching row, probing on columns whose
+// terms are already fixed. Returns false to fall back to the full domain.
+bool CollectCandidates(const Formula& atom, std::size_t var,
+                       const std::vector<std::size_t>& shadowed,
+                       const EvalContext& ctx, const Environment& env,
+                       std::vector<Value>* out) {
+  out->clear();
+  if (!ctx.db.HasRelation(atom.relation_name())) return true;  // No rows.
+  const Relation& rel = ctx.db.relation(atom.relation_name());
+  if (atom.terms().size() != rel.arity() || rel.arity() == 0 ||
+      rel.arity() > Relation::kMaxIndexedColumns) {
+    return false;
+  }
+  Relation::Mask mask = 0;
+  std::vector<Value> key;
+  std::vector<std::size_t> var_columns;
+  for (std::size_t i = 0; i < atom.terms().size(); ++i) {
+    const Term& t = atom.terms()[i];
+    if (t.is_value()) {
+      mask |= Relation::Mask{1} << i;
+      key.push_back(t.value());
+      continue;
+    }
+    std::size_t id = t.variable_id();
+    if (id == var) {
+      var_columns.push_back(i);
+    } else if (id < env.size() && env[id] &&
+               std::find(shadowed.begin(), shadowed.end(), id) ==
+                   shadowed.end()) {
+      mask |= Relation::Mask{1} << i;
+      key.push_back(*env[id]);
+    }
+    // Other unbound (or shadowed) variables are wildcards.
+  }
+  if (var_columns.empty()) return false;
+
+  std::unordered_set<std::uint64_t> seen;
+  auto consider = [&](Relation::Row row) {
+    Value x = row[var_columns[0]];
+    for (std::size_t c : var_columns) {
+      if (row[c] != x) return;
+    }
+    seen.insert(PackValue(x));
+  };
+  if (mask != 0) {
+    for (std::uint32_t pos : rel.Probe(mask, key)) consider(rel.row(pos));
+  } else {
+    for (std::size_t pos = 0; pos < rel.size(); ++pos) consider(rel.row(pos));
+  }
+  // Keep domain order so quantifier iteration stays deterministic and
+  // identical to a filtered full-domain loop.
+  for (Value v : ctx.domain) {
+    if (seen.count(PackValue(v)) != 0) out->push_back(v);
+  }
+  return true;
+}
+
+bool Eval(const Formula& formula, const EvalContext& ctx, Environment* env) {
   switch (formula.kind()) {
     case Formula::Kind::kTrue:
       return true;
@@ -29,40 +165,65 @@ bool EvaluateFormula(const Formula& formula, const Database& db,
       return false;
     case Formula::Kind::kAtom: {
       ZO_COUNTER_INC("eval.atom_probes");
-      if (!db.HasRelation(formula.relation_name())) return false;
-      std::vector<Value> values;
-      values.reserve(formula.terms().size());
-      for (const Term& t : formula.terms()) {
-        values.push_back(ResolveTerm(t, *env));
+      if (!ctx.db.HasRelation(formula.relation_name())) return false;
+      const Relation& rel = ctx.db.relation(formula.relation_name());
+      assert(formula.terms().size() == rel.arity() &&
+             "atom arity mismatch");
+      // Resolve into a small stack-backed buffer: membership probing is
+      // allocation-free for the common short arities.
+      Value stack_values[8];
+      std::vector<Value> heap_values;
+      Value* values = stack_values;
+      if (formula.terms().size() > 8) {
+        heap_values.resize(formula.terms().size());
+        values = heap_values.data();
       }
-      return db.relation(formula.relation_name()).Contains(Tuple(values));
+      for (std::size_t i = 0; i < formula.terms().size(); ++i) {
+        values[i] = ResolveTerm(formula.terms()[i], *env);
+      }
+      return rel.Contains(values);
     }
     case Formula::Kind::kEquals:
       return ResolveTerm(formula.left(), *env) ==
              ResolveTerm(formula.right(), *env);
     case Formula::Kind::kNot:
-      return !EvaluateFormula(*formula.children()[0], db, domain, env);
+      return !Eval(*formula.children()[0], ctx, env);
     case Formula::Kind::kAnd:
       for (const FormulaPtr& child : formula.children()) {
-        if (!EvaluateFormula(*child, db, domain, env)) return false;
+        if (!Eval(*child, ctx, env)) return false;
       }
       return true;
     case Formula::Kind::kOr:
       for (const FormulaPtr& child : formula.children()) {
-        if (EvaluateFormula(*child, db, domain, env)) return true;
+        if (Eval(*child, ctx, env)) return true;
       }
       return false;
     case Formula::Kind::kImplies:
-      return !EvaluateFormula(*formula.children()[0], db, domain, env) ||
-             EvaluateFormula(*formula.children()[1], db, domain, env);
+      return !Eval(*formula.children()[0], ctx, env) ||
+             Eval(*formula.children()[1], ctx, env);
     case Formula::Kind::kExists: {
       std::size_t var = formula.bound_variable();
       if (var >= env->size()) env->resize(var + 1);
       std::optional<Value> saved = (*env)[var];
+      // When the body requires a positive atom over `var`, only values
+      // occurring in matching rows can witness the ∃ — probe for them
+      // instead of sweeping the whole domain.
+      const std::vector<Value>* range = &ctx.domain;
+      std::vector<Value> candidates;
+      if (ctx.indexed) {
+        std::vector<std::size_t> shadowed;
+        if (const Formula* atom =
+                FindRequiredAtom(*formula.children()[0], var, &shadowed)) {
+          if (CollectCandidates(*atom, var, shadowed, ctx, *env,
+                                &candidates)) {
+            range = &candidates;
+          }
+        }
+      }
       bool result = false;
-      for (Value v : domain) {
+      for (Value v : *range) {
         (*env)[var] = v;
-        if (EvaluateFormula(*formula.children()[0], db, domain, env)) {
+        if (Eval(*formula.children()[0], ctx, env)) {
           result = true;
           break;
         }
@@ -74,10 +235,24 @@ bool EvaluateFormula(const Formula& formula, const Database& db,
       std::size_t var = formula.bound_variable();
       if (var >= env->size()) env->resize(var + 1);
       std::optional<Value> saved = (*env)[var];
+      // Dually, when unmatched values make the body vacuously true, only
+      // values occurring in matching rows can refute the ∀.
+      const std::vector<Value>* range = &ctx.domain;
+      std::vector<Value> candidates;
+      if (ctx.indexed) {
+        std::vector<std::size_t> shadowed;
+        if (const Formula* atom =
+                FindVacuityAtom(*formula.children()[0], var, &shadowed)) {
+          if (CollectCandidates(*atom, var, shadowed, ctx, *env,
+                                &candidates)) {
+            range = &candidates;
+          }
+        }
+      }
       bool result = true;
-      for (Value v : domain) {
+      for (Value v : *range) {
         (*env)[var] = v;
-        if (!EvaluateFormula(*formula.children()[0], db, domain, env)) {
+        if (!Eval(*formula.children()[0], ctx, env)) {
           result = false;
           break;
         }
@@ -89,11 +264,24 @@ bool EvaluateFormula(const Formula& formula, const Database& db,
   return false;
 }
 
+}  // namespace
+
+bool EvaluateFormula(const Formula& formula, const Database& db,
+                     const std::vector<Value>& domain, Environment* env) {
+  EvalContext ctx{db, domain, storage_mode() == StorageMode::kIndexed};
+  return Eval(formula, ctx, env);
+}
+
 bool EvaluateMembership(const Query& query, const Database& db,
                         const Tuple& tuple) {
+  return EvaluateMembership(query, db, tuple, db.ActiveDomain());
+}
+
+bool EvaluateMembership(const Query& query, const Database& db,
+                        const Tuple& tuple,
+                        const std::vector<Value>& domain) {
   assert(tuple.arity() == query.arity() && "membership tuple arity mismatch");
   ZO_COUNTER_INC("eval.membership_checks");
-  std::vector<Value> domain = db.ActiveDomain();
   Environment env(query.variable_count());
   for (std::size_t i = 0; i < tuple.arity(); ++i) {
     std::size_t var = query.free_variables()[i];

@@ -41,6 +41,13 @@ std::vector<Tuple> EvaluateQuery(const Query& query, const Database& db);
 bool EvaluateMembership(const Query& query, const Database& db,
                         const Tuple& tuple);
 
+// As above, but quantifying over a caller-provided `domain` (normally a
+// precomputed db.ActiveDomain()). Callers probing many tuples against one
+// database should use this overload: the three-argument form recomputes the
+// active domain on every call.
+bool EvaluateMembership(const Query& query, const Database& db,
+                        const Tuple& tuple, const std::vector<Value>& domain);
+
 // Applies a valuation to the value terms of a formula: every null value
 // bound by `v` is replaced by its image. Needed when a tuple containing
 // nulls has been substituted into a query and the combination v(ā), v(D)

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <optional>
@@ -179,7 +180,36 @@ bool Search(const CompiledClause& clause, std::size_t atom_index,
   }
   const CompiledClause::CompiledAtom& atom = clause.atoms[atom_index];
   if (atom.relation == nullptr) return false;  // Absent relation: no tuples.
-  for (const Tuple& tuple : *atom.relation) {
+  const Relation& rel = *atom.relation;
+  // In indexed mode, columns already fixed by constants or bound classes
+  // become a hash probe; the compatibility loop below re-verifies every
+  // candidate either way, so scan and probe see identical match sets.
+  std::vector<std::uint32_t> probe_ids;
+  bool use_probe = false;
+  if (storage_mode() == StorageMode::kIndexed && rel.arity() > 0 &&
+      rel.arity() <= Relation::kMaxIndexedColumns &&
+      atom.slots.size() == rel.arity()) {
+    Relation::Mask mask = 0;
+    std::vector<Value> key;
+    for (std::size_t i = 0; i < atom.slots.size(); ++i) {
+      const CompiledClause::AtomSlot& slot = atom.slots[i];
+      if (!slot.is_class) {
+        mask |= Relation::Mask{1} << i;
+        key.push_back(slot.value);
+      } else if ((*assignment)[slot.class_index]) {
+        mask |= Relation::Mask{1} << i;
+        key.push_back(*(*assignment)[slot.class_index]);
+      }
+    }
+    if (mask != 0) {
+      Relation::RowIdSpan span = rel.Probe(mask, key);
+      probe_ids.assign(span.begin(), span.end());
+      use_probe = true;
+    }
+  }
+  std::size_t candidate_count = use_probe ? probe_ids.size() : rel.size();
+  for (std::size_t c = 0; c < candidate_count; ++c) {
+    Relation::Row tuple = rel.row(use_probe ? probe_ids[c] : c);
     // Check compatibility and collect the bindings this tuple adds.
     std::vector<std::size_t> newly_bound;
     bool compatible = true;

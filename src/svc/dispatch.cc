@@ -101,10 +101,8 @@ StatusOr<std::string> RunCommand(SessionState* session,
     std::size_t added = 0;
     for (const auto& [name, rel] : parsed.relations()) {
       Relation& target = session->db.AddRelation(name, rel.arity());
-      for (const Tuple& t : rel) {
-        target.Insert(t);
-        ++added;
-      }
+      target.InsertBatch(rel);
+      added += rel.size();
     }
     *mutated = true;
     out << "added " << added << " tuples";

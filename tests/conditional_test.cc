@@ -143,7 +143,7 @@ TEST_P(AlmostSurelyTrueConstraints, ConstraintsDoNotMatter) {
   Database db = GenerateRandomDatabase(db_options);
   // Make Σ naively true by closing U over R's first column (nulls
   // included: naive evaluation treats them as values).
-  for (const Tuple& t : db.relation("R")) {
+  for (Relation::Row t : db.relation("R")) {
     db.mutable_relation("U").Insert({t[0]});
   }
   ConstraintSet constraints = {std::make_shared<InclusionDependency>(

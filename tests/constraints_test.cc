@@ -228,7 +228,7 @@ TEST_P(KeySatisfiabilityAgreement, MatchesBruteForce) {
   // nulls in key columns of D itself, so that is checked first.
   bool null_in_key_column = false;
   for (const UnaryKey& key : keys) {
-    for (const Tuple& t : db.relation(key.relation)) {
+    for (Relation::Row t : db.relation(key.relation)) {
       null_in_key_column = null_in_key_column || t[key.position].is_null();
     }
   }

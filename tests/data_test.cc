@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <set>
+#include <vector>
 
 #include "data/database.h"
 #include "data/io.h"
@@ -82,7 +84,89 @@ TEST(RelationTest, InsertIsSetSemantics) {
   EXPECT_TRUE(r.Contains(Tuple{Value::Int(1), Value::Int(2)}));
   EXPECT_FALSE(r.Contains(Tuple{Value::Int(2), Value::Int(1)}));
   // Sorted deterministic order (by the values' total order).
-  EXPECT_TRUE(r.tuples()[0] < r.tuples()[1]);
+  EXPECT_TRUE(r.row(0) < r.row(1));
+}
+
+TEST(TupleTest, NullsAreInFirstOccurrenceOrder) {
+  // Occurrence order deliberately disagrees with the values' total order:
+  // Nulls() must report first occurrences, not a sorted set.
+  Value late = Value::Null("z9");
+  Value early = Value::Null("a1");
+  Tuple t{late, Value::Constant("c"), early, late};
+  std::vector<Value> nulls = t.Nulls();
+  ASSERT_EQ(nulls.size(), 2u);
+  EXPECT_EQ(nulls[0], late);
+  EXPECT_EQ(nulls[1], early);
+}
+
+TEST(RelationTest, BulkInsertDedupesAndSorts) {
+  std::vector<Tuple> batch;
+  for (int i = 9; i >= 0; --i) {
+    batch.push_back(Tuple{Value::Int(i % 4), Value::Int(i)});
+    batch.push_back(Tuple{Value::Int(i % 4), Value::Int(i)});  // Duplicate.
+  }
+  Relation bulk("R", 2);
+  bulk.InsertBatch(batch);
+  Relation reference("R", 2);
+  for (const Tuple& t : batch) reference.Insert(t);
+  EXPECT_EQ(bulk, reference);
+  EXPECT_EQ(bulk.size(), 10u);
+  // Iteration is in strictly ascending content order.
+  for (std::size_t i = 0; i + 1 < bulk.size(); ++i) {
+    EXPECT_TRUE(bulk.row(i) < bulk.row(i + 1));
+  }
+  // Builder produces the same relation as incremental inserts.
+  Relation::Builder builder("R", 2);
+  for (const Tuple& t : batch) builder.Add(t);
+  EXPECT_EQ(std::move(builder).Build(), reference);
+}
+
+TEST(RelationTest, MixedInsertAndBatchInterleavings) {
+  Relation mixed("R", 1);
+  mixed.Insert({Value::Int(5)});
+  mixed.InsertBatch({Tuple{Value::Int(2)}, Tuple{Value::Int(8)},
+                     Tuple{Value::Int(5)}});
+  mixed.Insert({Value::Int(1)});
+  Relation other("R", 1);
+  other.InsertBatch({Tuple{Value::Int(3)}, Tuple{Value::Int(1)}});
+  mixed.InsertBatch(other);
+  Relation reference("R", 1);
+  for (int v : {1, 2, 3, 5, 8}) reference.Insert({Value::Int(v)});
+  EXPECT_EQ(mixed, reference);
+  EXPECT_EQ(mixed.ToString(), reference.ToString());
+}
+
+TEST(RelationTest, ProbeFindsExactlyTheMatchingRows) {
+  Relation r("R", 2);
+  r.Insert({Value::Int(1), Value::Int(10)});
+  r.Insert({Value::Int(1), Value::Int(11)});
+  r.Insert({Value::Int(2), Value::Int(10)});
+  // Column 0 bound: two rows with key 1, in ascending iteration order.
+  Relation::RowIdSpan span = r.Probe(0b01, {Value::Int(1)});
+  ASSERT_EQ(span.size(), 2u);
+  const std::uint32_t* it = span.begin();
+  EXPECT_TRUE(r.row(it[0]) < r.row(it[1]));
+  EXPECT_EQ(r.row(it[0])[1], Value::Int(10));
+  EXPECT_EQ(r.row(it[1])[1], Value::Int(11));
+  // Both columns bound: singleton; missing key: empty.
+  EXPECT_EQ(r.Probe(0b11, {Value::Int(2), Value::Int(10)}).size(), 1u);
+  EXPECT_TRUE(r.Probe(0b10, {Value::Int(99)}).empty());
+}
+
+TEST(RelationTest, MutationInvalidatesIndexes) {
+  Relation r("R", 2);
+  r.Insert({Value::Int(1), Value::Int(10)});
+  EXPECT_EQ(r.Probe(0b01, {Value::Int(1)}).size(), 1u);
+  // A mutation after an index was built must be visible to later probes.
+  r.Insert({Value::Int(1), Value::Int(11)});
+  EXPECT_EQ(r.Probe(0b01, {Value::Int(1)}).size(), 2u);
+  r.InsertBatch({Tuple{Value::Int(1), Value::Int(12)}});
+  EXPECT_EQ(r.Probe(0b01, {Value::Int(1)}).size(), 3u);
+  // Copies answer probes independently of the original's cached indexes.
+  Relation copy = r;
+  copy.Insert({Value::Int(1), Value::Int(13)});
+  EXPECT_EQ(copy.Probe(0b01, {Value::Int(1)}).size(), 4u);
+  EXPECT_EQ(r.Probe(0b01, {Value::Int(1)}).size(), 3u);
 }
 
 TEST(DatabaseTest, ActiveDomainSplitsKinds) {

@@ -96,8 +96,8 @@ TEST(DatalogEvalTest, MatchesWarshallOnRandomGraphs) {
     std::vector<Tuple> datalog =
         EvaluateDatalog(Prog(kTransitiveClosure), db);
     // Reference: iterate pair composition to fixpoint.
-    std::set<Tuple> reference(db.relation("E").begin(),
-                              db.relation("E").end());
+    std::set<Tuple> reference;
+    for (Relation::Row t : db.relation("E")) reference.insert(t.ToTuple());
     bool changed = true;
     while (changed) {
       changed = false;

@@ -86,7 +86,7 @@ TEST(TgdTest, ChaseInventsNulls) {
   ASSERT_TRUE(result.success);
   ASSERT_TRUE(result.database.HasRelation("S"));
   ASSERT_EQ(result.database.relation("S").size(), 1u);
-  const Tuple& invented = result.database.relation("S").tuples()[0];
+  Tuple invented = result.database.relation("S").row(0).ToTuple();
   EXPECT_EQ(invented[0], Value::Constant("b"));
   EXPECT_TRUE(invented[1].is_null());  // Fresh labeled null.
   // The result satisfies the dependency (chase fixpoint).

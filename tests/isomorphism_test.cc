@@ -69,7 +69,7 @@ TEST(IsomorphismTest, RandomRenamingsAlwaysIsomorphic) {
     for (Value null : db.Nulls()) map[null] = Value::FreshNull();
     Database renamed(db.schema());
     for (const auto& [name, rel] : db.relations()) {
-      for (const Tuple& t : rel) {
+      for (Relation::Row t : rel) {
         std::vector<Value> values;
         for (Value v : t) {
           values.push_back(v.is_null() ? map[v] : v);

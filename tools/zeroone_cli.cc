@@ -159,7 +159,7 @@ void Handle(Session* session, const std::string& line) {
     }
     for (const auto& [name, rel] : parsed->relations()) {
       Relation& target = session->db.AddRelation(name, rel.arity());
-      for (const Tuple& t : rel) target.Insert(t);
+      target.InsertBatch(rel);
     }
   } else if (command == "show") {
     std::cout << session->db.ToString() << "\n";
