@@ -22,4 +22,18 @@ for bench in "$BUILD_DIR"/bench/*; do
   echo
 done
 echo "Collected $(ls "$OUT_DIR"/BENCH_*.json 2>/dev/null | wc -l) result files in $OUT_DIR/"
+# One-line pass/fail claim summary across every BENCH_*.json artifact.
+total_claims=0
+failed_claims=0
+for json in "$OUT_DIR"/BENCH_*.json; do
+  [ -f "$json" ] || continue
+  total_claims=$(( total_claims + $(grep -o '"ok": ' "$json" | wc -l) ))
+  failed_claims=$(( failed_claims + $(grep -o '"ok": false' "$json" | wc -l) ))
+done
+if [ "$failed_claims" -eq 0 ]; then
+  echo "CLAIMS: PASS ($total_claims/$total_claims paper-claim checks ok)"
+else
+  echo "CLAIMS: FAIL ($failed_claims of $total_claims paper-claim checks failed)"
+  status=1
+fi
 exit $status

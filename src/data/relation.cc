@@ -7,6 +7,7 @@
 #include <ostream>
 #include <string_view>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "obs/metrics.h"
@@ -352,6 +353,28 @@ Relation::RowIdSpan Relation::Probe(Mask mask,
 void Relation::InvalidateIndexes() {
   std::lock_guard<std::mutex> lock(index_mutex_);
   indexes_.clear();
+  stats_.reset();
+}
+
+RelationStats Relation::Stats() const {
+  std::lock_guard<std::mutex> lock(index_mutex_);
+  if (stats_ == nullptr) {
+    auto stats = std::make_shared<RelationStats>();
+    stats->rows = sorted_.size();
+    stats->distinct_per_column.assign(arity_, 0);
+    std::unordered_set<std::uint64_t> seen;
+    for (std::size_t c = 0; c < arity_; ++c) {
+      seen.clear();
+      for (std::uint32_t id : sorted_) {
+        Value v = RowData(id)[c];
+        seen.insert((static_cast<std::uint64_t>(v.kind()) << 32) | v.id());
+      }
+      stats->distinct_per_column[c] = seen.size();
+    }
+    stats_ = std::move(stats);
+    ZO_COUNTER_INC("relation.stats.builds");
+  }
+  return *stats_;
 }
 
 std::string Relation::Row::ToString() const {

@@ -28,6 +28,15 @@ StorageMode storage_mode();
 // evaluation — call between evaluations only.
 void SetStorageMode(StorageMode mode);
 
+// Cheap cardinality statistics of one relation, used by the query planner
+// (src/plan) to cost join and atom orders. `distinct_per_column[c]` is the
+// exact number of distinct values in column c (cheap to maintain at our
+// scales; a sketch could replace it without changing the interface).
+struct RelationStats {
+  std::size_t rows = 0;
+  std::vector<std::size_t> distinct_per_column;
+};
+
 // A (possibly incomplete) relation instance: a finite set of k-ary tuples
 // over Const ∪ Null.
 //
@@ -217,6 +226,12 @@ class Relation {
   // The mask selecting exactly `columns` (each < arity, < 64).
   static Mask MaskOfColumns(const std::vector<std::size_t>& columns);
 
+  // Cardinality statistics for the planner. Computed lazily, cached in the
+  // arena beside the hash indexes, and invalidated by the same mutations
+  // that invalidate them, so repeated planning against an unchanged
+  // relation is a mutex acquisition plus a small copy.
+  RelationStats Stats() const;
+
   // "R = {(1, ⊥1), (2, 2)}".
   std::string ToString() const;
 
@@ -260,6 +275,8 @@ class Relation {
   // already exclusive by the usual const-correctness contract.
   mutable std::mutex index_mutex_;
   mutable std::map<Mask, std::unique_ptr<Index>> indexes_;
+  // Lazily computed Stats() snapshot; shares the index cache's lifecycle.
+  mutable std::shared_ptr<const RelationStats> stats_;
 };
 
 std::ostream& operator<<(std::ostream& os, const Relation& relation);

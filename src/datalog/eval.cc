@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdint>
+#include <cstdio>
 #include <map>
 #include <optional>
 #include <set>
@@ -10,6 +11,8 @@
 #include "common/cancel.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "plan/datalog_plan.h"
+#include "plan/mode.h"
 
 namespace zeroone {
 
@@ -114,11 +117,27 @@ void ForEachCandidate(const Relation& rel, const DatalogAtom& atom,
   for (std::size_t pos = 0; pos < rel.size(); ++pos) fn(rel.row(pos));
 }
 
+// Adapts a rule body to the planner's literal structs.
+std::vector<plan::BodyLiteral> PlannedBody(const DatalogRule& rule) {
+  std::vector<plan::BodyLiteral> body;
+  body.reserve(rule.body.size());
+  for (const DatalogLiteral& literal : rule.body) {
+    body.push_back(
+        {literal.atom.predicate, literal.atom.terms, literal.negated});
+  }
+  return body;
+}
+
 // Recursively instantiates positive body literals (literal `delta_index`
 // drawing from `delta` instead of the full database), then checks negated
-// literals and emits the head instantiation.
+// literals and emits the head instantiation. When `order` is non-null
+// (compiled plan mode), position i evaluates body[(*order)[i]] — delta
+// designation and ground-negation checks follow the actual literal, so
+// the derived set is the written-order one (join order is invisible to a
+// set of instantiations).
 void FireRule(const DatalogRule& rule, const Database& db,
               const std::map<std::string, Relation>* delta, int delta_index,
+              const std::vector<std::size_t>* order,
               std::size_t literal_index, Binding* binding,
               std::set<Tuple>* derived) {
   if (literal_index == rule.body.size()) {
@@ -126,16 +145,19 @@ void FireRule(const DatalogRule& rule, const Database& db,
     derived->insert(Instantiate(rule.head, *binding));
     return;
   }
-  const DatalogLiteral& literal = rule.body[literal_index];
+  std::size_t actual =
+      order != nullptr ? (*order)[literal_index] : literal_index;
+  const DatalogLiteral& literal = rule.body[actual];
   if (literal.negated) {
     // Negated literals refer to lower strata (or EDB), fully materialized
-    // in `db`; safety guarantees the atom is ground here.
+    // in `db`; safety (plus the orderer's ground-only placement) guarantees
+    // the atom is ground here.
     Tuple image = Instantiate(literal.atom, *binding);
     bool present = db.HasRelation(literal.atom.predicate) &&
                    db.relation(literal.atom.predicate).Contains(image);
     if (!present) {
-      FireRule(rule, db, delta, delta_index, literal_index + 1, binding,
-               derived);
+      FireRule(rule, db, delta, delta_index, order, literal_index + 1,
+               binding, derived);
     }
     return;
   }
@@ -145,11 +167,11 @@ void FireRule(const DatalogRule& rule, const Database& db,
     std::optional<std::vector<std::size_t>> bound =
         MatchAtom(literal.atom, tuple, binding);
     if (!bound) return;
-    FireRule(rule, db, delta, delta_index, literal_index + 1, binding,
+    FireRule(rule, db, delta, delta_index, order, literal_index + 1, binding,
              derived);
     for (std::size_t v : *bound) (*binding)[v] = std::nullopt;
   };
-  if (delta != nullptr && static_cast<int>(literal_index) == delta_index) {
+  if (delta != nullptr && static_cast<int>(actual) == delta_index) {
     auto it = delta->find(literal.atom.predicate);
     if (it == delta->end()) return;
     ForEachCandidate(it->second, literal.atom, *binding, scan);
@@ -206,11 +228,19 @@ Database MaterializeDatalog(const DatalogProgram& program,
     }
     // Initial round: full evaluation of every rule of the stratum.
     ZO_COUNTER_INC("datalog.rounds");
+    bool planned = plan::plan_mode() == plan::PlanMode::kCompiled;
     std::map<std::string, Relation> delta;
     for (const DatalogRule* rule : stratum_rules) {
       Binding binding(RuleVariableCount(*rule));
       std::set<Tuple> derived;
-      FireRule(*rule, materialized, nullptr, -1, 0, &binding, &derived);
+      std::vector<std::size_t> order;
+      if (planned) {
+        order =
+            plan::OrderBody(PlannedBody(*rule), materialized, -1, nullptr)
+                .order;
+      }
+      FireRule(*rule, materialized, nullptr, -1, planned ? &order : nullptr,
+               0, &binding, &derived);
       MergeDerived(*rule, derived, &materialized, &delta);
     }
     // Semi-naive rounds: each recursive instantiation uses the latest delta
@@ -224,11 +254,20 @@ Database MaterializeDatalog(const DatalogProgram& program,
           const DatalogLiteral& literal = rule->body[i];
           if (literal.negated) continue;
           if (in_stratum.count(literal.atom.predicate) == 0) continue;
-          if (delta.find(literal.atom.predicate) == delta.end()) continue;
+          auto delta_it = delta.find(literal.atom.predicate);
+          if (delta_it == delta.end()) continue;
           Binding binding(RuleVariableCount(*rule));
           std::set<Tuple> derived;
-          FireRule(*rule, materialized, &delta, static_cast<int>(i), 0,
-                   &binding, &derived);
+          std::vector<std::size_t> order;
+          if (planned) {
+            // Re-planned per round: the delta shrinks as the fixpoint
+            // converges, pulling the delta literal outward.
+            order = plan::OrderBody(PlannedBody(*rule), materialized,
+                                    static_cast<int>(i), &delta_it->second)
+                        .order;
+          }
+          FireRule(*rule, materialized, &delta, static_cast<int>(i),
+                   planned ? &order : nullptr, 0, &binding, &derived);
           MergeDerived(*rule, derived, &materialized, &next_delta);
         }
       }
@@ -250,6 +289,34 @@ bool DatalogMembership(const DatalogProgram& program, const Database& db,
   Database materialized = MaterializeDatalog(program, db);
   return materialized.HasRelation(program.goal_predicate()) &&
          materialized.relation(program.goal_predicate()).Contains(tuple);
+}
+
+std::string ExplainDatalogPlan(const DatalogProgram& program,
+                               const Database& db) {
+  // Orders are what the initial full round would use against `db` with the
+  // intensional relations declared empty (exactly MaterializeDatalog's
+  // starting state); semi-naive rounds re-plan against the live delta.
+  Database declared = db;
+  for (const DatalogRule& rule : program.rules()) {
+    declared.AddRelation(rule.head.predicate, rule.head.terms.size());
+  }
+  std::string out = "datalog plan (initial round)\n";
+  char buffer[64];
+  for (std::size_t r = 0; r < program.rules().size(); ++r) {
+    const DatalogRule& rule = program.rules()[r];
+    out += "rule " + std::to_string(r) + ": " + rule.ToString() + "\n";
+    plan::BodyOrder body_order =
+        plan::OrderBody(PlannedBody(rule), declared, -1, nullptr);
+    for (std::size_t i = 0; i < body_order.order.size(); ++i) {
+      const DatalogLiteral& literal = rule.body[body_order.order[i]];
+      std::snprintf(buffer, sizeof(buffer), " est=%.3g",
+                    body_order.estimates[i]);
+      out += "  " + std::to_string(i + 1) + ". " +
+             (literal.negated ? "not " : "") +
+             literal.atom.ToString(rule.variable_names) + buffer + "\n";
+    }
+  }
+  return out;
 }
 
 }  // namespace zeroone

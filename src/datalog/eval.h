@@ -1,6 +1,7 @@
 #ifndef ZEROONE_DATALOG_EVAL_H_
 #define ZEROONE_DATALOG_EVAL_H_
 
+#include <string>
 #include <vector>
 
 #include "data/database.h"
@@ -27,6 +28,12 @@ std::vector<Tuple> EvaluateDatalog(const DatalogProgram& program,
 // Membership test: ā ∈ goal(D).
 bool DatalogMembership(const DatalogProgram& program, const Database& db,
                        const Tuple& tuple);
+
+// Renders the cost-based body orders the semi-naive evaluator would pick
+// for each rule's initial round against `db`, with the estimates behind
+// each pick — the datalog side of `zeroone_cli --explain` / `@explain=1`.
+std::string ExplainDatalogPlan(const DatalogProgram& program,
+                               const Database& db);
 
 }  // namespace zeroone
 

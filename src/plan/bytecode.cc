@@ -1,0 +1,101 @@
+#include "plan/bytecode.h"
+
+#include <cstdio>
+
+namespace zeroone {
+namespace plan {
+
+namespace {
+
+std::string OperandText(const RegOperand& operand) {
+  if (operand.is_reg) return "r" + std::to_string(operand.reg);
+  return operand.value.ToString();
+}
+
+std::string AtomText(const Program& program, std::uint16_t index) {
+  const AtomAccess& atom = program.atoms[index];
+  std::string out = program.relation_names[atom.relation_index] + "(";
+  for (std::size_t i = 0; i < atom.columns.size(); ++i) {
+    if (i > 0) out += ", ";
+    const ColumnRole& col = atom.columns[i];
+    switch (col.kind) {
+      case ColumnRole::Kind::kConst:
+        out += col.value.ToString();
+        break;
+      case ColumnRole::Kind::kReg:
+        out += "r" + std::to_string(col.reg);
+        break;
+      case ColumnRole::Kind::kTarget:
+        out += "*";
+        break;
+      case ColumnRole::Kind::kWild:
+        out += "_";
+        break;
+    }
+  }
+  return out + ")";
+}
+
+}  // namespace
+
+std::string Program::Disassemble() const {
+  std::string out;
+  char line[160];
+  for (std::size_t pc = 0; pc < code.size(); ++pc) {
+    const Instr& in = code[pc];
+    switch (in.op) {
+      case OpCode::kJump:
+        std::snprintf(line, sizeof(line), "%4zu  jump -> %u\n", pc, in.t_pc);
+        out += line;
+        break;
+      case OpCode::kHaltTrue:
+        std::snprintf(line, sizeof(line), "%4zu  halt true\n", pc);
+        out += line;
+        break;
+      case OpCode::kHaltFalse:
+        std::snprintf(line, sizeof(line), "%4zu  halt false\n", pc);
+        out += line;
+        break;
+      case OpCode::kAtomCheck:
+        std::snprintf(line, sizeof(line), "%4zu  check ", pc);
+        out += line;
+        out += AtomText(*this, in.a);
+        std::snprintf(line, sizeof(line), " ? %u : %u\n", in.t_pc, in.f_pc);
+        out += line;
+        break;
+      case OpCode::kEquals:
+        std::snprintf(line, sizeof(line), "%4zu  eq ", pc);
+        out += line;
+        out += OperandText(in.lhs) + " == " + OperandText(in.rhs);
+        std::snprintf(line, sizeof(line), " ? %u : %u\n", in.t_pc, in.f_pc);
+        out += line;
+        break;
+      case OpCode::kLoopDomain:
+        std::snprintf(line, sizeof(line), "%4zu  loop%u: domain -> r%u\n",
+                      pc, in.a, in.reg);
+        out += line;
+        break;
+      case OpCode::kLoopCand:
+        std::snprintf(line, sizeof(line), "%4zu  loop%u:%s cand ", pc, in.a,
+                      (in.flags & kFlagOrdered) != 0 ? " ordered" : "");
+        out += line;
+        out += AtomText(*this, in.b);
+        out += " -> r" + std::to_string(in.reg) + "\n";
+        break;
+      case OpCode::kLoopNext:
+        std::snprintf(line, sizeof(line),
+                      "%4zu  next loop%u -> r%u ? %u : %u\n", pc, in.a,
+                      in.reg, in.t_pc, in.f_pc);
+        out += line;
+        break;
+      case OpCode::kEmit:
+        std::snprintf(line, sizeof(line), "%4zu  emit -> %u\n", pc, in.t_pc);
+        out += line;
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace plan
+}  // namespace zeroone

@@ -1,0 +1,99 @@
+#include "plan/cache.h"
+
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+
+#include "fault/fault.h"
+#include "obs/metrics.h"
+
+namespace zeroone {
+namespace plan {
+
+namespace {
+
+// Entry-count bound: plans are small (a few KB of instructions and atom
+// descriptors), and svc sessions cycle through few distinct queries per
+// version, so a modest bound holds every hot plan.
+constexpr std::size_t kMaxEntries = 256;
+
+thread_local const std::string* current_plan_scope = nullptr;
+
+}  // namespace
+
+struct PlanCache::Impl {
+  mutable std::mutex mutex;
+  // MRU-first list of (key, plan); the map points into the list.
+  std::list<std::pair<std::string, std::shared_ptr<const CompiledQuery>>>
+      entries;
+  std::unordered_map<std::string, decltype(entries)::iterator> index;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+
+PlanCache::PlanCache() : impl_(std::make_unique<Impl>()) {}
+PlanCache::~PlanCache() = default;
+
+PlanCache& PlanCache::Global() {
+  static PlanCache* cache = new PlanCache();
+  return *cache;
+}
+
+std::shared_ptr<const CompiledQuery> PlanCache::Get(const std::string& key) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto it = impl_->index.find(key);
+  if (it == impl_->index.end() || ZO_FAULT_POINT("plan.cache.drop")) {
+    ++impl_->misses;
+    ZO_COUNTER_INC("plan.cache_miss");
+    return nullptr;
+  }
+  impl_->entries.splice(impl_->entries.begin(), impl_->entries, it->second);
+  ++impl_->hits;
+  ZO_COUNTER_INC("plan.cache_hit");
+  return it->second->second;
+}
+
+void PlanCache::Put(const std::string& key,
+                    std::shared_ptr<const CompiledQuery> plan) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto it = impl_->index.find(key);
+  if (it != impl_->index.end()) {
+    it->second->second = std::move(plan);
+    impl_->entries.splice(impl_->entries.begin(), impl_->entries, it->second);
+    return;
+  }
+  impl_->entries.emplace_front(key, std::move(plan));
+  impl_->index.emplace(key, impl_->entries.begin());
+  while (impl_->entries.size() > kMaxEntries) {
+    impl_->index.erase(impl_->entries.back().first);
+    impl_->entries.pop_back();
+  }
+}
+
+void PlanCache::Clear() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->entries.clear();
+  impl_->index.clear();
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  Stats stats;
+  stats.hits = impl_->hits;
+  stats.misses = impl_->misses;
+  stats.entries = impl_->entries.size();
+  return stats;
+}
+
+ScopedPlanScope::ScopedPlanScope(std::string key)
+    : key_(std::move(key)), previous_(current_plan_scope) {
+  current_plan_scope = &key_;
+}
+
+ScopedPlanScope::~ScopedPlanScope() { current_plan_scope = previous_; }
+
+const std::string* CurrentPlanScope() { return current_plan_scope; }
+
+}  // namespace plan
+}  // namespace zeroone

@@ -1,0 +1,77 @@
+#ifndef ZEROONE_PLAN_CACHE_H_
+#define ZEROONE_PLAN_CACHE_H_
+
+// Compiled-plan cache, living beside the svc result cache (svc/cache.h).
+//
+// Keys are opaque strings assembled by the caller; the svc layer installs a
+// ScopedPlanScope whose key is "<session>\x1f<version>", and query/eval.cc
+// appends the evaluation mode and the query's canonical text. Any session
+// mutation bumps the version, so stale plans (whose candidate choices and
+// cost estimates bake in the old database) become unreachable and age out
+// of the LRU. When no scope is installed — direct library calls, whose
+// callers own no version to key on — evaluation compiles fresh per call:
+// compilation is O(|formula|) and cheap next to evaluation.
+//
+// Thread-safe; entries are shared_ptr so a hit stays valid while a racing
+// eviction drops the cache's reference.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "plan/compiler.h"
+
+namespace zeroone {
+namespace plan {
+
+class PlanCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::size_t entries = 0;
+  };
+
+  // The process-wide cache (bounded LRU over entry count).
+  static PlanCache& Global();
+
+  // Returns the cached plan for `key`, or nullptr. Counts plan.cache_hit /
+  // plan.cache_miss. The plan.cache.drop fault point turns a hit into a
+  // miss, forcing a recompile.
+  std::shared_ptr<const CompiledQuery> Get(const std::string& key);
+  void Put(const std::string& key,
+           std::shared_ptr<const CompiledQuery> plan);
+  void Clear();
+  Stats stats() const;
+
+  PlanCache();
+  ~PlanCache();
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+// Installs a plan-cache scope key for the current thread (mirroring
+// ScopedCancelToken); CurrentPlanScope returns the innermost installed key,
+// or nullptr when plans should not be cached.
+class ScopedPlanScope {
+ public:
+  explicit ScopedPlanScope(std::string key);
+  ~ScopedPlanScope();
+  ScopedPlanScope(const ScopedPlanScope&) = delete;
+  ScopedPlanScope& operator=(const ScopedPlanScope&) = delete;
+
+ private:
+  std::string key_;
+  const std::string* previous_;
+};
+
+const std::string* CurrentPlanScope();
+
+}  // namespace plan
+}  // namespace zeroone
+
+#endif  // ZEROONE_PLAN_CACHE_H_

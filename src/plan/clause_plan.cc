@@ -1,0 +1,38 @@
+#include "plan/clause_plan.h"
+
+#include "plan/cost.h"
+
+namespace zeroone {
+namespace plan {
+
+std::vector<std::size_t> OrderClauseAtoms(
+    const std::vector<ClauseAtom>& atoms, const Database& db,
+    const std::set<std::size_t>& bound_vars) {
+  std::vector<std::size_t> order;
+  order.reserve(atoms.size());
+  std::vector<char> placed(atoms.size(), 0);
+  std::set<std::size_t> bound = bound_vars;
+  auto is_bound = [&](std::size_t var) { return bound.count(var) != 0; };
+  while (order.size() < atoms.size()) {
+    std::size_t best = atoms.size();
+    double best_est = 0.0;
+    for (std::size_t i = 0; i < atoms.size(); ++i) {
+      if (placed[i]) continue;
+      double est =
+          EstimateAtomMatches(db, atoms[i].relation, atoms[i].terms, is_bound);
+      if (best == atoms.size() || est < best_est) {
+        best = i;
+        best_est = est;
+      }
+    }
+    placed[best] = 1;
+    order.push_back(best);
+    for (const Term& t : atoms[best].terms) {
+      if (t.is_variable()) bound.insert(t.variable_id());
+    }
+  }
+  return order;
+}
+
+}  // namespace plan
+}  // namespace zeroone

@@ -1,0 +1,39 @@
+#ifndef ZEROONE_PLAN_CLAUSE_PLAN_H_
+#define ZEROONE_PLAN_CLAUSE_PLAN_H_
+
+// Cost-based atom ordering for conjunctive-clause backtracking search
+// (query/matcher.cc). The matcher's join order is its whole cost model: a
+// selective first atom collapses the search tree, a wide one multiplies
+// it. The orderer greedily picks the cheapest-looking unplaced atom under
+// the variables bound so far — a permutation only, so the matcher's
+// semantics (and its candidate re-verification) are untouched.
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "data/database.h"
+#include "query/formula.h"
+
+namespace zeroone {
+namespace plan {
+
+struct ClauseAtom {
+  std::string relation;
+  std::vector<Term> terms;
+};
+
+// Returns a permutation of [0, atoms.size()): the order in which the
+// backtracking search should instantiate the atoms. `bound_vars` holds the
+// variable ids already pinned before the search starts (e.g. output
+// variables during a membership test). Ties keep the original order, so
+// uniform estimates reproduce the untuned matcher exactly.
+std::vector<std::size_t> OrderClauseAtoms(
+    const std::vector<ClauseAtom>& atoms, const Database& db,
+    const std::set<std::size_t>& bound_vars);
+
+}  // namespace plan
+}  // namespace zeroone
+
+#endif  // ZEROONE_PLAN_CLAUSE_PLAN_H_

@@ -1,0 +1,352 @@
+#include "plan/compiler.h"
+
+#include <cassert>
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace zeroone {
+namespace plan {
+
+namespace {
+
+// Jump targets are label ids (kLabelFlag set) during emission and resolved
+// to pcs in one patch pass at the end.
+constexpr std::uint32_t kLabelFlag = 0x80000000u;
+
+class Compiler {
+ public:
+  explicit Compiler(const QueryPlan& plan) : plan_(plan) {
+    reg_of_var_.assign(plan.variable_count, -1);
+  }
+
+  Program Compile() {
+    program_.enumerate = plan_.enumerate;
+    if (plan_.enumerate) {
+      CompileEnumerate();
+    } else {
+      CompileMembership();
+    }
+    Resolve();
+    return std::move(program_);
+  }
+
+ private:
+  std::uint32_t NewLabel() {
+    labels_.push_back(UINT32_MAX);
+    return kLabelFlag | static_cast<std::uint32_t>(labels_.size() - 1);
+  }
+  void BindLabel(std::uint32_t label) {
+    labels_[label & ~kLabelFlag] =
+        static_cast<std::uint32_t>(program_.code.size());
+  }
+  std::uint16_t NewRegister() { return program_.num_registers++; }
+  std::uint16_t NewLoop() { return program_.num_loops++; }
+
+  Instr& Emit(OpCode op) {
+    program_.code.emplace_back();
+    program_.code.back().op = op;
+    return program_.code.back();
+  }
+
+  std::uint16_t RelationIndex(const std::string& name) {
+    auto it = relation_index_.find(name);
+    if (it != relation_index_.end()) return it->second;
+    auto index = static_cast<std::uint16_t>(program_.relation_names.size());
+    program_.relation_names.push_back(name);
+    relation_index_.emplace(name, index);
+    return index;
+  }
+
+  std::uint16_t RegisterOf(std::size_t var) const {
+    assert(var < reg_of_var_.size() && reg_of_var_[var] >= 0 &&
+           "unbound variable reached the compiler");
+    return static_cast<std::uint16_t>(reg_of_var_[var]);
+  }
+
+  RegOperand OperandOf(const Term& term) const {
+    RegOperand operand;
+    if (term.is_value()) {
+      operand.is_reg = false;
+      operand.value = term.value();
+    } else {
+      operand.is_reg = true;
+      operand.reg = RegisterOf(term.variable_id());
+    }
+    return operand;
+  }
+
+  // An AtomAccess for a membership check: every column resolved.
+  std::uint16_t MakeCheckAccess(const std::string& relation,
+                                const std::vector<Term>& terms) {
+    AtomAccess access;
+    access.relation_index = RelationIndex(relation);
+    for (const Term& t : terms) {
+      ColumnRole col;
+      if (t.is_value()) {
+        col.kind = ColumnRole::Kind::kConst;
+        col.value = t.value();
+      } else {
+        col.kind = ColumnRole::Kind::kReg;
+        col.reg = RegisterOf(t.variable_id());
+      }
+      access.columns.push_back(col);
+    }
+    program_.atoms.push_back(std::move(access));
+    return static_cast<std::uint16_t>(program_.atoms.size() - 1);
+  }
+
+  // An AtomAccess for a candidate loop, from the planner's classification.
+  std::uint16_t MakeCandidateAccess(const CandidateSource& src) {
+    AtomAccess access;
+    access.relation_index = RelationIndex(src.relation);
+    access.probe_mask = src.probe_mask;
+    for (const CandidateColumn& planned : src.columns) {
+      ColumnRole col;
+      switch (planned.role) {
+        case CandidateColumn::Role::kConst:
+          col.kind = ColumnRole::Kind::kConst;
+          col.value = planned.value;
+          break;
+        case CandidateColumn::Role::kBoundVar:
+          col.kind = ColumnRole::Kind::kReg;
+          col.reg = RegisterOf(planned.var);
+          break;
+        case CandidateColumn::Role::kTarget:
+          col.kind = ColumnRole::Kind::kTarget;
+          break;
+        case CandidateColumn::Role::kWild:
+          col.kind = ColumnRole::Kind::kWild;
+          break;
+      }
+      access.columns.push_back(col);
+    }
+    program_.atoms.push_back(std::move(access));
+    return static_cast<std::uint16_t>(program_.atoms.size() - 1);
+  }
+
+  // Emits code for `node`; execution continues at true_label when the
+  // subformula holds, false_label otherwise. Entry is the next emitted pc.
+  void CompileNode(const PlanNode& node, std::uint32_t true_label,
+                   std::uint32_t false_label) {
+    switch (node.op) {
+      case PlanNode::Op::kTrue:
+        Emit(OpCode::kJump).t_pc = true_label;
+        return;
+      case PlanNode::Op::kFalse:
+        Emit(OpCode::kJump).t_pc = false_label;
+        return;
+      case PlanNode::Op::kAtomCheck: {
+        std::uint16_t atom = MakeCheckAccess(node.relation, node.terms);
+        Instr& in = Emit(OpCode::kAtomCheck);
+        in.a = atom;
+        in.t_pc = true_label;
+        in.f_pc = false_label;
+        return;
+      }
+      case PlanNode::Op::kEquals: {
+        RegOperand lhs = OperandOf(node.terms[0]);
+        RegOperand rhs = OperandOf(node.terms[1]);
+        Instr& in = Emit(OpCode::kEquals);
+        in.lhs = lhs;
+        in.rhs = rhs;
+        in.t_pc = true_label;
+        in.f_pc = false_label;
+        return;
+      }
+      case PlanNode::Op::kNot:
+        CompileNode(*node.children[0], false_label, true_label);
+        return;
+      case PlanNode::Op::kAnd:
+        for (std::size_t i = 0; i < node.children.size(); ++i) {
+          bool last = i + 1 == node.children.size();
+          std::uint32_t next = last ? true_label : NewLabel();
+          CompileNode(*node.children[i], next, false_label);
+          if (!last) BindLabel(next);
+        }
+        return;
+      case PlanNode::Op::kOr:
+        for (std::size_t i = 0; i < node.children.size(); ++i) {
+          bool last = i + 1 == node.children.size();
+          std::uint32_t next = last ? false_label : NewLabel();
+          CompileNode(*node.children[i], true_label, next);
+          if (!last) BindLabel(next);
+        }
+        return;
+      case PlanNode::Op::kImplies: {
+        std::uint32_t conclusion = NewLabel();
+        CompileNode(*node.children[0], conclusion, true_label);
+        BindLabel(conclusion);
+        CompileNode(*node.children[1], true_label, false_label);
+        return;
+      }
+      case PlanNode::Op::kExists:
+      case PlanNode::Op::kForall: {
+        bool exists = node.op == PlanNode::Op::kExists;
+        // Candidate probe keys read registers of the *outer* scope, so the
+        // access is built before the loop variable is renamed.
+        bool has_candidates = node.candidates.has_value();
+        std::uint16_t atom =
+            has_candidates ? MakeCandidateAccess(*node.candidates) : 0;
+        std::size_t var = node.var;
+        int saved = var < reg_of_var_.size() ? reg_of_var_[var] : -1;
+        if (var >= reg_of_var_.size()) reg_of_var_.resize(var + 1, -1);
+        std::uint16_t reg = NewRegister();
+        reg_of_var_[var] = reg;
+
+        std::uint16_t loop = NewLoop();
+        Instr& head =
+            Emit(has_candidates ? OpCode::kLoopCand : OpCode::kLoopDomain);
+        head.a = loop;
+        head.b = atom;
+        head.reg = reg;
+        std::uint32_t next_label = NewLabel();
+        BindLabel(next_label);
+        std::uint32_t body_label = NewLabel();
+        Instr& next = Emit(OpCode::kLoopNext);
+        next.a = loop;
+        next.reg = reg;
+        next.t_pc = body_label;
+        // Exhausted: ∃ found no witness (false), ∀ found no refutation
+        // (true).
+        next.f_pc = exists ? false_label : true_label;
+        BindLabel(body_label);
+        if (exists) {
+          CompileNode(*node.children[0], true_label, next_label);
+        } else {
+          CompileNode(*node.children[0], next_label, false_label);
+        }
+        reg_of_var_[var] = saved;
+        return;
+      }
+      case PlanNode::Op::kOutput:
+        assert(false && "kOutput handled by CompileEnumerate");
+        return;
+    }
+  }
+
+  void CompileEnumerate() {
+    // Peel the output-loop chain off the plan root.
+    std::vector<const PlanNode*> outputs;
+    const PlanNode* body = plan_.root.get();
+    while (body != nullptr && body->op == PlanNode::Op::kOutput) {
+      outputs.push_back(body);
+      body = body->children.empty() ? nullptr : body->children[0].get();
+    }
+    assert(body != nullptr && "enumerate plan lost its formula");
+
+    std::uint32_t halt_label = NewLabel();
+    // Exhaustion target of loop level i; the outermost exits to halt.
+    std::uint32_t exit_label = halt_label;
+    std::uint32_t innermost_next = halt_label;
+    for (const PlanNode* out : outputs) {
+      if (out->repeated_output) {
+        program_.output_regs.push_back(RegisterOf(out->var));
+        continue;
+      }
+      bool has_candidates = out->candidates.has_value();
+      std::uint16_t atom =
+          has_candidates ? MakeCandidateAccess(*out->candidates) : 0;
+      if (out->var >= reg_of_var_.size()) {
+        reg_of_var_.resize(out->var + 1, -1);
+      }
+      std::uint16_t reg = NewRegister();
+      reg_of_var_[out->var] = reg;
+      program_.output_regs.push_back(reg);
+
+      std::uint16_t loop = NewLoop();
+      Instr& head =
+          Emit(has_candidates ? OpCode::kLoopCand : OpCode::kLoopDomain);
+      head.a = loop;
+      head.b = atom;
+      head.reg = reg;
+      // Output loops must enumerate in domain order (emission order).
+      head.flags = kFlagOrdered;
+      std::uint32_t next_label = NewLabel();
+      BindLabel(next_label);
+      std::uint32_t body_label = NewLabel();
+      Instr& next = Emit(OpCode::kLoopNext);
+      next.a = loop;
+      next.reg = reg;
+      next.t_pc = body_label;
+      next.f_pc = exit_label;
+      BindLabel(body_label);
+      exit_label = next_label;
+      innermost_next = next_label;
+    }
+    // The formula: satisfied → emit the answer, then resume the innermost
+    // loop; refuted → resume directly. A Boolean query (no loops) halts
+    // after at most one emission.
+    std::uint32_t emit_label = NewLabel();
+    CompileNode(*body, emit_label, innermost_next);
+    BindLabel(emit_label);
+    Emit(OpCode::kEmit).t_pc = innermost_next;
+    BindLabel(halt_label);
+    Emit(OpCode::kHaltTrue);
+  }
+
+  void CompileMembership() {
+    // Input registers: one per distinct free variable, in first-occurrence
+    // order; the caller binds them before execution.
+    for (std::size_t var : plan_.free_variables) {
+      if (var >= reg_of_var_.size()) reg_of_var_.resize(var + 1, -1);
+      if (reg_of_var_[var] >= 0) continue;
+      reg_of_var_[var] = NewRegister();
+      program_.input_vars.push_back(var);
+    }
+    std::uint32_t true_label = NewLabel();
+    std::uint32_t false_label = NewLabel();
+    CompileNode(*plan_.root, true_label, false_label);
+    BindLabel(true_label);
+    Emit(OpCode::kHaltTrue);
+    BindLabel(false_label);
+    Emit(OpCode::kHaltFalse);
+  }
+
+  void Resolve() {
+    auto patch = [&](std::uint32_t& pc) {
+      if ((pc & kLabelFlag) == 0) return;
+      std::uint32_t resolved = labels_[pc & ~kLabelFlag];
+      assert(resolved != UINT32_MAX && "unbound label");
+      pc = resolved;
+    };
+    for (Instr& in : program_.code) {
+      patch(in.t_pc);
+      patch(in.f_pc);
+    }
+  }
+
+  const QueryPlan& plan_;
+  Program program_;
+  std::vector<std::uint32_t> labels_;
+  std::map<std::string, std::uint16_t> relation_index_;
+  std::vector<int> reg_of_var_;
+};
+
+}  // namespace
+
+Program CompilePlan(const QueryPlan& plan) {
+  return Compiler(plan).Compile();
+}
+
+CompiledQuery CompileFormulaQuery(const Formula& formula,
+                                  const std::vector<std::size_t>& free_variables,
+                                  std::size_t variable_count,
+                                  std::vector<std::string> variable_names,
+                                  const Database& db, bool enumerate) {
+  ZO_TRACE_SPAN("plan.compile");
+  ZO_COUNTER_INC("plan.compile");
+  QueryPlan plan =
+      BuildQueryPlan(formula, free_variables, variable_count,
+                     std::move(variable_names), db, enumerate);
+  CompiledQuery out;
+  out.explain = plan.ToString();
+  out.program = CompilePlan(plan);
+  return out;
+}
+
+}  // namespace plan
+}  // namespace zeroone

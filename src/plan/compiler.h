@@ -1,0 +1,46 @@
+#ifndef ZEROONE_PLAN_COMPILER_H_
+#define ZEROONE_PLAN_COMPILER_H_
+
+// Lowers logical plans (plan/ir.h) to bytecode (plan/bytecode.h).
+//
+// The compiler performs variable→register renaming (a fresh register per
+// quantifier binding), resolves plan-time candidate choices into AtomAccess
+// descriptors, and wires the continuation-style control flow. Compilation
+// is O(|formula|) and allocation-light by design: the measure/support
+// machinery compiles substituted formulas once per valuation, so a slow
+// compiler would dominate exactly the workloads the VM accelerates.
+
+#include <string>
+#include <vector>
+
+#include "data/database.h"
+#include "plan/bytecode.h"
+#include "plan/ir.h"
+#include "query/formula.h"
+
+namespace zeroone {
+namespace plan {
+
+struct CompiledQuery {
+  Program program;
+  std::string explain;  // QueryPlan::ToString() of the source plan.
+};
+
+// Plans and compiles `formula` against `db` in one step. Enumerate mode
+// produces a program whose kEmit instructions stream answer tuples in the
+// interpreter's emission order; membership mode produces a boolean program
+// whose input registers (program.input_vars) the caller binds. Increments
+// plan.compile and runs under a plan.compile trace span.
+CompiledQuery CompileFormulaQuery(const Formula& formula,
+                                  const std::vector<std::size_t>& free_variables,
+                                  std::size_t variable_count,
+                                  std::vector<std::string> variable_names,
+                                  const Database& db, bool enumerate);
+
+// Lowers an already-built plan (exposed for tests and explain paths).
+Program CompilePlan(const QueryPlan& plan);
+
+}  // namespace plan
+}  // namespace zeroone
+
+#endif  // ZEROONE_PLAN_COMPILER_H_

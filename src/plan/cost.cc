@@ -1,0 +1,18 @@
+#include "plan/cost.h"
+
+namespace zeroone {
+namespace plan {
+
+double EstimateMatches(const RelationStats& stats,
+                       const std::vector<std::size_t>& bound_columns) {
+  double estimate = static_cast<double>(stats.rows);
+  for (std::size_t c : bound_columns) {
+    if (c >= stats.distinct_per_column.size()) continue;
+    std::size_t distinct = stats.distinct_per_column[c];
+    if (distinct > 1) estimate /= static_cast<double>(distinct);
+  }
+  return estimate;
+}
+
+}  // namespace plan
+}  // namespace zeroone

@@ -1,0 +1,54 @@
+#ifndef ZEROONE_PLAN_COST_H_
+#define ZEROONE_PLAN_COST_H_
+
+// Cardinality-based cost model shared by the FO planner, the datalog body
+// orderer, and the UCQ clause orderer (docs/planner.md).
+//
+// The model is deliberately System-R-simple: an atom access with a set of
+// bound columns is estimated to match
+//
+//   rows(R) / Π_{c bound} distinct(R, c)
+//
+// tuples — independence across columns, uniformity within one. Estimates
+// only pick orders among semantically equivalent alternatives, so a bad
+// estimate costs time, never correctness; the differential tests in
+// tests/plan_diff_test.cc hold the evaluators to that.
+
+#include <cstddef>
+#include <vector>
+
+#include "data/database.h"
+#include "data/relation.h"
+#include "query/formula.h"
+
+namespace zeroone {
+namespace plan {
+
+// Estimated number of rows of `stats` matching a probe that fixes the
+// columns in `bound_columns` (indices into the relation). Never less than 0;
+// an empty relation estimates 0 regardless of the mask.
+double EstimateMatches(const RelationStats& stats,
+                       const std::vector<std::size_t>& bound_columns);
+
+// Estimated matches for an atom over `relation` where a term is "bound"
+// when it is a constant or `is_bound(variable_id)` holds. Missing relations
+// estimate 0. `Pred` is any bool(std::size_t) callable.
+template <typename Pred>
+double EstimateAtomMatches(const Database& db, const std::string& relation,
+                           const std::vector<Term>& terms, Pred&& is_bound) {
+  if (!db.HasRelation(relation)) return 0.0;
+  const Relation& rel = db.relation(relation);
+  if (terms.size() != rel.arity()) return static_cast<double>(rel.size());
+  std::vector<std::size_t> bound_columns;
+  for (std::size_t i = 0; i < terms.size(); ++i) {
+    if (terms[i].is_value() || is_bound(terms[i].variable_id())) {
+      bound_columns.push_back(i);
+    }
+  }
+  return EstimateMatches(rel.Stats(), bound_columns);
+}
+
+}  // namespace plan
+}  // namespace zeroone
+
+#endif  // ZEROONE_PLAN_COST_H_

@@ -1,0 +1,86 @@
+#include "plan/datalog_plan.h"
+
+#include <set>
+
+#include "plan/cost.h"
+
+namespace zeroone {
+namespace plan {
+
+namespace {
+
+// Ground negated literals are O(1) containment checks that can only prune:
+// schedule them as soon as they become eligible, ahead of any scan.
+constexpr double kGroundNegatedCost = 0.5;
+
+double EstimateLiteral(const BodyLiteral& literal, const Database& db,
+                       const Relation* delta_relation, bool is_delta,
+                       const std::set<std::size_t>& bound) {
+  auto is_bound = [&](std::size_t var) { return bound.count(var) != 0; };
+  if (literal.negated) return kGroundNegatedCost;
+  if (!is_delta) {
+    return EstimateAtomMatches(db, literal.predicate, literal.terms, is_bound);
+  }
+  if (delta_relation == nullptr) return 0.0;
+  if (literal.terms.size() != delta_relation->arity()) {
+    return static_cast<double>(delta_relation->size());
+  }
+  std::vector<std::size_t> bound_columns;
+  for (std::size_t i = 0; i < literal.terms.size(); ++i) {
+    const Term& t = literal.terms[i];
+    if (t.is_value() || is_bound(t.variable_id())) bound_columns.push_back(i);
+  }
+  return EstimateMatches(delta_relation->Stats(), bound_columns);
+}
+
+}  // namespace
+
+BodyOrder OrderBody(const std::vector<BodyLiteral>& body, const Database& db,
+                    int delta_index, const Relation* delta_relation) {
+  BodyOrder out;
+  out.order.reserve(body.size());
+  out.estimates.reserve(body.size());
+  std::vector<char> placed(body.size(), 0);
+  std::set<std::size_t> bound;
+  auto ground = [&](const BodyLiteral& literal) {
+    for (const Term& t : literal.terms) {
+      if (t.is_variable() && bound.count(t.variable_id()) == 0) return false;
+    }
+    return true;
+  };
+  while (out.order.size() < body.size()) {
+    std::size_t best = body.size();
+    double best_est = 0.0;
+    for (std::size_t i = 0; i < body.size(); ++i) {
+      if (placed[i]) continue;
+      if (body[i].negated && !ground(body[i])) continue;
+      double est = EstimateLiteral(body[i], db, delta_relation,
+                                   static_cast<int>(i) == delta_index, bound);
+      if (best == body.size() || est < best_est) {
+        best = i;
+        best_est = est;
+      }
+    }
+    if (best == body.size()) {
+      // Unsafe program (non-ground negation left over): fall back to the
+      // written order so evaluation still sees the same literals.
+      for (std::size_t i = 0; i < body.size(); ++i) {
+        if (!placed[i]) {
+          best = i;
+          best_est = kGroundNegatedCost;
+          break;
+        }
+      }
+    }
+    placed[best] = 1;
+    out.order.push_back(best);
+    out.estimates.push_back(best_est);
+    for (const Term& t : body[best].terms) {
+      if (t.is_variable()) bound.insert(t.variable_id());
+    }
+  }
+  return out;
+}
+
+}  // namespace plan
+}  // namespace zeroone

@@ -1,0 +1,53 @@
+#ifndef ZEROONE_PLAN_DATALOG_PLAN_H_
+#define ZEROONE_PLAN_DATALOG_PLAN_H_
+
+// Cost-based body-literal ordering for semi-naive datalog rule firing
+// (datalog/eval.cc). Mirrors clause_plan.h, with two datalog twists:
+//
+//  - The designated delta literal estimates from the delta relation (the
+//    facts new this round), not the materialized one — deltas shrink as
+//    the fixpoint converges, so the delta literal usually wins the outer
+//    loop, which is exactly the semi-naive intent.
+//  - Negated literals are eligible only once every variable is bound (the
+//    firing code requires ground negated checks); program safety
+//    guarantees the greedy order never gets stuck on one.
+//
+// The orderer sees plain predicate/term structs, keeping zeroone_plan
+// independent of the datalog library; datalog/eval.cc adapts its literal
+// type at the call site.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "data/database.h"
+#include "data/relation.h"
+#include "query/formula.h"
+
+namespace zeroone {
+namespace plan {
+
+struct BodyLiteral {
+  std::string predicate;
+  std::vector<Term> terms;
+  bool negated = false;
+};
+
+struct BodyOrder {
+  // Permutation of [0, body.size()): position i evaluates body[order[i]].
+  std::vector<std::size_t> order;
+  // The estimate each pick was made at, parallel to `order` (ground
+  // negated checks carry a nominal constant cost).
+  std::vector<double> estimates;
+};
+
+// Orders a rule body. `delta_index` (or -1) names the literal that reads
+// from `delta_relation` instead of `db` this firing; `delta_relation` may
+// be null (an absent delta fires nothing, the order is then moot).
+BodyOrder OrderBody(const std::vector<BodyLiteral>& body, const Database& db,
+                    int delta_index, const Relation* delta_relation);
+
+}  // namespace plan
+}  // namespace zeroone
+
+#endif  // ZEROONE_PLAN_DATALOG_PLAN_H_

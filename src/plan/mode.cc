@@ -1,0 +1,31 @@
+#include "plan/mode.h"
+
+#include <cstdlib>
+#include <string_view>
+
+namespace zeroone {
+namespace plan {
+
+namespace {
+
+PlanMode DefaultPlanMode() {
+  const char* env = std::getenv("ZEROONE_PLAN");
+  if (env != nullptr && std::string_view(env) == "interpret") {
+    return PlanMode::kInterpret;
+  }
+  return PlanMode::kCompiled;
+}
+
+PlanMode& MutablePlanMode() {
+  static PlanMode mode = DefaultPlanMode();
+  return mode;
+}
+
+}  // namespace
+
+PlanMode plan_mode() { return MutablePlanMode(); }
+
+void SetPlanMode(PlanMode mode) { MutablePlanMode() = mode; }
+
+}  // namespace plan
+}  // namespace zeroone

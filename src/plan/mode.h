@@ -1,0 +1,26 @@
+#ifndef ZEROONE_PLAN_MODE_H_
+#define ZEROONE_PLAN_MODE_H_
+
+namespace zeroone {
+namespace plan {
+
+// Which evaluation strategy the FO/datalog evaluators use. kCompiled is the
+// production path (cost-based plans lowered to bytecode, executed by the VM
+// in src/plan); kInterpret preserves the PR-5 tree-walking interpreter and
+// exists purely as a differential-testing reference, exactly as
+// ZEROONE_STORAGE=scan does for storage. Selected once from the
+// ZEROONE_PLAN environment variable ("interpret" picks the reference path),
+// overridable in-process for tests.
+enum class PlanMode { kCompiled, kInterpret };
+
+// The process-wide plan mode (env default, or the last SetPlanMode).
+PlanMode plan_mode();
+// Overrides the plan mode; used by differential tests and benches that
+// compare both paths inside one process. Not thread-safe against concurrent
+// evaluation — call between evaluations only.
+void SetPlanMode(PlanMode mode);
+
+}  // namespace plan
+}  // namespace zeroone
+
+#endif  // ZEROONE_PLAN_MODE_H_

@@ -1,0 +1,226 @@
+#include "plan/vm.h"
+
+#include <cassert>
+#include <cstdint>
+#include <unordered_set>
+
+#include "common/cancel.h"
+#include "fault/fault.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace zeroone {
+namespace plan {
+
+namespace {
+
+std::uint64_t PackValue(Value v) {
+  return (static_cast<std::uint64_t>(v.kind()) << 32) | v.id();
+}
+
+// Iteration state of one loop, indexed by the loop id. Candidate loops own
+// their value vector (reused across re-entries to avoid re-allocation);
+// domain loops borrow the caller's domain.
+struct LoopState {
+  const std::vector<Value>* source = nullptr;
+  std::vector<Value> values;
+  std::size_t pos = 0;
+};
+
+bool Run(const Program& program, const Database& db,
+         const std::vector<Value>& domain, const std::vector<Value>& inputs,
+         std::vector<Tuple>* answers) {
+  ZO_TRACE_SPAN("plan.exec");
+  ZO_COUNTER_INC("plan.exec");
+  // Deterministic fault: a poisoned evaluation cancels its own token, which
+  // drives the caller's discard path (svc answers DEADLINE_EXCEEDED).
+  if (ZO_FAULT_POINT("plan.vm.cancel")) {
+    if (CancelToken* token = CurrentCancelToken()) token->Cancel();
+  }
+
+  // Resolve relation names once per execution; plans are compiled against
+  // the same database version they run on, so names and arities agree.
+  std::vector<const Relation*> relations(program.relation_names.size());
+  for (std::size_t i = 0; i < relations.size(); ++i) {
+    relations[i] = db.HasRelation(program.relation_names[i])
+                       ? &db.relation(program.relation_names[i])
+                       : nullptr;
+  }
+
+  std::vector<Value> regs(program.num_registers);
+  assert(inputs.size() <= regs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) regs[i] = inputs[i];
+
+  std::vector<LoopState> loops(program.num_loops);
+  // Membership set of the quantification domain, built lazily for
+  // unordered candidate loops (candidate values must lie in the domain;
+  // ordered loops get that for free from the domain-order sweep).
+  std::unordered_set<std::uint64_t> domain_set;
+  bool domain_set_built = false;
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<Value> key;
+  Value check_stack[8];
+  std::vector<Value> check_heap;
+
+  std::uint64_t steps = 0;
+  std::uint32_t pc = 0;
+  for (;;) {
+    if ((++steps & 0xFF) == 0 && CancellationRequested()) {
+      ZO_COUNTER_ADD("plan.vm.steps", steps);
+      return false;
+    }
+    const Instr& in = program.code[pc];
+    switch (in.op) {
+      case OpCode::kJump:
+        pc = in.t_pc;
+        break;
+      case OpCode::kHaltTrue:
+        ZO_COUNTER_ADD("plan.vm.steps", steps);
+        return true;
+      case OpCode::kHaltFalse:
+        ZO_COUNTER_ADD("plan.vm.steps", steps);
+        return false;
+      case OpCode::kAtomCheck: {
+        const AtomAccess& atom = program.atoms[in.a];
+        const Relation* rel = relations[atom.relation_index];
+        bool hit = false;
+        if (rel != nullptr) {
+          assert(atom.columns.size() == rel->arity() &&
+                 "atom arity mismatch");
+          Value* values = check_stack;
+          if (atom.columns.size() > 8) {
+            check_heap.resize(atom.columns.size());
+            values = check_heap.data();
+          }
+          for (std::size_t i = 0; i < atom.columns.size(); ++i) {
+            const ColumnRole& col = atom.columns[i];
+            values[i] = col.kind == ColumnRole::Kind::kConst ? col.value
+                                                             : regs[col.reg];
+          }
+          hit = rel->Contains(values);
+        }
+        pc = hit ? in.t_pc : in.f_pc;
+        break;
+      }
+      case OpCode::kEquals: {
+        Value lhs = in.lhs.is_reg ? regs[in.lhs.reg] : in.lhs.value;
+        Value rhs = in.rhs.is_reg ? regs[in.rhs.reg] : in.rhs.value;
+        pc = lhs == rhs ? in.t_pc : in.f_pc;
+        break;
+      }
+      case OpCode::kLoopDomain: {
+        LoopState& loop = loops[in.a];
+        loop.source = &domain;
+        loop.pos = 0;
+        ++pc;
+        break;
+      }
+      case OpCode::kLoopCand: {
+        LoopState& loop = loops[in.a];
+        loop.source = nullptr;
+        loop.values.clear();
+        loop.pos = 0;
+        const AtomAccess& atom = program.atoms[in.b];
+        const Relation* rel = relations[atom.relation_index];
+        bool ordered = (in.flags & kFlagOrdered) != 0;
+        if (rel != nullptr) {
+          if (!ordered && !domain_set_built) {
+            domain_set.reserve(domain.size() * 2);
+            for (Value v : domain) domain_set.insert(PackValue(v));
+            domain_set_built = true;
+          }
+          key.clear();
+          for (const ColumnRole& col : atom.columns) {
+            if (col.kind == ColumnRole::Kind::kConst) {
+              key.push_back(col.value);
+            } else if (col.kind == ColumnRole::Kind::kReg) {
+              key.push_back(regs[col.reg]);
+            }
+          }
+          seen.clear();
+          auto consider = [&](Relation::Row row) {
+            Value x;
+            bool first = true;
+            for (std::size_t i = 0; i < atom.columns.size(); ++i) {
+              if (atom.columns[i].kind != ColumnRole::Kind::kTarget) continue;
+              if (first) {
+                x = row[i];
+                first = false;
+              } else if (row[i] != x) {
+                return;  // Repeated loop variable must match itself.
+              }
+            }
+            if (first) return;  // No target column (absent-relation case).
+            std::uint64_t packed = PackValue(x);
+            if (ordered) {
+              seen.insert(packed);
+            } else if (domain_set.count(packed) != 0 &&
+                       seen.insert(packed).second) {
+              loop.values.push_back(x);
+            }
+          };
+          if (atom.probe_mask != 0) {
+            for (std::uint32_t pos : rel->Probe(atom.probe_mask, key)) {
+              consider(rel->row(pos));
+            }
+          } else {
+            for (std::size_t pos = 0; pos < rel->size(); ++pos) {
+              consider(rel->row(pos));
+            }
+          }
+          if (ordered) {
+            // Domain-order sweep: keeps emission order identical to a
+            // filtered full-domain loop (and filters to the domain).
+            for (Value v : domain) {
+              if (seen.count(PackValue(v)) != 0) loop.values.push_back(v);
+            }
+          }
+        }
+        ++pc;
+        break;
+      }
+      case OpCode::kLoopNext: {
+        LoopState& loop = loops[in.a];
+        const std::vector<Value>& values =
+            loop.source != nullptr ? *loop.source : loop.values;
+        if (loop.pos < values.size()) {
+          regs[in.reg] = values[loop.pos++];
+          pc = in.t_pc;
+        } else {
+          pc = in.f_pc;
+        }
+        break;
+      }
+      case OpCode::kEmit: {
+        assert(answers != nullptr && "kEmit outside enumerate mode");
+        std::vector<Value> row;
+        row.reserve(program.output_regs.size());
+        for (std::uint16_t reg : program.output_regs) {
+          row.push_back(regs[reg]);
+        }
+        answers->push_back(Tuple(std::move(row)));
+        pc = in.t_pc;
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+bool ExecuteMembership(const Program& program, const Database& db,
+                       const std::vector<Value>& domain,
+                       const std::vector<Value>& inputs) {
+  assert(!program.enumerate);
+  return Run(program, db, domain, inputs, nullptr);
+}
+
+bool ExecuteEnumerate(const Program& program, const Database& db,
+                      const std::vector<Value>& domain,
+                      std::vector<Tuple>* answers) {
+  assert(program.enumerate);
+  return Run(program, db, domain, {}, answers);
+}
+
+}  // namespace plan
+}  // namespace zeroone

@@ -1,0 +1,40 @@
+#ifndef ZEROONE_PLAN_VM_H_
+#define ZEROONE_PLAN_VM_H_
+
+// Switch-dispatch bytecode VM (docs/planner.md).
+//
+// Executes one Program against a database snapshot and a quantification
+// domain. The VM polls the thread's CancelToken every few hundred
+// instructions and bails out with a partial result when cancellation is
+// requested — callers that install tokens (the svc layer) discard the
+// result, exactly as with the interpreter's cooperative loops. The
+// plan.vm.cancel fault point can force that path deterministically.
+
+#include <vector>
+
+#include "data/database.h"
+#include "data/tuple.h"
+#include "data/value.h"
+#include "plan/bytecode.h"
+
+namespace zeroone {
+namespace plan {
+
+// Runs a membership program. `inputs[i]` is the value of variable
+// program.input_vars[i]. Returns the formula's truth value (false when
+// cancelled mid-run).
+bool ExecuteMembership(const Program& program, const Database& db,
+                       const std::vector<Value>& domain,
+                       const std::vector<Value>& inputs);
+
+// Runs an enumerate program, appending each emitted answer to `answers` in
+// emission order (identical to the interpreter's). Returns false when the
+// run was cancelled (answers then hold a partial prefix).
+bool ExecuteEnumerate(const Program& program, const Database& db,
+                      const std::vector<Value>& domain,
+                      std::vector<Tuple>* answers);
+
+}  // namespace plan
+}  // namespace zeroone
+
+#endif  // ZEROONE_PLAN_VM_H_

@@ -9,6 +9,10 @@
 #include "data/valuation.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "plan/cache.h"
+#include "plan/compiler.h"
+#include "plan/mode.h"
+#include "plan/vm.h"
 
 namespace zeroone {
 
@@ -264,12 +268,50 @@ bool Eval(const Formula& formula, const EvalContext& ctx, Environment* env) {
   return false;
 }
 
+// Fetches (or compiles) the plan for `query`. Caching happens only under a
+// plan scope (installed by the svc layer around read commands): the scope
+// key carries the session version, so a cached plan is only ever replayed
+// against databases of the version it was compiled for. Without a scope,
+// compilation is fresh per call — O(|formula|), cheap next to evaluation.
+std::shared_ptr<const plan::CompiledQuery> PlanFor(const Query& query,
+                                                   const Database& db,
+                                                   bool enumerate) {
+  const std::string* scope = plan::CurrentPlanScope();
+  if (scope == nullptr) {
+    return std::make_shared<plan::CompiledQuery>(plan::CompileFormulaQuery(
+        *query.formula(), query.free_variables(), query.variable_count(),
+        query.variable_names(), db, enumerate));
+  }
+  std::string key = *scope;
+  key += '\x1f';
+  key += enumerate ? 'e' : 'm';
+  key += '\x1f';
+  key += query.ToString();
+  plan::PlanCache& cache = plan::PlanCache::Global();
+  if (auto cached = cache.Get(key)) return cached;
+  auto compiled = std::make_shared<plan::CompiledQuery>(
+      plan::CompileFormulaQuery(*query.formula(), query.free_variables(),
+                                query.variable_count(), query.variable_names(),
+                                db, enumerate));
+  cache.Put(key, compiled);
+  return compiled;
+}
+
 }  // namespace
 
 bool EvaluateFormula(const Formula& formula, const Database& db,
                      const std::vector<Value>& domain, Environment* env) {
   EvalContext ctx{db, domain, storage_mode() == StorageMode::kIndexed};
   return Eval(formula, ctx, env);
+}
+
+std::string ExplainQueryPlan(const Query& query, const Database& db) {
+  // Always the enumerate-mode plan: that is what EvaluateQuery runs.
+  return plan::CompileFormulaQuery(*query.formula(), query.free_variables(),
+                                   query.variable_count(),
+                                   query.variable_names(), db,
+                                   /*enumerate=*/true)
+      .explain;
 }
 
 bool EvaluateMembership(const Query& query, const Database& db,
@@ -288,6 +330,15 @@ bool EvaluateMembership(const Query& query, const Database& db,
     // Repeated output variables must agree.
     if (env[var] && *env[var] != tuple[i]) return false;
     env[var] = tuple[i];
+  }
+  if (plan::plan_mode() == plan::PlanMode::kCompiled) {
+    auto compiled = PlanFor(query, db, /*enumerate=*/false);
+    std::vector<Value> inputs;
+    inputs.reserve(compiled->program.input_vars.size());
+    for (std::size_t var : compiled->program.input_vars) {
+      inputs.push_back(*env[var]);
+    }
+    return plan::ExecuteMembership(compiled->program, db, domain, inputs);
   }
   return EvaluateFormula(*query.formula(), db, domain, &env);
 }
@@ -331,6 +382,12 @@ std::vector<Tuple> EvaluateQuery(const Query& query, const Database& db) {
   ZO_TRACE_SPAN("EvaluateQuery");
   ZO_COUNTER_INC("eval.queries_evaluated");
   std::vector<Value> domain = db.ActiveDomain();
+  if (plan::plan_mode() == plan::PlanMode::kCompiled) {
+    auto compiled = PlanFor(query, db, /*enumerate=*/true);
+    std::vector<Tuple> answers;
+    plan::ExecuteEnumerate(compiled->program, db, domain, &answers);
+    return answers;
+  }
   Environment env(query.variable_count());
   std::vector<Tuple> answers;
   if (query.is_boolean()) {

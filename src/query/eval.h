@@ -2,6 +2,7 @@
 #define ZEROONE_QUERY_EVAL_H_
 
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "data/database.h"
@@ -34,6 +35,13 @@ bool EvaluateFormula(const Formula& formula, const Database& db,
 // returns {()} (true) or {} (false). Exhaustive over adom^arity; intended
 // for the exact small-instance computations at the heart of the measures.
 std::vector<Tuple> EvaluateQuery(const Query& query, const Database& db);
+
+// Renders the cost-based plan EvaluateQuery would run for `query` against
+// `db` (operator tree, candidate atoms, index masks, estimates) without
+// executing it. Always compiles fresh — estimates reflect the live
+// database. See docs/planner.md; surfaced via `zeroone_cli --explain` and
+// the svc `@explain=1` request option.
+std::string ExplainQueryPlan(const Query& query, const Database& db);
 
 // D ⊨ Q(ā): membership test without materializing all answers.
 // Precondition: tuple.arity() == query.arity() and the tuple is over

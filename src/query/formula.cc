@@ -173,6 +173,24 @@ std::string TermToString(const Term& t,
 }
 
 std::string ToStringImpl(const Formula& f,
+                         const std::vector<std::string>& names);
+
+// Renders a direct operand of a binary connective. Quantifiers print with
+// maximal scope (the parser extends their body as far right as possible),
+// so a quantified operand must be parenthesized or `exists y. A | B` would
+// re-parse as `exists y. (A | B)` — print → parse must preserve meaning
+// (the plan cache keys on the printed form; see parse_roundtrip_test).
+std::string OperandToString(const Formula& f,
+                            const std::vector<std::string>& names) {
+  std::string text = ToStringImpl(f, names);
+  if (f.kind() == Formula::Kind::kExists ||
+      f.kind() == Formula::Kind::kForall) {
+    return "(" + text + ")";
+  }
+  return text;
+}
+
+std::string ToStringImpl(const Formula& f,
                          const std::vector<std::string>& names) {
   switch (f.kind()) {
     case Formula::Kind::kTrue:
@@ -198,12 +216,12 @@ std::string ToStringImpl(const Formula& f,
       std::string result = "(";
       for (std::size_t i = 0; i < f.children().size(); ++i) {
         if (i > 0) result += op;
-        result += ToStringImpl(*f.children()[i], names);
+        result += OperandToString(*f.children()[i], names);
       }
       return result + ")";
     }
     case Formula::Kind::kImplies:
-      return "(" + ToStringImpl(*f.children()[0], names) + " -> " +
+      return "(" + OperandToString(*f.children()[0], names) + " -> " +
              ToStringImpl(*f.children()[1], names) + ")";
     case Formula::Kind::kExists:
       return "exists " + NameOf(f.bound_variable(), names) + ". " +

@@ -8,6 +8,9 @@
 #include <optional>
 #include <set>
 
+#include "plan/clause_plan.h"
+#include "plan/mode.h"
+
 namespace zeroone {
 
 namespace {
@@ -145,8 +148,28 @@ CompiledClause Compile(const ConjunctiveClause& clause, const Database& db,
   }
   out.unsatisfiable = unsat;
 
-  // Compile atoms.
-  for (const CQAtom& atom : clause.atoms) {
+  // Compile atoms — in cost-based order when the compiled evaluator is
+  // active. Search's match set is join-order independent (each candidate
+  // tuple is fully re-verified against the assignment), so the permutation
+  // changes backtracking effort only, never answers.
+  std::vector<std::size_t> atom_order(clause.atoms.size());
+  for (std::size_t i = 0; i < atom_order.size(); ++i) atom_order[i] = i;
+  if (plan::plan_mode() == plan::PlanMode::kCompiled) {
+    std::vector<plan::ClauseAtom> planned;
+    planned.reserve(clause.atoms.size());
+    for (const CQAtom& atom : clause.atoms) {
+      planned.push_back({atom.relation, atom.terms});
+    }
+    // A variable pinned to a value (by an equality or the output tuple)
+    // counts as bound from the start.
+    std::set<std::size_t> bound_vars;
+    for (std::size_t i = 0; i < variables.size(); ++i) {
+      if (pin[uf.Find(i)]) bound_vars.insert(variables[i]);
+    }
+    atom_order = plan::OrderClauseAtoms(planned, db, bound_vars);
+  }
+  for (std::size_t atom_index : atom_order) {
+    const CQAtom& atom = clause.atoms[atom_index];
     CompiledClause::CompiledAtom compiled;
     compiled.relation =
         db.HasRelation(atom.relation) ? &db.relation(atom.relation) : nullptr;

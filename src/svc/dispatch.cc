@@ -22,6 +22,7 @@
 #include "fault/fault.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "plan/cache.h"
 #include "query/eval.h"
 #include "query/parser.h"
 
@@ -41,6 +42,15 @@ void AppendTuples(std::ostringstream* out, const std::vector<Tuple>& tuples) {
     return;
   }
   for (const Tuple& t : tuples) *out << "  " << t.ToString() << "\n";
+}
+
+// Commands that evaluate the session query against the session database —
+// the ones whose FO plan `@explain=1` can print.
+bool IsQueryEvalCommand(const std::string& command) {
+  return command == "naive" || command == "certain" ||
+         command == "possible" || command == "best" || command == "bestmu" ||
+         command == "mu" || command == "muk" || command == "poly" ||
+         command == "compare" || command == "cond";
 }
 
 Status RequireQuery(const SessionState& session) {
@@ -401,6 +411,39 @@ Response Dispatcher::Execute(const Request& request) {
         StrCat("saved ", request.session, " v", session->version);
     return response;
   }
+  if (request.explain) {
+    // @explain=1: answer with the plan the evaluation would run, without
+    // executing it. Never reads or fills the result cache — the point is
+    // to see the plan for the live session state.
+    std::shared_lock<std::shared_mutex> lock(session->mutex);
+    if (IsQueryEvalCommand(request.command)) {
+      Status has_query = RequireQuery(*session);
+      if (!has_query.ok()) {
+        response.status = WireStatus::kErr;
+        response.payload = has_query.message();
+        return response;
+      }
+      response.payload = ExplainQueryPlan(session->query, session->db);
+      return response;
+    }
+    if (request.command == "dlog") {
+      StatusOr<std::string> contents = ReadFile(request.args);
+      StatusOr<DatalogProgram> program =
+          contents.ok() ? ParseDatalogProgram(contents.value())
+                        : StatusOr<DatalogProgram>(contents.status());
+      if (!program.ok()) {
+        response.status = WireStatus::kErr;
+        response.payload = program.status().message();
+        return response;
+      }
+      response.payload = ExplainDatalogPlan(program.value(), session->db);
+      return response;
+    }
+    response.status = WireStatus::kErr;
+    response.payload = StrCat("@explain=1 is not supported for '",
+                              request.command, "'");
+    return response;
+  }
   CancelToken* token = CurrentCancelToken();
   bool mutation = IsMutationCommand(request.command);
   bool cacheable = !request.no_cache && !mutation &&
@@ -435,6 +478,11 @@ Response Dispatcher::Execute(const Request& request) {
     }
   } else {
     std::shared_lock<std::shared_mutex> lock(session->mutex);
+    // Compiled plans for this read are cached under (session, version):
+    // any mutation bumps the version, so a stale plan is unreachable —
+    // the same invalidation discipline as the result cache below.
+    plan::ScopedPlanScope plan_scope(
+        StrCat(request.session, kKeySep, session->version));
     if (cacheable) {
       cache_key = CacheKey(request, session->version,
                            session->has_query ? session->query.ToString()

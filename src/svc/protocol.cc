@@ -189,6 +189,15 @@ StatusOr<Request> ParseRequestLine(std::string_view line) {
     } else if (option.rfind("@deadline_ms=", 0) == 0) {
       ZO_ASSIGN_OR_RETURN(request.deadline_ms,
                           ParseUint(option.substr(13)));
+    } else if (option.rfind("@explain=", 0) == 0) {
+      std::uint64_t value = 0;
+      ZO_ASSIGN_OR_RETURN(value, ParseUint(option.substr(9)));
+      if (value > 1) {
+        return Status::Error("bad @explain value '",
+                             std::string(option.substr(9)),
+                             "' (expected 0 or 1)");
+      }
+      request.explain = value != 0;
     } else {
       return Status::Error("unknown request option '", std::string(option),
                            "'");
@@ -219,6 +228,7 @@ std::string FormatRequestLine(const Request& request) {
     line += StrCat("@deadline_ms=", request.deadline_ms, " ");
   }
   if (request.no_cache) line += "@nocache ";
+  if (request.explain) line += "@explain=1 ";
   line += request.command;
   if (!request.args.empty()) line += StrCat(" ", request.args);
   return line;

@@ -8,7 +8,7 @@
 //
 //   request  := *(option SP) command [SP args] LF
 //   option   := "@id=" token | "@session=" token | "@deadline_ms=" uint
-//             | "@nocache"
+//             | "@nocache" | "@explain=" ("0" | "1")
 //   command  := "ping" | "stats" | "db" | "load" | "reset" | "show"
 //             | "query" | "naive" | "certain" | "possible" | "best"
 //             | "bestmu" | "mu" | "muk" | "poly" | "compare" | "cond"
@@ -65,6 +65,7 @@ struct Request {
   std::string session = "default"; // Named database session.
   std::uint64_t deadline_ms = 0;   // 0 = no deadline.
   bool no_cache = false;           // Bypass (and do not fill) the cache.
+  bool explain = false;            // Print the query plan, don't execute.
   std::string command;
   std::string args;                // Remainder of the line, trimmed.
 };

@@ -71,9 +71,18 @@ struct Session {
   Query query;
   bool has_query = false;
   bool done = false;
+  bool explain = false;  // --explain: print plans instead of evaluating.
   ConstraintSet constraints;
   std::vector<FunctionalDependency> fds;
 };
+
+// Commands whose evaluation --explain replaces with the chosen plan.
+bool IsEvalCommand(const std::string& command) {
+  return command == "naive" || command == "certain" ||
+         command == "possible" || command == "best" || command == "bestmu" ||
+         command == "mu" || command == "muk" || command == "poly" ||
+         command == "compare" || command == "cond";
+}
 
 void PrintTuples(const std::vector<Tuple>& tuples) {
   if (tuples.empty()) {
@@ -132,6 +141,27 @@ void Handle(Session* session, const std::string& line) {
   std::getline(stream, rest);
   while (!rest.empty() && rest.front() == ' ') rest.erase(rest.begin());
 
+  if (session->explain && IsEvalCommand(command)) {
+    if (!RequireQuery(*session)) return;
+    std::cout << ExplainQueryPlan(session->query, session->db);
+    return;
+  }
+  if (session->explain && command == "dlog") {
+    std::ifstream file(rest);
+    if (!file) {
+      std::cout << "error: cannot open '" << rest << "'\n";
+      return;
+    }
+    std::stringstream contents;
+    contents << file.rdbuf();
+    StatusOr<DatalogProgram> program = ParseDatalogProgram(contents.str());
+    if (!program.ok()) {
+      std::cout << "error: " << program.status().message() << "\n";
+      return;
+    }
+    std::cout << ExplainDatalogPlan(*program, session->db);
+    return;
+  }
   if (command == "help") {
     std::cout << "commands: load db show query naive certain possible best ra dlog "
                  "bestmu mu muk poly compare fd ind constraints clear cond "
@@ -350,6 +380,7 @@ int main(int argc, char** argv) {
   //   --metrics[=FILE]   dump the counter/histogram registry as JSON at exit
   //   --trace=FILE       record trace spans and write Chrome trace_events JSON
   bool dump_metrics = false;
+  bool explain = false;
   std::string metrics_file;
   std::string trace_file;
   std::string script;
@@ -362,9 +393,12 @@ int main(int argc, char** argv) {
       metrics_file = arg.substr(std::string("--metrics=").size());
     } else if (arg.rfind("--trace=", 0) == 0) {
       trace_file = arg.substr(std::string("--trace=").size());
+    } else if (arg == "--explain") {
+      explain = true;
     } else if (arg == "--help") {
       std::cout
-          << "usage: zeroone_cli [--metrics[=FILE]] [--trace=FILE] [script]\n"
+          << "usage: zeroone_cli [--metrics[=FILE]] [--trace=FILE] "
+             "[--explain] [script]\n"
              "\n"
              "Interactive REPL (or script runner) for certain-answer and\n"
              "almost-certain-answer evaluation over incomplete databases.\n"
@@ -372,6 +406,8 @@ int main(int argc, char** argv) {
              "  --metrics[=FILE]  dump the observability counter registry as\n"
              "                    JSON on exit (stdout when FILE is omitted)\n"
              "  --trace=FILE      record spans, write Chrome trace_events\n"
+             "  --explain         evaluation commands print the cost-based\n"
+             "                    plan (docs/planner.md) instead of running\n"
              "  script            newline-delimited command file; '#' starts\n"
              "                    a comment. Omit for an interactive prompt.\n"
              "\n"
@@ -384,14 +420,14 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--", 0) == 0) {
       std::cerr << "unknown flag '" << arg << "'\n"
                 << "usage: zeroone_cli [--metrics[=FILE]] [--trace=FILE] "
-                   "[script] (try --help)\n";
+                   "[--explain] [script] (try --help)\n";
       return 1;
     } else if (script.empty()) {
       script = arg;
     } else {
       std::cerr << "unexpected extra argument '" << arg << "'\n"
                 << "usage: zeroone_cli [--metrics[=FILE]] [--trace=FILE] "
-                   "[script] (try --help)\n";
+                   "[--explain] [script] (try --help)\n";
       return 1;
     }
   }
@@ -400,6 +436,7 @@ int main(int argc, char** argv) {
   }
 
   zeroone::Session session;
+  session.explain = explain;
   std::istream* input = &std::cin;
   std::ifstream file;
   bool interactive = true;
