@@ -43,8 +43,12 @@ done
 
 workdir="$(mktemp -d)"
 server_pid=""
+primary_pid=""
+follower_pid=""
 cleanup() {
   [[ -n "$server_pid" ]] && kill -KILL "$server_pid" 2>/dev/null || true
+  [[ -n "$primary_pid" ]] && kill -KILL "$primary_pid" 2>/dev/null || true
+  [[ -n "$follower_pid" ]] && kill -KILL "$follower_pid" 2>/dev/null || true
   rm -rf "$workdir"
 }
 trap cleanup EXIT
@@ -190,5 +194,197 @@ echo "chaos_serving: PASS ($kills kills survived, $(wc -l < "$acklog")" \
 if [[ -z "${CHAOS_SECOND_PASS:-}" ]]; then
   echo ""
   echo "chaos_serving: second pass with --event-threads=2"
-  CHAOS_SECOND_PASS=1 EXTRA_SERVER_FLAGS="--event-threads=2" "$0" "$build_dir"
+  CHAOS_SECOND_PASS=1 \
+    EXTRA_SERVER_FLAGS="--event-threads=2 ${EXTRA_SERVER_FLAGS:-}" \
+    "$0" "$build_dir"
+fi
+
+# ---------------------------------------------------------------------------
+# Failover pass: an --ack-mode=fsync primary is SIGKILLed mid-load $kills
+# times with a warm standby pulling its log the whole time, then killed for
+# good. The standby (restarted with a fast promotion timeout, recovering
+# from its OWN snapshots + log) must promote, accept writes, and serve 100%
+# of the acked writes from every phase — the verify runs against the dead
+# primary's port with --standby-port, so every hit comes from the standby.
+# Set CHAOS_SKIP_FAILOVER=1 to run only the single-server battery.
+if [[ -z "${CHAOS_SECOND_PASS:-}" && -z "${CHAOS_SKIP_FAILOVER:-}" ]]; then
+  echo ""
+  echo "chaos_serving: failover pass (--ack-mode=fsync primary + standby," \
+       "$kills kills)"
+  fo="$workdir/failover"
+  mkdir -p "$fo"
+  fo_acklog="$fo/acks.log"
+  primary_port="$port"
+  follower_port="$(python3 -c 'import socket; s = socket.socket();
+s.bind(("127.0.0.1", 0)); print(s.getsockname()[1])')"
+
+  primary_epoch=0
+  start_primary() {
+    primary_epoch=$((primary_epoch + 1))
+    local out="$fo/primary.$primary_epoch.out"
+    "$server" --port="$primary_port" --threads=4 --queue=64 \
+      --snapshot-dir="$fo/primary-snapshots" --ack-mode=fsync \
+      --bind-retry-ms=5000 \
+      > "$out" 2> "$fo/primary.$primary_epoch.err" &
+    primary_pid=$!
+    for _ in $(seq 1 100); do
+      grep -q "^listening on " "$out" && return 0
+      if ! kill -0 "$primary_pid" 2>/dev/null; then break; fi
+      sleep 0.1
+    done
+    echo "failover primary epoch $primary_epoch did not come up:" >&2
+    cat "$fo/primary.$primary_epoch.err" >&2
+    return 1
+  }
+
+  follower_gen=0
+  start_follower() {  # $1 = --promote-after-ms value
+    follower_gen=$((follower_gen + 1))
+    local out="$fo/follower.$follower_gen.out"
+    "$server" --port="$follower_port" --threads=2 --queue=64 \
+      --snapshot-dir="$fo/follower-snapshots" \
+      --follow="127.0.0.1:$primary_port" --pull-interval-ms=20 \
+      --promote-after-ms="$1" --bind-retry-ms=5000 \
+      > "$out" 2> "$fo/follower.$follower_gen.err" &
+    follower_pid=$!
+    for _ in $(seq 1 100); do
+      grep -q "^listening on " "$out" && return 0
+      if ! kill -0 "$follower_pid" 2>/dev/null; then break; fi
+      sleep 0.1
+    done
+    echo "follower gen $follower_gen did not come up:" >&2
+    cat "$fo/follower.$follower_gen.err" >&2
+    return 1
+  }
+
+  start_primary
+  # A promotion timeout far above a restart gap: the standby keeps
+  # following the restarted primary instead of splitting the brain.
+  start_follower 60000
+  echo "primary up on $primary_port, standby following on $follower_port"
+
+  for cycle in $(seq 1 "$kills"); do
+    "$loadgen" --port="$primary_port" --mutate \
+      --connections="$connections" --requests=120 --ack-log="$fo_acklog" \
+      --phase="cycle$cycle" --seed="$((seed + cycle))" \
+      --retry-attempts=12 --retry-backoff-ms=20 \
+      > "$fo/loadgen.$cycle.json" 2> "$fo/loadgen.$cycle.err" &
+    loadgen_pid=$!
+    sleep 0.4
+    if ! kill -0 "$loadgen_pid" 2>/dev/null; then
+      echo "chaos_serving: FAIL — failover loadgen finished before kill" \
+           "cycle $cycle; raise requests= so traffic spans the kill" >&2
+      exit 1
+    fi
+    kill -KILL "$primary_pid" 2>/dev/null || true
+    wait "$primary_pid" 2>/dev/null || true
+    start_primary
+    loadgen_rc=0
+    wait "$loadgen_pid" || loadgen_rc=$?
+    if [[ "$loadgen_rc" -ne 0 ]]; then
+      cat "$fo/loadgen.$cycle.err" >&2
+      echo "chaos_serving: FAIL — failover cycle $cycle loadgen exited" \
+           "$loadgen_rc (eventual success violated)" >&2
+      exit 1
+    fi
+    echo "failover cycle $cycle: primary killed mid-load, restarted" \
+         "(epoch $primary_epoch)"
+  done
+
+  # Quiesce so the standby's next pulls drain the acked tail, then fail the
+  # primary permanently.
+  sleep 1
+  kill -KILL "$primary_pid" 2>/dev/null || true
+  wait "$primary_pid" 2>/dev/null || true
+  primary_pid=""
+
+  # Bounce the standby onto a fast promotion timeout. It recovers from its
+  # own snapshots + log, finds the primary dead, and must promote.
+  kill -TERM "$follower_pid"
+  follower_rc=0
+  wait "$follower_pid" || follower_rc=$?
+  follower_pid=""
+  if [[ "$follower_rc" -ne 0 ]]; then
+    echo "chaos_serving: FAIL — standby exited $follower_rc on SIGTERM" >&2
+    exit 1
+  fi
+  start_follower 300
+
+  # Promotion probe: writes are refused (read-only) until the standby
+  # promotes, then a one-shot mutate succeeds.
+  promoted=""
+  for _ in $(seq 1 100); do
+    if "$loadgen" --port="$follower_port" --mutate --connections=1 \
+        --requests=1 --ack-log="$fo_acklog" --phase=probe \
+        --retry-attempts=1 --retry-backoff-ms=10 \
+        > /dev/null 2>&1; then
+      promoted=1
+      break
+    fi
+    sleep 0.2
+  done
+  if [[ -z "$promoted" ]]; then
+    echo "chaos_serving: FAIL — standby never promoted after primary" \
+         "death:" >&2
+    cat "$fo/follower.$follower_gen.err" >&2
+    exit 1
+  fi
+  echo "standby promoted; running post-failover load"
+
+  "$loadgen" --port="$follower_port" --mutate --connections="$connections" \
+    --requests=20 --ack-log="$fo_acklog" --phase=postfailover \
+    --retry-attempts=10 --retry-backoff-ms=20 \
+    > "$fo/loadgen.post.json" 2> "$fo/loadgen.post.err" || {
+    cat "$fo/loadgen.post.err" >&2
+    echo "chaos_serving: FAIL — post-failover load failed on the" \
+         "promoted standby" >&2
+    exit 1
+  }
+
+  # The moment of truth: the primary is gone, so every acked write from
+  # every phase must be served by the promoted standby.
+  echo "failover verify: $(wc -l < "$fo_acklog") acknowledged mutations" \
+       "across $((kills + 2)) phases"
+  if ! "$loadgen" --port="$primary_port" --standby-port="$follower_port" \
+      --verify="$fo_acklog" --retry-attempts=2 --retry-backoff-ms=10 \
+      > "$fo/verify.json" 2> "$fo/verify.err"; then
+    cat "$fo/verify.err" >&2
+    echo "chaos_serving: FAIL — acked writes lost across failover" >&2
+    exit 1
+  fi
+  cat "$fo/verify.err" >&2
+  echo "failover verify summary: $(cat "$fo/verify.json")"
+  if ! grep -q '"primary_hits": 0' "$fo/verify.json"; then
+    echo "chaos_serving: FAIL — verify counted hits on the dead primary" >&2
+    exit 1
+  fi
+  for phase in $(seq 1 "$kills" | sed 's/^/cycle/') postfailover; do
+    if ! grep -q "\"$phase\"" "$fo/verify.json"; then
+      echo "chaos_serving: FAIL — phase $phase missing from the verify" \
+           "tally (its acks never landed?)" >&2
+      exit 1
+    fi
+  done
+
+  # Crash-safe standby logs: no restart may have quarantined a snapshot.
+  for err in "$fo"/primary.*.err "$fo"/follower.*.err; do
+    if grep -q "quarantined [1-9]" "$err"; then
+      echo "chaos_serving: FAIL — snapshots quarantined in $err:" >&2
+      grep "snapshots:" "$err" >&2
+      exit 1
+    fi
+  done
+
+  kill -TERM "$follower_pid"
+  follower_rc=0
+  wait "$follower_pid" || follower_rc=$?
+  follower_pid=""
+  if [[ "$follower_rc" -ne 0 ]]; then
+    echo "chaos_serving: FAIL — promoted standby exited $follower_rc on" \
+         "SIGTERM" >&2
+    exit 1
+  fi
+  echo "chaos_serving failover: PASS ($kills primary kills + permanent" \
+       "death survived, $(wc -l < "$fo_acklog") acked mutations all served" \
+       "by the promoted standby)"
 fi

@@ -1,5 +1,6 @@
 #include "svc/dispatch.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <mutex>
@@ -99,6 +100,37 @@ StatusOr<std::string> ReadFile(const std::string& path) {
   return contents.str();
 }
 
+// Same token shape ParseRequestLine enforces for @session=; `ship` args
+// re-validate because they name sessions outside the request option.
+bool IsValidSessionToken(std::string_view token) {
+  if (token.empty() || token.size() > kMaxTokenBytes) return false;
+  for (char c : token) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == '-' || c == '.';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+StatusOr<std::uint64_t> ParseUint64(std::string_view text) {
+  if (text.empty() || text.size() > 20) {
+    return Status::Error("bad unsigned integer '", text, "'");
+  }
+  std::uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') {
+      return Status::Error("bad unsigned integer '", text, "'");
+    }
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+// One `ship` response carries at most this many record-frame bytes (plus
+// one frame of overshoot), keeping the payload well under kMaxPayloadBytes
+// so FormatResponse never truncates mid-frame.
+constexpr std::size_t kShipBatchBytes = 1 << 20;
+
 // Runs one command against the session. The caller holds the appropriate
 // session lock. Sets *mutated when session state changed (the caller then
 // bumps the version and invalidates cache entries).
@@ -119,6 +151,14 @@ StatusOr<std::string> RunCommand(SessionState* session,
   } else if (command == "load") {
     ZO_ASSIGN_OR_RETURN(std::string contents, ReadFile(args));
     ZO_ASSIGN_OR_RETURN(Database db, ParseDatabase(contents));
+    session->db = std::move(db);
+    *mutated = true;
+    out << "loaded " << session->db.TupleCount() << " tuples";
+  } else if (command == "loaddata") {
+    // Replay form of `load` (not a wire command): the database text is
+    // inline, so WAL recovery and log shipping never read the primary's
+    // filesystem. Output matches `load` byte-for-byte.
+    ZO_ASSIGN_OR_RETURN(Database db, ParseDatabase(args));
     session->db = std::move(db);
     *mutated = true;
     out << "loaded " << session->db.TupleCount() << " tuples";
@@ -311,15 +351,62 @@ StatusOr<std::string> RunCommand(SessionState* session,
 }  // namespace
 
 Dispatcher::Dispatcher(const Options& options)
-    : cache_(options.cache_bytes) {
+    : cache_(options.cache_bytes),
+      ack_mode_(options.ack_mode),
+      wal_compact_every_(options.wal_compact_every) {
   if (!options.snapshot_dir.empty()) {
     snapshots_ = std::make_unique<SnapshotStore>(options.snapshot_dir);
+    // The log shares the snapshot directory; the suffixes are disjoint
+    // and LoadAll/ListSessions each skip the other's files.
+    if (options.wal) wal_ = std::make_unique<WalStore>(options.snapshot_dir);
   }
 }
 
-SnapshotStore::LoadReport Dispatcher::LoadSnapshots() {
-  if (snapshots_ == nullptr) return SnapshotStore::LoadReport{};
-  return snapshots_->LoadAll(&sessions_);
+Dispatcher::RecoveryReport Dispatcher::LoadSnapshots() {
+  RecoveryReport report;
+  if (snapshots_ != nullptr) report.snapshots = snapshots_->LoadAll(&sessions_);
+  if (wal_ == nullptr) return report;
+  for (const std::string& name : wal_->ListSessions()) {
+    WalStore::ReadReport read;
+    StatusOr<std::vector<WalRecord>> records = wal_->ReadAll(name, &read);
+    report.wal_truncated_tails += read.truncated_tails;
+    report.wal_quarantined += read.quarantined;
+    if (!records.ok() || records->empty()) continue;
+    ++report.wal_sessions;
+    std::shared_ptr<SessionState> session = sessions_.GetOrCreate(name);
+    std::unique_lock<std::shared_mutex> lock(session->mutex);
+    std::uint64_t pending = 0;
+    for (const WalRecord& record : *records) {
+      ++pending;  // Every record sits in the log until the next compaction.
+      if (record.version <= session->version) {
+        // Covered by the snapshot the last compaction (or save) wrote.
+        ++report.wal_records_skipped;
+        continue;
+      }
+      bool mutated = false;
+      StatusOr<std::string> applied =
+          RunCommand(session.get(), record.command, record.args, &mutated);
+      if (!applied.ok()) {
+        // A record whose command failed on the original run can only be
+        // the log's last one (failed appends are rolled back; a crash can
+        // beat the rollback). It was never acknowledged: skip it without
+        // adopting its version.
+        ++report.wal_replay_failed;
+        ZO_COUNTER_INC("svc.wal.replay_failed");
+        std::fprintf(stderr, "wal: replaying '%s' v%llu '%s' failed: %s\n",
+                     name.c_str(),
+                     static_cast<unsigned long long>(record.version),
+                     record.command.c_str(),
+                     applied.status().message().c_str());
+        continue;
+      }
+      session->version = std::max(session->version, record.version);
+      ++report.wal_records_applied;
+      ZO_COUNTER_INC("svc.wal.replayed");
+    }
+    session->wal_pending = pending;
+  }
+  return report;
 }
 
 std::size_t Dispatcher::SaveAllSessions() {
@@ -333,8 +420,24 @@ std::size_t Dispatcher::SaveAllSessions() {
   for (const std::string& name : sessions_.Names()) {
     std::shared_ptr<SessionState> session = sessions_.GetOrCreate(name);
     std::shared_lock<std::shared_mutex> lock(session->mutex);
+    if (session->persisted_version.load(std::memory_order_acquire) ==
+        session->version) {
+      ZO_COUNTER_INC("svc.snapshot.save_skipped");
+      continue;
+    }
     Status status = snapshots_->Save(name, *session);
     if (status.ok()) {
+      session->persisted_version.store(session->version,
+                                       std::memory_order_release);
+      if (wal_ != nullptr) {
+        // Clean-shutdown compaction: the snapshot now covers every log
+        // record, so the next start replays nothing.
+        Status reset = wal_->Reset(name, session->version);
+        if (!reset.ok()) {
+          std::fprintf(stderr, "wal: resetting '%s' on drain failed: %s\n",
+                       name.c_str(), reset.message().c_str());
+        }
+      }
       ++saved;
     } else {
       ZO_COUNTER_INC("svc.snapshot.save_failed");
@@ -343,6 +446,145 @@ std::size_t Dispatcher::SaveAllSessions() {
     }
   }
   return saved;
+}
+
+void Dispatcher::MaybeCompactLocked(const std::string& name,
+                                    SessionState* session) {
+  if (snapshots_ == nullptr || wal_ == nullptr || wal_compact_every_ == 0) {
+    return;
+  }
+  if (session->wal_pending < wal_compact_every_) return;
+  // Reset the counter up front so a failed compaction retries only after
+  // another full window, not on every subsequent mutation.
+  session->wal_pending = 0;
+  Status prepared = snapshots_->Prepare();
+  Status saved =
+      prepared.ok() ? snapshots_->Save(name, *session) : prepared;
+  if (!saved.ok()) {
+    ZO_COUNTER_INC("svc.wal.compact_failed");
+    std::fprintf(stderr, "wal: compacting '%s' failed at snapshot: %s\n",
+                 name.c_str(), saved.message().c_str());
+    return;
+  }
+  session->persisted_version.store(session->version,
+                                   std::memory_order_release);
+  Status reset = wal_->Reset(name, session->version);
+  if (!reset.ok()) {
+    // The snapshot landed, so the stale log is merely redundant: replay
+    // skips records at or below the snapshot version.
+    ZO_COUNTER_INC("svc.wal.compact_failed");
+    std::fprintf(stderr, "wal: compacting '%s' failed at log reset: %s\n",
+                 name.c_str(), reset.message().c_str());
+    return;
+  }
+  ZO_COUNTER_INC("svc.wal.compactions");
+}
+
+Status Dispatcher::ApplyReplicatedRecord(const std::string& name,
+                                         const WalRecord& record) {
+  if (!IsValidSessionToken(name)) {
+    return Status::Error("bad session token '", name, "'");
+  }
+  std::shared_ptr<SessionState> session = sessions_.GetOrCreate(name);
+  std::unique_lock<std::shared_mutex> lock(session->mutex);
+  if (record.version <= session->version) {
+    ZO_COUNTER_INC("svc.ship.records_skipped");
+    return Status::Ok();  // Re-shipped record; applying again would fork.
+  }
+  std::uint64_t wal_before = 0;
+  bool wal_appended = false;
+  if (wal_ != nullptr) {
+    ZO_RETURN_IF_ERROR(wal_->Prepare());
+    // Log shipped records like local mutations (keeping the primary's
+    // version numbers), so a follower crash recovers to its cursor.
+    ZO_ASSIGN_OR_RETURN(
+        wal_before,
+        wal_->Append(name, record, ack_mode_ == AckMode::kFsync));
+    wal_appended = true;
+  }
+  bool mutated = false;
+  StatusOr<std::string> applied =
+      RunCommand(session.get(), record.command, record.args, &mutated);
+  if (!applied.ok()) {
+    if (wal_appended) wal_->TruncateTo(name, wal_before);
+    ZO_COUNTER_INC("svc.ship.apply_failed");
+    return Status::Error("applying shipped '", record.command, "' v",
+                         record.version, " failed: ",
+                         applied.status().message());
+  }
+  session->version = record.version;
+  const std::string prefix = StrCat(name, kKeySep);
+  cache_.EraseIf([&prefix](std::string_view key) {
+    return key.substr(0, prefix.size()) == prefix;
+  });
+  if (wal_appended) {
+    ++session->wal_pending;
+    MaybeCompactLocked(name, session.get());
+  }
+  ZO_COUNTER_INC("svc.ship.records_applied");
+  return Status::Ok();
+}
+
+Status Dispatcher::InstallSnapshotImage(const std::string& image) {
+  std::string name;
+  SessionState loaded;
+  ZO_RETURN_IF_ERROR(DecodeSnapshot(image, &name, &loaded));
+  if (!IsValidSessionToken(name)) {
+    return Status::Error("bad session token '", name, "'");
+  }
+  std::shared_ptr<SessionState> session = sessions_.GetOrCreate(name);
+  std::unique_lock<std::shared_mutex> lock(session->mutex);
+  if (loaded.version < session->version) {
+    return Status::Error("stale snapshot v", loaded.version, " for '", name,
+                         "' already at v", session->version);
+  }
+  session->version = loaded.version;
+  session->db = std::move(loaded.db);
+  session->query = std::move(loaded.query);
+  session->has_query = loaded.has_query;
+  session->constraints = std::move(loaded.constraints);
+  session->fds = std::move(loaded.fds);
+  session->wal_pending = 0;
+  const std::string prefix = StrCat(name, kKeySep);
+  cache_.EraseIf([&prefix](std::string_view key) {
+    return key.substr(0, prefix.size()) == prefix;
+  });
+  // Persist the image locally so a follower crash resumes from here
+  // instead of re-pulling the full state.
+  if (snapshots_ != nullptr) {
+    Status prepared = snapshots_->Prepare();
+    Status saved =
+        prepared.ok() ? snapshots_->Save(name, *session) : prepared;
+    if (saved.ok()) {
+      session->persisted_version.store(session->version,
+                                       std::memory_order_release);
+      if (wal_ != nullptr) {
+        Status reset = wal_->Reset(name, session->version);
+        if (!reset.ok()) {
+          std::fprintf(stderr, "wal: resetting '%s' after snapshot install "
+                               "failed: %s\n",
+                       name.c_str(), reset.message().c_str());
+        }
+      }
+    } else {
+      ZO_COUNTER_INC("svc.snapshot.save_failed");
+      std::fprintf(stderr, "snapshot: persisting installed '%s' failed: %s\n",
+                   name.c_str(), saved.message().c_str());
+    }
+  }
+  ZO_COUNTER_INC("svc.ship.snapshots_installed");
+  return Status::Ok();
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+Dispatcher::SessionVersions() {
+  std::vector<std::pair<std::string, std::uint64_t>> versions;
+  for (const std::string& name : sessions_.Names()) {
+    std::shared_ptr<SessionState> session = sessions_.GetOrCreate(name);
+    std::shared_lock<std::shared_mutex> lock(session->mutex);
+    versions.emplace_back(name, session->version);
+  }
+  return versions;
 }
 
 std::string Dispatcher::CacheKey(const Request& request,
@@ -386,31 +628,11 @@ Response Dispatcher::Execute(const Request& request) {
     return response;
   }
 
+  if (request.command == "shiplist") return ExecuteShipList(request);
+  if (request.command == "ship") return ExecuteShip(request);
+
   std::shared_ptr<SessionState> session = sessions_.GetOrCreate(request.session);
-  if (request.command == "save") {
-    // Persist the session as it stands. Runs under the shared lock, so the
-    // snapshot is a consistent (state, version) pair; a failed save changed
-    // nothing server-side and is answered UNAVAILABLE so retrying is safe.
-    if (snapshots_ == nullptr) {
-      response.status = WireStatus::kErr;
-      response.payload = "snapshots disabled (start with --snapshot-dir)";
-      return response;
-    }
-    std::shared_lock<std::shared_mutex> lock(session->mutex);
-    Status prepared = snapshots_->Prepare();
-    Status saved =
-        prepared.ok() ? snapshots_->Save(request.session, *session)
-                      : prepared;
-    if (!saved.ok()) {
-      ZO_COUNTER_INC("svc.snapshot.save_failed");
-      response.status = WireStatus::kUnavailable;
-      response.payload = saved.message();
-      return response;
-    }
-    response.payload =
-        StrCat("saved ", request.session, " v", session->version);
-    return response;
-  }
+  if (request.command == "save") return ExecuteSave(request, session.get());
   if (request.explain) {
     // @explain=1: answer with the plan the evaluation would run, without
     // executing it. Never reads or fills the result cache — the point is
@@ -453,6 +675,15 @@ Response Dispatcher::Execute(const Request& request) {
   StatusOr<std::string> result = std::string();
   bool mutated = false;
   if (mutation) {
+    if (read_only()) {
+      // Warm standby: replication is the only writer until promotion.
+      // UNAVAILABLE keeps the retry contract — nothing was applied.
+      ZO_COUNTER_INC("svc.requests.read_only_rejected");
+      response.status = WireStatus::kUnavailable;
+      response.payload = StrCat("read-only follower: '", request.command,
+                                "' not applied; retry after failover");
+      return response;
+    }
     if (ZO_FAULT_POINT("svc.session.mutate.fail")) {
       // Simulated allocation failure before the mutation starts: the
       // session is untouched, so the client may retry freely.
@@ -464,8 +695,43 @@ Response Dispatcher::Execute(const Request& request) {
       return response;
     }
     std::unique_lock<std::shared_mutex> lock(session->mutex);
-    result = RunCommand(session.get(), request.command, request.args,
-                        &mutated);
+    std::string command = request.command;
+    std::string args = request.args;
+    if (wal_ != nullptr && command == "load") {
+      // Log the file's contents, not its path: replay and shipped
+      // replicas must not depend on the primary's filesystem.
+      StatusOr<std::string> contents = ReadFile(args);
+      if (!contents.ok()) {
+        ZO_COUNTER_INC("svc.requests.error");
+        response.status = WireStatus::kErr;
+        response.payload = contents.status().message();
+        return response;
+      }
+      command = "loaddata";
+      args = std::move(contents).value();
+    }
+    std::uint64_t wal_before = 0;
+    bool wal_appended = false;
+    if (wal_ != nullptr) {
+      // Write-ahead: the record is on disk (fsync'd in fsync ack mode)
+      // before the command runs, so an OK response implies durability.
+      Status prepared = wal_->Prepare();
+      StatusOr<std::uint64_t> appended =
+          prepared.ok()
+              ? wal_->Append(request.session,
+                             WalRecord{session->version + 1, command, args},
+                             ack_mode_ == AckMode::kFsync)
+              : StatusOr<std::uint64_t>(prepared);
+      if (!appended.ok()) {
+        ZO_COUNTER_INC("svc.requests.wal_unavailable");
+        response.status = WireStatus::kUnavailable;
+        response.payload = appended.status().message();
+        return response;
+      }
+      wal_before = *appended;
+      wal_appended = true;
+    }
+    result = RunCommand(session.get(), command, args, &mutated);
     if (mutated) {
       ++session->version;
       // Eager invalidation: results computed against older versions are
@@ -475,6 +741,15 @@ Response Dispatcher::Execute(const Request& request) {
       cache_.EraseIf([&prefix](std::string_view key) {
         return key.substr(0, prefix.size()) == prefix;
       });
+      if (wal_appended) {
+        ++session->wal_pending;
+        MaybeCompactLocked(request.session, session.get());
+      }
+    } else if (wal_appended) {
+      // The command failed (or was deadline-cancelled) and changed
+      // nothing: roll its record back out so the log holds exactly the
+      // applied mutations.
+      wal_->TruncateTo(request.session, wal_before);
     }
   } else {
     std::shared_lock<std::shared_mutex> lock(session->mutex);
@@ -526,6 +801,137 @@ Response Dispatcher::Execute(const Request& request) {
   return response;
 }
 
+Response Dispatcher::ExecuteSave(const Request& request,
+                                 SessionState* session) {
+  // Persist the session as it stands. Runs under the shared lock, so the
+  // snapshot is a consistent (state, version) pair; a failed save changed
+  // nothing server-side and is answered UNAVAILABLE so retrying is safe.
+  Response response;
+  response.id = request.id;
+  if (snapshots_ == nullptr) {
+    response.status = WireStatus::kErr;
+    response.payload = "snapshots disabled (start with --snapshot-dir)";
+    return response;
+  }
+  std::shared_lock<std::shared_mutex> lock(session->mutex);
+  if (session->persisted_version.load(std::memory_order_acquire) ==
+      session->version) {
+    // Nothing changed since the last persisted snapshot: answer without
+    // rewriting the file (byte-identical payload to a real save).
+    ZO_COUNTER_INC("svc.snapshot.save_skipped");
+    response.payload =
+        StrCat("saved ", request.session, " v", session->version);
+    return response;
+  }
+  Status prepared = snapshots_->Prepare();
+  Status saved = prepared.ok() ? snapshots_->Save(request.session, *session)
+                               : prepared;
+  if (!saved.ok()) {
+    ZO_COUNTER_INC("svc.snapshot.save_failed");
+    response.status = WireStatus::kUnavailable;
+    response.payload = saved.message();
+    return response;
+  }
+  session->persisted_version.store(session->version,
+                                   std::memory_order_release);
+  response.payload = StrCat("saved ", request.session, " v", session->version);
+  return response;
+}
+
+Response Dispatcher::ExecuteShipList(const Request& request) {
+  Response response;
+  response.id = request.id;
+  if (wal_ == nullptr) {
+    response.status = WireStatus::kErr;
+    response.payload = "log shipping disabled (start with --snapshot-dir)";
+    return response;
+  }
+  std::ostringstream out;
+  for (const auto& [name, version] : SessionVersions()) {
+    out << name << ' ' << version << '\n';
+  }
+  response.payload = out.str();
+  return response;
+}
+
+Response Dispatcher::ExecuteShip(const Request& request) {
+  Response response;
+  response.id = request.id;
+  if (wal_ == nullptr) {
+    response.status = WireStatus::kErr;
+    response.payload = "log shipping disabled (start with --snapshot-dir)";
+    return response;
+  }
+  const std::size_t space = request.args.find(' ');
+  if (space == std::string::npos) {
+    response.status = WireStatus::kErr;
+    response.payload = "usage: ship <session> <from_version>";
+    return response;
+  }
+  const std::string name = request.args.substr(0, space);
+  StatusOr<std::uint64_t> from = ParseUint64(request.args.substr(space + 1));
+  if (!IsValidSessionToken(name) || !from.ok()) {
+    response.status = WireStatus::kErr;
+    response.payload = "usage: ship <session> <from_version>";
+    return response;
+  }
+  if (ZO_FAULT_POINT("ship.send.fail")) {
+    // Simulated shipping failure before any state is read: the follower
+    // retries from the same cursor on its next pull.
+    ZO_COUNTER_INC("svc.requests.injected_unavailable");
+    response.status = WireStatus::kUnavailable;
+    response.payload = "injected fault: ship.send.fail during 'ship'";
+    return response;
+  }
+  std::shared_ptr<SessionState> session = sessions_.GetOrCreate(name);
+  std::shared_lock<std::shared_mutex> lock(session->mutex);
+  if (*from >= session->version) {
+    response.payload = "RECS 0 0\n";  // Follower is caught up.
+    return response;
+  }
+  if (wal_->Exists(name)) {
+    // The shared session lock excludes mutations, so the log is stable
+    // while we read it.
+    WalStore::ReadReport read;
+    StatusOr<std::vector<WalRecord>> records = wal_->ReadAll(name, &read);
+    if (records.ok() && *from >= read.base_version) {
+      std::string frames;
+      std::size_t count = 0;
+      bool more = false;
+      for (const WalRecord& record : *records) {
+        if (record.version <= *from) continue;
+        if (frames.size() >= kShipBatchBytes) {
+          more = true;  // The follower pulls again immediately.
+          break;
+        }
+        frames += EncodeWalRecord(record);
+        ++count;
+      }
+      response.payload = StrCat("RECS ", count, " ", more ? 1 : 0, "\n");
+      response.payload += frames;
+      ZO_COUNTER_INC("svc.ship.batches");
+      return response;
+    }
+  }
+  // The log no longer reaches back to the follower's cursor (compacted
+  // away, or the session predates its log): ship the full state.
+  StatusOr<std::string> image = EncodeSnapshot(name, *session);
+  if (!image.ok()) {
+    response.status = WireStatus::kErr;
+    response.payload = image.status().message();
+    return response;
+  }
+  if (image->size() > kMaxPayloadBytes - 64) {
+    response.status = WireStatus::kErr;
+    response.payload = StrCat("session '", name, "' snapshot of ",
+                              image->size(), " bytes is too large to ship");
+    return response;
+  }
+  response.payload = StrCat("SNAP\n", *image);
+  ZO_COUNTER_INC("svc.ship.snapshots");
+  return response;
+}
+
 std::string Dispatcher::StatsJson() const {
   LruCache::Stats cache = cache_.stats();
   std::ostringstream out;
@@ -538,7 +944,8 @@ std::string Dispatcher::StatsJson() const {
       << ", \"bytes\": " << cache.bytes
       << ", \"entries\": " << cache.entries
       << ", \"capacity_bytes\": " << cache.capacity_bytes << "}"
-      << ", \"sessions\": " << sessions_.size() << "}";
+      << ", \"sessions\": " << sessions_.size()
+      << ", \"read_only\": " << (read_only() ? "true" : "false") << "}";
   return out.str();
 }
 

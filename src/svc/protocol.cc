@@ -14,7 +14,7 @@ constexpr std::string_view kKnownCommands[] = {
     "query", "naive",   "certain",     "possible", "best", "bestmu",
     "mu",    "muk",     "poly",        "compare", "cond", "fd",
     "ind",   "constraints", "clear",   "chase", "ra",    "dlog",
-    "save",
+    "save",  "shiplist", "ship",
 };
 
 constexpr std::string_view kMutationCommands[] = {

@@ -13,7 +13,14 @@
 //             | "query" | "naive" | "certain" | "possible" | "best"
 //             | "bestmu" | "mu" | "muk" | "poly" | "compare" | "cond"
 //             | "fd" | "ind" | "constraints" | "clear" | "chase" | "ra"
-//             | "dlog" | "save"
+//             | "dlog" | "save" | "shiplist" | "ship"
+//
+// `shiplist` and `ship <session> <from_version>` are the log-shipping
+// surface a warm standby pulls over (docs/robustness.md): shiplist answers
+// `<session> SP <version> LF` per session; ship answers either
+// `"RECS" SP count SP more LF *record` (WAL record frames after
+// from_version) or `"SNAP" LF snapshot-image` when the log has been
+// compacted past the follower's cursor.
 //   token    := 1*64( ALPHA / DIGIT / "_" / "-" / "." )
 //
 // Response — a header line followed by a length-prefixed payload:

@@ -1,0 +1,111 @@
+#ifndef ZEROONE_SVC_REPLICATION_H_
+#define ZEROONE_SVC_REPLICATION_H_
+
+// Warm-standby log-shipping replication (docs/robustness.md).
+//
+// A follower (`zeroone_server --follow=host:port`) runs a Replicator next
+// to its own Dispatcher. The Replicator is a pull loop over the ordinary
+// wire protocol: every pull_interval_ms it sends `shiplist` to the primary
+// to learn (session, version) pairs, then for each session it is behind on
+// sends `ship <session> <cursor>` and applies what comes back —
+//
+//   "RECS <count> <more>\n" *record — WAL record frames past the cursor,
+//       applied through Dispatcher::ApplyReplicatedRecord (which logs them
+//       to the follower's own WAL before applying, so a follower crash
+//       recovers to its cursor);
+//   "SNAP\n" <image>                — a full snapshot image, installed via
+//       Dispatcher::InstallSnapshotImage when the primary's log has been
+//       compacted past the cursor.
+//
+// The follower's Dispatcher runs read-only: client mutations are answered
+// UNAVAILABLE while the primary is alive. When pulls have failed
+// continuously for promote_after_ms, the Replicator declares the primary
+// dead, flips the Dispatcher read-write, and stops pulling — the standby
+// is now the primary and serves every acknowledged write it replicated.
+//
+// Fault sites exercised here: the primary's ship.send.fail surfaces as a
+// transient UNAVAILABLE pull, and replay.decode.fail fires on the
+// follower's frame decode path. Counters land under svc.repl.*.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "common/status.h"
+#include "svc/dispatch.h"
+
+namespace zeroone {
+namespace svc {
+
+struct ReplicatorOptions {
+  std::string host;
+  int port = 0;
+  std::uint64_t pull_interval_ms = 50;
+  // Continuous pull-failure time before the standby promotes itself.
+  // 0 disables promotion (the standby follows forever).
+  std::uint64_t promote_after_ms = 2000;
+  // Per-pull IO/connect timeout, kept short so a dead primary is detected
+  // within a few intervals.
+  std::uint64_t io_timeout_ms = 1000;
+};
+
+class Replicator {
+ public:
+  struct Stats {
+    std::uint64_t pulls = 0;             // shiplist round-trips attempted.
+    std::uint64_t pull_failures = 0;     // Transport or non-OK shiplist.
+    std::uint64_t records_applied = 0;   // Shipped records applied.
+    std::uint64_t snapshots_installed = 0;
+    std::uint64_t decode_failures = 0;   // Undecodable ship payloads.
+    bool promoted = false;
+  };
+
+  Replicator(Dispatcher* dispatcher, const ReplicatorOptions& options);
+  ~Replicator();
+  Replicator(const Replicator&) = delete;
+  Replicator& operator=(const Replicator&) = delete;
+
+  // Marks the dispatcher read-only and starts the pull thread.
+  void Start();
+  // Stops the pull thread (idempotent; also called by the destructor).
+  // The dispatcher's read-only flag is left as the loop set it: still
+  // read-only if the primary was alive, writable if promotion happened.
+  void Stop();
+
+  // One synchronous catch-up pass (shiplist + ship until every session is
+  // current). Exposed for tests and callable while the loop is stopped.
+  Status PullOnce();
+
+  bool promoted() const { return promoted_.load(std::memory_order_acquire); }
+  Stats stats() const;
+
+ private:
+  void Loop();
+  // Applies one ship payload for `session`; advances *cursor. Sets
+  // *caught_up when the primary reports no records past the cursor.
+  Status ApplyShipPayload(const std::string& session,
+                          const std::string& payload, std::uint64_t* cursor,
+                          bool* caught_up);
+  void Promote();
+
+  Dispatcher* const dispatcher_;
+  const ReplicatorOptions options_;
+
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> promoted_{false};
+
+  mutable std::mutex mutex_;  // Guards stats_ and cursors_.
+  Stats stats_;
+  // Last version successfully applied per session (the ship cursor).
+  std::map<std::string, std::uint64_t> cursors_;
+};
+
+}  // namespace svc
+}  // namespace zeroone
+
+#endif  // ZEROONE_SVC_REPLICATION_H_

@@ -353,8 +353,10 @@ class Server::Connection
 
 Server::Server(const ServerOptions& options)
     : options_(options),
-      dispatcher_(
-          Dispatcher::Options{options.cache_bytes, options.snapshot_dir}),
+      dispatcher_(Dispatcher::Options{options.cache_bytes,
+                                      options.snapshot_dir, options.wal,
+                                      options.ack_mode,
+                                      options.wal_compact_every}),
       executor_(std::make_unique<BoundedExecutor>(options.threads,
                                                   options.queue_capacity)) {}
 
@@ -418,15 +420,40 @@ Status Server::Start() {
   }
   // Reload persisted sessions before any traffic can observe their absence.
   if (dispatcher_.snapshots() != nullptr) {
-    SnapshotStore::LoadReport report = dispatcher_.LoadSnapshots();
+    Dispatcher::RecoveryReport report = dispatcher_.LoadSnapshots();
     {
       std::lock_guard<std::mutex> lock(stats_mutex_);
-      stats_.snapshots_loaded = report.loaded;
-      stats_.snapshots_quarantined = report.quarantined;
+      stats_.snapshots_loaded = report.snapshots.loaded;
+      stats_.snapshots_quarantined = report.snapshots.quarantined;
+      stats_.wal_records_replayed = report.wal_records_applied;
+      stats_.wal_truncated_tails = report.wal_truncated_tails;
+      stats_.wal_quarantined = report.wal_quarantined;
     }
     std::fprintf(stderr,
                  "zeroone_server: snapshots: loaded %zu, quarantined %zu\n",
-                 report.loaded, report.quarantined);
+                 report.snapshots.loaded, report.snapshots.quarantined);
+    if (dispatcher_.wal() != nullptr) {
+      std::fprintf(stderr,
+                   "zeroone_server: wal: replayed %zu records over %zu "
+                   "sessions (%zu torn tails truncated, %zu spans set "
+                   "aside)\n",
+                   report.wal_records_applied, report.wal_sessions,
+                   report.wal_truncated_tails, report.wal_quarantined);
+    }
+  }
+  if (!options_.follow_host.empty()) {
+    ReplicatorOptions repl;
+    repl.host = options_.follow_host;
+    repl.port = options_.follow_port;
+    repl.pull_interval_ms = options_.pull_interval_ms;
+    repl.promote_after_ms = options_.promote_after_ms;
+    replicator_ = std::make_unique<Replicator>(&dispatcher_, repl);
+    replicator_->Start();
+    std::fprintf(stderr,
+                 "zeroone_server: following %s:%d (read-only standby, "
+                 "promote after %llu ms of silence)\n",
+                 options_.follow_host.c_str(), options_.follow_port,
+                 static_cast<unsigned long long>(options_.promote_after_ms));
   }
   if (!options_.legacy_readers) {
     std::size_t count = options_.event_threads;
@@ -935,6 +962,9 @@ void Server::Wait() {
   for (auto& loop : loops_) {
     if (loop->thread.joinable()) loop->thread.join();
   }
+  // Stop pulling from the primary before the drain save so no shipped
+  // record lands between a session's snapshot and process exit.
+  if (replicator_ != nullptr) replicator_->Stop();
   // All accepted work is finished; persist every named session so a
   // restart resumes from exactly what clients last observed. Wait() runs
   // again from the destructor, so save exactly once.

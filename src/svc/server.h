@@ -51,6 +51,7 @@
 #include "svc/dispatch.h"
 #include "svc/executor.h"
 #include "svc/protocol.h"
+#include "svc/replication.h"
 
 namespace zeroone {
 namespace svc {
@@ -67,6 +68,20 @@ struct ServerOptions {
   // reloaded before accepting traffic, every named session is persisted on
   // drain, and the `save` command persists on demand. Empty = disabled.
   std::string snapshot_dir;
+  // Per-session write-ahead logging in snapshot_dir (requires one): acked
+  // mutations survive a crash without an explicit `save`. docs/robustness.md.
+  bool wal = true;
+  // fsync: a mutation is not acknowledged until its WAL record is on disk.
+  AckMode ack_mode = AckMode::kAsync;
+  // Fold a session's log into its snapshot after this many records.
+  std::uint64_t wal_compact_every = 256;
+  // Warm-standby follower mode (--follow): pull the primary's log from
+  // host:port, serve reads, answer mutations UNAVAILABLE, and promote to
+  // primary after promote_after_ms of failed pulls. Empty host = disabled.
+  std::string follow_host;
+  int follow_port = 0;
+  std::uint64_t pull_interval_ms = 50;
+  std::uint64_t promote_after_ms = 2000;
   // On EADDRINUSE, keep retrying bind with backoff for this long — a
   // freshly killed predecessor's socket may still be draining, and chaos
   // restarts must not flake on it. 0 = fail immediately.
@@ -145,8 +160,14 @@ class Server {
     std::uint64_t snapshots_loaded = 0;       // Valid snapshots on Start().
     std::uint64_t snapshots_quarantined = 0;  // Corrupt files set aside.
     std::uint64_t snapshots_saved = 0;        // Sessions saved on drain.
+    std::uint64_t wal_records_replayed = 0;   // Log records applied on Start().
+    std::uint64_t wal_truncated_tails = 0;    // Torn log tails cut off.
+    std::uint64_t wal_quarantined = 0;        // Undecodable log spans aside.
   };
   Stats stats() const;
+
+  // Non-null in follower mode (ServerOptions::follow_host).
+  Replicator* replicator() { return replicator_.get(); }
 
  private:
   class Connection;
@@ -171,6 +192,7 @@ class Server {
   const ServerOptions options_;
   Dispatcher dispatcher_;
   std::unique_ptr<BoundedExecutor> executor_;
+  std::unique_ptr<Replicator> replicator_;
 
   int listen_fd_ = -1;
   int wake_pipe_[2] = {-1, -1};  // [0] read end polled by AcceptLoop.

@@ -15,6 +15,7 @@
 // part of every cache key, so results computed against an old version can
 // never be served after a mutation.
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -31,13 +32,26 @@
 namespace zeroone {
 namespace svc {
 
+// persisted_version value for a session no snapshot has ever captured.
+inline constexpr std::uint64_t kNeverPersisted = ~std::uint64_t{0};
+
 struct SessionState {
-  // Guards every field below. Shared for evaluation, exclusive for
-  // mutation (see Dispatcher).
+  // Guards every field below except the atomics. Shared for evaluation,
+  // exclusive for mutation (see Dispatcher).
   std::shared_mutex mutex;
 
   // Bumped on every successful mutation command.
   std::uint64_t version = 0;
+
+  // The version the last successfully persisted snapshot captured
+  // (kNeverPersisted before the first). Atomic because `save` runs under
+  // the shared lock yet must publish its success; `save` is a fast no-op
+  // when this equals `version`.
+  std::atomic<std::uint64_t> persisted_version{kNeverPersisted};
+
+  // Write-ahead-log records appended since the last compaction (guarded
+  // by `mutex`; only touched on the exclusive-lock mutation path).
+  std::uint64_t wal_pending = 0;
 
   Database db;
   Query query;

@@ -493,6 +493,10 @@ SnapshotStore::LoadReport SnapshotStore::LoadAll(SessionRegistry* sessions) {
       target->has_query = loaded.has_query;
       target->constraints = std::move(loaded.constraints);
       target->fds = std::move(loaded.fds);
+      // The on-disk snapshot is exactly this state: `save` can no-op
+      // until the next mutation.
+      target->persisted_version.store(loaded.version,
+                                      std::memory_order_release);
     }
     ++report.loaded;
     ZO_COUNTER_INC("svc.snapshot.loaded");

@@ -1,0 +1,460 @@
+#include "svc/wal.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/crc32.h"
+#include "fault/fault.h"
+#include "obs/metrics.h"
+
+namespace zeroone {
+namespace svc {
+
+namespace {
+
+bool IsSessionChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == '-' || c == '.';
+}
+
+bool IsValidSessionName(std::string_view name) {
+  if (name.empty() || name.size() > 64) return false;
+  return std::all_of(name.begin(), name.end(), IsSessionChar);
+}
+
+StatusOr<std::uint64_t> ParseUint(std::string_view text) {
+  if (text.empty() || text.size() > 20) {
+    return Status::Error("bad unsigned integer '", text, "'");
+  }
+  std::uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') {
+      return Status::Error("bad unsigned integer '", text, "'");
+    }
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+StatusOr<std::uint32_t> ParseCrcHex(std::string_view text) {
+  if (text.size() != 8) {
+    return Status::Error("bad crc32 field '", text, "'");
+  }
+  std::uint32_t crc = 0;
+  for (char c : text) {
+    std::uint32_t digit;
+    if (c >= '0' && c <= '9') {
+      digit = static_cast<std::uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      digit = static_cast<std::uint32_t>(c - 'a') + 10;
+    } else {
+      return Status::Error("bad crc32 field '", text, "'");
+    }
+    crc = crc * 16 + digit;
+  }
+  return crc;
+}
+
+// Writes all of `data` to `fd`, short-write tolerant. The wal.append.fail
+// fault simulates a full disk mid-frame: half the bytes land, then ENOSPC
+// (the caller truncates the torn frame back off).
+bool WriteAllFd(int fd, std::string_view data) {
+  if (ZO_FAULT_POINT("wal.append.fail")) {
+    (void)::write(fd, data.data(), data.size() / 2);
+    errno = ENOSPC;
+    return false;
+  }
+  while (!data.empty()) {
+    ssize_t n = ::write(fd, data.data(), data.size());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string EncodeWalHeader(const std::string& session,
+                            std::uint64_t base_version) {
+  return StrCat(kWalMagic, " ", session, " ", base_version, "\n");
+}
+
+StatusOr<std::size_t> DecodeWalHeader(std::string_view bytes,
+                                      std::string* session,
+                                      std::uint64_t* base_version) {
+  std::size_t newline = bytes.find('\n');
+  if (newline == std::string_view::npos) {
+    return Status::Error("log header has no newline");
+  }
+  std::string_view line = bytes.substr(0, newline);
+  if (line.substr(0, kWalMagic.size()) != kWalMagic ||
+      line.size() <= kWalMagic.size() || line[kWalMagic.size()] != ' ') {
+    return Status::Error("bad log magic '", line, "'");
+  }
+  line.remove_prefix(kWalMagic.size() + 1);
+  std::size_t space = line.find(' ');
+  if (space == std::string_view::npos) {
+    return Status::Error("log header missing base version");
+  }
+  std::string_view name = line.substr(0, space);
+  if (!IsValidSessionName(name)) {
+    return Status::Error("bad session name '", name, "' in log header");
+  }
+  ZO_ASSIGN_OR_RETURN(std::uint64_t base, ParseUint(line.substr(space + 1)));
+  *session = std::string(name);
+  *base_version = base;
+  return newline + 1;
+}
+
+std::string EncodeWalRecord(const WalRecord& record) {
+  std::string payload = record.command;
+  if (!record.args.empty()) {
+    payload += ' ';
+    payload += record.args;
+  }
+  char crc_hex[9];
+  std::snprintf(crc_hex, sizeof(crc_hex), "%08x", Crc32(payload));
+  std::string frame = StrCat("#", record.version, " ", payload.size(), " ",
+                             crc_hex, "\n");
+  frame += payload;
+  frame += '\n';
+  return frame;
+}
+
+StatusOr<std::size_t> DecodeWalRecord(std::string_view buffer,
+                                      WalRecord* out) {
+  if (buffer.empty()) return std::size_t{0};
+  if (buffer[0] != '#') {
+    return Status::Error("record does not start with '#'");
+  }
+  std::size_t newline = buffer.find('\n');
+  if (newline == std::string_view::npos) {
+    if (buffer.size() > kMaxWalHeaderBytes) {
+      return Status::Error("unterminated record header");
+    }
+    return std::size_t{0};  // A clean prefix of a header: torn tail.
+  }
+  if (newline > kMaxWalHeaderBytes) {
+    return Status::Error("record header of ", newline, " bytes exceeds ",
+                         kMaxWalHeaderBytes);
+  }
+  std::string_view header = buffer.substr(1, newline - 1);
+  std::size_t space1 = header.find(' ');
+  if (space1 == std::string_view::npos) {
+    return Status::Error("record header missing payload size");
+  }
+  std::size_t space2 = header.find(' ', space1 + 1);
+  if (space2 == std::string_view::npos) {
+    return Status::Error("record header missing crc32");
+  }
+  ZO_ASSIGN_OR_RETURN(std::uint64_t version,
+                      ParseUint(header.substr(0, space1)));
+  ZO_ASSIGN_OR_RETURN(std::uint64_t payload_bytes,
+                      ParseUint(header.substr(space1 + 1,
+                                              space2 - space1 - 1)));
+  ZO_ASSIGN_OR_RETURN(std::uint32_t expected_crc,
+                      ParseCrcHex(header.substr(space2 + 1)));
+  std::size_t frame = newline + 1 + payload_bytes + 1;
+  if (buffer.size() < frame) return std::size_t{0};  // Torn payload.
+  if (buffer[frame - 1] != '\n') {
+    return Status::Error("record frame missing terminator");
+  }
+  std::string_view payload = buffer.substr(newline + 1, payload_bytes);
+  if (Crc32(payload) != expected_crc) {
+    return Status::Error("record crc mismatch");
+  }
+  std::size_t split = payload.find(' ');
+  std::string_view command = payload.substr(0, split);
+  if (command.empty()) {
+    return Status::Error("record has an empty command");
+  }
+  out->version = version;
+  out->command = std::string(command);
+  out->args = split == std::string_view::npos
+                  ? std::string()
+                  : std::string(payload.substr(split + 1));
+  return frame;
+}
+
+WalStore::WalStore(std::string dir) : dir_(std::move(dir)) {}
+
+WalStore::~WalStore() {
+  for (auto& [name, handle] : handles_) {
+    if (handle->fd >= 0) ::close(handle->fd);
+  }
+}
+
+std::string WalStore::PathFor(const std::string& session) const {
+  return StrCat(dir_, "/", session, kWalSuffix);
+}
+
+Status WalStore::Prepare() const {
+  if (::mkdir(dir_.c_str(), 0777) != 0 && errno != EEXIST) {
+    return Status::Error("cannot create wal dir '", dir_,
+                         "': ", std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+std::shared_ptr<WalStore::Handle> WalStore::HandleFor(
+    const std::string& session) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_ptr<Handle>& handle = handles_[session];
+  if (handle == nullptr) handle = std::make_shared<Handle>();
+  return handle;
+}
+
+StatusOr<std::uint64_t> WalStore::Append(const std::string& session,
+                                         const WalRecord& record, bool sync) {
+  if (!IsValidSessionName(session)) {
+    return Status::Error("session name '", session, "' cannot be logged");
+  }
+  std::shared_ptr<Handle> handle = HandleFor(session);
+  std::lock_guard<std::mutex> lock(handle->mutex);
+  if (handle->fd < 0) {
+    handle->fd = ::open(PathFor(session).c_str(),
+                        O_WRONLY | O_APPEND | O_CREAT, 0644);
+    if (handle->fd < 0) {
+      ZO_COUNTER_INC("svc.wal.append_failed");
+      return Status::Error("cannot open '", PathFor(session),
+                           "': ", std::strerror(errno));
+    }
+  }
+  const off_t before = ::lseek(handle->fd, 0, SEEK_END);
+  if (before < 0) {
+    ZO_COUNTER_INC("svc.wal.append_failed");
+    return Status::Error("lseek '", PathFor(session),
+                         "' failed: ", std::strerror(errno));
+  }
+  std::string frame;
+  if (before == 0) {
+    // First record: the log starts at the version the session had before
+    // this mutation (its snapshot-covered prefix).
+    frame = EncodeWalHeader(session, record.version - 1);
+  }
+  frame += EncodeWalRecord(record);
+  // All-or-nothing at the file level: a failed write or fsync truncates the
+  // torn frame back off, so the log never grows an unacknowledged record
+  // and the command can be retried without double-logging.
+  if (!WriteAllFd(handle->fd, frame)) {
+    Status status = Status::Error("append to '", PathFor(session),
+                                  "' failed: ", std::strerror(errno));
+    (void)::ftruncate(handle->fd, before);
+    ZO_COUNTER_INC("svc.wal.append_failed");
+    return status;
+  }
+  if (sync) {
+    if (ZO_FAULT_POINT("wal.fsync.fail") || ::fsync(handle->fd) != 0) {
+      (void)::ftruncate(handle->fd, before);
+      ZO_COUNTER_INC("svc.wal.append_failed");
+      return Status::Error("fsync '", PathFor(session), "' failed");
+    }
+    ZO_COUNTER_INC("svc.wal.fsyncs");
+  }
+  ZO_COUNTER_INC("svc.wal.appends");
+  return static_cast<std::uint64_t>(before);
+}
+
+void WalStore::TruncateTo(const std::string& session, std::uint64_t size) {
+  std::shared_ptr<Handle> handle = HandleFor(session);
+  std::lock_guard<std::mutex> lock(handle->mutex);
+  if (handle->fd < 0) return;
+  if (::ftruncate(handle->fd, static_cast<off_t>(size)) != 0) {
+    std::fprintf(stderr, "wal: rollback truncate of '%s' failed: %s\n",
+                 PathFor(session).c_str(), std::strerror(errno));
+  }
+  ZO_COUNTER_INC("svc.wal.rollbacks");
+}
+
+Status WalStore::Reset(const std::string& session,
+                       std::uint64_t base_version) {
+  if (!IsValidSessionName(session)) {
+    return Status::Error("session name '", session, "' cannot be logged");
+  }
+  std::shared_ptr<Handle> handle = HandleFor(session);
+  std::lock_guard<std::mutex> lock(handle->mutex);
+  const std::string final_path = PathFor(session);
+  const std::string tmp_path = StrCat(final_path, ".tmp.", ::getpid());
+  int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::Error("cannot create '", tmp_path,
+                         "': ", std::strerror(errno));
+  }
+  if (!WriteAllFd(fd, EncodeWalHeader(session, base_version))) {
+    Status status = Status::Error("write to '", tmp_path,
+                                  "' failed: ", std::strerror(errno));
+    ::close(fd);
+    ::unlink(tmp_path.c_str());
+    return status;
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp_path.c_str());
+    return Status::Error("fsync '", tmp_path, "' failed");
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp_path.c_str());
+    return Status::Error("close '", tmp_path,
+                         "' failed: ", std::strerror(errno));
+  }
+  if (ZO_FAULT_POINT("compact.rename.fail") ||
+      ::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    ::unlink(tmp_path.c_str());
+    return Status::Error("rename to '", final_path, "' failed");
+  }
+  int dir_fd = ::open(dir_.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+  // The cached append descriptor still points at the replaced inode; swap
+  // it so the next Append lands in the fresh log.
+  if (handle->fd >= 0) {
+    ::close(handle->fd);
+    handle->fd = ::open(final_path.c_str(), O_WRONLY | O_APPEND, 0644);
+  }
+  ZO_COUNTER_INC("svc.wal.resets");
+  return Status::Ok();
+}
+
+StatusOr<std::vector<WalRecord>> WalStore::ReadAll(const std::string& session,
+                                                   ReadReport* report) {
+  *report = ReadReport{};
+  std::shared_ptr<Handle> handle = HandleFor(session);
+  std::lock_guard<std::mutex> lock(handle->mutex);
+  const std::string path = PathFor(session);
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return std::vector<WalRecord>{};  // No log: nothing replayed.
+  std::ostringstream contents;
+  contents << file.rdbuf();
+  const std::string image = contents.str();
+  file.close();
+
+  auto quarantine_whole = [&](const Status& why) {
+    const std::string aside = StrCat(path, ".corrupt");
+    std::fprintf(stderr, "wal: quarantining '%s' (%s); moved to '%s'\n",
+                 path.c_str(), why.message().c_str(), aside.c_str());
+    if (::rename(path.c_str(), aside.c_str()) != 0) {
+      std::fprintf(stderr, "wal: rename aside failed: %s\n",
+                   std::strerror(errno));
+    }
+    if (handle->fd >= 0) {
+      ::close(handle->fd);
+      handle->fd = -1;
+    }
+    ++report->quarantined;
+    ZO_COUNTER_INC("svc.wal.quarantined");
+  };
+
+  if (image.empty()) {
+    // An O_CREAT'd log whose header write never landed: just remove it.
+    ::unlink(path.c_str());
+    return std::vector<WalRecord>{};
+  }
+  std::string header_session;
+  StatusOr<std::size_t> header =
+      DecodeWalHeader(image, &header_session, &report->base_version);
+  if (!header.ok()) {
+    quarantine_whole(header.status());
+    return std::vector<WalRecord>{};
+  }
+  if (header_session != session) {
+    quarantine_whole(Status::Error("header session '", header_session,
+                                   "' does not match filename"));
+    return std::vector<WalRecord>{};
+  }
+
+  std::vector<WalRecord> records;
+  std::size_t offset = *header;
+  while (offset < image.size()) {
+    WalRecord record;
+    StatusOr<std::size_t> consumed =
+        DecodeWalRecord(std::string_view(image).substr(offset), &record);
+    if (consumed.ok() && *consumed > 0 &&
+        ZO_FAULT_POINT("replay.decode.fail")) {
+      // Injected decode failure: treat a structurally valid record as
+      // undecodable, exercising the quarantine path below.
+      consumed = Status::Error("injected fault: replay.decode.fail");
+    }
+    if (consumed.ok() && *consumed == 0) {
+      // Torn tail: the crash cut a frame short. Truncate it off in place;
+      // everything before it was acknowledged-complete and stays.
+      std::fprintf(stderr,
+                   "wal: '%s' torn tail of %zu bytes truncated at %zu\n",
+                   path.c_str(), image.size() - offset, offset);
+      if (::truncate(path.c_str(), static_cast<off_t>(offset)) != 0) {
+        std::fprintf(stderr, "wal: truncate failed: %s\n",
+                     std::strerror(errno));
+      }
+      ++report->truncated_tails;
+      ZO_COUNTER_INC("svc.wal.truncated_tails");
+      break;
+    }
+    if (!consumed.ok()) {
+      // Undecodable bytes (CRC mismatch, mangled framing): move the whole
+      // damaged span aside for post-mortem, keep the valid prefix.
+      const std::string aside = StrCat(path, ".corrupt");
+      std::fprintf(stderr,
+                   "wal: '%s' undecodable at %zu (%s); %zu bytes moved to "
+                   "'%s'\n",
+                   path.c_str(), offset, consumed.status().message().c_str(),
+                   image.size() - offset, aside.c_str());
+      std::ofstream out(aside, std::ios::binary | std::ios::trunc);
+      out.write(image.data() + offset,
+                static_cast<std::streamsize>(image.size() - offset));
+      out.close();
+      if (::truncate(path.c_str(), static_cast<off_t>(offset)) != 0) {
+        std::fprintf(stderr, "wal: truncate failed: %s\n",
+                     std::strerror(errno));
+      }
+      ++report->quarantined;
+      ZO_COUNTER_INC("svc.wal.quarantined");
+      break;
+    }
+    offset += *consumed;
+    records.push_back(std::move(record));
+  }
+  report->records = records.size();
+  ZO_COUNTER_ADD("svc.wal.records_read",
+                 static_cast<std::uint64_t>(records.size()));
+  return records;
+}
+
+bool WalStore::Exists(const std::string& session) const {
+  struct stat st;
+  return ::stat(PathFor(session).c_str(), &st) == 0;
+}
+
+std::vector<std::string> WalStore::ListSessions() const {
+  std::vector<std::string> sessions;
+  DIR* dir = ::opendir(dir_.c_str());
+  if (dir == nullptr) return sessions;
+  while (dirent* entry = ::readdir(dir)) {
+    std::string name = entry->d_name;
+    if (name.size() <= kWalSuffix.size() ||
+        name.substr(name.size() - kWalSuffix.size()) != kWalSuffix) {
+      continue;  // Not a log (e.g. a *.corrupt file or a stale tmp).
+    }
+    sessions.push_back(name.substr(0, name.size() - kWalSuffix.size()));
+  }
+  ::closedir(dir);
+  std::sort(sessions.begin(), sessions.end());
+  return sessions;
+}
+
+}  // namespace svc
+}  // namespace zeroone

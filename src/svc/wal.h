@@ -1,0 +1,154 @@
+#ifndef ZEROONE_SVC_WAL_H_
+#define ZEROONE_SVC_WAL_H_
+
+// Per-session append-only write-ahead log (docs/robustness.md).
+//
+// One log per named session at `<dir>/<session>.zo1wal`, holding one
+// CRC32-framed record per acknowledged mutating command:
+//
+//   log    := header *record
+//   header := "ZO1WAL 1" SP session SP base_version LF
+//   record := "#" version SP payload_bytes SP crc32(8 lowercase hex) LF
+//             payload LF
+//
+// `payload` is `command [SP args]` — exactly payload_bytes bytes, and may
+// itself contain newlines (the `loaddata` replay form of `load` embeds the
+// loaded file's contents so replay never depends on the filesystem).
+// `version` is the session version after applying the record; the header's
+// base_version is the session version the log starts from (the version of
+// the snapshot the last compaction folded the prefix into — 0 for a log
+// that has never been compacted).
+//
+// Durability: Append writes the frame with a single write(2) to an
+// O_APPEND descriptor and, in fsync ack mode, fsyncs before returning —
+// the Dispatcher does not acknowledge a mutation until Append succeeded.
+// Any append failure (short write, failed fsync) truncates the file back
+// to its pre-append length, so a failed append leaves no partial frame and
+// the command can be safely retried.
+//
+// Recovery (ReadAll) mirrors SnapshotStore::LoadAll's posture: a torn tail
+// (a frame cut off by a crash) is truncated in place at the last record
+// boundary and counted, undecodable bytes followed by more data are moved
+// aside to `<log>.corrupt` (never loaded, never a crash), and a log whose
+// header itself is damaged is quarantined whole. Everything decodable
+// before the damage is returned for replay.
+//
+// Fault sites: wal.append.fail (short write + ENOSPC), wal.fsync.fail,
+// compact.rename.fail (Reset's atomic swap), replay.decode.fail (a read
+// record treated as undecodable). Counters land under svc.wal.*.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace zeroone {
+namespace svc {
+
+inline constexpr std::string_view kWalMagic = "ZO1WAL 1";
+inline constexpr std::string_view kWalSuffix = ".zo1wal";
+// Record headers are "#<u64> <u64> <8 hex>\n": 20 + 20 + 8 digits plus
+// punctuation fits well under this; anything longer is damage, not a tail.
+inline constexpr std::size_t kMaxWalHeaderBytes = 64;
+
+struct WalRecord {
+  std::uint64_t version = 0;  // Session version after applying the record.
+  std::string command;
+  std::string args;  // May contain any bytes, including newlines.
+};
+
+// The log's first line (terminated with LF).
+std::string EncodeWalHeader(const std::string& session,
+                            std::uint64_t base_version);
+
+// Parses the header line at the front of `bytes`; returns bytes consumed.
+StatusOr<std::size_t> DecodeWalHeader(std::string_view bytes,
+                                      std::string* session,
+                                      std::uint64_t* base_version);
+
+// One full record frame (header line + payload + LF terminator).
+std::string EncodeWalRecord(const WalRecord& record);
+
+// Examines the front of `buffer`: a complete valid frame fills `out` and
+// returns the bytes consumed; 0 means the buffer holds a clean prefix of a
+// frame (a torn tail); an error Status means the bytes can never decode.
+StatusOr<std::size_t> DecodeWalRecord(std::string_view buffer,
+                                      WalRecord* out);
+
+// Log directory manager. Thread-safety: operations on distinct sessions
+// are independent; operations on one session serialize on an internal
+// per-session handle mutex (the Dispatcher additionally orders appends via
+// the session's exclusive lock, so record order matches version order).
+class WalStore {
+ public:
+  explicit WalStore(std::string dir);
+  ~WalStore();
+  WalStore(const WalStore&) = delete;
+  WalStore& operator=(const WalStore&) = delete;
+
+  const std::string& dir() const { return dir_; }
+  std::string PathFor(const std::string& session) const;
+
+  // Creates the directory if missing. Call once before Append/ReadAll.
+  Status Prepare() const;
+
+  // Appends one record, creating the log (base = record.version - 1) on
+  // first use. With `sync`, fsyncs before returning (fsync ack mode). On
+  // any failure the file is restored to its pre-append length. On success
+  // returns the pre-append length, which TruncateTo accepts to roll the
+  // record back out if the command it logged then fails to apply — the
+  // log holds exactly the mutations that were applied.
+  StatusOr<std::uint64_t> Append(const std::string& session,
+                                 const WalRecord& record, bool sync);
+
+  // Rolls the log back to `size` bytes (an Append return value). Only
+  // valid while the caller still holds the session's exclusive lock, so
+  // no later record can have landed after the one being rolled back.
+  void TruncateTo(const std::string& session, std::uint64_t size);
+
+  // Atomically replaces the log with an empty one based at `base_version`
+  // (temp → fsync → rename → dirsync, like SnapshotStore::Save), after a
+  // compaction folded the records into a snapshot at that version. On
+  // failure the old log is untouched.
+  Status Reset(const std::string& session, std::uint64_t base_version);
+
+  struct ReadReport {
+    std::uint64_t base_version = 0;
+    std::size_t records = 0;
+    std::size_t truncated_tails = 0;  // Torn tails cut off in place.
+    std::size_t quarantined = 0;      // Undecodable spans moved aside.
+  };
+
+  // Reads every decodable record in order, applying the recovery posture
+  // described above. A missing log is an empty result, not an error.
+  StatusOr<std::vector<WalRecord>> ReadAll(const std::string& session,
+                                           ReadReport* report);
+
+  // True when the session has a log file on disk.
+  bool Exists(const std::string& session) const;
+
+  // Sessions with a log file, sorted (for recovery and the stats surface).
+  std::vector<std::string> ListSessions() const;
+
+ private:
+  struct Handle {
+    std::mutex mutex;
+    int fd = -1;
+  };
+
+  std::shared_ptr<Handle> HandleFor(const std::string& session);
+
+  const std::string dir_;
+  mutable std::mutex mutex_;  // Guards handles_ (the map, not the files).
+  std::map<std::string, std::shared_ptr<Handle>> handles_;
+};
+
+}  // namespace svc
+}  // namespace zeroone
+
+#endif  // ZEROONE_SVC_WAL_H_

@@ -124,14 +124,16 @@ TEST_F(ChaosTest, RetriesExhaustedReportsLastError) {
   EXPECT_EQ(client.stats().attempts, 2u);
 }
 
-// Simulated crash: a Dispatcher with a snapshot dir executes mutations and
-// explicit saves, then is dropped on the floor (no drain, no SaveAll) —
-// exactly what SIGKILL leaves behind. A new Dispatcher over the same dir
-// must see every saved mutation and nothing after the last save.
+// Simulated crash under the pre-WAL durability contract (wal=false): a
+// Dispatcher with a snapshot dir executes mutations and explicit saves,
+// then is dropped on the floor (no drain, no SaveAll) — exactly what
+// SIGKILL leaves behind. A new Dispatcher over the same dir must see every
+// saved mutation and nothing after the last save.
 TEST_F(ChaosTest, CrashKeepsSavedMutationsDropsUnsaved) {
   const std::string dir = MakeSnapshotDir();
   {
-    Dispatcher dispatcher(Dispatcher::Options{1 << 20, dir});
+    Dispatcher dispatcher(
+        Dispatcher::Options{1 << 20, dir, /*wal=*/false});
     Response r1 = dispatcher.Execute(
         MakeRequest("db", "M(1) = { (acked1) }", "s"));
     ASSERT_EQ(r1.status, WireStatus::kOk) << r1.payload;
@@ -142,15 +144,45 @@ TEST_F(ChaosTest, CrashKeepsSavedMutationsDropsUnsaved) {
     ASSERT_EQ(r2.status, WireStatus::kOk) << r2.payload;
     // Crash: dispatcher destroyed with no further save.
   }
-  Dispatcher restarted(Dispatcher::Options{1 << 20, dir});
-  SnapshotStore::LoadReport report = restarted.LoadSnapshots();
-  EXPECT_EQ(report.loaded, 1u);
-  EXPECT_EQ(report.quarantined, 0u);
+  Dispatcher restarted(Dispatcher::Options{1 << 20, dir, /*wal=*/false});
+  Dispatcher::RecoveryReport report = restarted.LoadSnapshots();
+  EXPECT_EQ(report.snapshots.loaded, 1u);
+  EXPECT_EQ(report.snapshots.quarantined, 0u);
   Response shown = restarted.Execute(MakeRequest("show", "", "s"));
   ASSERT_EQ(shown.status, WireStatus::kOk);
   EXPECT_NE(shown.payload.find("(acked1)"), std::string::npos);
   EXPECT_EQ(shown.payload.find("(unsaved)"), std::string::npos)
-      << "a mutation after the last save must not survive a crash";
+      << "without a WAL, a mutation after the last save dies with the crash";
+}
+
+// The WAL retires `save` from the durability contract: the same crash with
+// write-ahead logging on (the default) keeps the unsaved-but-acked
+// mutation, recovered as snapshot + log tail.
+TEST_F(ChaosTest, CrashWithWalKeepsEveryAckedMutation) {
+  const std::string dir = MakeSnapshotDir();
+  {
+    Dispatcher dispatcher(Dispatcher::Options{1 << 20, dir});
+    Response r1 = dispatcher.Execute(
+        MakeRequest("db", "M(1) = { (acked1) }", "s"));
+    ASSERT_EQ(r1.status, WireStatus::kOk) << r1.payload;
+    Response saved = dispatcher.Execute(MakeRequest("save", "", "s"));
+    ASSERT_EQ(saved.status, WireStatus::kOk) << saved.payload;
+    Response r2 = dispatcher.Execute(
+        MakeRequest("db", "M(1) = { (acked2_never_saved) }", "s"));
+    ASSERT_EQ(r2.status, WireStatus::kOk) << r2.payload;
+    // Crash: no drain, no further save.
+  }
+  Dispatcher restarted(Dispatcher::Options{1 << 20, dir});
+  Dispatcher::RecoveryReport report = restarted.LoadSnapshots();
+  EXPECT_EQ(report.snapshots.loaded, 1u);
+  EXPECT_EQ(report.wal_records_applied, 1u) << "the post-save record";
+  EXPECT_EQ(report.wal_records_skipped, 1u)
+      << "the pre-save record is covered by the snapshot";
+  Response shown = restarted.Execute(MakeRequest("show", "", "s"));
+  ASSERT_EQ(shown.status, WireStatus::kOk);
+  EXPECT_NE(shown.payload.find("(acked1)"), std::string::npos);
+  EXPECT_NE(shown.payload.find("(acked2_never_saved)"), std::string::npos)
+      << "an acked mutation must survive a crash even without a save";
 }
 
 TEST_F(ChaosTest, SaveWithoutSnapshotDirIsAnError) {

@@ -1,0 +1,478 @@
+// Warm-standby replication tests (src/svc/replication.h):
+//  - the ship/shiplist wire surface on the Dispatcher: record batches past
+//    a cursor, the caught-up answer, the snapshot fallback after
+//    compaction, and argument validation;
+//  - the follower's apply primitives: ApplyReplicatedRecord is ordered and
+//    idempotent (and lands in the follower's own WAL), stale snapshot
+//    images are rejected, read-only mode answers mutations UNAVAILABLE;
+//  - the Replicator pull loop against a live primary Server: catch-up,
+//    idempotent re-pull, cursor initialization from local state, the
+//    snapshot install path, a ship-stream cut (injected fault) healing on
+//    the next pull, and promotion after the primary dies.
+
+#include "svc/replication.h"
+
+#include <dirent.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fault/fault.h"
+#include "gtest/gtest.h"
+#include "svc/client.h"
+#include "svc/dispatch.h"
+#include "svc/protocol.h"
+#include "svc/server.h"
+#include "svc/snapshot.h"
+#include "svc/wal.h"
+
+namespace zeroone {
+namespace svc {
+namespace {
+
+Request MakeRequest(const std::string& command, const std::string& args,
+                    const std::string& session = "s") {
+  Request request;
+  request.command = command;
+  request.args = args;
+  request.session = session;
+  return request;
+}
+
+class ReplicationTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::Registry::Global().Clear(); }
+  void TearDown() override {
+    fault::Registry::Global().Clear();
+    RemoveDirs();
+  }
+
+  std::string MakeDir() {
+    char templ[] = "/tmp/zo1repl_XXXXXX";
+    char* dir = ::mkdtemp(templ);
+    EXPECT_NE(dir, nullptr);
+    dirs_.push_back(dir);
+    return dir;
+  }
+
+  void RemoveDirs() {
+    for (const std::string& dir : dirs_) {
+      if (DIR* d = ::opendir(dir.c_str())) {
+        while (dirent* entry = ::readdir(d)) {
+          std::string name = entry->d_name;
+          if (name != "." && name != "..") {
+            ::unlink((dir + "/" + name).c_str());
+          }
+        }
+        ::closedir(d);
+      }
+      ::rmdir(dir.c_str());
+    }
+    dirs_.clear();
+  }
+
+  std::vector<std::string> dirs_;
+};
+
+void Mutate(Dispatcher* dispatcher, const std::string& tuple,
+            const std::string& session = "s") {
+  Response response = dispatcher->Execute(
+      MakeRequest("db", "M(1) = { (" + tuple + ") }", session));
+  ASSERT_EQ(response.status, WireStatus::kOk) << response.payload;
+}
+
+// ---------------------------------------------------------------------------
+// The ship / shiplist wire surface
+
+TEST_F(ReplicationTest, ShipListEnumeratesSessionVersions) {
+  Dispatcher dispatcher(Dispatcher::Options{1 << 20, MakeDir()});
+  Mutate(&dispatcher, "a1", "alpha");
+  Mutate(&dispatcher, "b1", "beta");
+  Mutate(&dispatcher, "b2", "beta");
+  Response response = dispatcher.Execute(MakeRequest("shiplist", "", "x"));
+  ASSERT_EQ(response.status, WireStatus::kOk) << response.payload;
+  EXPECT_EQ(response.payload, "alpha 1\nbeta 2\n");
+}
+
+TEST_F(ReplicationTest, ShipIsDisabledWithoutPersistence) {
+  Dispatcher dispatcher(Dispatcher::Options{});  // No snapshot dir, no WAL.
+  EXPECT_EQ(dispatcher.Execute(MakeRequest("shiplist", "", "x")).status,
+            WireStatus::kErr);
+  EXPECT_EQ(dispatcher.Execute(MakeRequest("ship", "s 0", "x")).status,
+            WireStatus::kErr);
+}
+
+TEST_F(ReplicationTest, ShipReturnsRecordBatchesPastTheCursor) {
+  Dispatcher dispatcher(Dispatcher::Options{1 << 20, MakeDir()});
+  for (int i = 1; i <= 3; ++i) {
+    Mutate(&dispatcher, "m" + std::to_string(i));
+  }
+  Response response = dispatcher.Execute(MakeRequest("ship", "s 0", "x"));
+  ASSERT_EQ(response.status, WireStatus::kOk) << response.payload;
+  ASSERT_EQ(response.payload.substr(0, 9), "RECS 3 0\n");
+  // The batch body is a run of decodable record frames, versions 1..3.
+  std::string_view frames =
+      std::string_view(response.payload).substr(9);
+  for (std::uint64_t v = 1; v <= 3; ++v) {
+    WalRecord record;
+    StatusOr<std::size_t> consumed = DecodeWalRecord(frames, &record);
+    ASSERT_TRUE(consumed.ok()) << consumed.status().message();
+    ASSERT_GT(*consumed, 0u);
+    EXPECT_EQ(record.version, v);
+    EXPECT_EQ(record.command, "db");
+    frames.remove_prefix(*consumed);
+  }
+  EXPECT_TRUE(frames.empty());
+
+  // A cursor mid-log ships only the suffix; a current cursor ships nothing.
+  response = dispatcher.Execute(MakeRequest("ship", "s 2", "x"));
+  ASSERT_EQ(response.status, WireStatus::kOk);
+  EXPECT_EQ(response.payload.substr(0, 9), "RECS 1 0\n");
+  response = dispatcher.Execute(MakeRequest("ship", "s 3", "x"));
+  ASSERT_EQ(response.status, WireStatus::kOk);
+  EXPECT_EQ(response.payload, "RECS 0 0\n");
+}
+
+TEST_F(ReplicationTest, ShipFallsBackToASnapshotAfterCompaction) {
+  // compact_every=1: every mutation folds the log, so a cursor of 0 is
+  // behind the log's base and only a full image can catch the follower up.
+  Dispatcher dispatcher(Dispatcher::Options{
+      1 << 20, MakeDir(), /*wal=*/true, AckMode::kAsync,
+      /*wal_compact_every=*/1});
+  Mutate(&dispatcher, "m1");
+  Mutate(&dispatcher, "m2");
+  Response response = dispatcher.Execute(MakeRequest("ship", "s 0", "x"));
+  ASSERT_EQ(response.status, WireStatus::kOk) << response.payload;
+  ASSERT_EQ(response.payload.substr(0, 5), "SNAP\n");
+  std::string session;
+  SessionState decoded;
+  Status status =
+      DecodeSnapshot(response.payload.substr(5), &session, &decoded);
+  ASSERT_TRUE(status.ok()) << status.message();
+  EXPECT_EQ(session, "s");
+  EXPECT_EQ(decoded.version, 2u);
+}
+
+TEST_F(ReplicationTest, ShipValidatesItsArguments) {
+  Dispatcher dispatcher(Dispatcher::Options{1 << 20, MakeDir()});
+  const char* bad[] = {"", "s", "s x", "s 1 2extra", "bad name 1"};
+  for (const char* args : bad) {
+    SCOPED_TRACE(args);
+    EXPECT_EQ(dispatcher.Execute(MakeRequest("ship", args, "x")).status,
+              WireStatus::kErr);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Follower apply primitives
+
+WalRecord ShippedRecord(std::uint64_t version, const std::string& tuple) {
+  WalRecord record;
+  record.version = version;
+  record.command = "db";
+  record.args = "M(1) = { (" + tuple + ") }";
+  return record;
+}
+
+TEST_F(ReplicationTest, ApplyReplicatedRecordIsOrderedAndIdempotent) {
+  Dispatcher follower(Dispatcher::Options{1 << 20, MakeDir()});
+  ASSERT_TRUE(follower.ApplyReplicatedRecord("s", ShippedRecord(1, "a")).ok());
+  ASSERT_TRUE(follower.ApplyReplicatedRecord("s", ShippedRecord(2, "b")).ok());
+  // A re-shipped prefix (the follower pulled twice) is skipped, not
+  // reapplied — versions never move backwards.
+  ASSERT_TRUE(follower.ApplyReplicatedRecord("s", ShippedRecord(1, "a")).ok());
+  EXPECT_EQ(follower.SessionVersions(),
+            (std::vector<std::pair<std::string, std::uint64_t>>{{"s", 2}}));
+  Response shown = follower.Execute(MakeRequest("show", ""));
+  EXPECT_NE(shown.payload.find("(a)"), std::string::npos);
+  EXPECT_NE(shown.payload.find("(b)"), std::string::npos);
+  // The shipped records landed in the follower's own WAL with the
+  // primary's version numbers: a follower crash recovers to its cursor.
+  WalStore::ReadReport report;
+  StatusOr<std::vector<WalRecord>> logged =
+      follower.wal()->ReadAll("s", &report);
+  ASSERT_TRUE(logged.ok());
+  ASSERT_EQ(logged->size(), 2u);
+  EXPECT_EQ((*logged)[0].version, 1u);
+  EXPECT_EQ((*logged)[1].version, 2u);
+}
+
+TEST_F(ReplicationTest, ApplyReplicatedRecordWorksWhileReadOnly) {
+  Dispatcher follower(Dispatcher::Options{1 << 20, MakeDir()});
+  follower.SetReadOnly(true);
+  // Clients cannot write...
+  Response rejected = follower.Execute(MakeRequest("db", "M(1) = { (x) }"));
+  EXPECT_EQ(rejected.status, WireStatus::kUnavailable);
+  EXPECT_NE(rejected.payload.find("read-only"), std::string::npos);
+  // ...but replication can, and reads serve the replicated state.
+  ASSERT_TRUE(follower.ApplyReplicatedRecord("s", ShippedRecord(1, "a")).ok());
+  Response shown = follower.Execute(MakeRequest("show", ""));
+  ASSERT_EQ(shown.status, WireStatus::kOk);
+  EXPECT_NE(shown.payload.find("(a)"), std::string::npos);
+  // Promotion flips the gate off.
+  follower.SetReadOnly(false);
+  EXPECT_EQ(follower.Execute(MakeRequest("db", "M(1) = { (x) }")).status,
+            WireStatus::kOk);
+}
+
+TEST_F(ReplicationTest, InstallSnapshotImageReplacesStateAndRejectsStale) {
+  Dispatcher primary(Dispatcher::Options{1 << 20, MakeDir()});
+  Mutate(&primary, "p1");
+  Mutate(&primary, "p2");
+  Response shipped = primary.Execute(MakeRequest("ship", "s 0", "x"));
+  // Force the snapshot form regardless of compaction state.
+  StatusOr<std::string> image = [&]() -> StatusOr<std::string> {
+    if (shipped.payload.substr(0, 5) == "SNAP\n") {
+      return shipped.payload.substr(5);
+    }
+    std::shared_ptr<SessionState> state = primary.sessions().GetOrCreate("s");
+    return EncodeSnapshot("s", *state);
+  }();
+  ASSERT_TRUE(image.ok());
+
+  Dispatcher follower(Dispatcher::Options{1 << 20, MakeDir()});
+  ASSERT_TRUE(follower.InstallSnapshotImage(*image).ok());
+  Response shown = follower.Execute(MakeRequest("show", ""));
+  EXPECT_NE(shown.payload.find("(p1)"), std::string::npos);
+  EXPECT_NE(shown.payload.find("(p2)"), std::string::npos);
+  EXPECT_EQ(follower.SessionVersions(),
+            (std::vector<std::pair<std::string, std::uint64_t>>{{"s", 2}}));
+  // An image older than the follower's state must not roll it back.
+  Mutate(&follower, "newer");  // Version 3 locally.
+  EXPECT_FALSE(follower.InstallSnapshotImage(*image).ok());
+  shown = follower.Execute(MakeRequest("show", ""));
+  EXPECT_NE(shown.payload.find("(newer)"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// The Replicator pull loop against a live primary
+
+class ReplicatorTest : public ReplicationTest {
+ protected:
+  void StartPrimary(std::uint64_t compact_every = 256) {
+    ServerOptions options;
+    options.snapshot_dir = MakeDir();
+    options.wal_compact_every = compact_every;
+    options.threads = 2;
+    primary_ = std::make_unique<Server>(options);
+    Status started = primary_->Start();
+    ASSERT_TRUE(started.ok()) << started.message();
+  }
+
+  ReplicatorOptions FollowOptions() {
+    ReplicatorOptions options;
+    options.host = "127.0.0.1";
+    options.port = primary_ == nullptr ? 1 : primary_->port();
+    options.pull_interval_ms = 10;
+    options.promote_after_ms = 0;  // Tests drive PullOnce explicitly.
+    options.io_timeout_ms = 2000;
+    return options;
+  }
+
+  void PrimaryMutate(const std::string& tuple) {
+    BlockingClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", primary_->port()).ok());
+    StatusOr<Response> response =
+        client.Call(MakeRequest("db", "M(1) = { (" + tuple + ") }"));
+    ASSERT_TRUE(response.ok()) << response.status().message();
+    ASSERT_EQ(response->status, WireStatus::kOk) << response->payload;
+  }
+
+  std::unique_ptr<Server> primary_;
+};
+
+TEST_F(ReplicatorTest, PullOnceCatchesUpAndReShipIsIdempotent) {
+  StartPrimary();
+  for (int i = 1; i <= 3; ++i) PrimaryMutate("m" + std::to_string(i));
+
+  Dispatcher follower(Dispatcher::Options{1 << 20, MakeDir()});
+  Replicator replicator(&follower, FollowOptions());
+  ASSERT_TRUE(replicator.PullOnce().ok());
+  EXPECT_EQ(replicator.stats().records_applied, 3u);
+  Response shown = follower.Execute(MakeRequest("show", ""));
+  for (int i = 1; i <= 3; ++i) {
+    EXPECT_NE(shown.payload.find("(m" + std::to_string(i) + ")"),
+              std::string::npos);
+  }
+  // Caught up: another pull ships nothing.
+  ASSERT_TRUE(replicator.PullOnce().ok());
+  EXPECT_EQ(replicator.stats().records_applied, 3u);
+  // New writes ship incrementally from the cursor.
+  PrimaryMutate("m4");
+  ASSERT_TRUE(replicator.PullOnce().ok());
+  EXPECT_EQ(replicator.stats().records_applied, 4u);
+
+  primary_->Shutdown();
+}
+
+TEST_F(ReplicatorTest, FreshReplicatorResumesFromLocalVersion) {
+  StartPrimary();
+  PrimaryMutate("m1");
+  PrimaryMutate("m2");
+  const std::string follower_dir = MakeDir();
+  {
+    Dispatcher follower(Dispatcher::Options{1 << 20, follower_dir});
+    Replicator replicator(&follower, FollowOptions());
+    ASSERT_TRUE(replicator.PullOnce().ok());
+    EXPECT_EQ(replicator.stats().records_applied, 2u);
+    // Follower "crashes" here: its WAL holds both shipped records.
+  }
+  // The restarted follower recovers locally, then resumes shipping from
+  // its recovered version — the primary re-ships nothing.
+  Dispatcher follower(Dispatcher::Options{1 << 20, follower_dir});
+  Dispatcher::RecoveryReport report = follower.LoadSnapshots();
+  EXPECT_EQ(report.wal_records_applied, 2u);
+  Replicator replicator(&follower, FollowOptions());
+  ASSERT_TRUE(replicator.PullOnce().ok());
+  EXPECT_EQ(replicator.stats().records_applied, 0u);
+  PrimaryMutate("m3");
+  ASSERT_TRUE(replicator.PullOnce().ok());
+  EXPECT_EQ(replicator.stats().records_applied, 1u);
+
+  primary_->Shutdown();
+}
+
+TEST_F(ReplicatorTest, CompactedPrimaryShipsASnapshot) {
+  StartPrimary(/*compact_every=*/1);
+  PrimaryMutate("m1");
+  PrimaryMutate("m2");
+  Dispatcher follower(Dispatcher::Options{1 << 20, MakeDir()});
+  Replicator replicator(&follower, FollowOptions());
+  ASSERT_TRUE(replicator.PullOnce().ok());
+  EXPECT_GE(replicator.stats().snapshots_installed, 1u);
+  Response shown = follower.Execute(MakeRequest("show", ""));
+  EXPECT_NE(shown.payload.find("(m1)"), std::string::npos);
+  EXPECT_NE(shown.payload.find("(m2)"), std::string::npos);
+
+  primary_->Shutdown();
+}
+
+#if ZEROONE_FAULT_ENABLED
+
+TEST_F(ReplicatorTest, ShipStreamCutHealsOnTheNextPull) {
+  StartPrimary();
+  PrimaryMutate("m1");
+  PrimaryMutate("m2");
+  Dispatcher follower(Dispatcher::Options{1 << 20, MakeDir()});
+  Replicator replicator(&follower, FollowOptions());
+  // The primary's ship path fails once mid-stream; the pull reports
+  // failure and the cursor does not advance past what was applied.
+  ASSERT_TRUE(
+      fault::Registry::Global().Configure("ship.send.fail=#1").ok());
+  EXPECT_FALSE(replicator.PullOnce().ok());
+  fault::Registry::Global().Clear();
+  // The next pull resumes from the same cursor and catches up fully.
+  ASSERT_TRUE(replicator.PullOnce().ok());
+  EXPECT_EQ(replicator.stats().records_applied, 2u);
+  Response shown = follower.Execute(MakeRequest("show", ""));
+  EXPECT_NE(shown.payload.find("(m1)"), std::string::npos);
+  EXPECT_NE(shown.payload.find("(m2)"), std::string::npos);
+
+  primary_->Shutdown();
+}
+
+#endif  // ZEROONE_FAULT_ENABLED
+
+TEST_F(ReplicatorTest, PromotesAfterPrimarySilence) {
+  StartPrimary();
+  PrimaryMutate("m1");
+  Dispatcher follower(Dispatcher::Options{1 << 20, MakeDir()});
+  ReplicatorOptions options = FollowOptions();
+  options.pull_interval_ms = 10;
+  options.promote_after_ms = 200;
+  options.io_timeout_ms = 200;
+  Replicator replicator(&follower, options);
+  replicator.Start();
+  EXPECT_TRUE(follower.read_only());
+
+  // Wait for the first successful pull, then kill the primary.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (replicator.stats().records_applied < 1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(replicator.stats().records_applied, 1u);
+  primary_->Shutdown();
+  primary_.reset();
+
+  while (!replicator.promoted() &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_TRUE(replicator.promoted()) << "standby never promoted itself";
+  EXPECT_FALSE(follower.read_only());
+  // The promoted standby serves the replicated write and accepts new ones.
+  Response shown = follower.Execute(MakeRequest("show", ""));
+  EXPECT_NE(shown.payload.find("(m1)"), std::string::npos);
+  EXPECT_EQ(follower.Execute(MakeRequest("db", "M(1) = { (m2) }")).status,
+            WireStatus::kOk);
+  replicator.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Server-level wiring: a follower Server built from ServerOptions
+
+TEST_F(ReplicatorTest, FollowerServerReplicatesRejectsWritesAndPromotes) {
+  StartPrimary();
+  PrimaryMutate("m1");
+
+  ServerOptions follower_options;
+  follower_options.snapshot_dir = MakeDir();
+  follower_options.follow_host = "127.0.0.1";
+  follower_options.follow_port = primary_->port();
+  follower_options.pull_interval_ms = 10;
+  follower_options.promote_after_ms = 300;
+  follower_options.threads = 2;
+  Server follower(follower_options);
+  ASSERT_TRUE(follower.Start().ok());
+  ASSERT_NE(follower.replicator(), nullptr);
+
+  BlockingClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", follower.port()).ok());
+  // The replicated write becomes visible...
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  bool visible = false;
+  while (!visible && std::chrono::steady_clock::now() < deadline) {
+    StatusOr<Response> shown = client.Call(MakeRequest("show", ""));
+    ASSERT_TRUE(shown.ok());
+    visible = shown->payload.find("(m1)") != std::string::npos;
+    if (!visible) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(visible) << "follower never caught up";
+  // ...while client writes are rejected with the retry contract.
+  StatusOr<Response> rejected =
+      client.Call(MakeRequest("db", "M(1) = { (nope) }"));
+  ASSERT_TRUE(rejected.ok());
+  EXPECT_EQ(rejected->status, WireStatus::kUnavailable);
+
+  // Primary dies; the follower promotes and starts taking writes.
+  primary_->Shutdown();
+  primary_.reset();
+  bool writable = false;
+  while (!writable && std::chrono::steady_clock::now() < deadline) {
+    StatusOr<Response> written =
+        client.Call(MakeRequest("db", "M(1) = { (m2) }"));
+    ASSERT_TRUE(written.ok());
+    writable = written->status == WireStatus::kOk;
+    if (!writable) std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_TRUE(writable) << "follower never promoted";
+  EXPECT_TRUE(follower.replicator()->promoted());
+  StatusOr<Response> shown = client.Call(MakeRequest("show", ""));
+  ASSERT_TRUE(shown.ok());
+  EXPECT_NE(shown->payload.find("(m1)"), std::string::npos);
+  EXPECT_NE(shown->payload.find("(m2)"), std::string::npos);
+  client.Close();
+  follower.Shutdown();
+}
+
+}  // namespace
+}  // namespace svc
+}  // namespace zeroone

@@ -14,11 +14,15 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "constraints/fd.h"
@@ -271,12 +275,123 @@ TEST(SnapshotStoreTest, SessionNameMismatchIsQuarantined) {
   EXPECT_EQ(sessions.size(), 0u);
 }
 
+std::vector<std::string> DirEntries(const std::string& dir) {
+  std::vector<std::string> entries;
+  if (DIR* d = ::opendir(dir.c_str())) {
+    while (dirent* entry = ::readdir(d)) {
+      std::string name = entry->d_name;
+      if (name != "." && name != "..") entries.push_back(name);
+    }
+    ::closedir(d);
+  }
+  return entries;
+}
+
+// Save publishes with an atomic rename, so a LoadAll racing a storm of
+// Saves of the same session must only ever observe complete snapshots:
+// never a quarantine, never a torn read, never a version that was not
+// written. (Saves may *fail* — a concurrent LoadAll sweeps in-flight tmp
+// files, which is fine at startup where LoadAll really runs — but they
+// must never publish a partial file.)
+TEST(SnapshotStoreTest, ConcurrentSavesRacingLoadAllStayAtomic) {
+  TempDir tmp;
+  SnapshotStore store(tmp.path());
+  ASSERT_TRUE(store.Prepare().ok());
+  StatusOr<Database> db = ParseDatabase("R(1) = { (race) }");
+  ASSERT_TRUE(db.ok());
+
+  constexpr std::uint64_t kSaves = 1000;
+  std::atomic<bool> done{false};
+  std::thread writer([&] {
+    for (std::uint64_t v = 1; v <= kSaves; ++v) {
+      std::unique_ptr<SessionState> state = MakeState(*db);
+      state->version = v;
+      (void)store.Save("racer", *state);  // Sweep-induced failures are ok.
+    }
+    done.store(true);
+  });
+
+  std::uint64_t observed = 0;
+  std::uint64_t last_version = 0;
+  while (!done.load()) {
+    SessionRegistry sessions;
+    SnapshotStore::LoadReport report = store.LoadAll(&sessions);
+    ASSERT_EQ(report.quarantined, 0u)
+        << "LoadAll observed a torn snapshot mid-save";
+    ASSERT_LE(report.loaded, 1u);
+    if (report.loaded == 1) {
+      ++observed;
+      const std::uint64_t version = sessions.GetOrCreate("racer")->version;
+      ASSERT_GE(version, 1u);
+      ASSERT_LE(version, kSaves);
+      // Versions only move forward: rename publishes monotonically.
+      ASSERT_GE(version, last_version);
+      last_version = version;
+    }
+    // Back-to-back LoadAlls would sweep every in-flight tmp and starve
+    // the writer's renames; a short pause lets publications land.
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  writer.join();
+
+  // The dust settles: one more Save must land and reload exactly.
+  std::unique_ptr<SessionState> final_state = MakeState(*db);
+  final_state->version = kSaves + 1;
+  ASSERT_TRUE(store.Save("racer", *final_state).ok());
+  SessionRegistry sessions;
+  SnapshotStore::LoadReport report = store.LoadAll(&sessions);
+  EXPECT_EQ(report.loaded, 1u);
+  EXPECT_EQ(report.quarantined, 0u);
+  EXPECT_EQ(sessions.GetOrCreate("racer")->version, kSaves + 1);
+  EXPECT_GT(observed, 0u) << "the race never observed a published snapshot";
+}
+
 #if ZEROONE_FAULT_ENABLED
 
 class SnapshotFaultTest : public ::testing::Test {
  protected:
   void TearDown() override { fault::Registry::Global().Clear(); }
 };
+
+TEST_F(SnapshotFaultTest, TmpFromFaultedSaveIsGoneAndCrashTmpSweptAtLoad) {
+  TempDir tmp;
+  SnapshotStore store(tmp.path());
+  ASSERT_TRUE(store.Prepare().ok());
+  StatusOr<Database> db = ParseDatabase("R(1) = { (kept) }");
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE(store.Save("s", *MakeState(*db)).ok());
+
+  // The fault fires between temp-write and rename: Save fails and its
+  // failure path removes the half-published tmp immediately.
+  ASSERT_TRUE(
+      fault::Registry::Global().Configure("snap.rename.fail=#1").ok());
+  StatusOr<Database> newer = ParseDatabase("R(1) = { (lost) }");
+  ASSERT_TRUE(newer.ok());
+  EXPECT_FALSE(store.Save("s", *MakeState(*newer)).ok());
+  fault::Registry::Global().Clear();
+  for (const std::string& name : DirEntries(tmp.path())) {
+    EXPECT_EQ(name.find(".tmp."), std::string::npos)
+        << "failed Save leaked tmp file " << name;
+  }
+
+  // A *crash* in that same window has no failure path: the fully-written
+  // tmp stays behind. Even though its content is a valid image, the next
+  // LoadAll must sweep it, never load it.
+  StatusOr<std::string> image = EncodeSnapshot("s", *MakeState(*newer));
+  ASSERT_TRUE(image.ok());
+  const std::string stale = store.PathFor("s") + ".tmp.424242.7";
+  WriteWholeFile(stale, *image);
+  SessionRegistry sessions;
+  SnapshotStore::LoadReport report = store.LoadAll(&sessions);
+  EXPECT_EQ(report.tmp_removed, 1u);
+  EXPECT_EQ(report.loaded, 1u);
+  EXPECT_NE(::access(stale.c_str(), F_OK), 0) << "stale tmp not swept";
+  // The never-renamed state is invisible; the last published one serves.
+  EXPECT_NE(FormatDatabase(sessions.GetOrCreate("s")->db).find("kept"),
+            std::string::npos);
+  EXPECT_EQ(FormatDatabase(sessions.GetOrCreate("s")->db).find("lost"),
+            std::string::npos);
+}
 
 TEST_F(SnapshotFaultTest, FailedSaveLeavesOldSnapshotIntact) {
   const char* failing_sites[] = {"snap.write.fail", "snap.fsync.fail",

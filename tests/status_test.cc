@@ -2,8 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
+
+#include "common/crc32.h"
 
 namespace zeroone {
 namespace {
@@ -120,6 +125,57 @@ TEST(StatusMacroTest, AssignOrReturnUnwrapsValues) {
   StatusOr<int> error = macro_helpers::SumOfDoubles(2, 0);
   EXPECT_FALSE(error.ok());
   EXPECT_EQ(error.status().message(), "not positive: 0");
+}
+
+// ---------------------------------------------------------------------------
+// common/crc32 — the checksum guarding snapshot bodies and WAL records.
+
+TEST(Crc32Test, KnownAnswerVectors) {
+  // IEEE 802.3 (polynomial 0xEDB88320) reference values; "123456789" is
+  // the classic CRC-32 check value.
+  EXPECT_EQ(Crc32(""), 0x00000000u);
+  EXPECT_EQ(Crc32("a"), 0xE8B7BE43u);
+  EXPECT_EQ(Crc32("abc"), 0x352441C2u);
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(std::string_view("\x00\x00\x00\x00", 4)), 0x2144DF1Cu);
+}
+
+TEST(Crc32Test, ChunkedChecksumsChain) {
+  const std::string text = "ZO1WAL 1 session 42\n#1 14 deadbeef\npayload";
+  const std::uint32_t whole = Crc32(text);
+  for (std::size_t split = 0; split <= text.size(); ++split) {
+    EXPECT_EQ(Crc32(text.substr(split), Crc32(text.substr(0, split))), whole)
+        << "split at " << split;
+  }
+}
+
+TEST(Crc32Test, EverySingleBitFlipIsDetected) {
+  // The property the WAL and snapshot framing rely on: any single-bit
+  // corruption of a frame body changes the checksum.
+  const std::string body = "db M(1) = { (tuple_1), (tuple_2) }";
+  const std::uint32_t clean = Crc32(body);
+  for (std::size_t byte = 0; byte < body.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string corrupt = body;
+      corrupt[byte] ^= static_cast<char>(1 << bit);
+      EXPECT_NE(Crc32(corrupt), clean)
+          << "bit " << bit << " of byte " << byte << " undetected";
+    }
+  }
+}
+
+TEST(Crc32Test, TruncationAndTranspositionAreDetected) {
+  const std::string body = "M(1) = { (ab), (ba) }";
+  const std::uint32_t clean = Crc32(body);
+  for (std::size_t cut = 0; cut < body.size(); ++cut) {
+    EXPECT_NE(Crc32(body.substr(0, cut)), clean) << "cut at " << cut;
+  }
+  for (std::size_t i = 0; i + 1 < body.size(); ++i) {
+    if (body[i] == body[i + 1]) continue;
+    std::string swapped = body;
+    std::swap(swapped[i], swapped[i + 1]);
+    EXPECT_NE(Crc32(swapped), clean) << "transposition at " << i;
+  }
 }
 
 }  // namespace

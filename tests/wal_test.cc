@@ -1,0 +1,735 @@
+// Write-ahead log tests (src/svc/wal.h):
+//  - codec round-trips for headers and records, including binary payloads
+//    with embedded newlines (the `loaddata` replay form);
+//  - the torn-tail property: every proper prefix of a valid frame decodes
+//    to "incomplete", never to a record and never to damage;
+//  - a corruption table (CRC flips, mangled framing, header lies) where
+//    every case is permanently undecodable;
+//  - WalStore recovery posture: torn tails truncated in place, undecodable
+//    spans moved to `<log>.corrupt`, damaged headers quarantined whole;
+//  - crash-consistency under injected faults (ZEROONE_FAULT=ON builds):
+//    failed appends leave no partial frame, failed compactions leave the
+//    old log intact, and a fault-riddled run recovers to a database
+//    byte-identical to an uninterrupted run — the recovery table the
+//    durability contract in docs/robustness.md promises.
+
+#include "svc/wal.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <dirent.h>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fault/fault.h"
+#include "gtest/gtest.h"
+#include "obs/metrics.h"
+#include "svc/client.h"
+#include "svc/dispatch.h"
+#include "svc/protocol.h"
+
+namespace zeroone {
+namespace svc {
+namespace {
+
+std::string ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+void AppendRawBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::app);
+  out << bytes;
+  ASSERT_TRUE(out.good()) << "cannot append to " << path;
+}
+
+// An RAII temp directory (removed recursively, one level deep).
+class TempDir {
+ public:
+  TempDir() {
+    char templ[] = "/tmp/zo1wal_test_XXXXXX";
+    path_ = ::mkdtemp(templ);
+  }
+  ~TempDir() {
+    if (path_.empty()) return;
+    if (DIR* dir = ::opendir(path_.c_str())) {
+      while (dirent* entry = ::readdir(dir)) {
+        std::string name = entry->d_name;
+        if (name == "." || name == "..") continue;
+        ::unlink((path_ + "/" + name).c_str());
+      }
+      ::closedir(dir);
+    }
+    ::rmdir(path_.c_str());
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+WalRecord MakeRecord(std::uint64_t version, const std::string& command,
+                     const std::string& args) {
+  WalRecord record;
+  record.version = version;
+  record.command = command;
+  record.args = args;
+  return record;
+}
+
+TEST(WalCodec, HeaderRoundTrip) {
+  const std::string header = EncodeWalHeader("alpha-7", 42);
+  std::string session;
+  std::uint64_t base = 0;
+  StatusOr<std::size_t> consumed = DecodeWalHeader(header, &session, &base);
+  ASSERT_TRUE(consumed.ok()) << consumed.status().message();
+  EXPECT_EQ(*consumed, header.size());
+  EXPECT_EQ(session, "alpha-7");
+  EXPECT_EQ(base, 42u);
+  // Trailing bytes after the header line are not the header's business.
+  consumed = DecodeWalHeader(header + "#1 2 aaaaaaaa\n", &session, &base);
+  ASSERT_TRUE(consumed.ok());
+  EXPECT_EQ(*consumed, header.size());
+}
+
+TEST(WalCodec, HeaderRejectsDamage) {
+  std::string session;
+  std::uint64_t base = 0;
+  const char* bad[] = {
+      "ZO1WAL 2 s 0\n",     // Wrong version.
+      "XO1WAL 1 s 0\n",     // Wrong magic.
+      "ZO1WAL 1 s\n",       // Missing base version.
+      "ZO1WAL 1 s zero\n",  // Non-numeric base.
+      "ZO1WAL 1 b@d 0\n",   // Invalid session name.
+      "ZO1WAL 1 s 0",       // No newline.
+  };
+  for (const char* line : bad) {
+    SCOPED_TRACE(line);
+    EXPECT_FALSE(DecodeWalHeader(line, &session, &base).ok());
+  }
+}
+
+TEST(WalCodec, RecordRoundTrip) {
+  const WalRecord cases[] = {
+      MakeRecord(1, "db", "M(1) = { (a) }"),
+      MakeRecord(7, "clear", ""),  // No args: payload is the bare command.
+      MakeRecord(900, "loaddata", "R(1) = { (x) }\nS(1) = { (y) }\n"),
+  };
+  for (const WalRecord& record : cases) {
+    SCOPED_TRACE(record.command);
+    const std::string frame = EncodeWalRecord(record);
+    WalRecord decoded;
+    StatusOr<std::size_t> consumed = DecodeWalRecord(frame, &decoded);
+    ASSERT_TRUE(consumed.ok()) << consumed.status().message();
+    EXPECT_EQ(*consumed, frame.size());
+    EXPECT_EQ(decoded.version, record.version);
+    EXPECT_EQ(decoded.command, record.command);
+    EXPECT_EQ(decoded.args, record.args);
+    // With a second frame appended, exactly the first is consumed.
+    consumed = DecodeWalRecord(frame + frame, &decoded);
+    ASSERT_TRUE(consumed.ok());
+    EXPECT_EQ(*consumed, frame.size());
+  }
+}
+
+TEST(WalCodec, EveryProperPrefixIsATornTailNeverDamage) {
+  // The crash model: a frame is cut anywhere. Each prefix must decode as
+  // "incomplete" (consumed == 0) — never as a shorter valid record, and
+  // never as permanent damage, because recovery truncates tails but
+  // quarantines damage.
+  const std::string frame =
+      EncodeWalRecord(MakeRecord(12, "db", "M(1) = { (torn) }\nextra"));
+  for (std::size_t cut = 0; cut < frame.size(); ++cut) {
+    SCOPED_TRACE(cut);
+    WalRecord decoded;
+    StatusOr<std::size_t> consumed =
+        DecodeWalRecord(frame.substr(0, cut), &decoded);
+    ASSERT_TRUE(consumed.ok())
+        << "prefix of " << cut << " bytes treated as damage: "
+        << consumed.status().message();
+    EXPECT_EQ(*consumed, 0u);
+  }
+}
+
+TEST(WalCodec, CorruptRecordsAreNeverDecodable) {
+  const std::string frame =
+      EncodeWalRecord(MakeRecord(3, "db", "M(1) = { (v) }"));
+  struct Case {
+    const char* name;
+    std::string bytes;
+  };
+  std::string crc_flip = frame;
+  crc_flip[frame.find('\n') - 1] ^= 0x01;  // Last CRC hex digit.
+  std::string body_flip = frame;
+  body_flip[frame.size() - 2] ^= 0x01;  // Inside the payload.
+  std::string bad_terminator = frame;
+  bad_terminator[frame.size() - 1] = 'x';  // Payload LF overwritten.
+  const Case cases[] = {
+      {"no-hash-prefix", "x" + frame.substr(1)},
+      {"crc-field-flip", crc_flip},
+      {"payload-bit-flip", body_flip},
+      {"missing-terminator", bad_terminator},
+      {"oversized-header", "#" + std::string(80, '1') + " 1 aaaaaaaa\nx\n"},
+      {"empty-command", EncodeWalRecord(MakeRecord(1, "", "args"))},
+  };
+  for (const Case& test_case : cases) {
+    SCOPED_TRACE(test_case.name);
+    WalRecord decoded;
+    EXPECT_FALSE(DecodeWalRecord(test_case.bytes, &decoded).ok());
+  }
+}
+
+TEST(WalStoreTest, AppendThenReadAllRoundTrips) {
+  TempDir tmp;
+  ASSERT_FALSE(tmp.path().empty());
+  WalStore store(tmp.path());
+  ASSERT_TRUE(store.Prepare().ok());
+  EXPECT_FALSE(store.Exists("s"));
+  for (std::uint64_t v = 1; v <= 3; ++v) {
+    StatusOr<std::uint64_t> appended = store.Append(
+        "s", MakeRecord(v, "db", "M(1) = { (m" + std::to_string(v) + ") }"),
+        /*sync=*/v == 2);  // Mix async and fsync'd appends.
+    ASSERT_TRUE(appended.ok()) << appended.status().message();
+  }
+  EXPECT_TRUE(store.Exists("s"));
+
+  WalStore::ReadReport report;
+  StatusOr<std::vector<WalRecord>> records = store.ReadAll("s", &report);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 3u);
+  EXPECT_EQ(report.base_version, 0u);
+  EXPECT_EQ(report.truncated_tails, 0u);
+  EXPECT_EQ(report.quarantined, 0u);
+  for (std::uint64_t v = 1; v <= 3; ++v) {
+    EXPECT_EQ((*records)[v - 1].version, v);
+    EXPECT_EQ((*records)[v - 1].args,
+              "M(1) = { (m" + std::to_string(v) + ") }");
+  }
+  EXPECT_EQ(store.ListSessions(), std::vector<std::string>{"s"});
+}
+
+TEST(WalStoreTest, LogBasesAtTheVersionBeforeItsFirstRecord) {
+  TempDir tmp;
+  WalStore store(tmp.path());
+  ASSERT_TRUE(store.Prepare().ok());
+  // First record at version 9: the log covers (8, 9] — a snapshot at 8
+  // plus this log reconstructs the session.
+  ASSERT_TRUE(store.Append("s", MakeRecord(9, "clear", ""), false).ok());
+  WalStore::ReadReport report;
+  ASSERT_TRUE(store.ReadAll("s", &report).ok());
+  EXPECT_EQ(report.base_version, 8u);
+}
+
+TEST(WalStoreTest, TruncateToRollsTheRecordBackOut) {
+  TempDir tmp;
+  WalStore store(tmp.path());
+  ASSERT_TRUE(store.Prepare().ok());
+  ASSERT_TRUE(store.Append("s", MakeRecord(1, "db", "M(1) = { (keep) }"),
+                           false)
+                  .ok());
+  const std::string before = ReadWholeFile(store.PathFor("s"));
+  StatusOr<std::uint64_t> appended =
+      store.Append("s", MakeRecord(2, "db", "M(1) = { (rollback) }"), false);
+  ASSERT_TRUE(appended.ok());
+  EXPECT_EQ(*appended, before.size());
+  // The command this record logged "failed to apply": roll it back out.
+  store.TruncateTo("s", *appended);
+  EXPECT_EQ(ReadWholeFile(store.PathFor("s")), before);
+  WalStore::ReadReport report;
+  StatusOr<std::vector<WalRecord>> records = store.ReadAll("s", &report);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].args, "M(1) = { (keep) }");
+}
+
+TEST(WalStoreTest, ResetRebasesAndAppendsContinue) {
+  TempDir tmp;
+  WalStore store(tmp.path());
+  ASSERT_TRUE(store.Prepare().ok());
+  for (std::uint64_t v = 1; v <= 4; ++v) {
+    ASSERT_TRUE(store.Append("s", MakeRecord(v, "clear", ""), false).ok());
+  }
+  // A compaction folded versions 1..4 into a snapshot: rebase the log.
+  ASSERT_TRUE(store.Reset("s", 4).ok());
+  WalStore::ReadReport report;
+  StatusOr<std::vector<WalRecord>> records = store.ReadAll("s", &report);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records->size(), 0u);
+  EXPECT_EQ(report.base_version, 4u);
+  // The cached append descriptor must follow the rename: the next record
+  // lands in the fresh log, not the replaced inode.
+  ASSERT_TRUE(store.Append("s", MakeRecord(5, "clear", ""), false).ok());
+  records = store.ReadAll("s", &report);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].version, 5u);
+  EXPECT_EQ(report.base_version, 4u);
+}
+
+TEST(WalStoreTest, TornTailIsTruncatedInPlace) {
+  TempDir tmp;
+  WalStore store(tmp.path());
+  ASSERT_TRUE(store.Prepare().ok());
+  ASSERT_TRUE(store.Append("s", MakeRecord(1, "db", "M(1) = { (whole) }"),
+                           false)
+                  .ok());
+  const std::string whole = ReadWholeFile(store.PathFor("s"));
+  // A crash mid-append: half of the next frame is on disk.
+  const std::string torn =
+      EncodeWalRecord(MakeRecord(2, "db", "M(1) = { (torn) }"));
+  AppendRawBytes(store.PathFor("s"), torn.substr(0, torn.size() / 2));
+
+  WalStore::ReadReport report;
+  StatusOr<std::vector<WalRecord>> records = store.ReadAll("s", &report);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ(report.truncated_tails, 1u);
+  EXPECT_EQ(report.quarantined, 0u);
+  // The tail was cut off in place; a second recovery is clean.
+  EXPECT_EQ(ReadWholeFile(store.PathFor("s")), whole);
+  records = store.ReadAll("s", &report);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records->size(), 1u);
+  EXPECT_EQ(report.truncated_tails, 0u);
+}
+
+TEST(WalStoreTest, UndecodableSpanIsMovedAsideValidPrefixKept) {
+  TempDir tmp;
+  WalStore store(tmp.path());
+  ASSERT_TRUE(store.Prepare().ok());
+  ASSERT_TRUE(store.Append("s", MakeRecord(1, "db", "M(1) = { (good) }"),
+                           false)
+                  .ok());
+  // Mid-log damage followed by more data: not a tail, permanent damage.
+  const std::string garbage = "this is not a frame\n";
+  AppendRawBytes(store.PathFor("s"), garbage);
+  const std::string after =
+      EncodeWalRecord(MakeRecord(2, "db", "M(1) = { (after) }"));
+  AppendRawBytes(store.PathFor("s"), after);
+
+  WalStore::ReadReport report;
+  StatusOr<std::vector<WalRecord>> records = store.ReadAll("s", &report);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);  // The valid prefix survives.
+  EXPECT_EQ((*records)[0].args, "M(1) = { (good) }");
+  EXPECT_EQ(report.quarantined, 1u);
+  // The damaged span (garbage + everything after it) is preserved for
+  // post-mortem in the .corrupt sidecar, never replayed.
+  EXPECT_EQ(ReadWholeFile(store.PathFor("s") + ".corrupt"), garbage + after);
+}
+
+TEST(WalStoreTest, DamagedHeaderQuarantinesTheWholeLog) {
+  TempDir tmp;
+  WalStore store(tmp.path());
+  ASSERT_TRUE(store.Prepare().ok());
+  ASSERT_TRUE(store.Append("s", MakeRecord(1, "clear", ""), false).ok());
+  std::string image = ReadWholeFile(store.PathFor("s"));
+  image[0] = 'X';  // Kill the magic.
+  {
+    std::ofstream out(store.PathFor("s"), std::ios::binary | std::ios::trunc);
+    out << image;
+  }
+  WalStore::ReadReport report;
+  StatusOr<std::vector<WalRecord>> records = store.ReadAll("s", &report);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records->size(), 0u);
+  EXPECT_EQ(report.quarantined, 1u);
+  EXPECT_FALSE(store.Exists("s"));
+  EXPECT_EQ(::access((store.PathFor("s") + ".corrupt").c_str(), F_OK), 0);
+}
+
+TEST(WalStoreTest, HeaderSessionMismatchIsQuarantined) {
+  TempDir tmp;
+  WalStore store(tmp.path());
+  ASSERT_TRUE(store.Prepare().ok());
+  ASSERT_TRUE(store.Append("alice", MakeRecord(1, "clear", ""), false).ok());
+  // A hand-copied log must not replay into the wrong session.
+  ASSERT_EQ(::rename(store.PathFor("alice").c_str(),
+                     store.PathFor("bob").c_str()),
+            0);
+  WalStore::ReadReport report;
+  StatusOr<std::vector<WalRecord>> records = store.ReadAll("bob", &report);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records->size(), 0u);
+  EXPECT_EQ(report.quarantined, 1u);
+}
+
+TEST(WalStoreTest, MissingLogIsEmptyNotAnError) {
+  TempDir tmp;
+  WalStore store(tmp.path());
+  ASSERT_TRUE(store.Prepare().ok());
+  WalStore::ReadReport report;
+  StatusOr<std::vector<WalRecord>> records = store.ReadAll("ghost", &report);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records->size(), 0u);
+  EXPECT_EQ(report.quarantined, 0u);
+  EXPECT_TRUE(store.ListSessions().empty());
+}
+
+TEST(WalStoreTest, ListSessionsIgnoresForeignFiles) {
+  TempDir tmp;
+  WalStore store(tmp.path());
+  ASSERT_TRUE(store.Prepare().ok());
+  ASSERT_TRUE(store.Append("beta", MakeRecord(1, "clear", ""), false).ok());
+  ASSERT_TRUE(store.Append("alpha", MakeRecord(1, "clear", ""), false).ok());
+  // Snapshots, quarantined logs, and stale temps share the directory.
+  AppendRawBytes(tmp.path() + "/alpha.zo1snap", "snapshot bytes");
+  AppendRawBytes(tmp.path() + "/dead.zo1wal.corrupt", "damage");
+  AppendRawBytes(tmp.path() + "/gamma.zo1wal.tmp.123", "half a reset");
+  EXPECT_EQ(store.ListSessions(),
+            (std::vector<std::string>{"alpha", "beta"}));
+}
+
+TEST(SaveSkipTest, UnchangedSessionSavesAreSkippedByteIdentically) {
+  char templ[] = "/tmp/zo1saveskip_XXXXXX";
+  char* dir_c = ::mkdtemp(templ);
+  ASSERT_NE(dir_c, nullptr);
+  const std::string dir = dir_c;
+  {
+    Dispatcher dispatcher(Dispatcher::Options{1 << 20, dir});
+    Request mutate;
+    mutate.command = "db";
+    mutate.args = "M(1) = { (a) }";
+    mutate.session = "s";
+    ASSERT_EQ(dispatcher.Execute(mutate).status, WireStatus::kOk);
+    Request save;
+    save.command = "save";
+    save.session = "s";
+    Response first = dispatcher.Execute(save);
+    ASSERT_EQ(first.status, WireStatus::kOk) << first.payload;
+    const std::string snapshot_before =
+        ReadWholeFile(dispatcher.snapshots()->PathFor("s"));
+
+    // Same version, second save: a fast no-op — the wire answer is
+    // byte-identical (clients cannot tell) and the file is not rewritten.
+    obs::ScopedSnapshot counters;
+    Response second = dispatcher.Execute(save);
+    ASSERT_EQ(second.status, WireStatus::kOk);
+    EXPECT_EQ(second.payload, first.payload);
+    EXPECT_EQ(ReadWholeFile(dispatcher.snapshots()->PathFor("s")),
+              snapshot_before);
+#if ZEROONE_OBS_ENABLED
+    EXPECT_EQ(counters.Delta("svc.snapshot.save_skipped"), 1u);
+    EXPECT_EQ(counters.Delta("svc.snapshot.saved"), 0u);
+#endif
+
+    // A mutation re-arms the real save path.
+    mutate.args = "M(1) = { (b) }";
+    ASSERT_EQ(dispatcher.Execute(mutate).status, WireStatus::kOk);
+    obs::ScopedSnapshot after_mutation;
+    Response third = dispatcher.Execute(save);
+    ASSERT_EQ(third.status, WireStatus::kOk);
+#if ZEROONE_OBS_ENABLED
+    EXPECT_EQ(after_mutation.Delta("svc.snapshot.save_skipped"), 0u);
+#endif
+  }
+  if (DIR* d = ::opendir(dir.c_str())) {
+    while (dirent* entry = ::readdir(d)) {
+      std::string name = entry->d_name;
+      if (name != "." && name != "..") ::unlink((dir + "/" + name).c_str());
+    }
+    ::closedir(d);
+  }
+  ::rmdir(dir.c_str());
+}
+
+#if ZEROONE_FAULT_ENABLED
+
+class WalFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::Registry::Global().Clear(); }
+  void TearDown() override { fault::Registry::Global().Clear(); }
+};
+
+TEST_F(WalFaultTest, FailedAppendLeavesNoPartialFrame) {
+  struct Case {
+    const char* site;
+    bool sync;
+  };
+  const Case cases[] = {{"wal.append.fail", false}, {"wal.fsync.fail", true}};
+  for (const Case& test_case : cases) {
+    SCOPED_TRACE(test_case.site);
+    fault::Registry::Global().Clear();
+    TempDir tmp;
+    WalStore store(tmp.path());
+    ASSERT_TRUE(store.Prepare().ok());
+    ASSERT_TRUE(store.Append("s", MakeRecord(1, "db", "M(1) = { (ok) }"),
+                             test_case.sync)
+                    .ok());
+    const std::string before = ReadWholeFile(store.PathFor("s"));
+
+    ASSERT_TRUE(fault::Registry::Global()
+                    .Configure(std::string(test_case.site) + "=#1")
+                    .ok());
+    StatusOr<std::uint64_t> failed = store.Append(
+        "s", MakeRecord(2, "db", "M(1) = { (lost) }"), test_case.sync);
+    EXPECT_FALSE(failed.ok()) << "injected " << test_case.site;
+    // All-or-nothing: the torn frame was truncated back off, byte-exact.
+    EXPECT_EQ(ReadWholeFile(store.PathFor("s")), before);
+
+    fault::Registry::Global().Clear();
+    // The same record retries cleanly after the fault clears.
+    ASSERT_TRUE(store.Append("s", MakeRecord(2, "db", "M(1) = { (lost) }"),
+                             test_case.sync)
+                    .ok());
+    WalStore::ReadReport report;
+    StatusOr<std::vector<WalRecord>> records = store.ReadAll("s", &report);
+    ASSERT_TRUE(records.ok());
+    EXPECT_EQ(records->size(), 2u);
+    EXPECT_EQ(report.truncated_tails, 0u);
+  }
+}
+
+TEST_F(WalFaultTest, FailedCompactionRenameLeavesOldLogIntact) {
+  TempDir tmp;
+  WalStore store(tmp.path());
+  ASSERT_TRUE(store.Prepare().ok());
+  for (std::uint64_t v = 1; v <= 3; ++v) {
+    ASSERT_TRUE(store.Append("s", MakeRecord(v, "clear", ""), false).ok());
+  }
+  const std::string before = ReadWholeFile(store.PathFor("s"));
+  ASSERT_TRUE(
+      fault::Registry::Global().Configure("compact.rename.fail=#1").ok());
+  EXPECT_FALSE(store.Reset("s", 3).ok());
+  EXPECT_EQ(ReadWholeFile(store.PathFor("s")), before);
+
+  fault::Registry::Global().Clear();
+  ASSERT_TRUE(store.Reset("s", 3).ok());
+  WalStore::ReadReport report;
+  StatusOr<std::vector<WalRecord>> records = store.ReadAll("s", &report);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records->size(), 0u);
+  EXPECT_EQ(report.base_version, 3u);
+}
+
+TEST_F(WalFaultTest, InjectedDecodeFailureQuarantinesTheSpan) {
+  TempDir tmp;
+  WalStore store(tmp.path());
+  ASSERT_TRUE(store.Prepare().ok());
+  ASSERT_TRUE(store.Append("s", MakeRecord(1, "clear", ""), false).ok());
+  ASSERT_TRUE(store.Append("s", MakeRecord(2, "clear", ""), false).ok());
+  // #2: the first record decodes, the second "fails" — its span (just that
+  // record) moves aside and the prefix survives.
+  ASSERT_TRUE(
+      fault::Registry::Global().Configure("replay.decode.fail=#2").ok());
+  WalStore::ReadReport report;
+  StatusOr<std::vector<WalRecord>> records = store.ReadAll("s", &report);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 1u);
+  EXPECT_EQ((*records)[0].version, 1u);
+  EXPECT_EQ(report.quarantined, 1u);
+  EXPECT_EQ(::access((store.PathFor("s") + ".corrupt").c_str(), F_OK), 0);
+
+  fault::Registry::Global().Clear();
+  records = store.ReadAll("s", &report);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records->size(), 1u);  // The quarantine was persistent.
+  EXPECT_EQ(report.quarantined, 0u);
+}
+
+// The recovery table the durability contract promises: for each fault
+// schedule, run the same mutation sequence (retrying transient failures —
+// UNAVAILABLE means "nothing applied, safe to retry"), SIGKILL-style drop
+// the dispatcher, recover a fresh one over the directory, and require the
+// recovered database byte-identical to an uninterrupted run's.
+class WalRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override { fault::Registry::Global().Clear(); }
+  void TearDown() override {
+    fault::Registry::Global().Clear();
+    RemoveDirs();
+  }
+
+  std::string MakeDir() {
+    char templ[] = "/tmp/zo1walrec_XXXXXX";
+    char* dir = ::mkdtemp(templ);
+    EXPECT_NE(dir, nullptr);
+    dirs_.push_back(dir);
+    return dir;
+  }
+
+  void RemoveDirs() {
+    for (const std::string& dir : dirs_) {
+      if (DIR* d = ::opendir(dir.c_str())) {
+        while (dirent* entry = ::readdir(d)) {
+          std::string name = entry->d_name;
+          if (name != "." && name != "..") {
+            ::unlink((dir + "/" + name).c_str());
+          }
+        }
+        ::closedir(d);
+      }
+      ::rmdir(dir.c_str());
+    }
+    dirs_.clear();
+  }
+
+  std::vector<std::string> dirs_;
+};
+
+Request MakeRequest(const std::string& command, const std::string& args) {
+  Request request;
+  request.command = command;
+  request.args = args;
+  request.session = "s";
+  return request;
+}
+
+struct Step {
+  std::string command;
+  std::string args;
+  bool expect_ok = true;  // false: a deliberate ERR (the rollback path).
+};
+
+// Applies the step list, retrying any transient answer (the wire
+// contract: UNAVAILABLE/OVERLOADED applied nothing). Returns false if a
+// step never reached its expected outcome.
+bool ApplyAll(Dispatcher* dispatcher, const std::vector<Step>& steps) {
+  for (const Step& step : steps) {
+    bool done = false;
+    for (int round = 0; round < 8 && !done; ++round) {
+      Response response =
+          dispatcher->Execute(MakeRequest(step.command, step.args));
+      if (response.status == WireStatus::kOk) {
+        if (!step.expect_ok) {
+          ADD_FAILURE() << step.command << " unexpectedly succeeded";
+          return false;
+        }
+        done = true;
+      } else if (!IsTransientWireStatus(response.status)) {
+        if (step.expect_ok) {
+          ADD_FAILURE() << step.command << ": " << response.payload;
+          return false;
+        }
+        done = true;  // The expected definitive rejection.
+      }
+    }
+    if (!done) return false;
+  }
+  return true;
+}
+
+// Reads the state a recovery must reproduce byte for byte.
+std::string Fingerprint(Dispatcher* dispatcher) {
+  Response shown = dispatcher->Execute(MakeRequest("show", ""));
+  EXPECT_EQ(shown.status, WireStatus::kOk) << shown.payload;
+  Response constraints = dispatcher->Execute(MakeRequest("constraints", ""));
+  EXPECT_EQ(constraints.status, WireStatus::kOk) << constraints.payload;
+  return shown.payload + "\x1f" + constraints.payload;
+}
+
+TEST_F(WalRecoveryTest, FaultScheduleTableRecoversByteIdentical) {
+  // A mix of inserts, an explicit save mid-stream (so replay must skip the
+  // snapshot-covered prefix), constraint mutations, and one deliberately
+  // malformed mutation — it fails after its record is already logged,
+  // exercising the append-then-rollback path in every schedule.
+  const std::vector<Step> steps = {
+      {"db", "M(1) = { (m1) }"},
+      {"db", "M(1) = { (m2) }"},
+      {"save", ""},
+      {"db", "M(1) = { (m3) }"},
+      {"fd", "N 2 0 1"},
+      {"db", "((( not a database", /*expect_ok=*/false},
+      {"db", "M(1) = { (m4), (m5) }"},
+      {"clear", ""},
+      {"ind", "M 1 0 M 1 0"},
+      {"db", "M(1) = { (m6) }"},
+  };
+
+  // The uninterrupted reference: same steps, no faults, no crash.
+  std::string reference;
+  {
+    const std::string dir = MakeDir();
+    Dispatcher dispatcher(Dispatcher::Options{1 << 20, dir});
+    ASSERT_TRUE(ApplyAll(&dispatcher, steps));
+    reference = Fingerprint(&dispatcher);
+  }
+
+  struct Schedule {
+    const char* name;
+    const char* faults;  // Applied during the run, cleared before recovery.
+    AckMode ack_mode;
+    std::uint64_t compact_every;
+  };
+  const Schedule schedules[] = {
+      {"clean", "", AckMode::kAsync, 0},
+      {"append-fails-then-retries", "wal.append.fail=#2", AckMode::kAsync, 0},
+      {"fsync-fails-then-retries", "wal.fsync.fail=#1", AckMode::kFsync, 0},
+      {"mutation-rejected-before-append", "svc.session.mutate.fail=#3",
+       AckMode::kAsync, 0},
+      {"compaction-rename-crashes", "compact.rename.fail=#1", AckMode::kAsync,
+       2},
+      {"compacting-everything", "", AckMode::kAsync, 1},
+  };
+  for (const Schedule& schedule : schedules) {
+    SCOPED_TRACE(schedule.name);
+    fault::Registry::Global().Clear();
+    const std::string dir = MakeDir();
+    {
+      Dispatcher dispatcher(Dispatcher::Options{
+          1 << 20, dir, /*wal=*/true, schedule.ack_mode,
+          schedule.compact_every});
+      if (schedule.faults[0] != '\0') {
+        ASSERT_TRUE(
+            fault::Registry::Global().Configure(schedule.faults).ok());
+      }
+      ASSERT_TRUE(ApplyAll(&dispatcher, steps));
+      // Dispatcher dropped without drain or save: the SIGKILL analogue.
+    }
+    fault::Registry::Global().Clear();
+
+    Dispatcher recovered(Dispatcher::Options{
+        1 << 20, dir, /*wal=*/true, schedule.ack_mode,
+        schedule.compact_every});
+    Dispatcher::RecoveryReport report = recovered.LoadSnapshots();
+    EXPECT_EQ(report.wal_replay_failed, 0u);
+    EXPECT_EQ(report.wal_quarantined, 0u);
+    EXPECT_EQ(Fingerprint(&recovered), reference)
+        << "recovered state differs from the uninterrupted run";
+  }
+}
+
+TEST_F(WalRecoveryTest, ReplayFailureOnUnackedTailIsSkippedWithoutHarm) {
+  // A crash can beat the rollback: the record landed, the command failed,
+  // and the process died before TruncateTo. That record was never
+  // acknowledged, so recovery must skip it — without a version bump and
+  // without damaging the acked prefix.
+  const std::string dir = MakeDir();
+  std::string before;
+  {
+    Dispatcher dispatcher(Dispatcher::Options{1 << 20, dir});
+    ASSERT_TRUE(ApplyAll(&dispatcher, {{"db", "M(1) = { (acked) }"}}));
+    Response shown = dispatcher.Execute(MakeRequest("show", ""));
+    before = shown.payload;
+    // The stranded tail record: structurally valid, semantically broken.
+    WalStore* wal = dispatcher.wal();
+    ASSERT_NE(wal, nullptr);
+    WalRecord stranded;
+    stranded.version = 2;
+    stranded.command = "db";
+    stranded.args = "((( not a database";
+    ASSERT_TRUE(wal->Append("s", stranded, false).ok());
+  }
+  Dispatcher recovered(Dispatcher::Options{1 << 20, dir});
+  Dispatcher::RecoveryReport report = recovered.LoadSnapshots();
+  EXPECT_EQ(report.wal_records_applied, 1u);
+  EXPECT_EQ(report.wal_replay_failed, 1u);
+  Response shown = recovered.Execute(MakeRequest("show", ""));
+  ASSERT_EQ(shown.status, WireStatus::kOk);
+  EXPECT_EQ(shown.payload, before);
+  // The skipped record never consumed its version: the next mutation
+  // takes version 2 and the log stays contiguous.
+  ASSERT_TRUE(ApplyAll(&recovered, {{"db", "M(1) = { (next) }"}}));
+}
+
+#endif  // ZEROONE_FAULT_ENABLED
+
+}  // namespace
+}  // namespace svc
+}  // namespace zeroone

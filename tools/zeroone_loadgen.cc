@@ -11,6 +11,13 @@
 // replays an ack-log against a (restarted) server and fails unless every
 // acknowledged tuple is still visible.
 //
+// Failover verification: --phase=NAME stamps every ack-log line with a
+// phase label (e.g. prekill3, postfailover), and --standby-port=N gives
+// --verify a second endpoint — a tuple missing from the primary is
+// re-checked against the standby, so a promoted follower that absorbed the
+// acked writes still counts. The verify summary breaks results down per
+// phase and reports how many tuples each endpoint served.
+//
 // All traffic goes through svc::RetryingClient: transient failures
 // (transport errors, OVERLOADED, UNAVAILABLE, SHUTTING_DOWN) are retried
 // with jittered exponential backoff, and the summary reports how hard the
@@ -27,8 +34,12 @@
 //   --deadline-ms=N      attach @deadline_ms=N to every read request
 //   --nocache            attach @nocache to every read request
 //   --mutate             insert-and-save mode (see above)
-//   --ack-log=FILE       append "session token" per acknowledged mutation
+//   --ack-log=FILE       append "session token [phase]" per acknowledged
+//                        mutation
+//   --phase=NAME         label this run's ack-log lines (default: none)
 //   --verify=FILE        check every tuple in FILE is visible, then exit
+//   --standby-port=N     verify fallback endpoint (same --host); a tuple
+//                        counts if the primary OR the standby serves it
 //   --retry-attempts=N   attempts per request incl. the first (default 5)
 //   --retry-backoff-ms=N initial backoff; doubles, capped at 1000 (default 10)
 //   --seed=N             base seed for retry jitter (default 1)
@@ -42,13 +53,13 @@
 // tuple is visible.
 
 #include <algorithm>
+#include <cctype>
 #include <chrono>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <mutex>
-#include <set>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -105,7 +116,9 @@ struct LoadgenOptions {
   bool no_cache = false;
   bool mutate = false;
   std::string ack_log;
+  std::string phase;  // Optional third ack-log field; tallied by --verify.
   std::string verify_file;
+  int standby_port = 0;  // --verify fallback endpoint; 0 = none.
   int retry_attempts = 5;
   std::uint64_t retry_backoff_ms = 10;
   std::uint64_t seed = 1;
@@ -117,9 +130,12 @@ class AckLog {
  public:
   explicit AckLog(const std::string& path) : out_(path, std::ios::app) {}
   bool ok() const { return out_.good(); }
-  void Append(const std::string& session, const std::string& token) {
+  void Append(const std::string& session, const std::string& token,
+              const std::string& phase) {
     std::lock_guard<std::mutex> lock(mutex_);
-    out_ << session << ' ' << token << '\n';
+    out_ << session << ' ' << token;
+    if (!phase.empty()) out_ << ' ' << phase;
+    out_ << '\n';
     out_.flush();
   }
 
@@ -132,8 +148,8 @@ void PrintUsage(std::ostream& os) {
   os << "usage: zeroone_loadgen --port=N [--host=ADDR] [--connections=N]\n"
         "                       [--requests=N] [--seconds=N] "
         "[--deadline-ms=N] [--nocache]\n"
-        "                       [--mutate] [--ack-log=FILE] "
-        "[--verify=FILE]\n"
+        "                       [--mutate] [--ack-log=FILE] [--phase=NAME]\n"
+        "                       [--verify=FILE] [--standby-port=N]\n"
         "                       [--retry-attempts=N] [--retry-backoff-ms=N] "
         "[--seed=N]\n"
         "                       [--faults=SPEC]\n";
@@ -276,8 +292,11 @@ void RunMutateWorker(const LoadgenOptions& options, std::size_t index,
 
   for (std::size_t i = 0; i < options.requests; ++i) {
     if (std::chrono::steady_clock::now() >= stop_at) break;
+    // The phase prefix keeps tokens from different run phases distinct, so
+    // a multi-phase ack log tallies each phase's writes separately.
     const std::string token =
-        "m" + std::to_string(index) + "_" + std::to_string(i);
+        (options.phase.empty() ? "m" : options.phase + "_m") +
+        std::to_string(index) + "_" + std::to_string(i);
     const std::string args = "M(1) = { (" + token + ") }";
     auto start = std::chrono::steady_clock::now();
     bool acked = false;
@@ -310,58 +329,135 @@ void RunMutateWorker(const LoadgenOptions& options, std::size_t index,
     auto elapsed = std::chrono::steady_clock::now() - start;
     if (!acked) return;
     ++result->acked;
-    if (ack_log != nullptr) ack_log->Append(session, token);
+    if (ack_log != nullptr) ack_log->Append(session, token, options.phase);
     result->latencies_ms.push_back(
         std::chrono::duration<double, std::milli>(elapsed).count());
   }
 }
 
 // --verify: every acknowledged tuple in the log must be visible via `show`
-// on its session. Returns the number of missing tuples.
+// on its session — on the primary, or (with --standby-port) on the standby
+// endpoint, so acked writes absorbed by a promoted follower still count.
+// Ack-log lines are "session token" or "session token phase"; tallies are
+// kept per phase so a failover run can show that pre-kill and
+// post-failover writes both survived. Returns the number of missing
+// tuples.
 std::uint64_t RunVerify(const LoadgenOptions& options) {
   std::ifstream in(options.verify_file);
   if (!in) {
     std::cerr << "cannot read ack log '" << options.verify_file << "'\n";
     return 1;
   }
-  std::map<std::string, std::set<std::string>> acked_by_session;
-  std::string session, token;
-  while (in >> session >> token) acked_by_session[session].insert(token);
+  // session -> token -> phase ("" when the line had no phase field).
+  std::map<std::string, std::map<std::string, std::string>> acked_by_session;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream fields(line);
+    std::string session, token, phase;
+    if (!(fields >> session >> token)) continue;  // Blank/partial line.
+    fields >> phase;                              // Optional third field.
+    acked_by_session[session][token] = phase;
+  }
 
-  RetryingClient client = MakeClient(options, 0);
+  RetryingClient primary = MakeClient(options, 0);
+  std::unique_ptr<RetryingClient> standby;
+  if (options.standby_port != 0) {
+    LoadgenOptions standby_options = options;
+    standby_options.port = options.standby_port;
+    standby = std::make_unique<RetryingClient>(
+        MakeClient(standby_options, 1));
+  }
+
+  struct PhaseTally {
+    std::uint64_t verified = 0;
+    std::uint64_t missing = 0;
+  };
+  std::map<std::string, PhaseTally> by_phase;
   std::uint64_t verified = 0;
   std::uint64_t missing = 0;
+  std::uint64_t primary_hits = 0;  // Tuples the primary endpoint served.
+  std::uint64_t standby_hits = 0;  // Tuples only the standby served.
   std::uint64_t id = 1;
-  for (const auto& [name, tokens] : acked_by_session) {
+
+  // One `show` per session per endpoint; the standby is asked only when
+  // the primary is missing something (lazy, cached across tokens).
+  auto fetch = [&id](RetryingClient* client, const std::string& name,
+                     std::string* payload) {
     Request request;
     request.id = std::to_string(id++);
     request.session = name;
     request.command = "show";
-    StatusOr<Response> response = client.CallWithRetry(request);
-    if (!response.ok() || response->status != WireStatus::kOk) {
-      std::cerr << "verify: cannot read session '" << name << "': "
-                << (response.ok() ? response->payload
-                                  : response.status().message())
-                << "\n";
-      missing += tokens.size();
-      continue;
+    StatusOr<Response> response = client->CallWithRetry(request);
+    if (!response.ok() || response->status != WireStatus::kOk) return false;
+    *payload = response->payload;
+    return true;
+  };
+
+  for (const auto& [name, tokens] : acked_by_session) {
+    std::string primary_payload;
+    const bool primary_ok = fetch(&primary, name, &primary_payload);
+    if (!primary_ok && standby == nullptr) {
+      std::cerr << "verify: cannot read session '" << name << "'\n";
     }
-    for (const std::string& t : tokens) {
+    bool standby_fetched = false;
+    bool standby_ok = false;
+    std::string standby_payload;
+    for (const auto& [t, phase] : tokens) {
       // Tuple constants render as "(token)"; substring match on the
       // parenthesized form avoids false hits on token prefixes.
-      if (response->payload.find("(" + t + ")") != std::string::npos) {
+      const std::string needle = "(" + t + ")";
+      bool found = primary_ok &&
+                   primary_payload.find(needle) != std::string::npos;
+      if (found) ++primary_hits;
+      if (!found && standby != nullptr) {
+        if (!standby_fetched) {
+          standby_fetched = true;
+          standby_ok = fetch(standby.get(), name, &standby_payload);
+        }
+        found = standby_ok &&
+                standby_payload.find(needle) != std::string::npos;
+        if (found) ++standby_hits;
+      }
+      if (found) {
         ++verified;
+        ++by_phase[phase].verified;
       } else {
         ++missing;
+        ++by_phase[phase].missing;
         std::cerr << "verify: session '" << name << "' lost acknowledged "
-                  << "tuple '" << t << "'\n";
+                  << "tuple '" << t << "'";
+        if (!phase.empty()) std::cerr << " (phase " << phase << ")";
+        std::cerr << "\n";
       }
     }
   }
+
   std::cerr << "verify: " << verified << " acknowledged tuples visible, "
-            << missing << " missing\n";
+            << missing << " missing";
+  if (standby != nullptr) {
+    std::cerr << " (" << primary_hits << " on primary, " << standby_hits
+              << " on standby)";
+  }
+  std::cerr << "\n";
+  for (const auto& [phase, tally] : by_phase) {
+    if (phase.empty() && by_phase.size() == 1) break;  // Unphased log.
+    std::cerr << "verify: phase " << (phase.empty() ? "(none)" : phase)
+              << ": " << tally.verified << " visible, " << tally.missing
+              << " missing\n";
+  }
+
   std::cout << "{\"verified\": " << verified << ", \"missing\": " << missing
-            << "}" << std::endl;
+            << ", \"primary_hits\": " << primary_hits
+            << ", \"standby_hits\": " << standby_hits << ", \"phases\": {";
+  bool first = true;
+  for (const auto& [phase, tally] : by_phase) {
+    if (!first) std::cout << ", ";
+    first = false;
+    std::cout << "\"" << (phase.empty() ? "unphased" : phase)
+              << "\": {\"verified\": " << tally.verified
+              << ", \"missing\": " << tally.missing << "}";
+  }
+  std::cout << "}}" << std::endl;
   return missing;
 }
 
@@ -402,8 +498,12 @@ int main(int argc, char** argv) {
       options.mutate = true;
     } else if (arg.rfind("--ack-log=", 0) == 0) {
       options.ack_log = arg.substr(10);
+    } else if (arg.rfind("--phase=", 0) == 0) {
+      options.phase = arg.substr(8);
     } else if (arg.rfind("--verify=", 0) == 0) {
       options.verify_file = arg.substr(9);
+    } else if (ParseUintFlag(arg, "--standby-port=", &value)) {
+      options.standby_port = static_cast<int>(value);
     } else if (ParseUintFlag(arg, "--retry-attempts=", &value)) {
       options.retry_attempts = static_cast<int>(value);
     } else if (ParseUintFlag(arg, "--retry-backoff-ms=", &value)) {
@@ -425,6 +525,14 @@ int main(int argc, char** argv) {
     return 1;
   }
   if (options.connections == 0) options.connections = 1;
+  for (char c : options.phase) {
+    // The phase is embedded in mutate tokens, which must stay valid tuple
+    // constants; letters, digits, and underscores only.
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') {
+      std::cerr << "--phase must be alphanumeric (plus '_')\n";
+      return 1;
+    }
+  }
 
 #if ZEROONE_FAULT_ENABLED
   {

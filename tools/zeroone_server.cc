@@ -24,6 +24,22 @@
 //   --deadline-ms=N       default per-request deadline; 0 = none (default 0)
 //   --snapshot-dir=DIR    reload/persist session snapshots here
 //                         (docs/robustness.md); unset disables persistence
+//   --ack-mode=MODE       async | fsync (default async): in fsync mode a
+//                         mutation is not acknowledged until its WAL record
+//                         is fsync'd — durable across power loss, not just
+//                         process death
+//   --no-wal              disable the per-session write-ahead log (acked
+//                         mutations then only survive via explicit `save`
+//                         and drain snapshots, the pre-WAL contract)
+//   --wal-compact-every=N fold a session's log into its snapshot after N
+//                         records; 0 = never (default 256)
+//   --follow=HOST:PORT    warm-standby mode: pull the primary's log from
+//                         HOST:PORT, serve reads, answer mutations
+//                         UNAVAILABLE, and promote to primary once pulls
+//                         fail for --promote-after-ms
+//   --promote-after-ms=N  continuous pull-failure time before a follower
+//                         promotes itself; 0 = never (default 2000)
+//   --pull-interval-ms=N  follower pull cadence (default 50)
 //   --bind-retry-ms=N     keep retrying EADDRINUSE binds for N ms
 //                         (default 2000; 0 fails immediately)
 //   --faults=SPEC         install a fault plan, e.g.
@@ -68,11 +84,20 @@ void PrintUsage(std::ostream& os) {
         "[--max-conns=N]\n"
         "                      [--legacy-readers] [--cache-bytes=N] "
         "[--deadline-ms=N]\n"
-        "                      [--snapshot-dir=DIR] [--bind-retry-ms=N]\n"
+        "                      [--snapshot-dir=DIR] [--ack-mode=async|fsync]\n"
+        "                      [--no-wal] [--wal-compact-every=N]\n"
+        "                      [--follow=HOST:PORT] [--promote-after-ms=N]\n"
+        "                      [--pull-interval-ms=N] [--bind-retry-ms=N]\n"
         "                      [--faults=SPEC] [--metrics[=FILE]] "
         "[--trace=FILE]\n"
         "Serves the zeroone wire protocol (docs/serving.md); SIGINT/SIGTERM "
-        "drain gracefully.\n";
+        "drain gracefully.\n"
+        "With --snapshot-dir, acked mutations are write-ahead logged and "
+        "survive crashes\n"
+        "(--ack-mode=fsync makes the ack wait for the fsync); --follow runs "
+        "a warm standby\n"
+        "that replays the primary's log and takes over on its death "
+        "(docs/robustness.md).\n";
 }
 
 bool ParseUintFlag(const std::string& arg, const std::string& prefix,
@@ -124,6 +149,39 @@ int main(int argc, char** argv) {
       options.default_deadline_ms = value;
     } else if (arg.rfind("--snapshot-dir=", 0) == 0) {
       options.snapshot_dir = arg.substr(15);
+    } else if (arg.rfind("--ack-mode=", 0) == 0) {
+      const std::string mode = arg.substr(11);
+      if (mode == "async") {
+        options.ack_mode = zeroone::svc::AckMode::kAsync;
+      } else if (mode == "fsync") {
+        options.ack_mode = zeroone::svc::AckMode::kFsync;
+      } else {
+        std::cerr << "bad --ack-mode '" << mode << "' (async|fsync)\n";
+        PrintUsage(std::cerr);
+        return 1;
+      }
+    } else if (arg == "--no-wal") {
+      options.wal = false;
+    } else if (ParseUintFlag(arg, "--wal-compact-every=", &value)) {
+      options.wal_compact_every = value;
+    } else if (arg.rfind("--follow=", 0) == 0) {
+      const std::string target = arg.substr(9);
+      const std::size_t colon = target.rfind(':');
+      std::uint64_t port = 0;
+      if (colon == std::string::npos || colon == 0 ||
+          !ParseUintFlag(target.substr(colon), ":", &port) || port == 0 ||
+          port > 65535) {
+        std::cerr << "bad --follow target '" << target
+                  << "' (want HOST:PORT)\n";
+        PrintUsage(std::cerr);
+        return 1;
+      }
+      options.follow_host = target.substr(0, colon);
+      options.follow_port = static_cast<int>(port);
+    } else if (ParseUintFlag(arg, "--promote-after-ms=", &value)) {
+      options.promote_after_ms = value;
+    } else if (ParseUintFlag(arg, "--pull-interval-ms=", &value)) {
+      options.pull_interval_ms = value;
     } else if (ParseUintFlag(arg, "--bind-retry-ms=", &value)) {
       options.bind_retry_ms = value;
     } else if (arg.rfind("--faults=", 0) == 0) {
@@ -188,6 +246,18 @@ int main(int argc, char** argv) {
     std::cerr << "reader model: epoll, " << server.event_threads()
               << " event threads\n";
   }
+  if (!options.snapshot_dir.empty()) {
+    if (options.wal) {
+      std::cerr << "durability: wal, "
+                << (options.ack_mode == zeroone::svc::AckMode::kFsync
+                        ? "fsync"
+                        : "async")
+                << " ack, compact every " << options.wal_compact_every
+                << " records\n";
+    } else {
+      std::cerr << "durability: snapshots only (--no-wal)\n";
+    }
+  }
 
   server.WaitForShutdownRequest();
   std::cerr << "draining: finishing in-flight requests...\n";
@@ -200,6 +270,20 @@ int main(int argc, char** argv) {
     std::cerr << "snapshots: loaded " << stats.snapshots_loaded
               << ", quarantined " << stats.snapshots_quarantined << ", saved "
               << stats.snapshots_saved << "\n";
+    if (options.wal) {
+      std::cerr << "wal: replayed " << stats.wal_records_replayed
+                << " records (" << stats.wal_truncated_tails
+                << " torn tails truncated, " << stats.wal_quarantined
+                << " spans set aside)\n";
+    }
+  }
+  if (server.replicator() != nullptr) {
+    zeroone::svc::Replicator::Stats repl = server.replicator()->stats();
+    std::cerr << "replication: " << repl.pulls << " pulls ("
+              << repl.pull_failures << " failed), " << repl.records_applied
+              << " records applied, " << repl.snapshots_installed
+              << " snapshots installed"
+              << (repl.promoted ? ", PROMOTED to primary" : "") << "\n";
   }
 
   if (!trace_file.empty()) {
