@@ -1,0 +1,39 @@
+#ifndef ZEROONE_COMMON_PARSE_H_
+#define ZEROONE_COMMON_PARSE_H_
+
+// Overflow-checked decimal parsing, shared by the WAL codec, the serving
+// dispatcher, and replication. A damaged on-disk or on-wire digit string
+// must be rejected as corruption — never wrapped modulo 2^64 into a small
+// "valid" value that then reads as a plausible version or payload size.
+
+#include <cstdint>
+#include <limits>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace zeroone {
+
+// Parses a non-empty run of ASCII digits as an unsigned 64-bit value.
+// Rejects anything else: signs, spaces, hex, and values above 2^64-1.
+inline StatusOr<std::uint64_t> ParseUint64(std::string_view text) {
+  if (text.empty()) {
+    return Status::Error("bad unsigned integer ''");
+  }
+  std::uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') {
+      return Status::Error("bad unsigned integer '", text, "'");
+    }
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (std::numeric_limits<std::uint64_t>::max() - digit) / 10) {
+      return Status::Error("unsigned integer '", text, "' overflows 64 bits");
+    }
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+}  // namespace zeroone
+
+#endif  // ZEROONE_COMMON_PARSE_H_

@@ -10,6 +10,7 @@
 
 #include "algebra/ra_parser.h"
 #include "common/cancel.h"
+#include "common/parse.h"
 #include "constraints/fd.h"
 #include "constraints/ind.h"
 #include "core/comparison.h"
@@ -112,24 +113,15 @@ bool IsValidSessionToken(std::string_view token) {
   return true;
 }
 
-StatusOr<std::uint64_t> ParseUint64(std::string_view text) {
-  if (text.empty() || text.size() > 20) {
-    return Status::Error("bad unsigned integer '", text, "'");
-  }
-  std::uint64_t value = 0;
-  for (char c : text) {
-    if (c < '0' || c > '9') {
-      return Status::Error("bad unsigned integer '", text, "'");
-    }
-    value = value * 10 + static_cast<std::uint64_t>(c - '0');
-  }
-  return value;
-}
-
 // One `ship` response carries at most this many record-frame bytes (plus
 // one frame of overshoot), keeping the payload well under kMaxPayloadBytes
-// so FormatResponse never truncates mid-frame.
+// so FormatResponse never truncates mid-frame. The overshoot frame is
+// itself bounded by kMaxWalRecordBytes (enforced at append time), so the
+// worst-case payload provably fits the wire cap:
 constexpr std::size_t kShipBatchBytes = 1 << 20;
+static_assert(kShipBatchBytes + kMaxWalRecordBytes + 64 <= kMaxPayloadBytes,
+              "a full ship batch plus one frame of overshoot must fit one "
+              "wire payload, or FormatResponse would truncate mid-frame");
 
 // Runs one command against the session. The caller holds the appropriate
 // session lock. Sets *mutated when session state changed (the caller then
@@ -376,7 +368,8 @@ Dispatcher::RecoveryReport Dispatcher::LoadSnapshots() {
     std::shared_ptr<SessionState> session = sessions_.GetOrCreate(name);
     std::unique_lock<std::shared_mutex> lock(session->mutex);
     std::uint64_t pending = 0;
-    for (const WalRecord& record : *records) {
+    for (std::size_t i = 0; i < records->size(); ++i) {
+      const WalRecord& record = (*records)[i];
       ++pending;  // Every record sits in the log until the next compaction.
       if (record.version <= session->version) {
         // Covered by the snapshot the last compaction (or save) wrote.
@@ -387,18 +380,42 @@ Dispatcher::RecoveryReport Dispatcher::LoadSnapshots() {
       StatusOr<std::string> applied =
           RunCommand(session.get(), record.command, record.args, &mutated);
       if (!applied.ok()) {
-        // A record whose command failed on the original run can only be
-        // the log's last one (failed appends are rolled back; a crash can
-        // beat the rollback). It was never acknowledged: skip it without
-        // adopting its version.
-        ++report.wal_replay_failed;
-        ZO_COUNTER_INC("svc.wal.replay_failed");
         std::fprintf(stderr, "wal: replaying '%s' v%llu '%s' failed: %s\n",
                      name.c_str(),
                      static_cast<unsigned long long>(record.version),
                      record.command.c_str(),
                      applied.status().message().c_str());
-        continue;
+        if (i + 1 == records->size()) {
+          // Only the log's final record may legitimately fail: the command
+          // failed on the original run and the crash beat the rollback
+          // truncate. It was never acknowledged — cut it off so the log
+          // again holds exactly the acked mutations (and the version it
+          // squatted on is free for the next mutation).
+          ++report.wal_replay_failed;
+          ZO_COUNTER_INC("svc.wal.replay_failed");
+          --pending;
+          Status cut = wal_->TruncateAt(name, read.offsets[i]);
+          if (!cut.ok()) {
+            std::fprintf(stderr, "wal: dropping unacked tail of '%s': %s\n",
+                         name.c_str(), cut.message().c_str());
+          }
+          break;
+        }
+        // A mid-log failure means this state diverged from the logged
+        // history — applying the later records to a base missing this
+        // mutation would silently fork it further. Stop replay here and
+        // quarantine the failed record and everything after it; the
+        // session serves the consistent applied prefix.
+        ++report.wal_replay_diverged;
+        ZO_COUNTER_INC("svc.wal.replay_diverged");
+        pending = i;  // Records still in the log once the tail is gone.
+        Status aside = wal_->QuarantineFrom(name, read.offsets[i],
+                                            applied.status().message());
+        if (!aside.ok()) {
+          std::fprintf(stderr, "wal: quarantining diverged tail of '%s': %s\n",
+                       name.c_str(), aside.message().c_str());
+        }
+        break;
       }
       session->version = std::max(session->version, record.version);
       ++report.wal_records_applied;
@@ -710,6 +727,24 @@ Response Dispatcher::Execute(const Request& request) {
       command = "loaddata";
       args = std::move(contents).value();
     }
+    if (wal_ != nullptr) {
+      // A record frame above kMaxWalRecordBytes can neither be logged nor
+      // shipped to a follower inside one wire payload. Only `load` can
+      // produce one (request lines are capped far below it); refuse it
+      // with a definitive error — a retry cannot shrink the file.
+      const std::size_t payload_bytes =
+          command.size() + (args.empty() ? 0 : args.size() + 1);
+      if (payload_bytes + kMaxWalHeaderBytes + 1 > kMaxWalRecordBytes) {
+        ZO_COUNTER_INC("svc.requests.wal_oversized");
+        response.status = WireStatus::kErr;
+        response.payload = StrCat(
+            "'", request.command, "' payload of ", payload_bytes,
+            " bytes exceeds the ", kMaxWalRecordBytes,
+            "-byte write-ahead log record cap; split the load or start "
+            "the server with --wal=off");
+        return response;
+      }
+    }
     std::uint64_t wal_before = 0;
     bool wal_appended = false;
     if (wal_ != nullptr) {
@@ -898,19 +933,31 @@ Response Dispatcher::ExecuteShip(const Request& request) {
       std::string frames;
       std::size_t count = 0;
       bool more = false;
+      bool oversized = false;
       for (const WalRecord& record : *records) {
         if (record.version <= *from) continue;
         if (frames.size() >= kShipBatchBytes) {
           more = true;  // The follower pulls again immediately.
           break;
         }
-        frames += EncodeWalRecord(record);
+        std::string frame = EncodeWalRecord(record);
+        if (frame.size() > kMaxWalRecordBytes) {
+          // A legacy record from before the append-time cap: shipping it
+          // would overflow the wire payload and truncate mid-frame. Fall
+          // back to the snapshot path below, which covers it.
+          ZO_COUNTER_INC("svc.ship.oversized_records");
+          oversized = true;
+          break;
+        }
+        frames += frame;
         ++count;
       }
-      response.payload = StrCat("RECS ", count, " ", more ? 1 : 0, "\n");
-      response.payload += frames;
-      ZO_COUNTER_INC("svc.ship.batches");
-      return response;
+      if (!oversized) {
+        response.payload = StrCat("RECS ", count, " ", more ? 1 : 0, "\n");
+        response.payload += frames;
+        ZO_COUNTER_INC("svc.ship.batches");
+        return response;
+      }
     }
   }
   // The log no longer reaches back to the follower's cursor (compacted

@@ -98,7 +98,13 @@ class Dispatcher {
     std::size_t wal_sessions = 0;         // Sessions with a log on disk.
     std::size_t wal_records_applied = 0;  // Replayed past their snapshot.
     std::size_t wal_records_skipped = 0;  // Already covered by a snapshot.
-    std::size_t wal_replay_failed = 0;    // Records that failed to apply.
+    // Final-record apply failures (a crash beat the rollback of a command
+    // that failed after its append): the unacked record is truncated off.
+    std::size_t wal_replay_failed = 0;
+    // Mid-log apply failures: replay stops, the failed record and
+    // everything after it is quarantined — later records must not apply
+    // to a base missing that mutation.
+    std::size_t wal_replay_diverged = 0;
     std::size_t wal_truncated_tails = 0;  // Torn tails cut off in place.
     std::size_t wal_quarantined = 0;      // Undecodable spans moved aside.
   };

@@ -7,6 +7,7 @@
 #include <string_view>
 #include <utility>
 
+#include "common/parse.h"
 #include "fault/fault.h"
 #include "obs/metrics.h"
 #include "svc/client.h"
@@ -24,15 +25,10 @@ bool ParseShipListLine(std::string_view line, std::string* session,
                        std::uint64_t* version) {
   std::size_t space = line.find(' ');
   if (space == std::string_view::npos || space == 0) return false;
-  std::string_view number = line.substr(space + 1);
-  if (number.empty() || number.size() > 20) return false;
-  std::uint64_t value = 0;
-  for (char c : number) {
-    if (c < '0' || c > '9') return false;
-    value = value * 10 + static_cast<std::uint64_t>(c - '0');
-  }
+  StatusOr<std::uint64_t> value = ParseUint64(line.substr(space + 1));
+  if (!value.ok()) return false;
   *session = std::string(line.substr(0, space));
-  *version = value;
+  *version = *value;
   return true;
 }
 
@@ -63,21 +59,45 @@ Replicator::Stats Replicator::stats() const {
 }
 
 void Replicator::Loop() {
-  Clock::time_point last_success = Clock::now();
+  // The promotion clock measures continuous *unreachability*: it resets on
+  // every successful pull and on every replication-level failure (the
+  // primary answered, so it is provably alive). Only transport failures
+  // let it run — promoting while the primary serves writes is split brain.
+  Clock::time_point last_contact = Clock::now();
+  bool broken = false;
   while (!stop_.load(std::memory_order_acquire)) {
-    Status pulled = PullOnce();
+    PullFailureKind kind = PullFailureKind::kNone;
+    Status pulled = PullOnce(&kind);
     {
       std::lock_guard<std::mutex> lock(mutex_);
       ++stats_.pulls;
-      if (!pulled.ok()) ++stats_.pull_failures;
+      if (!pulled.ok()) {
+        ++stats_.pull_failures;
+        if (kind == PullFailureKind::kTransport) ++stats_.transport_failures;
+        if (kind == PullFailureKind::kReplication) ++stats_.broken_pulls;
+      }
     }
     if (pulled.ok()) {
-      last_success = Clock::now();
+      last_contact = Clock::now();
+      if (broken) {
+        broken = false;
+        std::fprintf(stderr, "replication: stream healed; following again\n");
+      }
       ZO_COUNTER_INC("svc.repl.pulls_ok");
+    } else if (kind == PullFailureKind::kReplication) {
+      last_contact = Clock::now();
+      ZO_COUNTER_INC("svc.repl.pulls_broken");
+      if (!broken) {
+        broken = true;
+        std::fprintf(stderr,
+                     "replication: BROKEN — the primary is alive but the "
+                     "stream is unusable (%s); alarming, not promoting\n",
+                     pulled.message().c_str());
+      }
     } else {
       ZO_COUNTER_INC("svc.repl.pulls_failed");
       if (options_.promote_after_ms > 0 &&
-          Clock::now() - last_success >=
+          Clock::now() - last_contact >=
               std::chrono::milliseconds(options_.promote_after_ms)) {
         Promote();
         return;  // Promoted standbys stop pulling for good.
@@ -106,22 +126,38 @@ void Replicator::Promote() {
                static_cast<unsigned long long>(options_.promote_after_ms));
 }
 
-Status Replicator::PullOnce() {
+Status Replicator::PullOnce(PullFailureKind* kind_out) {
+  PullFailureKind kind = PullFailureKind::kReplication;
+  Status status = Pull(&kind);
+  if (kind_out != nullptr) {
+    *kind_out = status.ok() ? PullFailureKind::kNone : kind;
+  }
+  return status;
+}
+
+Status Replicator::Pull(PullFailureKind* kind) {
   ClientOptions client_options;
   client_options.connect_timeout_ms = options_.io_timeout_ms;
   client_options.io_timeout_ms = options_.io_timeout_ms;
   BlockingClient client(client_options);
+  // No response seen yet: a failure here is transport-level (the primary
+  // may be dead).
+  *kind = PullFailureKind::kTransport;
   ZO_RETURN_IF_ERROR(client.Connect(options_.host, options_.port));
 
   Request list;
   list.command = "shiplist";
-  ZO_ASSIGN_OR_RETURN(Response listed, client.Call(list));
-  if (listed.status != WireStatus::kOk) {
+  StatusOr<Response> listed = client.Call(list);
+  if (!listed.ok()) return listed.status();  // Still transport: no answer.
+  // The primary answered: every failure from here on proves it alive.
+  *kind = PullFailureKind::kReplication;
+  if (listed->status != WireStatus::kOk) {
     return Status::Error("shiplist answered ",
-                         WireStatusName(listed.status), ": ", listed.payload);
+                         WireStatusName(listed->status), ": ",
+                         listed->payload);
   }
 
-  std::istringstream lines(listed.payload);
+  std::istringstream lines(listed->payload);
   std::string line;
   while (std::getline(lines, line)) {
     if (line.empty()) continue;
@@ -149,15 +185,18 @@ Status Replicator::PullOnce() {
       Request ship;
       ship.command = "ship";
       ship.args = StrCat(session, " ", cursor);
-      ZO_ASSIGN_OR_RETURN(Response shipped, client.Call(ship));
-      if (shipped.status != WireStatus::kOk) {
+      *kind = PullFailureKind::kTransport;  // This call may go unanswered.
+      StatusOr<Response> shipped = client.Call(ship);
+      if (!shipped.ok()) return shipped.status();
+      *kind = PullFailureKind::kReplication;
+      if (shipped->status != WireStatus::kOk) {
         return Status::Error("ship ", session, " answered ",
-                             WireStatusName(shipped.status), ": ",
-                             shipped.payload);
+                             WireStatusName(shipped->status), ": ",
+                             shipped->payload);
       }
       bool caught_up = false;
       ZO_RETURN_IF_ERROR(
-          ApplyShipPayload(session, shipped.payload, &cursor, &caught_up));
+          ApplyShipPayload(session, shipped->payload, &cursor, &caught_up));
       {
         std::lock_guard<std::mutex> lock(mutex_);
         cursors_[session] = cursor;

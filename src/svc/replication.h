@@ -18,10 +18,17 @@
 //       compacted past the cursor.
 //
 // The follower's Dispatcher runs read-only: client mutations are answered
-// UNAVAILABLE while the primary is alive. When pulls have failed
+// UNAVAILABLE while the primary is alive. Pull failures are classified:
+// only *transport* failures (connect refused, IO timeout — the primary may
+// be dead) feed the promotion clock. When transport failures have run
 // continuously for promote_after_ms, the Replicator declares the primary
 // dead, flips the Dispatcher read-write, and stops pulling — the standby
 // is now the primary and serves every acknowledged write it replicated.
+// *Replication* failures (an ERR/UNAVAILABLE answer, an undecodable or
+// unappliable shipped record) prove the primary is alive, so they reset
+// that clock and never promote — promoting against a serving primary
+// would split-brain. They alarm instead: logged once per episode and
+// counted (svc.repl.pulls_broken) until a pull succeeds again.
 //
 // Fault sites exercised here: the primary's ship.send.fail surfaces as a
 // transient UNAVAILABLE pull, and replay.decode.fail fires on the
@@ -40,12 +47,17 @@
 namespace zeroone {
 namespace svc {
 
+// Why one pull failed. Transport failures mean the primary may be dead
+// (nothing answered); replication failures mean it answered but the
+// stream could not be used — alive, so never a reason to promote.
+enum class PullFailureKind { kNone, kTransport, kReplication };
+
 struct ReplicatorOptions {
   std::string host;
   int port = 0;
   std::uint64_t pull_interval_ms = 50;
-  // Continuous pull-failure time before the standby promotes itself.
-  // 0 disables promotion (the standby follows forever).
+  // Continuous *transport*-failure time before the standby promotes
+  // itself. 0 disables promotion (the standby follows forever).
   std::uint64_t promote_after_ms = 2000;
   // Per-pull IO/connect timeout, kept short so a dead primary is detected
   // within a few intervals.
@@ -56,7 +68,9 @@ class Replicator {
  public:
   struct Stats {
     std::uint64_t pulls = 0;             // shiplist round-trips attempted.
-    std::uint64_t pull_failures = 0;     // Transport or non-OK shiplist.
+    std::uint64_t pull_failures = 0;     // All failed pulls (both kinds).
+    std::uint64_t transport_failures = 0;  // Connect/IO failures only.
+    std::uint64_t broken_pulls = 0;      // Primary alive, stream unusable.
     std::uint64_t records_applied = 0;   // Shipped records applied.
     std::uint64_t snapshots_installed = 0;
     std::uint64_t decode_failures = 0;   // Undecodable ship payloads.
@@ -77,13 +91,18 @@ class Replicator {
 
   // One synchronous catch-up pass (shiplist + ship until every session is
   // current). Exposed for tests and callable while the loop is stopped.
-  Status PullOnce();
+  // On failure, *kind (when given) says whether the primary went silent
+  // (kTransport) or answered unusably (kReplication).
+  Status PullOnce(PullFailureKind* kind = nullptr);
 
   bool promoted() const { return promoted_.load(std::memory_order_acquire); }
   Stats stats() const;
 
  private:
   void Loop();
+  // The pull body; sets *kind at every failure return site so PullOnce
+  // can report how the pull failed.
+  Status Pull(PullFailureKind* kind);
   // Applies one ship payload for `session`; advances *cursor. Sets
   // *caught_up when the primary reports no records past the cursor.
   Status ApplyShipPayload(const std::string& session,

@@ -451,7 +451,7 @@ Status Server::Start() {
     replicator_->Start();
     std::fprintf(stderr,
                  "zeroone_server: following %s:%d (read-only standby, "
-                 "promote after %llu ms of silence)\n",
+                 "promote after %llu ms of transport silence)\n",
                  options_.follow_host.c_str(), options_.follow_port,
                  static_cast<unsigned long long>(options_.promote_after_ms));
   }

@@ -15,6 +15,7 @@
 #include <utility>
 
 #include "common/crc32.h"
+#include "common/parse.h"
 #include "fault/fault.h"
 #include "obs/metrics.h"
 
@@ -31,20 +32,6 @@ bool IsSessionChar(char c) {
 bool IsValidSessionName(std::string_view name) {
   if (name.empty() || name.size() > 64) return false;
   return std::all_of(name.begin(), name.end(), IsSessionChar);
-}
-
-StatusOr<std::uint64_t> ParseUint(std::string_view text) {
-  if (text.empty() || text.size() > 20) {
-    return Status::Error("bad unsigned integer '", text, "'");
-  }
-  std::uint64_t value = 0;
-  for (char c : text) {
-    if (c < '0' || c > '9') {
-      return Status::Error("bad unsigned integer '", text, "'");
-    }
-    value = value * 10 + static_cast<std::uint64_t>(c - '0');
-  }
-  return value;
 }
 
 StatusOr<std::uint32_t> ParseCrcHex(std::string_view text) {
@@ -114,7 +101,8 @@ StatusOr<std::size_t> DecodeWalHeader(std::string_view bytes,
   if (!IsValidSessionName(name)) {
     return Status::Error("bad session name '", name, "' in log header");
   }
-  ZO_ASSIGN_OR_RETURN(std::uint64_t base, ParseUint(line.substr(space + 1)));
+  ZO_ASSIGN_OR_RETURN(std::uint64_t base,
+                      ParseUint64(line.substr(space + 1)));
   *session = std::string(name);
   *base_version = base;
   return newline + 1;
@@ -126,10 +114,13 @@ std::string EncodeWalRecord(const WalRecord& record) {
     payload += ' ';
     payload += record.args;
   }
+  // The CRC covers the header fields and the payload — "version SP size SP
+  // payload" — so a flipped version or size digit fails the checksum
+  // instead of decoding as a different valid record.
+  const std::string head = StrCat(record.version, " ", payload.size(), " ");
   char crc_hex[9];
-  std::snprintf(crc_hex, sizeof(crc_hex), "%08x", Crc32(payload));
-  std::string frame = StrCat("#", record.version, " ", payload.size(), " ",
-                             crc_hex, "\n");
+  std::snprintf(crc_hex, sizeof(crc_hex), "%08x", Crc32(payload, Crc32(head)));
+  std::string frame = StrCat("#", head, crc_hex, "\n");
   frame += payload;
   frame += '\n';
   return frame;
@@ -162,10 +153,10 @@ StatusOr<std::size_t> DecodeWalRecord(std::string_view buffer,
     return Status::Error("record header missing crc32");
   }
   ZO_ASSIGN_OR_RETURN(std::uint64_t version,
-                      ParseUint(header.substr(0, space1)));
+                      ParseUint64(header.substr(0, space1)));
   ZO_ASSIGN_OR_RETURN(std::uint64_t payload_bytes,
-                      ParseUint(header.substr(space1 + 1,
-                                              space2 - space1 - 1)));
+                      ParseUint64(header.substr(space1 + 1,
+                                                space2 - space1 - 1)));
   ZO_ASSIGN_OR_RETURN(std::uint32_t expected_crc,
                       ParseCrcHex(header.substr(space2 + 1)));
   std::size_t frame = newline + 1 + payload_bytes + 1;
@@ -174,7 +165,10 @@ StatusOr<std::size_t> DecodeWalRecord(std::string_view buffer,
     return Status::Error("record frame missing terminator");
   }
   std::string_view payload = buffer.substr(newline + 1, payload_bytes);
-  if (Crc32(payload) != expected_crc) {
+  // Checksum the literal header bytes ("version SP size SP") plus the
+  // payload — exactly what the encoder checksummed.
+  std::string_view head = header.substr(0, space2 + 1);
+  if (Crc32(payload, Crc32(head)) != expected_crc) {
     return Status::Error("record crc mismatch");
   }
   std::size_t split = payload.find(' ');
@@ -223,6 +217,15 @@ StatusOr<std::uint64_t> WalStore::Append(const std::string& session,
   if (!IsValidSessionName(session)) {
     return Status::Error("session name '", session, "' cannot be logged");
   }
+  std::string encoded = EncodeWalRecord(record);
+  if (encoded.size() > kMaxWalRecordBytes) {
+    // An oversized frame could never be shipped to a follower inside one
+    // wire payload; refuse it before any byte lands.
+    ZO_COUNTER_INC("svc.wal.oversized_rejected");
+    return Status::Error("record frame of ", encoded.size(),
+                         " bytes exceeds the ", kMaxWalRecordBytes,
+                         "-byte write-ahead log record cap");
+  }
   std::shared_ptr<Handle> handle = HandleFor(session);
   std::lock_guard<std::mutex> lock(handle->mutex);
   if (handle->fd < 0) {
@@ -246,7 +249,7 @@ StatusOr<std::uint64_t> WalStore::Append(const std::string& session,
     // this mutation (its snapshot-covered prefix).
     frame = EncodeWalHeader(session, record.version - 1);
   }
-  frame += EncodeWalRecord(record);
+  frame += encoded;
   // All-or-nothing at the file level: a failed write or fsync truncates the
   // torn frame back off, so the log never grows an unacknowledged record
   // and the command can be retried without double-logging.
@@ -425,6 +428,7 @@ StatusOr<std::vector<WalRecord>> WalStore::ReadAll(const std::string& session,
       ZO_COUNTER_INC("svc.wal.quarantined");
       break;
     }
+    report->offsets.push_back(offset);
     offset += *consumed;
     records.push_back(std::move(record));
   }
@@ -432,6 +436,56 @@ StatusOr<std::vector<WalRecord>> WalStore::ReadAll(const std::string& session,
   ZO_COUNTER_ADD("svc.wal.records_read",
                  static_cast<std::uint64_t>(records.size()));
   return records;
+}
+
+Status WalStore::TruncateAt(const std::string& session, std::size_t offset) {
+  std::shared_ptr<Handle> handle = HandleFor(session);
+  std::lock_guard<std::mutex> lock(handle->mutex);
+  const std::string path = PathFor(session);
+  if (::truncate(path.c_str(), static_cast<off_t>(offset)) != 0) {
+    return Status::Error("truncate '", path,
+                         "' failed: ", std::strerror(errno));
+  }
+  ZO_COUNTER_INC("svc.wal.truncated_tails");
+  return Status::Ok();
+}
+
+Status WalStore::QuarantineFrom(const std::string& session,
+                                std::size_t offset, std::string_view reason) {
+  std::shared_ptr<Handle> handle = HandleFor(session);
+  std::lock_guard<std::mutex> lock(handle->mutex);
+  const std::string path = PathFor(session);
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    return Status::Error("cannot open '", path, "' for quarantine");
+  }
+  std::ostringstream contents;
+  contents << file.rdbuf();
+  const std::string image = contents.str();
+  file.close();
+  if (offset > image.size()) {
+    return Status::Error("quarantine offset ", offset, " past end of '",
+                         path, "' (", image.size(), " bytes)");
+  }
+  const std::string aside = StrCat(path, ".corrupt");
+  std::fprintf(stderr,
+               "wal: '%s' quarantined from %zu (%.*s); %zu bytes moved to "
+               "'%s'\n",
+               path.c_str(), offset, static_cast<int>(reason.size()),
+               reason.data(), image.size() - offset, aside.c_str());
+  std::ofstream out(aside, std::ios::binary | std::ios::trunc);
+  out.write(image.data() + offset,
+            static_cast<std::streamsize>(image.size() - offset));
+  out.close();
+  if (!out) {
+    return Status::Error("cannot write quarantine sidecar '", aside, "'");
+  }
+  if (::truncate(path.c_str(), static_cast<off_t>(offset)) != 0) {
+    return Status::Error("truncate '", path,
+                         "' failed: ", std::strerror(errno));
+  }
+  ZO_COUNTER_INC("svc.wal.quarantined");
+  return Status::Ok();
 }
 
 bool WalStore::Exists(const std::string& session) const {

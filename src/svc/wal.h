@@ -17,7 +17,15 @@
 // `version` is the session version after applying the record; the header's
 // base_version is the session version the log starts from (the version of
 // the snapshot the last compaction folded the prefix into — 0 for a log
-// that has never been compacted).
+// that has never been compacted). The crc32 covers the literal header
+// fields plus the payload (`version SP payload_bytes SP payload`), so a
+// corrupted version or size digit is detected as damage instead of
+// decoding as a different, "valid" record.
+//
+// One encoded frame is capped at kMaxWalRecordBytes: anything larger could
+// never be shipped to a follower inside one wire payload (see
+// kMaxPayloadBytes in svc/protocol.h), so Append refuses it up front and
+// the dispatcher answers the oversized mutation with an explicit error.
 //
 // Durability: Append writes the frame with a single write(2) to an
 // O_APPEND descriptor and, in fsync ack mode, fsyncs before returning —
@@ -55,6 +63,10 @@ inline constexpr std::string_view kWalSuffix = ".zo1wal";
 // Record headers are "#<u64> <u64> <8 hex>\n": 20 + 20 + 8 digits plus
 // punctuation fits well under this; anything longer is damage, not a tail.
 inline constexpr std::size_t kMaxWalHeaderBytes = 64;
+// Hard cap on one encoded record frame. Chosen so a ship batch plus one
+// frame of overshoot stays under the wire payload cap (the dispatcher
+// static_asserts the arithmetic); Append refuses anything larger.
+inline constexpr std::size_t kMaxWalRecordBytes = 2 * 1024 * 1024;
 
 struct WalRecord {
   std::uint64_t version = 0;  // Session version after applying the record.
@@ -98,11 +110,13 @@ class WalStore {
   Status Prepare() const;
 
   // Appends one record, creating the log (base = record.version - 1) on
-  // first use. With `sync`, fsyncs before returning (fsync ack mode). On
-  // any failure the file is restored to its pre-append length. On success
-  // returns the pre-append length, which TruncateTo accepts to roll the
-  // record back out if the command it logged then fails to apply — the
-  // log holds exactly the mutations that were applied.
+  // first use. Refuses records whose encoded frame exceeds
+  // kMaxWalRecordBytes before touching the file. With `sync`, fsyncs
+  // before returning (fsync ack mode). On any failure the file is restored
+  // to its pre-append length. On success returns the pre-append length,
+  // which TruncateTo accepts to roll the record back out if the command it
+  // logged then fails to apply — the log holds exactly the mutations that
+  // were applied.
   StatusOr<std::uint64_t> Append(const std::string& session,
                                  const WalRecord& record, bool sync);
 
@@ -122,12 +136,28 @@ class WalStore {
     std::size_t records = 0;
     std::size_t truncated_tails = 0;  // Torn tails cut off in place.
     std::size_t quarantined = 0;      // Undecodable spans moved aside.
+    // Byte offset of each returned record's frame, parallel to the result
+    // vector — TruncateAt/QuarantineFrom take these to cut the log at a
+    // record boundary during replay.
+    std::vector<std::size_t> offsets;
   };
 
   // Reads every decodable record in order, applying the recovery posture
   // described above. A missing log is an empty result, not an error.
   StatusOr<std::vector<WalRecord>> ReadAll(const std::string& session,
                                            ReadReport* report);
+
+  // Cuts the log off at `offset` (a ReadReport frame offset). Used by
+  // replay to drop an unacknowledged final record whose rollback a crash
+  // beat — the record was never acked, so nothing is lost.
+  Status TruncateAt(const std::string& session, std::size_t offset);
+
+  // Moves everything from `offset` to end-of-log into `<log>.corrupt` for
+  // post-mortem and truncates the log at `offset`. Used by replay when a
+  // mid-log record fails to re-apply: the records after it must not be
+  // applied to a base missing that mutation.
+  Status QuarantineFrom(const std::string& session, std::size_t offset,
+                        std::string_view reason);
 
   // True when the session has a log file on disk.
   bool Exists(const std::string& session) const;

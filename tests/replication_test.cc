@@ -17,6 +17,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <thread>
@@ -156,6 +157,37 @@ TEST_F(ReplicationTest, ShipFallsBackToASnapshotAfterCompaction) {
   ASSERT_TRUE(status.ok()) << status.message();
   EXPECT_EQ(session, "s");
   EXPECT_EQ(decoded.version, 2u);
+}
+
+TEST_F(ReplicationTest, ShipFallsBackToASnapshotOnAnOversizedLegacyRecord) {
+  // Append refuses oversized records today, but a log written before the
+  // cap (or by a version-skewed tool) can still hold one. Shipping such a
+  // frame would overflow the wire payload and truncate mid-frame, wedging
+  // the follower on an undecodable stream — the ship path must fall back
+  // to the snapshot form instead, which covers the record.
+  Dispatcher dispatcher(Dispatcher::Options{1 << 20, MakeDir()});
+  Mutate(&dispatcher, "m1");
+  Mutate(&dispatcher, "m2");
+  {
+    WalRecord huge;
+    huge.version = 3;
+    huge.command = "loaddata";
+    huge.args = std::string(kMaxWalRecordBytes, 'x');
+    std::ofstream out(dispatcher.wal()->PathFor("s"),
+                      std::ios::binary | std::ios::app);
+    out << EncodeWalRecord(huge);
+    ASSERT_TRUE(out.good());
+  }
+  Response response = dispatcher.Execute(MakeRequest("ship", "s 0", "x"));
+  ASSERT_EQ(response.status, WireStatus::kOk) << response.payload;
+  ASSERT_EQ(response.payload.substr(0, 5), "SNAP\n");
+  std::string session;
+  SessionState decoded;
+  Status status =
+      DecodeSnapshot(response.payload.substr(5), &session, &decoded);
+  ASSERT_TRUE(status.ok()) << status.message();
+  EXPECT_EQ(session, "s");
+  EXPECT_EQ(decoded.version, 2u);  // The applied state, sans the stray frame.
 }
 
 TEST_F(ReplicationTest, ShipValidatesItsArguments) {
@@ -373,6 +405,82 @@ TEST_F(ReplicatorTest, ShipStreamCutHealsOnTheNextPull) {
   EXPECT_NE(shown.payload.find("(m1)"), std::string::npos);
   EXPECT_NE(shown.payload.find("(m2)"), std::string::npos);
 
+  primary_->Shutdown();
+}
+
+TEST_F(ReplicatorTest, PullFailuresAreClassifiedByWhoIsAtFault) {
+  StartPrimary();
+  PrimaryMutate("m1");
+  Dispatcher follower(Dispatcher::Options{1 << 20, MakeDir()});
+  ReplicatorOptions options = FollowOptions();
+  options.io_timeout_ms = 500;
+  Replicator replicator(&follower, options);
+
+  // The primary answers the ship with an injected UNAVAILABLE: it is
+  // provably alive, so the failure is replication-level, not transport.
+  ASSERT_TRUE(
+      fault::Registry::Global().Configure("ship.send.fail=1.0").ok());
+  PullFailureKind kind = PullFailureKind::kNone;
+  EXPECT_FALSE(replicator.PullOnce(&kind).ok());
+  EXPECT_EQ(kind, PullFailureKind::kReplication);
+
+  fault::Registry::Global().Clear();
+  ASSERT_TRUE(replicator.PullOnce(&kind).ok());
+  EXPECT_EQ(kind, PullFailureKind::kNone);
+  EXPECT_EQ(replicator.stats().records_applied, 1u);
+
+  // A dead primary answers nothing: transport.
+  primary_->Shutdown();
+  primary_.reset();
+  EXPECT_FALSE(replicator.PullOnce(&kind).ok());
+  EXPECT_EQ(kind, PullFailureKind::kTransport);
+}
+
+TEST_F(ReplicatorTest, BrokenStreamAlarmsButNeverPromotes) {
+  // The split-brain guard: the primary is alive and serving writes, but
+  // every ship answer is unusable. The promotion clock must not run — a
+  // standby that promotes here would accept writes in parallel with the
+  // primary.
+  StartPrimary();
+  PrimaryMutate("m1");
+  Dispatcher follower(Dispatcher::Options{1 << 20, MakeDir()});
+  ReplicatorOptions options = FollowOptions();
+  options.pull_interval_ms = 10;
+  options.promote_after_ms = 150;
+  options.io_timeout_ms = 500;
+  Replicator replicator(&follower, options);
+  replicator.Start();
+
+  // Wait for the stream to establish, then break it persistently while
+  // the follower is behind (so every pull actually issues a ship).
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (replicator.stats().records_applied < 1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(replicator.stats().records_applied, 1u);
+  ASSERT_TRUE(
+      fault::Registry::Global().Configure("ship.send.fail=1.0").ok());
+  PrimaryMutate("m2");
+
+  // Four promotion windows of continuously broken pulls: still a standby.
+  std::this_thread::sleep_for(std::chrono::milliseconds(600));
+  EXPECT_FALSE(replicator.promoted())
+      << "standby promoted against a live primary";
+  EXPECT_TRUE(follower.read_only());
+  EXPECT_GE(replicator.stats().broken_pulls, 1u);
+  EXPECT_EQ(replicator.stats().transport_failures, 0u);
+
+  // The stream heals and the follower catches up, still a standby.
+  fault::Registry::Global().Clear();
+  while (replicator.stats().records_applied < 2 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(replicator.stats().records_applied, 2u);
+  EXPECT_FALSE(replicator.promoted());
+  replicator.Stop();
   primary_->Shutdown();
 }
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/crc32.h"
+#include "common/parse.h"
 
 namespace zeroone {
 namespace {
@@ -125,6 +126,57 @@ TEST(StatusMacroTest, AssignOrReturnUnwrapsValues) {
   StatusOr<int> error = macro_helpers::SumOfDoubles(2, 0);
   EXPECT_FALSE(error.ok());
   EXPECT_EQ(error.status().message(), "not positive: 0");
+}
+
+// ---------------------------------------------------------------------------
+// common/parse — the shared unsigned-integer parser behind every wire and
+// log field (versions, cursors, sizes).
+
+TEST(ParseUint64Test, ParsesTheFullRange) {
+  struct Case {
+    const char* text;
+    std::uint64_t value;
+  };
+  const Case cases[] = {
+      {"0", 0},
+      {"7", 7},
+      {"007", 7},  // Leading zeros are digits, not an error.
+      {"4294967296", 4294967296ull},
+      {"18446744073709551615", 18446744073709551615ull},  // UINT64_MAX.
+  };
+  for (const Case& test_case : cases) {
+    SCOPED_TRACE(test_case.text);
+    StatusOr<std::uint64_t> parsed = ParseUint64(test_case.text);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+    EXPECT_EQ(*parsed, test_case.value);
+  }
+}
+
+TEST(ParseUint64Test, RejectsNonDigitsAndEmpty) {
+  const char* bad[] = {"", "-1", "+1", " 1", "1 ", "1.5", "one",
+                       "0x10", "12a", "18446744073709551615 "};
+  for (const char* text : bad) {
+    SCOPED_TRACE(text);
+    EXPECT_FALSE(ParseUint64(text).ok());
+  }
+}
+
+TEST(ParseUint64Test, OverflowIsAnErrorNotAWrap) {
+  // The review scenario: a 20-digit value used to wrap silently and come
+  // back as a small — valid-looking — version or size.
+  const char* overflowing[] = {
+      "18446744073709551616",   // UINT64_MAX + 1.
+      "99999999999999999999",   // Twenty nines.
+      "184467440737095516150",  // UINT64_MAX * 10.
+      "340282366920938463463374607431768211456",  // 2^128.
+  };
+  for (const char* text : overflowing) {
+    SCOPED_TRACE(text);
+    StatusOr<std::uint64_t> parsed = ParseUint64(text);
+    ASSERT_FALSE(parsed.ok());
+    EXPECT_NE(parsed.status().message().find("overflows"),
+              std::string::npos);
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -168,12 +168,17 @@ TEST(WalCodec, CorruptRecordsAreNeverDecodable) {
   crc_flip[frame.find('\n') - 1] ^= 0x01;  // Last CRC hex digit.
   std::string body_flip = frame;
   body_flip[frame.size() - 2] ^= 0x01;  // Inside the payload.
+  std::string version_flip = frame;
+  version_flip[1] ^= 0x01;  // The version digit: '3' becomes '2'.
   std::string bad_terminator = frame;
   bad_terminator[frame.size() - 1] = 'x';  // Payload LF overwritten.
   const Case cases[] = {
       {"no-hash-prefix", "x" + frame.substr(1)},
       {"crc-field-flip", crc_flip},
       {"payload-bit-flip", body_flip},
+      // The CRC covers the header fields too: a corrupted version digit
+      // must not decode as a different — valid-looking — record.
+      {"version-field-flip", version_flip},
       {"missing-terminator", bad_terminator},
       {"oversized-header", "#" + std::string(80, '1') + " 1 aaaaaaaa\nx\n"},
       {"empty-command", EncodeWalRecord(MakeRecord(1, "", "args"))},
@@ -270,6 +275,70 @@ TEST(WalStoreTest, ResetRebasesAndAppendsContinue) {
   ASSERT_EQ(records->size(), 1u);
   EXPECT_EQ((*records)[0].version, 5u);
   EXPECT_EQ(report.base_version, 4u);
+}
+
+TEST(WalStoreTest, OversizedRecordIsRefusedBeforeTouchingTheLog) {
+  // A frame above kMaxWalRecordBytes could never be shipped to a follower
+  // inside one wire payload: Append must refuse it without writing a byte.
+  TempDir tmp;
+  WalStore store(tmp.path());
+  ASSERT_TRUE(store.Prepare().ok());
+  ASSERT_TRUE(store.Append("s", MakeRecord(1, "clear", ""), false).ok());
+  const std::string before = ReadWholeFile(store.PathFor("s"));
+
+  StatusOr<std::uint64_t> refused = store.Append(
+      "s", MakeRecord(2, "loaddata", std::string(kMaxWalRecordBytes, 'x')),
+      false);
+  EXPECT_FALSE(refused.ok());
+  EXPECT_NE(refused.status().message().find("record cap"),
+            std::string::npos);
+  EXPECT_EQ(ReadWholeFile(store.PathFor("s")), before);
+
+  // The log is still healthy: the next in-cap record appends and the full
+  // log replays.
+  ASSERT_TRUE(store.Append("s", MakeRecord(2, "clear", ""), false).ok());
+  WalStore::ReadReport report;
+  StatusOr<std::vector<WalRecord>> records = store.ReadAll("s", &report);
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records->size(), 2u);
+}
+
+TEST(WalStoreTest, OversizedLoadIsRefusedWhenWalIsOn) {
+  // The `load` command embeds the whole file in one loaddata record. A
+  // file past the record cap must be answered with a definitive ERR up
+  // front — not logged as a frame no follower could ever decode.
+  TempDir tmp;
+  const std::string data_path = tmp.path() + "/huge.db";
+  {
+    std::string data = "M(1) = { (r0)";
+    std::size_t row = 1;
+    while (data.size() <= kMaxWalRecordBytes) {
+      data += ", (r" + std::to_string(row++) + ")";
+    }
+    data += " }";
+    std::ofstream out(data_path, std::ios::binary);
+    out << data;
+    ASSERT_TRUE(out.good());
+  }
+  Request load;
+  load.command = "load";
+  load.args = data_path;
+  load.session = "s";
+  {
+    Dispatcher dispatcher(Dispatcher::Options{1 << 20, tmp.path()});
+    Response response = dispatcher.Execute(load);
+    EXPECT_EQ(response.status, WireStatus::kErr);
+    EXPECT_NE(response.payload.find("write-ahead log record cap"),
+              std::string::npos);
+    // Nothing was logged: the session is untouched and at version 0.
+    EXPECT_FALSE(dispatcher.wal()->Exists("s"));
+  }
+  // With the WAL off the same load is accepted (the pre-WAL contract:
+  // durability via explicit `save` only).
+  Dispatcher no_wal(
+      Dispatcher::Options{1 << 20, tmp.path() + "/nowal", /*wal=*/false});
+  Response accepted = no_wal.Execute(load);
+  EXPECT_EQ(accepted.status, WireStatus::kOk) << accepted.payload;
 }
 
 TEST(WalStoreTest, TornTailIsTruncatedInPlace) {
@@ -716,16 +785,80 @@ TEST_F(WalRecoveryTest, ReplayFailureOnUnackedTailIsSkippedWithoutHarm) {
     stranded.args = "((( not a database";
     ASSERT_TRUE(wal->Append("s", stranded, false).ok());
   }
-  Dispatcher recovered(Dispatcher::Options{1 << 20, dir});
-  Dispatcher::RecoveryReport report = recovered.LoadSnapshots();
-  EXPECT_EQ(report.wal_records_applied, 1u);
-  EXPECT_EQ(report.wal_replay_failed, 1u);
-  Response shown = recovered.Execute(MakeRequest("show", ""));
-  ASSERT_EQ(shown.status, WireStatus::kOk);
-  EXPECT_EQ(shown.payload, before);
-  // The skipped record never consumed its version: the next mutation
-  // takes version 2 and the log stays contiguous.
-  ASSERT_TRUE(ApplyAll(&recovered, {{"db", "M(1) = { (next) }"}}));
+  {
+    Dispatcher recovered(Dispatcher::Options{1 << 20, dir});
+    Dispatcher::RecoveryReport report = recovered.LoadSnapshots();
+    EXPECT_EQ(report.wal_records_applied, 1u);
+    EXPECT_EQ(report.wal_replay_failed, 1u);
+    EXPECT_EQ(report.wal_replay_diverged, 0u);
+    Response shown = recovered.Execute(MakeRequest("show", ""));
+    ASSERT_EQ(shown.status, WireStatus::kOk);
+    EXPECT_EQ(shown.payload, before);
+    // The skipped record never consumed its version: the next mutation
+    // takes version 2 and the log stays contiguous.
+    ASSERT_TRUE(ApplyAll(&recovered, {{"db", "M(1) = { (next) }"}}));
+  }
+  // The unacked record was truncated off during the first recovery, so
+  // the log now holds exactly the acked mutations: a second recovery is
+  // clean — no stranded record squatting on version 2, no duplicate
+  // versions in the log.
+  Dispatcher again(Dispatcher::Options{1 << 20, dir});
+  Dispatcher::RecoveryReport second = again.LoadSnapshots();
+  EXPECT_EQ(second.wal_replay_failed, 0u);
+  EXPECT_EQ(second.wal_replay_diverged, 0u);
+  EXPECT_EQ(second.wal_records_applied, 2u);  // (acked) then (next).
+}
+
+TEST_F(WalRecoveryTest, MidLogReplayFailureStopsAndQuarantinesTheRemainder) {
+  // A record that fails to apply mid-log (not at the tail) means the state
+  // diverged from the logged history: replaying the records after it onto
+  // a base missing that mutation would silently fork the session. Replay
+  // must stop at the failure and quarantine the rest.
+  const std::string dir = MakeDir();
+  std::string before;
+  {
+    Dispatcher dispatcher(Dispatcher::Options{1 << 20, dir});
+    ASSERT_TRUE(ApplyAll(&dispatcher, {{"db", "M(1) = { (v1) }"},
+                                       {"db", "M(1) = { (v2) }"}}));
+    before = dispatcher.Execute(MakeRequest("show", "")).payload;
+    // Hand-plant a structurally valid but unappliable record followed by
+    // a good one — the shape a replay bug (or a version-skewed tool
+    // writing the log) would leave behind.
+    WalStore* wal = dispatcher.wal();
+    ASSERT_NE(wal, nullptr);
+    ASSERT_TRUE(
+        wal->Append("s", MakeRecord(3, "db", "((( not a database"), false)
+            .ok());
+    ASSERT_TRUE(
+        wal->Append("s", MakeRecord(4, "db", "M(1) = { (v4) }"), false).ok());
+  }
+  {
+    Dispatcher recovered(Dispatcher::Options{1 << 20, dir});
+    Dispatcher::RecoveryReport report = recovered.LoadSnapshots();
+    EXPECT_EQ(report.wal_records_applied, 2u);
+    EXPECT_EQ(report.wal_replay_diverged, 1u);
+    EXPECT_EQ(report.wal_replay_failed, 0u);
+    // The session serves the consistent applied prefix; v4 never applied.
+    Response shown = recovered.Execute(MakeRequest("show", ""));
+    ASSERT_EQ(shown.status, WireStatus::kOk);
+    EXPECT_EQ(shown.payload, before);
+    EXPECT_EQ(shown.payload.find("(v4)"), std::string::npos);
+    // The failed record AND everything after it moved to the sidecar for
+    // post-mortem — v4 must not replay on a base missing v3.
+    const std::string corrupt =
+        ReadWholeFile(recovered.wal()->PathFor("s") + ".corrupt");
+    EXPECT_NE(corrupt.find("((( not a database"), std::string::npos);
+    EXPECT_NE(corrupt.find("(v4)"), std::string::npos);
+    // Quarantined records were never acked: the next mutation takes
+    // version 3 and the log stays contiguous.
+    ASSERT_TRUE(ApplyAll(&recovered, {{"db", "M(1) = { (v3-new) }"}}));
+  }
+  // With the diverged tail cut off, a second recovery is clean.
+  Dispatcher again(Dispatcher::Options{1 << 20, dir});
+  Dispatcher::RecoveryReport second = again.LoadSnapshots();
+  EXPECT_EQ(second.wal_replay_diverged, 0u);
+  EXPECT_EQ(second.wal_replay_failed, 0u);
+  EXPECT_EQ(second.wal_records_applied, 3u);
 }
 
 #endif  // ZEROONE_FAULT_ENABLED

@@ -35,10 +35,14 @@
 //                         records; 0 = never (default 256)
 //   --follow=HOST:PORT    warm-standby mode: pull the primary's log from
 //                         HOST:PORT, serve reads, answer mutations
-//                         UNAVAILABLE, and promote to primary once pulls
-//                         fail for --promote-after-ms
-//   --promote-after-ms=N  continuous pull-failure time before a follower
-//                         promotes itself; 0 = never (default 2000)
+//                         UNAVAILABLE, and promote to primary once the
+//                         primary has been unreachable (transport-level
+//                         failures only) for --promote-after-ms
+//   --promote-after-ms=N  continuous transport-failure time before a
+//                         follower promotes itself; 0 = never (default
+//                         2000). Replication-level failures (the primary
+//                         answered, but the stream is unusable) never
+//                         promote — they alarm via svc.repl.pulls_broken
 //   --pull-interval-ms=N  follower pull cadence (default 50)
 //   --bind-retry-ms=N     keep retrying EADDRINUSE binds for N ms
 //                         (default 2000; 0 fails immediately)
