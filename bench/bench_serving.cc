@@ -15,6 +15,9 @@
 //      the async p50 per acknowledged mutation, and recovery from a
 //      compacted log (snapshot + short tail) is >=10x faster than a full
 //      log replay of the same history.
+//   6. µ-heavy analytics: a 4-worker morsel team serves the byte-identical
+//      mu^k payload of a serial server, and a deadline cancels a parallel
+//      µ^k evaluation mid-run with the session intact.
 //
 // The server runs in-process on a loopback socket, so the measured
 // latencies include the full wire round-trip (what a client observes).
@@ -228,6 +231,90 @@ void ReportEpollScaling(bench::Experiment* experiment) {
   experiment->Claim(idle_ms <= 1.5 * base_ms + 0.3,
                     "16 active clients serve within 1.5x of baseline with "
                     "256 idle connections parked");
+  server.Shutdown();
+}
+
+// The µ-heavy analytical path — until PR 9 the serving battery only ever
+// measured cheap reads (certain/possible on 4-5 nulls), so the heaviest
+// command the wire carries was never exercised here. `muk` evaluates µ^k
+// by sharded enumeration on the server's morsel pool; the claims check
+// that a 4-worker team returns the byte-identical payload of a serial
+// server, and that a deadline cancels the evaluation mid-parallel-run.
+void ReportMuHeavy(bench::Experiment* experiment) {
+  auto timed_muk = [](std::size_t par_threads, std::string* payload) {
+    ServerOptions options;
+    options.threads = 1;
+    options.queue_capacity = 8;
+    options.par_threads = par_threads;
+    Server server(options);
+    if (!server.Start().ok()) return -1.0;
+    BlockingClient client;
+    client.Connect("127.0.0.1", server.port());
+    client.Call(MakeRequest("db", kColdDb, "mubench"));
+    client.Call(MakeRequest("query", kQuery, "mubench"));
+    Request heavy = MakeRequest("muk", "6 (c1)", "mubench");
+    heavy.no_cache = true;
+    auto start = std::chrono::steady_clock::now();
+    StatusOr<Response> response = client.Call(heavy);
+    double ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+    if (!response.ok() || response->status != WireStatus::kOk) {
+      ms = -1.0;
+    } else {
+      *payload = response->payload;
+    }
+    server.Shutdown();
+    return ms;
+  };
+  std::string serial_payload;
+  std::string parallel_payload;
+  double serial_ms = timed_muk(1, &serial_payload);
+  double parallel_ms = timed_muk(4, &parallel_payload);
+  std::printf("mu-heavy: muk 6 on 4 nulls — serial %.1fms, 4-worker morsel "
+              "team %.1fms; payloads %s\n",
+              serial_ms, parallel_ms,
+              serial_payload == parallel_payload ? "identical" : "DIFFER");
+  experiment->Claim(serial_ms > 0 && parallel_ms > 0 &&
+                        serial_payload == parallel_payload,
+                    "a 4-worker morsel team serves the byte-identical mu^k "
+                    "payload of a serial server");
+
+  // Deadline mid-parallel-evaluation: five nulls at k=8 is ~0.5s of
+  // enumeration; the 25ms deadline must surface as DEADLINE_EXCEEDED long
+  // before that, with the morsel team quiesced (the follow-up unhurried
+  // request on the same session still answers).
+  ServerOptions options;
+  options.threads = 1;
+  options.queue_capacity = 8;
+  options.par_threads = 4;
+  Server server(options);
+  if (!server.Start().ok()) {
+    experiment->Claim(false, "mu-heavy deadline server starts");
+    return;
+  }
+  BlockingClient client;
+  client.Connect("127.0.0.1", server.port());
+  client.Call(MakeRequest("db", kSlowDb, "mudeadline"));
+  client.Call(MakeRequest("query", kQuery, "mudeadline"));
+  Request bounded = MakeRequest("muk", "8 (c1)", "mudeadline");
+  bounded.no_cache = true;
+  bounded.deadline_ms = 25;
+  WireStatus status = WireStatus::kOk;
+  double bounded_ms = CallMs(client, bounded, &status);
+  Request follow_up = MakeRequest("muk", "6 (c1)", "mudeadline");
+  follow_up.no_cache = true;
+  WireStatus follow_status = WireStatus::kOk;
+  CallMs(client, follow_up, &follow_status);
+  std::printf("mu-heavy deadline: muk 8 on 5 nulls @deadline_ms=25 answered "
+              "%s in %.0fms; follow-up %s\n",
+              std::string(WireStatusName(status)).c_str(), bounded_ms,
+              std::string(WireStatusName(follow_status)).c_str());
+  experiment->Claim(status == WireStatus::kDeadlineExceeded &&
+                        bounded_ms < 250.0 &&
+                        follow_status == WireStatus::kOk,
+                    "a deadline cancels the parallel mu^k evaluation early "
+                    "and the session keeps serving");
   server.Shutdown();
 }
 
@@ -458,6 +545,7 @@ int main(int argc, char** argv) {
     server.Shutdown();
   }
   ReportEpollScaling(&experiment);
+  ReportMuHeavy(&experiment);
   ReportDurability(&experiment);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

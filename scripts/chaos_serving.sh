@@ -83,7 +83,10 @@ epoch=0
 start_server() {
   epoch=$((epoch + 1))
   local out="$workdir/server.$epoch.out" err="$workdir/server.$epoch.err"
-  "$server" --port="$port" --threads=4 --queue=64 \
+  # --par-threads=2 pins a real morsel team regardless of host core count,
+  # so the µ-heavy readers below chaos-test parallel evaluation, not the
+  # serial fallback a 1-core CI box would otherwise pick.
+  "$server" --port="$port" --threads=4 --queue=64 --par-threads=2 \
     --snapshot-dir="$snapdir" --bind-retry-ms=5000 "${server_faults[@]}" \
     ${extra_server_flags[@]+"${extra_server_flags[@]}"} \
     > "$out" 2> "$err" &
@@ -106,6 +109,16 @@ echo "server epoch $epoch up on port $port (pid $server_pid)"
   --retry-attempts=10 --retry-backoff-ms=20 "${client_faults[@]}" \
   > "$workdir/loadgen.json" 2> "$workdir/loadgen.err" &
 loadgen_pid=$!
+
+# µ-heavy analytical readers share the kill windows: uncached muk requests
+# (the heaviest wire command, evaluated on the server's morsel pool) must
+# also ride out every SIGKILL with 100% eventual success. Before PR 9 the
+# chaos battery only ever killed the server under cheap reads and writes.
+"$loadgen" --port="$port" --mu-heavy --nocache --connections=4 \
+  --requests=400 --seconds=12 --seed="$((seed + 1000))" \
+  --retry-attempts=10 --retry-backoff-ms=20 "${client_faults[@]}" \
+  > "$workdir/muheavy.json" 2> "$workdir/muheavy.err" &
+muheavy_pid=$!
 
 # The kill cycle: SIGKILL (no drain, no final save) and restart. Restarted
 # epochs must reload every snapshot the dead server managed to write —
@@ -130,6 +143,16 @@ echo "loadgen summary: $(cat "$workdir/loadgen.json")"
 if [[ "$loadgen_rc" -ne 0 ]]; then
   echo "chaos_serving: FAIL — loadgen exited $loadgen_rc (a request" \
        "exhausted its retries: eventual success violated)" >&2
+  exit 1
+fi
+
+muheavy_rc=0
+wait "$muheavy_pid" || muheavy_rc=$?
+cat "$workdir/muheavy.err" >&2
+echo "mu-heavy summary: $(cat "$workdir/muheavy.json")"
+if [[ "$muheavy_rc" -ne 0 ]]; then
+  echo "chaos_serving: FAIL — mu-heavy loadgen exited $muheavy_rc (a heavy" \
+       "analytical request exhausted its retries across the kills)" >&2
   exit 1
 fi
 
@@ -223,8 +246,8 @@ s.bind(("127.0.0.1", 0)); print(s.getsockname()[1])')"
     primary_epoch=$((primary_epoch + 1))
     local out="$fo/primary.$primary_epoch.out"
     "$server" --port="$primary_port" --threads=4 --queue=64 \
-      --snapshot-dir="$fo/primary-snapshots" --ack-mode=fsync \
-      --bind-retry-ms=5000 \
+      --par-threads=2 --snapshot-dir="$fo/primary-snapshots" \
+      --ack-mode=fsync --bind-retry-ms=5000 \
       > "$out" 2> "$fo/primary.$primary_epoch.err" &
     primary_pid=$!
     for _ in $(seq 1 100); do
@@ -263,6 +286,15 @@ s.bind(("127.0.0.1", 0)); print(s.getsockname()[1])')"
   start_follower 60000
   echo "primary up on $primary_port, standby following on $follower_port"
 
+  # µ-heavy analytical readers span the failover kill cycles too: fsync
+  # acks and log pulls must not starve a long parallel µ^k evaluation, and
+  # the heavy reads must survive every primary SIGKILL.
+  "$loadgen" --port="$primary_port" --mu-heavy --nocache --connections=2 \
+    --requests=2000 --seconds=20 --seed="$((seed + 2000))" \
+    --retry-attempts=12 --retry-backoff-ms=20 \
+    > "$fo/muheavy.json" 2> "$fo/muheavy.err" &
+  fo_muheavy_pid=$!
+
   for cycle in $(seq 1 "$kills"); do
     "$loadgen" --port="$primary_port" --mutate \
       --connections="$connections" --requests=120 --ack-log="$fo_acklog" \
@@ -290,6 +322,17 @@ s.bind(("127.0.0.1", 0)); print(s.getsockname()[1])')"
     echo "failover cycle $cycle: primary killed mid-load, restarted" \
          "(epoch $primary_epoch)"
   done
+
+  fo_muheavy_rc=0
+  wait "$fo_muheavy_pid" || fo_muheavy_rc=$?
+  cat "$fo/muheavy.err" >&2
+  echo "failover mu-heavy summary: $(cat "$fo/muheavy.json")"
+  if [[ "$fo_muheavy_rc" -ne 0 ]]; then
+    echo "chaos_serving: FAIL — failover mu-heavy loadgen exited" \
+         "$fo_muheavy_rc (heavy analytical reads violated eventual" \
+         "success)" >&2
+    exit 1
+  fi
 
   # Quiesce so the standby's next pulls drain the acked tail, then fail the
   # primary permanently.

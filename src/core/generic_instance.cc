@@ -2,12 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
-#include <thread>
 
 #include "common/cancel.h"
 #include "common/partitions.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "par/pool.h"
 
 namespace zeroone {
 
@@ -40,40 +40,36 @@ GenericSupportCount CountGenericSupportParallel(
   ZO_TRACE_SPAN("CountGenericSupportParallel");
   std::vector<Value> domain = MakeConstantEnumeration(instance.prefix, k);
   // Shard on the first null's value; the remaining nulls enumerate inside
-  // each shard. Shards are independent, so plain per-thread partials
-  // suffice.
+  // each shard. One shard per morsel on the work-stealing pool (which
+  // re-installs the caller's CancelToken in every worker, so cancellation
+  // still stops all shards); shards are independent, so per-morsel partials
+  // summed in morsel order reproduce the serial count exactly.
   std::vector<Value> rest(instance.nulls.begin() + 1, instance.nulls.end());
-  std::size_t shard_count = domain.size();
-  threads = std::min(threads, shard_count);
-  std::vector<BigInt> partial_support(threads, BigInt(0));
-  std::vector<BigInt> partial_total(threads, BigInt(0));
-  std::vector<std::thread> workers;
-  workers.reserve(threads);
-  // Cancellation tokens are thread-local; re-install the calling thread's
-  // token inside each worker so cancelling it stops every shard.
-  CancelToken* cancel = CurrentCancelToken();
-  for (std::size_t t = 0; t < threads; ++t) {
-    workers.emplace_back([&, t] {
-      ScopedCancelToken scoped_cancel(cancel);
-      for (std::size_t shard = t; shard < shard_count; shard += threads) {
-        ForEachValuation(rest, domain, [&](const Valuation& v) {
-          ZO_COUNTER_INC("support.valuations_enumerated");
-          Valuation full = v;
-          full.Bind(instance.nulls[0], domain[shard]);
-          partial_total[t] += BigInt(1);
-          if (instance.witness(full, full.Apply(db))) {
-            ZO_COUNTER_INC("support.witnesses_found");
-            partial_support[t] += BigInt(1);
-          }
-        });
-      }
-    });
-  }
-  for (std::thread& worker : workers) worker.join();
+  par::ForOptions options;
+  options.grain = 1;
+  options.max_workers = threads;
+  par::ForPlan morsels = par::PlanMorsels(domain.size(), options);
+  std::vector<BigInt> partial_support(morsels.morsels, BigInt(0));
+  std::vector<BigInt> partial_total(morsels.morsels, BigInt(0));
+  par::ParallelFor(morsels, [&](const par::Morsel& m, std::size_t) {
+    for (std::size_t shard = m.begin; shard < m.end; ++shard) {
+      ForEachValuation(rest, domain, [&](const Valuation& v) {
+        ZO_COUNTER_INC("support.valuations_enumerated");
+        Valuation full = v;
+        full.Bind(instance.nulls[0], domain[shard]);
+        partial_total[m.index] += BigInt(1);
+        if (instance.witness(full, full.Apply(db))) {
+          ZO_COUNTER_INC("support.witnesses_found");
+          partial_support[m.index] += BigInt(1);
+        }
+      });
+    }
+    return true;
+  });
   GenericSupportCount count{BigInt(0), BigInt(0)};
-  for (std::size_t t = 0; t < threads; ++t) {
-    count.support += partial_support[t];
-    count.total += partial_total[t];
+  for (std::size_t m = 0; m < morsels.morsels; ++m) {
+    count.support += partial_support[m];
+    count.total += partial_total[m];
   }
   return count;
 }

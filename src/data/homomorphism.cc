@@ -1,12 +1,19 @@
 #include "data/homomorphism.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
+#include <numeric>
 #include <vector>
 
+#include "common/cancel.h"
+#include "fault/fault.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "par/pool.h"
 
 namespace zeroone {
 
@@ -56,11 +63,116 @@ class Searcher {
     image_.resize(slots);
   }
 
+  // Per-worker clone for the parallel root sweep: copies the (all-unbound)
+  // search state, substituting the worker's wrapped match callback.
+  Searcher(const Searcher& other, const MatchFn& on_match)
+      : patterns_(other.patterns_),
+        used_(other.used_),
+        from_nulls_(other.from_nulls_),
+        on_match_(on_match),
+        indexed_(other.indexed_),
+        bound_(other.bound_),
+        image_(other.image_) {}
+
   // Runs the search; calls on_match per complete homomorphism. on_match
   // returning false stops the search; Run then returns true.
-  bool Run() { return SearchStep(0); }
+  //
+  // The root level (depth 0) is the parallel axis: its candidate rows are
+  // materialized once and swept in morsels, each worker running the full
+  // backtracking search under its fixed root candidate. First-match
+  // semantics stay deterministic via a minimal-stop-index protocol —
+  // on_match results are serialized under a mutex, a match at candidate
+  // index i that asks to stop publishes i as the stop bound, matches at
+  // indices >= the bound are suppressed, and lower indices keep exploring
+  // (and may lower the bound further). The surviving stop is the one the
+  // serial left-to-right sweep would have reached first, so FindHomomorphism
+  // and ComputeCore return byte-identical results at any thread count; the
+  // published bound doubles as the early-exit broadcast that drains the
+  // remaining morsels. docs/parallelism.md has the full argument.
+  bool Run() {
+    if (patterns_.empty()) return SearchStep(0);
+    std::size_t root = indexed_ ? PickMostConstrained() : 0;
+    const PatternTuple& pattern = patterns_[root];
+    if (pattern.target == nullptr) return false;
+    const Relation& target = *pattern.target;
+    if (target.arity() != pattern.row.arity()) return false;
+
+    // Root candidate positions, mirroring SearchStep's probe-or-scan (at
+    // depth 0 only constants can be fixed).
+    Relation::Mask mask = 0;
+    std::vector<Value> key;
+    if (indexed_ && target.arity() > 0 &&
+        target.arity() <= Relation::kMaxIndexedColumns) {
+      for (std::size_t i = 0; i < pattern.row.arity(); ++i) {
+        Value v = pattern.row[i];
+        if (v.is_constant()) {
+          mask |= Relation::Mask{1} << i;
+          key.push_back(v);
+        }
+      }
+    }
+    std::vector<std::uint32_t> positions;
+    if (mask != 0) {
+      Relation::RowIdSpan span = target.Probe(mask, key);
+      positions.assign(span.begin(), span.end());
+    } else {
+      positions.resize(target.size());
+      std::iota(positions.begin(), positions.end(), 0);
+    }
+
+    par::ForPlan morsels =
+        par::PlanMorsels(positions.size(), par::ForOptions{});
+    if (morsels.workers <= 1) return SearchStep(0);
+
+    std::mutex mutex;
+    // First candidate index whose match stopped the search; indices at or
+    // beyond it are settled and need no further exploration.
+    std::atomic<std::size_t> stop_before{positions.size()};
+    bool stopped = false;
+    std::vector<MatchFn> wrappers(morsels.workers);
+    std::vector<std::unique_ptr<Searcher>> workers(morsels.workers);
+    std::vector<std::size_t> current(morsels.workers, 0);
+    par::ParallelFor(morsels, [&](const par::Morsel& m, std::size_t w) {
+      if (workers[w] == nullptr) {
+        wrappers[w] = [&, w](const std::map<Value, Value>& h) {
+          std::lock_guard<std::mutex> lock(mutex);
+          if (current[w] >= stop_before.load(std::memory_order_relaxed)) {
+            return false;  // A lower index already stopped the search.
+          }
+          bool keep = on_match_(h);
+          if (!keep) {
+            stop_before.store(current[w], std::memory_order_release);
+            stopped = true;
+          }
+          return keep;
+        };
+        workers[w] = std::unique_ptr<Searcher>(
+            new Searcher(*this, wrappers[w]));
+      }
+      for (std::size_t i = m.begin; i < m.end; ++i) {
+        if (CancellationRequested()) return false;
+        // Morsel indices ascend, so the first settled index drains the
+        // rest of the morsel too.
+        if (i >= stop_before.load(std::memory_order_acquire)) break;
+        current[w] = i;
+        workers[w]->RunRooted(root, target.row(positions[i]));
+      }
+      return true;
+    });
+    return stopped;
+  }
 
  private:
+  // Runs the search with pattern `root` pre-assigned to `candidate` (the
+  // parallel driver's per-root-candidate entry). Returns true iff on_match
+  // requested a stop within this subtree.
+  bool RunRooted(std::size_t root, Relation::Row candidate) {
+    used_[root] = 1;
+    bool stop = TryCandidate(patterns_[root], candidate, 0);
+    used_[root] = 0;
+    return stop;
+  }
+
   bool Bound(Value null) const { return bound_[null.id()] != 0; }
 
   // The unused pattern with the most columns already fixed (constants or
@@ -87,6 +199,13 @@ class Searcher {
   bool TryCandidate(const PatternTuple& pattern, Relation::Row candidate,
                     std::size_t depth) {
     ZO_COUNTER_INC("homomorphism.search_nodes");
+    // Deterministic fault inside the search (the standing datalog/hom fault
+    // coverage item): cancels the current token, which stops every worker's
+    // search and drives the caller's discard path.
+    if (ZO_FAULT_POINT("hom.search.cancel")) {
+      if (CancelToken* token = CurrentCancelToken()) token->Cancel();
+    }
+    if (CancellationRequested()) return true;  // Stop; caller discards.
     std::vector<Value> newly_bound;
     bool ok = true;
     for (std::size_t i = 0; i < candidate.arity() && ok; ++i) {

@@ -9,8 +9,10 @@
 #include <set>
 
 #include "common/cancel.h"
+#include "fault/fault.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "par/pool.h"
 #include "plan/datalog_plan.h"
 #include "plan/mode.h"
 
@@ -181,6 +183,69 @@ void FireRule(const DatalogRule& rule, const Database& db,
   }
 }
 
+// Evaluates one whole rule body into `derived`, parallelizing the first
+// evaluated literal: its candidate rows are materialized once (the rows of
+// the delta or full relation that a probe under the empty binding admits)
+// and swept in morsels, each worker joining the remaining literals via
+// FireRule into a per-morsel derived set. The per-morsel sets union into
+// `derived` — a set union is order-free, so the round's derived set, and
+// with it every fixpoint, is byte-identical at any thread count. Falls back
+// to the plain recursion when the first literal is negated (ground check,
+// nothing to partition) or the body is empty.
+//
+// Every candidate polls the CancelToken and passes the deterministic
+// `datalog.join.cancel` fault site (the standing datalog-loop fault
+// coverage item): a deadline or injected fault abandons the join mid-sweep
+// and the token's installer discards the partial materialization.
+void FireRuleAll(const DatalogRule& rule, const Database& db,
+                 const std::map<std::string, Relation>* delta,
+                 int delta_index, const std::vector<std::size_t>* order,
+                 std::set<Tuple>* derived) {
+  std::size_t variable_count = RuleVariableCount(rule);
+  std::size_t actual = order != nullptr && !order->empty() ? (*order)[0] : 0;
+  const Relation* rel = nullptr;
+  if (!rule.body.empty() && !rule.body[actual].negated) {
+    const DatalogLiteral& literal = rule.body[actual];
+    if (delta != nullptr && static_cast<int>(actual) == delta_index) {
+      auto it = delta->find(literal.atom.predicate);
+      if (it == delta->end()) return;
+      rel = &it->second;
+    } else {
+      rel = &RelationOf(db, literal.atom.predicate);
+    }
+  }
+  if (rel == nullptr) {
+    Binding binding(variable_count);
+    FireRule(rule, db, delta, delta_index, order, 0, &binding, derived);
+    return;
+  }
+  const DatalogLiteral& literal = rule.body[actual];
+  Binding empty_binding(variable_count);
+  std::vector<Relation::Row> candidates;
+  ForEachCandidate(*rel, literal.atom, empty_binding,
+                   [&](Relation::Row row) { candidates.push_back(row); });
+  par::ForPlan morsels =
+      par::PlanMorsels(candidates.size(), par::ForOptions{});
+  std::vector<std::set<Tuple>> slots(morsels.morsels);
+  par::ParallelFor(morsels, [&](const par::Morsel& m, std::size_t) {
+    Binding binding(variable_count);
+    std::set<Tuple>& slot = slots[m.index];
+    for (std::size_t i = m.begin; i < m.end; ++i) {
+      if (ZO_FAULT_POINT("datalog.join.cancel")) {
+        if (CancelToken* token = CurrentCancelToken()) token->Cancel();
+      }
+      if (CancellationRequested()) return false;
+      std::optional<std::vector<std::size_t>> bound =
+          MatchAtom(literal.atom, candidates[i], &binding);
+      if (!bound) continue;
+      FireRule(rule, db, delta, delta_index, order, 1, &binding, &slot);
+      for (std::size_t v : *bound) binding[v] = std::nullopt;
+    }
+    return true;
+  });
+  for (std::set<Tuple>& slot : slots) derived->merge(slot);
+}
+
 // Merges `derived` into the head relation, counting genuinely new facts
 // into `next_delta` (built per predicate with the head's arity). The new
 // facts join the relation in one InsertBatch rather than n sorted inserts.
@@ -231,7 +296,6 @@ Database MaterializeDatalog(const DatalogProgram& program,
     bool planned = plan::plan_mode() == plan::PlanMode::kCompiled;
     std::map<std::string, Relation> delta;
     for (const DatalogRule* rule : stratum_rules) {
-      Binding binding(RuleVariableCount(*rule));
       std::set<Tuple> derived;
       std::vector<std::size_t> order;
       if (planned) {
@@ -239,8 +303,8 @@ Database MaterializeDatalog(const DatalogProgram& program,
             plan::OrderBody(PlannedBody(*rule), materialized, -1, nullptr)
                 .order;
       }
-      FireRule(*rule, materialized, nullptr, -1, planned ? &order : nullptr,
-               0, &binding, &derived);
+      FireRuleAll(*rule, materialized, nullptr, -1,
+                  planned ? &order : nullptr, &derived);
       MergeDerived(*rule, derived, &materialized, &delta);
     }
     // Semi-naive rounds: each recursive instantiation uses the latest delta
@@ -256,7 +320,6 @@ Database MaterializeDatalog(const DatalogProgram& program,
           if (in_stratum.count(literal.atom.predicate) == 0) continue;
           auto delta_it = delta.find(literal.atom.predicate);
           if (delta_it == delta.end()) continue;
-          Binding binding(RuleVariableCount(*rule));
           std::set<Tuple> derived;
           std::vector<std::size_t> order;
           if (planned) {
@@ -266,8 +329,8 @@ Database MaterializeDatalog(const DatalogProgram& program,
                                     static_cast<int>(i), &delta_it->second)
                         .order;
           }
-          FireRule(*rule, materialized, &delta, static_cast<int>(i),
-                   planned ? &order : nullptr, 0, &binding, &derived);
+          FireRuleAll(*rule, materialized, &delta, static_cast<int>(i),
+                      planned ? &order : nullptr, &derived);
           MergeDerived(*rule, derived, &materialized, &next_delta);
         }
       }

@@ -1,0 +1,266 @@
+#include "par/pool.h"
+
+#if ZEROONE_PAR_ENABLED
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fault/fault.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace zeroone {
+namespace par {
+namespace {
+
+// Hard cap on team width; protects against absurd ZEROONE_PAR values.
+constexpr std::size_t kMaxThreads = 256;
+
+thread_local bool tls_in_worker = false;
+
+std::size_t DefaultThreads() {
+  const char* env = std::getenv("ZEROONE_PAR");
+  if (env != nullptr && *env != '\0') {
+    std::string value(env);
+    if (value == "off" || value == "OFF" || value == "0" || value == "1") {
+      return 1;
+    }
+    std::size_t parsed = 0;
+    bool numeric = true;
+    for (char c : value) {
+      if (c < '0' || c > '9') {
+        numeric = false;
+        break;
+      }
+      parsed = parsed * 10 + static_cast<std::size_t>(c - '0');
+      if (parsed > kMaxThreads) {
+        parsed = kMaxThreads;
+        break;
+      }
+    }
+    if (numeric && parsed > 0) return parsed;
+    return 1;  // Unparseable values mean "off", never a surprise team.
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : std::min<std::size_t>(hw, kMaxThreads);
+}
+
+std::size_t& MutableThreads() {
+  static std::size_t threads = DefaultThreads();
+  return threads;
+}
+
+// One worker's deque of morsel indices, packed begin<<32|end so pop and
+// steal race on a single CAS word. The owner pops from begin (keeping its
+// contiguous range hot), thieves take from end.
+using PackedRange = std::atomic<std::uint64_t>;
+
+constexpr std::uint64_t Pack(std::uint32_t begin, std::uint32_t end) {
+  return (static_cast<std::uint64_t>(begin) << 32) | end;
+}
+
+bool PopFront(PackedRange& range, std::uint32_t* out) {
+  std::uint64_t packed = range.load(std::memory_order_acquire);
+  for (;;) {
+    std::uint32_t begin = static_cast<std::uint32_t>(packed >> 32);
+    std::uint32_t end = static_cast<std::uint32_t>(packed);
+    if (begin >= end) return false;
+    if (range.compare_exchange_weak(packed, Pack(begin + 1, end),
+                                    std::memory_order_acq_rel)) {
+      *out = begin;
+      return true;
+    }
+  }
+}
+
+bool PopBack(PackedRange& range, std::uint32_t* out) {
+  std::uint64_t packed = range.load(std::memory_order_acquire);
+  for (;;) {
+    std::uint32_t begin = static_cast<std::uint32_t>(packed >> 32);
+    std::uint32_t end = static_cast<std::uint32_t>(packed);
+    if (begin >= end) return false;
+    if (range.compare_exchange_weak(packed, Pack(begin, end - 1),
+                                    std::memory_order_acq_rel)) {
+      *out = end - 1;
+      return true;
+    }
+  }
+}
+
+Morsel MorselAt(const ForPlan& plan, std::size_t index) {
+  Morsel morsel;
+  morsel.index = index;
+  morsel.begin = index * plan.grain;
+  morsel.end = std::min(morsel.begin + plan.grain, plan.n);
+  return morsel;
+}
+
+// Shared state of one ParallelFor team.
+struct Run {
+  const ForPlan* plan = nullptr;
+  const MorselBody* body = nullptr;
+  CancelToken* token = nullptr;
+  std::unique_ptr<PackedRange[]> queues;
+  std::atomic<bool> abort{false};
+  std::atomic<std::uint64_t> executed{0};
+  std::atomic<std::uint64_t> steals{0};
+  std::atomic<std::uint64_t> active{0};
+};
+
+// Executes one claimed morsel; returns false when the run must stop.
+bool ExecuteMorsel(Run& run, std::size_t index, std::size_t worker) {
+  if (run.token != nullptr && run.token->Poll()) {
+    run.abort.store(true, std::memory_order_release);
+    return false;
+  }
+  if (ZO_FAULT_POINT("par.morsel.abort")) {
+    // Mirrors plan.vm.cancel: cancel the caller's token so the dispatcher
+    // discards the partial result and answers DEADLINE_EXCEEDED.
+    if (run.token != nullptr) run.token->Cancel();
+    run.abort.store(true, std::memory_order_release);
+    return false;
+  }
+  run.executed.fetch_add(1, std::memory_order_relaxed);
+  if (!(*run.body)(MorselAt(*run.plan, index), worker)) {
+    run.abort.store(true, std::memory_order_release);
+    return false;
+  }
+  return true;
+}
+
+void WorkerLoop(Run& run, std::size_t worker) {
+  ZO_TRACE_SPAN("par.worker");
+  bool ran_any = false;
+  const std::size_t workers = run.plan->workers;
+  while (!run.abort.load(std::memory_order_acquire)) {
+    std::uint32_t index = 0;
+    if (!PopFront(run.queues[worker], &index)) {
+      // Own deque drained: sweep the other deques once. A morsel absent
+      // from every deque is already claimed by some worker, so an empty
+      // sweep means there is nothing left to do.
+      bool stole = false;
+      for (std::size_t offset = 1; offset < workers && !stole; ++offset) {
+        std::size_t victim = (worker + offset) % workers;
+        if (ZO_FAULT_POINT("par.steal.fail")) {
+          // Scheduling perturbation only: the skipped victim still drains
+          // its own deque, so every morsel runs exactly once regardless.
+          continue;
+        }
+        if (PopBack(run.queues[victim], &index)) stole = true;
+      }
+      if (!stole) break;
+      run.steals.fetch_add(1, std::memory_order_relaxed);
+    }
+    ran_any = true;
+    if (!ExecuteMorsel(run, index, worker)) break;
+  }
+  if (ran_any) run.active.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool SerialFor(const ForPlan& plan, const MorselBody& body) {
+  CancelToken* token = CurrentCancelToken();
+  std::size_t executed = 0;
+  bool ok = true;
+  for (std::size_t m = 0; m < plan.morsels; ++m) {
+    if (token != nullptr && token->Poll()) {
+      ok = false;
+      break;
+    }
+    if (ZO_FAULT_POINT("par.morsel.abort")) {
+      if (token != nullptr) token->Cancel();
+      ok = false;
+      break;
+    }
+    ++executed;
+    if (!body(MorselAt(plan, m), 0)) {
+      ok = false;
+      break;
+    }
+  }
+  ZO_COUNTER_ADD("par.morsels", executed);
+  return ok;
+}
+
+}  // namespace
+
+std::size_t par_threads() { return MutableThreads(); }
+
+void SetParThreads(std::size_t threads) {
+  MutableThreads() =
+      threads == 0 ? DefaultThreads() : std::min(threads, kMaxThreads);
+}
+
+bool InParallelWorker() { return tls_in_worker; }
+
+ForPlan PlanMorsels(std::size_t n, const ForOptions& options) {
+  ForPlan plan;
+  plan.n = n;
+  std::size_t workers = par_threads();
+  if (options.max_workers != 0) workers = std::min(workers, options.max_workers);
+  if (tls_in_worker) workers = 1;  // Nested parallelism runs inline.
+  std::size_t grain = options.grain;
+  if (grain == 0) grain = std::max<std::size_t>(1, n / (workers * 4));
+  // The packed deque word holds 32-bit morsel indices; widen the grain for
+  // iteration spaces that would overflow it (> 4G morsels).
+  while (n / grain >= UINT32_MAX) grain *= 2;
+  plan.grain = grain;
+  plan.morsels = n == 0 ? 0 : (n + grain - 1) / grain;
+  plan.workers = std::max<std::size_t>(1, std::min(workers, plan.morsels));
+  return plan;
+}
+
+bool ParallelFor(const ForPlan& plan, const MorselBody& body) {
+  if (plan.morsels == 0) return true;
+  if (plan.workers <= 1 || tls_in_worker) return SerialFor(plan, body);
+
+  ZO_TRACE_SPAN("par.run");
+  Run run;
+  run.plan = &plan;
+  run.body = &body;
+  run.token = CurrentCancelToken();
+  run.queues = std::make_unique<PackedRange[]>(plan.workers);
+  // Seed each worker with a contiguous chunk of the morsel sequence so the
+  // common (balanced) case never steals and preserves scan locality.
+  for (std::size_t w = 0; w < plan.workers; ++w) {
+    std::size_t begin = w * plan.morsels / plan.workers;
+    std::size_t end = (w + 1) * plan.morsels / plan.workers;
+    run.queues[w].store(Pack(static_cast<std::uint32_t>(begin),
+                             static_cast<std::uint32_t>(end)),
+                        std::memory_order_relaxed);
+  }
+
+  std::vector<std::thread> team;
+  team.reserve(plan.workers - 1);
+  for (std::size_t w = 1; w < plan.workers; ++w) {
+    team.emplace_back([&run, w]() {
+      // Workers inherit the caller's token (the cross-thread sharing
+      // pattern from common/cancel.h) so deadlines stop every morsel.
+      ScopedCancelToken scope(run.token);
+      tls_in_worker = true;
+      WorkerLoop(run, w);
+      tls_in_worker = false;
+    });
+  }
+  tls_in_worker = true;
+  WorkerLoop(run, 0);
+  tls_in_worker = false;
+  for (std::thread& t : team) t.join();
+
+  ZO_COUNTER_INC("par.runs");
+  ZO_COUNTER_ADD("par.morsels", run.executed.load(std::memory_order_relaxed));
+  ZO_COUNTER_ADD("par.steals", run.steals.load(std::memory_order_relaxed));
+  ZO_COUNTER_ADD("par.workers_active",
+                 run.active.load(std::memory_order_relaxed));
+  return !run.abort.load(std::memory_order_acquire);
+}
+
+}  // namespace par
+}  // namespace zeroone
+
+#endif  // ZEROONE_PAR_ENABLED

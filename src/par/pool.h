@@ -1,0 +1,153 @@
+#ifndef ZEROONE_PAR_POOL_H_
+#define ZEROONE_PAR_POOL_H_
+
+// Morsel-driven intra-query parallelism (docs/parallelism.md).
+//
+// ParallelFor splits an index range [0, n) into contiguous morsels and
+// executes them on a work-stealing team: each worker owns a deque of morsel
+// indices (a packed begin/end word popped from the head by the owner and
+// stolen from the tail by idle workers), so cache-friendly contiguous runs
+// stay with one worker until imbalance actually materializes. Teams are
+// per-call rather than a shared process-wide pool: concurrent svc requests
+// never serialize behind each other's queries, quiescence is a join before
+// ParallelFor returns (no leaked workers for ASan/TSan to find), and the
+// thread budget composes with the executor simply by capping team width
+// (ServerOptions::par_threads).
+//
+// Determinism contract: a morsel is a contiguous index range and morsels
+// are numbered in range order, so callers that write results into
+// per-morsel slots and concatenate them in morsel-index order produce
+// byte-identical output to a serial run, regardless of which worker ran
+// which morsel in what order. Order-free accumulations (set unions, sums)
+// need no slots at all. Every consumer in this codebase uses one of those
+// two shapes; the differential battery (tests/par_diff_test.cc) holds them
+// to it.
+//
+// Cancellation and faults: the team inherits the caller's CancelToken
+// (each spawned worker re-installs it, the sanctioned cross-thread pattern
+// from common/cancel.h) and every morsel polls it, so deadlines and drain
+// interrupt a parallel query at morsel granularity. Two fault sites:
+// `par.steal.fail` makes a thief skip a victim (a scheduling perturbation —
+// the skipped morsels still run on their owner), and `par.morsel.abort`
+// cancels the current token and aborts the run, which svc surfaces as
+// DEADLINE_EXCEEDED with the partial result discarded (the same contract
+// as `plan.vm.cancel`).
+//
+// Serial modes: runtime `ZEROONE_PAR=off` (or SetParThreads(1)) runs the
+// same morsel loop on the calling thread — same fault sites, same cancel
+// polls, no threads spawned. Compile-time `-DZEROONE_PAR=OFF` replaces
+// everything below with the inline serial loop so the core libraries carry
+// no thread-creation symbols at all (CI's par-off job nm-checks that).
+
+#include <cstddef>
+#include <functional>
+
+#include "common/cancel.h"
+
+#ifndef ZEROONE_PAR_ENABLED
+#define ZEROONE_PAR_ENABLED 1
+#endif
+
+namespace zeroone {
+namespace par {
+
+// One contiguous chunk of the iteration space. `index` is the morsel's
+// position in range order — the determinism key for slot merges.
+struct Morsel {
+  std::size_t index = 0;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+struct ForOptions {
+  // Indices per morsel; 0 = auto (about four morsels per worker, so
+  // stealing has slack without shredding locality).
+  std::size_t grain = 0;
+  // Cap on team width; 0 = par_threads().
+  std::size_t max_workers = 0;
+};
+
+// The resolved shape of one ParallelFor: callers size their per-morsel
+// result slots from `morsels` before running.
+struct ForPlan {
+  std::size_t n = 0;
+  std::size_t grain = 1;
+  std::size_t morsels = 0;
+  std::size_t workers = 1;
+};
+
+// Body returns false to abort the whole run (remaining morsels are
+// skipped; ParallelFor returns false and the caller must discard any
+// partial output). `worker` is the team-local worker id in [0, workers).
+using MorselBody = std::function<bool(const Morsel&, std::size_t worker)>;
+
+#if ZEROONE_PAR_ENABLED
+
+// Effective thread budget: SetParThreads override, else ZEROONE_PAR env
+// ("off"/"0"/"1" = serial, integer = that many), else hardware threads.
+// Always >= 1.
+std::size_t par_threads();
+
+// Overrides the budget for this process (tests, --par-threads). 0 resets
+// to the environment default. Not thread-safe against concurrent
+// ParallelFor calls — set it at startup or between queries.
+void SetParThreads(std::size_t threads);
+
+// True on a thread currently executing morsels for some ParallelFor.
+// Nested ParallelFor calls run inline serially on that worker.
+bool InParallelWorker();
+
+ForPlan PlanMorsels(std::size_t n, const ForOptions& options);
+
+// Runs `body` over every morsel of `plan`. Returns true iff all morsels
+// completed (no abort, no cancellation, no injected fault).
+bool ParallelFor(const ForPlan& plan, const MorselBody& body);
+
+inline bool ParallelFor(std::size_t n, const ForOptions& options,
+                        const MorselBody& body) {
+  return ParallelFor(PlanMorsels(n, options), body);
+}
+
+#else  // !ZEROONE_PAR_ENABLED
+
+// Compiled-away build: a plain serial loop with the same cancellation
+// granularity. No <thread>, no zeroone::par library symbols — callers
+// inline everything against zeroone_common only.
+
+inline std::size_t par_threads() { return 1; }
+inline void SetParThreads(std::size_t) {}
+inline bool InParallelWorker() { return false; }
+
+inline ForPlan PlanMorsels(std::size_t n, const ForOptions& options) {
+  ForPlan plan;
+  plan.n = n;
+  plan.grain = options.grain == 0 ? (n == 0 ? 1 : n) : options.grain;
+  plan.morsels = n == 0 ? 0 : (n + plan.grain - 1) / plan.grain;
+  plan.workers = 1;
+  return plan;
+}
+
+inline bool ParallelFor(const ForPlan& plan, const MorselBody& body) {
+  for (std::size_t m = 0; m < plan.morsels; ++m) {
+    if (CancellationRequested()) return false;
+    Morsel morsel;
+    morsel.index = m;
+    morsel.begin = m * plan.grain;
+    morsel.end = morsel.begin + plan.grain < plan.n ? morsel.begin + plan.grain
+                                                    : plan.n;
+    if (!body(morsel, 0)) return false;
+  }
+  return true;
+}
+
+inline bool ParallelFor(std::size_t n, const ForOptions& options,
+                        const MorselBody& body) {
+  return ParallelFor(PlanMorsels(n, options), body);
+}
+
+#endif  // ZEROONE_PAR_ENABLED
+
+}  // namespace par
+}  // namespace zeroone
+
+#endif  // ZEROONE_PAR_POOL_H_

@@ -6,9 +6,11 @@
 #include <map>
 #include <unordered_set>
 
+#include "common/cancel.h"
 #include "data/valuation.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "par/pool.h"
 #include "plan/cache.h"
 #include "plan/compiler.h"
 #include "plan/mode.h"
@@ -393,6 +395,36 @@ std::vector<Tuple> EvaluateQuery(const Query& query, const Database& db) {
   if (query.is_boolean()) {
     if (EvaluateFormula(*query.formula(), db, domain, &env)) {
       answers.push_back(Tuple{});
+    }
+    return answers;
+  }
+  // The first output column's domain sweep is the parallel axis: morsels of
+  // domain indices, each explored with a worker-private environment, results
+  // landing in per-morsel slots concatenated in morsel order — byte-identical
+  // to the serial sweep (docs/parallelism.md).
+  par::ForPlan morsels = par::PlanMorsels(domain.size(), par::ForOptions{});
+  if (morsels.workers > 1) {
+    std::size_t var = query.free_variables()[0];
+    std::vector<std::vector<Tuple>> slots(morsels.morsels);
+    par::ParallelFor(morsels, [&](const par::Morsel& m, std::size_t) {
+      Environment worker_env(query.variable_count());
+      std::vector<Value> worker_current;
+      worker_current.reserve(query.arity());
+      for (std::size_t i = m.begin; i < m.end; ++i) {
+        if (CancellationRequested()) return false;
+        worker_env[var] = domain[i];
+        worker_current.push_back(domain[i]);
+        EnumerateAnswers(query, db, domain, 1, &worker_env, &worker_current,
+                         &slots[m.index]);
+        worker_current.pop_back();
+      }
+      return true;
+    });
+    // On abort the merge still runs: a cancelled computation returns
+    // partial results by design and the token's installer discards them.
+    for (std::vector<Tuple>& slot : slots) {
+      answers.insert(answers.end(), std::make_move_iterator(slot.begin()),
+                     std::make_move_iterator(slot.end()));
     }
     return answers;
   }

@@ -24,6 +24,7 @@
 #include "fault/fault.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "par/pool.h"
 #include "plan/cache.h"
 #include "query/eval.h"
 #include "query/parser.h"
@@ -204,7 +205,11 @@ StatusOr<std::string> RunCommand(SessionState* session,
       return Status::Error("k must be at least |C ∪ Const(D)| = ",
                            instance.prefix.size());
     }
-    Rational mu = MuK(session->query, session->db, tuple, k);
+    // The sharded parallel counter is bit-identical to MuK (it partitions
+    // the same enumeration on the first null) and puts the heaviest single
+    // command on the morsel pool under the server's --par-threads budget.
+    Rational mu = MuKParallel(session->query, session->db, tuple, k,
+                              par::par_threads());
     out << "mu^" << k << " = " << mu.ToString() << " ≈ " << mu.ToDouble();
   } else if (command == "poly") {
     ZO_RETURN_IF_ERROR(RequireQuery(*session));

@@ -20,6 +20,7 @@
 #include "fault/fault.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "par/pool.h"
 
 namespace zeroone {
 namespace svc {
@@ -455,6 +456,21 @@ Status Server::Start() {
                  options_.follow_host.c_str(), options_.follow_port,
                  static_cast<unsigned long long>(options_.promote_after_ms));
   }
+  // Intra-query thread budget: each executor worker may fan one query out
+  // across a morsel team, so the auto default divides the hardware threads
+  // by the worker-pool size — `threads` concurrent parallel queries then
+  // use about one core each instead of oversubscribing by NxM.
+  {
+    std::size_t per_query = options_.par_threads;
+    if (per_query == 0) {
+      unsigned hw = std::thread::hardware_concurrency();
+      std::size_t workers = std::max<std::size_t>(1, options_.threads);
+      per_query = std::max<std::size_t>(1, (hw == 0 ? 1 : hw) / workers);
+    }
+    par::SetParThreads(per_query);
+    std::fprintf(stderr, "zeroone_server: intra-query parallelism: %zu\n",
+                 par::par_threads());
+  }
   if (!options_.legacy_readers) {
     std::size_t count = options_.event_threads;
     if (count == 0) {
@@ -535,9 +551,13 @@ void Server::AcceptLoop() {
                    WireStatus::kOverloaded, "0",
                    StrCat("connection limit reached (--max-conns=",
                           options_.max_conns, "); retry later")}));
+      {
+        // Count before close: a client that saw EOF must already see the
+        // refusal in stats() (svc_test polls exactly that ordering).
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.connections_refused;
+      }
       ::close(client);
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.connections_refused;
       continue;
     }
     if (options_.so_sndbuf > 0) {

@@ -89,6 +89,13 @@ struct ServerOptions {
   // Event-loop (epoll) threads multiplexing all connections.
   // 0 = min(4, hw_concurrency). Ignored under legacy_readers.
   std::size_t event_threads = 0;
+  // Morsel-pool width for intra-query parallelism (docs/parallelism.md):
+  // the per-query worker-team cap installed via par::SetParThreads at
+  // Start(). 0 = auto — hardware threads divided by the executor's worker
+  // pool, at least 1, so `threads` concurrent queries each going parallel
+  // do not oversubscribe the machine. 1 = serial queries (the
+  // ZEROONE_PAR=off reference behavior).
+  std::size_t par_threads = 0;
   // Connection admission limit: a connect beyond this many live
   // connections is answered OVERLOADED and closed. 0 = unlimited.
   std::size_t max_conns = 0;

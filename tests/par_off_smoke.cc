@@ -1,0 +1,60 @@
+// Compiled with ZEROONE_PAR_ENABLED=0 and intentionally not linked against
+// zeroone_par: it only links if the compiled-away pool header is fully
+// self-contained — the inline serial ParallelFor against zeroone_common
+// alone, no <thread>, no pool symbols. The CI par-off job builds the whole
+// tree with -DZEROONE_PAR=OFF and additionally nm-checks the core archives
+// for thread-creation symbols; this smoke test catches a header regression
+// in every configuration.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/cancel.h"
+#include "par/pool.h"
+
+int main() {
+  using namespace zeroone;
+  if (par::par_threads() != 1) return EXIT_FAILURE;
+  par::SetParThreads(8);  // A no-op in the compiled-away build.
+  if (par::par_threads() != 1) return EXIT_FAILURE;
+  if (par::InParallelWorker()) return EXIT_FAILURE;
+
+  par::ForOptions options;
+  options.grain = 3;
+  par::ForPlan plan = par::PlanMorsels(10, options);
+  if (plan.morsels != 4) return EXIT_FAILURE;
+  std::size_t covered = 0;
+  std::size_t next_index = 0;
+  bool ok = par::ParallelFor(plan, [&](const par::Morsel& m, std::size_t w) {
+    if (w != 0 || m.index != next_index || m.begin != m.index * 3) {
+      return false;
+    }
+    ++next_index;
+    covered += m.end - m.begin;
+    return true;
+  });
+  if (!ok || covered != 10 || next_index != 4) return EXIT_FAILURE;
+
+  if (!par::ParallelFor(0, par::ForOptions{},
+                        [](const par::Morsel&, std::size_t) { return false; })) {
+    return EXIT_FAILURE;  // Empty range: body never runs, must succeed.
+  }
+
+  // Cancellation still aborts at morsel granularity.
+  CancelToken token;
+  ScopedCancelToken scope(&token);
+  int calls = 0;
+  bool aborted = !par::ParallelFor(5, [] {
+    par::ForOptions o;
+    o.grain = 1;
+    return o;
+  }(), [&](const par::Morsel&, std::size_t) {
+    ++calls;
+    token.Cancel();
+    return true;
+  });
+  if (!aborted || calls != 1) return EXIT_FAILURE;
+
+  std::puts("par-off smoke OK");
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,468 @@
+// Unit tests for the work-stealing morsel pool (src/par/pool.h) and
+// fault-schedule table tests for the parallelism fault sites. The pool's
+// contract is exactness — every index of [0, n) executes exactly once, on
+// some worker, regardless of stealing, adversarial steal-fail schedules, or
+// team width — plus clean abort semantics: cancellation, a body returning
+// false, or the `par.morsel.abort` fault all stop the run, cancel nothing
+// they shouldn't, and leave no worker behind (ParallelFor joins its team
+// before returning, so a subsequent run on the same thread is the
+// quiescence probe; ASan/TSan CI jobs catch anything leaked).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/cancel.h"
+#include "data/homomorphism.h"
+#include "datalog/eval.h"
+#include "datalog/parser.h"
+#include "fault/fault.h"
+#include "gen/random_db.h"
+#include "obs/metrics.h"
+#include "par/pool.h"
+
+namespace zeroone {
+namespace {
+
+// Saves and restores the global thread budget and fault plan around every
+// test so the battery composes with any ZEROONE_PAR / ZEROONE_FAULTS
+// environment the CI job sets.
+class ParPoolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    previous_threads_ = par::par_threads();
+    fault::Registry::Global().Clear();
+  }
+  void TearDown() override {
+    fault::Registry::Global().Clear();
+    par::SetParThreads(previous_threads_);
+  }
+
+ private:
+  std::size_t previous_threads_ = 1;
+};
+
+TEST_F(ParPoolTest, EmptyRangeHasNoMorselsAndSucceeds) {
+  par::ForPlan plan = par::PlanMorsels(0, par::ForOptions{});
+  EXPECT_EQ(plan.morsels, 0u);
+  std::atomic<int> calls{0};
+  EXPECT_TRUE(par::ParallelFor(plan, [&](const par::Morsel&, std::size_t) {
+    calls.fetch_add(1);
+    return true;
+  }));
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST_F(ParPoolTest, SingleRowIsOneMorsel) {
+  par::ForPlan plan = par::PlanMorsels(1, par::ForOptions{});
+  ASSERT_EQ(plan.morsels, 1u);
+  EXPECT_EQ(plan.workers, 1u);
+  std::atomic<int> calls{0};
+  EXPECT_TRUE(par::ParallelFor(plan, [&](const par::Morsel& m, std::size_t) {
+    EXPECT_EQ(m.index, 0u);
+    EXPECT_EQ(m.begin, 0u);
+    EXPECT_EQ(m.end, 1u);
+    calls.fetch_add(1);
+    return true;
+  }));
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST_F(ParPoolTest, OddRemainderLandsInTheLastMorsel) {
+  par::SetParThreads(1);
+  par::ForOptions options;
+  options.grain = 3;
+  par::ForPlan plan = par::PlanMorsels(10, options);
+  ASSERT_EQ(plan.morsels, 4u);
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  EXPECT_TRUE(par::ParallelFor(plan, [&](const par::Morsel& m, std::size_t) {
+    ranges.emplace_back(m.begin, m.end);
+    return true;
+  }));
+  std::vector<std::pair<std::size_t, std::size_t>> expected = {
+      {0, 3}, {3, 6}, {6, 9}, {9, 10}};
+  EXPECT_EQ(ranges, expected);
+}
+
+TEST_F(ParPoolTest, PartitionTilesTheRangeForManyShapes) {
+  par::SetParThreads(1);
+  for (std::size_t n : {1u, 2u, 3u, 5u, 16u, 97u, 1000u}) {
+    for (std::size_t grain : {0u, 1u, 3u, 7u}) {
+      par::ForOptions options;
+      options.grain = grain;
+      par::ForPlan plan = par::PlanMorsels(n, options);
+      std::size_t covered = 0;
+      std::size_t next = 0;
+      EXPECT_TRUE(
+          par::ParallelFor(plan, [&](const par::Morsel& m, std::size_t) {
+            EXPECT_EQ(m.begin, next);  // Contiguous, ascending, gap-free.
+            EXPECT_LT(m.begin, m.end);
+            covered += m.end - m.begin;
+            next = m.end;
+            return true;
+          }));
+      EXPECT_EQ(covered, n) << "n=" << n << " grain=" << grain;
+    }
+  }
+}
+
+TEST_F(ParPoolTest, EveryIndexRunsExactlyOnceAcrossTheTeam) {
+  par::SetParThreads(8);
+  constexpr std::size_t kN = 257;
+  par::ForOptions options;
+  options.grain = 1;
+  par::ForPlan plan = par::PlanMorsels(kN, options);
+  std::vector<std::atomic<int>> counts(kN);
+  EXPECT_TRUE(par::ParallelFor(plan, [&](const par::Morsel& m, std::size_t w) {
+    EXPECT_LT(w, plan.workers);
+    for (std::size_t i = m.begin; i < m.end; ++i) counts[i].fetch_add(1);
+    return true;
+  }));
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(counts[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST_F(ParPoolTest, StealsStayExactUnderAdversarialSchedules) {
+  // Seeded steal-fail schedules perturb victim selection; the exactness
+  // invariant (every index exactly once) must hold under all of them.
+  par::SetParThreads(8);
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    ASSERT_TRUE(fault::Registry::Global()
+                    .Configure("seed=" + std::to_string(seed) +
+                               ",par.steal.fail=0.5")
+                    .ok());
+    constexpr std::size_t kN = 97;
+    par::ForOptions options;
+    options.grain = 1;
+    std::vector<std::atomic<int>> counts(kN);
+    EXPECT_TRUE(par::ParallelFor(kN, options,
+                                 [&](const par::Morsel& m, std::size_t) {
+                                   for (std::size_t i = m.begin; i < m.end;
+                                        ++i) {
+                                     counts[i].fetch_add(1);
+                                   }
+                                   return true;
+                                 }));
+    for (std::size_t i = 0; i < kN; ++i) {
+      EXPECT_EQ(counts[i].load(), 1) << "seed " << seed << " index " << i;
+    }
+  }
+}
+
+TEST_F(ParPoolTest, StealFailEverywhereStillRunsEveryMorsel) {
+  // With every steal refused, owners drain their own deques: slower, never
+  // wrong, and the run still reports success.
+  ASSERT_TRUE(
+      fault::Registry::Global().Configure("par.steal.fail=1.0").ok());
+  par::SetParThreads(8);
+  constexpr std::size_t kN = 64;
+  par::ForOptions options;
+  options.grain = 1;
+  std::vector<std::atomic<int>> counts(kN);
+  obs::ScopedSnapshot snapshot;
+  EXPECT_TRUE(par::ParallelFor(kN, options,
+                               [&](const par::Morsel& m, std::size_t) {
+                                 for (std::size_t i = m.begin; i < m.end; ++i)
+                                   counts[i].fetch_add(1);
+                                 return true;
+                               }));
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(counts[i].load(), 1);
+  EXPECT_EQ(snapshot.Delta("par.steals"), 0u);
+}
+
+TEST_F(ParPoolTest, SerialModeRunsMorselsInOrderOnTheCallingThread) {
+  par::SetParThreads(1);
+  par::ForOptions options;
+  options.grain = 1;
+  obs::ScopedSnapshot snapshot;
+  std::vector<std::size_t> order;
+  EXPECT_TRUE(par::ParallelFor(20, options,
+                               [&](const par::Morsel& m, std::size_t w) {
+                                 EXPECT_EQ(w, 0u);
+                                 order.push_back(m.index);
+                                 return true;
+                               }));
+  ASSERT_EQ(order.size(), 20u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+#if ZEROONE_OBS_ENABLED && ZEROONE_PAR_ENABLED
+  EXPECT_EQ(snapshot.Delta("par.morsels"), 20u);
+  EXPECT_EQ(snapshot.Delta("par.steals"), 0u);
+#else
+  (void)snapshot;  // Counters compile away with ZEROONE_OBS/PAR=OFF.
+#endif
+}
+
+TEST_F(ParPoolTest, CancelTokenAbortsSerialRunAtTheNextMorsel) {
+  par::SetParThreads(1);
+  CancelToken token;
+  ScopedCancelToken scope(&token);
+  par::ForOptions options;
+  options.grain = 1;
+  int calls = 0;
+  EXPECT_FALSE(par::ParallelFor(5, options,
+                                [&](const par::Morsel&, std::size_t) {
+                                  ++calls;
+                                  token.Cancel();  // Mid-run cancellation.
+                                  return true;
+                                }));
+  // The cancelling morsel finishes; the next poll aborts the run.
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST_F(ParPoolTest, CancelTokenAbortsParallelRun) {
+  par::SetParThreads(8);
+  CancelToken token;
+  ScopedCancelToken scope(&token);
+  par::ForOptions options;
+  options.grain = 1;
+  // Every morsel cancels: whichever body completes first leaves ~500
+  // unclaimed morsels behind, so some worker's next pre-morsel poll must
+  // observe the cancellation and abort the run. (Cancelling from one fixed
+  // morsel would be flaky — under adversarial stealing that morsel can be
+  // the last one, and a fully completed run correctly reports success.)
+  std::atomic<int> calls{0};
+  EXPECT_FALSE(par::ParallelFor(512, options,
+                                [&](const par::Morsel&, std::size_t) {
+                                  calls.fetch_add(1);
+                                  token.Cancel();
+                                  return true;
+                                }));
+  EXPECT_TRUE(token.cancelled());
+  // Nothing executes after a poll observes the cancel, so at most the
+  // in-flight morsel of each worker ever ran.
+  EXPECT_LE(calls.load(), 8);
+}
+
+TEST_F(ParPoolTest, BodyReturningFalseAbortsTheRun) {
+  par::SetParThreads(8);
+  par::ForOptions options;
+  options.grain = 1;
+  EXPECT_FALSE(par::ParallelFor(
+      64, options,
+      [&](const par::Morsel& m, std::size_t) { return m.index != 3; }));
+}
+
+TEST_F(ParPoolTest, MorselAbortFaultCancelsTokenAndStopsSerialRun) {
+#if !ZEROONE_PAR_ENABLED
+  GTEST_SKIP() << "par.morsel.abort compiles away with ZEROONE_PAR=OFF";
+#endif
+  ASSERT_TRUE(
+      fault::Registry::Global().Configure("par.morsel.abort=#3").ok());
+  par::SetParThreads(1);
+  CancelToken token;
+  ScopedCancelToken scope(&token);
+  par::ForOptions options;
+  options.grain = 1;
+  int calls = 0;
+  EXPECT_FALSE(par::ParallelFor(10, options,
+                                [&](const par::Morsel&, std::size_t) {
+                                  ++calls;
+                                  return true;
+                                }));
+  // Hits 1 and 2 execute their morsels; hit 3 fires before the body runs.
+  EXPECT_EQ(calls, 2);
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(fault::Registry::Global().Stats("par.morsel.abort").fired, 1u);
+}
+
+TEST_F(ParPoolTest, MorselAbortFaultStopsParallelRunAndTeamQuiesces) {
+#if !ZEROONE_PAR_ENABLED
+  GTEST_SKIP() << "par.morsel.abort compiles away with ZEROONE_PAR=OFF";
+#endif
+  ASSERT_TRUE(
+      fault::Registry::Global().Configure("par.morsel.abort=#2").ok());
+  par::SetParThreads(8);
+  CancelToken token;
+  {
+    ScopedCancelToken scope(&token);
+    par::ForOptions options;
+    options.grain = 1;
+    EXPECT_FALSE(par::ParallelFor(
+        64, options, [&](const par::Morsel&, std::size_t) { return true; }));
+  }
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_GE(fault::Registry::Global().Stats("par.morsel.abort").fired, 1u);
+  // Quiescence: ParallelFor joined its team before returning, so a clean
+  // follow-up run on the same thread completes exactly (and the sanitizer
+  // jobs would flag any thread the aborted run leaked).
+  fault::Registry::Global().Clear();
+  constexpr std::size_t kN = 64;
+  par::ForOptions options;
+  options.grain = 1;
+  std::vector<std::atomic<int>> counts(kN);
+  EXPECT_TRUE(par::ParallelFor(kN, options,
+                               [&](const par::Morsel& m, std::size_t) {
+                                 for (std::size_t i = m.begin; i < m.end; ++i)
+                                   counts[i].fetch_add(1);
+                                 return true;
+                               }));
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(counts[i].load(), 1);
+}
+
+TEST_F(ParPoolTest, NestedParallelForRunsInlineOnTheWorker) {
+  par::SetParThreads(8);
+  par::ForOptions outer_options;
+  outer_options.grain = 1;
+  std::atomic<int> inner_total{0};
+  std::atomic<bool> saw_worker_flag{true};
+  std::atomic<bool> nested_serial{true};
+  EXPECT_TRUE(par::ParallelFor(
+      8, outer_options, [&](const par::Morsel&, std::size_t) {
+        if (!par::InParallelWorker()) saw_worker_flag.store(false);
+        par::ForPlan inner = par::PlanMorsels(25, par::ForOptions{});
+        if (inner.workers != 1) nested_serial.store(false);
+        par::ParallelFor(inner, [&](const par::Morsel& m, std::size_t) {
+          inner_total.fetch_add(static_cast<int>(m.end - m.begin));
+          return true;
+        });
+        return true;
+      }));
+#if ZEROONE_PAR_ENABLED
+  EXPECT_TRUE(saw_worker_flag.load());  // Always false in the inline build.
+#else
+  (void)saw_worker_flag;
+#endif
+  EXPECT_TRUE(nested_serial.load());
+  EXPECT_EQ(inner_total.load(), 8 * 25);
+  EXPECT_FALSE(par::InParallelWorker());  // Cleared once the run returns.
+}
+
+TEST_F(ParPoolTest, DefaultBudgetRespectsTheEnvironment) {
+  par::SetParThreads(0);  // Reset to the ZEROONE_PAR / hardware default.
+  EXPECT_GE(par::par_threads(), 1u);
+  const char* env = std::getenv("ZEROONE_PAR");
+  if (env != nullptr &&
+      (std::string(env) == "off" || std::string(env) == "0")) {
+    // The par_env_off_smoke ctest instance re-runs this binary with
+    // ZEROONE_PAR=off and lands here.
+    EXPECT_EQ(par::par_threads(), 1u);
+  }
+}
+
+TEST_F(ParPoolTest, TeamWidthIsCappedByMorselsAndOptions) {
+  par::SetParThreads(8);
+  par::ForOptions one_grain;
+  one_grain.grain = 1;
+  EXPECT_LE(par::PlanMorsels(3, one_grain).workers, 3u);
+  par::ForOptions capped = one_grain;
+  capped.max_workers = 2;
+  EXPECT_LE(par::PlanMorsels(100, capped).workers, 2u);
+#if ZEROONE_PAR_ENABLED
+  EXPECT_EQ(par::PlanMorsels(100, one_grain).workers, 8u);
+#else
+  EXPECT_EQ(par::PlanMorsels(100, one_grain).workers, 1u);
+#endif
+}
+
+TEST_F(ParPoolTest, CountersAttributeMorselsAndRuns) {
+#if !ZEROONE_OBS_ENABLED || !ZEROONE_PAR_ENABLED
+  GTEST_SKIP() << "par.* counters compile away with ZEROONE_OBS/PAR=OFF";
+#endif
+  par::SetParThreads(8);
+  par::ForOptions options;
+  options.grain = 1;
+  obs::ScopedSnapshot snapshot;
+  EXPECT_TRUE(par::ParallelFor(
+      40, options, [&](const par::Morsel&, std::size_t) { return true; }));
+  EXPECT_EQ(snapshot.Delta("par.morsels"), 40u);
+  EXPECT_EQ(snapshot.Delta("par.runs"), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Fault-schedule table tests for the in-query sites: an injected fault
+// inside a datalog join or a homomorphism search must cancel the installed
+// token (the caller's signal to discard partial results) and leave the
+// process quiet — no leaked workers, no crash, subsequent clean runs exact.
+
+Database SmallGraph(std::uint64_t seed) {
+  RandomDatabaseOptions options;
+  options.relations = {{"E", 2, 8}};
+  options.constant_pool = 5;
+  options.null_pool = 2;
+  options.null_probability = 0.25;
+  options.seed = seed;
+  return GenerateRandomDatabase(options);
+}
+
+TEST_F(ParPoolTest, DatalogJoinCancelFaultAbandonsTheFixpoint) {
+  par::SetParThreads(1);  // Deterministic hit ordering for the #N schedule.
+  Database db = SmallGraph(11);
+  StatusOr<DatalogProgram> program = ParseDatalogProgram(R"(
+    T(X, Y) :- E(X, Y).
+    T(X, Z) :- E(X, Y), T(Y, Z).
+    ?- T
+  )");
+  ASSERT_TRUE(program.ok()) << program.status().message();
+  Database clean = MaterializeDatalog(*program, db);
+
+  ASSERT_TRUE(
+      fault::Registry::Global().Configure("datalog.join.cancel=#2").ok());
+  CancelToken token;
+  {
+    ScopedCancelToken scope(&token);
+    MaterializeDatalog(*program, db);  // Result discarded: token cancelled.
+  }
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(fault::Registry::Global().Stats("datalog.join.cancel").fired, 1u);
+
+  // The fault left no residue: a clean re-run reproduces the fixpoint.
+  fault::Registry::Global().Clear();
+  EXPECT_EQ(MaterializeDatalog(*program, db), clean);
+}
+
+TEST_F(ParPoolTest, HomSearchCancelFaultStopsTheSearch) {
+  par::SetParThreads(1);
+  Database a = SmallGraph(21);
+  auto clean = FindHomomorphism(a, a);  // Identity exists: nonempty search.
+  ASSERT_TRUE(clean.has_value());
+
+  ASSERT_TRUE(
+      fault::Registry::Global().Configure("hom.search.cancel=#1").ok());
+  CancelToken token;
+  {
+    ScopedCancelToken scope(&token);
+    FindHomomorphism(a, a);  // Result garbage by contract: token cancelled.
+  }
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_EQ(fault::Registry::Global().Stats("hom.search.cancel").fired, 1u);
+
+  fault::Registry::Global().Clear();
+  EXPECT_EQ(FindHomomorphism(a, a), clean);
+}
+
+TEST_F(ParPoolTest, FaultSitesFireUnderParallelTeamsWithoutLeaks) {
+  // The same two sites under an 8-wide team and probability schedules:
+  // exactness of the clean reference re-run is the no-partial-results and
+  // quiescence check (TSan/ASan CI jobs run this very test).
+  Database a = SmallGraph(33);
+  StatusOr<DatalogProgram> program = ParseDatalogProgram(R"(
+    T(X, Y) :- E(X, Y).
+    T(X, Z) :- E(X, Y), T(Y, Z).
+    ?- T
+  )");
+  ASSERT_TRUE(program.ok());
+  par::SetParThreads(1);
+  Database clean = MaterializeDatalog(*program, a);
+
+  par::SetParThreads(8);
+  ASSERT_TRUE(fault::Registry::Global()
+                  .Configure("seed=7,datalog.join.cancel=0.05,"
+                             "hom.search.cancel=0.02,par.steal.fail=0.2")
+                  .ok());
+  for (int round = 0; round < 3; ++round) {
+    CancelToken token;
+    ScopedCancelToken scope(&token);
+    MaterializeDatalog(*program, a);
+    FindHomomorphism(a, a);
+  }
+  fault::Registry::Global().Clear();
+  EXPECT_EQ(MaterializeDatalog(*program, a), clean);
+}
+
+}  // namespace
+}  // namespace zeroone

@@ -4,7 +4,12 @@
 // every connection first runs a preamble (a small incomplete database plus
 // a query with joins over nulls), then issues a rotating mix of read
 // commands (certain / possible / naive) back-to-back, measuring per-request
-// latency and tallying wire statuses. With --mutate each iteration instead
+// latency and tallying wire statuses. With --mu-heavy the preamble loads a
+// null-rich database instead and the rotation leads with uncached `muk`
+// requests — the heaviest analytical command the wire carries, evaluated on
+// the server's morsel pool — so chaos runs exercise long parallel
+// evaluations across kill windows, not just cheap reads. With --mutate
+// each iteration instead
 // inserts a unique tuple and persists it with `save`; a tuple is recorded
 // in --ack-log only once it is durably acknowledged (save returned OK with
 // no reconnect since the insert — see docs/robustness.md). --verify=FILE
@@ -33,6 +38,8 @@
 //   --seconds=N          optional wall-clock cap; stop early when exceeded
 //   --deadline-ms=N      attach @deadline_ms=N to every read request
 //   --nocache            attach @nocache to every read request
+//   --mu-heavy           analytical read mix: null-rich preamble, rotation
+//                        led by uncached muk (µ^k) requests
 //   --mutate             insert-and-save mode (see above)
 //   --ack-log=FILE       append "session token [phase]" per acknowledged
 //                        mutation
@@ -85,7 +92,16 @@ constexpr const char* kDatabase =
     "S(1) = { (a), (b), (_2) }";
 constexpr const char* kQuery = "Q(x) := exists y . R(x, y) & S(x)";
 
+// --mu-heavy: four nulls make `muk 6` enumerate 6^4 valuations per request
+// — tens of milliseconds of evaluation on the server's morsel pool, heavy
+// enough to straddle a chaos kill window but bounded for CI.
+constexpr const char* kMuHeavyDatabase =
+    "R(2) = { (c1, _1), (c2, _2), (c3, _3), (c4, _4) }";
+constexpr const char* kMuHeavyQuery = "Q(x) := exists y . R(x, y)";
+constexpr const char* kMuHeavyArgs = "6 (c1)";
+
 const char* const kReadCommands[] = {"certain", "possible", "naive", "certain"};
+const char* const kMuHeavyCommands[] = {"muk", "certain", "muk", "naive"};
 
 struct WorkerResult {
   std::vector<double> latencies_ms;
@@ -114,6 +130,7 @@ struct LoadgenOptions {
   std::uint64_t seconds = 0;
   std::uint64_t deadline_ms = 0;
   bool no_cache = false;
+  bool mu_heavy = false;
   bool mutate = false;
   std::string ack_log;
   std::string phase;  // Optional third ack-log field; tallied by --verify.
@@ -148,7 +165,8 @@ void PrintUsage(std::ostream& os) {
   os << "usage: zeroone_loadgen --port=N [--host=ADDR] [--connections=N]\n"
         "                       [--requests=N] [--seconds=N] "
         "[--deadline-ms=N] [--nocache]\n"
-        "                       [--mutate] [--ack-log=FILE] [--phase=NAME]\n"
+        "                       [--mu-heavy] [--mutate] [--ack-log=FILE] "
+        "[--phase=NAME]\n"
         "                       [--verify=FILE] [--standby-port=N]\n"
         "                       [--retry-attempts=N] [--retry-backoff-ms=N] "
         "[--seed=N]\n"
@@ -248,19 +266,30 @@ void RunReadWorker(const LoadgenOptions& options, std::size_t index,
     return request;
   };
 
-  StatusOr<Response> db_response =
-      TrackedCall(&client, make_request("db", kDatabase, false), result);
-  StatusOr<Response> query_response =
-      TrackedCall(&client, make_request("query", kQuery, false), result);
+  StatusOr<Response> db_response = TrackedCall(
+      &client,
+      make_request("db", options.mu_heavy ? kMuHeavyDatabase : kDatabase,
+                   false),
+      result);
+  StatusOr<Response> query_response = TrackedCall(
+      &client,
+      make_request("query", options.mu_heavy ? kMuHeavyQuery : kQuery, false),
+      result);
   if (!db_response.ok() || !query_response.ok()) return;
 
   for (std::size_t i = 0; i < options.requests; ++i) {
     if (std::chrono::steady_clock::now() >= stop_at) break;
-    const char* command = kReadCommands[i % (sizeof(kReadCommands) /
-                                             sizeof(kReadCommands[0]))];
+    const char* command =
+        options.mu_heavy
+            ? kMuHeavyCommands[i % (sizeof(kMuHeavyCommands) /
+                                    sizeof(kMuHeavyCommands[0]))]
+            : kReadCommands[i % (sizeof(kReadCommands) /
+                                 sizeof(kReadCommands[0]))];
+    const bool is_muk = std::string(command) == "muk";
     auto start = std::chrono::steady_clock::now();
-    StatusOr<Response> response =
-        TrackedCall(&client, make_request(command, "", true), result);
+    StatusOr<Response> response = TrackedCall(
+        &client, make_request(command, is_muk ? kMuHeavyArgs : "", true),
+        result);
     auto elapsed = std::chrono::steady_clock::now() - start;
     if (!response.ok()) return;  // Retries exhausted: server unreachable.
     result->latencies_ms.push_back(
@@ -494,6 +523,8 @@ int main(int argc, char** argv) {
       options.deadline_ms = value;
     } else if (arg == "--nocache") {
       options.no_cache = true;
+    } else if (arg == "--mu-heavy") {
+      options.mu_heavy = true;
     } else if (arg == "--mutate") {
       options.mutate = true;
     } else if (arg.rfind("--ack-log=", 0) == 0) {

@@ -85,7 +85,8 @@ void HandleSignal(int) {
 void PrintUsage(std::ostream& os) {
   os << "usage: zeroone_server [--host=ADDR] [--port=N] [--threads=N]\n"
         "                      [--queue=N] [--event-threads=N] "
-        "[--max-conns=N]\n"
+        "[--par-threads=N]\n"
+        "                      [--max-conns=N]\n"
         "                      [--legacy-readers] [--cache-bytes=N] "
         "[--deadline-ms=N]\n"
         "                      [--snapshot-dir=DIR] [--ack-mode=async|fsync]\n"
@@ -143,6 +144,9 @@ int main(int argc, char** argv) {
       options.queue_capacity = static_cast<std::size_t>(value);
     } else if (ParseUintFlag(arg, "--event-threads=", &value)) {
       options.event_threads = static_cast<std::size_t>(value);
+    } else if (ParseUintFlag(arg, "--par-threads=", &value)) {
+      // Intra-query morsel-team width; 0 = auto (hw threads / worker pool).
+      options.par_threads = static_cast<std::size_t>(value);
     } else if (ParseUintFlag(arg, "--max-conns=", &value)) {
       options.max_conns = static_cast<std::size_t>(value);
     } else if (arg == "--legacy-readers") {
