@@ -18,6 +18,11 @@
 //   6. µ-heavy analytics: a 4-worker morsel team serves the byte-identical
 //      mu^k payload of a serial server, and a deadline cancels a parallel
 //      µ^k evaluation mid-run with the session intact.
+//   7. Scale-out (consistent-hash router): forwarding a read-hot workload
+//      through zeroone::svc::Router costs at most 1.5x the direct-backend
+//      p50, and on a CPU-bound µ-heavy mix three backends deliver >=1.8x
+//      the aggregate throughput of one (gated on >=4 hardware threads —
+//      below that the backends share cores and scaling is noise).
 //
 // The server runs in-process on a loopback socket, so the measured
 // latencies include the full wire round-trip (what a client observes).
@@ -38,11 +43,13 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "common/net.h"
 #include "fault/fault.h"
 #include "svc/cache.h"
 #include "svc/client.h"
 #include "svc/dispatch.h"
 #include "svc/protocol.h"
+#include "svc/router.h"
 #include "svc/server.h"
 
 using namespace zeroone;
@@ -424,6 +431,148 @@ void ReportDurability(bench::Experiment* experiment) {
                     "replay");
 }
 
+// Scale-out: what the consistent-hash router costs and what it buys
+// (docs/serving.md, "Scaling out").
+//
+// Overhead: p50 of a read-hot workload (cached `certain` — the pure
+// serving path once the answer is cached) direct against one backend vs
+// forwarded through a router over that same backend. The router adds one
+// full extra loopback round-trip plus a queue handoff, so the claim is a
+// ratio with the same kind of absolute floor the epoll claim uses: a
+// sub-100µs direct baseline must not turn scheduler jitter into flake.
+//
+// Scaling: aggregate throughput of a CPU-bound µ-heavy mix (uncached
+// `muk`, serial per backend) through a router over three backends vs one.
+// Sessions are picked via the same HashRing the router uses so each
+// backend owns exactly two of the six workers. Gated on >=4 hardware
+// threads: with fewer cores the three backends time-share the same CPU
+// and the ratio measures the scheduler, not the architecture.
+void ReportRouter(bench::Experiment* experiment) {
+  auto start_backend = [](std::size_t par_threads) {
+    ServerOptions options;
+    options.threads = 2;
+    options.queue_capacity = 64;
+    options.par_threads = par_threads;
+    auto server = std::make_unique<Server>(options);
+    if (!server->Start().ok()) server = nullptr;
+    return server;
+  };
+  auto start_router = [](const std::vector<const Server*>& backends) {
+    RouterOptions options;
+    for (const Server* backend : backends) {
+      options.backends.push_back(HostPort{"127.0.0.1", backend->port()});
+    }
+    options.threads = 4;
+    options.queue_capacity = 64;
+    auto router = std::make_unique<Router>(options);
+    if (!router->Start().ok()) router = nullptr;
+    return router;
+  };
+
+  // --- Claim 7a: forwarding overhead on a read-hot workload. ---
+  std::unique_ptr<Server> backend = start_backend(1);
+  std::unique_ptr<Router> router;
+  if (backend != nullptr) router = start_router({backend.get()});
+  if (backend == nullptr || router == nullptr) {
+    experiment->Claim(false, "router bench cluster starts");
+    return;
+  }
+  auto read_hot_p50 = [](int port) {
+    BlockingClient client;
+    if (!client.Connect("127.0.0.1", port).ok()) return 1e9;
+    client.Call(MakeRequest("db", kColdDb, "routerbench"));
+    client.Call(MakeRequest("query", kQuery, "routerbench"));
+    client.Call(MakeRequest("certain", "", "routerbench"));  // Warm cache.
+    std::vector<double> latencies;
+    for (int i = 0; i < 200; ++i) {
+      latencies.push_back(
+          CallMs(client, MakeRequest("certain", "", "routerbench")));
+    }
+    std::sort(latencies.begin(), latencies.end());
+    return latencies[latencies.size() / 2];
+  };
+  double direct_ms = read_hot_p50(backend->port());
+  double routed_ms = read_hot_p50(router->port());
+  std::printf("router overhead: read-hot p50 direct %.3fms, via router "
+              "%.3fms (%.2fx)\n",
+              direct_ms, routed_ms,
+              direct_ms > 0 ? routed_ms / direct_ms : 0.0);
+  experiment->Claim(routed_ms <= 1.5 * direct_ms + 0.5,
+                    "router forwarding keeps read-hot p50 within 1.5x of "
+                    "direct backend");
+  router->Shutdown();
+  router = nullptr;
+  backend->Shutdown();
+  backend = nullptr;
+
+  // --- Claim 7b: 3-backend aggregate throughput on a µ-heavy mix. ---
+  const unsigned hw_threads = std::thread::hardware_concurrency();
+  if (hw_threads < 4) {
+    std::printf("router scaling claim skipped (%u hardware threads; the "
+                "3-backend ratio needs >=4)\n",
+                hw_threads);
+    return;
+  }
+  // Six sessions, two owned by each of the three backends — found by
+  // walking candidate names through the identical ring the router builds.
+  HashRing ring(3, 64);
+  std::vector<std::string> sessions;
+  std::vector<int> owned(3, 0);
+  for (int candidate = 0; sessions.size() < 6 && candidate < 1000;
+       ++candidate) {
+    std::string name = "scale" + std::to_string(candidate);
+    std::size_t owner = ring.Owner(name);
+    if (owned[owner] < 2) {
+      ++owned[owner];
+      sessions.push_back(std::move(name));
+    }
+  }
+  auto aggregate_qps = [&](std::size_t backend_count) {
+    std::vector<std::unique_ptr<Server>> backends;
+    std::vector<const Server*> raw;
+    for (std::size_t i = 0; i < backend_count; ++i) {
+      backends.push_back(start_backend(1));
+      if (backends.back() == nullptr) return -1.0;
+      raw.push_back(backends.back().get());
+    }
+    std::unique_ptr<Router> front = start_router(raw);
+    if (front == nullptr) return -1.0;
+    constexpr int kPerClient = 6;
+    std::vector<std::thread> clients;
+    auto start = std::chrono::steady_clock::now();
+    for (const std::string& session : sessions) {
+      clients.emplace_back([&, session] {
+        BlockingClient client;
+        if (!client.Connect("127.0.0.1", front->port()).ok()) return;
+        client.Call(MakeRequest("db", kColdDb, session));
+        client.Call(MakeRequest("query", kQuery, session));
+        for (int i = 0; i < kPerClient; ++i) {
+          Request heavy = MakeRequest("muk", "6 (c1)", session);
+          heavy.no_cache = true;
+          client.Call(heavy);
+        }
+      });
+    }
+    for (std::thread& t : clients) t.join();
+    double wall_s = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+    front->Shutdown();
+    for (auto& b : backends) b->Shutdown();
+    return wall_s > 0
+               ? static_cast<double>(sessions.size() * kPerClient) / wall_s
+               : -1.0;
+  };
+  double one_qps = aggregate_qps(1);
+  double three_qps = aggregate_qps(3);
+  std::printf("router scaling: mu-heavy aggregate %.1f req/s on 1 backend, "
+              "%.1f req/s on 3 (%.2fx)\n",
+              one_qps, three_qps, one_qps > 0 ? three_qps / one_qps : 0.0);
+  experiment->Claim(one_qps > 0 && three_qps >= 1.8 * one_qps,
+                    "three backends deliver >=1.8x the aggregate mu-heavy "
+                    "throughput of one");
+}
+
 #if ZEROONE_FAULT_ENABLED
 // Degraded mode: every request is forced through a fresh evaluation
 // (~20ms), so a retried request costs roughly one extra evaluation plus a
@@ -547,6 +696,7 @@ int main(int argc, char** argv) {
   ReportEpollScaling(&experiment);
   ReportMuHeavy(&experiment);
   ReportDurability(&experiment);
+  ReportRouter(&experiment);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return experiment.Finish();

@@ -431,3 +431,15 @@ s.bind(("127.0.0.1", 0)); print(s.getsockname()[1])')"
        "death survived, $(wc -l < "$fo_acklog") acked mutations all served" \
        "by the promoted standby)"
 fi
+
+# ---------------------------------------------------------------------------
+# Shard pass: the same zero-acked-loss and eventual-success contracts behind
+# the consistent-hash router — three backends, one SIGKILLed mid-load and
+# restarted, placement re-checked against the recomputed ring
+# (scripts/shard_serving.sh has the battery). Requires the zeroone_router
+# binary; set CHAOS_SKIP_SHARD=1 to run only the single-server batteries.
+if [[ -z "${CHAOS_SECOND_PASS:-}" && -z "${CHAOS_SKIP_SHARD:-}" ]]; then
+  echo ""
+  echo "chaos_serving: shard pass (3 backends behind the router)"
+  "$(dirname "$0")/shard_serving.sh" "$build_dir"
+fi

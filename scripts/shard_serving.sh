@@ -1,0 +1,230 @@
+#!/usr/bin/env bash
+# Sharded serving chaos test: three zeroone_server backends (each with its
+# own snapshot dir) behind the consistent-hash zeroone_router
+# (docs/serving.md, "Scaling out"), then assert the scale-out contracts:
+#
+#   1. Deterministic placement: loadgen recomputes the router's ring via
+#      --endpoints and every session with state must live on the shard the
+#      ring predicts — before AND after a backend was killed and restarted.
+#   2. Zero acknowledged-mutation loss across a backend SIGKILL: every
+#      tuple in the ack-log must be visible on SOME endpoint. Writes acked
+#      while the owner was dead live on a failover backend; writes acked
+#      before the kill reload from the owner's snapshot dir.
+#   3. 100% eventual client success: the mid-kill load must finish without
+#      exhausting retries (the router fails over, then routes back).
+#   4. The HTTP/JSON gateway speaks through the same router: a JSON
+#      mutation must land on the ring and read back through HTTP.
+#
+#   scripts/shard_serving.sh [build-dir]   # default: build
+set -euo pipefail
+
+build_dir="${1:-build}"
+server="$build_dir/tools/zeroone_server"
+loadgen="$build_dir/tools/zeroone_loadgen"
+router="$build_dir/tools/zeroone_router"
+for binary in "$server" "$loadgen" "$router"; do
+  if [[ ! -x "$binary" ]]; then
+    echo "missing binary: $binary (build the zeroone_server," \
+         "zeroone_loadgen, and zeroone_router targets first)" >&2
+    exit 1
+  fi
+done
+
+workdir="$(mktemp -d)"
+backend_pids=("" "" "")
+router_pid=""
+cleanup() {
+  [[ -n "$router_pid" ]] && kill -KILL "$router_pid" 2>/dev/null || true
+  for pid in "${backend_pids[@]}"; do
+    [[ -n "$pid" ]] && kill -KILL "$pid" 2>/dev/null || true
+  done
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+acklog="$workdir/acks.log"
+connections=8
+seed=71
+
+# Fixed ports so a restarted backend is reachable at the same ring slot;
+# --bind-retry-ms absorbs lingering sockets from the killed pid.
+pick_port() {
+  python3 -c 'import socket; s = socket.socket();
+s.bind(("127.0.0.1", 0)); print(s.getsockname()[1])'
+}
+backend_ports=("$(pick_port)" "$(pick_port)" "$(pick_port)")
+endpoints="127.0.0.1:${backend_ports[0]},127.0.0.1:${backend_ports[1]}"
+endpoints+=",127.0.0.1:${backend_ports[2]}"
+
+backend_epoch=(0 0 0)
+start_backend() {  # $1 = backend index
+  local i="$1"
+  backend_epoch[$i]=$((backend_epoch[$i] + 1))
+  local out="$workdir/backend$i.${backend_epoch[$i]}.out"
+  local err="$workdir/backend$i.${backend_epoch[$i]}.err"
+  "$server" --port="${backend_ports[$i]}" --threads=2 --queue=64 \
+    --snapshot-dir="$workdir/backend$i" --bind-retry-ms=5000 \
+    > "$out" 2> "$err" &
+  backend_pids[$i]=$!
+  for _ in $(seq 1 100); do
+    grep -q "^listening on " "$out" && return 0
+    if ! kill -0 "${backend_pids[$i]}" 2>/dev/null; then break; fi
+    sleep 0.1
+  done
+  echo "backend $i epoch ${backend_epoch[$i]} did not come up; stderr:" >&2
+  cat "$err" >&2
+  return 1
+}
+
+for i in 0 1 2; do start_backend "$i"; done
+router_port="$(pick_port)"
+router_http_port="$(pick_port)"
+"$router" --backends="$endpoints" --port="$router_port" \
+  --http-port="$router_http_port" --down-cooldown-ms=200 \
+  > "$workdir/router.out" 2> "$workdir/router.err" &
+router_pid=$!
+for _ in $(seq 1 100); do
+  grep -q "^http listening on " "$workdir/router.out" && break
+  sleep 0.1
+done
+echo "router on $router_port (http $router_http_port) -> $endpoints"
+
+run_mutate() {  # $1 = phase, extra flags follow
+  local phase="$1"; shift
+  "$loadgen" --port="$router_port" --mutate \
+    --connections="$connections" --ack-log="$acklog" --phase="$phase" \
+    --seed="$seed" --retry-attempts=12 --retry-backoff-ms=20 "$@"
+}
+
+# Phase 1 (prekill): all backends healthy; placement must be perfect.
+run_mutate prekill --requests=20 --endpoints="$endpoints" \
+  > "$workdir/prekill.json" 2> "$workdir/prekill.err"
+cat "$workdir/prekill.err" >&2
+python3 - "$workdir/prekill.json" <<'EOF'
+import json, sys
+summary = json.load(open(sys.argv[1]))
+placement = summary.get("placement", {})
+if summary.get("acked", 0) <= 0:
+    sys.exit("prekill acked nothing: %s" % summary)
+if placement.get("checked", 0) <= 0 or \
+        placement["matches"] != placement["checked"]:
+    sys.exit("prekill placement not deterministic: %s" % placement)
+print("prekill: %d acked, placement %d/%d"
+      % (summary["acked"], placement["matches"], placement["checked"]))
+EOF
+
+# HTTP leg through the router's gateway: insert via JSON, read it back.
+http_body="$(curl -sS -X POST \
+  "http://127.0.0.1:$router_http_port/v1/query" \
+  -d '{"command": "db", "session": "httpshard",
+       "args": "H(1) = { (via_http) }"}')"
+case "$http_body" in
+  *'"status":"OK"'*) ;;
+  *) echo "HTTP mutation through router failed: $http_body" >&2; exit 1 ;;
+esac
+http_body="$(curl -sS -X POST \
+  "http://127.0.0.1:$router_http_port/v1/query" \
+  -d '{"command": "show", "session": "httpshard"}')"
+case "$http_body" in
+  *via_http*) ;;
+  *) echo "HTTP read-back through router failed: $http_body" >&2; exit 1 ;;
+esac
+echo "http gateway through router: mutation visible"
+
+# Phase 2 (midkill): SIGKILL backend 0 while the load is running. The
+# router must fail its sessions over; every request must still succeed.
+run_mutate midkill --requests=4000 --seconds=6 \
+  > "$workdir/midkill.json" 2> "$workdir/midkill.err" &
+loadgen_pid=$!
+sleep 0.4
+if ! kill -0 "$loadgen_pid" 2>/dev/null; then
+  echo "shard_serving: FAIL — midkill loadgen finished before the kill;" \
+       "raise requests= so traffic spans it" >&2
+  exit 1
+fi
+kill -KILL "${backend_pids[0]}" 2>/dev/null || true
+wait "${backend_pids[0]}" 2>/dev/null || true
+echo "backend 0 SIGKILLed mid-load"
+sleep 1
+start_backend 0
+echo "backend 0 restarted on port ${backend_ports[0]}" \
+     "(epoch ${backend_epoch[0]})"
+loadgen_rc=0
+wait "$loadgen_pid" || loadgen_rc=$?
+cat "$workdir/midkill.err" >&2
+echo "midkill summary: $(cat "$workdir/midkill.json")"
+if [[ "$loadgen_rc" -ne 0 ]]; then
+  echo "shard_serving: FAIL — midkill loadgen exited $loadgen_rc" \
+       "(eventual success violated across the backend kill)" >&2
+  exit 1
+fi
+
+# Let the router's down-cooldown lapse so sessions route home again.
+sleep 0.5
+
+# Phase 3 (postkill): the restarted backend is back on its ring slot, so
+# placement must be perfect again — same ring, same owners.
+run_mutate postkill --requests=20 --endpoints="$endpoints" \
+  > "$workdir/postkill.json" 2> "$workdir/postkill.err"
+cat "$workdir/postkill.err" >&2
+python3 - "$workdir/postkill.json" <<'EOF'
+import json, sys
+summary = json.load(open(sys.argv[1]))
+placement = summary.get("placement", {})
+if summary.get("acked", 0) <= 0:
+    sys.exit("postkill acked nothing: %s" % summary)
+if placement.get("checked", 0) <= 0 or \
+        placement["matches"] != placement["checked"]:
+    sys.exit("postkill placement not deterministic after the restart: %s"
+             % placement)
+print("postkill: %d acked, placement %d/%d"
+      % (summary["acked"], placement["matches"], placement["checked"]))
+EOF
+
+# The moment of truth: every acknowledged tuple from every phase must be
+# visible on some endpoint — the owner's reloaded snapshot, or wherever the
+# failover landed it while the owner was dead.
+echo "verify: $(wc -l < "$acklog") acknowledged mutations across 3 phases"
+if ! "$loadgen" --port="$router_port" --verify="$acklog" \
+    --endpoints="$endpoints" > "$workdir/verify.json" \
+    2> "$workdir/verify.err"; then
+  cat "$workdir/verify.err" >&2
+  echo "shard_serving: FAIL — acknowledged writes lost across the kill" >&2
+  exit 1
+fi
+cat "$workdir/verify.err" >&2
+echo "verify summary: $(cat "$workdir/verify.json")"
+python3 - "$workdir/verify.json" <<'EOF'
+import json, sys
+verify = json.load(open(sys.argv[1]))
+if verify.get("missing", 1) != 0:
+    sys.exit("acked writes missing: %s" % verify)
+for phase in ("prekill", "midkill", "postkill"):
+    tally = verify.get("phases", {}).get(phase)
+    if not tally or tally.get("verified", 0) <= 0:
+        sys.exit("phase %s has no verified writes: %s" % (phase, verify))
+print("all phases verified: %d tuples, 0 missing" % verify["verified"])
+EOF
+
+# Graceful drain: router first, then every backend, all exiting 0.
+kill -TERM "$router_pid"
+rc=0; wait "$router_pid" || rc=$?
+router_pid=""
+if [[ "$rc" -ne 0 ]]; then
+  echo "shard_serving: FAIL — router exited $rc on SIGTERM" >&2
+  cat "$workdir/router.err" >&2
+  exit 1
+fi
+for i in 0 1 2; do
+  kill -TERM "${backend_pids[$i]}"
+  rc=0; wait "${backend_pids[$i]}" || rc=$?
+  backend_pids[$i]=""
+  if [[ "$rc" -ne 0 ]]; then
+    echo "shard_serving: FAIL — backend $i exited $rc on SIGTERM" >&2
+    exit 1
+  fi
+done
+
+echo "shard_serving: PASS (backend kill survived," \
+     "$(wc -l < "$acklog") acked mutations verified, placement" \
+     "deterministic before and after the restart)"

@@ -1,0 +1,52 @@
+#include "common/net.h"
+
+#include "common/parse.h"
+
+namespace zeroone {
+
+StatusOr<HostPort> ParseHostPort(std::string_view text) {
+  const std::size_t colon = text.rfind(':');
+  if (colon == std::string_view::npos) {
+    return Status::Error("bad endpoint '", text, "' (want HOST:PORT)");
+  }
+  std::string_view host = text.substr(0, colon);
+  if (host.empty()) {
+    return Status::Error("bad endpoint '", text, "': empty host");
+  }
+  if (host.find(':') != std::string_view::npos) {
+    return Status::Error("bad endpoint '", text,
+                         "': host contains ':' (IPv6 is not supported)");
+  }
+  ZO_ASSIGN_OR_RETURN(std::uint64_t port, ParseUint64(text.substr(colon + 1)));
+  if (port == 0 || port > 65535) {
+    return Status::Error("bad endpoint '", text, "': port ", port,
+                         " out of range 1..65535");
+  }
+  HostPort endpoint;
+  endpoint.host = std::string(host);
+  endpoint.port = static_cast<int>(port);
+  return endpoint;
+}
+
+StatusOr<std::vector<HostPort>> ParseEndpointList(std::string_view text) {
+  std::vector<HostPort> endpoints;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t comma = text.find(',', start);
+    std::string_view segment =
+        comma == std::string_view::npos
+            ? text.substr(start)
+            : text.substr(start, comma - start);
+    ZO_ASSIGN_OR_RETURN(HostPort endpoint, ParseHostPort(segment));
+    endpoints.push_back(std::move(endpoint));
+    if (comma == std::string_view::npos) break;
+    start = comma + 1;
+  }
+  return endpoints;
+}
+
+std::string FormatHostPort(const HostPort& endpoint) {
+  return StrCat(endpoint.host, ":", endpoint.port);
+}
+
+}  // namespace zeroone

@@ -1,0 +1,44 @@
+#ifndef ZEROONE_COMMON_NET_H_
+#define ZEROONE_COMMON_NET_H_
+
+// Shared parsing for network endpoints. Every surface that accepts a
+// "host:port" (zeroone_server --follow, zeroone_router --backends,
+// zeroone_loadgen --endpoints) goes through these helpers instead of
+// hand-rolling the split, so the accepted grammar — and the rejection of
+// overflowed or out-of-range ports — is identical everywhere.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace zeroone {
+
+struct HostPort {
+  std::string host;
+  int port = 0;
+
+  bool operator==(const HostPort& other) const {
+    return host == other.host && port == other.port;
+  }
+};
+
+// Parses "host:port". The host may not be empty or contain ':' (numeric
+// IPv4 or a resolvable name; bracketed IPv6 is not supported by the
+// transport). The port is overflow-checked via ParseUint64 and must lie in
+// 1..65535 — 0 is rejected because every flag that takes a peer endpoint
+// needs a concrete port, not "pick one".
+StatusOr<HostPort> ParseHostPort(std::string_view text);
+
+// Parses a comma-separated endpoint list ("a:1,b:2,c:3"). Empty segments
+// and empty lists are rejected; order is preserved (consistent-hash rings
+// are built over the list order, so it is part of the contract).
+StatusOr<std::vector<HostPort>> ParseEndpointList(std::string_view text);
+
+// "host:port" — the inverse of ParseHostPort.
+std::string FormatHostPort(const HostPort& endpoint);
+
+}  // namespace zeroone
+
+#endif  // ZEROONE_COMMON_NET_H_

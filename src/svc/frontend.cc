@@ -1,0 +1,50 @@
+#include "svc/frontend.h"
+
+#include <utility>
+
+namespace zeroone {
+namespace svc {
+
+void Zo1LineHandler::OnData(std::string_view bytes) {
+  input_.append(bytes.data(), bytes.size());
+  std::size_t newline;
+  while ((newline = input_.find('\n')) != std::string::npos) {
+    std::string line = input_.substr(0, newline);
+    input_.erase(0, newline + 1);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;  // Blank keep-alive line.
+    sink_->Submit(channel_->shared_from_this(), std::move(line),
+                  [](const Response& response) {
+                    return FormatResponse(response);
+                  });
+  }
+  if (input_.size() > kMaxRequestBytes) {
+    // Framing is unrecoverable once a line overruns the cap: answer
+    // BAD_REQUEST and stop reading this connection.
+    std::uint64_t seq = channel_->ReserveSlot();
+    channel_->CompleteSlot(
+        seq, FormatResponse(Response{
+                 WireStatus::kBadRequest, "0",
+                 StrCat("request line exceeds ", kMaxRequestBytes,
+                        " bytes")}));
+    sink_->OnWireError();
+    channel_->AbortReading();
+  }
+}
+
+std::string Zo1RefusalFrame(RefusalReason reason, std::size_t max_conns) {
+  switch (reason) {
+    case RefusalReason::kMaxConns:
+      return FormatResponse(Response{
+          WireStatus::kOverloaded, "0",
+          StrCat("connection limit reached (--max-conns=", max_conns,
+                 "); retry later")});
+    case RefusalReason::kShuttingDown:
+      break;
+  }
+  return FormatResponse(
+      Response{WireStatus::kShuttingDown, "0", "server draining"});
+}
+
+}  // namespace svc
+}  // namespace zeroone

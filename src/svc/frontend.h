@@ -1,0 +1,79 @@
+#ifndef ZEROONE_SVC_FRONTEND_H_
+#define ZEROONE_SVC_FRONTEND_H_
+
+// The seam between wire protocols and request execution.
+//
+// A RequestSink is anything that can execute one ZO1 request line and
+// eventually answer it: the Server (parse → admit → BoundedExecutor →
+// Dispatcher) and the shard Router (parse → consistent-hash → forward to a
+// backend) both implement it. Protocol handlers sit in front of a sink:
+// Zo1LineHandler (here) does newline framing, svc/http.h translates
+// HTTP/1.1 + JSON into the same request lines. Because every front-end
+// funnels through the one sink with the one line grammar, the HTTP gateway
+// inherits the ZO1 parse errors, admission responses, and dispatcher
+// payloads verbatim — tests/svc_http_test.cc asserts that parity.
+//
+// The Encoder passed to Submit localizes protocol framing: the sink
+// produces wire-level Response structs and the protocol decides the bytes
+// (a ZO1 frame, an HTTP response, ...).
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "svc/protocol.h"
+#include "svc/transport.h"
+
+namespace zeroone {
+namespace svc {
+
+class RequestSink {
+ public:
+  // Encodes one wire response into the submitting protocol's frame bytes.
+  // Called from worker threads; must be thread-safe and self-contained.
+  using Encoder = std::function<std::string(const Response&)>;
+
+  virtual ~RequestSink() = default;
+
+  // Executes one ZO1 request line read from `channel`. The sink reserves
+  // the channel's next response slot immediately (preserving pipeline
+  // order) and completes it with encoder(response) when done — possibly
+  // before Submit returns (parse errors, admission rejections).
+  virtual void Submit(const std::shared_ptr<Channel>& channel,
+                      std::string line, Encoder encoder) = 0;
+
+  // Accounting hook for input the wire layer rejected before it could
+  // reach Submit (oversized line, malformed HTTP head). The protocol
+  // handler has already answered the peer through its channel.
+  virtual void OnWireError() = 0;
+};
+
+// ZO1 newline framing over a Channel: splits raw bytes into lines, strips
+// an optional trailing CR, skips blank keep-alive lines, and submits each
+// line to the sink with the ZO1 frame encoder. A line overrunning
+// kMaxRequestBytes is unrecoverable (the stream cannot be re-synced):
+// answer BAD_REQUEST in-slot and tear the read side down.
+class Zo1LineHandler : public ProtocolHandler {
+ public:
+  Zo1LineHandler(Channel* channel, RequestSink* sink)
+      : channel_(channel), sink_(sink) {}
+
+  void OnData(std::string_view bytes) override;
+
+ private:
+  Channel* const channel_;  // The owning Conn outlives its handler.
+  RequestSink* const sink_;
+  std::string input_;  // Bytes past the last complete line.
+};
+
+// Accept-time refusal bytes for ZO1 listeners (TransportHooks::
+// refusal_frame): an OVERLOADED frame for the max_conns admission limit, a
+// SHUTTING_DOWN frame for connections racing the drain.
+std::string Zo1RefusalFrame(RefusalReason reason, std::size_t max_conns);
+
+}  // namespace svc
+}  // namespace zeroone
+
+#endif  // ZEROONE_SVC_FRONTEND_H_

@@ -1,0 +1,628 @@
+#include "svc/http.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "common/parse.h"
+#include "obs/metrics.h"
+
+namespace zeroone {
+namespace svc {
+
+namespace {
+
+std::string_view ReasonFor(int code) {
+  switch (code) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Payload Too Large";
+    case 422: return "Unprocessable Content";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    default: return "Unknown";
+  }
+}
+
+std::string BuildHttpResponse(int code, std::string_view reason,
+                              std::string_view body, bool keep_alive) {
+  return StrCat("HTTP/1.1 ", code, " ", reason,
+                "\r\nContent-Type: application/json\r\nContent-Length: ",
+                body.size(), "\r\nConnection: ",
+                keep_alive ? "keep-alive" : "close", "\r\n\r\n", body);
+}
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string_view Trim(std::string_view text) {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t')) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t')) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+// ---------------------------------------------------------------------------
+// A deliberately small JSON reader: one flat object of string / unsigned
+// integer / boolean / null values — exactly the /v1/query body shape.
+// Anything else (arrays, nesting, floats) is rejected with a message
+// naming the problem; malformed bodies must never crash the gateway
+// (tests/svc_fuzz_test.cc).
+
+struct JsonValue {
+  enum class Kind { kString, kNumber, kBool, kNull };
+  Kind kind = Kind::kNull;
+  std::string str;
+  std::uint64_t num = 0;
+  bool boolean = false;
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(std::string_view text) : text_(text) {}
+
+  StatusOr<std::vector<std::pair<std::string, JsonValue>>> ReadObject() {
+    SkipSpace();
+    if (!Consume('{')) {
+      return Status::Error("body is not a JSON object");
+    }
+    std::vector<std::pair<std::string, JsonValue>> fields;
+    SkipSpace();
+    if (Consume('}')) {
+      return Finish(std::move(fields));
+    }
+    for (;;) {
+      SkipSpace();
+      ZO_ASSIGN_OR_RETURN(std::string key, ReadString());
+      SkipSpace();
+      if (!Consume(':')) {
+        return Status::Error("expected ':' after JSON key '", key, "'");
+      }
+      SkipSpace();
+      ZO_ASSIGN_OR_RETURN(JsonValue value, ReadValue());
+      fields.emplace_back(std::move(key), std::move(value));
+      SkipSpace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return Finish(std::move(fields));
+      return Status::Error("expected ',' or '}' in JSON object");
+    }
+  }
+
+ private:
+  StatusOr<std::vector<std::pair<std::string, JsonValue>>> Finish(
+      std::vector<std::pair<std::string, JsonValue>> fields) {
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::Error("trailing data after JSON object");
+    }
+    return fields;
+  }
+
+  StatusOr<JsonValue> ReadValue() {
+    if (pos_ >= text_.size()) {
+      return Status::Error("truncated JSON value");
+    }
+    char c = text_[pos_];
+    JsonValue value;
+    if (c == '"') {
+      ZO_ASSIGN_OR_RETURN(value.str, ReadString());
+      value.kind = JsonValue::Kind::kString;
+      return value;
+    }
+    if (c >= '0' && c <= '9') {
+      std::size_t start = pos_;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+      }
+      if (pos_ < text_.size() &&
+          (text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E')) {
+        return Status::Error("JSON numbers must be unsigned integers");
+      }
+      ZO_ASSIGN_OR_RETURN(value.num,
+                          ParseUint64(text_.substr(start, pos_ - start)));
+      value.kind = JsonValue::Kind::kNumber;
+      return value;
+    }
+    if (ConsumeWord("true")) {
+      value.kind = JsonValue::Kind::kBool;
+      value.boolean = true;
+      return value;
+    }
+    if (ConsumeWord("false")) {
+      value.kind = JsonValue::Kind::kBool;
+      value.boolean = false;
+      return value;
+    }
+    if (ConsumeWord("null")) {
+      value.kind = JsonValue::Kind::kNull;
+      return value;
+    }
+    return Status::Error("unsupported JSON value (want string, unsigned "
+                         "integer, boolean, or null)");
+  }
+
+  StatusOr<std::string> ReadString() {
+    if (!Consume('"')) {
+      return Status::Error("expected a JSON string");
+    }
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        // RFC 8259: control characters must be escaped. Enforcing it also
+        // guarantees an assembled request line cannot contain a raw
+        // newline — framing bytes never enter through a JSON body.
+        if (static_cast<unsigned char>(c) < 0x20) {
+          return Status::Error(
+              "unescaped control character in JSON string");
+        }
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return Status::Error("truncated \\u escape in JSON string");
+          }
+          std::uint32_t code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<std::uint32_t>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<std::uint32_t>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<std::uint32_t>(h - 'A' + 10);
+            } else {
+              return Status::Error("bad \\u escape in JSON string");
+            }
+          }
+          // BMP only; surrogate pairs are out of scope for query bodies.
+          if (code >= 0xD800 && code <= 0xDFFF) {
+            return Status::Error("surrogate \\u escapes are not supported");
+          }
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Status::Error("bad escape '\\", std::string(1, esc),
+                               "' in JSON string");
+      }
+    }
+    return Status::Error("unterminated JSON string");
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out.push_back(kHex[(c >> 4) & 0xF]);
+          out.push_back(kHex[c & 0xF]);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+StatusOr<std::string> AssembleQueryLine(std::string_view json_body) {
+  JsonReader reader(json_body);
+  ZO_ASSIGN_OR_RETURN(auto fields, reader.ReadObject());
+  std::string command;
+  std::string args;
+  std::string options;  // "@..."-prefixed, space-joined.
+  bool have_command = false;
+  std::vector<std::string_view> seen;
+  for (auto& [key, value] : fields) {
+    for (std::string_view prior : seen) {
+      if (prior == key) {
+        return Status::Error("duplicate field '", key, "'");
+      }
+    }
+    seen.push_back(key);
+    if (value.kind == JsonValue::Kind::kNull) continue;  // Same as absent.
+    auto want_string = [&](const JsonValue& v) -> Status {
+      if (v.kind != JsonValue::Kind::kString) {
+        return Status::Error("field '", key, "' must be a string");
+      }
+      return Status::Ok();
+    };
+    auto want_bool = [&](const JsonValue& v) -> Status {
+      if (v.kind != JsonValue::Kind::kBool) {
+        return Status::Error("field '", key, "' must be a boolean");
+      }
+      return Status::Ok();
+    };
+    if (key == "command") {
+      ZO_RETURN_IF_ERROR(want_string(value));
+      command = std::move(value.str);
+      have_command = true;
+    } else if (key == "args") {
+      ZO_RETURN_IF_ERROR(want_string(value));
+      args = std::move(value.str);
+    } else if (key == "id") {
+      ZO_RETURN_IF_ERROR(want_string(value));
+      if (!value.str.empty()) {
+        options += StrCat("@id=", value.str, " ");
+      }
+    } else if (key == "session") {
+      ZO_RETURN_IF_ERROR(want_string(value));
+      if (!value.str.empty()) {
+        options += StrCat("@session=", value.str, " ");
+      }
+    } else if (key == "deadline_ms") {
+      if (value.kind != JsonValue::Kind::kNumber) {
+        return Status::Error("field 'deadline_ms' must be an unsigned "
+                             "integer");
+      }
+      if (value.num != 0) {
+        options += StrCat("@deadline_ms=", value.num, " ");
+      }
+    } else if (key == "nocache") {
+      ZO_RETURN_IF_ERROR(want_bool(value));
+      if (value.boolean) options += "@nocache ";
+    } else if (key == "explain") {
+      ZO_RETURN_IF_ERROR(want_bool(value));
+      if (value.boolean) options += "@explain=1 ";
+    } else {
+      return Status::Error("unknown field '", key,
+                           "' (want command, args, id, session, "
+                           "deadline_ms, nocache, explain)");
+    }
+  }
+  if (!have_command) {
+    return Status::Error("missing required field 'command'");
+  }
+  // The assembled line goes through the sink's ZO1 parser unmodified, so a
+  // token the grammar rejects (bad id shape, unknown command, an embedded
+  // control byte) earns exactly the BAD_REQUEST a raw ZO1 client would get.
+  std::string line = std::move(options);
+  line += command;
+  if (!args.empty()) {
+    line += ' ';
+    line += args;
+  }
+  return line;
+}
+
+int HttpHandler::HttpStatusFor(WireStatus status) {
+  switch (status) {
+    case WireStatus::kOk: return 200;
+    case WireStatus::kErr: return 422;
+    case WireStatus::kBadRequest: return 400;
+    case WireStatus::kOverloaded: return 503;
+    case WireStatus::kDeadlineExceeded: return 504;
+    case WireStatus::kShuttingDown: return 503;
+    case WireStatus::kUnavailable: return 503;
+  }
+  return 500;
+}
+
+std::string HttpHandler::EncodeQueryResponse(const Response& response,
+                                             bool keep_alive) {
+  int code = HttpStatusFor(response.status);
+  std::string body =
+      StrCat("{\"status\":\"", WireStatusName(response.status),
+             "\",\"id\":\"", JsonEscape(response.id), "\",\"payload\":\"",
+             JsonEscape(response.payload), "\"}");
+  return BuildHttpResponse(code, ReasonFor(code), body, keep_alive);
+}
+
+std::string HttpRefusalFrame(RefusalReason reason, std::size_t max_conns) {
+  // Same payload strings as the ZO1 refusal frames (Zo1RefusalFrame), so
+  // both fronts describe the same condition identically.
+  if (reason == RefusalReason::kMaxConns) {
+    return BuildHttpResponse(
+        503, ReasonFor(503),
+        StrCat("{\"status\":\"OVERLOADED\",\"id\":\"0\",\"payload\":\"",
+               JsonEscape(StrCat("connection limit reached (--max-conns=",
+                                 max_conns, "); retry later")),
+               "\"}"),
+        /*keep_alive=*/false);
+  }
+  return BuildHttpResponse(
+      503, ReasonFor(503),
+      "{\"status\":\"SHUTTING_DOWN\",\"id\":\"0\",\"payload\":\"server "
+      "draining\"}",
+      /*keep_alive=*/false);
+}
+
+HttpHandler::HttpHandler(Channel* channel, RequestSink* sink,
+                         const HttpOptions& options)
+    : channel_(channel), sink_(sink), options_(options) {}
+
+void HttpHandler::OnData(std::string_view bytes) {
+  if (state_ == State::kClosed) return;
+  buffer_.append(bytes.data(), bytes.size());
+  ProcessBuffer();
+}
+
+void HttpHandler::ProcessBuffer() {
+  for (;;) {
+    if (state_ == State::kHead) {
+      // The head ends at the first blank line; tolerate bare-LF clients.
+      std::size_t crlf = buffer_.find("\r\n\r\n");
+      std::size_t lf = buffer_.find("\n\n");
+      std::size_t head_len;
+      std::size_t term_len;
+      if (crlf != std::string::npos &&
+          (lf == std::string::npos || crlf < lf)) {
+        head_len = crlf;
+        term_len = 4;
+      } else if (lf != std::string::npos) {
+        head_len = lf;
+        term_len = 2;
+      } else {
+        if (buffer_.size() > options_.max_head_bytes) {
+          FailAndClose(413, ReasonFor(413),
+                       StrCat("{\"error\":\"request head exceeds ",
+                              options_.max_head_bytes, " bytes\"}"));
+        }
+        return;  // Await more bytes.
+      }
+      if (head_len > options_.max_head_bytes) {
+        FailAndClose(413, ReasonFor(413),
+                     StrCat("{\"error\":\"request head exceeds ",
+                            options_.max_head_bytes, " bytes\"}"));
+        return;
+      }
+      std::string head = buffer_.substr(0, head_len);
+      buffer_.erase(0, head_len + term_len);
+      if (!ParseHead(head)) return;  // Answered and closed.
+      state_ = State::kBody;
+    }
+    if (state_ == State::kBody) {
+      if (buffer_.size() < content_length_) return;  // Await the body.
+      std::string body = buffer_.substr(0, content_length_);
+      buffer_.erase(0, content_length_);
+      state_ = State::kHead;
+      DispatchRequest(std::move(body));
+    }
+    if (state_ == State::kClosed) return;
+  }
+}
+
+bool HttpHandler::ParseHead(std::string_view head) {
+  // Split into lines; each may carry a trailing CR (mixed-ending clients).
+  std::vector<std::string_view> lines;
+  std::size_t start = 0;
+  while (start <= head.size()) {
+    std::size_t nl = head.find('\n', start);
+    std::string_view line = nl == std::string_view::npos
+                                ? head.substr(start)
+                                : head.substr(start, nl - start);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    lines.push_back(line);
+    if (nl == std::string_view::npos) break;
+    start = nl + 1;
+  }
+  if (lines.empty() || lines[0].empty()) {
+    FailAndClose(400, ReasonFor(400),
+                 "{\"error\":\"malformed request line\"}");
+    return false;
+  }
+  // Request line: METHOD SP TARGET SP VERSION, single spaces, no extras.
+  std::string_view request_line = lines[0];
+  std::size_t sp1 = request_line.find(' ');
+  std::size_t sp2 = sp1 == std::string_view::npos
+                        ? std::string_view::npos
+                        : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+      sp1 == 0 || sp2 == sp1 + 1 || sp2 + 1 >= request_line.size() ||
+      request_line.find(' ', sp2 + 1) != std::string_view::npos) {
+    FailAndClose(400, ReasonFor(400),
+                 "{\"error\":\"malformed request line\"}");
+    return false;
+  }
+  method_ = std::string(request_line.substr(0, sp1));
+  target_ = std::string(request_line.substr(sp1 + 1, sp2 - sp1 - 1));
+  std::string_view version = request_line.substr(sp2 + 1);
+  if (version != "HTTP/1.1" && version != "HTTP/1.0") {
+    FailAndClose(400, ReasonFor(400),
+                 StrCat("{\"error\":\"unsupported HTTP version '",
+                        JsonEscape(version), "'\"}"));
+    return false;
+  }
+  keep_alive_ = version == "HTTP/1.1";
+  content_length_ = 0;
+  bool have_length = false;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    std::string_view line = lines[i];
+    if (line.empty()) continue;
+    std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      FailAndClose(400, ReasonFor(400),
+                   "{\"error\":\"malformed header line\"}");
+      return false;
+    }
+    std::string_view name = Trim(line.substr(0, colon));
+    std::string_view value = Trim(line.substr(colon + 1));
+    if (EqualsIgnoreCase(name, "content-length")) {
+      StatusOr<std::uint64_t> parsed = ParseUint64(value);
+      if (!parsed.ok()) {
+        FailAndClose(400, ReasonFor(400),
+                     StrCat("{\"error\":\"bad Content-Length '",
+                            JsonEscape(value), "'\"}"));
+        return false;
+      }
+      if (have_length && *parsed != content_length_) {
+        FailAndClose(400, ReasonFor(400),
+                     "{\"error\":\"conflicting Content-Length headers\"}");
+        return false;
+      }
+      if (*parsed > options_.max_body_bytes) {
+        FailAndClose(413, ReasonFor(413),
+                     StrCat("{\"error\":\"request body exceeds ",
+                            options_.max_body_bytes, " bytes\"}"));
+        return false;
+      }
+      content_length_ = static_cast<std::size_t>(*parsed);
+      have_length = true;
+    } else if (EqualsIgnoreCase(name, "transfer-encoding")) {
+      FailAndClose(400, ReasonFor(400),
+                   "{\"error\":\"transfer encodings are not supported; "
+                   "send Content-Length\"}");
+      return false;
+    } else if (EqualsIgnoreCase(name, "connection")) {
+      // Comma-separated token list.
+      std::size_t pos = 0;
+      while (pos <= value.size()) {
+        std::size_t comma = value.find(',', pos);
+        std::string_view token =
+            Trim(comma == std::string_view::npos
+                     ? value.substr(pos)
+                     : value.substr(pos, comma - pos));
+        if (EqualsIgnoreCase(token, "close")) keep_alive_ = false;
+        if (EqualsIgnoreCase(token, "keep-alive")) keep_alive_ = true;
+        if (comma == std::string_view::npos) break;
+        pos = comma + 1;
+      }
+    }
+    // Other headers are accepted and ignored.
+  }
+  return true;
+}
+
+void HttpHandler::DispatchRequest(std::string body) {
+  const bool keep_alive = keep_alive_;
+  if (target_ == "/v1/query") {
+    if (method_ != "POST") {
+      RespondNow(405, ReasonFor(405),
+                 "{\"error\":\"use POST for /v1/query\"}", keep_alive);
+    } else {
+      StatusOr<std::string> line = AssembleQueryLine(body);
+      if (!line.ok()) {
+        // A malformed body is this front's BAD_REQUEST: same accounting as
+        // a malformed ZO1 line, same response shape as a parse error.
+        sink_->OnWireError();
+        RespondNow(400, ReasonFor(400),
+                   StrCat("{\"status\":\"BAD_REQUEST\",\"id\":\"0\","
+                          "\"payload\":\"",
+                          JsonEscape(line.status().message()), "\"}"),
+                   keep_alive);
+      } else {
+        sink_->Submit(channel_->shared_from_this(), std::move(*line),
+                      [keep_alive](const Response& response) {
+                        return EncodeQueryResponse(response, keep_alive);
+                      });
+      }
+    }
+  } else if (target_ == "/metrics") {
+    if (method_ != "GET") {
+      RespondNow(405, ReasonFor(405), "{\"error\":\"use GET for /metrics\"}",
+                 keep_alive);
+    } else {
+      std::ostringstream dump;
+      obs::Registry::Global().DumpJson(dump);
+      RespondNow(200, ReasonFor(200), dump.str(), keep_alive);
+    }
+  } else {
+    RespondNow(404, ReasonFor(404),
+               StrCat("{\"error\":\"no such endpoint '", JsonEscape(target_),
+                      "' (want /v1/query or /metrics)\"}"),
+               keep_alive);
+  }
+  if (!keep_alive) {
+    state_ = State::kClosed;
+    // Half-close the read side; queued responses (including this one)
+    // still flush, then the write side closes — a clean HTTP close.
+    channel_->AbortReading();
+  }
+}
+
+void HttpHandler::RespondNow(int code, std::string_view reason,
+                             std::string body, bool keep_alive) {
+  std::uint64_t seq = channel_->ReserveSlot();
+  channel_->CompleteSlot(seq,
+                         BuildHttpResponse(code, reason, body, keep_alive));
+}
+
+void HttpHandler::FailAndClose(int code, std::string_view reason,
+                               std::string body) {
+  RespondNow(code, reason, std::move(body), /*keep_alive=*/false);
+  sink_->OnWireError();
+  state_ = State::kClosed;
+  channel_->AbortReading();
+}
+
+}  // namespace svc
+}  // namespace zeroone

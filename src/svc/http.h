@@ -1,0 +1,108 @@
+#ifndef ZEROONE_SVC_HTTP_H_
+#define ZEROONE_SVC_HTTP_H_
+
+// Minimal HTTP/1.1 gateway over the same Transport and RequestSink as the
+// ZO1 newline protocol (docs/serving.md has the endpoint reference).
+//
+//   POST /v1/query   body: {"command": "...", "args": "...", "id": "...",
+//                           "session": "...", "deadline_ms": N,
+//                           "nocache": true, "explain": true}
+//   GET  /metrics    the obs registry dump (counters + histograms).
+//
+// Parity by construction: the JSON body is assembled into a ZO1 request
+// *line* ("@id=.. @session=.. command args") and submitted through the one
+// RequestSink, so parse errors, admission responses, and dispatcher
+// payloads are byte-for-byte the strings a raw ZO1 client would see —
+// only the framing differs (tests/svc_http_test.cc asserts this). The
+// response body is {"status": "...", "id": "...", "payload": "..."} with
+// the HTTP status code mapped from the wire status (HttpStatusFor).
+//
+// Scope: request-line + headers + Content-Length bodies only. No chunked
+// transfer encoding, no multipart, no TLS. HTTP/1.1 keep-alive (and
+// pipelining, via the channel's response slots) is supported; Connection:
+// close is honored. Violations that desync framing (malformed head, bad
+// Content-Length, oversized head or body) are answered 400/413 with
+// Connection: close and the read side is torn down — never a crash
+// (tests/svc_fuzz_test.cc mutation battery).
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "svc/frontend.h"
+#include "svc/protocol.h"
+#include "svc/transport.h"
+
+namespace zeroone {
+namespace svc {
+
+struct HttpOptions {
+  // Cap on the request line + headers block.
+  std::size_t max_head_bytes = 16 * 1024;
+  // Cap on a request body; aligned with the ZO1 request-line cap since the
+  // body becomes one request line.
+  std::size_t max_body_bytes = kMaxRequestBytes;
+};
+
+class HttpHandler : public ProtocolHandler {
+ public:
+  HttpHandler(Channel* channel, RequestSink* sink,
+              const HttpOptions& options = HttpOptions());
+
+  void OnData(std::string_view bytes) override;
+
+  // The wire-status → HTTP-status mapping (exposed for tests):
+  // OK→200, ERR→422, BAD_REQUEST→400, OVERLOADED/SHUTTING_DOWN/
+  // UNAVAILABLE→503, DEADLINE_EXCEEDED→504.
+  static int HttpStatusFor(WireStatus status);
+
+  // Encodes one wire response as the HTTP response to a /v1/query request.
+  static std::string EncodeQueryResponse(const Response& response,
+                                         bool keep_alive);
+
+ private:
+  enum class State { kHead, kBody, kClosed };
+
+  void ProcessBuffer();
+  // Parses the head block (request line + headers); on error answers the
+  // peer and closes. Returns false when the connection is being torn down.
+  bool ParseHead(std::string_view head);
+  void DispatchRequest(std::string body);
+  // Reserves the next response slot and completes it immediately.
+  void RespondNow(int code, std::string_view reason, std::string body,
+                  bool keep_alive);
+  // Unrecoverable wire-level failure: answer with Connection: close,
+  // account it, and stop reading.
+  void FailAndClose(int code, std::string_view reason, std::string body);
+
+  Channel* const channel_;  // The owning Conn outlives its handler.
+  RequestSink* const sink_;
+  const HttpOptions options_;
+
+  std::string buffer_;
+  State state_ = State::kHead;
+  // Current request, valid in State::kBody.
+  std::string method_;
+  std::string target_;
+  bool keep_alive_ = true;
+  std::size_t content_length_ = 0;
+};
+
+// Accept-time refusal bytes for HTTP listeners (TransportHooks::
+// refusal_frame): a 503 with Connection: close carrying the same payload
+// strings as the ZO1 refusal frames.
+std::string HttpRefusalFrame(RefusalReason reason, std::size_t max_conns);
+
+// Translates a /v1/query JSON body into its ZO1 request line, or an error
+// describing the malformed JSON / unknown field. Exposed for tests; the
+// returned line is what HttpHandler submits to the RequestSink.
+StatusOr<std::string> AssembleQueryLine(std::string_view json_body);
+
+// Escapes `text` for inclusion in a JSON string literal.
+std::string JsonEscape(std::string_view text);
+
+}  // namespace svc
+}  // namespace zeroone
+
+#endif  // ZEROONE_SVC_HTTP_H_

@@ -1,0 +1,399 @@
+#include "svc/router.h"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "svc/http.h"
+
+namespace zeroone {
+namespace svc {
+
+// ---------------------------------------------------------------------------
+// HashRing
+
+std::uint64_t HashRing::Fnv1a64(std::string_view text) {
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+std::uint64_t HashRing::PlacementHash(std::string_view text) {
+  // FNV-1a alone clusters badly on the short, near-identical strings this
+  // ring hashes ("0#0", "1#17", "session-42", ...): its high bits barely
+  // avalanche, and the sort order of the ring is dominated by them — with
+  // 3 backends x 64 vnodes a whole backend can end up owning nothing. The
+  // murmur3 finalizer on top restores uniformity without changing the
+  // easily-reimplemented byte-level FNV core.
+  std::uint64_t x = Fnv1a64(text);
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+HashRing::HashRing(std::size_t backends, std::size_t replicas_per_backend)
+    : backends_(backends) {
+  ring_.reserve(backends * replicas_per_backend);
+  for (std::size_t b = 0; b < backends; ++b) {
+    for (std::size_t r = 0; r < replicas_per_backend; ++r) {
+      ring_.push_back(
+          VirtualNode{PlacementHash(StrCat(b, "#", r)), b});
+    }
+  }
+  std::sort(ring_.begin(), ring_.end(),
+            [](const VirtualNode& a, const VirtualNode& b) {
+              if (a.hash != b.hash) return a.hash < b.hash;
+              return a.backend < b.backend;  // Deterministic tie-break.
+            });
+}
+
+std::size_t HashRing::Owner(std::string_view key) const {
+  return Preference(key, 1).front();
+}
+
+std::vector<std::size_t> HashRing::Preference(std::string_view key,
+                                              std::size_t count) const {
+  count = std::min(count, backends_);
+  std::vector<std::size_t> result;
+  if (ring_.empty() || count == 0) return result;
+  const std::uint64_t h = PlacementHash(key);
+  // First virtual node clockwise of the key, wrapping at the top.
+  std::size_t start = 0;
+  {
+    std::size_t lo = 0, hi = ring_.size();
+    while (lo < hi) {
+      std::size_t mid = (lo + hi) / 2;
+      if (ring_[mid].hash < h) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    start = lo == ring_.size() ? 0 : lo;
+  }
+  result.reserve(count);
+  for (std::size_t i = 0; i < ring_.size() && result.size() < count; ++i) {
+    std::size_t backend = ring_[(start + i) % ring_.size()].backend;
+    bool seen = false;
+    for (std::size_t chosen : result) {
+      if (chosen == backend) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) result.push_back(backend);
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Router
+
+Router::Router(const RouterOptions& options)
+    : options_(options),
+      ring_(options.backends.size(), options.ring_replicas),
+      executor_(std::make_unique<BoundedExecutor>(options.threads,
+                                                  options.queue_capacity)) {
+  for (const HostPort& endpoint : options_.backends) {
+    auto backend = std::make_unique<Backend>();
+    backend->endpoint = endpoint;
+    backends_.push_back(std::move(backend));
+  }
+  stats_.per_backend_forwarded.assign(backends_.size(), 0);
+}
+
+Router::~Router() {
+  BeginShutdown();
+  Wait();
+  if (notify_pipe_[0] >= 0) ::close(notify_pipe_[0]);
+  if (notify_pipe_[1] >= 0) ::close(notify_pipe_[1]);
+}
+
+Status Router::Start() {
+  if (started_.exchange(true)) {
+    return Status::Error("router already started");
+  }
+  if (backends_.empty()) {
+    return Status::Error("router needs at least one backend");
+  }
+  if (::pipe(notify_pipe_) != 0) {
+    return Status::Error("pipe failed: ", std::strerror(errno));
+  }
+  TransportOptions zo1;
+  zo1.host = options_.host;
+  zo1.port = options_.port;
+  zo1.event_threads = options_.event_threads;
+  zo1.max_conns = options_.max_conns;
+  zo1.outbox_max_bytes = options_.outbox_max_bytes;
+  zo1.so_sndbuf = options_.so_sndbuf;
+  zo1.bind_retry_ms = options_.bind_retry_ms;
+  zo1.drain_flush_timeout_ms = options_.drain_flush_timeout_ms;
+  TransportHooks zo1_hooks;
+  zo1_hooks.make_handler = [this](Channel* channel) {
+    return std::make_unique<Zo1LineHandler>(channel, this);
+  };
+  zo1_hooks.refusal_frame = [this](RefusalReason reason) {
+    return Zo1RefusalFrame(reason, options_.max_conns);
+  };
+  transport_ = std::make_unique<Transport>(zo1, std::move(zo1_hooks));
+  ZO_RETURN_IF_ERROR(transport_->Bind());
+  if (options_.http_port >= 0) {
+    TransportOptions http = zo1;
+    http.port = options_.http_port;
+    TransportHooks http_hooks;
+    http_hooks.make_handler = [this](Channel* channel) {
+      return std::make_unique<HttpHandler>(channel, this);
+    };
+    http_hooks.refusal_frame = [this](RefusalReason reason) {
+      return HttpRefusalFrame(reason, options_.max_conns);
+    };
+    http_transport_ =
+        std::make_unique<Transport>(http, std::move(http_hooks));
+    ZO_RETURN_IF_ERROR(http_transport_->Bind());
+  }
+  ZO_RETURN_IF_ERROR(transport_->Serve());
+  if (http_transport_ != nullptr) {
+    ZO_RETURN_IF_ERROR(http_transport_->Serve());
+  }
+  return Status::Ok();
+}
+
+int Router::port() const {
+  return transport_ != nullptr ? transport_->port() : 0;
+}
+
+int Router::http_port() const {
+  return http_transport_ != nullptr ? http_transport_->port() : -1;
+}
+
+void Router::Notify() {
+  if (notify_pipe_[1] >= 0) {
+    char byte = 's';
+    [[maybe_unused]] ssize_t n = ::write(notify_pipe_[1], &byte, 1);
+  }
+}
+
+void Router::WaitForShutdownRequest() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    pollfd pfd{notify_pipe_[0], POLLIN, 0};
+    int rc = ::poll(&pfd, 1, 200);
+    if (rc > 0 && (pfd.revents & POLLIN) != 0) return;
+  }
+}
+
+void Router::BeginShutdown() {
+  stopping_.store(true, std::memory_order_relaxed);
+  Notify();
+  if (transport_ != nullptr) transport_->BeginShutdown();
+  if (http_transport_ != nullptr) http_transport_->BeginShutdown();
+}
+
+void Router::Wait() {
+  if (transport_ != nullptr) transport_->JoinReaders();
+  if (http_transport_ != nullptr) http_transport_->JoinReaders();
+  executor_->Drain();
+  if (transport_ != nullptr) transport_->StopAndJoin();
+  if (http_transport_ != nullptr) http_transport_->StopAndJoin();
+}
+
+void Router::Shutdown() {
+  BeginShutdown();
+  Wait();
+}
+
+// ---------------------------------------------------------------------------
+// Request path
+
+void Router::Submit(const std::shared_ptr<Channel>& channel,
+                    std::string line, Encoder encoder) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.requests_received;
+  }
+  ZO_COUNTER_INC("svc.router.requests");
+  std::uint64_t seq = channel->ReserveSlot();
+  // Parse before forwarding: a malformed line earns the server's exact
+  // BAD_REQUEST here instead of wasting a backend round-trip, and the
+  // forwarded form below is the parser's canonical re-serialization.
+  StatusOr<Request> parsed = ParseRequestLine(line);
+  if (!parsed.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.bad_requests;
+    }
+    ZO_COUNTER_INC("svc.router.bad_requests");
+    channel->CompleteSlot(seq,
+                          encoder(Response{WireStatus::kBadRequest, "0",
+                                           parsed.status().message()}));
+    return;
+  }
+  Request request = std::move(*parsed);
+  const std::string request_id = request.id;
+  bool submitted = executor_->TrySubmit([this, channel, seq,
+                                         request = std::move(request),
+                                         encoder] {
+    channel->CompleteSlot(seq, encoder(Forward(request)));
+  });
+  if (!submitted) {
+    bool draining = stopping_.load(std::memory_order_relaxed) ||
+                    executor_->draining();
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      if (draining) {
+        ++stats_.shutting_down_rejects;
+      } else {
+        ++stats_.overloaded;
+      }
+    }
+    ZO_COUNTER_INC("svc.router.overloaded");
+    channel->CompleteSlot(
+        seq,
+        encoder(Response{
+            draining ? WireStatus::kShuttingDown : WireStatus::kOverloaded,
+            request_id,
+            draining
+                ? std::string("server draining; request rejected")
+                : StrCat("work queue full (capacity ",
+                         options_.queue_capacity, "); retry later")}));
+  }
+}
+
+void Router::OnWireError() {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++stats_.bad_requests;
+}
+
+Response Router::Forward(const Request& request) {
+  const std::vector<std::size_t> candidates =
+      ring_.Preference(request.session, 1 + options_.retry_backends);
+  // Two passes: first skip backends inside their failure cooldown, then —
+  // if that leaves nothing — probe the skipped ones anyway. A fully-down
+  // ring should probe rather than fail fast forever; a backend that just
+  // failed in pass 0 is not retried in pass 1.
+  std::size_t attempts = 0;
+  std::vector<bool> tried(candidates.size(), false);
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      Backend& backend = *backends_[candidates[i]];
+      if (tried[i]) continue;
+      if (pass == 0 && IsDown(backend)) continue;
+      tried[i] = true;
+      ++attempts;
+      StatusOr<Response> result = CallBackend(backend, request);
+      if (result.ok()) {
+        {
+          std::lock_guard<std::mutex> lock(stats_mutex_);
+          ++stats_.forwarded;
+          if (i > 0) ++stats_.failovers;
+          ++stats_.per_backend_forwarded[candidates[i]];
+        }
+        ZO_COUNTER_INC("svc.router.forwarded");
+        if (i > 0) ZO_COUNTER_INC("svc.router.failovers");
+        return std::move(*result);
+      }
+      MarkDown(backend);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.unavailable;
+  }
+  ZO_COUNTER_INC("svc.router.unavailable");
+  return Response{
+      WireStatus::kUnavailable, request.id,
+      StrCat("no backend reachable for session '", request.session, "' (",
+             attempts, " tried); retry later")};
+}
+
+StatusOr<Response> Router::CallBackend(Backend& backend,
+                                       const Request& request) {
+  std::unique_ptr<BlockingClient> client = AcquireClient(backend);
+  if (client != nullptr) {
+    StatusOr<Response> response = client->Call(request);
+    if (response.ok()) {
+      ReleaseClient(backend, std::move(client));
+      return response;
+    }
+    // The pooled socket may simply be stale (backend restarted, idle
+    // timeout); one fresh connection to the same backend disambiguates a
+    // dead backend from a dead connection.
+    client.reset();
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.reconnects;
+    }
+    ZO_COUNTER_INC("svc.router.reconnects");
+  }
+  ClientOptions copts;
+  copts.connect_timeout_ms = options_.connect_timeout_ms;
+  copts.io_timeout_ms = options_.io_timeout_ms;
+  auto fresh = std::make_unique<BlockingClient>(copts);
+  ZO_RETURN_IF_ERROR(
+      fresh->Connect(backend.endpoint.host, backend.endpoint.port));
+  StatusOr<Response> response = fresh->Call(request);
+  if (response.ok()) {
+    ReleaseClient(backend, std::move(fresh));
+  }
+  return response;
+}
+
+std::unique_ptr<BlockingClient> Router::AcquireClient(Backend& backend) {
+  std::lock_guard<std::mutex> lock(backend.mutex);
+  if (backend.idle.empty()) return nullptr;
+  std::unique_ptr<BlockingClient> client = std::move(backend.idle.back());
+  backend.idle.pop_back();
+  return client;
+}
+
+void Router::ReleaseClient(Backend& backend,
+                           std::unique_ptr<BlockingClient> client) {
+  std::lock_guard<std::mutex> lock(backend.mutex);
+  // The pool never needs more than one connection per forwarding worker.
+  if (backend.idle.size() < options_.threads) {
+    backend.idle.push_back(std::move(client));
+  }
+  backend.down_until_ms.store(0, std::memory_order_relaxed);
+}
+
+std::int64_t Router::NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool Router::IsDown(const Backend& backend) const {
+  return backend.down_until_ms.load(std::memory_order_relaxed) > NowMs();
+}
+
+void Router::MarkDown(Backend& backend) {
+  backend.down_until_ms.store(
+      NowMs() + static_cast<std::int64_t>(options_.down_cooldown_ms),
+      std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.backend_down_marks;
+  }
+  ZO_COUNTER_INC("svc.router.backend_down_marks");
+  // Drop the idle pool: every socket to this backend is suspect.
+  std::lock_guard<std::mutex> lock(backend.mutex);
+  backend.idle.clear();
+}
+
+Router::Stats Router::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+}  // namespace svc
+}  // namespace zeroone

@@ -1,0 +1,187 @@
+#ifndef ZEROONE_SVC_ROUTER_H_
+#define ZEROONE_SVC_ROUTER_H_
+
+// Consistent-hash shard router (tools/zeroone_router.cc is the binary).
+//
+// The router is a RequestSink like the Server, behind the same Transport
+// and protocol handlers — it accepts ZO1 connections (and optionally HTTP
+// via svc/http.h) — but instead of executing requests it forwards each one
+// to a backend zeroone_server chosen by consistent-hashing the request's
+// session key onto the backend pool (docs/serving.md, "Scaling out").
+// Sessions are the unit of state, so hashing the session pins all of a
+// session's mutations and reads to one backend; the ring keeps placement
+// deterministic (loadgen recomputes it to predict shard assignment) and
+// minimizes movement when a backend leaves.
+//
+// Failure handling: a transport failure talking to a backend gets one
+// reconnect to the same backend (the pooled connection may simply be
+// stale); a second failure marks the backend down for down_cooldown_ms and
+// the request moves to the next distinct backend on the ring, up to
+// retry_backends fallbacks. Exhausting the candidates answers UNAVAILABLE
+// (transient by contract: clients with retry loops — RetryingClient,
+// loadgen — re-resolve through the rehashed ring on the next attempt).
+// Responses the backend actually produced (OK, ERR, BAD_REQUEST, ...) are
+// relayed verbatim; the router never retries them, because a delivered
+// mutation must not be double-applied.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/net.h"
+#include "common/status.h"
+#include "svc/client.h"
+#include "svc/executor.h"
+#include "svc/frontend.h"
+#include "svc/protocol.h"
+#include "svc/transport.h"
+
+namespace zeroone {
+namespace svc {
+
+// The consistent-hash ring. Pure function of (backend count, replicas):
+// virtual node r of backend b sits at PlacementHash("b#r"), so any process
+// that knows the ordered backend list recomputes the identical placement —
+// tools/zeroone_loadgen.cc relies on that to predict per-endpoint tallies.
+class HashRing {
+ public:
+  HashRing(std::size_t backends, std::size_t replicas_per_backend);
+
+  std::size_t backends() const { return backends_; }
+
+  // The backend owning `key` (the first virtual node clockwise).
+  std::size_t Owner(std::string_view key) const;
+
+  // Up to `count` distinct backends clockwise from `key`: the owner first,
+  // then the successive fallbacks a failover walks.
+  std::vector<std::size_t> Preference(std::string_view key,
+                                      std::size_t count) const;
+
+  static std::uint64_t Fnv1a64(std::string_view text);
+  // The ring's position hash: murmur3-finalized FNV-1a. Raw FNV-1a of the
+  // short, near-identical vnode/session strings clusters in the high bits
+  // badly enough to starve whole backends.
+  static std::uint64_t PlacementHash(std::string_view text);
+
+ private:
+  struct VirtualNode {
+    std::uint64_t hash;
+    std::size_t backend;
+  };
+  std::size_t backends_;
+  std::vector<VirtualNode> ring_;  // Sorted by hash.
+};
+
+struct RouterOptions {
+  // Ordered backend list; the order is part of the ring contract.
+  std::vector<HostPort> backends;
+  std::size_t ring_replicas = 64;
+  // Fallback backends tried after the owner before answering UNAVAILABLE.
+  std::size_t retry_backends = 2;
+  // A backend that failed twice in a row is skipped for this long.
+  std::uint64_t down_cooldown_ms = 1000;
+  // Backend connection timeouts (svc/client.h).
+  std::uint64_t connect_timeout_ms = 1000;
+  std::uint64_t io_timeout_ms = 30000;
+
+  // Front listeners (same knobs as ServerOptions; see svc/transport.h).
+  std::string host = "127.0.0.1";
+  int port = 0;       // ZO1 listener; 0 = ephemeral.
+  int http_port = -1; // HTTP gateway; -1 = disabled.
+  std::size_t threads = 4;          // Forwarding worker pool.
+  std::size_t queue_capacity = 64;  // Admission bound, as on the server.
+  std::size_t event_threads = 0;
+  std::size_t max_conns = 0;
+  std::size_t outbox_max_bytes = 8 * 1024 * 1024;
+  int so_sndbuf = 0;
+  std::uint64_t bind_retry_ms = 2000;
+  std::uint64_t drain_flush_timeout_ms = 30000;
+};
+
+class Router : public RequestSink {
+ public:
+  explicit Router(const RouterOptions& options);
+  ~Router() override;
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  Status Start();
+
+  int port() const;
+  int http_port() const;
+
+  const HashRing& ring() const { return ring_; }
+
+  // Same drain protocol as Server (tools share the signal plumbing).
+  void BeginShutdown();
+  void Wait();
+  void Shutdown();
+  void Notify();
+  void WaitForShutdownRequest();
+
+  // RequestSink: parse the line (rejecting malformed requests here, with
+  // the server's exact BAD_REQUEST strings), then forward.
+  void Submit(const std::shared_ptr<Channel>& channel, std::string line,
+              Encoder encoder) override;
+  void OnWireError() override;
+
+  struct Stats {
+    std::uint64_t requests_received = 0;
+    std::uint64_t bad_requests = 0;
+    std::uint64_t overloaded = 0;
+    std::uint64_t shutting_down_rejects = 0;
+    std::uint64_t forwarded = 0;          // Answered by some backend.
+    std::uint64_t reconnects = 0;         // Same-backend second attempts.
+    std::uint64_t failovers = 0;          // Moved to a fallback backend.
+    std::uint64_t backend_down_marks = 0; // Cooldown entries.
+    std::uint64_t unavailable = 0;        // All candidates exhausted.
+    std::vector<std::uint64_t> per_backend_forwarded;
+  };
+  Stats stats() const;
+
+ private:
+  struct Backend {
+    HostPort endpoint;
+    std::mutex mutex;
+    // Idle pooled connections (stack: most-recently-used first, so stale
+    // sockets age out at the bottom and get culled on failure).
+    std::vector<std::unique_ptr<BlockingClient>> idle;
+    // Cooldown gate, as steady-clock milliseconds (0 = up).
+    std::atomic<std::int64_t> down_until_ms{0};
+  };
+
+  // Executes one request against the ring: owner, then fallbacks.
+  Response Forward(const Request& request);
+  // One backend attempt: pooled (or fresh) connection, one reconnect.
+  StatusOr<Response> CallBackend(Backend& backend, const Request& request);
+  std::unique_ptr<BlockingClient> AcquireClient(Backend& backend);
+  void ReleaseClient(Backend& backend, std::unique_ptr<BlockingClient> c);
+  bool IsDown(const Backend& backend) const;
+  void MarkDown(Backend& backend);
+  static std::int64_t NowMs();
+
+  const RouterOptions options_;
+  const HashRing ring_;
+  std::vector<std::unique_ptr<Backend>> backends_;
+  std::unique_ptr<BoundedExecutor> executor_;
+
+  std::unique_ptr<Transport> transport_;       // ZO1 front.
+  std::unique_ptr<Transport> http_transport_;  // Null unless http_port >= 0.
+
+  int notify_pipe_[2] = {-1, -1};
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> started_{false};
+
+  mutable std::mutex stats_mutex_;
+  Stats stats_;
+};
+
+}  // namespace svc
+}  // namespace zeroone
+
+#endif  // ZEROONE_SVC_ROUTER_H_

@@ -1,11 +1,6 @@
 #include "svc/server.h"
 
-#include <arpa/inet.h>
-#include <fcntl.h>
-#include <netinet/in.h>
 #include <poll.h>
-#include <sys/epoll.h>
-#include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -13,344 +8,15 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
-#include <deque>
-#include <optional>
 #include <utility>
 
-#include "fault/fault.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "par/pool.h"
+#include "svc/http.h"
 
 namespace zeroone {
 namespace svc {
-
-namespace {
-
-// Writes all of `data` to a *blocking* `fd`, ignoring SIGPIPE (the peer may
-// have gone). Used by the legacy reader model and for one-shot refusal
-// frames on freshly accepted sockets. Returns false when the peer closed or
-// the send timed out (SO_SNDTIMEO): a frame may then have been written
-// partially, so the stream is desynced and the caller must stop writing to
-// this connection entirely.
-bool WriteAll(int fd, std::string_view data) {
-  if (ZO_FAULT_POINT("svc.send.partial")) {
-    // Simulated torn send: half a frame leaves the socket, then the
-    // "connection" fails. The caller must latch the stream broken, exactly
-    // as for a real partial send.
-    if (data.size() > 1) {
-      (void)::send(fd, data.data(), data.size() / 2, MSG_NOSIGNAL);
-    }
-    return false;
-  }
-  while (!data.empty()) {
-    ssize_t n = ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return false;
-    }
-    data.remove_prefix(static_cast<std::size_t>(n));
-  }
-  return true;
-}
-
-void SetNonBlocking(int fd) {
-  int flags = ::fcntl(fd, F_GETFL, 0);
-  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
-}
-
-}  // namespace
-
-// One event-loop shard: an epoll instance, a self-pipe for cross-thread
-// wakeups (worker completions, shutdown — a thread parked in epoll_wait
-// notices nothing else), and the connections assigned to it. Mutex-guarded
-// fields are the cross-thread mailbox; the rest belongs to the loop thread.
-struct Server::EventLoop {
-  int epoll_fd = -1;
-  int wake[2] = {-1, -1};  // [0] registered in epoll with data.ptr == null.
-  std::thread thread;
-
-  std::mutex mutex;
-  std::vector<std::shared_ptr<Connection>> incoming;     // Accepted conns.
-  std::vector<std::shared_ptr<Connection>> flush_queue;  // Outbox gained data.
-  bool shutdown_reads = false;  // Drain: half-close every connection.
-  bool stop_when_idle = false;  // Drain: exit once every conn is retired.
-  bool wake_pending = false;    // Coalesces self-pipe bytes.
-
-  // Loop-thread-only state.
-  std::vector<std::shared_ptr<Connection>> conns;
-  bool shut_reads_done = false;
-  bool drain_deadline_set = false;
-  std::chrono::steady_clock::time_point drain_deadline;
-
-  ~EventLoop() {
-    if (epoll_fd >= 0) ::close(epoll_fd);
-    if (wake[0] >= 0) ::close(wake[0]);
-    if (wake[1] >= 0) ::close(wake[1]);
-  }
-
-  // Caller holds `mutex`.
-  void WakeLocked() {
-    if (wake_pending) return;
-    wake_pending = true;
-    ZO_COUNTER_INC("svc.epoll.wakeups");
-    char byte = 'w';
-    [[maybe_unused]] ssize_t n = ::write(wake[1], &byte, 1);
-  }
-
-  void NotifyFlush(std::shared_ptr<Connection> connection) {
-    std::lock_guard<std::mutex> lock(mutex);
-    flush_queue.push_back(std::move(connection));
-    WakeLocked();
-  }
-};
-
-// One client connection. Responses are delivered in request-arrival order:
-// the reader assigns each request a slot in `pending_`, workers fill slots
-// out of order, and whoever fills the front moves the longest completed
-// prefix onward.
-//
-// Epoll mode (loop_ != nullptr): completed frames go into the bounded
-// outbox_ and the owning event loop is woken to flush them nonblockingly —
-// workers never touch the socket. A client that stops reading grows the
-// outbox past its cap, which latches broken_ and shuts the socket down.
-//
-// Legacy mode (loop_ == nullptr): whoever completes the front flushes it to
-// the (blocking) socket directly; `writing_` serializes flushers, and a
-// send timeout (SO_SNDTIMEO) bounds slow readers.
-class Server::Connection
-    : public std::enable_shared_from_this<Server::Connection> {
- public:
-  enum class FlushResult { kIdle, kWantWrite, kBroken, kDone };
-
-  Connection(Server* server, EventLoop* loop, int fd, std::size_t outbox_cap)
-      : server_(server), loop_(loop), fd_(fd), outbox_cap_(outbox_cap) {
-    server_->live_connections_.fetch_add(1, std::memory_order_relaxed);
-  }
-  ~Connection() {
-    server_->live_connections_.fetch_sub(1, std::memory_order_relaxed);
-    if (fd_ >= 0) ::close(fd_);
-  }
-  Connection(const Connection&) = delete;
-  Connection& operator=(const Connection&) = delete;
-
-  int fd() const { return fd_; }
-
-  // Reserves the next in-order response slot; returns its sequence number.
-  std::uint64_t ReserveSlot() {
-    std::lock_guard<std::mutex> lock(mutex_);
-    pending_.emplace_back();
-    return base_seq_ + pending_.size() - 1;
-  }
-
-  // Fills a slot and moves every completed frame at the queue's front
-  // onward: into the outbox (epoll mode, waking the owning loop) or out the
-  // socket (legacy mode).
-  void CompleteSlot(std::uint64_t seq, std::string frame) {
-    if (loop_ == nullptr) {
-      CompleteSlotLegacy(seq, std::move(frame));
-      return;
-    }
-    bool notify = false;
-    bool overflowed = false;
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      pending_[static_cast<std::size_t>(seq - base_seq_)] = std::move(frame);
-      while (!pending_.empty() && pending_.front().has_value()) {
-        std::string next = std::move(*pending_.front());
-        pending_.pop_front();
-        ++base_seq_;
-        if (broken_) continue;  // Discard: the stream is already torn down.
-        outbox_bytes_ += next.size();
-        ZO_COUNTER_ADD("svc.server.outbox_bytes_enqueued", next.size());
-        outbox_.push_back(std::move(next));
-        notify = true;
-        if (outbox_bytes_ > outbox_cap_) {
-          // Backpressure contract (docs/serving.md): a client that stops
-          // reading costs one bounded buffer, then gets disconnected.
-          MarkBrokenLocked();
-          overflowed = true;
-        }
-      }
-    }
-    if (overflowed) {
-      ZO_COUNTER_INC("svc.server.outbox_overflows");
-      server_->CountOutboxOverflow();
-    }
-    if (notify) loop_->NotifyFlush(shared_from_this());
-  }
-
-  // Nonblocking drain of the outbox. Called only by the owning event loop.
-  FlushResult FlushOutbox() {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (broken_) return FlushResult::kBroken;
-    while (!outbox_.empty()) {
-      const std::string& front = outbox_.front();
-      if (ZO_FAULT_POINT("svc.send.partial")) {
-        // Same torn-send contract as WriteAll's site: half the remaining
-        // frame escapes, then the connection is latched broken.
-        std::size_t remaining = front.size() - write_offset_;
-        if (remaining > 1) {
-          (void)::send(fd_, front.data() + write_offset_, remaining / 2,
-                       MSG_NOSIGNAL | MSG_DONTWAIT);
-        }
-        MarkBrokenLocked();
-        return FlushResult::kBroken;
-      }
-      if (ZO_FAULT_POINT("svc.epoll.write.fail")) {
-        // Simulated clean write failure (EPIPE-style): nothing further may
-        // be written, tear the connection down.
-        ZO_COUNTER_INC("svc.server.injected_epoll_write_fails");
-        MarkBrokenLocked();
-        return FlushResult::kBroken;
-      }
-      ssize_t n = ::send(fd_, front.data() + write_offset_,
-                         front.size() - write_offset_,
-                         MSG_NOSIGNAL | MSG_DONTWAIT);
-      if (n > 0) {
-        ZO_COUNTER_ADD("svc.server.outbox_bytes_flushed",
-                       static_cast<std::uint64_t>(n));
-        write_offset_ += static_cast<std::size_t>(n);
-        outbox_bytes_ -= static_cast<std::size_t>(n);
-        if (write_offset_ == front.size()) {
-          outbox_.pop_front();
-          write_offset_ = 0;
-        }
-        continue;
-      }
-      if (n < 0 && errno == EINTR) continue;
-      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-        return FlushResult::kWantWrite;
-      }
-      // Peer closed or reset mid-frame: the framing is desynced for good.
-      MarkBrokenLocked();
-      return FlushResult::kBroken;
-    }
-    MaybeShutdownWriteLocked();
-    return done_ ? FlushResult::kDone : FlushResult::kIdle;
-  }
-
-  // Half-closes the read side; the reader (thread or event loop) observes
-  // EOF and stops submitting. Queued responses can still be written.
-  void ShutdownRead() { ::shutdown(fd_, SHUT_RD); }
-
-  // Read-side teardown after a protocol violation: no further input will be
-  // parsed, but reserved slots still get answered and flushed.
-  void AbortReading() {
-    ::shutdown(fd_, SHUT_RD);
-    FinishReading();
-  }
-
-  // Called when reading stops (client EOF, framing error, or drain). Once
-  // every reserved slot has been answered and flushed, the write side is
-  // half-closed so clients reading until EOF terminate promptly.
-  void FinishReading() {
-    std::lock_guard<std::mutex> lock(mutex_);
-    reading_done_ = true;
-    MaybeShutdownWriteLocked();
-  }
-
-  bool reading_done() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return reading_done_;
-  }
-
-  // True once the connection can be retired: torn down, or fully answered
-  // and flushed after EOF.
-  bool IsDone() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    return broken_ || done_;
-  }
-
-  void MarkBroken() {
-    std::lock_guard<std::mutex> lock(mutex_);
-    MarkBrokenLocked();
-  }
-
-  // Loop-thread-only accessors (epoll mode).
-  std::string& input() { return input_; }
-  bool registered() const { return registered_; }
-  void set_registered(bool registered) { registered_ = registered; }
-  bool want_write() const { return want_write_; }
-  void set_want_write(bool want) { want_write_ = want; }
-
- private:
-  // Legacy inline flush: socket writes happen with the mutex released so a
-  // client that stops reading blocks only the one flushing thread in
-  // send(), not every worker finishing a request for this connection (nor
-  // the reader in ReserveSlot). `writing_` serializes flushers; whoever
-  // holds it keeps draining frames completed by others in the meantime.
-  void CompleteSlotLegacy(std::uint64_t seq, std::string frame) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    pending_[static_cast<std::size_t>(seq - base_seq_)] = std::move(frame);
-    if (writing_) return;  // The active flusher will pick this frame up.
-    writing_ = true;
-    while (!pending_.empty() && pending_.front().has_value()) {
-      std::string next = std::move(*pending_.front());
-      pending_.pop_front();
-      ++base_seq_;
-      if (broken_) continue;  // Discard: the stream is already desynced.
-      lock.unlock();
-      bool ok = WriteAll(fd_, next);
-      lock.lock();
-      if (!ok) {
-        // A partial or timed-out send leaves the framing desynced; writing
-        // later frames would feed the client garbage. Tear the connection
-        // down instead so it sees a broken socket.
-        broken_ = true;
-        ::shutdown(fd_, SHUT_RDWR);
-      }
-    }
-    writing_ = false;
-    MaybeShutdownWriteLocked();
-  }
-
-  void MarkBrokenLocked() {
-    if (broken_) return;
-    broken_ = true;
-    outbox_.clear();
-    outbox_bytes_ = 0;
-    write_offset_ = 0;
-    ::shutdown(fd_, SHUT_RDWR);
-  }
-
-  void MaybeShutdownWriteLocked() {
-    if (loop_ != nullptr) {
-      if (reading_done_ && pending_.empty() && outbox_.empty() && !broken_ &&
-          !done_) {
-        ::shutdown(fd_, SHUT_WR);
-        done_ = true;
-      }
-      return;
-    }
-    // !writing_: a flusher may be mid-send() with mutex_ released and
-    // pending_ momentarily empty; it re-runs this check when it finishes.
-    if (reading_done_ && pending_.empty() && !writing_) {
-      ::shutdown(fd_, SHUT_WR);
-    }
-  }
-
-  Server* const server_;
-  EventLoop* const loop_;  // Null in legacy mode.
-  const int fd_;
-  const std::size_t outbox_cap_;
-
-  mutable std::mutex mutex_;
-  std::deque<std::optional<std::string>> pending_;
-  std::uint64_t base_seq_ = 0;
-  std::deque<std::string> outbox_;   // Completed frames awaiting the socket.
-  std::size_t outbox_bytes_ = 0;
-  std::size_t write_offset_ = 0;     // Into outbox_.front().
-  bool reading_done_ = false;
-  bool writing_ = false;  // Legacy: a flusher is in send(), mutex released.
-  bool broken_ = false;   // A send failed or the outbox overflowed.
-  bool done_ = false;     // Epoll: fully answered + flushed after EOF.
-
-  // Loop-thread-only (epoll mode).
-  std::string input_;
-  bool registered_ = false;
-  bool want_write_ = false;
-};
 
 Server::Server(const ServerOptions& options)
     : options_(options),
@@ -364,62 +30,54 @@ Server::Server(const ServerOptions& options)
 Server::~Server() {
   BeginShutdown();
   Wait();
-  if (listen_fd_ >= 0) ::close(listen_fd_);
-  if (wake_pipe_[0] >= 0) ::close(wake_pipe_[0]);
-  if (wake_pipe_[1] >= 0) ::close(wake_pipe_[1]);
+  if (notify_pipe_[0] >= 0) ::close(notify_pipe_[0]);
+  if (notify_pipe_[1] >= 0) ::close(notify_pipe_[1]);
 }
 
 Status Server::Start() {
   if (started_.exchange(true)) {
     return Status::Error("server already started");
   }
-  if (::pipe(wake_pipe_) != 0) {
+  if (::pipe(notify_pipe_) != 0) {
     return Status::Error("pipe failed: ", std::strerror(errno));
   }
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
-    return Status::Error("socket failed: ", std::strerror(errno));
+  TransportOptions zo1;
+  zo1.host = options_.host;
+  zo1.port = options_.port;
+  zo1.event_threads = options_.event_threads;
+  zo1.max_conns = options_.max_conns;
+  zo1.outbox_max_bytes = options_.outbox_max_bytes;
+  zo1.legacy_readers = options_.legacy_readers;
+  zo1.so_sndbuf = options_.so_sndbuf;
+  zo1.bind_retry_ms = options_.bind_retry_ms;
+  zo1.drain_flush_timeout_ms = options_.drain_flush_timeout_ms;
+  TransportHooks zo1_hooks;
+  zo1_hooks.make_handler = [this](Channel* channel) {
+    return std::make_unique<Zo1LineHandler>(channel, this);
+  };
+  zo1_hooks.refusal_frame = [this](RefusalReason reason) {
+    return Zo1RefusalFrame(reason, options_.max_conns);
+  };
+  transport_ =
+      std::make_unique<Transport>(zo1, std::move(zo1_hooks));
+  ZO_RETURN_IF_ERROR(transport_->Bind());
+  if (options_.http_port >= 0) {
+    TransportOptions http = zo1;
+    http.port = options_.http_port;
+    http.legacy_readers = false;  // The gateway always uses event loops.
+    TransportHooks http_hooks;
+    http_hooks.make_handler = [this](Channel* channel) {
+      return std::make_unique<HttpHandler>(channel, this);
+    };
+    http_hooks.refusal_frame = [this](RefusalReason reason) {
+      return HttpRefusalFrame(reason, options_.max_conns);
+    };
+    http_transport_ =
+        std::make_unique<Transport>(http, std::move(http_hooks));
+    ZO_RETURN_IF_ERROR(http_transport_->Bind());
   }
-  int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
-  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
-    return Status::Error("bad listen address '", options_.host, "'");
-  }
-  // EADDRINUSE gets retried with backoff for a bounded window: after a
-  // SIGKILL the predecessor's socket may linger briefly even with
-  // SO_REUSEADDR (e.g. an orphaned process still closing), and restart
-  // supervisors should not flake on that.
-  const auto bind_deadline =
-      std::chrono::steady_clock::now() +
-      std::chrono::milliseconds(options_.bind_retry_ms);
-  std::uint64_t backoff_ms = 10;
-  for (;;) {
-    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
-               sizeof(addr)) == 0) {
-      break;
-    }
-    if (errno != EADDRINUSE ||
-        std::chrono::steady_clock::now() >= bind_deadline) {
-      return Status::Error("bind to ", options_.host, ":", options_.port,
-                           " failed: ", std::strerror(errno));
-    }
-    ZO_COUNTER_INC("svc.server.bind_retries");
-    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
-    backoff_ms = std::min<std::uint64_t>(backoff_ms * 2, 200);
-  }
-  if (::listen(listen_fd_, 128) != 0) {
-    return Status::Error("listen failed: ", std::strerror(errno));
-  }
-  sockaddr_in bound{};
-  socklen_t bound_len = sizeof(bound);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
-                    &bound_len) == 0) {
-    port_ = ntohs(bound.sin_port);
-  }
-  // Reload persisted sessions before any traffic can observe their absence.
+  // Reload persisted sessions before any traffic can observe their absence
+  // (the listeners are bound but not serving yet).
   if (dispatcher_.snapshots() != nullptr) {
     Dispatcher::RecoveryReport report = dispatcher_.LoadSnapshots();
     {
@@ -471,401 +129,52 @@ Status Server::Start() {
     std::fprintf(stderr, "zeroone_server: intra-query parallelism: %zu\n",
                  par::par_threads());
   }
-  if (!options_.legacy_readers) {
-    std::size_t count = options_.event_threads;
-    if (count == 0) {
-      unsigned hw = std::thread::hardware_concurrency();
-      count = std::min<std::size_t>(4, hw == 0 ? 1 : hw);
-    }
-    count = std::max<std::size_t>(1, count);
-    for (std::size_t i = 0; i < count; ++i) {
-      auto loop = std::make_unique<EventLoop>();
-      loop->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
-      if (loop->epoll_fd < 0) {
-        return Status::Error("epoll_create1 failed: ", std::strerror(errno));
-      }
-      if (::pipe(loop->wake) != 0) {
-        return Status::Error("pipe failed: ", std::strerror(errno));
-      }
-      SetNonBlocking(loop->wake[0]);
-      SetNonBlocking(loop->wake[1]);
-      epoll_event ev{};
-      ev.events = EPOLLIN;
-      ev.data.ptr = nullptr;  // Sentinel: the loop's own wake pipe.
-      if (::epoll_ctl(loop->epoll_fd, EPOLL_CTL_ADD, loop->wake[0], &ev) !=
-          0) {
-        return Status::Error("epoll_ctl failed: ", std::strerror(errno));
-      }
-      loops_.push_back(std::move(loop));
-    }
-    for (auto& loop : loops_) {
-      EventLoop* raw = loop.get();
-      raw->thread = std::thread([this, raw] { EventLoopRun(raw); });
-    }
+  ZO_RETURN_IF_ERROR(transport_->Serve());
+  if (http_transport_ != nullptr) {
+    ZO_RETURN_IF_ERROR(http_transport_->Serve());
   }
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
   return Status::Ok();
+}
+
+int Server::port() const {
+  return transport_ != nullptr ? transport_->port() : 0;
+}
+
+int Server::http_port() const {
+  return http_transport_ != nullptr ? http_transport_->port() : -1;
+}
+
+std::size_t Server::event_threads() const {
+  return transport_ != nullptr ? transport_->event_threads() : 0;
 }
 
 void Server::Notify() {
   // Async-signal-safe: a single write to the self-pipe.
-  if (wake_pipe_[1] >= 0) {
+  if (notify_pipe_[1] >= 0) {
     char byte = 's';
-    [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+    [[maybe_unused]] ssize_t n = ::write(notify_pipe_[1], &byte, 1);
   }
 }
 
 void Server::WaitForShutdownRequest() {
   while (!stopping_.load(std::memory_order_relaxed)) {
-    pollfd pfd{wake_pipe_[0], POLLIN, 0};
+    pollfd pfd{notify_pipe_[0], POLLIN, 0};
     int rc = ::poll(&pfd, 1, 200);
     if (rc > 0 && (pfd.revents & POLLIN) != 0) return;
   }
 }
 
-void Server::AcceptLoop() {
-  for (;;) {
-    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
-    int rc = ::poll(fds, 2, 200);
-    if (stopping_.load(std::memory_order_relaxed)) return;
-    if (rc <= 0) continue;
-    if ((fds[1].revents & POLLIN) != 0) return;  // Woken for shutdown.
-    if ((fds[0].revents & POLLIN) == 0) continue;
-    int client = ::accept(listen_fd_, nullptr, nullptr);
-    if (client < 0) continue;
-    if (ZO_FAULT_POINT("svc.accept.drop")) {
-      // Simulated accept-time failure: the connection dies before the
-      // client sees a single byte, as if the server crashed right here.
-      ZO_COUNTER_INC("svc.server.injected_accept_drops");
-      ::close(client);
-      continue;
-    }
-    if (options_.max_conns != 0 &&
-        live_connections_.load(std::memory_order_relaxed) >=
-            options_.max_conns) {
-      // Admission control at the connection level: refuse explicitly
-      // instead of letting an unbounded connection count exhaust memory.
-      ZO_COUNTER_INC("svc.server.connections_refused");
-      WriteAll(client,
-               FormatResponse(Response{
-                   WireStatus::kOverloaded, "0",
-                   StrCat("connection limit reached (--max-conns=",
-                          options_.max_conns, "); retry later")}));
-      {
-        // Count before close: a client that saw EOF must already see the
-        // refusal in stats() (svc_test polls exactly that ordering).
-        std::lock_guard<std::mutex> lock(stats_mutex_);
-        ++stats_.connections_refused;
-      }
-      ::close(client);
-      continue;
-    }
-    if (options_.so_sndbuf > 0) {
-      ::setsockopt(client, SOL_SOCKET, SO_SNDBUF, &options_.so_sndbuf,
-                   sizeof(options_.so_sndbuf));
-    }
-    ZO_COUNTER_INC("svc.server.connections");
-    if (options_.legacy_readers) {
-      // A client that stops reading must not wedge a worker (or the drain)
-      // in send(): bound the blocking write time, then drop the frame.
-      timeval send_timeout{30, 0};
-      ::setsockopt(client, SOL_SOCKET, SO_SNDTIMEO, &send_timeout,
-                   sizeof(send_timeout));
-      auto connection = std::make_shared<Connection>(
-          this, nullptr, client, options_.outbox_max_bytes);
-      {
-        std::lock_guard<std::mutex> lock(connections_mutex_);
-        if (stopping_.load(std::memory_order_relaxed)) {
-          // Raced with shutdown: refuse politely.
-          WriteAll(client,
-                   FormatResponse(Response{WireStatus::kShuttingDown, "0",
-                                           "server draining"}));
-          continue;  // connection closes the fd on destruction.
-        }
-        connections_.push_back(connection);
-        reader_threads_.emplace_back(
-            [this, connection] { ServeConnection(connection); });
-      }
-    } else {
-      SetNonBlocking(client);
-      EventLoop* loop = loops_[next_loop_++ % loops_.size()].get();
-      auto connection = std::make_shared<Connection>(
-          this, loop, client, options_.outbox_max_bytes);
-      if (stopping_.load(std::memory_order_relaxed)) {
-        WriteAll(client,
-                 FormatResponse(Response{WireStatus::kShuttingDown, "0",
-                                         "server draining"}));
-        continue;  // connection closes the fd on destruction.
-      }
-      std::lock_guard<std::mutex> lock(loop->mutex);
-      loop->incoming.push_back(std::move(connection));
-      loop->WakeLocked();
-    }
-    {
-      std::lock_guard<std::mutex> lock(stats_mutex_);
-      ++stats_.connections_accepted;
-    }
-  }
-}
-
 // ---------------------------------------------------------------------------
-// Epoll event loop
+// Request admission (RequestSink)
 
-void Server::EventLoopRun(EventLoop* loop) {
-  epoll_event events[64];
-  for (;;) {
-    int ready = ::epoll_wait(loop->epoll_fd, events,
-                             static_cast<int>(std::size(events)), 200);
-    if (ready < 0) {
-      if (errno != EINTR) {
-        ZO_COUNTER_INC("svc.epoll.wait_errors");
-      }
-      ready = 0;
-    }
-    if (ready > 0 && ZO_FAULT_POINT("svc.epoll.wait.fail")) {
-      // Simulated transient epoll_wait failure: this batch of readiness
-      // events is dropped. Level-triggered epoll re-reports them on the
-      // next wait, so the only observable effect is latency — exactly a
-      // kernel hiccup, never lost work.
-      ZO_COUNTER_INC("svc.server.injected_epoll_wait_drops");
-      ready = 0;
-    }
-    if (ready > 0) {
-      ZO_COUNTER_ADD("svc.epoll.ready_events",
-                     static_cast<std::uint64_t>(ready));
-    }
-    for (int i = 0; i < ready; ++i) {
-      if (events[i].data.ptr == nullptr) {
-        char buf[256];
-        while (::read(loop->wake[0], buf, sizeof(buf)) > 0) {
-        }
-        continue;
-      }
-      auto* raw = static_cast<Connection*>(events[i].data.ptr);
-      std::shared_ptr<Connection> connection = raw->shared_from_this();
-      std::uint32_t mask = events[i].events;
-      if ((mask & (EPOLLIN | EPOLLRDHUP | EPOLLERR | EPOLLHUP)) != 0) {
-        HandleReadable(loop, connection);
-      }
-      if ((mask & EPOLLOUT) != 0) {
-        FlushConnection(loop, connection);
-      }
-    }
-    // Drain the cross-thread mailbox: newly accepted connections, flush
-    // notifications from workers, and drain directives.
-    std::vector<std::shared_ptr<Connection>> incoming;
-    std::vector<std::shared_ptr<Connection>> flushes;
-    bool shut_reads = false;
-    bool stop_idle = false;
-    {
-      std::lock_guard<std::mutex> lock(loop->mutex);
-      incoming.swap(loop->incoming);
-      flushes.swap(loop->flush_queue);
-      shut_reads = loop->shutdown_reads;
-      stop_idle = loop->stop_when_idle;
-      loop->wake_pending = false;
-    }
-    for (auto& connection : incoming) {
-      epoll_event ev{};
-      ev.events = EPOLLIN | EPOLLRDHUP;
-      ev.data.ptr = connection.get();
-      if (::epoll_ctl(loop->epoll_fd, EPOLL_CTL_ADD, connection->fd(), &ev) !=
-          0) {
-        continue;  // Dropped; the destructor closes the fd.
-      }
-      connection->set_registered(true);
-      loop->conns.push_back(connection);
-      if (shut_reads) {
-        // Raced with drain: half-close immediately and process the EOF now
-        // (the local SHUT_RD itself produces no fresh epoll event).
-        connection->ShutdownRead();
-        HandleReadable(loop, connection);
-      }
-    }
-    for (auto& connection : flushes) FlushConnection(loop, connection);
-    if (shut_reads && !loop->shut_reads_done) {
-      loop->shut_reads_done = true;
-      for (auto& connection : loop->conns) {
-        connection->ShutdownRead();
-        HandleReadable(loop, connection);
-      }
-    }
-    SweepConnections(loop);
-    if (stop_idle) {
-      if (!loop->drain_deadline_set) {
-        loop->drain_deadline_set = true;
-        loop->drain_deadline =
-            std::chrono::steady_clock::now() +
-            std::chrono::milliseconds(options_.drain_flush_timeout_ms);
-      }
-      for (auto& connection : loop->conns) FlushConnection(loop, connection);
-      SweepConnections(loop);
-      if (loop->conns.empty()) return;
-      if (std::chrono::steady_clock::now() >= loop->drain_deadline) {
-        // Peers that stopped reading would hold the drain forever; declare
-        // them broken (same contract as the legacy send timeout).
-        for (auto& connection : loop->conns) connection->MarkBroken();
-        SweepConnections(loop);
-        return;
-      }
-    }
-  }
-}
-
-void Server::HandleReadable(EventLoop* loop,
-                            const std::shared_ptr<Connection>& connection) {
-  if (!connection->registered() || connection->reading_done()) return;
-  char chunk[4096];
-  // Fairness bound: a client blasting pipelined requests yields the loop
-  // after this many reads; level-triggered epoll re-reports the rest.
-  int rounds = 16;
-  std::string& input = connection->input();
-  for (;;) {
-    if (ZO_FAULT_POINT("svc.epoll.read.fail")) {
-      // Simulated mid-stream connection reset: stop reading as if the peer
-      // vanished. Reserved slots still get answered and flushed.
-      ZO_COUNTER_INC("svc.server.injected_epoll_read_resets");
-      connection->AbortReading();
-      return;
-    }
-    ssize_t n = ::recv(connection->fd(), chunk, sizeof(chunk), 0);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
-      connection->FinishReading();  // Reset or error: treat as EOF.
-      return;
-    }
-    if (n == 0) {
-      connection->FinishReading();
-      return;
-    }
-    input.append(chunk, static_cast<std::size_t>(n));
-    std::size_t newline;
-    while ((newline = input.find('\n')) != std::string::npos) {
-      std::string line = input.substr(0, newline);
-      input.erase(0, newline + 1);
-      if (!line.empty() && line.back() == '\r') line.pop_back();
-      if (line.empty()) continue;  // Blank keep-alive line.
-      HandleLine(connection, std::move(line));
-    }
-    if (input.size() > kMaxRequestBytes) {
-      // Framing is unrecoverable once a line overruns the cap: answer
-      // BAD_REQUEST and stop reading this connection.
-      std::uint64_t seq = connection->ReserveSlot();
-      connection->CompleteSlot(
-          seq, FormatResponse(Response{
-                   WireStatus::kBadRequest, "0",
-                   StrCat("request line exceeds ", kMaxRequestBytes,
-                          " bytes")}));
-      {
-        std::lock_guard<std::mutex> lock(stats_mutex_);
-        ++stats_.bad_requests;
-      }
-      connection->AbortReading();
-      return;
-    }
-    if (static_cast<std::size_t>(n) < sizeof(chunk)) return;  // Drained.
-    if (--rounds == 0) return;
-  }
-}
-
-void Server::FlushConnection(EventLoop* loop,
-                             const std::shared_ptr<Connection>& connection) {
-  if (!connection->registered()) return;
-  Connection::FlushResult result = connection->FlushOutbox();
-  bool want_write = result == Connection::FlushResult::kWantWrite;
-  if (want_write != connection->want_write()) {
-    connection->set_want_write(want_write);
-    epoll_event ev{};
-    ev.events = EPOLLIN | EPOLLRDHUP | (want_write ? EPOLLOUT : 0u);
-    ev.data.ptr = connection.get();
-    ::epoll_ctl(loop->epoll_fd, EPOLL_CTL_MOD, connection->fd(), &ev);
-  }
-}
-
-void Server::SweepConnections(EventLoop* loop) {
-  auto& conns = loop->conns;
-  for (std::size_t i = 0; i < conns.size();) {
-    if (conns[i]->IsDone()) {
-      // Deregister before dropping the loop's reference: workers may still
-      // hold the shared_ptr (and call CompleteSlot, which discards), but no
-      // further epoll event can reference the raw pointer.
-      ::epoll_ctl(loop->epoll_fd, EPOLL_CTL_DEL, conns[i]->fd(), nullptr);
-      conns[i]->set_registered(false);
-      conns[i] = std::move(conns.back());
-      conns.pop_back();
-    } else {
-      ++i;
-    }
-  }
-}
-
-void Server::CountOutboxOverflow() {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  ++stats_.outbox_overflows;
-}
-
-// ---------------------------------------------------------------------------
-// Legacy reader model
-
-void Server::ServeConnection(std::shared_ptr<Connection> connection) {
-  // Whatever path exits the read loop, let the connection half-close its
-  // write side once all reserved slots are answered.
-  struct ReadingGuard {
-    Connection* connection;
-    ~ReadingGuard() { connection->FinishReading(); }
-  } guard{connection.get()};
-  std::string buffer;
-  char chunk[4096];
-  for (;;) {
-    std::size_t newline;
-    while ((newline = buffer.find('\n')) == std::string::npos) {
-      if (buffer.size() > kMaxRequestBytes) {
-        // Framing is unrecoverable once a line overruns the cap: answer
-        // BAD_REQUEST and drop the connection.
-        std::uint64_t seq = connection->ReserveSlot();
-        connection->CompleteSlot(
-            seq, FormatResponse(Response{
-                     WireStatus::kBadRequest, "0",
-                     StrCat("request line exceeds ", kMaxRequestBytes,
-                            " bytes")}));
-        {
-          std::lock_guard<std::mutex> lock(stats_mutex_);
-          ++stats_.bad_requests;
-        }
-        return;
-      }
-      if (ZO_FAULT_POINT("svc.recv.reset")) {
-        // Simulated mid-stream connection reset: stop reading as if the
-        // peer vanished. Reserved slots still get answered and flushed.
-        ZO_COUNTER_INC("svc.server.injected_recv_resets");
-        ::shutdown(connection->fd(), SHUT_RD);
-        return;
-      }
-      ssize_t n = ::recv(connection->fd(), chunk, sizeof(chunk), 0);
-      if (n < 0 && errno == EINTR) continue;
-      if (n <= 0) return;  // EOF or error: client is done.
-      buffer.append(chunk, static_cast<std::size_t>(n));
-    }
-    std::string line = buffer.substr(0, newline);
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    buffer.erase(0, newline + 1);
-    if (line.empty()) continue;  // Blank keep-alive line.
-    HandleLine(connection, std::move(line));
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Shared request admission
-
-void Server::HandleLine(const std::shared_ptr<Connection>& connection,
-                        std::string line) {
+void Server::Submit(const std::shared_ptr<Channel>& channel,
+                    std::string line, Encoder encoder) {
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.requests_received;
   }
   ZO_COUNTER_INC("svc.server.requests");
-  std::uint64_t seq = connection->ReserveSlot();
+  std::uint64_t seq = channel->ReserveSlot();
   StatusOr<Request> parsed = ParseRequestLine(line);
   if (!parsed.ok()) {
     {
@@ -873,9 +182,9 @@ void Server::HandleLine(const std::shared_ptr<Connection>& connection,
       ++stats_.bad_requests;
     }
     ZO_COUNTER_INC("svc.server.bad_requests");
-    connection->CompleteSlot(
-        seq, FormatResponse(Response{WireStatus::kBadRequest, "0",
-                                     parsed.status().message()}));
+    channel->CompleteSlot(seq,
+                          encoder(Response{WireStatus::kBadRequest, "0",
+                                           parsed.status().message()}));
     return;
   }
   Request request = std::move(*parsed);
@@ -888,16 +197,16 @@ void Server::HandleLine(const std::shared_ptr<Connection>& connection,
   const std::string request_id = request.id;
   auto admitted = std::chrono::steady_clock::now();
 
-  bool submitted = executor_->TrySubmit([this, connection, seq,
+  bool submitted = executor_->TrySubmit([this, channel, seq,
                                          request = std::move(request),
-                                         deadline_ms, admitted] {
+                                         encoder, deadline_ms, admitted] {
     ZO_TRACE_SPAN("svc.request");
     // The worker never touches the socket: the response lands in the
     // connection's outbox (or is flushed inline in legacy mode) via the
     // CompleteSlot completion callback.
     Response response =
         dispatcher_.ExecuteAdmitted(request, admitted, deadline_ms);
-    connection->CompleteSlot(seq, FormatResponse(response));
+    channel->CompleteSlot(seq, encoder(response));
   });
   if (!submitted) {
     bool draining = stopping_.load(std::memory_order_relaxed) ||
@@ -911,9 +220,9 @@ void Server::HandleLine(const std::shared_ptr<Connection>& connection,
       }
     }
     ZO_COUNTER_INC("svc.server.overloaded");
-    connection->CompleteSlot(
+    channel->CompleteSlot(
         seq,
-        FormatResponse(Response{
+        encoder(Response{
             draining ? WireStatus::kShuttingDown : WireStatus::kOverloaded,
             request_id,
             draining
@@ -923,65 +232,33 @@ void Server::HandleLine(const std::shared_ptr<Connection>& connection,
   }
 }
 
+void Server::OnWireError() {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ++stats_.bad_requests;
+}
+
 // ---------------------------------------------------------------------------
 // Drain
 
 void Server::BeginShutdown() {
-  if (stopping_.exchange(true)) {
-    Notify();
-    return;
-  }
-  Notify();  // Wake the accept loop and WaitForShutdownRequest.
-  // Half-close every connection: readers see EOF and stop submitting; the
-  // executor still finishes (and answers) everything already accepted. The
-  // event loops need an explicit self-pipe wakeup — a thread parked in
-  // epoll_wait never observes a flag by itself (the PR-3 drain relied on
-  // per-connection reader threads unblocking on shutdown(SHUT_RD), which
-  // no longer exist).
-  for (auto& loop : loops_) {
-    std::lock_guard<std::mutex> lock(loop->mutex);
-    loop->shutdown_reads = true;
-    loop->WakeLocked();
-  }
-  std::lock_guard<std::mutex> lock(connections_mutex_);
-  for (const auto& connection : connections_) connection->ShutdownRead();
+  stopping_.store(true, std::memory_order_relaxed);
+  Notify();  // Wake WaitForShutdownRequest.
+  if (transport_ != nullptr) transport_->BeginShutdown();
+  if (http_transport_ != nullptr) http_transport_->BeginShutdown();
 }
 
 void Server::Wait() {
-  if (accept_thread_.joinable()) accept_thread_.join();
-  // Close the listen socket so late connects are refused outright instead
-  // of sitting unanswered in the accept backlog.
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-  }
-  // Legacy readers are joinable once their sockets are half-closed; the
-  // epoll loops keep running through the executor drain so completed
-  // responses still get flushed.
-  std::vector<std::thread> readers;
-  {
-    std::lock_guard<std::mutex> lock(connections_mutex_);
-    readers.swap(reader_threads_);
-  }
-  for (std::thread& reader : readers) {
-    if (reader.joinable()) reader.join();
-  }
-  // No new submissions can arrive once readers are gone (or half-closed);
-  // Drain completes every accepted request, parking its response in the
-  // connection outboxes (epoll) or writing it inline (legacy).
+  // Phase 1: no new request can enter the system once the accept threads
+  // are joined and every connection is half-closed for reading.
+  if (transport_ != nullptr) transport_->JoinReaders();
+  if (http_transport_ != nullptr) http_transport_->JoinReaders();
+  // Phase 2: Drain completes every accepted request, parking its response
+  // in the connection outboxes (epoll) or writing it inline (legacy).
   executor_->Drain();
-  // Join order matters: only after the executor is drained may the event
-  // loops stop — they still have outboxes to flush. Each loop exits once
-  // every connection is retired (flushed + EOF, broken, or past the drain
-  // flush timeout), and must be woken explicitly to notice the directive.
-  for (auto& loop : loops_) {
-    std::lock_guard<std::mutex> lock(loop->mutex);
-    loop->stop_when_idle = true;
-    loop->WakeLocked();
-  }
-  for (auto& loop : loops_) {
-    if (loop->thread.joinable()) loop->thread.join();
-  }
+  // Phase 3: only after the executor is drained may the event loops stop —
+  // they still have outboxes to flush.
+  if (transport_ != nullptr) transport_->StopAndJoin();
+  if (http_transport_ != nullptr) http_transport_->StopAndJoin();
   // Stop pulling from the primary before the drain save so no shipped
   // record lands between a session's snapshot and process exit.
   if (replicator_ != nullptr) replicator_->Stop();
@@ -998,8 +275,6 @@ void Server::Wait() {
     std::fprintf(stderr, "zeroone_server: snapshots: saved %zu sessions\n",
                  saved);
   }
-  std::lock_guard<std::mutex> lock(connections_mutex_);
-  connections_.clear();  // Closes fds once workers release their refs.
 }
 
 void Server::Shutdown() {
@@ -1008,8 +283,20 @@ void Server::Shutdown() {
 }
 
 Server::Stats Server::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  return stats_;
+  Stats out;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    out = stats_;
+  }
+  for (const Transport* transport :
+       {transport_.get(), http_transport_.get()}) {
+    if (transport == nullptr) continue;
+    Transport::Stats t = transport->stats();
+    out.connections_accepted += t.connections_accepted;
+    out.connections_refused += t.connections_refused;
+    out.outbox_overflows += t.outbox_overflows;
+  }
+  return out;
 }
 
 }  // namespace svc

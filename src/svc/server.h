@@ -1,24 +1,30 @@
 #ifndef ZEROONE_SVC_SERVER_H_
 #define ZEROONE_SVC_SERVER_H_
 
-// The long-lived TCP query server (tools/zeroone_server.cc is the binary).
+// The long-lived query server (tools/zeroone_server.cc is the binary).
 //
-// Architecture (docs/serving.md has the full picture): one accept thread
-// and a small fixed pool of epoll event-loop threads (default
-// min(4, hw_concurrency)) that multiplex every accepted connection over
-// nonblocking sockets. An event thread reads into the connection's input
-// buffer, parses newline-delimited requests (svc/protocol.h), stamps each
-// with its admission time, and submits it to the shared BoundedExecutor
-// worker pool; a full queue is answered OVERLOADED immediately — admission
-// control, not unbounded buffering. Workers run the Dispatcher under a
-// per-request deadline counted from admission (Dispatcher::ExecuteAdmitted)
-// and deliver the response via a completion callback that never touches the
-// socket: frames land in the connection's bounded outbox and the owning
-// event loop is woken through its self-pipe to flush them nonblockingly.
+// The serving stack is layered (docs/serving.md has the full picture):
+//
+//   Transport (svc/transport.h) — sockets, epoll event loops, outboxes,
+//     connection admission, graceful drain. Protocol-agnostic.
+//   Protocol handlers — Zo1LineHandler (svc/frontend.h) for the newline
+//     protocol, HttpHandler (svc/http.h) for the HTTP/JSON gateway. Both
+//     decode wire bytes into ZO1 request lines.
+//   RequestSink — this Server: parse the line (svc/protocol.h), admit it
+//     into the shared BoundedExecutor worker pool (a full queue is answered
+//     OVERLOADED immediately — admission control, not unbounded buffering),
+//     run the Dispatcher under a per-request deadline counted from
+//     admission, and complete the channel's response slot with the
+//     protocol's encoding of the response. Workers never touch sockets.
+//
+// The Server listens on a ZO1 transport always, and additionally on an
+// HTTP transport when ServerOptions::http_port >= 0. Both fronts share the
+// executor, dispatcher, and admission paths, so capacity limits apply to
+// the sum of the traffic.
 //
 // Backpressure: the per-connection outbox is byte-bounded
 // (ServerOptions::outbox_max_bytes). A client that stops reading makes its
-// outbox grow past the bound, at which point the connection latches broken_
+// outbox grow past the bound, at which point the connection latches broken
 // and is shut down — a slow reader costs one buffer, never a thread, and
 // never delays other connections sharing the event loop.
 //
@@ -27,11 +33,9 @@
 // ids themselves.
 //
 // Graceful drain: BeginShutdown() (async-signal-safe trigger via Notify on
-// a self-pipe) stops the accept loop and asks every event loop — through
-// its own self-pipe, since a thread blocked in epoll_wait needs an explicit
-// wakeup — to half-close its connections for reading; accepted requests
-// finish, their responses are flushed, then Wait() joins everything.
-// Accepted work is never dropped.
+// a self-pipe) stops the accept loops and half-closes every connection for
+// reading; accepted requests finish, their responses are flushed, then
+// Wait() joins everything. Accepted work is never dropped.
 //
 // ServerOptions::legacy_readers selects the pre-epoll model (one blocking
 // reader thread per connection, inline blocking sends). It exists so the
@@ -50,8 +54,10 @@
 #include "common/status.h"
 #include "svc/dispatch.h"
 #include "svc/executor.h"
+#include "svc/frontend.h"
 #include "svc/protocol.h"
 #include "svc/replication.h"
+#include "svc/transport.h"
 
 namespace zeroone {
 namespace svc {
@@ -59,6 +65,9 @@ namespace svc {
 struct ServerOptions {
   std::string host = "127.0.0.1";
   int port = 0;  // 0 = ephemeral; the bound port is Server::port().
+  // HTTP/JSON gateway listener (svc/http.h): -1 = disabled, 0 = ephemeral
+  // (the bound port is Server::http_port()).
+  int http_port = -1;
   std::size_t threads = 4;
   std::size_t queue_capacity = 64;
   std::size_t cache_bytes = 8 * 1024 * 1024;
@@ -98,6 +107,7 @@ struct ServerOptions {
   std::size_t par_threads = 0;
   // Connection admission limit: a connect beyond this many live
   // connections is answered OVERLOADED and closed. 0 = unlimited.
+  // Applies per listener.
   std::size_t max_conns = 0;
   // Byte bound on one connection's queued-but-unsent responses. A client
   // that stops reading trips the bound and gets disconnected instead of
@@ -105,7 +115,8 @@ struct ServerOptions {
   // blocking send timeout bounds slow readers).
   std::size_t outbox_max_bytes = 8 * 1024 * 1024;
   // Pre-epoll model: one blocking reader thread per connection. Kept for
-  // the differential conformance test; see the header comment.
+  // the differential conformance test; see the header comment. ZO1
+  // listener only — the HTTP listener always uses the event loops.
   bool legacy_readers = false;
   // SO_SNDBUF for accepted sockets; 0 = kernel default. Tests shrink it so
   // outbox backpressure trips without megabytes of traffic.
@@ -115,30 +126,33 @@ struct ServerOptions {
   std::uint64_t drain_flush_timeout_ms = 30000;
 };
 
-class Server {
+class Server : public RequestSink {
  public:
   explicit Server(const ServerOptions& options);
-  ~Server();
+  ~Server() override;
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  // Binds, listens, and starts the accept + event-loop threads. Call once.
+  // Binds, listens, recovers persisted sessions, and starts the transport
+  // threads. Call once.
   Status Start();
 
   // The port actually bound (resolves port 0). Valid after Start().
-  int port() const { return port_; }
+  int port() const;
+  // The HTTP listener's bound port; -1 when the gateway is disabled.
+  int http_port() const;
 
-  // Event-loop threads serving connections (0 under legacy_readers). The
-  // count is fixed at Start() and never grows with the connection count —
-  // bench_serving asserts exactly that.
-  std::size_t event_threads() const { return loops_.size(); }
+  // Event-loop threads serving ZO1 connections (0 under legacy_readers).
+  // The count is fixed at Start() and never grows with the connection
+  // count — bench_serving asserts exactly that.
+  std::size_t event_threads() const;
 
   // Initiates graceful drain; returns immediately. Safe to call from any
   // thread and more than once. From a signal handler, call Notify()
   // instead and run BeginShutdown() on a normal thread.
   void BeginShutdown();
 
-  // Blocks until the accept thread, all in-flight requests, and all
+  // Blocks until the accept threads, all in-flight requests, and all
   // event-loop (or legacy reader) threads have finished. Call after
   // BeginShutdown().
   void Wait();
@@ -152,6 +166,13 @@ class Server {
 
   // Blocks until Notify() or BeginShutdown() is called.
   void WaitForShutdownRequest();
+
+  // RequestSink: parse, admit, and submit one ZO1 request line. Called by
+  // the protocol handlers; the reserved slot is completed with
+  // encoder(response) from a worker (or inline on parse/admission errors).
+  void Submit(const std::shared_ptr<Channel>& channel, std::string line,
+              Encoder encoder) override;
+  void OnWireError() override;
 
   Dispatcher& dispatcher() { return dispatcher_; }
   BoundedExecutor& executor() { return *executor_; }
@@ -177,46 +198,18 @@ class Server {
   Replicator* replicator() { return replicator_.get(); }
 
  private:
-  class Connection;
-  struct EventLoop;
-
-  void AcceptLoop();
-  // Legacy model: the per-connection blocking reader thread body.
-  void ServeConnection(std::shared_ptr<Connection> connection);
-  // Shared by both models: parse, admit, and submit one request line.
-  void HandleLine(const std::shared_ptr<Connection>& connection,
-                  std::string line);
-
-  // Epoll model.
-  void EventLoopRun(EventLoop* loop);
-  void HandleReadable(EventLoop* loop,
-                      const std::shared_ptr<Connection>& connection);
-  void FlushConnection(EventLoop* loop,
-                       const std::shared_ptr<Connection>& connection);
-  void SweepConnections(EventLoop* loop);
-  void CountOutboxOverflow();
-
   const ServerOptions options_;
   Dispatcher dispatcher_;
   std::unique_ptr<BoundedExecutor> executor_;
   std::unique_ptr<Replicator> replicator_;
 
-  int listen_fd_ = -1;
-  int wake_pipe_[2] = {-1, -1};  // [0] read end polled by AcceptLoop.
-  int port_ = 0;
+  std::unique_ptr<Transport> transport_;       // ZO1 listener.
+  std::unique_ptr<Transport> http_transport_;  // Null unless http_port >= 0.
+
+  int notify_pipe_[2] = {-1, -1};  // Signal-handler → WaitForShutdownRequest.
   std::atomic<bool> stopping_{false};
   std::atomic<bool> started_{false};
   std::atomic<bool> saved_on_drain_{false};
-  std::atomic<std::size_t> live_connections_{0};
-
-  std::thread accept_thread_;
-  std::vector<std::unique_ptr<EventLoop>> loops_;
-  std::size_t next_loop_ = 0;  // Accept thread only: round-robin assignment.
-
-  // Legacy model state.
-  std::mutex connections_mutex_;
-  std::vector<std::shared_ptr<Connection>> connections_;
-  std::vector<std::thread> reader_threads_;
 
   mutable std::mutex stats_mutex_;
   Stats stats_;

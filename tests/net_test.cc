@@ -1,0 +1,138 @@
+// Tests for common/net.h: the one endpoint grammar shared by every flag
+// that accepts "host:port" (--follow, --backends, --endpoints). The accept
+// and reject tables here are the contract those flags inherit — in
+// particular the rejection of port 0 (a peer endpoint must be concrete)
+// and of overflowed ports, and the order-preservation of endpoint lists
+// (consistent-hash rings are built over the list order).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/net.h"
+
+namespace zeroone {
+namespace {
+
+TEST(ParseHostPortTest, AcceptsNumericHostAndPort) {
+  StatusOr<HostPort> parsed = ParseHostPort("127.0.0.1:9000");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_EQ(parsed->host, "127.0.0.1");
+  EXPECT_EQ(parsed->port, 9000);
+}
+
+TEST(ParseHostPortTest, AcceptsHostnames) {
+  StatusOr<HostPort> parsed = ParseHostPort("shard-03.internal:65535");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_EQ(parsed->host, "shard-03.internal");
+  EXPECT_EQ(parsed->port, 65535);
+}
+
+TEST(ParseHostPortTest, AcceptsPortOne) {
+  StatusOr<HostPort> parsed = ParseHostPort("h:1");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_EQ(parsed->port, 1);
+}
+
+TEST(ParseHostPortTest, RejectsMissingColon) {
+  StatusOr<HostPort> parsed = ParseHostPort("localhost");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("want HOST:PORT"),
+            std::string::npos)
+      << parsed.status().message();
+}
+
+TEST(ParseHostPortTest, RejectsEmptyInput) {
+  EXPECT_FALSE(ParseHostPort("").ok());
+}
+
+TEST(ParseHostPortTest, RejectsEmptyHost) {
+  StatusOr<HostPort> parsed = ParseHostPort(":8080");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("empty host"), std::string::npos)
+      << parsed.status().message();
+}
+
+TEST(ParseHostPortTest, RejectsEmptyPort) {
+  EXPECT_FALSE(ParseHostPort("localhost:").ok());
+}
+
+TEST(ParseHostPortTest, RejectsColonInHost) {
+  // rfind(':') splits at the last colon, so an IPv6-ish host leaves a ':'
+  // in the host part — rejected explicitly rather than misparsed.
+  StatusOr<HostPort> parsed = ParseHostPort("::1:8080");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("IPv6"), std::string::npos)
+      << parsed.status().message();
+}
+
+TEST(ParseHostPortTest, RejectsPortZero) {
+  StatusOr<HostPort> parsed = ParseHostPort("localhost:0");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("out of range"), std::string::npos)
+      << parsed.status().message();
+}
+
+TEST(ParseHostPortTest, RejectsPortAbove65535) {
+  EXPECT_FALSE(ParseHostPort("localhost:65536").ok());
+}
+
+TEST(ParseHostPortTest, RejectsOverflowedPort) {
+  // Larger than uint64: ParseUint64's overflow check must fire, not wrap.
+  EXPECT_FALSE(ParseHostPort("localhost:99999999999999999999999").ok());
+  // Wraps a 32-bit int if parsed carelessly; still must be rejected.
+  EXPECT_FALSE(ParseHostPort("localhost:4294967297").ok());
+}
+
+TEST(ParseHostPortTest, RejectsNonNumericPort) {
+  EXPECT_FALSE(ParseHostPort("localhost:http").ok());
+  EXPECT_FALSE(ParseHostPort("localhost:80a").ok());
+  EXPECT_FALSE(ParseHostPort("localhost:-80").ok());
+  EXPECT_FALSE(ParseHostPort("localhost: 80").ok());
+}
+
+TEST(ParseHostPortTest, RoundTripsThroughFormat) {
+  HostPort endpoint;
+  endpoint.host = "10.1.2.3";
+  endpoint.port = 4242;
+  StatusOr<HostPort> parsed = ParseHostPort(FormatHostPort(endpoint));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_EQ(*parsed, endpoint);
+}
+
+TEST(ParseEndpointListTest, SingleEndpoint) {
+  StatusOr<std::vector<HostPort>> parsed = ParseEndpointList("a:1");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  ASSERT_EQ(parsed->size(), 1u);
+  EXPECT_EQ((*parsed)[0].host, "a");
+}
+
+TEST(ParseEndpointListTest, PreservesOrder) {
+  StatusOr<std::vector<HostPort>> parsed =
+      ParseEndpointList("c:3,a:1,b:2");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  ASSERT_EQ(parsed->size(), 3u);
+  // Order is the ring contract: no sorting, no dedup.
+  EXPECT_EQ((*parsed)[0].host, "c");
+  EXPECT_EQ((*parsed)[1].host, "a");
+  EXPECT_EQ((*parsed)[2].host, "b");
+  EXPECT_EQ((*parsed)[2].port, 2);
+}
+
+TEST(ParseEndpointListTest, RejectsEmptyList) {
+  EXPECT_FALSE(ParseEndpointList("").ok());
+}
+
+TEST(ParseEndpointListTest, RejectsEmptySegments) {
+  EXPECT_FALSE(ParseEndpointList("a:1,,b:2").ok());
+  EXPECT_FALSE(ParseEndpointList("a:1,").ok());
+  EXPECT_FALSE(ParseEndpointList(",a:1").ok());
+}
+
+TEST(ParseEndpointListTest, RejectsAnyBadSegment) {
+  EXPECT_FALSE(ParseEndpointList("a:1,b:0,c:3").ok());
+  EXPECT_FALSE(ParseEndpointList("a:1,b,c:3").ok());
+}
+
+}  // namespace
+}  // namespace zeroone

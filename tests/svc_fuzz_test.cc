@@ -18,6 +18,11 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -30,7 +35,9 @@
 #include "constraints/fd.h"
 #include "data/io.h"
 #include "query/parser.h"
+#include "svc/http.h"
 #include "svc/protocol.h"
+#include "svc/server.h"
 #include "svc/session.h"
 #include "svc/snapshot.h"
 
@@ -248,6 +255,230 @@ TEST(SvcFuzzTest, LoadAllSurvivesDirectoryOfMutatedSnapshots) {
   }
   EXPECT_FALSE(token.cancelled()) << "LoadAll fuzz pass hung";
 }
+
+// ---------------------------------------------------------------------------
+// HTTP gateway mutation fuzz: a live server's HTTP listener is hammered
+// with torn request lines, oversized headers, bad Content-Length values,
+// pipelined garbage, and seeded mutations of valid requests. The property
+// is the gateway's failure contract (svc/http.h): never crash, never hang —
+// every connection ends in well-formed HTTP responses (400/413/... for the
+// malformed ones) or a clean close, and afterwards the server still
+// answers a well-formed request.
+
+namespace {
+
+// AssembleQueryLine over pure garbage: the JSON reader must reject (or
+// accept) without crashing, for random bytes and mutated valid bodies.
+TEST(SvcFuzzTest, AssembleQueryLineSurvivesGarbageBodies) {
+  std::mt19937_64 rng(0x5eed0005);
+  const std::string valid =
+      R"json({"command": "certain", "args": "Q(x)", "id": "q7",)json"
+      R"json( "session": "alpha", "deadline_ms": 250, "nocache": true})json";
+  for (int i = 0; i < 6000; ++i) {
+    std::string body =
+        (i % 3 == 0) ? RandomBytes(rng, rng() % 512) : Mutate(valid, rng);
+    StatusOr<std::string> line = AssembleQueryLine(body);
+    if (line.ok()) {
+      // Framing safety: raw control bytes in the body are rejected by the
+      // JSON reader, but backslash escapes legally decode to them.
+      // Submit hands the whole assembled line to ParseRequestLine,
+      // which rejects any control byte — so a smuggled newline can never
+      // desync the ZO1 framing, it just earns BAD_REQUEST.
+      if (line->find_first_of("\n\r") != std::string::npos) {
+        EXPECT_FALSE(ParseRequestLine(*line).ok()) << body;
+      }
+    }
+  }
+}
+
+class HttpFuzzSocket {
+ public:
+  ~HttpFuzzSocket() { Close(); }
+
+  bool Connect(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    timeval timeout{10, 0};  // The anti-hang property: reads must finish.
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    return ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr)) == 0;
+  }
+
+  // Sends what it can; a peer reset mid-send is a legal outcome here.
+  void SendBestEffort(std::string_view bytes) {
+    while (!bytes.empty()) {
+      ssize_t n = ::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+      if (n <= 0) return;
+      bytes.remove_prefix(static_cast<std::size_t>(n));
+    }
+  }
+
+  void ShutdownWrite() { ::shutdown(fd_, SHUT_WR); }
+
+  // Reads to EOF (or reset). Returns false only on the receive timeout —
+  // the one outcome the contract forbids.
+  bool ReadToEof(std::string* out) {
+    char chunk[4096];
+    for (;;) {
+      ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n == 0) return true;
+      if (n < 0) return errno != EAGAIN && errno != EWOULDBLOCK;
+      out->append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  void Close() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+// Every byte the server sent back must parse as whole HTTP/1.1 responses
+// with sane status codes — a torn or interleaved response frame is a bug
+// even when the request was garbage. (A suffix that is itself a truncated
+// frame cannot occur: responses are written through ordered slots.)
+void AssertWellFormedHttpStream(const std::string& stream,
+                                const std::string& attack) {
+  std::size_t at = 0;
+  while (at < stream.size()) {
+    ASSERT_EQ(stream.compare(at, 9, "HTTP/1.1 "), 0)
+        << "desynced response stream after attack: " << attack;
+    std::size_t head_end = stream.find("\r\n\r\n", at);
+    ASSERT_NE(head_end, std::string::npos) << "truncated head: " << attack;
+    int code = std::atoi(stream.c_str() + at + 9);
+    EXPECT_TRUE(code == 200 || code == 400 || code == 404 || code == 405 ||
+                code == 413 || code == 422 || code == 503 || code == 504)
+        << "status " << code << " after attack: " << attack;
+    std::size_t content_length = 0;
+    std::size_t marker = stream.find("Content-Length: ", at);
+    if (marker != std::string::npos && marker < head_end) {
+      content_length = static_cast<std::size_t>(
+          std::atoll(stream.c_str() + marker + 16));
+    }
+    at = head_end + 4 + content_length;
+    ASSERT_LE(at, stream.size()) << "truncated body: " << attack;
+  }
+}
+
+TEST(SvcFuzzTest, HttpGatewayMutationTableNeverCrashesOrDesyncs) {
+  ServerOptions options;
+  options.threads = 2;
+  Server server(options);
+  Status started = server.Start();
+  // http_port defaults off; run the gateway on an ephemeral port.
+  ASSERT_TRUE(started.ok()) << started.message();
+  ASSERT_EQ(server.http_port(), -1);
+  server.Shutdown();
+
+  ServerOptions http_options;
+  http_options.threads = 2;
+  http_options.http_port = 0;
+  Server gateway(http_options);
+  started = gateway.Start();
+  ASSERT_TRUE(started.ok()) << started.message();
+  const int port = gateway.http_port();
+  ASSERT_GT(port, 0);
+
+  const std::string valid_request =
+      "POST /v1/query HTTP/1.1\r\nHost: f\r\nContent-Length: 19\r\n\r\n"
+      "{\"command\":\"ping\"}\n";
+  // The handcrafted table: each row is one attack connection.
+  const std::vector<std::string> attacks = {
+      // Torn request lines.
+      "",
+      "P",
+      "POST",
+      "POST /v1/query",
+      "POST /v1/query HTTP/1.1",
+      "POST /v1/query HTTP/1.1\r\n",
+      "POST  /v1/query  HTTP/1.1\r\n\r\n",       // Double spaces.
+      "POST /v1/query HTTP/9.9\r\n\r\n",         // Unknown version.
+      "GET\r\n\r\n",                             // No target.
+      "\r\n\r\n",
+      "\n\n",
+      " POST /v1/query HTTP/1.1\r\n\r\n",        // Leading space.
+      "POST /v1/query HTTP/1.1 extra\r\n\r\n",   // Trailing token.
+      std::string(3, '\0') + "GET /metrics HTTP/1.1\r\n\r\n",
+      // Oversized headers (over the 16KB head cap).
+      "GET /metrics HTTP/1.1\r\nX-Pad: " + std::string(64 * 1024, 'a') +
+          "\r\n\r\n",
+      std::string(64 * 1024, 'x'),
+      "GET " + std::string(32 * 1024, '/') + " HTTP/1.1\r\n\r\n",
+      // Bad Content-Length.
+      "POST /v1/query HTTP/1.1\r\nContent-Length: banana\r\n\r\n{}",
+      "POST /v1/query HTTP/1.1\r\nContent-Length: -1\r\n\r\n{}",
+      "POST /v1/query HTTP/1.1\r\nContent-Length: 1e9\r\n\r\n{}",
+      "POST /v1/query HTTP/1.1\r\nContent-Length: 99999999999999999999"
+      "\r\n\r\n{}",
+      "POST /v1/query HTTP/1.1\r\nContent-Length: 10\r\n"
+      "Content-Length: 20\r\n\r\n0123456789",
+      "POST /v1/query HTTP/1.1\r\nContent-Length: 1000000\r\n\r\nshort",
+      "POST /v1/query HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+      "5\r\nhello\r\n0\r\n\r\n",
+      // Pipelined garbage: valid, then junk, then valid-after-junk (the
+      // junk must poison at most its own connection, never the process).
+      valid_request + "GARBAGE NOISE\r\n\r\n" + valid_request,
+      valid_request + std::string(512, '\xff'),
+      "GET /metrics HTTP/1.1\r\n\r\nGET /metrics HTTP/1.1\r\n\r\n" +
+          std::string("\x00\x01\x02", 3),
+  };
+
+  for (const std::string& attack : attacks) {
+    HttpFuzzSocket socket;
+    ASSERT_TRUE(socket.Connect(port));
+    socket.SendBestEffort(attack);
+    socket.ShutdownWrite();
+    std::string stream;
+    ASSERT_TRUE(socket.ReadToEof(&stream))
+        << "server wedged (recv timeout) on attack: " << attack.substr(0, 80);
+    AssertWellFormedHttpStream(stream, attack.substr(0, 80));
+  }
+
+  // Seeded mutations of the valid exemplar, delivered in random chunks.
+  std::mt19937_64 rng(0x5eed0006);
+  for (int i = 0; i < 150; ++i) {
+    std::string bytes = Mutate(valid_request, rng);
+    HttpFuzzSocket socket;
+    ASSERT_TRUE(socket.Connect(port));
+    std::size_t offset = 0;
+    while (offset < bytes.size()) {
+      std::size_t take =
+          std::min<std::size_t>(1 + rng() % 64, bytes.size() - offset);
+      socket.SendBestEffort(std::string_view(bytes).substr(offset, take));
+      offset += take;
+    }
+    socket.ShutdownWrite();
+    std::string stream;
+    ASSERT_TRUE(socket.ReadToEof(&stream))
+        << "server wedged on mutated request " << i;
+    AssertWellFormedHttpStream(stream, "mutation #" + std::to_string(i));
+  }
+
+  // The survival proof: after the barrage, a well-formed request answers.
+  {
+    HttpFuzzSocket socket;
+    ASSERT_TRUE(socket.Connect(port));
+    socket.SendBestEffort(valid_request);
+    socket.ShutdownWrite();
+    std::string stream;
+    ASSERT_TRUE(socket.ReadToEof(&stream));
+    EXPECT_NE(stream.find("HTTP/1.1 200"), std::string::npos)
+        << stream.substr(0, 200);
+    EXPECT_NE(stream.find("\"payload\":\"pong\""), std::string::npos);
+  }
+  Server::Stats stats = gateway.stats();
+  EXPECT_GT(stats.bad_requests, 0u);
+  gateway.Shutdown();
+}
+
+}  // namespace
 
 }  // namespace
 }  // namespace svc

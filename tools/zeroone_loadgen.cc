@@ -23,6 +23,18 @@
 // acked writes still counts. The verify summary breaks results down per
 // phase and reports how many tuples each endpoint served.
 //
+// Sharded serving (docs/serving.md, "Scaling out"): --endpoints=H:P,H:P,...
+// names the backend pool behind a zeroone_router. Loadgen recomputes the
+// router's consistent-hash placement with the same HashRing (the ordered
+// endpoint list is the ring contract) and, after the run, asks each
+// session's predicted backend directly whether it holds the session's
+// state — the deterministic-placement assertion scripts/shard_serving.sh
+// checks. The JSON summary gains a per-endpoint section (predicted
+// sessions, placement checks). In --verify mode the endpoint list widens
+// the search instead: an acknowledged tuple counts as visible if ANY
+// endpoint serves it, so acked writes survive verification even after a
+// backend death rehashed its sessions elsewhere.
+//
 // All traffic goes through svc::RetryingClient: transient failures
 // (transport errors, OVERLOADED, UNAVAILABLE, SHUTTING_DOWN) are retried
 // with jittered exponential backoff, and the summary reports how hard the
@@ -47,6 +59,11 @@
 //   --verify=FILE        check every tuple in FILE is visible, then exit
 //   --standby-port=N     verify fallback endpoint (same --host); a tuple
 //                        counts if the primary OR the standby serves it
+//   --endpoints=H:P,...  ordered backend list behind the router; enables
+//                        per-endpoint tallies + placement checks (load
+//                        mode) and any-endpoint search (--verify mode)
+//   --ring-replicas=N    vnodes per backend for placement prediction; must
+//                        match the router's --ring-replicas (default 64)
 //   --retry-attempts=N   attempts per request incl. the first (default 5)
 //   --retry-backoff-ms=N initial backoff; doubles, capped at 1000 (default 10)
 //   --seed=N             base seed for retry jitter (default 1)
@@ -72,12 +89,15 @@
 #include <thread>
 #include <vector>
 
+#include "common/net.h"
 #include "fault/fault.h"
 #include "svc/client.h"
 #include "svc/protocol.h"
+#include "svc/router.h"
 
 namespace {
 
+using zeroone::HostPort;
 using zeroone::Status;
 using zeroone::StatusOr;
 using zeroone::svc::ClientOptions;
@@ -136,6 +156,9 @@ struct LoadgenOptions {
   std::string phase;  // Optional third ack-log field; tallied by --verify.
   std::string verify_file;
   int standby_port = 0;  // --verify fallback endpoint; 0 = none.
+  // --endpoints: the backend pool behind a router (order = ring contract).
+  std::vector<HostPort> endpoints;
+  std::size_t ring_replicas = 64;  // Must match the router's.
   int retry_attempts = 5;
   std::uint64_t retry_backoff_ms = 10;
   std::uint64_t seed = 1;
@@ -168,6 +191,8 @@ void PrintUsage(std::ostream& os) {
         "                       [--mu-heavy] [--mutate] [--ack-log=FILE] "
         "[--phase=NAME]\n"
         "                       [--verify=FILE] [--standby-port=N]\n"
+        "                       [--endpoints=HOST:PORT,...] "
+        "[--ring-replicas=N]\n"
         "                       [--retry-attempts=N] [--retry-backoff-ms=N] "
         "[--seed=N]\n"
         "                       [--faults=SPEC]\n";
@@ -388,13 +413,26 @@ std::uint64_t RunVerify(const LoadgenOptions& options) {
     acked_by_session[session][token] = phase;
   }
 
-  RetryingClient primary = MakeClient(options, 0);
-  std::unique_ptr<RetryingClient> standby;
-  if (options.standby_port != 0) {
-    LoadgenOptions standby_options = options;
-    standby_options.port = options.standby_port;
-    standby = std::make_unique<RetryingClient>(
-        MakeClient(standby_options, 1));
+  // The search order: --endpoints (a sharded pool — any backend may hold a
+  // rehashed session) wins; otherwise the primary --port plus the optional
+  // --standby-port, preserving the failover-verify contract.
+  std::vector<HostPort> targets;
+  if (!options.endpoints.empty()) {
+    targets = options.endpoints;
+  } else {
+    targets.push_back(HostPort{options.host, options.port});
+    if (options.standby_port != 0) {
+      targets.push_back(HostPort{options.host, options.standby_port});
+    }
+  }
+  std::vector<std::unique_ptr<RetryingClient>> clients;
+  clients.reserve(targets.size());
+  for (std::size_t e = 0; e < targets.size(); ++e) {
+    LoadgenOptions endpoint_options = options;
+    endpoint_options.host = targets[e].host;
+    endpoint_options.port = targets[e].port;
+    clients.push_back(
+        std::make_unique<RetryingClient>(MakeClient(endpoint_options, e)));
   }
 
   struct PhaseTally {
@@ -404,12 +442,13 @@ std::uint64_t RunVerify(const LoadgenOptions& options) {
   std::map<std::string, PhaseTally> by_phase;
   std::uint64_t verified = 0;
   std::uint64_t missing = 0;
-  std::uint64_t primary_hits = 0;  // Tuples the primary endpoint served.
-  std::uint64_t standby_hits = 0;  // Tuples only the standby served.
+  // endpoint_hits[e]: tuples first served by targets[e] (earlier endpoints
+  // are asked first, so a tuple on several backends counts once).
+  std::vector<std::uint64_t> endpoint_hits(targets.size(), 0);
   std::uint64_t id = 1;
 
-  // One `show` per session per endpoint; the standby is asked only when
-  // the primary is missing something (lazy, cached across tokens).
+  // One `show` per session per endpoint, fetched lazily: endpoint e is
+  // asked only when endpoints 0..e-1 are missing some tuple.
   auto fetch = [&id](RetryingClient* client, const std::string& name,
                      std::string* payload) {
     Request request;
@@ -423,34 +462,33 @@ std::uint64_t RunVerify(const LoadgenOptions& options) {
   };
 
   for (const auto& [name, tokens] : acked_by_session) {
-    std::string primary_payload;
-    const bool primary_ok = fetch(&primary, name, &primary_payload);
-    if (!primary_ok && standby == nullptr) {
-      std::cerr << "verify: cannot read session '" << name << "'\n";
-    }
-    bool standby_fetched = false;
-    bool standby_ok = false;
-    std::string standby_payload;
+    std::vector<int> fetched(targets.size(), 0);  // 0 new, 1 ok, -1 failed.
+    std::vector<std::string> payloads(targets.size());
+    bool any_reachable = false;
     for (const auto& [t, phase] : tokens) {
       // Tuple constants render as "(token)"; substring match on the
       // parenthesized form avoids false hits on token prefixes.
       const std::string needle = "(" + t + ")";
-      bool found = primary_ok &&
-                   primary_payload.find(needle) != std::string::npos;
-      if (found) ++primary_hits;
-      if (!found && standby != nullptr) {
-        if (!standby_fetched) {
-          standby_fetched = true;
-          standby_ok = fetch(standby.get(), name, &standby_payload);
+      bool found = false;
+      for (std::size_t e = 0; e < targets.size() && !found; ++e) {
+        if (fetched[e] == 0) {
+          fetched[e] = fetch(clients[e].get(), name, &payloads[e]) ? 1 : -1;
         }
-        found = standby_ok &&
-                standby_payload.find(needle) != std::string::npos;
-        if (found) ++standby_hits;
+        if (fetched[e] != 1) continue;
+        any_reachable = true;
+        if (payloads[e].find(needle) != std::string::npos) {
+          found = true;
+          ++endpoint_hits[e];
+        }
       }
       if (found) {
         ++verified;
         ++by_phase[phase].verified;
       } else {
+        if (!any_reachable) {
+          std::cerr << "verify: cannot read session '" << name
+                    << "' on any endpoint\n";
+        }
         ++missing;
         ++by_phase[phase].missing;
         std::cerr << "verify: session '" << name << "' lost acknowledged "
@@ -463,9 +501,14 @@ std::uint64_t RunVerify(const LoadgenOptions& options) {
 
   std::cerr << "verify: " << verified << " acknowledged tuples visible, "
             << missing << " missing";
-  if (standby != nullptr) {
-    std::cerr << " (" << primary_hits << " on primary, " << standby_hits
-              << " on standby)";
+  if (targets.size() > 1) {
+    std::cerr << " (";
+    for (std::size_t e = 0; e < targets.size(); ++e) {
+      if (e > 0) std::cerr << ", ";
+      std::cerr << endpoint_hits[e] << " on "
+                << zeroone::FormatHostPort(targets[e]);
+    }
+    std::cerr << ")";
   }
   std::cerr << "\n";
   for (const auto& [phase, tally] : by_phase) {
@@ -475,9 +518,22 @@ std::uint64_t RunVerify(const LoadgenOptions& options) {
               << " missing\n";
   }
 
+  // Legacy fields: the first endpoint is "primary"; everything an earlier
+  // endpoint missed but a later one served is a "standby" hit.
+  std::uint64_t standby_hits = 0;
+  for (std::size_t e = 1; e < targets.size(); ++e) {
+    standby_hits += endpoint_hits[e];
+  }
   std::cout << "{\"verified\": " << verified << ", \"missing\": " << missing
-            << ", \"primary_hits\": " << primary_hits
-            << ", \"standby_hits\": " << standby_hits << ", \"phases\": {";
+            << ", \"primary_hits\": " << endpoint_hits[0]
+            << ", \"standby_hits\": " << standby_hits
+            << ", \"endpoint_hits\": {";
+  for (std::size_t e = 0; e < targets.size(); ++e) {
+    if (e > 0) std::cout << ", ";
+    std::cout << "\"" << zeroone::FormatHostPort(targets[e])
+              << "\": " << endpoint_hits[e];
+  }
+  std::cout << "}, \"phases\": {";
   bool first = true;
   for (const auto& [phase, tally] : by_phase) {
     if (!first) std::cout << ", ";
@@ -535,6 +591,18 @@ int main(int argc, char** argv) {
       options.verify_file = arg.substr(9);
     } else if (ParseUintFlag(arg, "--standby-port=", &value)) {
       options.standby_port = static_cast<int>(value);
+    } else if (arg.rfind("--endpoints=", 0) == 0) {
+      StatusOr<std::vector<HostPort>> endpoints =
+          zeroone::ParseEndpointList(arg.substr(12));
+      if (!endpoints.ok()) {
+        std::cerr << "bad --endpoints list: " << endpoints.status().message()
+                  << "\n";
+        PrintUsage(std::cerr);
+        return 1;
+      }
+      options.endpoints = std::move(*endpoints);
+    } else if (ParseUintFlag(arg, "--ring-replicas=", &value)) {
+      options.ring_replicas = static_cast<std::size_t>(value);
     } else if (ParseUintFlag(arg, "--retry-attempts=", &value)) {
       options.retry_attempts = static_cast<int>(value);
     } else if (ParseUintFlag(arg, "--retry-backoff-ms=", &value)) {
@@ -644,6 +712,54 @@ int main(int argc, char** argv) {
   std::uint64_t answered = static_cast<std::uint64_t>(
       total.latencies_ms.size());
 
+  // --endpoints: recompute the router's ring (same ordered backend list,
+  // same replica count) and check shard placement — every session that
+  // observed state must actually live on its predicted backend. A chaos
+  // run that killed a backend may legitimately miss (read-session state is
+  // not snapshotted), so this reports rather than fails; the no-kill smoke
+  // asserts matches == checked.
+  std::uint64_t placement_checked = 0;
+  std::uint64_t placement_matches = 0;
+  std::vector<std::uint64_t> placement_sessions;
+  if (!options.endpoints.empty()) {
+    zeroone::svc::HashRing ring(options.endpoints.size(),
+                                options.ring_replicas);
+    placement_sessions.assign(options.endpoints.size(), 0);
+    // Read workers preamble a db into R; mutate workers insert into M.
+    // `show` renders relations as "NAME = {(...)}", so a populated
+    // relation of the right name proves the session's state is here.
+    const std::string needle = options.mutate ? "M = {" : "R = {";
+    std::uint64_t placement_id = 1;
+    for (std::size_t i = 0; i < options.connections; ++i) {
+      const std::string session =
+          (options.mutate ? "chaos" : "loadgen") + std::to_string(i);
+      const std::size_t owner = ring.Owner(session);
+      ++placement_sessions[owner];
+      const bool has_state =
+          options.mutate ? results[i].acked > 0 : results[i].ok > 0;
+      if (!has_state) continue;
+      ++placement_checked;
+      LoadgenOptions endpoint_options = options;
+      endpoint_options.host = options.endpoints[owner].host;
+      endpoint_options.port = options.endpoints[owner].port;
+      RetryingClient direct = MakeClient(endpoint_options, i);
+      Request request;
+      request.id = "placement" + std::to_string(placement_id++);
+      request.session = session;
+      request.command = "show";
+      StatusOr<Response> response = direct.CallWithRetry(request);
+      if (response.ok() && response->status == WireStatus::kOk &&
+          response->payload.find(needle) != std::string::npos) {
+        ++placement_matches;
+      } else {
+        std::cerr << "loadgen: placement: session '" << session
+                  << "' not found on predicted shard "
+                  << zeroone::FormatHostPort(options.endpoints[owner])
+                  << "\n";
+      }
+    }
+  }
+
   std::cerr << "loadgen: " << answered << " "
             << (options.mutate ? "acknowledged" : "answered") << " in "
             << wall_s << "s (" << total.ok << " OK, " << total.err << " ERR, "
@@ -658,6 +774,17 @@ int main(int argc, char** argv) {
             << " reconnects\n"
             << "loadgen: latency ms p50=" << p50 << " p95=" << p95
             << " p99=" << p99 << "\n";
+  if (!options.endpoints.empty()) {
+    std::cerr << "loadgen: placement: " << placement_matches << "/"
+              << placement_checked
+              << " sessions with state on their predicted shard (";
+    for (std::size_t e = 0; e < options.endpoints.size(); ++e) {
+      if (e > 0) std::cerr << ", ";
+      std::cerr << zeroone::FormatHostPort(options.endpoints[e]) << "="
+                << placement_sessions[e];
+    }
+    std::cerr << " predicted)\n";
+  }
 
   std::cout << "{\"answered\": " << answered << ", \"ok\": " << total.ok
             << ", \"err\": " << total.err
@@ -674,7 +801,19 @@ int main(int argc, char** argv) {
             << ", \"acked\": " << total.acked
             << ", \"wall_seconds\": " << wall_s
             << ", \"latency_ms\": {\"p50\": " << p50 << ", \"p95\": " << p95
-            << ", \"p99\": " << p99 << "}}" << std::endl;
+            << ", \"p99\": " << p99 << "}";
+  if (!options.endpoints.empty()) {
+    std::cout << ", \"placement\": {\"checked\": " << placement_checked
+              << ", \"matches\": " << placement_matches
+              << ", \"predicted_sessions\": {";
+    for (std::size_t e = 0; e < options.endpoints.size(); ++e) {
+      if (e > 0) std::cout << ", ";
+      std::cout << "\"" << zeroone::FormatHostPort(options.endpoints[e])
+                << "\": " << placement_sessions[e];
+    }
+    std::cout << "}}";
+  }
+  std::cout << "}" << std::endl;
 
   return (total.transport_failures == 0 && total.ok > 0) ? 0 : 1;
 }

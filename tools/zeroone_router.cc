@@ -1,0 +1,212 @@
+// zeroone_router — consistent-hash shard router (docs/serving.md,
+// "Scaling out").
+//
+// Listens on the ZO1 wire protocol (and optionally the HTTP/JSON gateway)
+// and forwards each request to one of a pool of zeroone_server backends,
+// chosen by consistent-hashing the request's @session key. Sessions are
+// the unit of state, so every request of a session lands on the same
+// backend; backend death is answered with one same-backend reconnect, then
+// failover to the next backend on the ring (bounded by --retry-backends),
+// then UNAVAILABLE — which retrying clients treat as transient.
+//
+// Flags:
+//   --backends=H:P,H:P,...  ordered backend list (required; the order is
+//                           part of the hash-ring contract — every process
+//                           that knows the list recomputes the placement)
+//   --host=ADDR             listen address (default 127.0.0.1)
+//   --port=N                ZO1 listen port; 0 = ephemeral (default 0)
+//   --http-port=N           also serve the HTTP gateway on this port;
+//                           0 = ephemeral; unset disables it
+//   --threads=N             forwarding worker threads (default 4)
+//   --queue=N               bounded admission queue (default 64)
+//   --event-threads=N       epoll event-loop threads; 0 = auto (default 0)
+//   --max-conns=N           refuse connections beyond N live ones
+//   --ring-replicas=N       virtual nodes per backend (default 64)
+//   --retry-backends=N      fallback backends after the owner (default 2)
+//   --down-cooldown-ms=N    skip a twice-failed backend for N ms
+//                           (default 1000)
+//   --connect-timeout-ms=N  backend connect timeout (default 1000)
+//   --io-timeout-ms=N       backend send/recv timeout (default 30000)
+//   --bind-retry-ms=N       keep retrying EADDRINUSE binds for N ms
+//   --metrics[=FILE]        dump the obs counter registry as JSON on exit
+//   --help                  usage
+//
+// On startup the router prints one line to stdout:
+//   listening on HOST:PORT
+// and, when --http-port is set, a second line:
+//   http listening on HOST:PORT
+// (the same contract as zeroone_server, so scripts reuse their parsers).
+
+#include <csignal>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "common/net.h"
+#include "obs/metrics.h"
+#include "svc/router.h"
+
+namespace {
+
+zeroone::svc::Router* g_router = nullptr;
+
+void HandleSignal(int) {
+  // Async-signal-safe: one write to the router's self-pipe; the main
+  // thread performs the actual drain.
+  if (g_router != nullptr) g_router->Notify();
+}
+
+void PrintUsage(std::ostream& os) {
+  os << "usage: zeroone_router --backends=HOST:PORT,HOST:PORT,...\n"
+        "                      [--host=ADDR] [--port=N] [--http-port=N]\n"
+        "                      [--threads=N] [--queue=N] "
+        "[--event-threads=N]\n"
+        "                      [--max-conns=N] [--ring-replicas=N]\n"
+        "                      [--retry-backends=N] [--down-cooldown-ms=N]\n"
+        "                      [--connect-timeout-ms=N] [--io-timeout-ms=N]\n"
+        "                      [--bind-retry-ms=N] [--metrics[=FILE]]\n"
+        "Routes zeroone wire-protocol requests to backends by "
+        "consistent-hashing the\n"
+        "session key (docs/serving.md); SIGINT/SIGTERM drain gracefully.\n";
+}
+
+bool ParseUintFlag(const std::string& arg, const std::string& prefix,
+                   std::uint64_t* out) {
+  if (arg.rfind(prefix, 0) != 0) return false;
+  const std::string value = arg.substr(prefix.size());
+  if (value.empty()) return false;
+  std::uint64_t parsed = 0;
+  for (char c : value) {
+    if (c < '0' || c > '9') return false;
+    parsed = parsed * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *out = parsed;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  zeroone::svc::RouterOptions options;
+  bool have_backends = false;
+  bool dump_metrics = false;
+  std::string metrics_file;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::uint64_t value = 0;
+    if (arg == "--help") {
+      PrintUsage(std::cout);
+      return 0;
+    } else if (arg.rfind("--backends=", 0) == 0) {
+      zeroone::StatusOr<std::vector<zeroone::HostPort>> backends =
+          zeroone::ParseEndpointList(arg.substr(11));
+      if (!backends.ok()) {
+        std::cerr << "bad --backends list: " << backends.status().message()
+                  << "\n";
+        PrintUsage(std::cerr);
+        return 1;
+      }
+      options.backends = std::move(*backends);
+      have_backends = true;
+    } else if (arg.rfind("--host=", 0) == 0) {
+      options.host = arg.substr(7);
+    } else if (ParseUintFlag(arg, "--port=", &value)) {
+      options.port = static_cast<int>(value);
+    } else if (ParseUintFlag(arg, "--http-port=", &value)) {
+      options.http_port = static_cast<int>(value);
+    } else if (ParseUintFlag(arg, "--threads=", &value)) {
+      options.threads = static_cast<std::size_t>(value);
+    } else if (ParseUintFlag(arg, "--queue=", &value)) {
+      options.queue_capacity = static_cast<std::size_t>(value);
+    } else if (ParseUintFlag(arg, "--event-threads=", &value)) {
+      options.event_threads = static_cast<std::size_t>(value);
+    } else if (ParseUintFlag(arg, "--max-conns=", &value)) {
+      options.max_conns = static_cast<std::size_t>(value);
+    } else if (ParseUintFlag(arg, "--ring-replicas=", &value)) {
+      options.ring_replicas = static_cast<std::size_t>(value);
+    } else if (ParseUintFlag(arg, "--retry-backends=", &value)) {
+      options.retry_backends = static_cast<std::size_t>(value);
+    } else if (ParseUintFlag(arg, "--down-cooldown-ms=", &value)) {
+      options.down_cooldown_ms = value;
+    } else if (ParseUintFlag(arg, "--connect-timeout-ms=", &value)) {
+      options.connect_timeout_ms = value;
+    } else if (ParseUintFlag(arg, "--io-timeout-ms=", &value)) {
+      options.io_timeout_ms = value;
+    } else if (ParseUintFlag(arg, "--bind-retry-ms=", &value)) {
+      options.bind_retry_ms = value;
+    } else if (arg == "--metrics") {
+      dump_metrics = true;
+    } else if (arg.rfind("--metrics=", 0) == 0) {
+      dump_metrics = true;
+      metrics_file = arg.substr(10);
+    } else {
+      std::cerr << "unknown flag '" << arg << "'\n";
+      PrintUsage(std::cerr);
+      return 1;
+    }
+  }
+  if (!have_backends || options.backends.empty()) {
+    std::cerr << "error: --backends is required\n";
+    PrintUsage(std::cerr);
+    return 1;
+  }
+
+  zeroone::svc::Router router(options);
+  g_router = &router;
+  zeroone::Status started = router.Start();
+  if (!started.ok()) {
+    std::cerr << "error: " << started.message() << "\n";
+    return 1;
+  }
+
+  struct sigaction action{};
+  action.sa_handler = HandleSignal;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+
+  std::cout << "listening on " << options.host << ":" << router.port()
+            << std::endl;
+  if (router.http_port() >= 0) {
+    std::cout << "http listening on " << options.host << ":"
+              << router.http_port() << std::endl;
+  }
+  std::cerr << "routing to " << options.backends.size() << " backends ("
+            << options.ring_replicas << " ring replicas, "
+            << options.retry_backends << " fallbacks):\n";
+  for (const zeroone::HostPort& backend : options.backends) {
+    std::cerr << "  " << zeroone::FormatHostPort(backend) << "\n";
+  }
+
+  router.WaitForShutdownRequest();
+  std::cerr << "draining: finishing in-flight requests...\n";
+  router.Shutdown();
+  zeroone::svc::Router::Stats stats = router.stats();
+  std::cerr << "drained: " << stats.requests_received << " requests ("
+            << stats.forwarded << " forwarded, " << stats.failovers
+            << " failovers, " << stats.unavailable << " unavailable, "
+            << stats.bad_requests << " bad, " << stats.overloaded
+            << " overloaded)\n";
+  for (std::size_t i = 0; i < stats.per_backend_forwarded.size(); ++i) {
+    std::cerr << "backend " << i << " ("
+              << zeroone::FormatHostPort(options.backends[i])
+              << "): " << stats.per_backend_forwarded[i] << " forwarded\n";
+  }
+
+  if (dump_metrics) {
+    if (metrics_file.empty()) {
+      zeroone::obs::Registry::Global().DumpJson(std::cout);
+      std::cout << "\n";
+    } else {
+      std::ofstream out(metrics_file);
+      if (!out) {
+        std::cerr << "cannot write metrics file '" << metrics_file << "'\n";
+        return 1;
+      }
+      zeroone::obs::Registry::Global().DumpJson(out);
+      out << "\n";
+    }
+  }
+  return 0;
+}

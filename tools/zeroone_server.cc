@@ -11,6 +11,9 @@
 // Flags:
 //   --host=ADDR           listen address (default 127.0.0.1)
 //   --port=N              listen port; 0 picks an ephemeral port (default 0)
+//   --http-port=N         also serve the HTTP/JSON gateway (POST /v1/query,
+//                         GET /metrics — docs/serving.md) on this port;
+//                         0 picks an ephemeral port; unset disables it
 //   --threads=N           worker threads (default 4)
 //   --queue=N             bounded queue capacity (default 64)
 //   --event-threads=N     epoll event-loop threads multiplexing all
@@ -56,9 +59,11 @@
 // The ZEROONE_FAULTS environment variable installs a fault plan with the
 // same grammar; an explicit --faults flag wins over it.
 //
-// On startup the server prints exactly one line to stdout:
+// On startup the server prints one line to stdout:
 //   listening on HOST:PORT
-// (scripts parse the port from it; see scripts/smoke_serving.sh).
+// and, when --http-port is set, a second line:
+//   http listening on HOST:PORT
+// (scripts parse the ports from these; see scripts/smoke_serving.sh).
 
 #include <csignal>
 #include <cstdint>
@@ -67,6 +72,7 @@
 #include <iostream>
 #include <string>
 
+#include "common/net.h"
 #include "fault/fault.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -83,7 +89,8 @@ void HandleSignal(int) {
 }
 
 void PrintUsage(std::ostream& os) {
-  os << "usage: zeroone_server [--host=ADDR] [--port=N] [--threads=N]\n"
+  os << "usage: zeroone_server [--host=ADDR] [--port=N] [--http-port=N]\n"
+        "                      [--threads=N]\n"
         "                      [--queue=N] [--event-threads=N] "
         "[--par-threads=N]\n"
         "                      [--max-conns=N]\n"
@@ -138,6 +145,8 @@ int main(int argc, char** argv) {
       options.host = arg.substr(7);
     } else if (ParseUintFlag(arg, "--port=", &value)) {
       options.port = static_cast<int>(value);
+    } else if (ParseUintFlag(arg, "--http-port=", &value)) {
+      options.http_port = static_cast<int>(value);
     } else if (ParseUintFlag(arg, "--threads=", &value)) {
       options.threads = static_cast<std::size_t>(value);
     } else if (ParseUintFlag(arg, "--queue=", &value)) {
@@ -173,19 +182,16 @@ int main(int argc, char** argv) {
     } else if (ParseUintFlag(arg, "--wal-compact-every=", &value)) {
       options.wal_compact_every = value;
     } else if (arg.rfind("--follow=", 0) == 0) {
-      const std::string target = arg.substr(9);
-      const std::size_t colon = target.rfind(':');
-      std::uint64_t port = 0;
-      if (colon == std::string::npos || colon == 0 ||
-          !ParseUintFlag(target.substr(colon), ":", &port) || port == 0 ||
-          port > 65535) {
-        std::cerr << "bad --follow target '" << target
-                  << "' (want HOST:PORT)\n";
+      zeroone::StatusOr<zeroone::HostPort> target =
+          zeroone::ParseHostPort(arg.substr(9));
+      if (!target.ok()) {
+        std::cerr << "bad --follow target: " << target.status().message()
+                  << "\n";
         PrintUsage(std::cerr);
         return 1;
       }
-      options.follow_host = target.substr(0, colon);
-      options.follow_port = static_cast<int>(port);
+      options.follow_host = target->host;
+      options.follow_port = target->port;
     } else if (ParseUintFlag(arg, "--promote-after-ms=", &value)) {
       options.promote_after_ms = value;
     } else if (ParseUintFlag(arg, "--pull-interval-ms=", &value)) {
@@ -248,6 +254,10 @@ int main(int argc, char** argv) {
 
   std::cout << "listening on " << options.host << ":" << server.port()
             << std::endl;
+  if (server.http_port() >= 0) {
+    std::cout << "http listening on " << options.host << ":"
+              << server.http_port() << std::endl;
+  }
   if (options.legacy_readers) {
     std::cerr << "reader model: legacy (one thread per connection)\n";
   } else {
